@@ -1,0 +1,23 @@
+"""ABL2 — satisfaction-weight models in the dynamic scenario.
+
+Compares the paper's literal 0.5/0.5 mixture (Eq. 26), the h-consistent
+constant, and the two mechanistic capacity-derived models. All must
+converge; the capacity-derived models are the ones that reproduce the
+paper's "uncertainty inflates ESP aggressiveness" conclusion.
+"""
+
+from repro.analysis import ablation_dynamic_weights
+
+
+def test_ablation_dynamic_weights(run_experiment):
+    table = run_experiment(ablation_dynamic_weights)
+    rows = {r[0]: r for r in table.rows}
+    cols = table.columns
+    conv = cols.index("converged")
+    e_star = cols.index("e_star")
+    for name in ("capacity", "service", "paper", "h"):
+        assert rows[name][conv]
+        assert rows[name][e_star] > 0
+    # Constant-weight models ignore capacity and demand more edge than the
+    # hard-rejection model at the same prices.
+    assert rows["h"][e_star] > rows["capacity"][e_star]

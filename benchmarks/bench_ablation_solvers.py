@@ -1,0 +1,19 @@
+"""ABL1 — GNEP solver ablation: shadow-price decomposition vs joint-VI
+extragradient. Both must land on the same variational equilibrium; the
+decomposition should be much faster."""
+
+import pytest
+
+from repro.analysis import ablation_gnep_solvers
+
+
+def test_ablation_gnep_solvers(run_experiment):
+    table = run_experiment(ablation_gnep_solvers)
+    for row in table.rows:
+        cols = {c: row[i] for i, c in enumerate(table.columns)}
+        assert cols["E_decomp"] == pytest.approx(cols["E_extragrad"],
+                                                 abs=1e-3)
+        assert cols["max_profile_diff"] < 1e-3
+        assert cols["nu_decomp"] == pytest.approx(cols["nu_extragrad"],
+                                                  abs=1e-2)
+        assert cols["t_decomp_s"] < cols["t_extragrad_s"]

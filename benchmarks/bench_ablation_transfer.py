@@ -1,0 +1,15 @@
+"""ABL3 — Eq. (9)'s marginal transfer semantics vs the physical joint
+process. The marginal simulation must match Eq. (9) to sampling error; the
+independent-transfer process overshoots it by a small Jensen gap."""
+
+from repro.analysis import ablation_transfer_semantics
+
+
+def test_ablation_transfer_semantics(run_experiment):
+    table = run_experiment(ablation_transfer_semantics, rounds=200000)
+    rows = {r[0]: r for r in table.rows}
+    gap = table.columns.index("abs_gap")
+    emp = table.columns.index("empirical_W0")
+    model = table.columns.index("model_W0")
+    assert rows["marginal"][gap] < 0.005
+    assert rows["independent"][emp] > rows["independent"][model]

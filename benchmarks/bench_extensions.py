@@ -1,0 +1,111 @@
+"""EXT1-EXT4 — extension experiments beyond the paper's evaluation.
+
+These quantify properties the paper leaves implicit: equilibrium
+efficiency (rent dissipation), learning-theoretic convergence (fictitious
+play), the coupling to PoW difficulty retargeting, and differential
+sensitivities of the follower equilibrium.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (ext1_rent_dissipation, ext2_fictitious_play,
+                            ext3_difficulty_retargeting, ext4_elasticities)
+
+
+def test_ext1_rent_dissipation(run_experiment):
+    table = run_experiment(ext1_rent_dissipation)
+    # Accounting identity SW == miners + SPs.
+    for r in table.column("accounting_residual"):
+        assert abs(r) < 1e-6
+    # All dissipation shares strictly inside (0, 1): the SE wastes part
+    # of the reward but never all of it.
+    for d in table.column("dissipation"):
+        assert 0.0 < d < 1.0
+
+
+def test_ext2_fictitious_play(run_experiment):
+    table = run_experiment(ext2_fictitious_play)
+    gaps = table.column("profile_gap")
+    ni = table.column("ni_residual")
+    assert gaps[-1] < 1e-3
+    assert ni[-1] < 1e-6
+    # Monotone improvement across checkpoints.
+    assert all(b <= a * 1.01 for a, b in zip(gaps, gaps[1:]))
+
+
+def test_ext3_difficulty_retargeting(run_experiment):
+    table = run_experiment(ext3_difficulty_retargeting)
+    intervals = table.column("mean_interval_s")
+    # Each demand segment's tail returns near the 600 s target.
+    for segment in (slice(3, 6), slice(9, 12), slice(15, 18)):
+        assert np.mean(intervals[segment]) == pytest.approx(600.0,
+                                                            rel=0.25)
+
+
+def test_ext4_elasticities(run_experiment):
+    table = run_experiment(ext4_elasticities)
+    rows = {(r[0], r[1]): r[2:] for r in table.rows}
+    # Exact values from the closed forms (binding regime at R=1500):
+    # eps_E(P_e) = -P_e/(P_e-P_c) = -2, cross-price +1.
+    assert rows[("connected", "P_e")][0] == pytest.approx(-2.0, abs=1e-2)
+    assert rows[("connected", "P_c")][0] == pytest.approx(1.0, abs=1e-2)
+    # Standalone with slack budgets: S* ∝ R and E* = E_max.
+    assert rows[("standalone", "R")][2] == pytest.approx(1.0, abs=1e-2)
+    assert rows[("standalone", "E_max")][0] == pytest.approx(1.0,
+                                                             abs=1e-2)
+
+
+def test_ext5_topology_calibration(run_experiment):
+    from repro.analysis import ext5_topology_calibration
+    table = run_experiment(ext5_topology_calibration)
+    assert table.assert_monotone("beta", increasing=True, strict=True)
+    assert table.assert_monotone("edge_share", increasing=True)
+    # The calibration is physical: cloud propagation grows linearly-ish
+    # with block size over WAN bandwidth.
+    assert table.column("cloud_prop_s")[-1] > table.column(
+        "cloud_prop_s")[0]
+
+
+def test_ext6_edge_competition(run_experiment):
+    from repro.analysis import ext6_edge_competition
+    table = run_experiment(ext6_edge_competition)
+    assert table.assert_monotone("scarce_price", increasing=False,
+                                 strict=True)
+    assert all(table.column("verified"))
+    # Bertrand collapse with ample capacity and any competition.
+    ample = table.column("ample_industry_profit")
+    assert ample[0] > 0 and all(v == 0 for v in ample[1:])
+
+
+def test_ext7_optimal_block_size(run_experiment):
+    from repro.analysis import ext7_optimal_block_size
+    table = run_experiment(ext7_optimal_block_size)
+    rev = table.column("expected_revenue")
+    best = rev.index(max(rev))
+    # The optimum is interior: fees saturate, fork risk keeps rising.
+    assert 0 < best < len(rev) - 1
+    assert table.assert_monotone("beta", increasing=True, strict=True)
+
+
+def test_ext8_risk_aversion(run_experiment):
+    from repro.analysis import ext8_risk_aversion
+    table = run_experiment(ext8_risk_aversion)
+    assert table.assert_monotone("solo_demand", increasing=False,
+                                 strict=True)
+    assert table.assert_monotone("solo_active", increasing=False)
+    # The pool sustains at least as much demand at every risk level.
+    for row in table.rows:
+        cols = {c: row[i] for i, c in enumerate(table.columns)}
+        assert cols["pool_demand"] >= 0.95 * cols["solo_demand"]
+
+
+def test_ext9_private_budgets(run_experiment):
+    from repro.analysis import ext9_private_budgets
+    table = run_experiment(ext9_private_budgets)
+    cols = table.columns
+    voi = cols.index("value_of_information")
+    # Information about rivals is worth most to the unconstrained type.
+    vois = [row[voi] for row in table.rows]
+    assert vois[-1] == max(vois)
+    assert vois[-1] > 1.0

@@ -1,0 +1,29 @@
+"""FIG2 — block collision PDF and split-rate CDF vs communication delay.
+
+Reproduces Fig. 2: the exponential collision PDF, the (near-linear for
+small delay) split-rate CDF, and — beyond the paper — a mechanistic
+cross-check from the event-driven mining simulator.
+"""
+
+import numpy as np
+
+from repro.analysis import fig2_fork_model
+
+
+def test_fig2_fork_model(run_experiment):
+    table = run_experiment(fig2_fork_model)
+    # Shape: CDF increasing, PDF decreasing (exponential).
+    assert table.assert_monotone("fork_rate_cdf", increasing=True,
+                                 strict=True)
+    assert table.assert_monotone("collision_pdf", increasing=False,
+                                 strict=True)
+    # Near-linearity at small delays (<= 2 s): relative error < 10 %.
+    for row in table.rows:
+        delay, _, cdf, lin = row[0], row[1], row[2], row[3]
+        if delay <= 2.0:
+            assert abs(lin - cdf) / cdf < 0.10
+    # Mechanistic validation: simulator orphan rate tracks the
+    # exponential-window prediction.
+    sim = np.array(table.column("sim_cloud_orphan_rate"))
+    pred = np.array(table.column("sim_predicted"))
+    assert np.max(np.abs(sim - pred)) < 0.03

@@ -1,0 +1,19 @@
+"""FIG3 — Gaussian miner-count toy example (μ=10, σ²=4).
+
+Reproduces Fig. 3: the discretized pmf against sampled frequencies.
+"""
+
+import numpy as np
+
+from repro.analysis import fig3_population
+
+
+def test_fig3_population(run_experiment):
+    table = run_experiment(fig3_population, samples=50000)
+    pmf = np.array(table.column("pmf"))
+    emp = np.array(table.column("empirical"))
+    assert np.max(np.abs(pmf - emp)) < 0.01
+    # Unimodal around the mean, as in the paper's histogram.
+    ks = table.column("k")
+    mode_k = ks[int(np.argmax(pmf))]
+    assert mode_k == 10

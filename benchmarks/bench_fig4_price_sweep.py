@@ -1,0 +1,19 @@
+"""FIG4 — miner-subgame NE vs a unilateral CSP price increase.
+
+Reproduces Fig. 4 (connected mode, 5 homogeneous miners, B=200): raising
+``P_c`` pushes miners toward the ESP, raising ESP units sold and revenue.
+"""
+
+from repro.analysis import fig4_price_sweep
+
+
+def test_fig4_price_sweep(run_experiment):
+    table = run_experiment(fig4_price_sweep)
+    assert table.assert_monotone("e_per_miner", increasing=True,
+                                 strict=True)
+    assert table.assert_monotone("E_total", increasing=True, strict=True)
+    assert table.assert_monotone("esp_revenue", increasing=True,
+                                 strict=True)
+    # Cloud requests shrink as the CSP overprices itself.
+    assert table.assert_monotone("c_per_miner", increasing=False,
+                                 strict=True)

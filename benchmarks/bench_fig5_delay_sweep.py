@@ -1,0 +1,21 @@
+"""FIG5 — fork-rate (CSP delay) effects on the CSP and total SP welfare.
+
+Reproduces Fig. 5(a-c): a larger β (longer delay) cuts the CSP's units and
+revenue; total SP-side revenue stays pinned at the miners' aggregate
+budget while budgets bind.
+"""
+
+import numpy as np
+
+from repro.analysis import fig5_delay_sweep
+
+
+def test_fig5_delay_sweep(run_experiment):
+    table = run_experiment(fig5_delay_sweep)
+    assert table.assert_monotone("C_total", increasing=False, strict=True)
+    assert table.assert_monotone("csp_revenue", increasing=False,
+                                 strict=True)
+    # Fig. 5(c): total SP revenue ~ constant = aggregate budgets.
+    totals = np.array(table.column("total_sp_revenue"))
+    budgets = np.array(table.column("total_budget"))
+    assert np.allclose(totals, budgets, rtol=1e-3)

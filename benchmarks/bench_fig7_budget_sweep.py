@@ -1,0 +1,21 @@
+"""FIG7 — miner-side budget effects (heterogeneous miners).
+
+Reproduces Fig. 7: miner 1's budget sweeps 20→200 (others fixed at 200);
+its requests to both SPs and its utility keep increasing, and its total
+requests are similar across CSP delays.
+"""
+
+from repro.analysis import fig7_budget_sweep
+
+
+def test_fig7_budget_sweep(run_experiment):
+    table = run_experiment(fig7_budget_sweep)
+    for beta in (0.1, 0.2):
+        assert table.assert_monotone(f"e1_beta_{beta}", increasing=True)
+        assert table.assert_monotone(f"c1_beta_{beta}", increasing=True)
+        assert table.assert_monotone(f"U1_beta_{beta}", increasing=True)
+    # Totals similar across delays (within 15 %) at every budget.
+    lo = table.column("r1_total_beta_0.1")
+    hi = table.column("r1_total_beta_0.2")
+    for a, b in zip(lo, hi):
+        assert abs(a - b) / max(a, b) < 0.15

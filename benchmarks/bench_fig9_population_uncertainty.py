@@ -1,0 +1,38 @@
+"""FIG9 — population uncertainty: analytic model vs the RL framework.
+
+Reproduces Fig. 9(a) (fixed vs Gaussian miner count: uncertainty makes
+miners more ESP-aggressive, expected demand can exceed E_max) and
+Fig. 9(b) (a larger variance makes miners more ESP-prone). Lines are the
+expected-utility fixed points; points are the converged RL strategies.
+"""
+
+from repro.analysis import fig9_population_uncertainty, fig9_variance_sweep
+
+
+def test_fig9a_population_uncertainty(run_experiment):
+    table = run_experiment(fig9_population_uncertainty, sigma=2.5)
+    rows = {r[0]: r for r in table.rows}
+    fixed = rows["fixed N"]
+    dyn = rows["N~Gaussian"]
+    cols = table.columns
+    model_e = cols.index("model_e")
+    rl_e = cols.index("rl_e")
+    ne = cols.index("model_Ne")
+    overload = cols.index("overload_prob")
+    # Paper finding 1: uncertainty inflates ESP requests (model and RL).
+    assert dyn[model_e] > fixed[model_e]
+    assert dyn[rl_e] > fixed[rl_e]
+    # Paper finding 2: expected aggregate edge demand exceeds capacity.
+    assert dyn[ne] > dyn[cols.index("E_max")]
+    assert dyn[overload] > 0.3
+    # RL tracks the model within grid resolution.
+    assert abs(dyn[rl_e] - dyn[model_e]) / dyn[model_e] < 0.35
+
+
+def test_fig9b_variance_sweep(run_experiment):
+    table = run_experiment(fig9_variance_sweep, sigmas=[0.5, 1.5, 2.5])
+    model = table.column("model_e")
+    # Larger variance -> more ESP-prone miners (per-miner request).
+    assert model[-1] > model[0]
+    # Expected aggregate edge demand also grows with the variance.
+    assert table.assert_monotone("expected_Ne", increasing=True)

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the hot solver paths (true pytest-benchmark runs).
+
+These quantify the costs the experiment harness relies on: a single miner
+best response, a full NEP solve, the GNEP decomposition, the closed-form
+demand oracle, and a 50-block RL epoch.
+"""
+
+import pytest
+
+from repro.core import (EdgeMode, Prices, homogeneous,
+                        solve_connected_equilibrium,
+                        solve_standalone_equilibrium)
+from repro.core.homogeneous_demand import homogeneous_demand
+from repro.core.miner_best_response import (ResponseContext,
+                                            solve_best_response)
+from repro.learning import RLTrainer
+from repro.population import GaussianPopulation
+
+PRICES = Prices(p_e=2.0, p_c=1.0)
+
+
+@pytest.fixture(scope="module")
+def connected_params():
+    return homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=0.8)
+
+
+@pytest.fixture(scope="module")
+def standalone_params():
+    return homogeneous(5, 1000.0, reward=1000.0, fork_rate=0.2,
+                       mode=EdgeMode.STANDALONE, e_max=80.0)
+
+
+def test_bench_miner_best_response(benchmark):
+    ctx = ResponseContext(e_others=100.0, s_others=500.0)
+    result = benchmark(solve_best_response, ctx, reward=1000.0, beta=0.2,
+                       h=0.8, p_e=2.0, p_c=1.0, budget=200.0)
+    assert result.e > 0
+
+
+def test_bench_nep_solve(benchmark, connected_params):
+    eq = benchmark(solve_connected_equilibrium, connected_params, PRICES)
+    assert eq.converged
+
+
+def test_bench_nep_solve_n50(benchmark):
+    params = homogeneous(50, 200.0, reward=1000.0, fork_rate=0.2, h=0.8)
+    eq = benchmark(solve_connected_equilibrium, params, PRICES)
+    assert eq.converged
+
+
+def test_bench_gnep_decomposition(benchmark, standalone_params):
+    eq = benchmark(solve_standalone_equilibrium, standalone_params, PRICES)
+    assert eq.total_edge == pytest.approx(80.0, rel=1e-4)
+
+
+def test_bench_closed_form_demand(benchmark, connected_params):
+    d = benchmark(homogeneous_demand, connected_params, PRICES)
+    assert d.e > 0
+
+
+def test_bench_rl_epoch(benchmark):
+    trainer = RLTrainer(GaussianPopulation(5, 2), budget=200.0,
+                        reward=1000.0, fork_rate=0.2, e_max=80.0, seed=0)
+    result = benchmark.pedantic(trainer.run_epoch, args=(2.0, 1.0),
+                                rounds=3, iterations=1)
+    assert result.blocks == 50

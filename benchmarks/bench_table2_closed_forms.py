@@ -1,0 +1,32 @@
+"""TAB2 — sufficient-budget equilibria, connected vs standalone.
+
+Reproduces Table II: closed-form prices and requests for both edge
+operation modes, cross-checked against the full numeric Stackelberg
+solver. Key paper claims: the standalone ESP prices higher and profits
+more; the CSP prices lower in the standalone regime's shadow.
+"""
+
+import pytest
+
+from repro.analysis import table2_closed_forms
+
+
+def test_table2_closed_forms(run_experiment):
+    table = run_experiment(table2_closed_forms)
+    rows = {r[0]: r[1:] for r in table.rows}
+    conn_cf, conn_num, sa_cf, sa_num = range(4)
+
+    # Closed forms track the numeric solver.
+    assert rows["P_e*"][conn_cf] == pytest.approx(rows["P_e*"][conn_num],
+                                                  rel=0.01)
+    assert rows["P_c*"][sa_cf] == pytest.approx(rows["P_c*"][sa_num],
+                                                rel=0.02)
+    assert rows["e* per miner"][sa_cf] == pytest.approx(
+        rows["e* per miner"][sa_num], rel=0.01)
+
+    # Paper claims.
+    assert rows["P_e*"][sa_cf] > rows["P_e*"][conn_cf]
+    assert rows["V_e*"][sa_cf] > rows["V_e*"][conn_cf]
+    assert rows["P_c*"][sa_cf] > 0
+    # The standalone ESP sells exactly its capacity.
+    assert rows["e* per miner"][sa_cf] * 5 == pytest.approx(80.0)

@@ -1,0 +1,35 @@
+"""OBS1 — §VI-B text: SP welfare vs miner budgets and the mining reward.
+
+Reproduces the paper's prose observations: total SP revenue is bounded by
+(equals) the aggregate miner budgets while budgets bind, then saturates at
+a level set by the mining reward.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import PaperSetup, welfare_observations
+
+
+def test_welfare_vs_budgets(run_experiment):
+    table = run_experiment(welfare_observations)
+    rev = np.array(table.column("total_sp_revenue"))
+    agg = np.array(table.column("aggregate_budget"))
+    binding = table.column("budget_binding")
+    # While binding: welfare == aggregate budgets exactly.
+    for r, a, b in zip(rev, agg, binding):
+        if b:
+            assert r == pytest.approx(a, rel=1e-3)
+    # Saturation thereafter.
+    assert rev[-1] == pytest.approx(rev[-2], rel=1e-3)
+
+
+def test_saturated_welfare_scales_with_reward(run_experiment):
+    """§VI-B: once budgets are sufficient, SP welfare is set by R."""
+    lo = welfare_observations(budgets=[5000.0],
+                              setup=PaperSetup(reward=1000.0))
+    hi = run_experiment(welfare_observations, budgets=[5000.0],
+                        setup=PaperSetup(reward=2000.0))
+    rev_lo = lo.column("total_sp_revenue")[0]
+    rev_hi = hi.column("total_sp_revenue")[0]
+    assert rev_hi == pytest.approx(2.0 * rev_lo, rel=1e-3)

@@ -1,0 +1,26 @@
+"""Benchmark helpers.
+
+Each paper artifact gets one benchmark that (a) times the full experiment
+once (``rounds=1`` — these are minutes-scale reproductions, not
+microbenchmarks), (b) prints the regenerated table so the benchmark output
+IS the reproduced figure, and (c) asserts the paper's qualitative shape.
+Micro-benchmarks of the hot solver paths live in
+``bench_solver_performance.py`` and use normal repetition.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment function once under the benchmark clock and print
+    the resulting table."""
+
+    def _run(fn, *args, **kwargs):
+        table = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                   rounds=1, iterations=1)
+        print()
+        print(table)
+        return table
+
+    return _run

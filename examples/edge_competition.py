@@ -1,0 +1,68 @@
+"""Beyond the paper: physical calibration and competing edge providers.
+
+Two extensions composed end-to-end:
+
+1. **Topology calibration** — instead of assuming ``D_avg`` and ``β``,
+   build the Fig.-1 network as a real graph (miners meshed over metro
+   links, ESP one LAN hop away, CSP across a WAN), gossip blocks over it,
+   and derive the game parameters from block size and bandwidths.
+2. **Edge competition** — replace the monopoly ESP with ``m`` competing
+   providers and compute the symmetric Bertrand–Edgeworth equilibrium:
+   entry erodes the edge premium that the paper's monopolist enjoys.
+
+Run:  python examples/edge_competition.py
+"""
+
+from repro.core import Prices, homogeneous, solve_connected_equilibrium
+from repro.core.multi_edge import (EdgeSupplier, MultiEdgeMarket,
+                                   best_response_price, clear_market,
+                                   symmetric_equilibrium)
+from repro.network import (GossipModel, calibrate_game_delays,
+                           edge_cloud_topology)
+
+
+def main() -> None:
+    # --- 1. Calibrate the game from a physical topology ---------------- #
+    graph = edge_cloud_topology(n_miners=30, peer_degree=4, seed=7)
+    print("Topology: 30 miners, metro mesh, ESP on LAN, CSP over WAN")
+    print(f"{'block size':>12} {'cloud prop':>11} {'D_avg':>8} "
+          f"{'beta':>7} {'edge share':>11}")
+    chosen = None
+    for block_size in (1e5, 1e6, 8e6, 3.2e7):
+        cal = calibrate_game_delays(graph, GossipModel(block_size=
+                                                       block_size))
+        params = homogeneous(5, 200.0, reward=1500.0,
+                             fork_rate=cal.fork_rate, h=0.8,
+                             d_avg=cal.d_avg)
+        eq = solve_connected_equilibrium(params, Prices(2.0, 1.0))
+        share = eq.total_edge / eq.total
+        print(f"{block_size:12.0f} {cal.cloud_delay:10.2f}s "
+              f"{cal.d_avg:7.2f}s {cal.fork_rate:7.4f} {share:11.1%}")
+        if block_size == 8e6:
+            chosen = cal
+    print("  -> bigger blocks make the cloud riskier; demand migrates "
+          "to the edge\n")
+
+    # --- 2. Let edge providers compete ---------------------------------- #
+    market = MultiEdgeMarket(n=5, reward=1500.0, beta=chosen.fork_rate,
+                             h=1.0, p_c=1.0)
+    capacity = 60.0
+    print(f"Edge market at beta={chosen.fork_rate:.3f} "
+          f"(capacity {capacity:.0f} units per provider):")
+    mono = [EdgeSupplier(price=2.0, capacity=capacity, unit_cost=0.2)]
+    p_mono = best_response_price(market, mono, 0)
+    clearing = clear_market(market, [EdgeSupplier(p_mono, capacity, 0.2)])
+    print(f"  m=1 (the paper's setting): P_e*={p_mono:.3f}, "
+          f"profit={clearing.profits[0]:.1f}")
+    for m in (2, 4, 8):
+        eq = symmetric_equilibrium(market, m, capacity, 0.2)
+        print(f"  m={m}: P_e*={eq.price:.3f} ({eq.regime}), per-ESP "
+              f"profit={eq.per_supplier_profit:.1f}, total edge units "
+              f"{eq.per_supplier_sales * m:.0f}, "
+              f"no-deviation verified={eq.verified}")
+    print("  -> competition transfers the edge premium from provider "
+          "profits to the miners")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Incomplete information: budgets as private types (extension EXT9).
+
+The paper notes that in practice "the miner's action is the private
+information which is unobservable by others" and reaches for
+reinforcement learning. For the root cause — private budgets — the exact
+answer is computable: a symmetric Bayesian Nash equilibrium over a finite
+type distribution. This example solves it and measures the value of
+information per type against the full-information benchmark.
+
+Run:  python examples/private_budgets.py
+"""
+
+import itertools
+import math
+
+from repro.core import (GameParameters, Prices,
+                        solve_connected_equilibrium)
+from repro.core.bayesian import (BayesianMinerGame, BudgetType,
+                                 solve_bayesian_equilibrium)
+
+N = 5
+TYPES = [BudgetType(50.0, 0.4), BudgetType(150.0, 0.4),
+         BudgetType(400.0, 0.2)]
+PRICES = Prices(p_e=2.0, p_c=1.0)
+
+
+def full_information_benchmark(type_index: int) -> tuple:
+    """Expected (e, U) of a type under full information, enumerating the
+    opponents' multinomial type profiles exactly."""
+    probs = [t.probability for t in TYPES]
+    me = TYPES[type_index]
+    fi_e = fi_u = 0.0
+    for counts in itertools.product(range(N), repeat=len(TYPES)):
+        if sum(counts) != N - 1:
+            continue
+        coef = math.factorial(N - 1)
+        weight = 1.0
+        for c, q in zip(counts, probs):
+            coef //= math.factorial(c)
+            weight *= q ** c
+        weight *= coef
+        budgets = [me.budget]
+        for j, c in enumerate(counts):
+            budgets += [TYPES[j].budget] * c
+        params = GameParameters(reward=1000.0, fork_rate=0.2,
+                                budgets=budgets, h=0.8)
+        eq = solve_connected_equilibrium(params, PRICES)
+        fi_e += weight * float(eq.e[0])
+        fi_u += weight * float(eq.utilities[0])
+    return fi_e, fi_u
+
+
+def main() -> None:
+    game = BayesianMinerGame(N, TYPES, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+    bne = solve_bayesian_equilibrium(game, PRICES)
+    print("Symmetric Bayesian NE (budgets private, i.i.d. types):")
+    print(f"{'budget':>8} {'prob':>5} {'e*':>8} {'c*':>9} {'U (BNE)':>9} "
+          f"{'U (full info)':>14} {'VoI':>7}")
+    for k, t in enumerate(TYPES):
+        e, c = bne.request(k)
+        _, fi_u = full_information_benchmark(k)
+        voi = fi_u - float(bne.utilities[k])
+        print(f"{t.budget:8.0f} {t.probability:5.1f} {e:8.3f} {c:9.3f} "
+              f"{bne.utilities[k]:9.2f} {fi_u:14.2f} {voi:7.2f}")
+    print("\nReading: budget-bound types spend everything either way — "
+          "privacy costs them nothing;")
+    print("the unconstrained type pays for not knowing its rivals "
+          "(it hedges instead of tailoring).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: solve the miner subgame and the full Stackelberg game.
+
+Five mobile miners offload PoW computation to an edge provider (fast but
+pricey) and a cloud provider (cheap but slow). This script:
+
+1. solves the connected-mode miner equilibrium at fixed prices and checks
+   it against the paper's closed forms (Theorem 3 / Corollary 1);
+2. verifies nobody can profit from a unilateral deviation;
+3. solves the full two-stage Stackelberg game for equilibrium prices.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Prices, homogeneous, solve_connected_equilibrium, \
+    solve_stackelberg, verify_miner_equilibrium
+from repro.core import binding_budget_threshold, \
+    homogeneous_miner_equilibrium
+
+
+def main() -> None:
+    # --- 1. The miner subgame at announced prices -------------------- #
+    params = homogeneous(
+        5, 200.0,            # five miners, $200 budget each
+        reward=1000.0,       # block reward R
+        fork_rate=0.2,       # β: cloud blocks orphaned 20% of the time
+        h=0.8,               # ESP satisfies 80% of edge requests locally
+        edge_cost=0.2, cloud_cost=0.1)
+    prices = Prices(p_e=2.0, p_c=1.0)
+
+    eq = solve_connected_equilibrium(params, prices)
+    print("Miner subgame equilibrium")
+    print("  " + eq.summary())
+    print(f"  per-miner request: e*={eq.e[0]:.2f} ESP units, "
+          f"c*={eq.c[0]:.2f} CSP units")
+    print(f"  per-miner utility: {eq.utilities[0]:.2f}")
+
+    # --- 2. Cross-check against the closed forms --------------------- #
+    threshold = binding_budget_threshold(5, 1000.0, 0.2, 0.8)
+    closed = homogeneous_miner_equilibrium(5, 200.0, 1000.0, 0.2, 0.8,
+                                           prices)
+    print(f"\nClosed form ({closed.regime} regime; "
+          f"budget threshold = {threshold:.1f}):")
+    print(f"  e*={closed.e:.4f}, c*={closed.c:.4f} "
+          f"(solver: {eq.e[0]:.4f}, {eq.c[0]:.4f})")
+    assert abs(closed.e - eq.e[0]) < 1e-4
+    assert verify_miner_equilibrium(eq), "no profitable deviation exists"
+    print("  verified: no miner has a profitable unilateral deviation")
+
+    # --- 3. The full Stackelberg game --------------------------------- #
+    se = solve_stackelberg(params)
+    print("\nStackelberg equilibrium (leaders set prices first)")
+    print("  " + se.summary())
+    print(f"  the ESP charges a premium of "
+          f"{se.prices.p_e - se.prices.p_c:.3f} $/unit for zero latency")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro — Hierarchical Edge-Cloud Computing for Mobile Blockchain Mining.
+
+A complete reproduction of the ICDCS 2019 paper by Jiang, Li & Wu: the
+multi-leader multi-follower Stackelberg game between an edge service
+provider, a cloud service provider, and mobile PoW miners — plus every
+substrate it rests on (a PoW blockchain simulator, an edge/cloud
+offloading market, population models, and a multi-agent RL framework).
+
+Quickstart::
+
+    from repro import homogeneous, Prices, solve_connected_equilibrium
+
+    params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=0.8)
+    eq = solve_connected_equilibrium(params, Prices(p_e=2.0, p_c=1.0))
+    print(eq.summary())
+
+Subpackages:
+
+* :mod:`repro.core` — the games, equilibrium solvers, and closed forms;
+* :mod:`repro.game` — generic Nash/VI solver substrate;
+* :mod:`repro.blockchain` — PoW chain + mining simulators;
+* :mod:`repro.offloading` — ESP/CSP providers, dispatch, market;
+* :mod:`repro.population` — miner-count models;
+* :mod:`repro.learning` — the Section VI-C RL framework;
+* :mod:`repro.analysis` — per-figure/table experiment harness.
+"""
+
+from .core import (EdgeMode, GameParameters, MinerEquilibrium, Prices,
+                   StackelbergEquilibrium, homogeneous,
+                   solve_connected_equilibrium, solve_dynamic_equilibrium,
+                   solve_stackelberg, solve_standalone_equilibrium,
+                   verify_miner_equilibrium)
+from .exceptions import (CapacityError, ConfigurationError, ConvergenceError,
+                         InfeasibleGameError, ReproError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EdgeMode",
+    "GameParameters",
+    "MinerEquilibrium",
+    "Prices",
+    "StackelbergEquilibrium",
+    "homogeneous",
+    "solve_connected_equilibrium",
+    "solve_dynamic_equilibrium",
+    "solve_stackelberg",
+    "solve_standalone_equilibrium",
+    "verify_miner_equilibrium",
+    "CapacityError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "InfeasibleGameError",
+    "ReproError",
+    "__version__",
+]

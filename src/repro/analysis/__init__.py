@@ -1,0 +1,67 @@
+"""Experiment harness: result tables, parameter sweeps, one function per
+paper figure/table, and the ablation studies."""
+
+from .ablations import (ablation_dynamic_weights, ablation_gnep_solvers,
+                        ablation_transfer_semantics)
+from .experiments import (DEFAULTS, PaperSetup, fig2_fork_model,
+                          fig3_population, fig4_price_sweep,
+                          fig5_delay_sweep, fig6_capacity_sweep,
+                          fig6_csp_price_crossover, fig7_budget_sweep,
+                          fig8_sp_equilibrium, fig9_population_uncertainty,
+                          fig9_variance_sweep, table2_closed_forms,
+                          welfare_observations)
+from .extensions import (ext1_rent_dissipation, ext2_fictitious_play,
+                         ext3_difficulty_retargeting, ext4_elasticities,
+                         ext5_topology_calibration,
+                         ext6_edge_competition,
+                         ext7_optimal_block_size,
+                         ext8_risk_aversion,
+                         ext9_private_budgets)
+from .report import build_report, render_markdown
+from .reporting import compare, from_json, load, save, to_csv, to_json
+from .sensitivity import elasticity, equilibrium_elasticities
+from .series import ResultTable, render, sparkline
+from .sweep import sweep
+
+__all__ = [
+    "ablation_dynamic_weights",
+    "ablation_gnep_solvers",
+    "ablation_transfer_semantics",
+    "DEFAULTS",
+    "PaperSetup",
+    "fig2_fork_model",
+    "fig3_population",
+    "fig4_price_sweep",
+    "fig5_delay_sweep",
+    "fig6_capacity_sweep",
+    "fig6_csp_price_crossover",
+    "fig7_budget_sweep",
+    "fig8_sp_equilibrium",
+    "fig9_population_uncertainty",
+    "fig9_variance_sweep",
+    "table2_closed_forms",
+    "welfare_observations",
+    "ext1_rent_dissipation",
+    "ext2_fictitious_play",
+    "ext3_difficulty_retargeting",
+    "ext4_elasticities",
+    "ext5_topology_calibration",
+    "ext6_edge_competition",
+    "ext7_optimal_block_size",
+    "ext8_risk_aversion",
+    "ext9_private_budgets",
+    "build_report",
+    "render_markdown",
+    "compare",
+    "from_json",
+    "load",
+    "save",
+    "to_csv",
+    "to_json",
+    "elasticity",
+    "equilibrium_elasticities",
+    "ResultTable",
+    "render",
+    "sparkline",
+    "sweep",
+]

@@ -1,0 +1,420 @@
+"""Extension experiments beyond the paper's evaluation.
+
+* **EXT1 — rent dissipation / price of anarchy**: how much of the mining
+  reward the equilibrium burns on real compute, across rewards and modes.
+* **EXT2 — fictitious play**: belief-based learning converges to the same
+  unique NE as best-response iteration (independent validation of
+  Theorem 2).
+* **EXT3 — difficulty retargeting**: coupling equilibrium demand to a
+  PoW difficulty controller keeps block intervals pinned while demand
+  shifts with prices.
+* **EXT4 — equilibrium elasticities**: differential sensitivity of the
+  follower equilibrium to every primitive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..blockchain import Difficulty
+from ..blockchain.difficulty import RetargetPolicy, simulate_retargeting
+from ..core import (EdgeMode, Prices, homogeneous,
+                    solve_connected_equilibrium,
+                    solve_standalone_equilibrium, solve_stackelberg)
+from ..core.social import welfare_report
+from ..core.verification import nikaido_isoda_residual
+from ..learning.fictitious import fictitious_play
+from .experiments import DEFAULTS, PaperSetup
+from .sensitivity import equilibrium_elasticities
+from .series import ResultTable
+from .sweep import sweep
+
+__all__ = ["ext1_rent_dissipation", "ext2_fictitious_play",
+           "ext3_difficulty_retargeting", "ext4_elasticities",
+           "ext5_topology_calibration", "ext6_edge_competition",
+           "ext7_optimal_block_size", "ext8_risk_aversion",
+           "ext9_private_budgets"]
+
+
+def ext1_rent_dissipation(rewards: Optional[Sequence[float]] = None,
+                          setup: PaperSetup = DEFAULTS) -> ResultTable:
+    """EXT1: welfare decomposition of the Stackelberg outcome vs R.
+
+    Social welfare is ``R - C_e E - C_c C`` (payments are transfers);
+    the planner's limit is dissipation → 0, so the measured dissipation
+    IS the efficiency loss of decentralized PoW mining in this market.
+    """
+    if rewards is None:
+        rewards = [500.0, 1000.0, 2000.0, 4000.0]
+
+    def evaluate(reward):
+        params = homogeneous(setup.n, setup.budget, reward=reward,
+                             fork_rate=setup.beta, h=setup.h,
+                             edge_cost=setup.edge_cost,
+                             cloud_cost=setup.cloud_cost)
+        se = solve_stackelberg(params)
+        rep = welfare_report(se.miners)
+        return {
+            "P_e_star": se.prices.p_e,
+            "P_c_star": se.prices.p_c,
+            "social_welfare": rep.social_welfare,
+            "miner_surplus": rep.miner_surplus,
+            "sp_profit": rep.esp_profit + rep.csp_profit,
+            "dissipation": rep.dissipation,
+            "accounting_residual": rep.transfers_balance,
+        }
+
+    return sweep("EXT1 — welfare and rent dissipation at the SE vs reward",
+                 "R", rewards, evaluate,
+                 notes="Dissipation = resource cost / reward; the "
+                       "accounting residual checks SW == miners + SPs "
+                       "(Theorem 1 makes it 0).")
+
+
+def ext2_fictitious_play(setup: PaperSetup = DEFAULTS) -> ResultTable:
+    """EXT2: fictitious play vs best-response iteration on NEP_MINER."""
+    params = setup.connected()
+    prices = setup.prices()
+    eq = solve_connected_equilibrium(params, prices)
+    table = ResultTable(
+        title="EXT2 — fictitious play converges to the unique NE",
+        columns=["rounds", "E_fp", "E_br", "profile_gap", "ni_residual"],
+        notes="Belief-averaging fictitious play reaches the Theorem-2 "
+              "equilibrium; the Nikaido-Isoda residual certifies the "
+              "distance to equilibrium at each checkpoint.")
+    for rounds in (5, 20, 100, 400):
+        fp = fictitious_play(params, prices, rounds=rounds)
+        gap = max(float(np.max(np.abs(fp.e - eq.e))),
+                  float(np.max(np.abs(fp.c - eq.c))))
+        probe = type(eq)(e=fp.e, c=fp.c, params=params, prices=prices,
+                         report=eq.report)
+        table.add_row(rounds, float(np.sum(fp.e)), eq.total_edge, gap,
+                      nikaido_isoda_residual(probe))
+    return table
+
+
+def ext3_difficulty_retargeting(setup: PaperSetup = DEFAULTS,
+                                seed: int = 0) -> ResultTable:
+    """EXT3: retargeting absorbs equilibrium demand shifts.
+
+    The CSP halves then doubles its price; equilibrium total demand S*
+    moves accordingly, and the difficulty controller returns the mean
+    block interval to target within a few epochs.
+    """
+    params = setup.connected()
+    price_path = ([Prices(setup.p_e, setup.p_c)] * 6
+                  + [Prices(setup.p_e, setup.p_c / 2)] * 6
+                  + [Prices(setup.p_e, setup.p_c * 1.5)] * 6)
+    demand = [solve_connected_equilibrium(params, p).total
+              for p in price_path]
+    policy = RetargetPolicy(target_interval=600.0, epoch_blocks=64,
+                            max_ratio=4.0)
+    initial = Difficulty(unit_solve_time=600.0 * demand[0])
+    history = simulate_retargeting(demand, policy, initial, seed=seed)
+    table = ResultTable(
+        title="EXT3 — difficulty retargeting under equilibrium demand "
+              "shifts",
+        columns=["epoch", "total_units", "difficulty",
+                 "mean_interval_s", "target_s"],
+        notes="Price changes move S*; the controller moves difficulty, "
+              "keeping the interval near 600 s.")
+    for i, rec in enumerate(history):
+        table.add_row(i, rec.total_units, rec.difficulty,
+                      rec.mean_interval, 600.0)
+    return table
+
+
+def ext5_topology_calibration(block_sizes: Optional[Sequence[float]] = None,
+                              n_nodes: int = 30,
+                              setup: PaperSetup = DEFAULTS,
+                              seed: int = 0) -> ResultTable:
+    """EXT5: physical topology + block size → β → equilibrium shift.
+
+    Builds the Fig.-1 topology, computes propagation delays by gossip,
+    calibrates ``D_avg``/``β`` per block size, and re-solves the miner
+    equilibrium: bigger blocks make cloud mining riskier, pushing demand
+    toward the edge.
+    """
+    from ..network import GossipModel, calibrate_game_delays, \
+        edge_cloud_topology
+
+    if block_sizes is None:
+        block_sizes = [1e5, 1e6, 4e6, 1.6e7, 6.4e7]
+    graph = edge_cloud_topology(n_nodes, seed=seed)
+
+    def evaluate(block_size):
+        cal = calibrate_game_delays(graph, GossipModel(block_size=
+                                                       block_size))
+        params = homogeneous(setup.n, setup.budget, reward=setup.reward,
+                             fork_rate=cal.fork_rate, h=setup.h,
+                             edge_cost=setup.edge_cost,
+                             cloud_cost=setup.cloud_cost,
+                             d_avg=cal.d_avg)
+        eq = solve_connected_equilibrium(params, setup.prices())
+        return {
+            "cloud_prop_s": cal.cloud_delay,
+            "d_avg_s": cal.d_avg,
+            "beta": cal.fork_rate,
+            "E_total": eq.total_edge,
+            "C_total": eq.total_cloud,
+            "edge_share": eq.total_edge / eq.total,
+        }
+
+    return sweep("EXT5 — block size -> propagation -> fork rate -> "
+                 "equilibrium", "block_bytes", block_sizes, evaluate,
+                 notes="Physical calibration chain: bigger blocks "
+                       "propagate slower, raising beta; miners hedge by "
+                       "shifting demand to the edge.")
+
+
+def ext6_edge_competition(counts: Optional[Sequence[int]] = None,
+                          capacity_per_esp: float = 60.0,
+                          setup: PaperSetup = DEFAULTS) -> ResultTable:
+    """EXT6: what if several ESPs compete (the paper's single-ESP
+    assumption relaxed)?
+
+    Symmetric Bertrand–Edgeworth equilibria for m identical edge
+    providers: with few providers the scarce joint capacity keeps the
+    edge price at the market-clearing level; adding providers grows
+    capacity, pushes the price toward cost, and transfers the edge
+    premium from provider profits to miner surplus.
+    """
+    from ..core.multi_edge import (EdgeSupplier, MultiEdgeMarket,
+                                   best_response_price, clear_market,
+                                   symmetric_equilibrium)
+
+    if counts is None:
+        counts = [1, 2, 3, 4, 6, 8]
+    market = MultiEdgeMarket(n=setup.n, reward=setup.reward,
+                             beta=setup.beta, h=1.0, p_c=setup.p_c)
+
+    def solve(m, capacity):
+        if m == 1:
+            suppliers = [EdgeSupplier(price=2.0, capacity=capacity,
+                                      unit_cost=setup.edge_cost)]
+            price = best_response_price(market, suppliers, 0)
+            suppliers = [EdgeSupplier(price=price, capacity=capacity,
+                                      unit_cost=setup.edge_cost)]
+            clearing = clear_market(market, suppliers)
+            return price, float(clearing.profits[0]), \
+                float(clearing.sales[0]), True
+        eq = symmetric_equilibrium(market, m, capacity, setup.edge_cost)
+        return eq.price, eq.per_supplier_profit, \
+            eq.per_supplier_sales, eq.verified
+
+    ample_capacity = 2.0 * market.demand(
+        max(setup.edge_cost, 0.5 * setup.p_c))
+
+    def evaluate(m):
+        price_s, profit_s, sales_s, ok_s = solve(m, capacity_per_esp)
+        price_a, profit_a, _, ok_a = solve(m, ample_capacity)
+        return {
+            "scarce_price": price_s,
+            "scarce_industry_profit": profit_s * m,
+            "scarce_total_units": sales_s * m,
+            "ample_price": price_a,
+            "ample_industry_profit": profit_a * m,
+            "verified": ok_s and ok_a,
+        }
+
+    return sweep("EXT6 — edge competition: m identical ESPs "
+                 f"(scarce capacity {capacity_per_esp}/ESP vs ample)",
+                 "m", list(counts), evaluate,
+                 notes="Scarce capacity: entry expands supply along the "
+                       "demand curve — price falls, per-ESP profit falls, "
+                       "miners buy more. Ample capacity: any m >= 2 "
+                       "collapses to Bertrand (price = cost, zero "
+                       "industry profit); the monopoly alone keeps the "
+                       "cloud-exclusion price.")
+
+
+def ext7_optimal_block_size(block_sizes: Optional[Sequence[float]] = None,
+                            subsidy: float = 50.0,
+                            tx_rate: float = 2.0,
+                            n_nodes: int = 30,
+                            seed: int = 0) -> ResultTable:
+    """EXT7: the revenue-optimal block size.
+
+    Bigger blocks pack more fees but propagate slower, raising the fork
+    rate that the whole game prices. Expected revenue per (cloud-mined)
+    block is
+
+        (subsidy + fees(L)) · (1 - β(L)),
+
+    with ``fees(L)`` from the mempool simulation and ``β(L)`` from the
+    gossip-calibrated topology. Fees saturate once the block limit
+    exceeds transaction demand while β keeps rising, so an interior
+    optimum emerges.
+    """
+    from ..blockchain.transactions import TxArrivalProcess, \
+        simulate_fee_revenue
+    from ..network import GossipModel, calibrate_game_delays, \
+        edge_cloud_topology
+
+    if block_sizes is None:
+        block_sizes = [1e5, 3e5, 6e5, 1e6, 2e6, 4e6, 8e6, 1.6e7, 3.2e7]
+    graph = edge_cloud_topology(n_nodes, seed=seed)
+
+    def evaluate(block_size):
+        cal = calibrate_game_delays(graph,
+                                    GossipModel(block_size=block_size))
+        process = TxArrivalProcess(rate=tx_rate, mean_size=500.0,
+                                   median_fee_rate=2e-5, seed=seed)
+        fees = simulate_fee_revenue(process, block_interval=600.0,
+                                    blocks=40,
+                                    max_block_bytes=block_size)
+        expected = (subsidy + fees.mean_fees) * (1.0 - cal.fork_rate)
+        return {
+            "mean_fees": fees.mean_fees,
+            "beta": cal.fork_rate,
+            "expected_revenue": expected,
+            "mempool_backlog": fees.backlog,
+        }
+
+    table = sweep("EXT7 — revenue-optimal block size "
+                  f"(subsidy {subsidy}, {tx_rate} tx/s)", "block_bytes",
+                  list(block_sizes), evaluate,
+                  notes="Fees saturate once the limit exceeds tx demand "
+                        "(~0.6 MB/block here) while the fork rate keeps "
+                        "rising: expected revenue peaks at an interior "
+                        "block size.")
+    return table
+
+
+def ext8_risk_aversion(risk_levels: Optional[Sequence[float]] = None,
+                       setup: PaperSetup = None) -> ResultTable:
+    """EXT8: risk aversion and mining pools.
+
+    The paper's risk-neutral miners price only the expected reward; under
+    CARA the Bernoulli mining lottery is discounted, demand shrinks, and
+    for strong enough aversion full participation becomes unsustainable
+    (miners exit). Reward-sharing pools cut the variance and restore both
+    demand and participation — an equilibrium rationale for mining pools
+    inside the paper's own offloading market.
+    """
+    from ..core.risk import RiskAverseGame, solve_risk_averse_equilibrium
+
+    if setup is None:
+        setup = PaperSetup(reward=1000.0)
+    if risk_levels is None:
+        risk_levels = [0.0, 0.001, 0.002, 0.005, 0.01]
+    prices = setup.prices()
+
+    def evaluate(a):
+        solo = solve_risk_averse_equilibrium(
+            RiskAverseGame(n=setup.n, reward=setup.reward,
+                           fork_rate=setup.beta, h=setup.h,
+                           budget=setup.budget, risk_aversion=a,
+                           pool_size=1), prices)
+        # pool_size=2 keeps the pooled win probability m*W below 1 at
+        # the symmetric point (m=n would clip it to 1 and kink the
+        # objective — total variance elimination, degenerate incentives).
+        pooled = solve_risk_averse_equilibrium(
+            RiskAverseGame(n=setup.n, reward=setup.reward,
+                           fork_rate=setup.beta, h=setup.h,
+                           budget=setup.budget, risk_aversion=a,
+                           pool_size=2), prices)
+        return {
+            "solo_active": solo.n_active,
+            "solo_demand": solo.n_active * (solo.e + solo.c),
+            "solo_utility": solo.utility,
+            "pool_active": pooled.n_active,
+            "pool_demand": pooled.n_active * (pooled.e + pooled.c),
+        }
+
+    return sweep("EXT8 — risk aversion, participation, and mining pools",
+                 "risk_a", list(risk_levels), evaluate,
+                 notes="CARA coefficient a: demand and participation "
+                       "shrink with a for solo miners; a 2-miner "
+                       "reward-sharing pool halves the payout variance "
+                       "and restores both.")
+
+
+def ext9_private_budgets(setup: PaperSetup = None) -> ResultTable:
+    """EXT9: the value of budget information.
+
+    Budgets as private types (Section VII-3's incomplete-information
+    motivation, solved exactly): the symmetric Bayesian Nash equilibrium
+    hedges against the opponent-type distribution, while the
+    full-information benchmark re-solves the heterogeneous NE at every
+    realized type profile (enumerated with its multinomial weight). The
+    gap in expected utility per type is the value of information.
+    """
+    import itertools
+    import math
+
+    from ..core import GameParameters, solve_connected_equilibrium
+    from ..core.bayesian import (BayesianMinerGame, BudgetType,
+                                 solve_bayesian_equilibrium)
+
+    if setup is None:
+        setup = PaperSetup(reward=1000.0)
+    prices = setup.prices()
+    types = [BudgetType(50.0, 0.4), BudgetType(150.0, 0.4),
+             BudgetType(400.0, 0.2)]
+    game = BayesianMinerGame(setup.n, types, reward=setup.reward,
+                             fork_rate=setup.beta, h=setup.h)
+    bne = solve_bayesian_equilibrium(game, prices)
+
+    # Full-information benchmark, conditioned correctly: a type-k miner
+    # faces n-1 opponents drawn multinomially; for every opponent
+    # count-vector, solve the heterogeneous full-information NE and
+    # average the miner's outcome with the multinomial weight (the exact
+    # counterpart of the BNE's own expectation).
+    k = len(types)
+    probs = np.array([t.probability for t in types])
+    m = setup.n - 1
+
+    def opponent_profiles():
+        for counts in itertools.product(range(m + 1), repeat=k):
+            if sum(counts) != m:
+                continue
+            coef = math.factorial(m)
+            weight = 1.0
+            for c, q in zip(counts, probs):
+                coef //= math.factorial(c)
+                weight *= q ** c
+            yield counts, coef * weight
+
+    table = ResultTable(
+        title="EXT9 — private budgets: Bayesian NE vs full information",
+        columns=["budget", "bne_e", "fullinfo_e", "bne_utility",
+                 "fullinfo_utility", "value_of_information"],
+        notes="Full information lets miners condition on realized "
+              "opponents; the per-type utility gap is the value of "
+              "knowing the rivals' budgets.")
+    for idx, t in enumerate(types):
+        fi_e = 0.0
+        fi_u = 0.0
+        for counts, weight in opponent_profiles():
+            budgets = [t.budget]
+            for j, c in enumerate(counts):
+                budgets += [types[j].budget] * c
+            params = GameParameters(reward=setup.reward,
+                                    fork_rate=setup.beta,
+                                    budgets=budgets, h=setup.h)
+            eq = solve_connected_equilibrium(params, prices)
+            fi_e += weight * float(eq.e[0])
+            fi_u += weight * float(eq.utilities[0])
+        e_b, _ = bne.request(idx)
+        table.add_row(t.budget, e_b, fi_e, float(bne.utilities[idx]),
+                      fi_u, fi_u - float(bne.utilities[idx]))
+    return table
+
+
+def ext4_elasticities(setup: PaperSetup = DEFAULTS) -> ResultTable:
+    """EXT4: equilibrium elasticities, connected and standalone."""
+    conn = equilibrium_elasticities(setup.connected(), setup.prices())
+    sa = equilibrium_elasticities(
+        setup.standalone(budget=10 * setup.budget), setup.prices())
+    table = ResultTable(
+        title="EXT4 — equilibrium elasticities by mode",
+        columns=["mode", "parameter", "eps_E", "eps_C", "eps_S"],
+        notes=conn.notes)
+    for row in conn.rows:
+        table.add_row("connected", *row)
+    for row in sa.rows:
+        table.add_row("standalone", *row)
+    return table

@@ -1,0 +1,88 @@
+"""Markdown report generation: every experiment in one document.
+
+``repro-mining report --output report.md`` (or :func:`build_report`)
+runs a set of experiments and renders them into a single markdown file:
+a table of contents, each result table as a markdown table, numeric
+columns summarized with sparklines, and the experiment notes as captions.
+The output is self-contained documentation of a run — the generated
+counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Optional, Union
+
+from ..exceptions import ConfigurationError
+from .series import ResultTable, sparkline
+
+__all__ = ["render_markdown", "build_report"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    magnitude = abs(value)
+    if value != 0 and (magnitude >= 1e5 or magnitude < 1e-3):
+        return f"{value:.3e}"
+    return f"{value:.4f}"
+
+
+def render_markdown(table: ResultTable, heading_level: int = 2) -> str:
+    """Render one :class:`ResultTable` as a markdown section."""
+    lines = [f"{'#' * heading_level} {table.title}", ""]
+    header = "| " + " | ".join(str(c) for c in table.columns) + " |"
+    divider = "|" + "|".join("---" for _ in table.columns) + "|"
+    lines += [header, divider]
+    for row in table.rows:
+        lines.append("| " + " | ".join(_format_cell(v) for v in row)
+                     + " |")
+    # Sparkline summary of the numeric columns (skip the knob column).
+    sparks = []
+    for name in table.columns[1:]:
+        values = table.column(name)
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in values) and len(values) > 1:
+            sparks.append(f"`{name}` {sparkline(values)}")
+    if sparks:
+        lines += ["", "trends: " + " · ".join(sparks)]
+    if table.notes:
+        lines += ["", f"> {table.notes}"]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def build_report(experiments: Dict[str, Callable[[], ResultTable]],
+                 path: Optional[Union[str, Path]] = None,
+                 title: str = "repro-mining report",
+                 ids: Optional[Iterable[str]] = None) -> str:
+    """Run experiments and assemble the markdown report.
+
+    Args:
+        experiments: Mapping of experiment id to runner (usually
+            :data:`repro.cli.EXPERIMENTS`).
+        path: Optional output file; the document is returned either way.
+        title: Top-level heading.
+        ids: Subset of experiment ids to include (default: all, sorted).
+
+    Returns:
+        The markdown document.
+    """
+    selected = sorted(experiments) if ids is None else list(ids)
+    unknown = [i for i in selected if i not in experiments]
+    if unknown:
+        raise ConfigurationError(f"unknown experiment ids: {unknown}")
+    sections = [f"# {title}", ""]
+    sections.append("Contents: " + " · ".join(
+        f"[{i}](#{i})" for i in selected))
+    sections.append("")
+    for exp_id in selected:
+        table = experiments[exp_id]()
+        sections.append(f'<a id="{exp_id}"></a>')
+        sections.append(render_markdown(table))
+    document = "\n".join(sections)
+    if path is not None:
+        Path(path).write_text(document)
+    return document

@@ -1,0 +1,123 @@
+"""Serialization and comparison of experiment results.
+
+ResultTables round-trip through JSON (full fidelity: title, columns,
+rows, notes) and export to CSV, so experiment outputs can be archived and
+regression-compared across runs — the library-hygiene counterpart of
+EXPERIMENTS.md's paper-vs-measured log.
+
+* :func:`to_json` / :func:`from_json` — lossless round-trip;
+* :func:`to_csv` — spreadsheet-friendly export;
+* :func:`save` / :func:`load` — file-level helpers (format by suffix);
+* :func:`compare` — cell-wise diff of two tables with a relative
+  tolerance, returning the mismatches (empty = regression passed).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from .series import ResultTable
+
+__all__ = ["to_json", "from_json", "to_csv", "save", "load", "compare"]
+
+_SCHEMA_VERSION = 1
+
+
+def to_json(table: ResultTable, indent: int = 2) -> str:
+    """Serialize a table to a JSON document."""
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+        "notes": table.notes,
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def from_json(document: str) -> ResultTable:
+    """Reconstruct a table from :func:`to_json` output."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as ex:
+        raise ConfigurationError(f"invalid result JSON: {ex}") from ex
+    for key in ("title", "columns", "rows"):
+        if key not in payload:
+            raise ConfigurationError(f"result JSON missing {key!r}")
+    table = ResultTable(title=payload["title"],
+                        columns=list(payload["columns"]),
+                        notes=payload.get("notes", ""))
+    for row in payload["rows"]:
+        table.add_row(*row)
+    return table
+
+
+def to_csv(table: ResultTable) -> str:
+    """Export the rows as CSV (title/notes go into comment lines)."""
+    buffer = io.StringIO()
+    buffer.write(f"# {table.title}\n")
+    if table.notes:
+        buffer.write(f"# note: {table.notes}\n")
+    writer = csv.writer(buffer)
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def save(table: ResultTable, path: Union[str, Path]) -> Path:
+    """Write a table to disk; format chosen by suffix (.json / .csv)."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(to_json(table))
+    elif path.suffix == ".csv":
+        path.write_text(to_csv(table))
+    else:
+        raise ConfigurationError(
+            f"unsupported result format {path.suffix!r}; use .json or "
+            ".csv")
+    return path
+
+
+def load(path: Union[str, Path]) -> ResultTable:
+    """Load a table saved by :func:`save` (JSON only — CSV drops types)."""
+    path = Path(path)
+    if path.suffix != ".json":
+        raise ConfigurationError("only .json results can be loaded back")
+    return from_json(path.read_text())
+
+
+def compare(actual: ResultTable, expected: ResultTable,
+            rel_tol: float = 1e-6) -> List[Tuple[int, int, object, object]]:
+    """Cell-wise diff of two tables.
+
+    Returns a list of ``(row, col, actual_value, expected_value)``
+    mismatches; numeric cells compare with relative tolerance
+    ``rel_tol``, everything else exactly. Structural differences (shape,
+    columns) raise.
+    """
+    if actual.columns != expected.columns:
+        raise ConfigurationError(
+            f"column mismatch: {actual.columns} vs {expected.columns}")
+    if len(actual.rows) != len(expected.rows):
+        raise ConfigurationError(
+            f"row-count mismatch: {len(actual.rows)} vs "
+            f"{len(expected.rows)}")
+    mismatches = []
+    for i, (row_a, row_e) in enumerate(zip(actual.rows, expected.rows)):
+        for j, (a, e) in enumerate(zip(row_a, row_e)):
+            if isinstance(a, bool) or isinstance(e, bool) or \
+                    not isinstance(a, (int, float)) or \
+                    not isinstance(e, (int, float)):
+                if a != e:
+                    mismatches.append((i, j, a, e))
+                continue
+            scale = max(abs(a), abs(e), 1e-300)
+            if abs(a - e) > rel_tol * scale and abs(a - e) > 1e-12:
+                mismatches.append((i, j, a, e))
+    return mismatches

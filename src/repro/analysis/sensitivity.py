@@ -1,0 +1,99 @@
+"""Sensitivity analysis: elasticities of the miner equilibrium.
+
+Quantifies how the follower-stage equilibrium aggregates respond to the
+model's primitives — the local, differential version of the paper's
+parameter sweeps. The elasticity of output ``y`` with respect to
+parameter ``θ`` is estimated by central differences:
+
+    ε = (θ / y) · dy/dθ ≈ (θ / y) · (y(θ(1+δ)) - y(θ(1-δ))) / (2δθ)
+
+Closed forms make several of these exact in the homogeneous interior
+regime (e.g. ``∂E/∂P_c · P_c/E``), which the tests use as ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core import (EdgeMode, GameParameters, Prices,
+                    solve_connected_equilibrium,
+                    solve_standalone_equilibrium)
+from ..exceptions import ConfigurationError
+from .series import ResultTable
+
+__all__ = ["equilibrium_elasticities", "elasticity"]
+
+
+def _solve(params: GameParameters, prices: Prices):
+    if params.mode is EdgeMode.STANDALONE:
+        return solve_standalone_equilibrium(params, prices)
+    return solve_connected_equilibrium(params, prices)
+
+
+def elasticity(evaluate: Callable[[float], float], theta: float,
+               rel_step: float = 1e-4) -> float:
+    """Central-difference elasticity of ``evaluate`` at ``theta``.
+
+    Args:
+        evaluate: Maps a parameter value to the scalar output.
+        theta: Base parameter value (must be nonzero).
+        rel_step: Relative perturbation ``δ``.
+    """
+    if theta == 0:
+        raise ConfigurationError("elasticity needs a nonzero base value")
+    hi = evaluate(theta * (1.0 + rel_step))
+    lo = evaluate(theta * (1.0 - rel_step))
+    base = evaluate(theta)
+    if base == 0:
+        raise ConfigurationError("output is zero at the base point")
+    derivative = (hi - lo) / (2.0 * rel_step * theta)
+    return float(theta / base * derivative)
+
+
+def equilibrium_elasticities(params: GameParameters, prices: Prices,
+                             rel_step: float = 1e-4) -> ResultTable:
+    """Elasticities of ``E*``, ``C*`` and ``S*`` w.r.t. every primitive.
+
+    Returns a table with one row per parameter (``P_e``, ``P_c``, ``R``,
+    ``beta``, ``h`` — the latter only in connected mode; ``E_max`` only
+    in standalone mode when the capacity binds).
+    """
+
+    def aggregates(p: GameParameters, pr: Prices):
+        eq = _solve(p, pr)
+        return eq.total_edge, eq.total_cloud, eq.total
+
+    table = ResultTable(
+        title="Equilibrium elasticities (dlog output / dlog parameter)",
+        columns=["parameter", "eps_E", "eps_C", "eps_S"],
+        notes="Central differences on the equilibrium aggregates; e.g. "
+              "eps_E w.r.t. P_c is the cross-price elasticity of edge "
+              "demand.")
+
+    def add(name: str, base: float, solve_at: Callable[[float], tuple]):
+        eps = []
+        for idx in range(3):
+            eps.append(elasticity(lambda t, i=idx: solve_at(t)[i], base,
+                                  rel_step=rel_step))
+        table.add_row(name, *eps)
+
+    add("P_e", prices.p_e,
+        lambda t: aggregates(params, Prices(t, prices.p_c)))
+    add("P_c", prices.p_c,
+        lambda t: aggregates(params, Prices(prices.p_e, t)))
+    add("R", params.reward,
+        lambda t: aggregates(replace(params, reward=t), prices))
+    add("beta", params.fork_rate,
+        lambda t: aggregates(replace(params, fork_rate=t), prices))
+    if params.mode is EdgeMode.CONNECTED and params.h < 1.0:
+        add("h", params.h,
+            lambda t: aggregates(replace(params, h=min(t, 1.0)), prices))
+    if params.mode is EdgeMode.STANDALONE:
+        eq = _solve(params, prices)
+        if eq.nu > 0:
+            add("E_max", float(params.e_max),
+                lambda t: aggregates(replace(params, e_max=t), prices))
+    return table

@@ -1,0 +1,123 @@
+"""Result containers for experiments: tables and series with ASCII output.
+
+The paper's figures are line plots; without a plotting dependency we
+regenerate each as a :class:`ResultTable` whose rows are the plotted
+points. Benchmarks print these tables, and EXPERIMENTS.md records the
+shape checks they support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+__all__ = ["ResultTable", "render", "sparkline"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table of experiment results.
+
+    Attributes:
+        title: Table/figure identifier, e.g. ``"Fig. 4 — ..."``.
+        columns: Column headers.
+        rows: Data rows (aligned with ``columns``).
+        notes: Free-form caveats/interpretation appended when rendering.
+    """
+
+    title: str
+    columns: List[str]
+    rows: List[Sequence[Number]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Number) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> List[Number]:
+        """Extract one column by header name."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}; have "
+                           f"{self.columns}") from None
+        return [row[idx] for row in self.rows]
+
+    def __str__(self) -> str:
+        return render(self)
+
+    def assert_monotone(self, name: str, increasing: bool = True,
+                        strict: bool = False, tol: float = 1e-9) -> bool:
+        """Whether a column is monotone — the primary "shape" check."""
+        vals = self.column(name)
+        pairs = zip(vals, vals[1:])
+        if increasing:
+            return all((b - a) > tol if strict else (b - a) >= -tol
+                       for a, b in pairs)
+        return all((a - b) > tol if strict else (a - b) >= -tol
+                   for a, b in pairs)
+
+
+def _format(value) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.4e}"
+    return f"{value:.4f}"
+
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[Number]) -> str:
+    """Render a numeric series as a unicode sparkline.
+
+    Useful for eyeballing a swept column in terminal output::
+
+        >>> sparkline([1, 2, 4, 8, 4, 2, 1])
+        '▁▂▄█▄▂▁'
+
+    Constant series render as a flat mid-level line; non-numeric values
+    are rejected.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_BLOCKS[3] * len(vals)
+    span = hi - lo
+    chars = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1) + 0.5)
+        chars.append(_SPARK_BLOCKS[idx])
+    return "".join(chars)
+
+
+def render(table: ResultTable) -> str:
+    """Render a :class:`ResultTable` as aligned ASCII."""
+    cells = [[str(c) for c in table.columns]]
+    for row in table.rows:
+        cells.append([_format(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(table.columns))]
+    lines = [table.title, "-" * len(table.title)]
+    header, *body = cells
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    if table.notes:
+        lines.append("")
+        lines.append(f"note: {table.notes}")
+    return "\n".join(lines)

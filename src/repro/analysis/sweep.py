@@ -1,0 +1,49 @@
+"""Parameter-sweep harness.
+
+Small, explicit helper for the one-dimensional sweeps the paper's
+evaluation is built from: vary one knob, re-solve the game, collect named
+metrics into a :class:`~repro.analysis.series.ResultTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Union
+
+from .series import ResultTable
+
+Number = Union[int, float]
+
+__all__ = ["sweep"]
+
+
+def sweep(title: str, knob_name: str, values: Iterable[Number],
+          evaluate: Callable[[Number], Dict[str, Number]],
+          notes: str = "") -> ResultTable:
+    """Run ``evaluate`` at each knob value and tabulate the metrics.
+
+    Args:
+        title: Table title.
+        knob_name: Header of the swept-parameter column.
+        values: Knob values, in order.
+        evaluate: Maps a knob value to a ``{metric: value}`` dict; every
+            call must return the same keys (checked).
+        notes: Optional caveats for the rendered table.
+
+    Returns:
+        A :class:`ResultTable` with one row per knob value.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("sweep needs at least one knob value")
+    first = evaluate(values[0])
+    columns = [knob_name] + list(first.keys())
+    table = ResultTable(title=title, columns=columns, notes=notes)
+    table.add_row(values[0], *first.values())
+    for v in values[1:]:
+        metrics = evaluate(v)
+        if list(metrics.keys()) != columns[1:]:
+            raise ValueError(
+                f"evaluate returned inconsistent metrics at {knob_name}={v}: "
+                f"{list(metrics.keys())} vs {columns[1:]}")
+        table.add_row(v, *metrics.values())
+    return table

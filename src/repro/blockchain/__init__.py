@@ -1,0 +1,44 @@
+"""PoW blockchain substrate: blocks, chains, simulated proof-of-work,
+propagation delays, fork-rate model, and the mining simulators that
+mechanistically validate the paper's winning-probability expressions."""
+
+from .block import GENESIS_PARENT, Block, BlockHeader
+from .chain import Blockchain, ChainStats, UnknownParentError
+from .difficulty import (DifficultyAdjuster, EpochRecord, RetargetPolicy,
+                         simulate_retargeting)
+from .forks import BITCOIN_COLLISION_RATE, ForkModel
+from .node import MinerNode
+from .pow import Difficulty, PowOracle
+from .propagation import PropagationModel
+from .simulator import (EventDrivenResult, EventDrivenSimulator,
+                        RoundSimulator, RoundTally)
+from .transactions import (FeeSimulationResult, Mempool, Transaction,
+                           TxArrivalProcess, simulate_fee_revenue)
+
+__all__ = [
+    "GENESIS_PARENT",
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "ChainStats",
+    "UnknownParentError",
+    "DifficultyAdjuster",
+    "EpochRecord",
+    "RetargetPolicy",
+    "simulate_retargeting",
+    "BITCOIN_COLLISION_RATE",
+    "ForkModel",
+    "MinerNode",
+    "Difficulty",
+    "PowOracle",
+    "PropagationModel",
+    "EventDrivenResult",
+    "EventDrivenSimulator",
+    "RoundSimulator",
+    "RoundTally",
+    "FeeSimulationResult",
+    "Mempool",
+    "Transaction",
+    "TxArrivalProcess",
+    "simulate_fee_revenue",
+]

@@ -1,0 +1,116 @@
+"""Block and header primitives for the PoW mining simulator.
+
+The simulator is used to *mechanistically validate* the paper's winning
+probability model (Section III): blocks are mined by abstract computing
+units, propagate with delays, and conflict during propagation windows.
+Hashes are real (SHA-256) so chain-integrity invariants can be tested, but
+the PoW difficulty check is simulated via solve-time sampling — actually
+grinding hashes would add nothing to the model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["BlockHeader", "Block", "GENESIS_PARENT"]
+
+#: Parent hash of the genesis block.
+GENESIS_PARENT = "0" * 64
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Immutable block header.
+
+    Attributes:
+        parent_hash: Hex digest of the parent block's header.
+        height: Chain height (genesis is 0).
+        miner_id: Index of the miner that produced the block (-1 = genesis).
+        venue: ``"edge"`` or ``"cloud"`` — where the PoW was solved; decides
+            the propagation delay (edge: 0, cloud: ``D_avg``).
+        found_at: Simulation time at which the PoW solution was found.
+        nonce: Simulated PoW nonce (bookkeeping only).
+    """
+
+    parent_hash: str
+    height: int
+    miner_id: int
+    venue: str
+    found_at: float
+    nonce: int = 0
+
+    def __post_init__(self) -> None:
+        if self.venue not in ("edge", "cloud", "genesis"):
+            raise ValueError(f"unknown venue {self.venue!r}")
+        if self.height < 0:
+            raise ValueError("height must be non-negative")
+
+    def digest(self) -> str:
+        """Deterministic SHA-256 digest of the header contents."""
+        payload = json.dumps({
+            "parent": self.parent_hash,
+            "height": self.height,
+            "miner": self.miner_id,
+            "venue": self.venue,
+            "found_at": round(self.found_at, 9),
+            "nonce": self.nonce,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Block:
+    """A mined block: header plus its cached digest.
+
+    Attributes:
+        header: The block header.
+        hash: Cached header digest (computed at construction).
+    """
+
+    header: BlockHeader
+    hash: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.hash:
+            object.__setattr__(self, "hash", self.header.digest())
+
+    @classmethod
+    def genesis(cls) -> "Block":
+        """The canonical genesis block."""
+        header = BlockHeader(parent_hash=GENESIS_PARENT, height=0,
+                             miner_id=-1, venue="genesis", found_at=0.0)
+        return cls(header=header)
+
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    @property
+    def miner_id(self) -> int:
+        return self.header.miner_id
+
+    @property
+    def venue(self) -> str:
+        return self.header.venue
+
+    def child(self, miner_id: int, venue: str, found_at: float,
+              nonce: int = 0) -> "Block":
+        """Construct a valid child of this block."""
+        if found_at < self.header.found_at:
+            raise ValueError(
+                f"child found_at {found_at} precedes parent "
+                f"{self.header.found_at}")
+        header = BlockHeader(parent_hash=self.hash,
+                             height=self.header.height + 1,
+                             miner_id=miner_id, venue=venue,
+                             found_at=found_at, nonce=nonce)
+        return Block(header=header)
+
+    def verify_link(self, parent: "Block") -> bool:
+        """Whether this block correctly extends ``parent``."""
+        return (self.header.parent_hash == parent.hash
+                and self.header.height == parent.header.height + 1
+                and self.hash == self.header.digest())

@@ -1,0 +1,188 @@
+"""Block-tree / longest-chain ledger with fork tracking.
+
+Tracks the full tree of mined blocks, resolves the canonical chain by the
+longest-chain rule (first-received tie-break, as in Bitcoin), and records
+orphaned blocks — the quantity the fork-rate model ``β`` predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..exceptions import ReproError
+from .block import Block
+
+__all__ = ["Blockchain", "ChainStats", "UnknownParentError"]
+
+
+class UnknownParentError(ReproError, KeyError):
+    """A block referenced a parent that is not in the tree."""
+
+
+@dataclass
+class ChainStats:
+    """Aggregate statistics of a block tree.
+
+    Attributes:
+        total_blocks: All non-genesis blocks ever added.
+        canonical_length: Height of the canonical tip.
+        orphans: Blocks not on the canonical chain.
+        fork_events: Heights at which more than one block exists.
+    """
+
+    total_blocks: int
+    canonical_length: int
+    orphans: int
+    fork_events: int
+
+    @property
+    def orphan_rate(self) -> float:
+        """Fraction of mined blocks that ended up orphaned — the empirical
+        counterpart of the model fork rate ``β``."""
+        if self.total_blocks == 0:
+            return 0.0
+        return self.orphans / self.total_blocks
+
+
+class Blockchain:
+    """A block tree with longest-chain canonicalization.
+
+    Blocks are appended with :meth:`add`; the canonical tip is the highest
+    block, ties broken by arrival order (first seen wins), matching the
+    behaviour that makes propagation delay costly: a later-arriving block
+    of equal height is orphaned.
+    """
+
+    def __init__(self):
+        genesis = Block.genesis()
+        self._genesis_hash = genesis.hash
+        self._blocks: Dict[str, Block] = {genesis.hash: genesis}
+        self._arrival: Dict[str, int] = {genesis.hash: 0}
+        self._children: Dict[str, List[str]] = {genesis.hash: []}
+        self._counter = 0
+        self._tip = genesis
+
+    @property
+    def genesis(self) -> Block:
+        return self._blocks[self._genesis_hash]
+
+    @property
+    def tip(self) -> Block:
+        """Canonical chain tip."""
+        return self._tip
+
+    @property
+    def height(self) -> int:
+        return self._tip.height
+
+    def __contains__(self, block_hash: str) -> bool:
+        return block_hash in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def get(self, block_hash: str) -> Block:
+        try:
+            return self._blocks[block_hash]
+        except KeyError:
+            raise UnknownParentError(block_hash) from None
+
+    def add(self, block: Block) -> bool:
+        """Insert a block; returns True if it became the canonical tip.
+
+        Raises:
+            UnknownParentError: If the parent is not in the tree.
+            ValueError: If the block does not verify against its parent.
+        """
+        if block.hash in self._blocks:
+            return False
+        parent = self.get(block.header.parent_hash)
+        if not block.verify_link(parent):
+            raise ValueError(
+                f"block {block.hash[:12]} does not extend its parent")
+        self._counter += 1
+        self._blocks[block.hash] = block
+        self._arrival[block.hash] = self._counter
+        self._children.setdefault(block.hash, [])
+        self._children[parent.hash].append(block.hash)
+        if block.height > self._tip.height:
+            self._tip = block
+            return True
+        return False
+
+    def canonical_chain(self) -> List[Block]:
+        """Canonical chain from genesis to the tip (inclusive)."""
+        chain: List[Block] = []
+        cursor: Optional[Block] = self._tip
+        while cursor is not None:
+            chain.append(cursor)
+            parent_hash = cursor.header.parent_hash
+            cursor = self._blocks.get(parent_hash)
+        chain.reverse()
+        return chain
+
+    def is_canonical(self, block_hash: str) -> bool:
+        """Whether the given block lies on the canonical chain."""
+        canonical = {b.hash for b in self.canonical_chain()}
+        return block_hash in canonical
+
+    def winners(self) -> List[int]:
+        """Miner ids of canonical (reward-winning) non-genesis blocks."""
+        return [b.miner_id for b in self.canonical_chain()
+                if b.miner_id >= 0]
+
+    def stats(self) -> ChainStats:
+        """Aggregate fork/orphan statistics."""
+        canonical = {b.hash for b in self.canonical_chain()}
+        total = len(self._blocks) - 1  # exclude genesis
+        orphans = sum(1 for h, b in self._blocks.items()
+                      if b.miner_id >= 0 and h not in canonical)
+        heights: Dict[int, int] = {}
+        for b in self._blocks.values():
+            if b.miner_id >= 0:
+                heights[b.height] = heights.get(b.height, 0) + 1
+        fork_events = sum(1 for count in heights.values() if count > 1)
+        return ChainStats(total_blocks=total,
+                          canonical_length=self._tip.height,
+                          orphans=orphans, fork_events=fork_events)
+
+    def validate(self) -> bool:
+        """Full structural validation of every stored block."""
+        for block in self._blocks.values():
+            if block.miner_id < 0:
+                continue
+            parent = self._blocks.get(block.header.parent_hash)
+            if parent is None or not block.verify_link(parent):
+                return False
+        return True
+
+    def common_ancestor(self, hash_a: str, hash_b: str) -> Block:
+        """Lowest common ancestor of two blocks in the tree.
+
+        The genesis block is an ancestor of everything, so an LCA always
+        exists for blocks that are in the tree.
+        """
+        ancestors = set()
+        cursor: Optional[Block] = self.get(hash_a)
+        while cursor is not None:
+            ancestors.add(cursor.hash)
+            cursor = self._blocks.get(cursor.header.parent_hash)
+        cursor = self.get(hash_b)
+        while cursor is not None:
+            if cursor.hash in ancestors:
+                return cursor
+            cursor = self._blocks.get(cursor.header.parent_hash)
+        raise UnknownParentError(
+            "blocks share no ancestor; the tree is corrupt")
+
+    def reorg_depth(self, old_tip_hash: str) -> int:
+        """Blocks abandoned when the canonical tip moved from
+        ``old_tip_hash`` to the current tip (0 if it is an ancestor).
+
+        The standard safety metric: how many confirmations a fork
+        invalidated.
+        """
+        old_tip = self.get(old_tip_hash)
+        ancestor = self.common_ancestor(old_tip.hash, self._tip.hash)
+        return old_tip.height - ancestor.height

@@ -1,0 +1,57 @@
+"""Miner nodes: identity, purchased computing power, and reward ledger."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["MinerNode"]
+
+
+@dataclass
+class MinerNode:
+    """One mobile miner participating in the simulated network.
+
+    Attributes:
+        miner_id: Stable index of the miner.
+        edge_units: Computing units purchased from the ESP (``e_i``).
+        cloud_units: Computing units purchased from the CSP (``c_i``).
+        blocks_won: Count of canonical blocks credited to this miner.
+        blocks_orphaned: Count of this miner's blocks that were orphaned.
+        reward_earned: Total mining reward collected.
+    """
+
+    miner_id: int
+    edge_units: float
+    cloud_units: float
+    blocks_won: int = 0
+    blocks_orphaned: int = 0
+    reward_earned: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.miner_id < 0:
+            raise ConfigurationError("miner_id must be non-negative")
+        if self.edge_units < 0 or self.cloud_units < 0:
+            raise ConfigurationError("computing units must be non-negative")
+
+    @property
+    def total_units(self) -> float:
+        """``e_i + c_i``."""
+        return self.edge_units + self.cloud_units
+
+    def credit(self, reward: float) -> None:
+        """Record a canonical block win."""
+        self.blocks_won += 1
+        self.reward_earned += reward
+
+    def orphan(self) -> None:
+        """Record an orphaned block."""
+        self.blocks_orphaned += 1
+
+    def empirical_win_rate(self) -> float:
+        """Observed share of rounds won (wins / attempts recorded)."""
+        attempts = self.blocks_won + self.blocks_orphaned
+        if attempts == 0:
+            return 0.0
+        return self.blocks_won / attempts

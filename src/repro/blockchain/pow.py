@@ -1,0 +1,100 @@
+"""Simulated proof-of-work: exponential solve times per computing unit.
+
+PoW solving is a memoryless search, so the time for a pool of ``u``
+computing units to find a solution is exponential with rate ``u * λ_unit``
+where ``λ_unit`` is the per-unit hash rate expressed in solutions per
+second at the current difficulty. Consequently:
+
+* the *first* solution across all pools arrives at rate ``λ_unit * S``;
+* the probability that a given pool wins is proportional to its units —
+  exactly the ``e_i/S``-style terms of the paper's Eq. (4)-(6).
+
+:class:`PowOracle` samples winner identities and inter-block times in one
+step (competition of exponentials), which is statistically identical to
+simulating every pool separately but O(1) per block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["Difficulty", "PowOracle"]
+
+
+@dataclass(frozen=True)
+class Difficulty:
+    """PoW difficulty expressed as the expected solve time of one unit.
+
+    Attributes:
+        unit_solve_time: Mean seconds for a single computing unit to solve
+            the puzzle (e.g. Bitcoin targets 600 s for the whole network;
+            per-unit time scales with total units).
+    """
+
+    unit_solve_time: float
+
+    def __post_init__(self) -> None:
+        if self.unit_solve_time <= 0:
+            raise ConfigurationError(
+                f"unit_solve_time must be positive, got "
+                f"{self.unit_solve_time}")
+
+    @property
+    def unit_rate(self) -> float:
+        """Per-unit solution rate (solutions per second)."""
+        return 1.0 / self.unit_solve_time
+
+
+class PowOracle:
+    """Samples PoW race outcomes for pools of computing units.
+
+    Args:
+        difficulty: Puzzle difficulty.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(self, difficulty: Difficulty, seed: int = 0):
+        self.difficulty = difficulty
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self._rng
+
+    def solve_time(self, units: float) -> float:
+        """Sample the time for ``units`` computing units to find a solution."""
+        if units <= 0:
+            raise ConfigurationError("cannot mine with non-positive units")
+        rate = units * self.difficulty.unit_rate
+        return float(self._rng.exponential(1.0 / rate))
+
+    def race(self, pools: Sequence[float]) -> Tuple[int, float]:
+        """Race several pools; return ``(winner_index, elapsed_time)``.
+
+        Pools with zero units never win. The winner is drawn proportionally
+        to pool size and the elapsed time from the aggregate rate — the
+        exact distribution of the minimum of independent exponentials.
+        """
+        pools_arr = np.asarray(pools, dtype=float)
+        if np.any(pools_arr < 0):
+            raise ConfigurationError("pool sizes must be non-negative")
+        total = float(pools_arr.sum())
+        if total <= 0:
+            raise ConfigurationError("at least one pool must be non-empty")
+        elapsed = float(self._rng.exponential(
+            self.difficulty.unit_solve_time / total))
+        winner = int(self._rng.choice(len(pools_arr), p=pools_arr / total))
+        return winner, elapsed
+
+    def next_solution_within(self, units: float, window: float) -> bool:
+        """Whether a pool of ``units`` finds a solution within ``window``
+        seconds — the conflicting-block event of the fork model."""
+        if units <= 0 or window <= 0:
+            return False
+        rate = units * self.difficulty.unit_rate
+        return bool(self._rng.random() < 1.0 - np.exp(-rate * window))

@@ -1,0 +1,51 @@
+"""Propagation-delay model of the two-tier network (Section II-A).
+
+The paper's simplification: ESP <-> miner delay is 0; every path touching
+the CSP costs ``D_avg``. Edge-solved blocks therefore reach consensus
+immediately, while cloud-solved blocks are exposed for ``D_avg`` during
+which a conflicting edge block orphans them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["PropagationModel"]
+
+
+@dataclass(frozen=True)
+class PropagationModel:
+    """Venue-dependent propagation delays.
+
+    Attributes:
+        cloud_delay: ``D_avg`` in seconds — CSP <-> network delay.
+        edge_delay: ESP <-> miner delay (0 in the paper's model, kept as a
+            parameter for sensitivity studies).
+    """
+
+    cloud_delay: float
+    edge_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cloud_delay < 0 or self.edge_delay < 0:
+            raise ConfigurationError("delays must be non-negative")
+        if self.edge_delay > self.cloud_delay:
+            raise ConfigurationError(
+                "the model assumes the edge is at least as close as the "
+                f"cloud (edge_delay={self.edge_delay} > "
+                f"cloud_delay={self.cloud_delay})")
+
+    def delay(self, venue: str) -> float:
+        """Propagation delay of a block solved at ``venue``."""
+        if venue == "edge":
+            return self.edge_delay
+        if venue == "cloud":
+            return self.cloud_delay
+        raise ConfigurationError(f"unknown venue {venue!r}")
+
+    def exposure_window(self, venue: str) -> float:
+        """Time during which a block from ``venue`` can be out-raced by a
+        zero-delay (edge) block."""
+        return max(self.delay(venue) - self.edge_delay, 0.0)

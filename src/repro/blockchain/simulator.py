@@ -1,0 +1,309 @@
+"""Mining simulators that mechanistically validate the Section-III model.
+
+Two granularities:
+
+* :class:`RoundSimulator` — one sample per mining round, drawing the first
+  solver proportionally to units and applying the paper's fork semantics
+  (a cloud-solved block is orphaned with probability ``β`` by an
+  edge-solved conflict attributed ``∝ e_j/E``). Its empirical win shares
+  converge to ``W_i`` of Eqs. (6)/(9); the test suite asserts this.
+* :class:`EventDrivenSimulator` — continuous time on a real
+  :class:`~repro.blockchain.chain.Blockchain`: exponential PoW races,
+  cloud blocks exposed for ``D_avg``, conflicts mined by the edge pool
+  within the exposure window. Orphan rates here *emerge* from the
+  mechanism, validating the :class:`~repro.blockchain.forks.ForkModel`
+  calibration rather than assuming it.
+
+Transfer policies for connected mode (``RoundSimulator``):
+
+* ``"none"``        — all requests fully satisfied (validates Eq. 6);
+* ``"marginal"``    — only the *measured* miner's edge request is
+  transferred w.p. ``1-h`` while the rest stay satisfied: the exact
+  law-of-total-expectation semantics behind Eq. (9);
+* ``"independent"`` — every miner's edge request independently transfers
+  w.p. ``1-h``: the *physical* joint model. Eq. (9) is only the marginal
+  approximation of this process; ablation benchmark ABL3 quantifies the
+  (small, Jensen-driven) gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .block import Block
+from .chain import Blockchain, ChainStats
+from .node import MinerNode
+from .pow import Difficulty, PowOracle
+from .propagation import PropagationModel
+
+__all__ = ["RoundSimulator", "RoundTally", "EventDrivenSimulator",
+           "EventDrivenResult"]
+
+
+@dataclass
+class RoundTally:
+    """Win counts from a batch of simulated mining rounds.
+
+    Attributes:
+        wins: Per-miner canonical-block counts.
+        rounds: Number of rounds simulated.
+        orphaned_cloud_blocks: Cloud-solved first blocks that lost to an
+            edge conflict.
+    """
+
+    wins: np.ndarray
+    rounds: int
+    orphaned_cloud_blocks: int
+
+    @property
+    def win_rates(self) -> np.ndarray:
+        """Empirical per-miner winning probabilities."""
+        if self.rounds == 0:
+            return np.zeros_like(self.wins, dtype=float)
+        return self.wins / self.rounds
+
+
+class RoundSimulator:
+    """Per-round Monte-Carlo sampler of the paper's winning model.
+
+    Args:
+        e: Per-miner ESP units (shape ``(n,)``).
+        c: Per-miner CSP units (shape ``(n,)``).
+        beta: Fork rate ``β`` of the cloud exposure window.
+        h: Edge satisfaction probability (connected mode; 1.0 = always
+            satisfied).
+        seed: RNG seed.
+    """
+
+    def __init__(self, e: Sequence[float], c: Sequence[float], beta: float,
+                 h: float = 1.0, seed: int = 0):
+        self.e = np.asarray(e, dtype=float)
+        self.c = np.asarray(c, dtype=float)
+        if self.e.shape != self.c.shape or self.e.ndim != 1:
+            raise ConfigurationError("e and c must be 1-D and equal length")
+        if np.any(self.e < 0) or np.any(self.c < 0):
+            raise ConfigurationError("units must be non-negative")
+        if float(np.sum(self.e + self.c)) <= 0:
+            raise ConfigurationError("total units must be positive")
+        if not 0.0 <= beta < 1.0:
+            raise ConfigurationError("beta must be in [0, 1)")
+        if not 0.0 < h <= 1.0:
+            raise ConfigurationError("h must be in (0, 1]")
+        self.beta = beta
+        self.h = h
+        self._rng = np.random.default_rng(seed)
+        self.n = self.e.shape[0]
+
+    def _play_round(self, e: np.ndarray, c: np.ndarray) -> tuple:
+        """One round under realized pools; returns ``(winner, orphaned)``."""
+        E = float(e.sum())
+        S = E + float(c.sum())
+        pools = np.concatenate([e, c])
+        first = int(self._rng.choice(2 * self.n, p=pools / S))
+        if first < self.n:
+            return first, False  # edge block reaches consensus instantly
+        miner = first - self.n
+        # Cloud block: exposed for D_avg; conflict w.p. beta, and only an
+        # edge-solved conflict (attributed ∝ e_j/E) beats it.
+        if E > 0 and self._rng.random() < self.beta:
+            conflictor = int(self._rng.choice(self.n, p=e / E))
+            if conflictor != miner:
+                return conflictor, True
+        return miner, False
+
+    def run(self, rounds: int, transfer: str = "none",
+            measured: Optional[int] = None,
+            vectorized: bool = True) -> RoundTally:
+        """Simulate ``rounds`` mining rounds.
+
+        Args:
+            rounds: Number of rounds.
+            transfer: Connected-mode transfer policy (see module docstring).
+            measured: Index of the perspective miner for
+                ``transfer="marginal"``.
+            vectorized: Use the numpy batch sampler for the ``"none"`` and
+                ``"marginal"`` policies (~100x faster; statistically
+                identical — the per-round loop remains for
+                ``"independent"``, whose pools change every round, and is
+                cross-checked against the batch path in the tests).
+
+        Returns:
+            :class:`RoundTally` with per-miner win counts.
+        """
+        if rounds < 1:
+            raise ConfigurationError("rounds must be >= 1")
+        if transfer not in ("none", "marginal", "independent"):
+            raise ConfigurationError(f"unknown transfer policy {transfer!r}")
+        if transfer == "marginal" and (measured is None
+                                       or not 0 <= measured < self.n):
+            raise ConfigurationError(
+                "transfer='marginal' needs a valid measured miner index")
+        if vectorized and transfer in ("none", "marginal"):
+            return self._run_vectorized(rounds, transfer, measured)
+        wins = np.zeros(self.n, dtype=int)
+        orphans = 0
+        for _ in range(rounds):
+            e = self.e.copy()
+            c = self.c.copy()
+            if transfer == "marginal":
+                if self._rng.random() >= self.h:
+                    c[measured] += e[measured]
+                    e[measured] = 0.0
+            elif transfer == "independent":
+                moved = self._rng.random(self.n) >= self.h
+                c[moved] += e[moved]
+                e[moved] = 0.0
+            winner, orphaned = self._play_round(e, c)
+            wins[winner] += 1
+            orphans += int(orphaned)
+        return RoundTally(wins=wins, rounds=rounds,
+                          orphaned_cloud_blocks=orphans)
+
+    def _run_batch(self, rounds: int, e: np.ndarray,
+                   c: np.ndarray) -> RoundTally:
+        """Vectorized rounds under *fixed* realized pools."""
+        E = float(e.sum())
+        S = E + float(c.sum())
+        pools = np.concatenate([e, c])
+        first = self._rng.choice(2 * self.n, size=rounds, p=pools / S)
+        winners = np.where(first < self.n, first, first - self.n)
+        cloud = first >= self.n
+        orphaned = np.zeros(rounds, dtype=bool)
+        if E > 0:
+            conflict = cloud & (self._rng.random(rounds) < self.beta)
+            idx = np.flatnonzero(conflict)
+            if idx.size:
+                conflictors = self._rng.choice(self.n, size=idx.size,
+                                               p=e / E)
+                takeover = conflictors != winners[idx]
+                winners[idx[takeover]] = conflictors[takeover]
+                orphaned[idx[takeover]] = True
+        wins = np.bincount(winners, minlength=self.n)
+        return RoundTally(wins=wins, rounds=rounds,
+                          orphaned_cloud_blocks=int(orphaned.sum()))
+
+    def _run_vectorized(self, rounds: int, transfer: str,
+                        measured: Optional[int]) -> RoundTally:
+        if transfer == "none":
+            return self._run_batch(rounds, self.e, self.c)
+        # marginal: split the rounds binomially between the satisfied and
+        # transferred states of the measured miner.
+        satisfied = int(self._rng.binomial(rounds, self.h))
+        tallies = []
+        if satisfied > 0:
+            tallies.append(self._run_batch(satisfied, self.e, self.c))
+        if rounds - satisfied > 0:
+            e_mod = self.e.copy()
+            c_mod = self.c.copy()
+            c_mod[measured] += e_mod[measured]
+            e_mod[measured] = 0.0
+            tallies.append(self._run_batch(rounds - satisfied, e_mod,
+                                           c_mod))
+        wins = np.sum([t.wins for t in tallies], axis=0).astype(int)
+        orphans = int(sum(t.orphaned_cloud_blocks for t in tallies))
+        return RoundTally(wins=wins, rounds=rounds,
+                          orphaned_cloud_blocks=orphans)
+
+
+@dataclass
+class EventDrivenResult:
+    """Outcome of an event-driven mining simulation.
+
+    Attributes:
+        chain: The resulting block tree.
+        nodes: Miner nodes with their reward ledgers.
+        stats: Chain statistics (orphan rate, forks).
+        elapsed: Total simulated seconds.
+    """
+
+    chain: Blockchain
+    nodes: List[MinerNode]
+    stats: ChainStats
+    elapsed: float
+
+    @property
+    def win_shares(self) -> np.ndarray:
+        """Canonical-block share per miner."""
+        winners = self.chain.winners()
+        shares = np.zeros(len(self.nodes))
+        for w in winners:
+            shares[w] += 1
+        total = shares.sum()
+        return shares / total if total > 0 else shares
+
+
+class EventDrivenSimulator:
+    """Continuous-time mining on a real block tree.
+
+    Each height is a race: the first solution arrives after an exponential
+    time over all ``S`` units, attributed proportionally; a cloud-solved
+    block waits out its exposure window during which the edge pool may
+    mine a conflicting block that orphans it (first-received rule: the
+    conflicting edge block propagates instantly).
+
+    Args:
+        nodes: Miner nodes with purchased units.
+        difficulty: PoW difficulty (per-unit mean solve time).
+        propagation: Venue delay model.
+        reward: Mining reward credited per canonical block.
+        seed: RNG seed.
+    """
+
+    def __init__(self, nodes: Sequence[MinerNode], difficulty: Difficulty,
+                 propagation: PropagationModel, reward: float = 1.0,
+                 seed: int = 0):
+        if len(nodes) < 1:
+            raise ConfigurationError("need at least one miner node")
+        if reward <= 0:
+            raise ConfigurationError("reward must be positive")
+        self.nodes = list(nodes)
+        self.difficulty = difficulty
+        self.propagation = propagation
+        self.reward = reward
+        self.oracle = PowOracle(difficulty, seed=seed)
+
+    def run(self, blocks: int) -> EventDrivenResult:
+        """Mine until the canonical chain grows by ``blocks`` blocks."""
+        if blocks < 1:
+            raise ConfigurationError("blocks must be >= 1")
+        chain = Blockchain()
+        e = np.array([m.edge_units for m in self.nodes])
+        c = np.array([m.cloud_units for m in self.nodes])
+        E = float(e.sum())
+        S = E + float(c.sum())
+        if S <= 0:
+            raise ConfigurationError("total purchased units must be positive")
+        now = 0.0
+        n = len(self.nodes)
+        pools = np.concatenate([e, c])
+        while chain.height < blocks:
+            idx, elapsed = self.oracle.race(pools)
+            now += elapsed
+            venue = "edge" if idx < n else "cloud"
+            miner = idx % n
+            parent = chain.tip
+            block = parent.child(miner, venue, now)
+            window = self.propagation.exposure_window(venue)
+            if venue == "cloud" and window > 0 and E > 0 and \
+                    self.oracle.next_solution_within(E, window):
+                # A conflicting edge block is found during the exposure
+                # window; it propagates instantly and wins the height.
+                t_conflict = now + float(
+                    self.oracle.rng.uniform(0.0, window))
+                conflictor = int(self.oracle.rng.choice(n, p=e / E))
+                rival = parent.child(conflictor, "edge", t_conflict)
+                if conflictor != miner:
+                    chain.add(rival)
+                    chain.add(block)  # arrives later: orphaned sibling
+                    self.nodes[conflictor].credit(self.reward)
+                    self.nodes[miner].orphan()
+                    now = t_conflict
+                    continue
+            chain.add(block)
+            self.nodes[miner].credit(self.reward)
+        return EventDrivenResult(chain=chain, nodes=self.nodes,
+                                 stats=chain.stats(), elapsed=now)

@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    repro-mining list
+    repro-mining fig4
+    repro-mining table2 --output table2.json
+    repro-mining ext6 --output ext6.csv --quiet
+    repro-mining all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .analysis import (ablation_dynamic_weights, ablation_gnep_solvers,
+                       ablation_transfer_semantics,
+                       ext1_rent_dissipation, ext2_fictitious_play,
+                       ext3_difficulty_retargeting, ext4_elasticities,
+                       ext5_topology_calibration,
+                       ext6_edge_competition, ext7_optimal_block_size,
+                       ext8_risk_aversion, ext9_private_budgets,
+                       fig2_fork_model,
+                       fig3_population, fig4_price_sweep, fig5_delay_sweep,
+                       fig6_capacity_sweep, fig6_csp_price_crossover,
+                       fig7_budget_sweep, fig8_sp_equilibrium,
+                       fig9_population_uncertainty, fig9_variance_sweep,
+                       table2_closed_forms, welfare_observations)
+from .analysis.reporting import save
+from .exceptions import ReproError
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig2": fig2_fork_model,
+    "fig3": fig3_population,
+    "fig4": fig4_price_sweep,
+    "fig5": fig5_delay_sweep,
+    "fig6": fig6_capacity_sweep,
+    "fig6-cross": fig6_csp_price_crossover,
+    "fig7": fig7_budget_sweep,
+    "fig8": fig8_sp_equilibrium,
+    "fig9a": fig9_population_uncertainty,
+    "fig9b": fig9_variance_sweep,
+    "table2": table2_closed_forms,
+    "welfare": welfare_observations,
+    "abl1": ablation_gnep_solvers,
+    "abl2": ablation_dynamic_weights,
+    "abl3": ablation_transfer_semantics,
+    "ext1": ext1_rent_dissipation,
+    "ext2": ext2_fictitious_play,
+    "ext3": ext3_difficulty_retargeting,
+    "ext4": ext4_elasticities,
+    "ext5": ext5_topology_calibration,
+    "ext6": ext6_edge_competition,
+    "ext7": ext7_optimal_block_size,
+    "ext8": ext8_risk_aversion,
+    "ext9": ext9_private_budgets,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mining",
+        description="Regenerate the evaluation artifacts of 'Hierarchical "
+                    "Edge-Cloud Computing for Mobile Blockchain Mining "
+                    "Game' (ICDCS 2019).")
+    parser.add_argument(
+        "experiment",
+        help="experiment id (one of: %s), 'list', 'all', or 'report' "
+             "(markdown report of the fast experiments; use --ids to "
+             "select)" % ", ".join(sorted(EXPERIMENTS)))
+    parser.add_argument(
+        "--ids", default=None, metavar="ID[,ID...]",
+        help="comma-separated experiment ids for 'report'")
+    parser.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="also write the result table to PATH (.json or .csv)")
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress the rendered table on stdout")
+    return parser
+
+
+def _run_one(name: str, output, quiet: bool) -> int:
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        print(f"unknown experiment {name!r}; try 'repro-mining list'",
+              file=sys.stderr)
+        return 2
+    table = runner()
+    if not quiet:
+        print(table)
+    if output is not None:
+        try:
+            path = save(table, output)
+        except ReproError as ex:
+            print(f"could not write {output!r}: {ex}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    name = args.experiment.lower()
+    if name == "list":
+        for key in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
+            print(f"{key:12s} {doc}")
+        return 0
+    if name == "report":
+        from .analysis.report import build_report
+        ids = args.ids.split(",") if args.ids else \
+            ["fig3", "fig4", "fig5", "fig6", "fig7", "welfare"]
+        try:
+            document = build_report(EXPERIMENTS, path=args.output,
+                                    ids=ids)
+        except ReproError as ex:
+            print(str(ex), file=sys.stderr)
+            return 2
+        if not args.quiet:
+            print(document)
+        if args.output:
+            print(f"wrote {args.output}", file=sys.stderr)
+        return 0
+    if name == "all":
+        if args.output is not None:
+            print("--output is per-experiment; run ids individually",
+                  file=sys.stderr)
+            return 2
+        for key in sorted(EXPERIMENTS):
+            code = _run_one(key, None, args.quiet)
+            if code != 0:
+                return code
+            if not args.quiet:
+                print()
+        return 0
+    return _run_one(name, args.output, args.quiet)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,104 @@
+"""The paper's primary contribution: the multi-leader multi-follower
+Stackelberg game for mobile blockchain mining offloading.
+
+Public surface:
+
+* parameters — :class:`GameParameters`, :class:`Prices`, :class:`EdgeMode`;
+* winning probabilities (Section III) — :mod:`repro.core.winning`;
+* miner subgames — :func:`solve_connected_equilibrium` (NEP, Theorem 2) and
+  :func:`solve_standalone_equilibrium` (GNEP variational equilibrium,
+  Theorem 5);
+* leader stage — :func:`solve_stackelberg` (Algorithms 1 and 2);
+* closed forms — Theorems 3/4, Corollary 1, Table II in
+  :mod:`repro.core.closed_form`;
+* population uncertainty (Section V) — :class:`DynamicGame`,
+  :func:`solve_dynamic_equilibrium`;
+* verification — :func:`verify_miner_equilibrium`.
+"""
+
+from .closed_form import (HomogeneousEquilibrium, SPEquilibrium,
+                          binding_budget_threshold, corollary1_interior,
+                          csp_best_response_binding,
+                          csp_best_response_interior,
+                          homogeneous_miner_equilibrium, table2_connected,
+                          table2_standalone, theorem3_binding,
+                          theorem4_sp_equilibrium)
+from .dynamic import DynamicEquilibrium, DynamicGame, \
+    solve_dynamic_equilibrium
+from .gnep import (edge_demand, solve_standalone_equilibrium,
+                   solve_standalone_extragradient)
+from .miner_best_response import (BestResponse, ResponseContext,
+                                  solve_best_response)
+from .nep import MinerEquilibrium, solve_connected_equilibrium
+from .bayesian import (BayesianEquilibrium, BayesianMinerGame,
+                       BudgetType, solve_bayesian_equilibrium)
+from .risk import (RiskAverseEquilibrium, RiskAverseGame,
+                   certainty_equivalent, pooled_certainty_equivalent,
+                   solve_risk_averse_equilibrium)
+from .params import (EdgeMode, GameParameters, Prices, from_calibration,
+                     homogeneous, mixed_strategy_price_bound)
+from .sp_game import DemandOracle, csp_best_response, esp_best_response
+from .stackelberg import (StackelbergEquilibrium, solve_stackelberg,
+                          verify_sp_equilibrium)
+from .social import (WelfareReport, captured_reward,
+                     mining_cost_breakdown, rent_dissipation,
+                     social_welfare, welfare_report)
+from .verification import (DeviationReport, best_deviation_gain,
+                           nikaido_isoda_residual,
+                           verify_miner_equilibrium)
+
+__all__ = [
+    "HomogeneousEquilibrium",
+    "SPEquilibrium",
+    "binding_budget_threshold",
+    "corollary1_interior",
+    "csp_best_response_binding",
+    "csp_best_response_interior",
+    "homogeneous_miner_equilibrium",
+    "table2_connected",
+    "table2_standalone",
+    "theorem3_binding",
+    "theorem4_sp_equilibrium",
+    "DynamicEquilibrium",
+    "DynamicGame",
+    "solve_dynamic_equilibrium",
+    "edge_demand",
+    "solve_standalone_equilibrium",
+    "solve_standalone_extragradient",
+    "BestResponse",
+    "ResponseContext",
+    "solve_best_response",
+    "MinerEquilibrium",
+    "solve_connected_equilibrium",
+    "EdgeMode",
+    "GameParameters",
+    "Prices",
+    "homogeneous",
+    "from_calibration",
+    "BayesianEquilibrium",
+    "BayesianMinerGame",
+    "BudgetType",
+    "solve_bayesian_equilibrium",
+    "RiskAverseEquilibrium",
+    "RiskAverseGame",
+    "certainty_equivalent",
+    "pooled_certainty_equivalent",
+    "solve_risk_averse_equilibrium",
+    "mixed_strategy_price_bound",
+    "DemandOracle",
+    "csp_best_response",
+    "esp_best_response",
+    "StackelbergEquilibrium",
+    "solve_stackelberg",
+    "verify_sp_equilibrium",
+    "DeviationReport",
+    "best_deviation_gain",
+    "nikaido_isoda_residual",
+    "verify_miner_equilibrium",
+    "WelfareReport",
+    "captured_reward",
+    "mining_cost_breakdown",
+    "rent_dissipation",
+    "social_welfare",
+    "welfare_report",
+]

@@ -1,0 +1,246 @@
+"""Incomplete information: budgets as private types (extension EXT9).
+
+The paper motivates its RL framework by noting that "the miner's action
+is the private information which is unobservable by others"
+(Section VII-3). This module treats the root cause — *budgets* as
+private types — exactly, as a symmetric Bayesian game:
+
+* each miner's budget is an i.i.d. draw from a finite type distribution
+  ``{(B_k, q_k)}``;
+* a symmetric strategy maps types to requests, ``σ: k ↦ (e_k, c_k)``;
+* a type-``k`` miner's expected utility averages the full-information
+  utility over the multinomial type profile of its ``n-1`` opponents
+  (enumerated exactly — the count-vector lattice is small for the
+  paper's n=5);
+* a **symmetric Bayesian Nash equilibrium** is a fixed point of the
+  type-wise best response, computed by damped iteration with SLSQP best
+  responses.
+
+The value-of-information experiment (EXT9) compares the BNE against the
+full-information NE at the realized type profile: with public budgets
+each miner conditions on the *actual* opponents; under privacy it hedges
+against the distribution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..exceptions import ConfigurationError, ConvergenceError
+from ..game.diagnostics import ConvergenceReport, ResidualRecorder
+from .params import Prices
+
+__all__ = ["BudgetType", "BayesianMinerGame", "BayesianEquilibrium",
+           "solve_bayesian_equilibrium"]
+
+
+@dataclass(frozen=True)
+class BudgetType:
+    """One private budget type.
+
+    Attributes:
+        budget: The type's budget ``B_k``.
+        probability: Prior probability ``q_k``.
+    """
+
+    budget: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ConfigurationError("type budget must be positive")
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigurationError("type probability must be in (0, 1]")
+
+
+def _count_vectors(total: int, bins: int):
+    """All ways to split ``total`` indistinguishable opponents into
+    ``bins`` types (the multinomial support)."""
+    if bins == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in _count_vectors(total - first, bins - 1):
+            yield (first,) + rest
+
+
+class BayesianMinerGame:
+    """Symmetric Bayesian miner subgame with private budget types.
+
+    Args:
+        n: Number of miners.
+        types: Budget types (probabilities must sum to 1).
+        reward: Mining reward ``R``.
+        fork_rate: Fork rate ``β``.
+        h: Edge satisfaction probability (connected mode).
+    """
+
+    def __init__(self, n: int, types: Sequence[BudgetType], reward: float,
+                 fork_rate: float, h: float = 1.0):
+        if n < 2:
+            raise ConfigurationError("need n >= 2 miners")
+        if len(types) < 1:
+            raise ConfigurationError("need at least one type")
+        total_prob = sum(t.probability for t in types)
+        if abs(total_prob - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"type probabilities must sum to 1, got {total_prob}")
+        if reward <= 0:
+            raise ConfigurationError("reward must be positive")
+        if not 0.0 <= fork_rate < 1.0:
+            raise ConfigurationError("fork rate must be in [0, 1)")
+        if not 0.0 < h <= 1.0:
+            raise ConfigurationError("h must be in (0, 1]")
+        self.n = n
+        self.types = list(types)
+        self.reward = reward
+        self.fork_rate = fork_rate
+        self.h = h
+        self._profiles, self._weights = self._enumerate_profiles()
+
+    @property
+    def num_types(self) -> int:
+        return len(self.types)
+
+    def _enumerate_profiles(self):
+        """Multinomial opponent type-count vectors and their weights."""
+        k = self.num_types
+        m = self.n - 1
+        probs = np.array([t.probability for t in self.types])
+        profiles = list(_count_vectors(m, k))
+        weights = []
+        for counts in profiles:
+            coef = math.factorial(m)
+            for c in counts:
+                coef //= math.factorial(c)
+            weights.append(coef * float(np.prod(probs ** np.array(counts))))
+        weights = np.array(weights)
+        # Guard: the multinomial pmf sums to 1.
+        if abs(weights.sum() - 1.0) > 1e-9:
+            raise ConfigurationError("multinomial weights do not sum to 1")
+        return profiles, weights
+
+    def expected_utility(self, type_index: int, e_i: float, c_i: float,
+                         strategy: np.ndarray, prices: Prices) -> float:
+        """Type-``type_index`` expected utility playing ``(e_i, c_i)``
+        against the symmetric type strategy ``strategy[k] = (e_k, c_k)``.
+        """
+        beta = self.fork_rate
+        income = 0.0
+        for counts, weight in zip(self._profiles, self._weights):
+            e_bar = sum(c * strategy[k][0] for k, c in enumerate(counts))
+            s_bar = e_bar + sum(c * strategy[k][1]
+                                for k, c in enumerate(counts))
+            S = s_bar + e_i + c_i
+            E = e_bar + e_i
+            base = (1.0 - beta) * (e_i + c_i) / S if S > 0 else 0.0
+            bonus = beta * self.h * e_i / E if E > 0 else 0.0
+            income += weight * (base + bonus)
+        return self.reward * income - prices.p_e * e_i - prices.p_c * c_i
+
+    def best_response(self, type_index: int, strategy: np.ndarray,
+                      prices: Prices,
+                      multistart: bool = True) -> Tuple[float, float]:
+        """SLSQP best response of one type to the symmetric strategy."""
+        budget = self.types[type_index].budget
+
+        def neg(x):
+            return -self.expected_utility(type_index, float(x[0]),
+                                          float(x[1]), strategy, prices)
+
+        cons = [{"type": "ineq",
+                 "fun": lambda x: budget - prices.p_e * x[0]
+                 - prices.p_c * x[1]}]
+        starts = [np.array(strategy[type_index])]
+        if multistart:
+            starts += [
+                np.array([budget / (4 * prices.p_e),
+                          budget / (4 * prices.p_c)]),
+                np.array([1e-3, budget / (2 * prices.p_c)]),
+            ]
+        best_val, best_x = -np.inf, starts[0]
+        for x0 in starts:
+            res = minimize(neg, np.maximum(x0, 1e-6), method="SLSQP",
+                           bounds=[(0, None), (0, None)],
+                           constraints=cons,
+                           options={"maxiter": 200, "ftol": 1e-12})
+            if res.success and -res.fun > best_val:
+                best_val = -res.fun
+                best_x = np.asarray(res.x)
+        return float(best_x[0]), float(best_x[1])
+
+
+@dataclass
+class BayesianEquilibrium:
+    """Symmetric BNE: one request vector per budget type.
+
+    Attributes:
+        strategy: Array of shape ``(K, 2)``; row ``k`` is ``(e_k, c_k)``.
+        utilities: Expected utility per type at the equilibrium.
+        report: Fixed-point diagnostics.
+    """
+
+    strategy: np.ndarray
+    utilities: np.ndarray
+    report: ConvergenceReport
+
+    @property
+    def converged(self) -> bool:
+        return self.report.converged
+
+    def request(self, type_index: int) -> Tuple[float, float]:
+        e, c = self.strategy[type_index]
+        return float(e), float(c)
+
+
+def solve_bayesian_equilibrium(game: BayesianMinerGame, prices: Prices,
+                               tol: float = 2e-5, max_iter: int = 200,
+                               damping: float = 0.5,
+                               raise_on_failure: bool = False,
+                               ) -> BayesianEquilibrium:
+    """Damped type-wise best-response iteration to a symmetric BNE."""
+    strategy = np.array([[t.budget / (4 * prices.p_e),
+                          t.budget / (4 * prices.p_c)]
+                         for t in game.types])
+    recorder = ResidualRecorder(tol)
+    converged = False
+    iterations = 0
+    alpha = damping
+    prev = float("inf")
+    stall = 0
+    for it in range(max_iter):
+        iterations = it + 1
+        new = np.empty_like(strategy)
+        for k in range(game.num_types):
+            new[k] = game.best_response(k, strategy, prices,
+                                        multistart=(it == 0))
+        updated = (1 - alpha) * strategy + alpha * new
+        scale = max(1.0, float(np.max(np.abs(updated))))
+        residual = float(np.max(np.abs(updated - strategy))) / scale
+        strategy = updated
+        if recorder.record(residual):
+            converged = True
+            break
+        if residual >= 0.9 * prev:
+            stall += 1
+            if stall >= 3:
+                alpha = max(0.5 * alpha, 0.05)
+                stall = 0
+        else:
+            stall = 0
+        prev = residual
+    report = recorder.report(converged, iterations)
+    if not converged and raise_on_failure:
+        raise ConvergenceError(f"BNE iteration failed: {report}", report)
+    utilities = np.array([
+        game.expected_utility(k, strategy[k][0], strategy[k][1], strategy,
+                              prices)
+        for k in range(game.num_types)])
+    return BayesianEquilibrium(strategy=strategy, utilities=utilities,
+                               report=report)

@@ -1,0 +1,351 @@
+"""Closed-form equilibria for homogeneous miners (Sections IV-B, IV-C.3).
+
+Implements, with the notation ``a = 1-β``, ``g = βh``, ``D = a + g``:
+
+* **Theorem 3** (budget ``B`` binding):
+  ``e* = B g / (D (P_e - P_c))``,
+  ``c* = B (a (P_e - P_c) - g P_c) / (P_c D (P_e - P_c))``,
+  valid iff ``P_c < a P_e / D`` (mixed-strategy condition).
+* **Corollary 1** (sufficient budget, interior KKT):
+  ``e* = g R (n-1) / (n² (P_e - P_c))``,
+  ``e* + c* = a R (n-1) / (n² P_c)``.
+  The per-miner spend of this interior solution is ``R (n-1) D / n²``,
+  which is therefore the exact budget threshold separating the two regimes.
+* **Theorem 4** (SP equilibrium over the budget-binding demand): the CSP
+  best response ``P_c*(P_e)`` solves a scalar concave program (root-found
+  here); the ESP anticipates ``P_c*(.)`` and maximizes the re-written
+  ``V_e`` of Eq. (22).
+* **Table II** (standalone, sufficient budget, capacity binding): fully
+  closed forms re-derived in DESIGN.md §2 —
+  ``P_c* = sqrt(a R (n-1) C_c / (n² E_max))``,
+  ``P_e* = P_c* + β R (n-1) / (n² E_max)``, ``e* = E_max / n`` and the
+  mode-invariant total ``S* = a R (n-1) / (n² P_c*)``.
+
+Every formula here is cross-checked against the iterative solvers in the
+test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from scipy.optimize import brentq, minimize_scalar
+
+from ..exceptions import ConfigurationError, InfeasibleGameError
+from .params import Prices, mixed_strategy_price_bound
+
+__all__ = [
+    "HomogeneousEquilibrium",
+    "SPEquilibrium",
+    "binding_budget_threshold",
+    "theorem3_binding",
+    "corollary1_interior",
+    "homogeneous_miner_equilibrium",
+    "csp_best_response_binding",
+    "csp_best_response_interior",
+    "theorem4_sp_equilibrium",
+    "table2_standalone",
+    "table2_connected",
+]
+
+
+@dataclass(frozen=True)
+class HomogeneousEquilibrium:
+    """Symmetric miner equilibrium ``(e*, c*)`` per miner.
+
+    Attributes:
+        e: Per-miner ESP request.
+        c: Per-miner CSP request.
+        regime: ``"binding"`` (Theorem 3) or ``"interior"`` (Corollary 1).
+        n: Number of miners.
+    """
+
+    e: float
+    c: float
+    regime: str
+    n: int
+
+    @property
+    def total_edge(self) -> float:
+        return self.n * self.e
+
+    @property
+    def total_cloud(self) -> float:
+        return self.n * self.c
+
+    @property
+    def total(self) -> float:
+        return self.n * (self.e + self.c)
+
+
+@dataclass(frozen=True)
+class SPEquilibrium:
+    """Leader-stage equilibrium: prices, per-miner requests and profits."""
+
+    prices: Prices
+    miner: HomogeneousEquilibrium
+    v_e: float
+    v_c: float
+
+
+def _validate(n: int, reward: float, beta: float, h: float) -> None:
+    if n < 2:
+        raise ConfigurationError(f"need n >= 2 miners, got {n}")
+    if reward <= 0:
+        raise ConfigurationError("reward must be positive")
+    if not 0.0 <= beta < 1.0:
+        raise ConfigurationError("beta must be in [0, 1)")
+    if not 0.0 < h <= 1.0:
+        raise ConfigurationError("h must be in (0, 1]")
+
+
+def binding_budget_threshold(n: int, reward: float, beta: float,
+                             h: float) -> float:
+    """Per-miner spend of the interior (Corollary 1) equilibrium.
+
+    Budgets strictly below this make the budget constraint bind (Theorem 3
+    regime); budgets at or above it leave it slack (Corollary 1 regime).
+    The value is ``R (n-1) (1 - β + βh) / n²`` — remarkably independent of
+    both prices.
+    """
+    _validate(n, reward, beta, h)
+    return reward * (n - 1) * (1.0 - beta + beta * h) / (n * n)
+
+
+def _check_mixed(prices: Prices, beta: float, h: float) -> None:
+    bound = mixed_strategy_price_bound(beta, h, prices.p_e)
+    if prices.p_c >= bound:
+        raise InfeasibleGameError(
+            f"P_c={prices.p_c} >= {bound:.6g}: the mixed-strategy condition "
+            "of Theorem 3 fails (miners would buy no cloud units)")
+    if prices.p_e <= prices.p_c:
+        raise InfeasibleGameError(
+            "closed forms require P_e > P_c (the edge premium)")
+
+
+def theorem3_binding(n: int, budget: float, beta: float, h: float,
+                     prices: Prices, reward: Optional[float] = None,
+                     ) -> HomogeneousEquilibrium:
+    """Theorem 3: symmetric equilibrium when the budget binds.
+
+    ``reward`` is only used to sanity-check the regime when provided.
+    """
+    _validate(n, reward if reward is not None else 1.0, beta, h)
+    if budget <= 0:
+        raise ConfigurationError("budget must be positive")
+    _check_mixed(prices, beta, h)
+    a = 1.0 - beta
+    g = beta * h
+    D = a + g
+    premium = prices.premium()
+    e = budget * g / (D * premium)
+    c = budget * (a * premium - g * prices.p_c) / (prices.p_c * D * premium)
+    return HomogeneousEquilibrium(e=e, c=c, regime="binding", n=n)
+
+
+def corollary1_interior(n: int, reward: float, beta: float, h: float,
+                        prices: Prices) -> HomogeneousEquilibrium:
+    """Corollary 1: symmetric equilibrium with sufficient budgets."""
+    _validate(n, reward, beta, h)
+    _check_mixed(prices, beta, h)
+    a = 1.0 - beta
+    g = beta * h
+    k = reward * (n - 1) / (n * n)
+    e = k * g / prices.premium()
+    total = k * a / prices.p_c
+    c = total - e
+    if c < 0:
+        raise InfeasibleGameError(
+            "interior solution has c* < 0 despite the price condition; "
+            "parameters are inconsistent")
+    return HomogeneousEquilibrium(e=e, c=c, regime="interior", n=n)
+
+
+def homogeneous_miner_equilibrium(n: int, budget: float, reward: float,
+                                  beta: float, h: float,
+                                  prices: Prices) -> HomogeneousEquilibrium:
+    """Unified closed form: picks Theorem 3 vs Corollary 1 by the exact
+    budget threshold :func:`binding_budget_threshold`."""
+    threshold = binding_budget_threshold(n, reward, beta, h)
+    if budget < threshold:
+        return theorem3_binding(n, budget, beta, h, prices, reward=reward)
+    return corollary1_interior(n, reward, beta, h, prices)
+
+
+def csp_best_response_binding(p_e: float, n: int, budget: float, beta: float,
+                              h: float, cloud_cost: float) -> float:
+    """CSP profit-maximizing price against budget-binding demand.
+
+    Maximizes ``V_c = n (P_c - C_c) c*(P_c)`` with Theorem-3 ``c*`` over
+    ``P_c in (C_c, a P_e / D)``. Strictly concave on that interval
+    (Theorem 4); solved by bounded scalar optimization.
+    """
+    a = 1.0 - beta
+    g = beta * h
+    D = a + g
+    upper = a * p_e / D
+    lower = max(cloud_cost, 0.0)
+    if upper <= lower:
+        raise InfeasibleGameError(
+            f"no feasible CSP price: bound {upper:.6g} <= cost {lower:.6g}")
+
+    def neg_profit(p_c: float) -> float:
+        c = budget * (a * (p_e - p_c) - g * p_c) / (p_c * D * (p_e - p_c))
+        return -n * (p_c - cloud_cost) * c
+
+    span = upper - lower
+    res = minimize_scalar(neg_profit, bounds=(lower + 1e-12 * max(1.0, span),
+                                              upper - 1e-12 * max(1.0, span)),
+                          method="bounded",
+                          options={"xatol": 1e-12 * max(1.0, span)})
+    return float(res.x)
+
+
+def csp_best_response_interior(p_e: float, n: int, reward: float, beta: float,
+                               h: float, cloud_cost: float) -> float:
+    """CSP profit-maximizing price against sufficient-budget demand.
+
+    Demand per miner is the Corollary-1 ``c*(P_c)``; the profit is concave
+    on the feasible interval.
+    """
+    a = 1.0 - beta
+    g = beta * h
+    D = a + g
+    upper = a * p_e / D
+    lower = max(cloud_cost, 0.0)
+    if upper <= lower:
+        raise InfeasibleGameError(
+            f"no feasible CSP price: bound {upper:.6g} <= cost {lower:.6g}")
+    k = reward * (n - 1) / (n * n)
+
+    def neg_profit(p_c: float) -> float:
+        c = k * (a / p_c - g / (p_e - p_c))
+        return -n * (p_c - cloud_cost) * c
+
+    span = upper - lower
+    res = minimize_scalar(neg_profit, bounds=(lower + 1e-12 * max(1.0, span),
+                                              upper - 1e-12 * max(1.0, span)),
+                          method="bounded",
+                          options={"xatol": 1e-12 * max(1.0, span)})
+    return float(res.x)
+
+
+def _esp_anticipating_price(csp_response, esp_profit, edge_cost: float,
+                            p_e_hi: float = None) -> float:
+    """Maximize the ESP profit anticipating the CSP best response.
+
+    ``csp_response(p_e) -> p_c*`` and ``esp_profit(p_e, p_c) -> V_e``.
+    The feasible region is ``p_e > edge_cost``; the search interval expands
+    until the profit stops improving at the right end.
+    """
+    lo = edge_cost + 1e-9 + 1e-9 * max(edge_cost, 1.0)
+    hi = p_e_hi if p_e_hi is not None else max(4.0 * (edge_cost + 1.0), 10.0)
+
+    def neg(p_e: float) -> float:
+        return -esp_profit(p_e, csp_response(p_e))
+
+    # Expand the bracket while the optimum sits at the right boundary.
+    for _ in range(60):
+        res = minimize_scalar(neg, bounds=(lo, hi), method="bounded",
+                              options={"xatol": 1e-11 * max(1.0, hi)})
+        if res.x < hi * 0.99:
+            return float(res.x)
+        hi *= 2.0
+    raise InfeasibleGameError(
+        "ESP profit appears unbounded in P_e; check the demand model")
+
+
+def theorem4_sp_equilibrium(n: int, budget: float, reward: float, beta: float,
+                            h: float, edge_cost: float, cloud_cost: float,
+                            ) -> SPEquilibrium:
+    """Theorem 4: leader-stage equilibrium over budget-binding demand.
+
+    The CSP plays its best response ``P_c*(P_e)``; the ESP, whose profit
+    Eq. (22) is concave in ``P_e`` given that response, picks the
+    anticipating optimum.
+    """
+    _validate(n, reward, beta, h)
+    a = 1.0 - beta
+    g = beta * h
+    D = a + g
+
+    def csp_response(p_e: float) -> float:
+        return csp_best_response_binding(p_e, n, budget, beta, h, cloud_cost)
+
+    def esp_profit(p_e: float, p_c: float) -> float:
+        e = budget * g / (D * (p_e - p_c))
+        return n * (p_e - edge_cost) * e
+
+    p_e = _esp_anticipating_price(csp_response, esp_profit, edge_cost)
+    p_c = csp_response(p_e)
+    prices = Prices(p_e=p_e, p_c=p_c)
+    miner = theorem3_binding(n, budget, beta, h, prices, reward=reward)
+    v_e = n * (p_e - edge_cost) * miner.e
+    v_c = n * (p_c - cloud_cost) * miner.c
+    return SPEquilibrium(prices=prices, miner=miner, v_e=v_e, v_c=v_c)
+
+
+def table2_standalone(n: int, reward: float, beta: float, e_max: float,
+                      edge_cost: float, cloud_cost: float) -> SPEquilibrium:
+    """Table II, standalone column: sufficient budget, capacity binding.
+
+    Closed forms (DESIGN.md §2): the ESP prices edge demand exactly onto its
+    capacity, the CSP solves a clean quadratic FOC.
+    """
+    _validate(n, reward, beta, 1.0)
+    if e_max <= 0:
+        raise ConfigurationError("e_max must be positive")
+    a = 1.0 - beta
+    k = reward * (n - 1) / (n * n)
+    if cloud_cost <= 0:
+        raise ConfigurationError(
+            "Table II standalone forms require a positive CSP cost "
+            "(otherwise the CSP prices at cost and earns nothing)")
+    # CSP FOC on V_c = (P_c - C_c)(n k a / P_c - E_max):
+    #   E_max P_c^2 = n k a C_c  =>  P_c* = sqrt(n k a C_c / E_max).
+    p_c = math.sqrt(n * k * a * cloud_cost / e_max)
+    total = n * k * a / p_c          # aggregate demand S* (all miners)
+    if total < e_max:
+        raise InfeasibleGameError(
+            f"capacity E_max={e_max} exceeds total demand {total:.6g}; the "
+            "capacity constraint would be slack and Table II does not apply")
+    # ESP prices edge demand exactly onto capacity:
+    #   n k β / (P_e - P_c) = E_max  =>  P_e* = P_c* + n k β / E_max.
+    p_e = p_c + n * k * beta / e_max
+    prices = Prices(p_e=p_e, p_c=p_c)
+    e = e_max / n
+    c = total / n - e
+    miner = HomogeneousEquilibrium(e=e, c=c, regime="capacity", n=n)
+    v_e = (p_e - edge_cost) * e_max
+    v_c = (p_c - cloud_cost) * (total - e_max)
+    return SPEquilibrium(prices=prices, miner=miner, v_e=v_e, v_c=v_c)
+
+
+def table2_connected(n: int, reward: float, beta: float, h: float,
+                     edge_cost: float, cloud_cost: float) -> SPEquilibrium:
+    """Table II, connected column: sufficient budget, transfer-rate ESP.
+
+    The CSP best-responds against Corollary-1 demand; the ESP anticipates.
+    """
+    _validate(n, reward, beta, h)
+    a = 1.0 - beta
+    g = beta * h
+    k = reward * (n - 1) / (n * n)
+
+    def csp_response(p_e: float) -> float:
+        return csp_best_response_interior(p_e, n, reward, beta, h,
+                                          cloud_cost)
+
+    def esp_profit(p_e: float, p_c: float) -> float:
+        e = k * g / (p_e - p_c)
+        return n * (p_e - edge_cost) * e
+
+    p_e = _esp_anticipating_price(csp_response, esp_profit, edge_cost)
+    p_c = csp_response(p_e)
+    prices = Prices(p_e=p_e, p_c=p_c)
+    miner = corollary1_interior(n, reward, beta, h, prices)
+    v_e = n * (p_e - edge_cost) * miner.e
+    v_c = n * (p_c - cloud_cost) * miner.c
+    return SPEquilibrium(prices=prices, miner=miner, v_e=v_e, v_c=v_c)

@@ -1,0 +1,361 @@
+"""Dynamic miner-number scenario (Section V, Problems 1d/2d).
+
+The miner count is a random variable ``N ~ Gaussian(μ, σ²)``; each miner
+maximizes its *expected* utility over the discretized distribution:
+
+    U_i(μ, σ²) = Σ_k P(k) [ w_sat(k) · R · W_i^h(k)
+                            + (1 - w_sat(k)) · R · W_i^{1-h}(k) ]
+                 - (P_e e_i + P_c c_i)
+
+where, conditional on ``N = k``, the other ``k-1`` miners play the symmetric
+strategy ``(e°, c°)`` and
+
+    W_i^h(k)      = (1-β)(e_i+c_i)/S_k + β e_i / E_k        (full service)
+    W_i^{1-h}(k)  = (1-β)(e_i+c_i)/S_k                       (degraded)
+
+The paper's Eq. (26) fixes the mixture weight at 0.5; we parameterize it:
+
+* ``weights="paper"``     — constant 0.5 (verbatim Eq. 26);
+* ``weights="h"``         — constant ``h`` (consistent with Section IV-A);
+* ``weights="capacity"``  — hard rejection, matching standalone-mode
+  semantics: ``w_sat(k) = 1{k e° <= E_max}`` at the symmetric candidate
+  (the ESP rejects when the realized population would overload it). The
+  indicator is softened by a narrow linear ramp of relative width
+  ``capacity_ramp`` (default 10% of ``E_max``): a pure indicator makes the
+  symmetric best response discontinuous, and for many parameters *no*
+  symmetric fixed point exists — the ramp restores existence while keeping
+  the rejection cliff;
+* ``weights="service"``   — proportional service:
+  ``w_sat(k) = min(1, E_max / (k e°))``; when realized demand exceeds
+  capacity the ESP serves a uniform feasible fraction. Continuous in
+  ``e°``, hence the best-behaved numerically.
+
+Ablation ABL2 compares all four.
+
+The symmetric equilibrium is a fixed point of the expected-utility best
+response, computed by damped iteration; each best response is an exact
+2-variable concave program solved semi-analytically like the fixed-``N``
+case but with distribution-weighted marginals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..exceptions import ConfigurationError, ConvergenceError
+from ..game.diagnostics import ConvergenceReport, ResidualRecorder
+from ..population import PopulationModel
+from .params import Prices
+
+__all__ = ["DynamicGame", "DynamicEquilibrium", "solve_dynamic_equilibrium"]
+
+
+@dataclass
+class DynamicEquilibrium:
+    """Symmetric equilibrium of the population-uncertainty game.
+
+    Attributes:
+        e: Per-miner ESP request at the fixed point.
+        c: Per-miner CSP request.
+        expected_edge_total: ``E[N] * e`` — expected aggregate edge demand.
+        expected_overload: Probability that realized edge demand exceeds
+            ``E_max`` (0 when no capacity is configured).
+        utility: A miner's expected utility at the fixed point.
+        report: Convergence diagnostics of the fixed-point iteration.
+    """
+
+    e: float
+    c: float
+    expected_edge_total: float
+    expected_overload: float
+    utility: float
+    report: ConvergenceReport
+
+    @property
+    def converged(self) -> bool:
+        return self.report.converged
+
+
+class DynamicGame:
+    """Expected-utility miner game under population uncertainty.
+
+    Args:
+        population: Distribution of the miner count ``N``.
+        reward: Mining reward ``R``.
+        fork_rate: Fork rate ``β``.
+        budget: Common miner budget ``B`` (the dynamic scenario is
+            symmetric/homogeneous, following the paper's Section VI-C
+            setup of 5 homogeneous miners).
+        e_max: ESP capacity (standalone mode). ``None`` disables the
+            capacity-derived weight model.
+        h: Edge satisfaction probability used by ``weights="h"``.
+        weights: Mixture-weight model (see module docstring).
+    """
+
+    def __init__(self, population: PopulationModel, reward: float,
+                 fork_rate: float, budget: float,
+                 e_max: Optional[float] = None, h: float = 1.0,
+                 weights: str = "capacity", capacity_ramp: float = 0.1):
+        if reward <= 0:
+            raise ConfigurationError("reward must be positive")
+        if not 0.0 <= fork_rate < 1.0:
+            raise ConfigurationError("fork rate must be in [0, 1)")
+        if budget <= 0:
+            raise ConfigurationError("budget must be positive")
+        if not 0.0 < h <= 1.0:
+            raise ConfigurationError("h must be in (0, 1]")
+        if weights not in ("paper", "h", "capacity", "service"):
+            raise ConfigurationError(f"unknown weight model {weights!r}")
+        if weights in ("capacity", "service") and e_max is None:
+            raise ConfigurationError(
+                "weights='capacity' requires an e_max capacity")
+        if population.mean < 2:
+            raise ConfigurationError(
+                "the expected miner count must be at least 2")
+        if capacity_ramp <= 0:
+            raise ConfigurationError("capacity_ramp must be positive")
+        self.population = population
+        self.reward = reward
+        self.fork_rate = fork_rate
+        self.budget = budget
+        self.e_max = e_max
+        self.h = h
+        self.weights = weights
+        self.capacity_ramp = capacity_ramp
+        self._ks = population.support().astype(float)
+        self._pk = population.pmf()
+
+    # ------------------------------------------------------------------ #
+    # Expected utility and its exact own-strategy gradient.
+    # ------------------------------------------------------------------ #
+
+    def _sat_weights(self, e_sym: float) -> np.ndarray:
+        """Per-``k`` satisfaction weights ``w_sat(k)``."""
+        if self.weights == "paper":
+            return np.full_like(self._ks, 0.5)
+        if self.weights == "h":
+            return np.full_like(self._ks, self.h)
+        demand = self._ks * e_sym
+        if self.weights == "capacity":
+            # Hard rejection with a narrow linear ramp: fully served up to
+            # E_max, fully rejected beyond E_max (1 + ramp).
+            hi = self.e_max * (1.0 + self.capacity_ramp)
+            span = hi - self.e_max
+            return np.clip((hi - demand) / span, 0.0, 1.0)
+        # service: proportional — satisfied with probability capacity/demand
+        # when the realized symmetric population overloads the ESP.
+        ratio = np.where(demand > 0,
+                         self.e_max / np.maximum(demand, 1e-300), 1.0)
+        return np.minimum(ratio, 1.0)
+
+    def expected_utility(self, e_i: float, c_i: float, e_sym: float,
+                         c_sym: float, prices: Prices) -> float:
+        """``U_i(μ, σ²)`` of Problem 1d for own play ``(e_i, c_i)`` against
+        the symmetric profile ``(e_sym, c_sym)``."""
+        beta = self.fork_rate
+        others = self._ks - 1.0
+        e_bar = others * e_sym
+        s_bar = others * (e_sym + c_sym)
+        S = s_bar + e_i + c_i
+        E = e_bar + e_i
+        w = self._sat_weights(e_sym)
+        base = np.where(S > 0, (1.0 - beta) * (e_i + c_i) / np.maximum(S, 1e-300), 0.0)
+        bonus = np.where(E > 0, beta * e_i / np.maximum(E, 1e-300), 0.0)
+        w_k = base + w * bonus
+        expected_w = float(np.dot(self._pk, w_k))
+        return self.reward * expected_w - prices.p_e * e_i - prices.p_c * c_i
+
+    def _marginals(self, e_i: float, c_i: float, e_sym: float, c_sym: float,
+                   ) -> Tuple[float, float]:
+        """Distribution-weighted marginal incomes ``(g_e, g_c)``.
+
+        ``g_c = R (1-β) Σ_k P(k) s̄_k / S_k²`` and
+        ``g_e = g_c + R β Σ_k P(k) w_sat(k) ē_k / E_k²``.
+        """
+        beta = self.fork_rate
+        others = self._ks - 1.0
+        e_bar = others * e_sym
+        s_bar = others * (e_sym + c_sym)
+        S = s_bar + e_i + c_i
+        E = e_bar + e_i
+        w = self._sat_weights(e_sym)
+        g_c_terms = np.where(S > 0, s_bar / np.maximum(S * S, 1e-300), 0.0)
+        g_e_terms = np.where(E > 0, e_bar / np.maximum(E * E, 1e-300), 0.0)
+        g_c = self.reward * (1.0 - beta) * float(np.dot(self._pk, g_c_terms))
+        g_e_extra = self.reward * beta * float(
+            np.dot(self._pk * w, g_e_terms))
+        return g_c + g_e_extra, g_c
+
+    # ------------------------------------------------------------------ #
+    # Exact best response (KKT with scalar root-finding).
+    # ------------------------------------------------------------------ #
+
+    def best_response(self, e_sym: float, c_sym: float,
+                      prices: Prices) -> Tuple[float, float]:
+        """Exact best response to a symmetric opponent profile.
+
+        Solves the same KKT system as the fixed-``N`` case; the marginal
+        incomes are expectation-weighted, so the aggregate closed forms are
+        replaced by monotone scalar root-finds.
+        """
+        p_e, p_c = prices.p_e, prices.p_c
+
+        def candidate(lam: float) -> Tuple[float, float]:
+            a_e = p_e * (1.0 + lam)
+            a_c = p_c * (1.0 + lam)
+            # Stage 1: joint interior attempt. The FOCs are
+            #   g_e(e, c) = a_e ,  g_c(e, c) = a_c .
+            # g_c depends on (e + c) only; g_e - g_c depends on e only.
+            delta = a_e - a_c
+
+            def edge_gap(e: float) -> float:
+                g_e, g_c = self._marginals(e, 0.0, e_sym, c_sym)
+                return (g_e - g_c) - delta
+
+            if delta <= 0.0 or edge_gap(0.0) <= 0.0:
+                e_val = 0.0
+            else:
+                hi = 1.0
+                while edge_gap(hi) > 0.0:
+                    hi *= 2.0
+                    if hi > 1e15:
+                        raise ConvergenceError(
+                            "dynamic best response diverged in e")
+                e_val = float(brentq(edge_gap, 0.0, hi, xtol=1e-13))
+
+            def total_gap(t: float) -> float:
+                # t = e_i + c_i ; g_c depends only on t.
+                _, g_c = self._marginals(t, 0.0, e_sym, c_sym)
+                return g_c - a_c
+
+            if total_gap(e_val) <= 0.0:
+                # Even at c = 0 the cloud marginal is unprofitable.
+                t_val = e_val
+            else:
+                hi = max(2.0 * e_val, 1.0)
+                while total_gap(hi) > 0.0:
+                    hi *= 2.0
+                    if hi > 1e15:
+                        raise ConvergenceError(
+                            "dynamic best response diverged in c")
+                t_val = float(brentq(total_gap, e_val, hi, xtol=1e-13))
+            c_val = max(t_val - e_val, 0.0)
+
+            if c_val == 0.0:
+                # Corner: re-optimize e alone against the full marginal.
+                def e_only_gap(e: float) -> float:
+                    g_e, _ = self._marginals(e, 0.0, e_sym, c_sym)
+                    return g_e - a_e
+
+                if e_only_gap(0.0) <= 0.0:
+                    e_val = 0.0
+                else:
+                    hi = 1.0
+                    while e_only_gap(hi) > 0.0:
+                        hi *= 2.0
+                        if hi > 1e15:
+                            raise ConvergenceError(
+                                "dynamic best response diverged (corner)")
+                    e_val = float(brentq(e_only_gap, 0.0, hi, xtol=1e-13))
+            return e_val, c_val
+
+        def spend(lam: float) -> float:
+            e, c = candidate(lam)
+            return p_e * e + p_c * c
+
+        e0, c0 = candidate(0.0)
+        if p_e * e0 + p_c * c0 <= self.budget + 1e-12:
+            return e0, c0
+        lo, hi = 0.0, 1.0
+        while spend(hi) > self.budget:
+            lo = hi
+            hi *= 2.0
+            if hi > 1e12:
+                raise ConvergenceError("budget multiplier bracket diverged")
+        lam = float(brentq(lambda x: spend(x) - self.budget, lo, hi,
+                           xtol=1e-13))
+        return candidate(lam)
+
+
+def solve_dynamic_equilibrium(game: DynamicGame, prices: Prices,
+                              tol: float = 1e-8, max_iter: int = 10000,
+                              damping: float = 0.3,
+                              initial: Optional[Tuple[float, float]] = None,
+                              raise_on_failure: bool = False,
+                              ) -> DynamicEquilibrium:
+    """Symmetric fixed point of the expected-utility best response.
+
+    Args:
+        game: The population-uncertainty game.
+        prices: Announced SP prices.
+        tol: Relative tolerance on the strategy update.
+        max_iter: Maximum damped-iteration steps.
+        damping: Fixed-point damping (0.5 is robust for the capacity-weight
+            model whose weights switch discretely with ``e``).
+        initial: Optional starting symmetric strategy.
+        raise_on_failure: Raise instead of returning a flagged result.
+    """
+    if not 0.0 < damping <= 1.0:
+        raise ConfigurationError("damping must be in (0, 1]")
+    if initial is None:
+        e = game.budget / (4.0 * prices.p_e)
+        c = game.budget / (4.0 * prices.p_c)
+    else:
+        e, c = float(initial[0]), float(initial[1])
+
+    recorder = ResidualRecorder(tol)
+    converged = False
+    iterations = 0
+    alpha = damping
+    prev_residual = float("inf")
+    stall = 0
+    improve = 0
+    for it in range(max_iter):
+        iterations = it + 1
+        e_br, c_br = game.best_response(e, c, prices)
+        e_new = (1.0 - alpha) * e + alpha * e_br
+        c_new = (1.0 - alpha) * c + alpha * c_br
+        scale = max(1.0, abs(e_new), abs(c_new))
+        residual = max(abs(e_new - e), abs(c_new - c)) / scale
+        e, c = e_new, c_new
+        if recorder.record(residual):
+            converged = True
+            break
+        # Adaptive damping: an oscillating/stalling residual means the
+        # best-response map is locally expansive — shrink the step; after
+        # sustained improvement, cautiously grow it back.
+        if residual >= 0.9 * prev_residual:
+            stall += 1
+            improve = 0
+            if stall >= 3:
+                alpha = max(alpha * 0.5, 0.02)
+                stall = 0
+        else:
+            stall = 0
+            improve += 1
+            if improve >= 25:
+                alpha = min(alpha * 1.5, damping)
+                improve = 0
+        prev_residual = residual
+    report = recorder.report(converged, iterations,
+                             message=f"final damping {alpha:.3g}")
+    if not converged and raise_on_failure:
+        raise ConvergenceError(f"dynamic fixed point failed: {report}",
+                               report)
+
+    ks = game.population.support().astype(float)
+    pk = game.population.pmf()
+    expected_edge = float(np.dot(pk, ks)) * e
+    if game.e_max is not None:
+        overload = float(np.dot(pk, (ks * e > game.e_max).astype(float)))
+    else:
+        overload = 0.0
+    utility = game.expected_utility(e, c, e, c, prices)
+    return DynamicEquilibrium(e=e, c=c, expected_edge_total=expected_edge,
+                              expected_overload=overload, utility=utility,
+                              report=report)

@@ -1,0 +1,150 @@
+"""Adapter: the miner subgame as a generic :class:`ContinuousGame`.
+
+The specialized solver in :mod:`repro.core.nep` is the fast path; this
+adapter plugs the same game into the paper-agnostic machinery of
+:mod:`repro.game` (strategy spaces, damped best-response iteration,
+projected-gradient fallback). It exists for two reasons:
+
+* **cross-validation** — the generic solver must land on the same unique
+  NE as the specialized one (tested), which guards both against
+  implementation drift;
+* **extensibility** — downstream users with modified miner utilities can
+  subclass :class:`MinerPlayer` and reuse every generic solver
+  unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..game.best_response import (BestResponseOptions, BestResponseResult,
+                                  solve_nash)
+from ..game.diagnostics import ConvergenceReport
+from ..game.types import BudgetBox, ContinuousGame, Player
+from .miner_best_response import ResponseContext, solve_best_response
+from .nep import MinerEquilibrium
+from .params import GameParameters, Prices
+
+__all__ = ["MinerPlayer", "OpponentAggregates", "build_miner_game",
+           "solve_via_generic"]
+
+
+@dataclass(frozen=True)
+class OpponentAggregates:
+    """Opponent context handed to each :class:`MinerPlayer`.
+
+    Attributes:
+        e_others: Opponents' total edge units ``ē``.
+        s_others: Opponents' total units ``s̄``.
+    """
+
+    e_others: float
+    s_others: float
+
+
+class MinerPlayer(Player):
+    """One miner as a generic 2-D player over its budget box.
+
+    Args:
+        index: Miner index (for labeling only).
+        params: Shared game parameters.
+        prices: Announced SP prices.
+        use_analytic_br: If False, the generic solver falls back to
+            projected gradient ascent — exercised by the cross-validation
+            tests.
+    """
+
+    def __init__(self, index: int, params: GameParameters, prices: Prices,
+                 use_analytic_br: bool = True):
+        self.index = index
+        self.params = params
+        self.prices = prices
+        self.use_analytic_br = use_analytic_br
+        self.space = BudgetBox(prices.as_array,
+                               float(params.budget_array[index]))
+
+    def _pieces(self, own: np.ndarray, others: OpponentAggregates):
+        e_i, c_i = float(own[0]), float(own[1])
+        S = others.s_others + e_i + c_i
+        E = others.e_others + e_i
+        return e_i, c_i, S, E
+
+    def payoff(self, own: np.ndarray, others: OpponentAggregates) -> float:
+        e_i, c_i, S, E = self._pieces(own, others)
+        beta = self.params.fork_rate
+        h = self.params.effective_h
+        base = (1.0 - beta) * (e_i + c_i) / S if S > 0 else 0.0
+        bonus = beta * h * e_i / E if E > 0 else 0.0
+        return self.params.reward * (base + bonus) \
+            - self.prices.p_e * e_i - self.prices.p_c * c_i
+
+    def payoff_gradient(self, own: np.ndarray,
+                        others: OpponentAggregates) -> np.ndarray:
+        e_i, c_i, S, E = self._pieces(own, others)
+        beta = self.params.fork_rate
+        h = self.params.effective_h
+        g_s = self.params.reward * (1.0 - beta) * others.s_others / (S * S) \
+            if S > 0 else 0.0
+        g_e = self.params.reward * beta * h * others.e_others / (E * E) \
+            if E > 0 else 0.0
+        return np.array([g_s + g_e - self.prices.p_e,
+                         g_s - self.prices.p_c])
+
+    def best_response(self, others: OpponentAggregates):
+        if not self.use_analytic_br:
+            return None
+        br = solve_best_response(
+            ResponseContext(e_others=max(others.e_others, 0.0),
+                            s_others=max(others.s_others,
+                                         others.e_others, 0.0)),
+            reward=self.params.reward, beta=self.params.fork_rate,
+            h=self.params.effective_h, p_e=self.prices.p_e,
+            p_c=self.prices.p_c,
+            budget=float(self.params.budget_array[self.index]))
+        return np.array([br.e, br.c])
+
+
+def build_miner_game(params: GameParameters, prices: Prices,
+                     use_analytic_br: bool = True):
+    """Construct the generic game and its opponent-context builder.
+
+    Returns:
+        ``(game, build_context)`` ready for
+        :func:`repro.game.best_response.solve_nash`.
+    """
+    players = [MinerPlayer(i, params, prices,
+                           use_analytic_br=use_analytic_br)
+               for i in range(params.n)]
+    game = ContinuousGame(players)
+
+    def build_context(profile: List[np.ndarray],
+                      i: int) -> OpponentAggregates:
+        e_total = sum(float(b[0]) for b in profile)
+        s_total = e_total + sum(float(b[1]) for b in profile)
+        own = profile[i]
+        return OpponentAggregates(
+            e_others=e_total - float(own[0]),
+            s_others=s_total - float(own[0]) - float(own[1]))
+
+    return game, build_context
+
+
+def solve_via_generic(params: GameParameters, prices: Prices,
+                      options: Optional[BestResponseOptions] = None,
+                      use_analytic_br: bool = True) -> MinerEquilibrium:
+    """Solve the connected-mode subgame with the generic Nash solver.
+
+    Packs the result as a standard :class:`MinerEquilibrium` so all
+    downstream tooling (verification, welfare, experiments) applies.
+    """
+    game, build_context = build_miner_game(params, prices,
+                                           use_analytic_br=use_analytic_br)
+    opts = options or BestResponseOptions(tol=1e-9, damping=1.0)
+    result: BestResponseResult = solve_nash(game, build_context, opts)
+    e = np.array([float(b[0]) for b in result.profile])
+    c = np.array([float(b[1]) for b in result.profile])
+    return MinerEquilibrium(e=e, c=c, params=params, prices=prices,
+                            report=result.report)

@@ -1,0 +1,238 @@
+"""Standalone-mode miner subgame (Problem 1c, GNEP_MINER).
+
+The miners share the hard coupling constraint ``Σ e_i <= E_max``, turning the
+subgame into a jointly convex Generalized Nash Equilibrium Problem. Among its
+(generally infinite) equilibria we compute the *variational equilibrium* —
+the solution singled out by the VI reformulation of Theorem 5 in which every
+miner faces the same shadow price ``ν`` for edge capacity.
+
+Two independent solvers are provided and cross-validated in the test suite:
+
+* :func:`solve_standalone_equilibrium` — shadow-price decomposition. For a
+  trial ``ν``, miners play the plain NEP with perceived edge price
+  ``P_e + ν`` (budget still charged at ``P_e``); the induced edge demand
+  ``E(ν)`` is strictly decreasing, so the complementarity condition
+  ``ν ⟂ (E_max - E(ν))`` is solved by bracketing + bisection. This mirrors
+  the economics of Algorithm 2: the capacity constraint manifests as a price
+  mark-up that rations edge demand to exactly ``E_max``.
+* :func:`solve_standalone_extragradient` — Korpelevich extragradient on the
+  joint VI with a Dykstra projection onto the intersection of per-miner
+  budget boxes and the shared half-space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ConvergenceError
+from ..game.projections import dykstra, project_budget_orthant, \
+    project_halfspace
+from ..game.vi import VIProblem, solve_vi_adaptive
+from . import utility
+from .nep import MinerEquilibrium, initial_profile, \
+    solve_connected_equilibrium
+from .params import EdgeMode, GameParameters, Prices
+
+__all__ = ["solve_standalone_equilibrium", "solve_standalone_extragradient",
+           "edge_demand"]
+
+
+def _require_standalone(params: GameParameters) -> float:
+    if params.mode is not EdgeMode.STANDALONE:
+        raise ConfigurationError(
+            "this solver requires standalone-mode parameters "
+            f"(got {params.mode})")
+    assert params.e_max is not None  # guaranteed by GameParameters
+    return float(params.e_max)
+
+
+def edge_demand(params: GameParameters, prices: Prices, nu: float,
+                tol: float = 1e-10, max_iter: int = 3000,
+                initial: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+                ) -> MinerEquilibrium:
+    """Unconstrained miner equilibrium under perceived edge price
+    ``P_e + ν`` (budget charged at ``P_e``). Helper of the decomposition.
+
+    Warm starts are rescaled onto the ν-shifted premium: interior edge
+    demand scales like ``1/(P_e + ν - P_c)``, and starting far above the
+    target risks the absorbing edge collapse documented in
+    :mod:`repro.core.nep`.
+    """
+    if initial is not None and nu > 0.0 and prices.p_e > prices.p_c:
+        scale = prices.premium() / (prices.premium() + nu)
+        initial = (np.asarray(initial[0], dtype=float) * scale,
+                   np.asarray(initial[1], dtype=float))
+    return solve_connected_equilibrium(params, prices, tol=tol,
+                                       max_iter=max_iter, initial=initial,
+                                       _nu=nu)
+
+
+def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
+                                 tol: float = 1e-9,
+                                 capacity_tol: float = 1e-7,
+                                 max_bisect: int = 200,
+                                 raise_on_failure: bool = False,
+                                 ) -> MinerEquilibrium:
+    """Variational equilibrium of GNEP_MINER via shadow-price decomposition.
+
+    Args:
+        params: Standalone-mode game parameters (``e_max`` set).
+        prices: Announced SP prices.
+        tol: Tolerance for the inner NEP solves.
+        capacity_tol: Relative tolerance on ``|E - E_max|`` when the
+            capacity constraint binds.
+        max_bisect: Maximum bisection steps on ``ν``.
+        raise_on_failure: Raise instead of returning a flagged result.
+
+    Returns:
+        :class:`MinerEquilibrium` with ``nu`` set to the capacity shadow
+        price (0 when the constraint is slack).
+    """
+    e_max = _require_standalone(params)
+
+    free = edge_demand(params, prices, nu=0.0, tol=tol)
+    if free.total_edge <= e_max * (1.0 + capacity_tol):
+        return free
+
+    # Capacity binds: bracket ν so that E(ν_hi) < E_max < E(ν_lo).
+    nu_lo, nu_hi = 0.0, max(prices.p_e, 1.0)
+    warm = (free.e, free.c)
+    eq_hi = edge_demand(params, prices, nu=nu_hi, tol=tol, initial=warm)
+    guard = 0
+    while eq_hi.total_edge > e_max:
+        nu_lo = nu_hi
+        nu_hi *= 2.0
+        guard += 1
+        if guard > 60:
+            raise ConvergenceError(
+                "could not bracket the capacity shadow price; edge demand "
+                "appears insensitive to price")
+        eq_hi = edge_demand(params, prices, nu=nu_hi, tol=tol,
+                            initial=warm)
+
+    # Brentq on the (smooth, strictly decreasing) excess-demand curve is
+    # far cheaper than plain bisection; warm starts thread the last
+    # profile through consecutive evaluations.
+    from scipy.optimize import brentq
+
+    state = {"eq": eq_hi}
+
+    def solve_at(nu: float) -> MinerEquilibrium:
+        state["eq"] = edge_demand(params, prices, nu=nu, tol=tol,
+                                  initial=(state["eq"].e, state["eq"].c))
+        return state["eq"]
+
+    def excess(nu: float) -> float:
+        return solve_at(nu).total_edge - e_max
+
+    tol_abs = capacity_tol * max(e_max, 1.0)
+    f_lo = excess(nu_lo)
+    eq_at_lo = state["eq"]
+    if abs(f_lo) <= tol_abs or f_lo < 0:
+        # The bracket endpoint already sits on (or just inside) capacity —
+        # brentq would see no sign change.
+        eq = eq_at_lo
+    else:
+        f_hi = excess(nu_hi)
+        if abs(f_hi) <= tol_abs:
+            eq = state["eq"]
+        else:
+            try:
+                nu_star = float(brentq(
+                    excess, nu_lo, nu_hi,
+                    xtol=capacity_tol * max(prices.p_e, 1.0),
+                    maxiter=max_bisect))
+                eq = solve_at(nu_star)
+            except (ValueError, RuntimeError) as ex:
+                if raise_on_failure:
+                    raise ConvergenceError(
+                        f"capacity shadow-price search failed: {ex}") from ex
+                eq = state["eq"]
+
+    # Snap the profile exactly onto the capacity plane (uniform shrink of
+    # the residual violation, well within capacity_tol).
+    if eq.total_edge > e_max and eq.total_edge > 0:
+        eq.e = eq.e * (e_max / eq.total_edge)
+    return eq
+
+
+def _joint_projection(params: GameParameters, prices: Prices,
+                      e_max: float):
+    """Projection onto {per-miner budget boxes} ∩ {Σ e_i <= E_max}.
+
+    The joint vector layout is ``x = [e_0..e_{n-1}, c_0..c_{n-1}]``.
+    """
+    n = params.n
+    budgets = params.budget_array
+    price_vec = prices.as_array
+    normal = np.concatenate([np.ones(n), np.zeros(n)])
+
+    def project_boxes(x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x)
+        for i in range(n):
+            block = np.array([x[i], x[n + i]])
+            proj = project_budget_orthant(block, price_vec,
+                                          float(budgets[i]))
+            out[i] = proj[0]
+            out[n + i] = proj[1]
+        return out
+
+    def project_capacity(x: np.ndarray) -> np.ndarray:
+        return project_halfspace(x, normal, e_max)
+
+    def project(x: np.ndarray) -> np.ndarray:
+        return dykstra(x, [project_boxes, project_capacity])
+
+    return project
+
+
+def solve_standalone_extragradient(params: GameParameters, prices: Prices,
+                                   tol: float = 1e-8,
+                                   max_iter: int = 50000,
+                                   step: float = 1.0,
+                                   initial: Optional[Tuple[np.ndarray,
+                                                           np.ndarray]] = None,
+                                   raise_on_failure: bool = False,
+                                   ) -> MinerEquilibrium:
+    """Variational equilibrium of GNEP_MINER via extragradient on the VI.
+
+    Slower than the decomposition but assumption-light; used to
+    cross-validate :func:`solve_standalone_equilibrium` (ablation ABL1).
+    """
+    e_max = _require_standalone(params)
+    n = params.n
+
+    def operator(x: np.ndarray) -> np.ndarray:
+        e = x[:n]
+        c = x[n:]
+        du_de, du_dc = utility.miner_utility_gradients(e, c, params, prices)
+        return -np.concatenate([du_de, du_dc])
+
+    project = _joint_projection(params, prices, e_max)
+    if initial is None:
+        e0, c0 = initial_profile(params, prices)
+    else:
+        e0, c0 = initial
+    x0 = np.concatenate([np.asarray(e0, float), np.asarray(c0, float)])
+
+    problem = VIProblem(operator=operator, project=project, dim=2 * n)
+    result = solve_vi_adaptive(problem, x0=x0, step=step, tol=tol,
+                               max_iter=max_iter,
+                               raise_on_failure=raise_on_failure)
+    e = result.solution[:n]
+    c = result.solution[n:]
+    # Recover the capacity shadow price from the aggregate KKT residual of
+    # any interior miner (diagnostic only; 0 when capacity is slack).
+    nu = 0.0
+    if float(np.sum(e)) >= e_max * (1.0 - 1e-6):
+        du_de, du_dc = utility.miner_utility_gradients(e, c, params, prices)
+        interior = (e > 1e-9) & (c > 1e-9)
+        if np.any(interior):
+            # For interior miners with slack budget: du_de - nu = 0 and
+            # du_dc = 0, hence nu = du_de - du_dc.
+            nu = float(np.median(du_de[interior] - du_dc[interior]))
+            nu = max(nu, 0.0)
+    return MinerEquilibrium(e=e, c=c, params=params, prices=prices,
+                            report=result.report, nu=nu)

@@ -1,0 +1,153 @@
+"""Exact closed-form miner demand for homogeneous games.
+
+The leader-stage solvers evaluate the follower equilibrium at hundreds of
+price points; for homogeneous miners every regime of that equilibrium has
+a closed form (Section IV-B and DESIGN.md §2), so the demand oracle can
+answer in O(1) instead of re-running the best-response iteration. The
+regime structure, with ``a = 1-β``, ``g = βh``, ``D = a+g``,
+``k = R(n-1)/n²``:
+
+* **mixed** (``P_e > P_c`` and ``P_c < a P_e / D``): Theorem 3 if the
+  budget binds (``B < kD``), else Corollary 1. The per-miner interior
+  spend is exactly ``kD`` in *every* regime below too, which makes the
+  binding test uniform.
+* **pure edge** (``P_c >= a P_e / D``, or ``P_e <= P_c``): the cloud's
+  delay discount cannot compensate its price; symmetric e-only play gives
+  ``e* = kD / P_e`` interior, ``B / P_e`` binding.
+* **pure cloud** (``βh = 0`` and ``P_e > P_c``): the edge has no latency
+  advantage left; ``c* = ka / P_c`` interior, ``B / P_c`` binding.
+* **standalone capacity binding**: ``e* = E_max/n`` with the cloud side
+  re-solved by its own FOC at ``λ = 0`` or on the budget plane.
+
+Every branch is cross-validated against the iterative solvers in
+``tests/core/test_homogeneous_demand.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .params import EdgeMode, GameParameters, Prices
+
+__all__ = ["HomogeneousDemand", "homogeneous_demand"]
+
+
+@dataclass(frozen=True)
+class HomogeneousDemand:
+    """Closed-form symmetric demand at one price point.
+
+    Attributes:
+        e: Per-miner ESP request.
+        c: Per-miner CSP request.
+        n: Number of miners.
+        regime: Which closed-form branch applied (diagnostic).
+        nu: Capacity shadow price (standalone; 0 otherwise).
+    """
+
+    e: float
+    c: float
+    n: int
+    regime: str
+    nu: float = 0.0
+
+    @property
+    def total_edge(self) -> float:
+        return self.n * self.e
+
+    @property
+    def total_cloud(self) -> float:
+        return self.n * self.c
+
+    @property
+    def total(self) -> float:
+        return self.n * (self.e + self.c)
+
+
+def _unconstrained(n: int, budget: float, reward: float, beta: float,
+                   h: float, prices: Prices) -> HomogeneousDemand:
+    """Symmetric equilibrium ignoring any capacity constraint."""
+    a = 1.0 - beta
+    g = beta * h
+    D = a + g
+    k = reward * (n - 1) / (n * n)
+    p_e, p_c = prices.p_e, prices.p_c
+
+    if g <= 0.0:
+        # No latency advantage: miners buy only the cheaper venue.
+        if p_e < p_c:
+            e = min(k * a / p_e, budget / p_e)
+            return HomogeneousDemand(e=e, c=0.0, n=n, regime="pure-edge")
+        c = min(k * a / p_c, budget / p_c)
+        return HomogeneousDemand(e=0.0, c=c, n=n, regime="pure-cloud")
+
+    mixed = p_e > p_c and p_c < a * p_e / D
+    if not mixed:
+        # Pure-edge regime: cloud dominated at these prices.
+        e = min(k * D / p_e, budget / p_e)
+        regime = "pure-edge-binding" if budget < k * D else "pure-edge"
+        return HomogeneousDemand(e=e, c=0.0, n=n, regime=regime)
+
+    premium = p_e - p_c
+    if budget < k * D:
+        # Theorem 3 (budget binding).
+        e = budget * g / (D * premium)
+        c = budget * (a * premium - g * p_c) / (p_c * D * premium)
+        return HomogeneousDemand(e=e, c=c, n=n, regime="binding")
+    # Corollary 1 (interior).
+    e = k * g / premium
+    c = k * a / p_c - e
+    return HomogeneousDemand(e=e, c=c, n=n, regime="interior")
+
+
+def homogeneous_demand(params: GameParameters,
+                       prices: Prices) -> HomogeneousDemand:
+    """Closed-form symmetric miner demand for a homogeneous game.
+
+    Raises:
+        ConfigurationError: If the game is not homogeneous, or the
+            parameters land in a corner the closed forms do not cover
+            (callers should fall back to the iterative solvers).
+    """
+    if not params.is_homogeneous:
+        raise ConfigurationError("closed-form demand needs homogeneous "
+                                 "miners")
+    n = params.n
+    budget = float(params.budget_array[0])
+    beta = params.fork_rate
+    h = params.effective_h
+    free = _unconstrained(n, budget, params.reward, beta, h, prices)
+    if params.mode is not EdgeMode.STANDALONE:
+        return free
+
+    e_max = float(params.e_max)
+    if free.total_edge <= e_max:
+        return free
+
+    # Capacity binds: e* = E_max/n; the cloud request re-solves its FOC.
+    a = 1.0 - beta
+    k = params.reward * (n - 1) / (n * n)
+    e = e_max / n
+    p_e, p_c = prices.p_e, prices.p_c
+    edge_spend = p_e * e
+    if edge_spend > budget:
+        # Budget cannot even cover the capacity share — a genuinely mixed
+        # budget/capacity corner the closed forms do not resolve.
+        raise ConfigurationError(
+            "budget/capacity corner: fall back to the iterative solver")
+    total_interior = k * a / p_c       # per-miner e + c from the cloud FOC
+    c = total_interior - e
+    if c < 0.0:
+        raise ConfigurationError(
+            "capacity-binding corner with c* < 0: fall back to the "
+            "iterative solver")
+    if edge_spend + p_c * c > budget:
+        c = (budget - edge_spend) / p_c
+        regime = "capacity+budget"
+    else:
+        regime = "capacity"
+    # Shadow price from the aggregate edge FOC: at the symmetric capacity
+    # point, g_e - g_c = (P_e + ν - P_c) with g_e - g_c = βhR(n-1)/(n²e).
+    g = beta * h
+    nu = max(params.reward * g * (n - 1) / (n * n * e) - (p_e - p_c), 0.0)
+    return HomogeneousDemand(e=e, c=c, n=n, regime=regime, nu=nu)

@@ -1,0 +1,231 @@
+"""Semi-analytic best response of one miner (Section IV-A, Eqs. 12-15).
+
+Each miner solves a 2-variable concave program
+
+    maximize  R (1-β)(e+c)/(s̄+e+c) + R γ e/(ē+e) - q_e e - q_c c
+    s.t.      p_e e + p_c c <= B,   e >= 0,   c >= 0
+
+where ``ē``/``s̄`` are the opponents' aggregate edge/total requests,
+``γ = β h`` and, in the plain NEP, the *objective* prices ``q`` equal the
+*budget* prices ``p``. The distinction matters for the GNEP decomposition of
+standalone mode: the shared-capacity multiplier ``ν`` raises the perceived
+edge price to ``q_e = p_e + ν`` while the budget is still charged at ``p_e``.
+
+The KKT system is solved exactly:
+
+* for a fixed budget multiplier ``λ``, the stationarity conditions give the
+  aggregates in closed form — ``S* = sqrt(R(1-β) s̄ / (q_c + λ p_c))`` and
+  ``E* = sqrt(R γ ē / Δ(λ))`` with ``Δ(λ) = (q_e + λ p_e) - (q_c + λ p_c)``
+  (Eq. 14 of the paper, generalized) — with corner fallbacks resolved by
+  scalar root-finding;
+* the complementary-slackness value of ``λ`` is found by bracketing +
+  ``brentq`` on the (monotone decreasing) spending curve, the generalized
+  form of Eq. (15).
+
+Degenerate pools: when ``ē = 0`` the edge bonus ``β h e/E`` jumps to
+``β h`` for any ``e > 0`` (a removable model discontinuity noted in
+DESIGN.md). The KKT solution then has ``e = 0``; equilibrium iteration from
+interior starting points never reaches this state for ``n >= 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from scipy.optimize import brentq
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ResponseContext", "BestResponse", "solve_best_response"]
+
+_TOL = 1e-13
+
+
+@dataclass(frozen=True)
+class ResponseContext:
+    """Opponent aggregates seen by one miner.
+
+    Attributes:
+        e_others: ``ē = Σ_{j≠i} e_j``.
+        s_others: ``s̄ = Σ_{j≠i} (e_j + c_j)``.
+    """
+
+    e_others: float
+    s_others: float
+
+    def __post_init__(self) -> None:
+        if self.e_others < 0 or self.s_others < 0:
+            raise ConfigurationError("opponent aggregates must be >= 0")
+        if self.e_others > self.s_others + 1e-9:
+            raise ConfigurationError(
+                f"e_others={self.e_others} cannot exceed "
+                f"s_others={self.s_others}")
+
+
+@dataclass(frozen=True)
+class BestResponse:
+    """Solution of one miner's optimization problem.
+
+    Attributes:
+        e: Optimal ESP request ``e_i*``.
+        c: Optimal CSP request ``c_i*``.
+        budget_multiplier: KKT multiplier ``λ`` of the budget constraint
+            (0 when the budget is slack).
+        spending: ``p_e e + p_c c`` at the optimum.
+    """
+
+    e: float
+    c: float
+    budget_multiplier: float
+    spending: float
+
+    @property
+    def budget_binding(self) -> bool:
+        return self.budget_multiplier > 0.0
+
+
+def _edge_only(reward: float, beta: float, gamma: float, ctx: ResponseContext,
+               a_e: float) -> float:
+    """Maximize the e-only objective: marginal ``g_S(s̄+e) + g_E(ē+e) = a_e``.
+
+    The left side is strictly decreasing in ``e``; returns the non-negative
+    root (0 when even the first unit is unprofitable).
+    """
+    s_bar, e_bar = ctx.s_others, ctx.e_others
+
+    def marginal(e: float) -> float:
+        total = s_bar + e
+        g_s = reward * (1.0 - beta) * s_bar / (total * total) \
+            if total > 0 else 0.0
+        pool = e_bar + e
+        g_e = reward * gamma * e_bar / (pool * pool) if pool > 0 else 0.0
+        return g_s + g_e
+
+    if marginal(0.0) <= a_e or (s_bar == 0.0 and e_bar == 0.0):
+        return 0.0
+    hi = 1.0
+    while marginal(hi) > a_e:
+        hi *= 2.0
+        if hi > 1e16:
+            raise ConfigurationError(
+                "edge-only best response diverged; check prices > 0")
+    return float(brentq(lambda x: marginal(x) - a_e, 0.0, hi,
+                        xtol=1e-14, rtol=8.9e-16))
+
+
+def _cloud_only(reward: float, beta: float, ctx: ResponseContext,
+                a_c: float) -> float:
+    """Maximize the c-only objective: ``g_S(s̄+c) = a_c`` in closed form."""
+    s_bar = ctx.s_others
+    if s_bar <= 0.0:
+        return 0.0
+    target = math.sqrt(reward * (1.0 - beta) * s_bar / a_c)
+    return max(target - s_bar, 0.0)
+
+
+def _candidate(reward: float, beta: float, gamma: float, ctx: ResponseContext,
+               q_e: float, q_c: float, p_e: float, p_c: float,
+               lam: float) -> Tuple[float, float]:
+    """Stationary point for a fixed budget multiplier ``λ`` (Eq. 14 form)."""
+    a_e = q_e + lam * p_e
+    a_c = q_c + lam * p_c
+    delta = a_e - a_c
+    s_bar, e_bar = ctx.s_others, ctx.e_others
+
+    if s_bar <= 0.0:
+        # Opponents buy nothing: cloud units yield zero marginal income.
+        if e_bar <= 0.0 or gamma <= 0.0:
+            return 0.0, 0.0
+        return _edge_only(reward, beta, gamma, ctx, a_e), 0.0
+
+    if delta <= 0.0 or gamma <= 0.0 or e_bar <= 0.0:
+        if gamma > 0.0 and e_bar > 0.0 and delta <= 0.0:
+            # Edge is no pricier than cloud but strictly more valuable:
+            # cloud is dominated.
+            return _edge_only(reward, beta, gamma, ctx, a_e), 0.0
+        # No extra value from the edge pool (γ=0 or ē=0): pick the cheaper
+        # objective price for the pure (1-β)/S income stream.
+        if a_e < a_c:
+            return _edge_only(reward, beta, gamma, ctx, a_e), 0.0
+        return 0.0, _cloud_only(reward, beta, ctx, a_c)
+
+    # Mixed interior attempt (Eq. 14): closed-form target aggregates.
+    s_target = math.sqrt(reward * (1.0 - beta) * s_bar / a_c)
+    e_target = math.sqrt(reward * gamma * e_bar / delta)
+    e = e_target - e_bar
+    c = (s_target - s_bar) - e
+    if e < 0.0:
+        return 0.0, _cloud_only(reward, beta, ctx, a_c)
+    if c < 0.0:
+        return _edge_only(reward, beta, gamma, ctx, a_e), 0.0
+    return e, c
+
+
+def solve_best_response(ctx: ResponseContext, *, reward: float, beta: float,
+                        h: float, p_e: float, p_c: float, budget: float,
+                        nu: float = 0.0) -> BestResponse:
+    """Exact best response of one miner.
+
+    Args:
+        ctx: Opponent aggregates ``(ē, s̄)``.
+        reward: Mining reward ``R``.
+        beta: Fork rate ``β`` in ``[0, 1)``.
+        h: Edge satisfaction probability (``γ = β h`` enters the objective).
+        p_e: ESP unit price (budget and, plus ``nu``, objective).
+        p_c: CSP unit price.
+        budget: Miner budget ``B_i``.
+        nu: Shared-capacity multiplier of the standalone GNEP decomposition;
+            the perceived edge price becomes ``p_e + nu`` while spending is
+            still charged at ``p_e``. Zero for the plain NEP.
+
+    Returns:
+        The optimal :class:`BestResponse`.
+    """
+    if p_e <= 0 or p_c <= 0:
+        raise ConfigurationError("prices must be positive")
+    if budget <= 0:
+        raise ConfigurationError("budget must be positive")
+    if nu < 0:
+        raise ConfigurationError("capacity multiplier nu must be >= 0")
+    if not 0.0 <= beta < 1.0:
+        raise ConfigurationError("beta must be in [0, 1)")
+    gamma = beta * h
+    q_e = p_e + nu
+    q_c = p_c
+
+    def candidate(lam: float) -> Tuple[float, float]:
+        return _candidate(reward, beta, gamma, ctx, q_e, q_c, p_e, p_c, lam)
+
+    def spend(lam: float) -> float:
+        e, c = candidate(lam)
+        return p_e * e + p_c * c
+
+    e0, c0 = candidate(0.0)
+    cost0 = p_e * e0 + p_c * c0
+    if cost0 <= budget + _TOL:
+        return BestResponse(e=e0, c=c0, budget_multiplier=0.0,
+                            spending=cost0)
+
+    # Budget binds: bracket λ and solve spend(λ) = B (Eq. 15, generalized).
+    lo, hi = 0.0, 1.0
+    while spend(hi) > budget:
+        lo = hi
+        hi *= 2.0
+        if hi > 1e18:
+            raise ConfigurationError(
+                "budget multiplier bracket diverged; model is degenerate")
+    lam = float(brentq(lambda x: spend(x) - budget, lo, hi,
+                       xtol=1e-14, rtol=8.9e-16))
+    e, c = candidate(lam)
+    # Re-scale exactly onto the budget plane to remove root-finding slack.
+    cost = p_e * e + p_c * c
+    if cost > 0.0:
+        scale = budget / cost
+        # Only apply when it is a shrink/grow of at most the solver slack.
+        if abs(scale - 1.0) < 1e-6:
+            e *= scale
+            c *= scale
+            cost = budget
+    return BestResponse(e=e, c=c, budget_multiplier=lam, spending=cost)

@@ -1,0 +1,392 @@
+"""Multi-ESP extension: price competition among edge providers.
+
+The paper's "future work" direction: what changes when *several* edge
+providers compete for the miners? With zero latency at every ESP the
+providers are perfect substitutes, so (homogeneous miners, interior
+regime, common satisfaction probability ``h``) the miner side aggregates:
+the marginal value of the ``E``-th edge unit follows from Corollary 1's
+FOC,
+
+    v(E) = P_c + n k β h / E ,     k = R (n-1) / n²,
+
+i.e. aggregate edge demand at an effective price ``p`` is
+``E_d(p) = n k β h / (p - P_c)``. Miners then fill providers
+cheapest-first up to their capacities — a textbook Bertrand–Edgeworth
+market:
+
+* **ample capacity** → undercutting drives edge prices to cost
+  (Bertrand), transferring the edge premium to the miners;
+* **scarce capacity** → prices stay above cost (Edgeworth), each
+  provider selling out.
+
+:func:`clear_market` computes the allocation for posted prices;
+:func:`best_response_price` the numeric pricing reply;
+:func:`undercutting_dynamics` iterates replies and reports the resting
+point or cycle. Experiment EXT6 sweeps the number of competitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from ..exceptions import ConfigurationError
+from .params import Prices
+
+__all__ = ["EdgeSupplier", "MultiEdgeMarket", "MarketClearing",
+           "clear_market", "best_response_price", "undercutting_dynamics"]
+
+
+@dataclass(frozen=True)
+class EdgeSupplier:
+    """One competing edge provider.
+
+    Attributes:
+        price: Posted unit price.
+        capacity: Units it can serve (``inf`` allowed).
+        unit_cost: Operating cost per unit.
+    """
+
+    price: float
+    capacity: float
+    unit_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise ConfigurationError("price must be positive")
+        if self.capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.unit_cost < 0:
+            raise ConfigurationError("unit_cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class MultiEdgeMarket:
+    """Market primitives shared by all providers.
+
+    Attributes:
+        n: Number of (homogeneous) miners.
+        reward: Block reward ``R``.
+        beta: Fork rate.
+        h: Common edge satisfaction probability.
+        p_c: The CSP's price (taken as given here; the focus is edge
+            competition).
+    """
+
+    n: int
+    reward: float
+    beta: float
+    h: float
+    p_c: float
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError("need n >= 2 miners")
+        if self.reward <= 0:
+            raise ConfigurationError("reward must be positive")
+        if not 0.0 <= self.beta < 1.0:
+            raise ConfigurationError("beta must be in [0, 1)")
+        if not 0.0 < self.h <= 1.0:
+            raise ConfigurationError("h must be in (0, 1]")
+        if self.p_c <= 0:
+            raise ConfigurationError("p_c must be positive")
+
+    @property
+    def k(self) -> float:
+        """Corollary-1 constant ``R (n-1)/n²``."""
+        return self.reward * (self.n - 1) / (self.n * self.n)
+
+    @property
+    def exclusion_price(self) -> float:
+        """Edge price below which the cloud is priced out entirely:
+        ``P_c D / a`` with ``D = 1-β+βh``, ``a = 1-β`` (the Theorem-3
+        mixed-strategy bound read from the other side)."""
+        a = 1.0 - self.beta
+        D = a + self.beta * self.h
+        return self.p_c * D / a
+
+    def demand(self, price: float) -> float:
+        """Aggregate edge demand at effective price ``price``.
+
+        Mixed regime above the exclusion price (``n k β h / (p - P_c)``,
+        Corollary 1); pure-edge regime below it (the cloud is dominated
+        and the edge FOC alone gives ``n k D / p``). Continuous at the
+        kink.
+        """
+        a = 1.0 - self.beta
+        D = a + self.beta * self.h
+        if price <= self.exclusion_price:
+            return self.n * self.k * D / price
+        return self.n * self.k * self.beta * self.h / (price - self.p_c)
+
+    def marginal_value(self, total_edge: float) -> float:
+        """Inverse demand: ``v(E) = P_c + n k β h / E`` above the kink,
+        ``n k D / E`` below it."""
+        if total_edge <= 0:
+            return float("inf")
+        a = 1.0 - self.beta
+        D = a + self.beta * self.h
+        mixed = self.p_c + self.n * self.k * self.beta * self.h \
+            / total_edge
+        if mixed > self.exclusion_price:
+            return mixed
+        return self.n * self.k * D / total_edge
+
+
+@dataclass
+class MarketClearing:
+    """Outcome of clearing the multi-ESP market at posted prices.
+
+    Attributes:
+        sales: Units sold per supplier (input order).
+        total_edge: Aggregate edge units.
+        marginal_price: Price of the marginal (last-filled) provider —
+            the miners' effective edge price.
+        profits: Per-supplier profits.
+    """
+
+    sales: np.ndarray
+    total_edge: float
+    marginal_price: float
+    profits: np.ndarray
+
+    @property
+    def active_suppliers(self) -> int:
+        return int(np.sum(self.sales > 1e-12))
+
+
+def clear_market(market: MultiEdgeMarket,
+                 suppliers: Sequence[EdgeSupplier]) -> MarketClearing:
+    """Fill providers cheapest-first against the aggregate demand curve.
+
+    Ties in price share the residual demand proportionally to capacity
+    (the standard Bertrand–Edgeworth rationing rule for identical
+    prices).
+    """
+    if len(suppliers) == 0:
+        raise ConfigurationError("need at least one supplier")
+    sales = np.zeros(len(suppliers))
+    order = sorted(range(len(suppliers)),
+                   key=lambda j: suppliers[j].price)
+    filled = 0.0
+    marginal_price = suppliers[order[0]].price
+    i = 0
+    while i < len(order):
+        # Group of equal-priced suppliers.
+        price = suppliers[order[i]].price
+        group = [j for j in order[i:] if suppliers[j].price == price]
+        i += len(group)
+        demand_here = market.demand(price)
+        residual = max(demand_here - filled, 0.0)
+        if residual <= 0:
+            break
+        group_capacity = sum(suppliers[j].capacity for j in group)
+        take = min(residual, group_capacity)
+        if group_capacity > 0:
+            for j in group:
+                share = suppliers[j].capacity / group_capacity \
+                    if np.isfinite(group_capacity) else \
+                    (1.0 if np.isinf(suppliers[j].capacity) else 0.0)
+                sales[j] = take * share
+        filled += take
+        marginal_price = price
+        if take < residual - 1e-12:
+            continue  # group sold out; next price level sees less demand
+        break
+    profits = np.array([
+        (suppliers[j].price - suppliers[j].unit_cost) * sales[j]
+        for j in range(len(suppliers))])
+    return MarketClearing(sales=sales, total_edge=float(filled),
+                          marginal_price=marginal_price, profits=profits)
+
+
+def best_response_price(market: MultiEdgeMarket,
+                        suppliers: Sequence[EdgeSupplier], index: int,
+                        price_floor: Optional[float] = None,
+                        tick: float = 1e-3,
+                        xatol: float = 1e-8) -> float:
+    """Supplier ``index``'s profit-maximizing price, rivals fixed.
+
+    Searches above ``max(cost, floor)``; the profit function is piecewise
+    smooth with kinks at rival prices, so the search runs per segment and
+    keeps the best. ``tick`` is the minimum relative undercut — prices
+    live on a discrete grid of relative spacing ``tick``, the standard
+    device that makes "charge just below the rival" well-defined (the
+    continuous supremum is not attained).
+    """
+    if not 0 <= index < len(suppliers):
+        raise ConfigurationError("supplier index out of range")
+    if not 0.0 < tick < 0.5:
+        raise ConfigurationError("tick must be in (0, 0.5)")
+    me = suppliers[index]
+    lo = max(me.unit_cost, price_floor or 0.0, market.p_c * 1e-6) + 1e-9
+
+    def profit(p: float) -> float:
+        trial = list(suppliers)
+        trial[index] = EdgeSupplier(price=p, capacity=me.capacity,
+                                    unit_cost=me.unit_cost)
+        clearing = clear_market(market, trial)
+        return float(clearing.profits[index])
+
+    rival_prices = sorted({s.price for j, s in enumerate(suppliers)
+                           if j != index})
+    # Segment boundaries: just-below each rival price and the demand
+    # kink (cloud-exclusion price), plus a wide top.
+    kinks = sorted(set([p for p in rival_prices if p > lo]
+                       + ([market.exclusion_price]
+                          if market.exclusion_price > lo else [])))
+    breakpoints = [lo] + kinks \
+        + [max(4.0 * (rival_prices[-1] if rival_prices else lo),
+               4.0 * market.exclusion_price, 2.0 * market.p_c + 1.0)]
+    best_p, best_v = lo, -np.inf
+    for a, b in zip(breakpoints, breakpoints[1:]):
+        # One full tick below the segment's upper boundary: the rival at
+        # b must actually be undercut, not matched to within round-off.
+        hi = b * (1.0 - tick) if b in rival_prices else b
+        if hi <= a:
+            continue
+        res = minimize_scalar(lambda p: -profit(p), bounds=(a, hi),
+                              method="bounded",
+                              options={"xatol": xatol})
+        if -res.fun > best_v:
+            best_v = -res.fun
+            best_p = float(res.x)
+        v = profit(hi)
+        if v >= best_v:
+            best_v = v
+            best_p = hi
+    # Matching a rival exactly (sharing the demand) is also a candidate —
+    # relevant at the Bertrand floor where undercutting below cost loses.
+    for p in rival_prices:
+        if p > me.unit_cost and profit(p) > best_v:
+            best_v = profit(p)
+            best_p = p
+    return best_p
+
+
+@dataclass
+class UndercuttingResult:
+    """Outcome of iterated pricing replies.
+
+    Attributes:
+        suppliers: Final supplier states.
+        converged: Whether prices stopped moving.
+        cycled: Whether a price cycle (Edgeworth cycle) was detected.
+        rounds: Pricing rounds performed.
+    """
+
+    suppliers: List[EdgeSupplier]
+    converged: bool
+    cycled: bool
+    rounds: int
+
+
+def undercutting_dynamics(market: MultiEdgeMarket,
+                          suppliers: Sequence[EdgeSupplier],
+                          max_rounds: int = 2000,
+                          tick: float = 1e-3,
+                          tol: Optional[float] = None,
+                          ) -> UndercuttingResult:
+    """Iterate sequential price best responses (Edgeworth dynamics).
+
+    With ample capacities this descends by undercutting to
+    marginal-cost-ish pricing (Bertrand); with scarce capacities it can
+    rest above cost at market clearing or cycle (the classic Edgeworth
+    cycle), which is detected and reported. ``tick`` is the relative
+    price grid of :func:`best_response_price`; convergence is declared
+    when a full round moves no price by more than a fraction of a tick.
+    """
+    state = list(suppliers)
+    seen = {}
+    threshold = tol if tol is not None else \
+        0.1 * tick * max(s.price for s in suppliers)
+    for round_idx in range(max_rounds):
+        moved = 0.0
+        for j in range(len(state)):
+            new_price = best_response_price(market, state, j, tick=tick)
+            moved = max(moved, abs(new_price - state[j].price))
+            state[j] = EdgeSupplier(price=new_price,
+                                    capacity=state[j].capacity,
+                                    unit_cost=state[j].unit_cost)
+        key = tuple(round(s.price, 9) for s in state)
+        if moved < threshold:
+            return UndercuttingResult(suppliers=state, converged=True,
+                                      cycled=False, rounds=round_idx + 1)
+        if key in seen:
+            return UndercuttingResult(suppliers=state, converged=False,
+                                      cycled=True, rounds=round_idx + 1)
+        seen[key] = round_idx
+    return UndercuttingResult(suppliers=state, converged=False,
+                              cycled=False, rounds=max_rounds)
+
+
+__all__.append("UndercuttingResult")
+
+
+@dataclass(frozen=True)
+class SymmetricEquilibrium:
+    """Candidate symmetric Bertrand–Edgeworth equilibrium.
+
+    Attributes:
+        price: Common posted price.
+        per_supplier_sales: Units each supplier sells.
+        per_supplier_profit: Profit each supplier earns.
+        regime: ``"bertrand"`` (price = cost, ample capacity) or
+            ``"clearing"`` (price = inverse demand at total capacity).
+        verified: Whether a numeric best-response check found no
+            profitable unilateral deviation.
+    """
+
+    price: float
+    per_supplier_sales: float
+    per_supplier_profit: float
+    regime: str
+    verified: bool
+
+
+def symmetric_equilibrium(market: MultiEdgeMarket, m: int,
+                          capacity: float, unit_cost: float,
+                          tick: float = 1e-3) -> SymmetricEquilibrium:
+    """Analytic symmetric equilibrium for ``m >= 2`` identical suppliers.
+
+    The candidate price is ``max(cost, v(m·K))``: undercutting is
+    pointless once either the margin vanishes (Bertrand) or the joint
+    capacity already clears the market (Edgeworth's capacity-constrained
+    region). The candidate is then verified by a numeric unilateral
+    best-response check.
+    """
+    if m < 2:
+        raise ConfigurationError(
+            "symmetric_equilibrium needs m >= 2 (use best_response_price "
+            "for the monopoly case)")
+    if capacity <= 0 or unit_cost < 0:
+        raise ConfigurationError("invalid capacity or cost")
+    clearing_price = market.marginal_value(m * capacity)
+    if clearing_price > unit_cost:
+        price = clearing_price
+        regime = "clearing"
+    else:
+        price = max(unit_cost, market.p_c * 1e-6)
+        regime = "bertrand"
+    suppliers = [EdgeSupplier(price=price, capacity=capacity,
+                              unit_cost=unit_cost) for _ in range(m)]
+    clearing = clear_market(market, suppliers)
+    sales = float(clearing.sales[0])
+    profit = float(clearing.profits[0])
+    # Numeric no-deviation check for supplier 0.
+    br = best_response_price(market, suppliers, 0, tick=tick)
+    trial = list(suppliers)
+    trial[0] = EdgeSupplier(price=br, capacity=capacity,
+                            unit_cost=unit_cost)
+    dev_profit = float(clear_market(market, trial).profits[0])
+    verified = dev_profit <= profit * (1.0 + 1e-6) + 1e-9
+    return SymmetricEquilibrium(price=price, per_supplier_sales=sales,
+                                per_supplier_profit=profit, regime=regime,
+                                verified=verified)
+
+
+__all__.append("SymmetricEquilibrium")
+__all__.append("symmetric_equilibrium")

@@ -1,0 +1,234 @@
+"""Model parameters for the mobile blockchain mining game.
+
+Collects every symbol of Table I of the paper into validated dataclasses:
+
+* :class:`Prices` — the leaders' decision variables ``(P_e, P_c)``.
+* :class:`GameParameters` — everything else: reward ``R``, fork rate ``β``,
+  edge operation mode, satisfaction probability ``h`` (connected), capacity
+  ``E_max`` (standalone), SP unit costs ``C_e``/``C_c`` and miner budgets.
+
+Validation is eager: a misconfigured game raises
+:class:`~repro.exceptions.ConfigurationError` at construction time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["EdgeMode", "Prices", "GameParameters", "mixed_strategy_price_bound"]
+
+
+class EdgeMode(enum.Enum):
+    """Edge operation modes of Section II-A.
+
+    CONNECTED: an overloaded ESP automatically transfers requests to the CSP
+        (captured by the expected satisfaction probability ``h``).
+    STANDALONE: an overloaded ESP rejects requests; miners share the hard
+        constraint ``sum_i e_i <= E_max``.
+    """
+
+    CONNECTED = "connected"
+    STANDALONE = "standalone"
+
+
+@dataclass(frozen=True)
+class Prices:
+    """Unit prices announced by the leaders.
+
+    Attributes:
+        p_e: ESP unit price ``P_e`` ($ per computing unit).
+        p_c: CSP unit price ``P_c`` ($ per computing unit).
+    """
+
+    p_e: float
+    p_c: float
+
+    def __post_init__(self) -> None:
+        if self.p_e <= 0 or self.p_c <= 0:
+            raise ConfigurationError(
+                f"prices must be positive, got P_e={self.p_e}, "
+                f"P_c={self.p_c}")
+
+    @property
+    def as_array(self) -> np.ndarray:
+        """Prices as the vector ``[P_e, P_c]`` (matching ``r_i = [e_i, c_i]``)."""
+        return np.array([self.p_e, self.p_c], dtype=float)
+
+    def premium(self) -> float:
+        """The edge price premium ``P_e - P_c`` (can be negative)."""
+        return self.p_e - self.p_c
+
+
+def mixed_strategy_price_bound(beta: float, h: float, p_e: float) -> float:
+    """Upper bound on ``P_c`` for a mixed (edge+cloud) equilibrium.
+
+    Theorem 3 requires ``P_c < (1-β) P_e / (1-β+βh)``; at or above this bound
+    miners stop buying cloud units entirely (the cloud's delay discount no
+    longer compensates its price).
+    """
+    return (1.0 - beta) * p_e / (1.0 - beta + beta * h)
+
+
+@dataclass(frozen=True)
+class GameParameters:
+    """Static parameters of one game instance (everything but prices).
+
+    Attributes:
+        reward: Blockchain mining reward ``R`` ($ per block).
+        fork_rate: Fork rate ``β`` in ``[0, 1)`` caused by the CSP's
+            communication delay ``D_avg`` (Section III-A).
+        budgets: Per-miner budgets ``B_i`` ($); length defines ``n``.
+        mode: Edge operation mode.
+        h: Probability that an ESP request is satisfied locally in connected
+            mode (the transfer rate is ``1 - h``). Must equal 1.0 in
+            standalone mode, where capacity is modeled by ``e_max`` instead.
+        e_max: ESP computing capacity ``E_max`` (standalone mode only).
+        edge_cost: ESP unit operating cost ``C_e``.
+        cloud_cost: CSP unit operating cost ``C_c``.
+        d_avg: Average CSP communication delay (seconds). Informational; the
+            game itself consumes ``fork_rate``, which
+            :mod:`repro.blockchain.forks` can derive from ``d_avg``.
+    """
+
+    reward: float
+    fork_rate: float
+    budgets: Sequence[float]
+    mode: EdgeMode = EdgeMode.CONNECTED
+    h: float = 1.0
+    e_max: Optional[float] = None
+    edge_cost: float = 0.0
+    cloud_cost: float = 0.0
+    d_avg: Optional[float] = None
+    _budgets_array: np.ndarray = field(init=False, repr=False, compare=False,
+                                       default=None)
+
+    def __post_init__(self) -> None:
+        budgets = np.asarray(self.budgets, dtype=float)
+        if budgets.ndim != 1:
+            raise ConfigurationError("budgets must be a 1-D sequence")
+        if budgets.shape[0] < 2:
+            raise ConfigurationError(
+                "the mining game needs at least 2 miners (a lone miner wins "
+                f"regardless of spend); got {budgets.shape[0]}")
+        if np.any(budgets <= 0):
+            raise ConfigurationError("all miner budgets must be positive")
+        if self.reward <= 0:
+            raise ConfigurationError(
+                f"mining reward must be positive, got {self.reward}")
+        if not 0.0 <= self.fork_rate < 1.0:
+            raise ConfigurationError(
+                f"fork rate must be in [0, 1), got {self.fork_rate}")
+        if not 0.0 < self.h <= 1.0:
+            raise ConfigurationError(f"h must be in (0, 1], got {self.h}")
+        if self.mode is EdgeMode.STANDALONE:
+            if self.e_max is None or self.e_max <= 0:
+                raise ConfigurationError(
+                    "standalone mode requires a positive e_max capacity")
+            if self.h != 1.0:
+                raise ConfigurationError(
+                    "standalone mode models capacity via e_max; h must stay "
+                    "at its default 1.0")
+        if self.edge_cost < 0 or self.cloud_cost < 0:
+            raise ConfigurationError("SP unit costs must be non-negative")
+        if self.d_avg is not None and self.d_avg < 0:
+            raise ConfigurationError("d_avg must be non-negative")
+        object.__setattr__(self, "_budgets_array", budgets)
+
+    @property
+    def n(self) -> int:
+        """Number of miners."""
+        return int(self._budgets_array.shape[0])
+
+    @property
+    def budget_array(self) -> np.ndarray:
+        """Budgets as a read-only numpy array of shape ``(n,)``."""
+        arr = self._budgets_array.view()
+        arr.flags.writeable = False
+        return arr
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """Whether all miners share an identical budget (Section IV-B)."""
+        b = self._budgets_array
+        return bool(np.all(b == b[0]))
+
+    @property
+    def effective_h(self) -> float:
+        """Satisfaction probability entering ``W_i``: ``h`` in connected
+        mode, 1.0 in standalone mode (capacity enforced separately)."""
+        return self.h if self.mode is EdgeMode.CONNECTED else 1.0
+
+    def with_mode(self, mode: EdgeMode, *, h: Optional[float] = None,
+                  e_max: Optional[float] = None) -> "GameParameters":
+        """Copy of these parameters under a different edge operation mode."""
+        if mode is EdgeMode.CONNECTED:
+            return replace(self, mode=mode, h=1.0 if h is None else h,
+                           e_max=None)
+        return replace(self, mode=mode, h=1.0,
+                       e_max=self.e_max if e_max is None else e_max)
+
+    def with_budgets(self, budgets: Sequence[float]) -> "GameParameters":
+        """Copy of these parameters with different miner budgets."""
+        return replace(self, budgets=tuple(float(b) for b in budgets))
+
+    def mixed_price_bound(self, p_e: float) -> float:
+        """Theorem-3 upper bound on ``P_c`` given ``p_e`` for this game."""
+        return mixed_strategy_price_bound(self.fork_rate, self.effective_h,
+                                          p_e)
+
+    def validate_prices(self, prices: Prices) -> None:
+        """Raise if ``prices`` cannot support a mixed-strategy equilibrium.
+
+        Solvers do not require this (corner equilibria are handled), but the
+        closed-form results of Section IV-B do.
+        """
+        bound = self.mixed_price_bound(prices.p_e)
+        if prices.p_c >= bound:
+            raise ConfigurationError(
+                f"P_c={prices.p_c} violates the mixed-strategy condition "
+                f"P_c < {bound:.6g} (Theorem 3)")
+
+
+def homogeneous(n: int, budget: float, **kwargs) -> GameParameters:
+    """Convenience constructor for ``n`` identical miners.
+
+    Example:
+        >>> params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
+        ...                      h=0.8)
+        >>> params.is_homogeneous
+        True
+    """
+    return GameParameters(budgets=(float(budget),) * n, **kwargs)
+
+
+def from_calibration(calibration, n: int, budget: float, reward: float,
+                     **kwargs) -> GameParameters:
+    """Game parameters derived from a physical network calibration.
+
+    Takes a :class:`repro.network.DelayCalibration` (duck-typed: anything
+    with ``fork_rate`` and ``d_avg`` attributes) and builds the
+    homogeneous game whose ``β`` and ``D_avg`` come from the measured
+    topology instead of being assumed.
+
+    Example:
+        >>> from repro.network import (GossipModel, calibrate_game_delays,
+        ...                            edge_cloud_topology)
+        >>> cal = calibrate_game_delays(edge_cloud_topology(10, seed=0),
+        ...                             GossipModel(block_size=1e6))
+        >>> params = from_calibration(cal, 5, 200.0, reward=1000.0)
+        >>> params.fork_rate == cal.fork_rate
+        True
+    """
+    return homogeneous(n, budget, reward=reward,
+                       fork_rate=float(calibration.fork_rate),
+                       d_avg=float(calibration.d_avg), **kwargs)
+
+
+__all__.append("homogeneous")
+__all__.append("from_calibration")

@@ -1,0 +1,308 @@
+"""Risk aversion and mining pools (extension EXT8).
+
+The paper's miners are risk neutral: ``U_i = R W_i - spend`` prices only
+the *expected* reward, but a mobile miner's per-round income is a
+Bernoulli lottery — win ``R`` with probability ``W_i``, else nothing —
+with enormous variance. Under constant absolute risk aversion (CARA,
+coefficient ``a``), the certainty equivalent of that lottery is
+
+    CE(W) = -(1/a) · ln( 1 - W + W e^{-a R} )        (< R W for a > 0)
+
+which is increasing in ``W`` and strictly below the risk-neutral line
+``R W`` (it is convex in ``W`` with endpoints ``CE(0)=0``, ``CE(1)=R``):
+risk-averse miners discount the lottery, and they value **pooling**.
+A pool of ``m`` miners shares each member's rewards equally, replacing
+the Bernoulli(R, W) lottery with a Binomial-like mixture paying ``R/m``
+per pool win with probability ``m·W`` per round (for small per-round
+probabilities): less variance, higher certainty equivalent, same mean.
+
+This module provides:
+
+* :func:`certainty_equivalent` — CE of the solo lottery;
+* :func:`pooled_certainty_equivalent` — CE when ``m`` symmetric miners
+  share rewards;
+* :class:`RiskAverseGame` — the symmetric miner subgame under CARA, with
+  a numeric best response and damped fixed point;
+* experiment EXT8 (:mod:`repro.analysis.extensions`) quantifying how risk
+  aversion suppresses offloading demand and how pooling restores it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..exceptions import ConfigurationError, ConvergenceError
+from ..game.diagnostics import ConvergenceReport, ResidualRecorder
+from .params import Prices
+
+__all__ = ["certainty_equivalent", "pooled_certainty_equivalent",
+           "RiskAverseGame", "RiskAverseEquilibrium",
+           "solve_risk_averse_equilibrium"]
+
+
+def certainty_equivalent(win_prob: float, reward: float,
+                         risk_aversion: float) -> float:
+    """CARA certainty equivalent of the Bernoulli mining lottery.
+
+    ``CE = -(1/a) ln(1 - W + W e^{-aR})``; the risk-neutral limit
+    ``a -> 0`` recovers ``R W`` (used directly when ``a == 0``).
+    """
+    if not 0.0 <= win_prob <= 1.0:
+        raise ConfigurationError("win_prob must be in [0, 1]")
+    if reward < 0:
+        raise ConfigurationError("reward must be non-negative")
+    if risk_aversion < 0:
+        raise ConfigurationError("risk_aversion must be non-negative")
+    if risk_aversion == 0.0 or reward == 0.0:
+        return reward * win_prob
+    inner = 1.0 - win_prob + win_prob * math.exp(-risk_aversion * reward)
+    return -math.log(inner) / risk_aversion
+
+
+def pooled_certainty_equivalent(win_prob: float, reward: float,
+                                risk_aversion: float,
+                                pool_size: int) -> float:
+    """CE when ``pool_size`` symmetric miners share rewards equally.
+
+    The pool wins a round if any member solves it; each member receives
+    ``R/m`` per pool win. For one round the member's lottery pays ``R/m``
+    with probability ``min(m·W, 1)`` — same mean ``R W`` (up to the
+    clipping), lower variance, hence a higher certainty equivalent for
+    any ``a > 0``.
+    """
+    if pool_size < 1:
+        raise ConfigurationError("pool_size must be >= 1")
+    pooled_prob = min(pool_size * win_prob, 1.0)
+    return certainty_equivalent(pooled_prob, reward / pool_size,
+                                risk_aversion)
+
+
+@dataclass(frozen=True)
+class RiskAverseGame:
+    """Symmetric CARA miner subgame.
+
+    Attributes:
+        n: Number of miners.
+        reward: Block reward ``R``.
+        fork_rate: Fork rate ``β``.
+        h: Edge satisfaction probability.
+        budget: Common budget ``B``.
+        risk_aversion: CARA coefficient ``a`` (0 = risk neutral).
+        pool_size: Reward-sharing pool size ``m`` (1 = solo mining).
+            Must divide the conceptual population evenly only in spirit;
+            the symmetric analysis needs ``1 <= m <= n``.
+    """
+
+    n: int
+    reward: float
+    fork_rate: float
+    h: float
+    budget: float
+    risk_aversion: float = 0.0
+    pool_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError("need n >= 2 miners")
+        if self.reward <= 0 or self.budget <= 0:
+            raise ConfigurationError("reward and budget must be positive")
+        if not 0.0 <= self.fork_rate < 1.0:
+            raise ConfigurationError("fork rate must be in [0, 1)")
+        if not 0.0 < self.h <= 1.0:
+            raise ConfigurationError("h must be in (0, 1]")
+        if self.risk_aversion < 0:
+            raise ConfigurationError("risk_aversion must be >= 0")
+        if not 1 <= self.pool_size <= self.n:
+            raise ConfigurationError("pool_size must be in [1, n]")
+
+    def win_probability(self, e_i: float, c_i: float, e_sym: float,
+                        c_sym: float) -> float:
+        """Connected-mode ``W_i`` against a symmetric opponent profile."""
+        others = self.n - 1
+        S = others * (e_sym + c_sym) + e_i + c_i
+        E = others * e_sym + e_i
+        base = (1.0 - self.fork_rate) * (e_i + c_i) / S if S > 0 else 0.0
+        bonus = self.fork_rate * self.h * e_i / E if E > 0 else 0.0
+        return base + bonus
+
+    def utility(self, e_i: float, c_i: float, e_sym: float, c_sym: float,
+                prices: Prices) -> float:
+        """Certainty-equivalent utility: ``CE(W_i) - spend``."""
+        w = self.win_probability(e_i, c_i, e_sym, c_sym)
+        ce = pooled_certainty_equivalent(w, self.reward,
+                                         self.risk_aversion,
+                                         self.pool_size)
+        return ce - prices.p_e * e_i - prices.p_c * c_i
+
+    def best_response(self, e_sym: float, c_sym: float, prices: Prices,
+                      multistart: bool = True) -> Tuple[float, float]:
+        """Numeric best response (SLSQP).
+
+        The composed objective is smooth and unimodal on the relevant
+        region in practice (not globally concave — CE is convex in W);
+        optional multi-start guards boundary optima (used on the first
+        fixed-point sweep, single warm starts afterwards).
+        """
+
+        def neg(x):
+            return -self.utility(float(x[0]), float(x[1]), e_sym, c_sym,
+                                 prices)
+
+        cons = [{"type": "ineq",
+                 "fun": lambda x: self.budget - prices.p_e * x[0]
+                 - prices.p_c * x[1]}]
+        starts = [np.array([max(e_sym, 0.5), max(c_sym, 0.5)])]
+        if multistart:
+            starts += [
+                np.array([self.budget / (4 * prices.p_e),
+                          self.budget / (4 * prices.p_c)]),
+                np.array([1e-3, self.budget / (2 * prices.p_c)]),
+            ]
+        best_val, best_x = -np.inf, starts[0]
+        for x0 in starts:
+            res = minimize(neg, x0, method="SLSQP",
+                           bounds=[(0, None), (0, None)],
+                           constraints=cons,
+                           options={"maxiter": 200, "ftol": 1e-12})
+            if res.success and -res.fun > best_val:
+                best_val = -res.fun
+                best_x = np.asarray(res.x)
+        return float(best_x[0]), float(best_x[1])
+
+
+@dataclass
+class RiskAverseEquilibrium:
+    """Symmetric (participation-adjusted) equilibrium of the CARA game.
+
+    Attributes:
+        e: Per-active-miner edge request.
+        c: Per-active-miner cloud request.
+        n_active: Number of miners that participate. Risk aversion can
+            make full participation unsustainable — at the interior FOC
+            point the certainty equivalent no longer covers the spend and
+            the best response is exit — so the equilibrium concept is:
+            ``n_active`` symmetric participants with non-negative
+            utility, and no profitable entry for an additional miner.
+        certainty_equivalent: CE of the equilibrium winning probability.
+        utility: Equilibrium per-active-miner utility (``>= 0``).
+        entry_blocked: Whether the no-profitable-entry condition was
+            confirmed (always True when ``n_active == n``). When False,
+            a myopic entrant would profit against the incumbents' soft
+            play even though the (n_active+1)-player symmetric outcome is
+            unsustainable — the classic free-entry instability; the
+            reported point is then the largest *sustainable* symmetric
+            participation, not a fully entry-proof equilibrium.
+        report: Fixed-point diagnostics of the accepted inner solve.
+    """
+
+    e: float
+    c: float
+    n_active: int
+    certainty_equivalent: float
+    utility: float
+    entry_blocked: bool
+    report: ConvergenceReport
+
+    @property
+    def converged(self) -> bool:
+        return self.report.converged
+
+
+def _symmetric_fixed_point(game: RiskAverseGame, prices: Prices,
+                           tol: float, max_iter: int, damping: float,
+                           ) -> Tuple[float, float, ConvergenceReport,
+                                      bool]:
+    """Inner damped fixed point; flags an exit-collapse (BR -> (0,0))."""
+    e = game.budget / (4.0 * prices.p_e)
+    c = game.budget / (4.0 * prices.p_c)
+    recorder = ResidualRecorder(tol)
+    converged = False
+    iterations = 0
+    alpha = damping
+    prev = float("inf")
+    stall = 0
+    collapsed = False
+    for it in range(max_iter):
+        iterations = it + 1
+        e_br, c_br = game.best_response(e, c, prices,
+                                        multistart=(it == 0))
+        if e_br + c_br <= 1e-9 and e + c > 1e-6:
+            # Participation fails: utility at the candidate is negative
+            # and the best response is exit.
+            collapsed = True
+            break
+        e_new = (1 - alpha) * e + alpha * e_br
+        c_new = (1 - alpha) * c + alpha * c_br
+        scale = max(1.0, abs(e_new), abs(c_new))
+        residual = max(abs(e_new - e), abs(c_new - c)) / scale
+        e, c = e_new, c_new
+        if recorder.record(residual):
+            converged = True
+            break
+        if residual >= 0.9 * prev:
+            stall += 1
+            if stall >= 3:
+                alpha = max(0.5 * alpha, 0.05)
+                stall = 0
+        else:
+            stall = 0
+        prev = residual
+    report = recorder.report(
+        converged, iterations,
+        message="exit collapse" if collapsed else None)
+    return e, c, report, collapsed
+
+
+def solve_risk_averse_equilibrium(game: RiskAverseGame, prices: Prices,
+                                  tol: float = 2e-5, max_iter: int = 150,
+                                  damping: float = 0.5,
+                                  ) -> RiskAverseEquilibrium:
+    """Participation-adjusted symmetric equilibrium of the CARA game.
+
+    Searches the number of active miners downward from ``n``: for each
+    candidate count the symmetric fixed point is solved among the
+    participants; the first candidate whose fixed point converges with
+    non-negative utility — and for which an additional entrant would not
+    profit — is the equilibrium. Risk aversion can thus *shrink* the
+    mining population, a phenomenon invisible to the paper's risk-neutral
+    model.
+    """
+    from dataclasses import replace as _replace
+
+    last_report: Optional[ConvergenceReport] = None
+    for n_active in range(game.n, 1, -1):
+        sub = _replace(game, n=n_active,
+                       pool_size=min(game.pool_size, n_active))
+        e, c, report, collapsed = _symmetric_fixed_point(
+            sub, prices, tol, max_iter, damping)
+        last_report = report
+        if collapsed:
+            continue
+        utility = sub.utility(e, c, e, c, prices)
+        if utility < -1e-9:
+            continue
+        entry_blocked = True
+        if n_active < game.n:
+            entrant = _replace(game, n=n_active + 1,
+                               pool_size=min(game.pool_size,
+                                             n_active + 1))
+            # The entrant faces n_active incumbents playing (e, c).
+            be, bc = entrant.best_response(e, c, prices)
+            entry_blocked = entrant.utility(be, bc, e, c,
+                                            prices) <= 1e-9
+        w = sub.win_probability(e, c, e, c)
+        ce = pooled_certainty_equivalent(w, game.reward,
+                                         game.risk_aversion,
+                                         min(game.pool_size, n_active))
+        return RiskAverseEquilibrium(
+            e=e, c=c, n_active=n_active, certainty_equivalent=ce,
+            utility=ce - prices.p_e * e - prices.p_c * c,
+            entry_blocked=entry_blocked, report=report)
+    raise ConvergenceError(
+        "no participation level sustains a symmetric CARA equilibrium "
+        f"(searched n = {game.n}..2); report: {last_report}")

@@ -1,0 +1,145 @@
+"""Social-welfare analysis: efficiency of the Stackelberg outcome.
+
+The paper maximizes each party's selfish objective; a natural extension
+(its "future work" direction) is to ask how efficient the resulting
+equilibria are. Define social welfare as the sum of all parties' payoffs:
+
+    SW(e, c) = Σ_i U_i + V_e + V_c
+             = R Σ_i W_i - Σ_i (P_e e_i + P_c c_i)        (miners)
+               + (P_e - C_e) E + (P_c - C_c) C             (SPs)
+             = R Σ_i W_i - C_e E - C_c C                   (prices cancel)
+
+In standalone mode Theorem 1 gives ``Σ_i W_i = 1``; in connected mode the
+marginal transfer semantics of Eq. (9) yield
+``Σ_i W_i = 1 - β(1-h)`` — the slice ``β(1-h)`` of the reward is lost to
+orphaned transferred blocks, an *additional* social cost of the connected
+mode on top of resource spending. Payments are transfers, so social
+welfare otherwise depends only on the *resource cost* of mining: the
+planner would mine the block with an arbitrarily small amount of the
+cheapest resource, and every positive-spend equilibrium is socially
+wasteful — the classic PoW rent-dissipation result. This module
+quantifies it:
+
+* :func:`social_welfare` — SW of any profile;
+* :func:`rent_dissipation` — the reward share lost to compute/orphaning;
+* :func:`mining_cost_breakdown` — edge vs cloud resource costs;
+* :func:`welfare_report` — the full decomposition of an equilibrium.
+
+Experiment EXT1 (:func:`repro.analysis.extensions.ext1_rent_dissipation`)
+sweeps this decomposition across rewards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .nep import MinerEquilibrium
+from .params import GameParameters, Prices
+
+__all__ = ["WelfareReport", "social_welfare", "rent_dissipation",
+           "mining_cost_breakdown", "welfare_report", "captured_reward"]
+
+
+@dataclass(frozen=True)
+class WelfareReport:
+    """Welfare decomposition of one equilibrium.
+
+    Attributes:
+        reward: The block reward ``R`` (gross social surplus per round).
+        captured_reward: ``R Σ_i W_i`` — the expected reward actually won
+            by the miner set (``< R`` in connected mode, where transferred
+            blocks can be orphaned with probability ``β(1-h)``).
+        edge_resource_cost: ``C_e · E`` — real resources burned at the ESP.
+        cloud_resource_cost: ``C_c · C`` — real resources burned at the CSP.
+        social_welfare: ``R Σ_i W_i - C_e E - C_c C``.
+        miner_surplus: ``Σ_i U_i``.
+        esp_profit: ``V_e``.
+        csp_profit: ``V_c``.
+        dissipation: Fraction of ``R`` burned on compute *or* lost to
+            transfer orphaning (``1 - SW / R``).
+    """
+
+    reward: float
+    captured_reward: float
+    edge_resource_cost: float
+    cloud_resource_cost: float
+    social_welfare: float
+    miner_surplus: float
+    esp_profit: float
+    csp_profit: float
+    dissipation: float
+
+    @property
+    def transfers_balance(self) -> float:
+        """Accounting identity residual: SW − (miners + SPs). Zero up to
+        solver tolerance at any profile."""
+        return self.social_welfare - (self.miner_surplus + self.esp_profit
+                                      + self.csp_profit)
+
+
+def mining_cost_breakdown(e: np.ndarray, c: np.ndarray,
+                          params: GameParameters) -> tuple:
+    """Real resource costs ``(C_e E, C_c C)`` of a profile."""
+    E = float(np.sum(e))
+    C = float(np.sum(c))
+    return params.edge_cost * E, params.cloud_cost * C
+
+
+def captured_reward(e: np.ndarray, c: np.ndarray,
+                    params: GameParameters) -> float:
+    """Expected reward won by the miner set: ``R Σ_i W_i``."""
+    from . import winning
+
+    w = winning.w_connected(np.asarray(e, float), np.asarray(c, float),
+                            params.fork_rate, params.effective_h)
+    return params.reward * float(np.sum(w))
+
+
+def social_welfare(e: np.ndarray, c: np.ndarray,
+                   params: GameParameters) -> float:
+    """``SW = R Σ_i W_i - C_e E - C_c C`` (prices are transfers and
+    cancel).
+
+    An empty profile wins nothing and has ``SW = 0``.
+    """
+    E = float(np.sum(e))
+    C = float(np.sum(c))
+    if E + C <= 0.0:
+        return 0.0
+    edge_cost, cloud_cost = mining_cost_breakdown(e, c, params)
+    return captured_reward(e, c, params) - edge_cost - cloud_cost
+
+
+def rent_dissipation(e: np.ndarray, c: np.ndarray,
+                     params: GameParameters) -> float:
+    """Share of the reward lost to compute spending or transfer
+    orphaning: ``1 - SW / R``.
+
+    0 is the planner's limit (mine with ε units at the edge); 1 means the
+    entire reward is dissipated. Can exceed 1 if resource costs exceed
+    ``R``.
+    """
+    return 1.0 - social_welfare(e, c, params) / params.reward
+
+
+def welfare_report(eq: MinerEquilibrium) -> WelfareReport:
+    """Full welfare decomposition of a miner equilibrium."""
+    params = eq.params
+    edge_cost, cloud_cost = mining_cost_breakdown(eq.e, eq.c, params)
+    sw = social_welfare(eq.e, eq.c, params)
+    v_e, v_c = eq.sp_profits
+    return WelfareReport(
+        reward=params.reward,
+        captured_reward=captured_reward(eq.e, eq.c, params),
+        edge_resource_cost=edge_cost,
+        cloud_resource_cost=cloud_cost,
+        social_welfare=sw,
+        miner_surplus=float(np.sum(eq.utilities)),
+        esp_profit=v_e,
+        csp_profit=v_c,
+        dissipation=rent_dissipation(eq.e, eq.c, params),
+    )

@@ -1,0 +1,176 @@
+"""SP (leader) subgame: pricing against the induced miner demand.
+
+Problems 2a/2c of the paper. Each SP maximizes its profit taking the *miner
+subgame equilibrium* as the demand curve:
+
+    V_e(P_e, P_c) = (P_e - C_e) * E*(P_e, P_c)
+    V_c(P_e, P_c) = (P_c - C_c) * C*(P_e, P_c)
+
+where ``(E*, C*)`` come from the mode-appropriate follower solver (NEP in
+connected mode, GNEP variational equilibrium in standalone mode). Demand
+evaluation is memoized and warm-started because every scalar price
+optimization queries it many times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from ..exceptions import ConfigurationError, InfeasibleGameError
+from ..game.diagnostics import ConvergenceReport
+from .gnep import solve_standalone_equilibrium
+from .homogeneous_demand import homogeneous_demand
+from .nep import MinerEquilibrium, solve_connected_equilibrium
+from .params import EdgeMode, GameParameters, Prices
+
+__all__ = ["DemandOracle", "esp_best_response", "csp_best_response"]
+
+
+class DemandOracle:
+    """Memoized, warm-started miner-equilibrium demand ``(E*, C*)(P)``.
+
+    The oracle dispatches on the game's edge operation mode and caches
+    equilibria keyed by rounded prices. For homogeneous games it answers
+    from the exact closed forms of
+    :mod:`repro.core.homogeneous_demand` (``fast="auto"``, the default),
+    falling back to the iterative solvers in corner regimes the closed
+    forms do not cover; ``fast=False`` forces the iterative path (used by
+    the tests that cross-validate the two).
+    """
+
+    #: Rounding (decimal places) for the memo key.
+    _KEY_DECIMALS = 12
+
+    def __init__(self, params: GameParameters, tol: float = 1e-9,
+                 max_iter: int = 3000, fast: str = "auto"):
+        if fast not in ("auto", False, True):
+            raise ConfigurationError("fast must be 'auto', True or False")
+        self.params = params
+        self.tol = tol
+        self.max_iter = max_iter
+        self.fast = (params.is_homogeneous if fast == "auto" else bool(fast))
+        if self.fast and not params.is_homogeneous:
+            raise ConfigurationError(
+                "fast closed-form demand requires homogeneous miners")
+        self._cache: Dict[Tuple[float, float], MinerEquilibrium] = {}
+        self._last: Optional[MinerEquilibrium] = None
+        self.evaluations = 0
+        self.fallbacks = 0
+
+    def _closed_form(self, prices: Prices) -> MinerEquilibrium:
+        demand = homogeneous_demand(self.params, prices)
+        n = self.params.n
+        report = ConvergenceReport(converged=True, iterations=0,
+                                   residual=0.0, tolerance=self.tol,
+                                   message=f"closed form ({demand.regime})")
+        return MinerEquilibrium(e=np.full(n, demand.e),
+                                c=np.full(n, demand.c),
+                                params=self.params, prices=prices,
+                                report=report, nu=demand.nu)
+
+    def equilibrium(self, prices: Prices) -> MinerEquilibrium:
+        """Miner-subgame equilibrium at ``prices`` (cached)."""
+        key = (round(prices.p_e, self._KEY_DECIMALS),
+               round(prices.p_c, self._KEY_DECIMALS))
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        self.evaluations += 1
+        eq = None
+        if self.fast:
+            try:
+                eq = self._closed_form(prices)
+            except ConfigurationError:
+                self.fallbacks += 1
+        if eq is None:
+            if self.params.mode is EdgeMode.STANDALONE:
+                eq = solve_standalone_equilibrium(self.params, prices,
+                                                  tol=self.tol)
+            else:
+                warm = None
+                if self._last is not None:
+                    warm = (self._last.e, self._last.c)
+                eq = solve_connected_equilibrium(self.params, prices,
+                                                 tol=self.tol,
+                                                 max_iter=self.max_iter,
+                                                 initial=warm)
+        self._cache[key] = eq
+        self._last = eq
+        return eq
+
+    def edge_demand(self, prices: Prices) -> float:
+        """``E*(P)``."""
+        return self.equilibrium(prices).total_edge
+
+    def cloud_demand(self, prices: Prices) -> float:
+        """``C*(P)``."""
+        return self.equilibrium(prices).total_cloud
+
+    def esp_profit(self, prices: Prices) -> float:
+        """``V_e(P)`` on the induced demand."""
+        return (prices.p_e - self.params.edge_cost) * self.edge_demand(prices)
+
+    def csp_profit(self, prices: Prices) -> float:
+        """``V_c(P)`` on the induced demand."""
+        return (prices.p_c - self.params.cloud_cost) * \
+            self.cloud_demand(prices)
+
+
+def _bounded_argmax(fn, lo: float, hi: float, xatol: float) -> float:
+    res = minimize_scalar(lambda x: -fn(x), bounds=(lo, hi),
+                          method="bounded", options={"xatol": xatol})
+    return float(res.x)
+
+
+def esp_best_response(oracle: DemandOracle, p_c: float,
+                      max_expansions: int = 12,
+                      xatol: float = 1e-8) -> float:
+    """ESP profit-maximizing price given the CSP price ``p_c``.
+
+    Searches ``(max(C_e, p_c) + ε, hi)`` with an expanding upper bracket.
+    When ``p_c <= C_e`` the model's ESP profit increases toward a finite
+    asymptote and the supremum is not attained (edge demand is hyperbolic
+    in the premium — a genuine feature of the paper's demand system, see
+    DESIGN.md); in that regime the search returns the capped optimum so
+    the leader iteration can continue — the CSP's reply then raises
+    ``P_c`` above ``C_e`` and subsequent ESP responses are interior.
+    """
+    params = oracle.params
+    lo = max(params.edge_cost, p_c) * (1.0 + 1e-7) + 1e-9
+    hi = max(4.0 * lo, 8.0 * p_c, 1.0)
+
+    def profit(p_e: float) -> float:
+        return oracle.esp_profit(Prices(p_e=p_e, p_c=p_c))
+
+    best = lo
+    for _ in range(max_expansions):
+        best = _bounded_argmax(profit, lo, hi, xatol)
+        if best < 0.99 * hi:
+            return best
+        hi *= 2.0
+    return best
+
+
+def csp_best_response(oracle: DemandOracle, p_e: float,
+                      xatol: float = 1e-8) -> float:
+    """CSP profit-maximizing price given the ESP price ``p_e``.
+
+    The CSP never prices above ``p_e`` (edge would dominate and cloud
+    demand vanish), so the search interval is ``(C_c + ε, p_e)``.
+    """
+    params = oracle.params
+    lo = params.cloud_cost * (1.0 + 1e-7) + 1e-9
+    hi = p_e * (1.0 - 1e-9)
+    if hi <= lo:
+        raise InfeasibleGameError(
+            f"no feasible CSP price below P_e={p_e} and above "
+            f"C_c={params.cloud_cost}")
+
+    def profit(p_c: float) -> float:
+        return oracle.csp_profit(Prices(p_e=p_e, p_c=p_c))
+
+    return _bounded_argmax(profit, lo, hi, xatol)

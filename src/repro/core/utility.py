@@ -1,0 +1,71 @@
+"""Utility and profit functions (Problems 1 and 2 of the paper).
+
+Miner side: ``U_i = R * W_i - (P_e e_i + P_c c_i)`` with the mode-appropriate
+winning probability. SP side: ``V_e = (P_e - C_e) E``, ``V_c = (P_c - C_c) C``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import winning
+from .params import EdgeMode, GameParameters, Prices
+
+__all__ = [
+    "miner_utilities",
+    "miner_utility_single",
+    "miner_utility_gradients",
+    "sp_profits",
+    "spending",
+]
+
+
+def spending(e: np.ndarray, c: np.ndarray, prices: Prices) -> np.ndarray:
+    """Per-miner spending ``P_e e_i + P_c c_i``."""
+    return prices.p_e * np.asarray(e, dtype=float) + \
+        prices.p_c * np.asarray(c, dtype=float)
+
+
+def miner_utilities(e: np.ndarray, c: np.ndarray, params: GameParameters,
+                    prices: Prices) -> np.ndarray:
+    """Vector of miner utilities under the mode-appropriate ``W_i``.
+
+    Connected mode uses Eq. (9); standalone mode uses Eq. (23) and assumes
+    the caller keeps the profile inside the shared capacity constraint
+    (solvers in :mod:`repro.core.gnep` enforce it).
+    """
+    w = winning.w_connected(e, c, params.fork_rate, params.effective_h)
+    return params.reward * w - spending(e, c, prices)
+
+
+def miner_utility_single(i: int, e: np.ndarray, c: np.ndarray,
+                         params: GameParameters, prices: Prices) -> float:
+    """Utility of miner ``i`` under profile ``(e, c)``."""
+    return float(miner_utilities(e, c, params, prices)[i])
+
+
+def miner_utility_gradients(e: np.ndarray, c: np.ndarray,
+                            params: GameParameters,
+                            prices: Prices) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-miner gradients ``(∂U_i/∂e_i, ∂U_i/∂c_i)``.
+
+    These are the components of the VI operator ``F = -∂U`` of Theorem 2 /
+    Theorem 5 (negated there).
+    """
+    dw_de, dw_dc = winning.w_connected_gradients(
+        e, c, params.fork_rate, params.effective_h)
+    du_de = params.reward * dw_de - prices.p_e
+    du_dc = params.reward * dw_dc - prices.p_c
+    return du_de, du_dc
+
+
+def sp_profits(e: np.ndarray, c: np.ndarray, params: GameParameters,
+               prices: Prices) -> Tuple[float, float]:
+    """SP profits ``(V_e, V_c)`` of Problem 2 under profile ``(e, c)``."""
+    E = float(np.sum(e))
+    C = float(np.sum(c))
+    v_e = (prices.p_e - params.edge_cost) * E
+    v_c = (prices.p_c - params.cloud_cost) * C
+    return v_e, v_c

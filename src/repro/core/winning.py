@@ -1,0 +1,193 @@
+"""Winning-probability model of Section III.
+
+Implements every variant of the individual winning probability ``W_i``:
+
+* :func:`w_full` — Eq. (6): both requests fully satisfied (``W_i^h``).
+* :func:`w_edge_component` / :func:`w_cloud_component` — Eqs. (4)-(5).
+* :func:`w_transfer_failure` — Eq. (7): connected-mode overload, the edge
+  request is transferred to the cloud.
+* :func:`w_reject_failure` — Eq. (8): standalone-mode overload, the edge
+  request is rejected.
+* :func:`w_connected` — Eq. (9): law-of-total-expectation mixture with
+  satisfaction probability ``h``; algebraically equal to
+  ``(1-β)(e_i+c_i)/S + β h e_i / E``.
+* :func:`w_standalone` — Eq. (23): the ``h = 1`` instance used inside the
+  capacity-constrained GNEP.
+
+plus the exact gradients used by the equilibrium solvers. All functions are
+vectorized over miners: ``e`` and ``c`` are arrays of shape ``(n,)``.
+
+Theorem 1 (``sum_i W_i == 1`` whenever ``S > 0`` and requests are fully
+satisfied) is enforced in the test suite both numerically and symbolically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "aggregate",
+    "w_edge_component",
+    "w_cloud_component",
+    "w_full",
+    "w_transfer_failure",
+    "w_reject_failure",
+    "w_connected",
+    "w_standalone",
+    "w_connected_gradients",
+]
+
+_EPS = 1e-300  # guards 0/0 in fully-degenerate profiles
+
+
+def aggregate(e: np.ndarray, c: np.ndarray) -> Tuple[float, float, float]:
+    """Aggregate requests ``(E, C, S)`` with ``S = E + C``."""
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    E = float(np.sum(e))
+    C = float(np.sum(c))
+    return E, C, E + C
+
+
+def _safe_div(num: np.ndarray, den: float) -> np.ndarray:
+    """``num / den`` with the convention ``0/0 = 0`` for degenerate pools."""
+    if den <= 0.0:
+        return np.zeros_like(np.asarray(num, dtype=float))
+    return np.asarray(num, dtype=float) / den
+
+
+def w_edge_component(e: np.ndarray, c: np.ndarray, beta: float) -> np.ndarray:
+    """Eq. (4): per-miner winning probability contributed by edge mining.
+
+    ``W_i^e = e_i/S + β e_i (C - c_i) / (E S)`` — the base chance of edge
+    mining first, plus the chance that the miner's edge block overtakes a
+    conflicting cloud block mined by someone else.
+    """
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    E, C, S = aggregate(e, c)
+    base = _safe_div(e, S)
+    if E <= 0.0:
+        return base
+    overtaking = beta * e * (C - c) / (E * S) if S > 0 else np.zeros_like(e)
+    return base + overtaking
+
+
+def w_cloud_component(e: np.ndarray, c: np.ndarray, beta: float) -> np.ndarray:
+    """Eq. (5): per-miner winning probability contributed by cloud mining.
+
+    ``W_i^c = c_i/S - β c_i (E - e_i) / (E S)`` — the base chance of cloud
+    mining first, discounted by the chance the block is orphaned by a
+    conflicting edge block mined by someone else.
+    """
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    E, C, S = aggregate(e, c)
+    base = _safe_div(c, S)
+    if E <= 0.0:
+        # No edge power anywhere: a cloud block can only collide with other
+        # cloud blocks, which share its propagation delay and cannot beat it.
+        return base
+    discount = beta * c * (E - e) / (E * S) if S > 0 else np.zeros_like(c)
+    return base - discount
+
+
+def w_full(e: np.ndarray, c: np.ndarray, beta: float) -> np.ndarray:
+    """Eq. (6): ``W_i^h`` when both requests are fully satisfied.
+
+    Equal to ``w_edge_component + w_cloud_component``; computed in the
+    simplified form ``(e_i+c_i)/S + β (e_i C - c_i E)/(E S)``.
+    """
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    E, C, S = aggregate(e, c)
+    base = _safe_div(e + c, S)
+    if E <= 0.0 or S <= 0.0:
+        return base
+    return base + beta * (e * C - c * E) / (E * S)
+
+
+def w_transfer_failure(e: np.ndarray, c: np.ndarray,
+                       beta: float) -> np.ndarray:
+    """Eq. (7): connected-mode overload — ``r_i`` degrades to
+    ``[0, e_i + c_i]`` (everything runs in the cloud).
+
+    ``W_i^{1-h} = (1-β)(e_i + c_i)/S``.
+    """
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    _, _, S = aggregate(e, c)
+    return (1.0 - beta) * _safe_div(e + c, S)
+
+
+def w_reject_failure(e: np.ndarray, c: np.ndarray, beta: float) -> np.ndarray:
+    """Eq. (8): standalone-mode overload — the edge request is rejected and
+    leaves the pool entirely: ``W_i = (1-β) c_i / (S - e_i)``.
+    """
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    _, _, S = aggregate(e, c)
+    denom = S - e
+    out = np.zeros_like(c)
+    mask = denom > 0
+    out[mask] = (1.0 - beta) * c[mask] / denom[mask]
+    return out
+
+
+def w_connected(e: np.ndarray, c: np.ndarray, beta: float,
+                h: float) -> np.ndarray:
+    """Eq. (9): expected winning probability in connected mode.
+
+    ``W_i = h W_i^h + (1-h) W_i^{1-h} = (1-β)(e_i+c_i)/S + β h e_i / E``.
+    The simplified right-hand side (used by Problem 1a) is exact; the test
+    suite checks it against the explicit mixture.
+    """
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    E, _, S = aggregate(e, c)
+    base = (1.0 - beta) * _safe_div(e + c, S)
+    if E <= 0.0:
+        return base
+    return base + beta * h * e / E
+
+
+def w_standalone(e: np.ndarray, c: np.ndarray, beta: float) -> np.ndarray:
+    """Eq. (23): winning probability in standalone mode when the shared
+    capacity constraint holds (``E <= E_max``). Identical to ``W_i^h``.
+    """
+    return w_connected(e, c, beta, h=1.0)
+
+
+def w_connected_gradients(e: np.ndarray, c: np.ndarray, beta: float,
+                          h: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact per-miner partial derivatives of Eq. (9).
+
+    Returns:
+        ``(dW_de, dW_dc)`` where ``dW_de[i] = ∂W_i/∂e_i`` and
+        ``dW_dc[i] = ∂W_i/∂c_i``:
+
+        ``∂W_i/∂e_i = (1-β) s̄_i / S² + β h ē_i / E²``
+        ``∂W_i/∂c_i = (1-β) s̄_i / S²``
+
+        with ``s̄_i = S - e_i - c_i`` (others' total) and
+        ``ē_i = E - e_i`` (others' edge total).
+
+    These drive both the VI operator of the GNEP and the projected-gradient
+    fallback of the NEP.
+    """
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    E, _, S = aggregate(e, c)
+    s_others = S - e - c
+    e_others = E - e
+    if S > 0.0:
+        cloud_term = (1.0 - beta) * s_others / (S * S)
+    else:
+        cloud_term = np.zeros_like(e)
+    if E > 0.0:
+        edge_term = beta * h * e_others / (E * E)
+    else:
+        edge_term = np.zeros_like(e)
+    return cloud_term + edge_term, cloud_term.copy()

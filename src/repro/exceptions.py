@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A model or solver was configured with invalid parameters.
+
+    Raised eagerly at construction time (fail fast): e.g. a negative price,
+    a fork rate outside ``[0, 1)``, or fewer than two miners.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget.
+
+    The offending :class:`~repro.game.diagnostics.ConvergenceReport` is
+    attached as the ``report`` attribute when available.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class InfeasibleGameError(ReproError, ValueError):
+    """The requested game admits no feasible/meaningful equilibrium.
+
+    Example: prices violating the mixed-strategy condition of Theorem 3 when
+    a closed-form mixed equilibrium is requested.
+    """
+
+
+class CapacityError(ReproError, ValueError):
+    """A resource request exceeds a provider's capacity constraints."""

@@ -1,0 +1,38 @@
+"""Generic game-theory substrate: strategy spaces, projections, Nash and
+variational-inequality solvers.
+
+This package is paper-agnostic; the blockchain-mining games in
+:mod:`repro.core` are built on top of it.
+"""
+
+from .best_response import (BestResponseOptions, BestResponseResult,
+                            projected_gradient_response, solve_nash)
+from .diagnostics import ConvergenceReport, ResidualRecorder
+from .projections import (dykstra, project_budget_orthant, project_halfspace,
+                          project_nonnegative)
+from .types import BudgetBox, ContinuousGame, Player, StrategySpace
+from .vi import (VIProblem, VIResult, extragradient, monotonicity_gap,
+                 natural_residual, solve_vi_adaptive)
+
+__all__ = [
+    "BestResponseOptions",
+    "BestResponseResult",
+    "projected_gradient_response",
+    "solve_nash",
+    "ConvergenceReport",
+    "ResidualRecorder",
+    "dykstra",
+    "project_budget_orthant",
+    "project_halfspace",
+    "project_nonnegative",
+    "BudgetBox",
+    "ContinuousGame",
+    "Player",
+    "StrategySpace",
+    "VIProblem",
+    "VIResult",
+    "extragradient",
+    "monotonicity_gap",
+    "natural_residual",
+    "solve_vi_adaptive",
+]

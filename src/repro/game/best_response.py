@@ -1,0 +1,157 @@
+"""Generic damped best-response iteration for continuous games.
+
+This implements the fixed-point scheme behind the paper's Algorithm 1 and the
+follower stage of Algorithm 2: each player, in turn (Gauss-Seidel) or all at
+once (Jacobi), replaces its strategy with a best response to the current
+profile, optionally damped:
+
+    x_i  <-  (1 - alpha) * x_i + alpha * BR_i(x_{-i})
+
+For games whose best-response map is a contraction (the paper's NEP_MINER
+under strict monotonicity, Theorem 2), this converges to the unique Nash
+equilibrium from any feasible starting point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from .diagnostics import ConvergenceReport, ResidualRecorder
+from .types import ContinuousGame, Player
+
+__all__ = ["BestResponseOptions", "BestResponseResult", "solve_nash",
+           "projected_gradient_response"]
+
+
+@dataclass
+class BestResponseOptions:
+    """Tuning knobs for :func:`solve_nash`.
+
+    Attributes:
+        tol: Convergence tolerance on the infinity-norm strategy update.
+        max_iter: Maximum outer sweeps over all players.
+        damping: Step ``alpha`` in the damped update; 1.0 is undamped.
+        sweep: ``"gauss-seidel"`` (asynchronous, uses fresh opponent
+            strategies within a sweep — the paper's asynchronous
+            best-response) or ``"jacobi"`` (simultaneous).
+        raise_on_failure: If True, raise :class:`ConvergenceError` instead of
+            returning a non-converged result.
+    """
+
+    tol: float = 1e-9
+    max_iter: int = 2000
+    damping: float = 1.0
+    sweep: str = "gauss-seidel"
+    raise_on_failure: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.damping <= 1.0:
+            raise ValueError(f"damping must be in (0, 1], got {self.damping}")
+        if self.sweep not in ("gauss-seidel", "jacobi"):
+            raise ValueError(f"unknown sweep mode {self.sweep!r}")
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be at least 1")
+
+
+@dataclass
+class BestResponseResult:
+    """Equilibrium profile plus convergence diagnostics."""
+
+    profile: List[np.ndarray]
+    report: ConvergenceReport
+
+    @property
+    def converged(self) -> bool:
+        return self.report.converged
+
+
+def projected_gradient_response(player: Player, others,
+                                start: np.ndarray,
+                                step: float = 0.1,
+                                tol: float = 1e-10,
+                                max_iter: int = 5000) -> np.ndarray:
+    """Fallback best response by projected gradient ascent.
+
+    Used when a player does not provide a closed-form best response. The
+    payoffs in this library are concave on convex sets, so projected
+    gradient ascent with a diminishing step converges to the maximizer.
+    """
+    x = player.space.project(np.asarray(start, dtype=float))
+    for k in range(1, max_iter + 1):
+        grad = player.payoff_gradient(x, others)
+        # Diminishing step keeps the iteration stable near the boundary.
+        alpha = step / np.sqrt(k)
+        x_new = player.space.project(x + alpha * grad)
+        if float(np.max(np.abs(x_new - x))) < tol:
+            return x_new
+        x = x_new
+    return x
+
+
+def solve_nash(game: ContinuousGame,
+               build_context: Callable[[List[np.ndarray], int], object],
+               options: Optional[BestResponseOptions] = None,
+               initial: Optional[Sequence[np.ndarray]] = None,
+               ) -> BestResponseResult:
+    """Find a Nash equilibrium by (damped) best-response iteration.
+
+    Args:
+        game: The game to solve.
+        build_context: Maps ``(profile, i)`` to the opponent context object
+            passed to player ``i``'s payoff/best-response. Keeping this as a
+            callable lets concrete games pass cheap aggregate statistics
+            (e.g. opponents' total requests) instead of full profiles.
+        options: Iteration options; defaults to :class:`BestResponseOptions`.
+        initial: Starting profile; defaults to each player's interior point.
+
+    Returns:
+        :class:`BestResponseResult` with the final profile and diagnostics.
+
+    Raises:
+        ConvergenceError: If ``options.raise_on_failure`` and the iteration
+            does not reach ``options.tol`` within ``options.max_iter`` sweeps.
+    """
+    opts = options or BestResponseOptions()
+    if initial is None:
+        profile = game.initial_profile()
+    else:
+        profile = [np.asarray(b, dtype=float).copy() for b in initial]
+        if len(profile) != game.num_players:
+            raise ValueError(
+                f"initial profile has {len(profile)} blocks, expected "
+                f"{game.num_players}")
+
+    recorder = ResidualRecorder(opts.tol)
+    converged = False
+    iterations = 0
+    for sweep_idx in range(opts.max_iter):
+        iterations = sweep_idx + 1
+        if opts.sweep == "jacobi":
+            source = [b.copy() for b in profile]
+        else:
+            source = profile
+        residual = 0.0
+        for i, player in enumerate(game.players):
+            others = build_context(source, i)
+            br = player.best_response(others)
+            if br is None:
+                br = projected_gradient_response(player, others, profile[i])
+            br = np.asarray(br, dtype=float)
+            new = (1.0 - opts.damping) * profile[i] + opts.damping * br
+            new = player.space.project(new)
+            residual = max(residual,
+                           float(np.max(np.abs(new - profile[i]))))
+            profile[i] = new
+        if recorder.record(residual):
+            converged = True
+            break
+
+    report = recorder.report(converged, iterations)
+    if not converged and opts.raise_on_failure:
+        raise ConvergenceError(
+            f"best-response iteration failed: {report}", report)
+    return BestResponseResult(profile=profile, report=report)

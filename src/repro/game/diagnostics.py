@@ -1,0 +1,79 @@
+"""Convergence tracking for iterative equilibrium solvers.
+
+Every iterative solver in this library returns (or embeds) a
+:class:`ConvergenceReport` so that callers can distinguish "converged",
+"stalled", and "hit the iteration budget" without parsing log text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ConvergenceReport:
+    """Outcome of an iterative fixed-point / optimization procedure.
+
+    Attributes:
+        converged: Whether the residual dropped below the tolerance.
+        iterations: Number of outer iterations performed.
+        residual: Final residual (solver-specific metric; typically the
+            infinity-norm of the last strategy update).
+        tolerance: The tolerance the solver was targeting.
+        history: Per-iteration residuals (may be truncated by the solver).
+        message: Optional human-readable note, e.g. why a solver stopped.
+    """
+
+    converged: bool
+    iterations: int
+    residual: float
+    tolerance: float
+    history: List[float] = field(default_factory=list)
+    message: Optional[str] = None
+
+    def __str__(self) -> str:
+        status = "converged" if self.converged else "NOT converged"
+        note = f" ({self.message})" if self.message else ""
+        return (
+            f"{status} after {self.iterations} iterations, "
+            f"residual={self.residual:.3e} (tol={self.tolerance:.1e}){note}"
+        )
+
+
+class ResidualRecorder:
+    """Accumulates residuals during a solve and builds the final report.
+
+    Keeps at most ``max_history`` entries to bound memory for long runs;
+    the most recent residuals are always retained.
+    """
+
+    def __init__(self, tolerance: float, max_history: int = 1000):
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        self.tolerance = tolerance
+        self.max_history = max_history
+        self._residuals: List[float] = []
+
+    def record(self, residual: float) -> bool:
+        """Record one iteration's residual; return True if below tolerance."""
+        self._residuals.append(float(residual))
+        if len(self._residuals) > self.max_history:
+            # Drop the oldest half to amortize the trimming cost.
+            self._residuals = self._residuals[self.max_history // 2:]
+        return residual < self.tolerance
+
+    @property
+    def last_residual(self) -> float:
+        return self._residuals[-1] if self._residuals else float("inf")
+
+    def report(self, converged: bool, iterations: int,
+               message: Optional[str] = None) -> ConvergenceReport:
+        return ConvergenceReport(
+            converged=converged,
+            iterations=iterations,
+            residual=self.last_residual,
+            tolerance=self.tolerance,
+            history=list(self._residuals),
+            message=message,
+        )

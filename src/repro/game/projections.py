@@ -1,0 +1,123 @@
+"""Euclidean projections onto the constraint sets used by the miner games.
+
+The miner strategy sets are intersections of simple convex sets:
+
+* the non-negative orthant ``x >= 0``;
+* a per-miner budget half-space ``p . x <= B`` (prices ``p > 0``);
+* (standalone mode) a shared capacity half-space ``sum_i e_i <= E_max``.
+
+Projections onto each individual set are closed-form; the intersection is
+handled with Dykstra's alternating-projection algorithm, which converges to
+the exact Euclidean projection for intersections of convex sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "project_nonnegative",
+    "project_halfspace",
+    "project_budget_orthant",
+    "dykstra",
+]
+
+
+def project_nonnegative(x: np.ndarray) -> np.ndarray:
+    """Project ``x`` onto the non-negative orthant."""
+    return np.maximum(x, 0.0)
+
+
+def project_halfspace(x: np.ndarray, a: np.ndarray, b: float) -> np.ndarray:
+    """Project ``x`` onto the half-space ``{y : a . y <= b}``.
+
+    Args:
+        x: Point to project.
+        a: Normal vector of the half-space (need not be normalized).
+        b: Offset.
+
+    Returns:
+        The Euclidean projection. If ``x`` already satisfies the constraint
+        it is returned unchanged (same array, not a copy).
+    """
+    violation = float(np.dot(a, x)) - b
+    if violation <= 0.0:
+        return x
+    denom = float(np.dot(a, a))
+    if denom == 0.0:
+        raise ValueError("half-space normal vector must be nonzero")
+    return x - (violation / denom) * a
+
+
+def project_budget_orthant(x: np.ndarray, prices: np.ndarray,
+                           budget: float, tol: float = 1e-12,
+                           max_iter: int = 200) -> np.ndarray:
+    """Project onto ``{y >= 0 : prices . y <= budget}`` exactly.
+
+    Uses the KKT structure directly: the projection is
+    ``max(x - t * prices, 0)`` for the smallest ``t >= 0`` making the budget
+    hold, found by a sorted-breakpoint scan (waterfilling). This is exact and
+    faster than Dykstra for this 2-set special case.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    if np.any(prices <= 0):
+        raise ValueError("all prices must be positive")
+    y = np.maximum(x, 0.0)
+    if float(np.dot(prices, y)) <= budget + tol:
+        return y
+    # Solve phi(t) = prices . max(x - t*prices, 0) - budget = 0 for t > 0.
+    # phi is piecewise-linear, decreasing; breakpoints at t_k = x_k / p_k.
+    breakpoints = np.where(x > 0, x / prices, 0.0)
+    order = np.argsort(breakpoints)
+    # Scan segments between successive breakpoints.
+    active = x > 0
+    lo = 0.0
+    for idx in order:
+        hi = breakpoints[idx]
+        if hi > lo:
+            # On [lo, hi) the active set is fixed: phi(t) = A - t * Q.
+            mask = active & (breakpoints > lo + tol)
+            A = float(np.dot(prices[mask], x[mask]))
+            Q = float(np.dot(prices[mask], prices[mask]))
+            if Q > 0:
+                t = (A - budget) / Q
+                if lo - tol <= t <= hi + tol:
+                    return np.maximum(x - t * prices, 0.0)
+            lo = hi
+    # All coordinates clipped to zero satisfies any non-negative budget.
+    return np.zeros_like(x)
+
+
+def dykstra(x: np.ndarray,
+            projections: Sequence[Callable[[np.ndarray], np.ndarray]],
+            tol: float = 1e-10, max_iter: int = 500) -> np.ndarray:
+    """Dykstra's algorithm: project onto an intersection of convex sets.
+
+    Args:
+        x: Point to project.
+        projections: Projection operators for each individual set.
+        tol: Stop when a full sweep changes the iterate by less than this
+            (infinity norm).
+        max_iter: Maximum number of full sweeps.
+
+    Returns:
+        (Approximate) Euclidean projection of ``x`` onto the intersection.
+    """
+    m = len(projections)
+    if m == 0:
+        return x.copy()
+    y = x.astype(float).copy()
+    corrections = [np.zeros_like(y) for _ in range(m)]
+    for _ in range(max_iter):
+        y_prev = y.copy()
+        for k, proj in enumerate(projections):
+            z = y + corrections[k]
+            y_new = proj(z)
+            corrections[k] = z - y_new
+            y = y_new
+        if float(np.max(np.abs(y - y_prev))) < tol:
+            break
+    return y

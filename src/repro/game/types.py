@@ -1,0 +1,145 @@
+"""Core abstractions for finite-player continuous games.
+
+A game here is a set of players, each owning a block of the joint strategy
+vector, a concave payoff ``u_i(x_i, x_{-i})``, and a convex feasible set for
+its block. The miner subgames of the paper are instances: each miner owns the
+2-vector ``[e_i, c_i]``.
+
+These abstractions intentionally stay small: concrete games in
+:mod:`repro.core` supply closed-form gradients and best responses, and the
+generic solvers in :mod:`repro.game.best_response` / :mod:`repro.game.vi`
+operate through this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["StrategySpace", "BudgetBox", "Player", "ContinuousGame"]
+
+
+class StrategySpace(abc.ABC):
+    """A convex feasible set for one player's strategy block."""
+
+    #: Dimension of the strategy block.
+    dim: int
+
+    @abc.abstractmethod
+    def project(self, x: np.ndarray) -> np.ndarray:
+        """Euclidean projection of ``x`` onto the set."""
+
+    @abc.abstractmethod
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        """Whether ``x`` lies in the set, up to tolerance ``tol``."""
+
+    @abc.abstractmethod
+    def interior_point(self) -> np.ndarray:
+        """A strictly feasible point, used to initialize solvers."""
+
+
+@dataclass
+class BudgetBox(StrategySpace):
+    """The set ``{x >= 0 : prices . x <= budget}`` (a simplex-like polytope).
+
+    This is each miner's strategy set in the paper (constraint 1b): requests
+    are non-negative and total spending stays within the budget.
+    """
+
+    prices: np.ndarray
+    budget: float
+
+    def __post_init__(self) -> None:
+        self.prices = np.asarray(self.prices, dtype=float)
+        if self.prices.ndim != 1:
+            raise ValueError("prices must be a 1-D array")
+        if np.any(self.prices <= 0):
+            raise ValueError("all prices must be positive")
+        if self.budget < 0:
+            raise ValueError(f"budget must be non-negative, got {self.budget}")
+        self.dim = self.prices.shape[0]
+
+    def project(self, x: np.ndarray) -> np.ndarray:
+        from .projections import project_budget_orthant
+
+        return project_budget_orthant(np.asarray(x, dtype=float),
+                                      self.prices, self.budget)
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        x = np.asarray(x, dtype=float)
+        if np.any(x < -tol):
+            return False
+        return float(np.dot(self.prices, x)) <= self.budget + tol
+
+    def interior_point(self) -> np.ndarray:
+        # Spend half the budget, split evenly across coordinates.
+        per_coord = self.budget / (2.0 * self.dim)
+        return per_coord / self.prices
+
+
+class Player(abc.ABC):
+    """One player of a continuous game.
+
+    Concrete players provide payoff, payoff gradient (w.r.t. their own
+    block), and optionally an exact best response.
+    """
+
+    #: The player's feasible set.
+    space: StrategySpace
+
+    @abc.abstractmethod
+    def payoff(self, own: np.ndarray, others) -> float:
+        """Payoff of playing ``own`` against opponent context ``others``."""
+
+    @abc.abstractmethod
+    def payoff_gradient(self, own: np.ndarray, others) -> np.ndarray:
+        """Gradient of :meth:`payoff` with respect to ``own``."""
+
+    def best_response(self, others) -> Optional[np.ndarray]:
+        """Exact best response if available, else ``None``.
+
+        Solvers fall back to projected-gradient maximization when a player
+        does not implement this.
+        """
+        return None
+
+
+class ContinuousGame:
+    """A finite collection of :class:`Player` objects over stacked blocks.
+
+    The joint strategy is represented as a list of per-player arrays, which
+    keeps block boundaries explicit (miners own 2-vectors in this library).
+    """
+
+    def __init__(self, players: Sequence[Player]):
+        if len(players) == 0:
+            raise ValueError("a game needs at least one player")
+        self.players: List[Player] = list(players)
+
+    @property
+    def num_players(self) -> int:
+        return len(self.players)
+
+    def stack(self, blocks: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate per-player blocks into one flat vector."""
+        return np.concatenate([np.asarray(b, dtype=float) for b in blocks])
+
+    def split(self, flat: np.ndarray) -> List[np.ndarray]:
+        """Split a flat joint vector back into per-player blocks."""
+        blocks: List[np.ndarray] = []
+        offset = 0
+        for player in self.players:
+            d = player.space.dim
+            blocks.append(np.asarray(flat[offset:offset + d], dtype=float))
+            offset += d
+        if offset != len(flat):
+            raise ValueError(
+                f"joint vector has length {len(flat)}, expected {offset}")
+        return blocks
+
+    def initial_profile(self) -> List[np.ndarray]:
+        """A strictly feasible starting profile for iterative solvers."""
+        return [p.space.interior_point() for p in self.players]

@@ -1,0 +1,197 @@
+"""Variational-inequality (VI) machinery for the GNEP miner subgame.
+
+The standalone-mode miner subgame (Problem 1c) is a jointly convex GNEP. Its
+*variational equilibrium* — the GNE the paper's Algorithm 2 targets — is the
+solution of VI(K, F) where
+
+* ``K`` is the joint convex set: per-miner budget boxes intersected with the
+  shared capacity half-space ``sum_i e_i <= E_max``;
+* ``F(x)`` stacks the negated payoff gradients ``-grad_i u_i(x)``.
+
+Two solvers are provided:
+
+* :func:`extragradient` — Korpelevich's extragradient method. Converges for
+  monotone Lipschitz ``F`` on closed convex ``K`` and needs only a
+  projection oracle for ``K``.
+* :func:`solve_vi_adaptive` — extragradient with simple backtracking on the
+  step size, which avoids hand-tuning the Lipschitz constant.
+
+A finite-difference monotonicity probe (:func:`monotonicity_gap`) supports
+tests and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from .diagnostics import ConvergenceReport, ResidualRecorder
+
+__all__ = [
+    "VIProblem",
+    "VIResult",
+    "extragradient",
+    "solve_vi_adaptive",
+    "natural_residual",
+    "monotonicity_gap",
+]
+
+
+@dataclass
+class VIProblem:
+    """A variational inequality VI(K, F): find x* in K with
+    ``F(x*) . (y - x*) >= 0`` for all y in K.
+
+    Attributes:
+        operator: The map ``F``.
+        project: Euclidean projection onto ``K``.
+        dim: Dimension of the ambient space.
+    """
+
+    operator: Callable[[np.ndarray], np.ndarray]
+    project: Callable[[np.ndarray], np.ndarray]
+    dim: int
+
+
+@dataclass
+class VIResult:
+    """Solution of a VI along with convergence diagnostics."""
+
+    solution: np.ndarray
+    report: ConvergenceReport
+
+    @property
+    def converged(self) -> bool:
+        return self.report.converged
+
+
+def natural_residual(problem: VIProblem, x: np.ndarray,
+                     step: float = 1.0) -> float:
+    """Infinity-norm of the natural residual ``x - P_K(x - step*F(x))``.
+
+    Zero exactly at VI solutions; the standard merit function for projection
+    methods.
+    """
+    return float(np.max(np.abs(
+        x - problem.project(x - step * problem.operator(x)))))
+
+
+def extragradient(problem: VIProblem,
+                  x0: Optional[np.ndarray] = None,
+                  step: float = 0.1,
+                  tol: float = 1e-9,
+                  max_iter: int = 20000,
+                  raise_on_failure: bool = False) -> VIResult:
+    """Korpelevich extragradient method with a fixed step size.
+
+    Each iteration takes a predictor step, evaluates ``F`` there, and takes a
+    corrector step from the original point:
+
+        y = P_K(x - step * F(x))
+        x = P_K(x - step * F(y))
+
+    Converges for monotone, Lipschitz ``F`` whenever
+    ``step < 1 / L``; use :func:`solve_vi_adaptive` when the Lipschitz
+    constant is unknown.
+    """
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    x = (np.zeros(problem.dim) if x0 is None
+         else np.asarray(x0, dtype=float).copy())
+    x = problem.project(x)
+    recorder = ResidualRecorder(tol)
+    converged = False
+    iterations = 0
+    for k in range(max_iter):
+        iterations = k + 1
+        fx = problem.operator(x)
+        y = problem.project(x - step * fx)
+        fy = problem.operator(y)
+        x_new = problem.project(x - step * fy)
+        residual = float(np.max(np.abs(x_new - x)))
+        x = x_new
+        if recorder.record(residual):
+            converged = True
+            break
+    report = recorder.report(converged, iterations)
+    if not converged and raise_on_failure:
+        raise ConvergenceError(f"extragradient failed: {report}", report)
+    return VIResult(solution=x, report=report)
+
+
+def solve_vi_adaptive(problem: VIProblem,
+                      x0: Optional[np.ndarray] = None,
+                      step: float = 1.0,
+                      shrink: float = 0.5,
+                      tol: float = 1e-9,
+                      max_iter: int = 20000,
+                      raise_on_failure: bool = False) -> VIResult:
+    """Extragradient with backtracking step-size adaptation.
+
+    The step is shrunk whenever the local Lipschitz test
+    ``step * ||F(x) - F(y)|| <= 0.9 * ||x - y||`` fails, so no Lipschitz
+    constant needs to be known a priori. The step never grows, which keeps
+    the classical convergence guarantee.
+    """
+    if not 0.0 < shrink < 1.0:
+        raise ValueError(f"shrink must be in (0, 1), got {shrink}")
+    x = (np.zeros(problem.dim) if x0 is None
+         else np.asarray(x0, dtype=float).copy())
+    x = problem.project(x)
+    recorder = ResidualRecorder(tol)
+    converged = False
+    iterations = 0
+    current_step = step
+    for k in range(max_iter):
+        iterations = k + 1
+        fx = problem.operator(x)
+        while True:
+            y = problem.project(x - current_step * fx)
+            diff = y - x
+            norm_diff = float(np.linalg.norm(diff))
+            if norm_diff == 0.0:
+                break
+            fy = problem.operator(y)
+            if (current_step * float(np.linalg.norm(fy - fx))
+                    <= 0.9 * norm_diff):
+                break
+            current_step *= shrink
+            if current_step < 1e-14:
+                raise ConvergenceError(
+                    "extragradient step size underflow; operator may not be "
+                    "locally Lipschitz on the feasible set")
+        fy = problem.operator(y)
+        x_new = problem.project(x - current_step * fy)
+        residual = float(np.max(np.abs(x_new - x)))
+        x = x_new
+        if recorder.record(residual):
+            converged = True
+            break
+    report = recorder.report(converged, iterations,
+                             message=f"final step {current_step:.2e}")
+    if not converged and raise_on_failure:
+        raise ConvergenceError(f"adaptive extragradient failed: {report}",
+                               report)
+    return VIResult(solution=x, report=report)
+
+
+def monotonicity_gap(operator: Callable[[np.ndarray], np.ndarray],
+                     points: np.ndarray) -> float:
+    """Smallest pairwise monotonicity inner product over sample points.
+
+    For a monotone operator, ``(F(x) - F(y)) . (x - y) >= 0`` for all pairs;
+    this returns the minimum over all pairs in ``points`` (shape
+    ``(m, dim)``). Negative values witness non-monotonicity.
+    """
+    points = np.asarray(points, dtype=float)
+    values = [operator(p) for p in points]
+    gap = float("inf")
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            inner = float(np.dot(values[i] - values[j],
+                                 points[i] - points[j]))
+            gap = min(gap, inner)
+    return gap

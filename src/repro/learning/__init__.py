@@ -1,0 +1,34 @@
+"""Reinforcement-learning framework of Section VI-C: strategy grids,
+bandit and Q-learning agents for miners, adaptive pricing for the SPs,
+and the epoch trainer that reproduces the paper's learning loop."""
+
+from .bandits import (BanditLearner, EpsilonGreedyLearner, SoftmaxLearner,
+                      UCBLearner)
+from .discretization import StrategyGrid
+from .fictitious import FictitiousPlayResult, fictitious_play
+from .market_trainer import MarketEpochResult, MarketRLTrainer
+from .miners import LearningMiner, QLearningMiner, RoundObservation
+from .providers import PriceLearner
+from .qlearning import QLearningAgent, discretize_edge_share
+from .trainer import EpochResult, RLTrainer, TrainingResult
+
+__all__ = [
+    "BanditLearner",
+    "EpsilonGreedyLearner",
+    "SoftmaxLearner",
+    "UCBLearner",
+    "StrategyGrid",
+    "FictitiousPlayResult",
+    "fictitious_play",
+    "MarketEpochResult",
+    "MarketRLTrainer",
+    "LearningMiner",
+    "QLearningMiner",
+    "RoundObservation",
+    "PriceLearner",
+    "QLearningAgent",
+    "discretize_edge_share",
+    "EpochResult",
+    "RLTrainer",
+    "TrainingResult",
+]

@@ -1,0 +1,133 @@
+"""Bandit learners over finite action sets.
+
+The repeated mining game is, from each miner's perspective, a
+non-stationary multi-armed bandit (opponents learn too), so all learners
+use constant step sizes and exploration that can be annealed. Three
+standard strategies are provided; the trainer defaults to ε-greedy, which
+is what converges most robustly in self-play for this game.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["BanditLearner", "EpsilonGreedyLearner", "SoftmaxLearner",
+           "UCBLearner"]
+
+
+class BanditLearner(abc.ABC):
+    """Incremental value-estimating learner over ``num_actions`` arms."""
+
+    def __init__(self, num_actions: int, step_size: float = 0.1,
+                 initial_value: float = 0.0, seed: int = 0):
+        if num_actions < 1:
+            raise ConfigurationError("need at least one action")
+        if not 0.0 < step_size <= 1.0:
+            raise ConfigurationError("step_size must be in (0, 1]")
+        self.num_actions = num_actions
+        self.step_size = step_size
+        self.values = np.full(num_actions, float(initial_value))
+        self.counts = np.zeros(num_actions, dtype=int)
+        self.total_updates = 0
+        self._rng = np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def select(self) -> int:
+        """Choose an arm."""
+
+    def update(self, action: int, payoff: float) -> None:
+        """Incorporate one observed payoff for ``action``."""
+        if not 0 <= action < self.num_actions:
+            raise ConfigurationError(f"action {action} out of range")
+        self.counts[action] += 1
+        self.total_updates += 1
+        self.values[action] += self.step_size * (payoff
+                                                 - self.values[action])
+
+    def update_all(self, payoffs: np.ndarray) -> None:
+        """Full-information update: payoffs observed for every arm.
+
+        Used by the belief-based feedback mode, where a miner evaluates
+        every grid action against the opponents' observed aggregates.
+        """
+        payoffs = np.asarray(payoffs, dtype=float)
+        if payoffs.shape != (self.num_actions,):
+            raise ConfigurationError("payoffs must cover every action")
+        self.total_updates += 1
+        self.values += self.step_size * (payoffs - self.values)
+
+    def greedy(self) -> int:
+        """Current greedy arm (ties broken by lowest index)."""
+        return int(np.argmax(self.values))
+
+
+class EpsilonGreedyLearner(BanditLearner):
+    """ε-greedy selection with multiplicative ε decay."""
+
+    def __init__(self, num_actions: int, epsilon: float = 0.2,
+                 epsilon_decay: float = 0.995, epsilon_min: float = 0.01,
+                 **kwargs):
+        super().__init__(num_actions, **kwargs)
+        if not 0.0 <= epsilon <= 1.0:
+            raise ConfigurationError("epsilon must be in [0, 1]")
+        if not 0.0 < epsilon_decay <= 1.0:
+            raise ConfigurationError("epsilon_decay must be in (0, 1]")
+        self.epsilon = epsilon
+        self.epsilon_decay = epsilon_decay
+        self.epsilon_min = epsilon_min
+
+    def select(self) -> int:
+        if self._rng.random() < self.epsilon:
+            choice = int(self._rng.integers(self.num_actions))
+        else:
+            choice = self.greedy()
+        self.epsilon = max(self.epsilon * self.epsilon_decay,
+                           self.epsilon_min)
+        return choice
+
+
+class SoftmaxLearner(BanditLearner):
+    """Boltzmann selection with temperature annealing."""
+
+    def __init__(self, num_actions: int, temperature: float = 1.0,
+                 temperature_decay: float = 0.99,
+                 temperature_min: float = 0.01, **kwargs):
+        super().__init__(num_actions, **kwargs)
+        if temperature <= 0:
+            raise ConfigurationError("temperature must be positive")
+        self.temperature = temperature
+        self.temperature_decay = temperature_decay
+        self.temperature_min = temperature_min
+
+    def select(self) -> int:
+        logits = self.values / self.temperature
+        logits = logits - logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        choice = int(self._rng.choice(self.num_actions, p=probs))
+        self.temperature = max(self.temperature * self.temperature_decay,
+                               self.temperature_min)
+        return choice
+
+
+class UCBLearner(BanditLearner):
+    """UCB1 selection (exploration bonus on visit counts)."""
+
+    def __init__(self, num_actions: int, exploration: float = 1.0, **kwargs):
+        super().__init__(num_actions, **kwargs)
+        if exploration < 0:
+            raise ConfigurationError("exploration must be non-negative")
+        self.exploration = exploration
+
+    def select(self) -> int:
+        untried = np.flatnonzero(self.counts == 0)
+        if untried.size > 0:
+            return int(untried[0])
+        t = max(self.total_updates, 1)
+        bonus = self.exploration * np.sqrt(np.log(t) / self.counts)
+        return int(np.argmax(self.values + bonus))

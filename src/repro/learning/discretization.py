@@ -1,0 +1,83 @@
+"""Strategy-space discretization for learning agents.
+
+Learning miners act on a finite grid of request vectors ``(e, c)`` spanning
+their budget set: spending fractions × edge/cloud splits. The grid always
+contains the pure-cloud and pure-edge extremes and the zero request, so no
+corner equilibrium is unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["StrategyGrid"]
+
+
+@dataclass(frozen=True)
+class StrategyGrid:
+    """A finite grid over one miner's budget set.
+
+    Attributes:
+        actions: Array of shape ``(m, 2)`` with rows ``[e, c]``.
+        budget: The budget the grid spans.
+        p_e: ESP price used to build the grid.
+        p_c: CSP price used to build the grid.
+    """
+
+    actions: np.ndarray
+    budget: float
+    p_e: float
+    p_c: float
+
+    @classmethod
+    def build(cls, budget: float, p_e: float, p_c: float,
+              spend_levels: int = 5, split_levels: int = 9,
+              ) -> "StrategyGrid":
+        """Construct a grid of ``~spend_levels * split_levels`` actions.
+
+        Args:
+            budget: Miner budget ``B``.
+            p_e: ESP unit price.
+            p_c: CSP unit price.
+            spend_levels: Number of spending fractions in ``(0, 1]``.
+            split_levels: Number of edge-share levels in ``[0, 1]``.
+        """
+        if budget <= 0 or p_e <= 0 or p_c <= 0:
+            raise ConfigurationError(
+                "budget and prices must be positive to build a grid")
+        if spend_levels < 1 or split_levels < 2:
+            raise ConfigurationError(
+                "need spend_levels >= 1 and split_levels >= 2")
+        rows: List[Tuple[float, float]] = [(0.0, 0.0)]
+        for frac in np.linspace(1.0 / spend_levels, 1.0, spend_levels):
+            spend = budget * float(frac)
+            for share in np.linspace(0.0, 1.0, split_levels):
+                e = spend * float(share) / p_e
+                c = spend * (1.0 - float(share)) / p_c
+                rows.append((e, c))
+        actions = np.array(sorted(set(rows)))
+        return cls(actions=actions, budget=budget, p_e=p_e, p_c=p_c)
+
+    @property
+    def size(self) -> int:
+        return int(self.actions.shape[0])
+
+    def action(self, index: int) -> Tuple[float, float]:
+        """The ``(e, c)`` pair at ``index``."""
+        e, c = self.actions[index]
+        return float(e), float(c)
+
+    def nearest(self, e: float, c: float) -> int:
+        """Index of the grid action closest (Euclidean) to ``(e, c)``."""
+        d = np.linalg.norm(self.actions - np.array([e, c]), axis=1)
+        return int(np.argmin(d))
+
+    def feasible(self, tol: float = 1e-9) -> bool:
+        """Whether every action respects the budget."""
+        spend = self.actions[:, 0] * self.p_e + self.actions[:, 1] * self.p_c
+        return bool(np.all(spend <= self.budget + tol))

@@ -1,0 +1,135 @@
+"""Fictitious play for the miner subgame.
+
+A classical learning dynamic complementing the bandit learners: each
+miner tracks the *empirical average* of its opponents' aggregate requests
+over past rounds and plays an exact best response (via
+:func:`repro.core.miner_best_response.solve_best_response`) to that
+belief. For the connected-mode subgame — whose best-response map is a
+contraction around the unique NE (Theorem 2) — fictitious play converges
+to the same equilibrium as the best-response iteration, which the test
+suite asserts. This provides an independent, learning-theoretic
+validation of the equilibrium concept, matching the paper's framing that
+players "update their beliefs about unobservable actions of others
+through repeated interactions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.miner_best_response import ResponseContext, solve_best_response
+from ..core.params import GameParameters, Prices
+from ..exceptions import ConfigurationError
+from ..game.diagnostics import ConvergenceReport, ResidualRecorder
+
+__all__ = ["FictitiousPlayResult", "fictitious_play"]
+
+
+@dataclass
+class FictitiousPlayResult:
+    """Outcome of a fictitious-play run.
+
+    Attributes:
+        e: Final per-miner edge requests.
+        c: Final per-miner cloud requests.
+        beliefs_e: Final per-miner beliefs about opponents' edge total.
+        beliefs_s: Final per-miner beliefs about opponents' grand total.
+        report: Convergence diagnostics (residual = last strategy change).
+        trajectory: Per-round aggregate ``(E, C)`` history.
+    """
+
+    e: np.ndarray
+    c: np.ndarray
+    beliefs_e: np.ndarray
+    beliefs_s: np.ndarray
+    report: ConvergenceReport
+    trajectory: List[Tuple[float, float]]
+
+    @property
+    def converged(self) -> bool:
+        return self.report.converged
+
+
+def fictitious_play(params: GameParameters, prices: Prices,
+                    rounds: int = 500, tol: float = 1e-8,
+                    initial: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+                    ) -> FictitiousPlayResult:
+    """Run belief-averaging fictitious play on the miner subgame.
+
+    Each round every miner updates its belief as the running average of
+    the observed opponent aggregates and best-responds to the belief:
+
+        belief_t = belief_{t-1} + (observed_t - belief_{t-1}) / t
+
+    Args:
+        params: Game parameters (connected mode; standalone capacity is
+            not enforced by beliefs — use the GNEP solver for that).
+        prices: Announced SP prices.
+        rounds: Maximum rounds of play.
+        tol: Relative convergence tolerance on the strategy update.
+        initial: Optional starting profile ``(e, c)``.
+
+    Returns:
+        :class:`FictitiousPlayResult`.
+    """
+    if rounds < 1:
+        raise ConfigurationError("need at least one round")
+    n = params.n
+    budgets = params.budget_array
+    h = params.effective_h
+    if initial is None:
+        e = budgets / (4.0 * prices.p_e)
+        c = budgets / (4.0 * prices.p_c)
+    else:
+        e = np.array(initial[0], dtype=float).copy()
+        c = np.array(initial[1], dtype=float).copy()
+        if e.shape != (n,) or c.shape != (n,):
+            raise ConfigurationError("initial profile shape mismatch")
+
+    beliefs_e = np.array([float(np.sum(e)) - e[i] for i in range(n)])
+    beliefs_s = np.array([float(np.sum(e + c)) - e[i] - c[i]
+                          for i in range(n)])
+    recorder = ResidualRecorder(tol)
+    trajectory: List[Tuple[float, float]] = []
+    converged = False
+    iterations = 0
+    for t in range(1, rounds + 1):
+        iterations = t
+        # Everyone best-responds to beliefs simultaneously.
+        e_new = np.empty(n)
+        c_new = np.empty(n)
+        for i in range(n):
+            ctx = ResponseContext(
+                e_others=max(float(beliefs_e[i]), 0.0),
+                s_others=max(float(beliefs_s[i]), float(beliefs_e[i]),
+                             0.0))
+            br = solve_best_response(ctx, reward=params.reward,
+                                     beta=params.fork_rate, h=h,
+                                     p_e=prices.p_e, p_c=prices.p_c,
+                                     budget=float(budgets[i]))
+            e_new[i] = br.e
+            c_new[i] = br.c
+        scale = max(1.0, float(np.max(np.abs(e_new))),
+                    float(np.max(np.abs(c_new))))
+        residual = max(float(np.max(np.abs(e_new - e))),
+                       float(np.max(np.abs(c_new - c)))) / scale
+        e, c = e_new, c_new
+        E = float(np.sum(e))
+        S = E + float(np.sum(c))
+        trajectory.append((E, S - E))
+        # Belief update: running average of observed opponent aggregates.
+        step = 1.0 / t
+        observed_e = E - e
+        observed_s = S - e - c
+        beliefs_e += step * (observed_e - beliefs_e)
+        beliefs_s += step * (observed_s - beliefs_s)
+        if recorder.record(residual):
+            converged = True
+            break
+    report = recorder.report(converged, iterations)
+    return FictitiousPlayResult(e=e, c=c, beliefs_e=beliefs_e,
+                                beliefs_s=beliefs_s, report=report,
+                                trajectory=trajectory)

@@ -1,0 +1,158 @@
+"""RL against the physical market (no analytic shortcuts).
+
+:class:`repro.learning.trainer.RLTrainer` evaluates learners against the
+model's utility expressions; this trainer closes the loop through the
+*substrates* instead: every block, the learners' requests go through the
+real :class:`~repro.offloading.Dispatcher` (capacity admission or
+connected-mode transfers with billing) and a mining round is played by
+the :class:`~repro.blockchain.RoundSimulator` on the realized pools. The
+only learning signal is the realized payoff ``R·1{won} − charges`` — the
+fully physical, fully incomplete-information setting the paper's RL
+section describes.
+
+Because the signal is a high-variance Bernoulli, convergence needs more
+blocks than the belief-based trainer; the tests run long epochs and
+assert agreement in *expectation* with the analytic equilibrium, which is
+exactly the cross-substrate validation this class exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..offloading import (CloudProvider, Dispatcher, EdgeProvider,
+                          ResourceRequest)
+from ..blockchain.simulator import RoundSimulator
+from .bandits import EpsilonGreedyLearner
+from .discretization import StrategyGrid
+from .miners import LearningMiner
+
+__all__ = ["MarketEpochResult", "MarketRLTrainer"]
+
+
+@dataclass
+class MarketEpochResult:
+    """Aggregates of one market-coupled training epoch.
+
+    Attributes:
+        mean_edge: Average greedy per-miner edge request at epoch end.
+        mean_cloud: Average greedy per-miner cloud request.
+        esp_revenue: Total ESP revenue over the epoch.
+        csp_revenue: Total CSP revenue over the epoch.
+        rejections: Edge requests rejected (standalone mode).
+        transfers: Edge requests transferred (connected mode).
+        blocks: Blocks played.
+    """
+
+    mean_edge: float
+    mean_cloud: float
+    esp_revenue: float
+    csp_revenue: float
+    rejections: int
+    transfers: int
+    blocks: int
+
+
+class MarketRLTrainer:
+    """Realized-payoff learning through the physical offloading market.
+
+    Args:
+        n: Number of miners.
+        budget: Common miner budget.
+        reward: Block reward ``R``.
+        fork_rate: Fork rate ``β`` for the mining rounds.
+        p_e / p_c: Posted prices.
+        h: Connected-mode satisfaction probability (ignored when
+            ``e_max`` is set).
+        e_max: Standalone ESP capacity (``None`` = connected mode).
+        grid_spend_levels / grid_split_levels: Strategy grid resolution.
+        epsilon / step_size: Bandit parameters (realized payoffs are
+            noisy; the defaults anneal slowly).
+        seed: Master seed.
+    """
+
+    def __init__(self, n: int, budget: float, reward: float,
+                 fork_rate: float, p_e: float, p_c: float, h: float = 1.0,
+                 e_max: Optional[float] = None,
+                 grid_spend_levels: int = 4, grid_split_levels: int = 5,
+                 epsilon: float = 0.3, step_size: float = 0.05,
+                 seed: int = 0):
+        if n < 2:
+            raise ConfigurationError("need n >= 2 miners")
+        if p_e <= 0 or p_c <= 0:
+            raise ConfigurationError("prices must be positive")
+        self.n = n
+        self.reward = reward
+        self.fork_rate = fork_rate
+        self.p_e = p_e
+        self.p_c = p_c
+        self.h = h
+        self.e_max = e_max
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        grid = StrategyGrid.build(budget, p_e, p_c,
+                                  spend_levels=grid_spend_levels,
+                                  split_levels=grid_split_levels)
+        self.miners: List[LearningMiner] = [
+            LearningMiner(i, grid,
+                          learner=EpsilonGreedyLearner(
+                              grid.size, epsilon=epsilon,
+                              epsilon_decay=0.9995, epsilon_min=0.02,
+                              step_size=step_size, seed=seed + i),
+                          feedback="realized")
+            for i in range(n)
+        ]
+
+    def _providers(self):
+        esp = EdgeProvider(price=self.p_e, h=self.h,
+                           capacity=self.e_max,
+                           seed=int(self._rng.integers(2 ** 31)))
+        csp = CloudProvider(price=self.p_c)
+        return esp, csp
+
+    def run_epoch(self, blocks: int = 2000) -> MarketEpochResult:
+        """Play ``blocks`` market rounds, learning from realized payoffs."""
+        if blocks < 1:
+            raise ConfigurationError("need at least one block")
+        esp, csp = self._providers()
+        dispatcher = Dispatcher(esp, csp)
+        rejections = 0
+        transfers = 0
+        for _ in range(blocks):
+            requests = []
+            for miner in self.miners:
+                _, e, c = miner.act()
+                requests.append(ResourceRequest(miner.miner_id, e, c))
+            allocations = dispatcher.dispatch_all(requests)
+            e_real = np.array([a.edge_units for a in allocations])
+            c_real = np.array([a.cloud_units for a in allocations])
+            rejections += sum(a.status.value == "rejected"
+                              for a in allocations)
+            transfers += sum(a.status.value == "transferred"
+                             for a in allocations)
+            total = float((e_real + c_real).sum())
+            if total > 0:
+                sim = RoundSimulator(
+                    np.maximum(e_real, 0.0), np.maximum(c_real, 0.0),
+                    self.fork_rate,
+                    seed=int(self._rng.integers(2 ** 31)))
+                winner = int(np.argmax(sim.run(1).wins))
+            else:
+                winner = -1
+            for idx, (miner, alloc) in enumerate(zip(self.miners,
+                                                     allocations)):
+                payoff = -alloc.total_charge
+                if idx == winner:
+                    payoff += self.reward
+                miner.learner.update(miner.last_action, payoff)
+        strategies = np.array([m.greedy_strategy() for m in self.miners])
+        return MarketEpochResult(
+            mean_edge=float(strategies[:, 0].mean()),
+            mean_cloud=float(strategies[:, 1].mean()),
+            esp_revenue=esp.account.revenue,
+            csp_revenue=csp.account.revenue,
+            rejections=rejections, transfers=transfers, blocks=blocks)

@@ -1,0 +1,192 @@
+"""Learning miners: grid strategies + bandit/Q learners + feedback rules.
+
+Two feedback modes mirror the information structures discussed in the
+paper's Section VII-3:
+
+* ``"expected"`` (belief-based, default) — after each block a miner
+  observes the aggregate demand the SPs publish (total purchased units are
+  public through the network difficulty) and evaluates *every* grid action
+  counterfactually against those aggregates, performing a
+  full-information value update. This is the fictitious-play-flavoured
+  learner that converges within the paper's T=50-block epochs.
+* ``"realized"`` — only the chosen action is updated, with the realized
+  payoff ``R·1{won} - spending``. Unbiased but high-variance; used by the
+  ablation benchmarks to show the variance/speed trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .bandits import BanditLearner, EpsilonGreedyLearner
+from .discretization import StrategyGrid
+
+__all__ = ["RoundObservation", "LearningMiner", "QLearningMiner"]
+
+
+@dataclass(frozen=True)
+class RoundObservation:
+    """What one miner observes after a block.
+
+    Attributes:
+        e_others: Opponents' total edge units ``ē`` this block.
+        s_others: Opponents' total units ``s̄`` this block.
+        reward: Block reward ``R``.
+        fork_rate: Fork rate ``β``.
+        sat_weight: Satisfaction weight of the edge bonus this block given
+            own edge demand ``e`` (callable-materialized by the trainer as
+            an array aligned with the miner's grid, or a scalar).
+        realized_payoff: The miner's realized payoff (``"realized"`` mode).
+        won: Whether the miner won the block.
+    """
+
+    e_others: float
+    s_others: float
+    reward: float
+    fork_rate: float
+    sat_weight: np.ndarray
+    realized_payoff: float
+    won: bool
+
+
+class LearningMiner:
+    """A miner that learns its request vector by repeated interaction.
+
+    Args:
+        miner_id: Stable identity.
+        grid: Discretized strategy set.
+        learner: Bandit learner over the grid (defaults to ε-greedy).
+        feedback: ``"expected"`` or ``"realized"`` (see module docstring).
+    """
+
+    def __init__(self, miner_id: int, grid: StrategyGrid,
+                 learner: Optional[BanditLearner] = None,
+                 feedback: str = "expected", seed: int = 0):
+        if feedback not in ("expected", "realized"):
+            raise ConfigurationError(f"unknown feedback mode {feedback!r}")
+        self.miner_id = miner_id
+        self.grid = grid
+        self.learner = learner if learner is not None else \
+            EpsilonGreedyLearner(grid.size, seed=seed)
+        if self.learner.num_actions != grid.size:
+            raise ConfigurationError(
+                "learner action count does not match the grid size")
+        self.feedback = feedback
+        self.last_action: Optional[int] = None
+
+    def act(self) -> Tuple[int, float, float]:
+        """Select an action; returns ``(index, e, c)``."""
+        idx = self.learner.select()
+        self.last_action = idx
+        e, c = self.grid.action(idx)
+        return idx, e, c
+
+    def counterfactual_utilities(self, obs: RoundObservation) -> np.ndarray:
+        """Utility of every grid action against the observed aggregates."""
+        e = self.grid.actions[:, 0]
+        c = self.grid.actions[:, 1]
+        beta = obs.fork_rate
+        S = obs.s_others + e + c
+        E = obs.e_others + e
+        base = np.where(S > 0, (1.0 - beta) * (e + c)
+                        / np.maximum(S, 1e-300), 0.0)
+        bonus = np.where(E > 0, beta * e / np.maximum(E, 1e-300), 0.0)
+        w = np.broadcast_to(np.asarray(obs.sat_weight, dtype=float),
+                            e.shape)
+        income = obs.reward * (base + w * bonus)
+        spend = self.grid.p_e * e + self.grid.p_c * c
+        return income - spend
+
+    def observe(self, obs: RoundObservation) -> None:
+        """Update the learner from one block's outcome."""
+        if self.last_action is None:
+            raise ConfigurationError("observe() called before act()")
+        if self.feedback == "expected":
+            self.learner.update_all(self.counterfactual_utilities(obs))
+        else:
+            self.learner.update(self.last_action, obs.realized_payoff)
+
+    def greedy_strategy(self) -> Tuple[float, float]:
+        """The currently learned (greedy) request vector."""
+        return self.grid.action(self.learner.greedy())
+
+    def strategy_entropy(self) -> float:
+        """Entropy of the visit distribution — a convergence diagnostic."""
+        counts = self.learner.counts.astype(float)
+        total = counts.sum()
+        if total <= 0:
+            return 0.0
+        p = counts[counts > 0] / total
+        return float(-np.sum(p * np.log(p)))
+
+
+class QLearningMiner:
+    """A miner whose policy conditions on the opponents' edge share.
+
+    Wraps a :class:`~repro.learning.qlearning.QLearningAgent` over the
+    same strategy grid as :class:`LearningMiner`, with the previous
+    round's discretized opponent edge share ``ē/s̄`` as the state. The
+    richer learner class demonstrates (and the tests assert) that the
+    equilibrium is robust beyond stateless bandits — in self-play against
+    stationary opponents the per-state greedy actions collapse to the
+    bandit solution.
+
+    Args:
+        miner_id: Stable identity.
+        grid: Discretized strategy set.
+        num_states: Number of edge-share bins.
+        seed: RNG seed.
+        **agent_kwargs: Forwarded to :class:`QLearningAgent`.
+    """
+
+    def __init__(self, miner_id: int, grid: StrategyGrid,
+                 num_states: int = 5, seed: int = 0, **agent_kwargs):
+        from .qlearning import QLearningAgent
+
+        if num_states < 1:
+            raise ConfigurationError("num_states must be >= 1")
+        self.miner_id = miner_id
+        self.grid = grid
+        self.num_states = num_states
+        self.agent = QLearningAgent(num_states, grid.size, seed=seed,
+                                    **agent_kwargs)
+        self._state = 0
+        self.last_action: Optional[int] = None
+
+    def observe_state(self, e_others: float, s_others: float) -> int:
+        """Update (and return) the discretized opponent edge share."""
+        from .qlearning import discretize_edge_share
+
+        self._state = discretize_edge_share(e_others, s_others,
+                                            self.num_states)
+        return self._state
+
+    def act(self) -> Tuple[int, float, float]:
+        """Select an action in the current state; returns (index, e, c)."""
+        idx = self.agent.select(self._state)
+        self.last_action = idx
+        e, c = self.grid.action(idx)
+        return idx, e, c
+
+    def learn(self, payoff: float, e_others: float,
+              s_others: float) -> None:
+        """TD update with the next state derived from fresh observations."""
+        if self.last_action is None:
+            raise ConfigurationError("learn() called before act()")
+        from .qlearning import discretize_edge_share
+
+        next_state = discretize_edge_share(e_others, s_others,
+                                           self.num_states)
+        self.agent.update(self._state, self.last_action, payoff,
+                          next_state=next_state)
+        self._state = next_state
+
+    def greedy_strategy(self, state: Optional[int] = None
+                        ) -> Tuple[float, float]:
+        """Greedy request vector for ``state`` (current state default)."""
+        s = self._state if state is None else state
+        return self.grid.action(int(self.agent.greedy_policy()[s]))

@@ -1,0 +1,79 @@
+"""Adaptive pricing agents for the SPs.
+
+In the Section VI-C loop the SPs hold prices fixed for a T-block epoch,
+observe the demand the (converged) miners generate, and then adapt. The
+:class:`PriceLearner` implements that outer loop as a bandit over a price
+grid with per-epoch profit feedback, plus an optional local hill-climbing
+refinement once the bandit has settled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .bandits import EpsilonGreedyLearner
+
+__all__ = ["PriceLearner"]
+
+
+class PriceLearner:
+    """Epoch-level price adaptation for one SP.
+
+    Args:
+        price_grid: Candidate unit prices (must be positive, ascending).
+        unit_cost: The SP's unit operating cost (profit feedback is
+            computed by the trainer; stored here for reporting).
+        epsilon: Initial exploration rate of the underlying bandit.
+        step_size: Value-update step of the bandit.
+        seed: RNG seed.
+    """
+
+    def __init__(self, price_grid, unit_cost: float = 0.0,
+                 epsilon: float = 0.3, step_size: float = 0.3,
+                 seed: int = 0):
+        grid = np.asarray(price_grid, dtype=float)
+        if grid.ndim != 1 or grid.size < 2:
+            raise ConfigurationError("price_grid must be 1-D with >= 2 "
+                                     "candidates")
+        if np.any(grid <= 0):
+            raise ConfigurationError("prices must be positive")
+        if np.any(np.diff(grid) <= 0):
+            raise ConfigurationError("price_grid must be strictly ascending")
+        if unit_cost < 0:
+            raise ConfigurationError("unit_cost must be non-negative")
+        self.grid = grid
+        self.unit_cost = unit_cost
+        self._bandit = EpsilonGreedyLearner(grid.size, epsilon=epsilon,
+                                            epsilon_decay=0.9,
+                                            epsilon_min=0.02,
+                                            step_size=step_size, seed=seed)
+        self._current: Optional[int] = None
+
+    @property
+    def current_price(self) -> float:
+        """Price in force for the current epoch."""
+        if self._current is None:
+            raise ConfigurationError("no epoch started yet")
+        return float(self.grid[self._current])
+
+    def start_epoch(self) -> float:
+        """Pick the price for the next epoch."""
+        self._current = self._bandit.select()
+        return self.current_price
+
+    def end_epoch(self, profit: float) -> None:
+        """Feed back the epoch's realized profit."""
+        if self._current is None:
+            raise ConfigurationError("end_epoch() without start_epoch()")
+        self._bandit.update(self._current, profit)
+
+    def greedy_price(self) -> float:
+        """The price the learner currently believes is most profitable."""
+        return float(self.grid[self._bandit.greedy()])
+
+    def value_table(self) -> np.ndarray:
+        """(price, estimated profit) rows for diagnostics."""
+        return np.column_stack([self.grid, self._bandit.values])

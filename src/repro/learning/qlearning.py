@@ -1,0 +1,101 @@
+"""Tabular Q-learning for the repeated mining game.
+
+The bandit learners in :mod:`repro.learning.bandits` are stateless; this
+agent conditions on a coarse observation of the previous round — the
+discretized opponent edge share — which lets it represent reactive
+strategies. In self-play on this game the learned policy collapses to a
+single state's greedy action, matching the bandit result; the agent exists
+to demonstrate (and test) that the equilibrium is robust to the richer
+learner class the paper alludes to ([18]-[21]).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["QLearningAgent"]
+
+
+class QLearningAgent:
+    """Tabular Q-learning over (state, action) with ε-greedy behaviour.
+
+    Args:
+        num_states: Number of discrete observations.
+        num_actions: Number of actions (grid indices).
+        learning_rate: TD step size ``α``.
+        discount: Discount factor ``γ`` for the repeated game.
+        epsilon: Initial exploration rate.
+        epsilon_decay: Multiplicative per-step decay of ``epsilon``.
+        seed: RNG seed.
+    """
+
+    def __init__(self, num_states: int, num_actions: int,
+                 learning_rate: float = 0.1, discount: float = 0.9,
+                 epsilon: float = 0.2, epsilon_decay: float = 0.995,
+                 epsilon_min: float = 0.01, seed: int = 0):
+        if num_states < 1 or num_actions < 1:
+            raise ConfigurationError("state/action counts must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ConfigurationError("learning_rate must be in (0, 1]")
+        if not 0.0 <= discount < 1.0:
+            raise ConfigurationError("discount must be in [0, 1)")
+        self.num_states = num_states
+        self.num_actions = num_actions
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.epsilon = epsilon
+        self.epsilon_decay = epsilon_decay
+        self.epsilon_min = epsilon_min
+        self.q = np.zeros((num_states, num_actions))
+        self._rng = np.random.default_rng(seed)
+
+    def select(self, state: int) -> int:
+        """ε-greedy action for ``state``."""
+        self._check_state(state)
+        if self._rng.random() < self.epsilon:
+            action = int(self._rng.integers(self.num_actions))
+        else:
+            action = int(np.argmax(self.q[state]))
+        self.epsilon = max(self.epsilon * self.epsilon_decay,
+                           self.epsilon_min)
+        return action
+
+    def update(self, state: int, action: int, payoff: float,
+               next_state: Optional[int] = None) -> None:
+        """One TD(0) backup; terminal transitions pass ``next_state=None``."""
+        self._check_state(state)
+        if not 0 <= action < self.num_actions:
+            raise ConfigurationError(f"action {action} out of range")
+        bootstrap = 0.0
+        if next_state is not None:
+            self._check_state(next_state)
+            bootstrap = self.discount * float(np.max(self.q[next_state]))
+        td_target = payoff + bootstrap
+        self.q[state, action] += self.learning_rate * (
+            td_target - self.q[state, action])
+
+    def greedy_policy(self) -> np.ndarray:
+        """Greedy action per state."""
+        return np.argmax(self.q, axis=1)
+
+    def _check_state(self, state: int) -> None:
+        if not 0 <= state < self.num_states:
+            raise ConfigurationError(f"state {state} out of range")
+
+
+def discretize_edge_share(edge_total: float, total: float,
+                          num_states: int) -> int:
+    """Map the opponents' edge share ``E/S`` to a discrete state index."""
+    if num_states < 1:
+        raise ConfigurationError("num_states must be >= 1")
+    if total <= 0:
+        return 0
+    share = min(max(edge_total / total, 0.0), 1.0)
+    return min(int(share * num_states), num_states - 1)
+
+
+__all__.append("discretize_edge_share")

@@ -1,0 +1,283 @@
+"""The Section VI-C reinforcement-learning loop.
+
+Structure follows the paper exactly:
+
+* a **pricing epoch** is ``T = 50`` blocks during which SP prices are
+  fixed and the active miner set is redrawn every block from the
+  population model (``N(μ, σ²)`` — or a fixed count for the permissioned
+  comparison);
+* miners learn their request vectors within the epoch (they converge
+  within 50 blocks, which the paper states and our tests check);
+* after each epoch the SPs adapt their prices from the realized profits;
+* the process repeats until the SP prices reach a fixed point.
+
+Miners are fresh learners each epoch (their action grids depend on the
+epoch's prices), which mirrors the paper's "miners' strategies converge
+after at most 50 blocks ... once the miners' behavior converges, both the
+ESP and the CSP update their pricing strategies adaptively".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..population import FixedPopulation, PopulationModel, PopulationProcess
+from .discretization import StrategyGrid
+from .miners import LearningMiner, RoundObservation
+from .providers import PriceLearner
+
+__all__ = ["EpochResult", "TrainingResult", "RLTrainer"]
+
+
+@dataclass
+class EpochResult:
+    """Aggregates of one pricing epoch.
+
+    Attributes:
+        p_e: ESP price in force.
+        p_c: CSP price in force.
+        mean_edge: Converged per-miner edge request (pool average of the
+            greedy strategies).
+        mean_cloud: Converged per-miner cloud request.
+        esp_units: Per-block units the ESP actually served (tail average).
+        csp_units: Per-block units the CSP actually served (tail average).
+        blocks: Number of blocks simulated.
+        overload_rate: Fraction of blocks whose realized edge demand
+            exceeded ``E_max`` (standalone mode; 0 otherwise).
+    """
+
+    p_e: float
+    p_c: float
+    mean_edge: float
+    mean_cloud: float
+    esp_units: float
+    csp_units: float
+    blocks: int
+    overload_rate: float
+
+    def esp_profit(self, unit_cost: float) -> float:
+        """Per-block ESP profit ``(P_e - C_e) * units``."""
+        return (self.p_e - unit_cost) * self.esp_units
+
+    def csp_profit(self, unit_cost: float) -> float:
+        """Per-block CSP profit ``(P_c - C_c) * units``."""
+        return (self.p_c - unit_cost) * self.csp_units
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a full training run.
+
+    Attributes:
+        epochs: Per-epoch aggregates in order.
+        converged: Whether the SP greedy prices stabilized.
+        final_p_e: Last greedy ESP price.
+        final_p_c: Last greedy CSP price.
+    """
+
+    epochs: List[EpochResult] = field(default_factory=list)
+    converged: bool = False
+    final_p_e: float = 0.0
+    final_p_c: float = 0.0
+
+    @property
+    def final_epoch(self) -> EpochResult:
+        if not self.epochs:
+            raise ConfigurationError("no epochs were run")
+        return self.epochs[-1]
+
+
+class RLTrainer:
+    """Multi-agent trainer for the mobile blockchain mining market.
+
+    Args:
+        population: Miner-count model (Gaussian for permissionless,
+            :class:`~repro.population.FixedPopulation` for permissioned).
+        budget: Common miner budget ``B``.
+        reward: Block reward ``R``.
+        fork_rate: Fork rate ``β``.
+        e_max: ESP capacity — set for standalone mode, ``None`` for
+            connected.
+        h: Connected-mode satisfaction probability (ignored when ``e_max``
+            is set).
+        blocks_per_epoch: The paper's ``T`` (default 50).
+        feedback: Miner feedback mode (``"expected"``/``"realized"``).
+        grid_spend_levels / grid_split_levels: Strategy grid resolution.
+        seed: Master RNG seed (drives population draws, learner
+            exploration, and winner sampling).
+    """
+
+    def __init__(self, population: PopulationModel, budget: float,
+                 reward: float, fork_rate: float,
+                 e_max: Optional[float] = None, h: float = 1.0,
+                 blocks_per_epoch: int = 50, feedback: str = "expected",
+                 grid_spend_levels: int = 8, grid_split_levels: int = 13,
+                 seed: int = 0):
+        if budget <= 0 or reward <= 0:
+            raise ConfigurationError("budget and reward must be positive")
+        if not 0.0 <= fork_rate < 1.0:
+            raise ConfigurationError("fork rate must be in [0, 1)")
+        if blocks_per_epoch < 1:
+            raise ConfigurationError("blocks_per_epoch must be >= 1")
+        if e_max is not None and e_max <= 0:
+            raise ConfigurationError("e_max must be positive when set")
+        if not 0.0 < h <= 1.0:
+            raise ConfigurationError("h must be in (0, 1]")
+        self.population = population
+        self.budget = budget
+        self.reward = reward
+        self.fork_rate = fork_rate
+        self.e_max = e_max
+        self.h = h
+        self.blocks_per_epoch = blocks_per_epoch
+        self.feedback = feedback
+        self.grid_spend_levels = grid_spend_levels
+        self.grid_split_levels = grid_split_levels
+        self.pool_size = int(np.max(population.support()))
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # One epoch at fixed prices.
+    # ------------------------------------------------------------------ #
+
+    def run_epoch(self, p_e: float, p_c: float,
+                  epoch_index: int = 0) -> EpochResult:
+        """Simulate one T-block epoch at fixed prices."""
+        if p_e <= 0 or p_c <= 0:
+            raise ConfigurationError("prices must be positive")
+        grid = StrategyGrid.build(self.budget, p_e, p_c,
+                                  spend_levels=self.grid_spend_levels,
+                                  split_levels=self.grid_split_levels)
+        base = self._seed + 7919 * (epoch_index + 1)
+        miners = [LearningMiner(i, grid, feedback=self.feedback,
+                                seed=base + i)
+                  for i in range(self.pool_size)]
+        process = PopulationProcess(self.population, self.pool_size,
+                                    seed=base + 104729)
+        tail_start = max(self.blocks_per_epoch // 2,
+                         self.blocks_per_epoch - 10)
+        esp_units_sum = 0.0
+        csp_units_sum = 0.0
+        tail_blocks = 0
+        overloads = 0
+        for t in range(self.blocks_per_epoch):
+            block = process.next_block()
+            active = list(block.active)
+            if len(active) == 0:
+                continue
+            chosen = {}
+            e_vec = np.zeros(len(active))
+            c_vec = np.zeros(len(active))
+            for pos, idx in enumerate(active):
+                action, e, c = miners[idx].act()
+                chosen[idx] = (pos, action)
+                e_vec[pos] = e
+                c_vec[pos] = c
+            E = float(e_vec.sum())
+            S = E + float(c_vec.sum())
+            overloaded = self.e_max is not None and E > self.e_max
+            overloads += int(overloaded)
+            winner_pos = self._sample_winner(e_vec, c_vec, overloaded)
+            for pos, idx in enumerate(active):
+                e_others = E - e_vec[pos]
+                s_others = S - e_vec[pos] - c_vec[pos]
+                sat = self._sat_weights(miners[idx].grid, e_others)
+                realized = -(p_e * e_vec[pos] + p_c * c_vec[pos])
+                if pos == winner_pos:
+                    realized += self.reward
+                obs = RoundObservation(
+                    e_others=e_others, s_others=s_others,
+                    reward=self.reward, fork_rate=self.fork_rate,
+                    sat_weight=sat, realized_payoff=realized,
+                    won=(pos == winner_pos))
+                miners[idx].observe(obs)
+            if t >= tail_start:
+                tail_blocks += 1
+                # The ESP sells the served edge units: connected mode serves
+                # the expected fraction h (the rest transfers to the CSP),
+                # standalone serves all-or-none against E_max.
+                if self.e_max is None:
+                    esp_units = self.h * E
+                else:
+                    esp_units = E if not overloaded else 0.0
+                esp_units_sum += esp_units
+                csp_units_sum += S - esp_units
+        strategies = np.array([m.greedy_strategy() for m in miners])
+        denom = max(tail_blocks, 1)
+        return EpochResult(
+            p_e=p_e, p_c=p_c,
+            mean_edge=float(strategies[:, 0].mean()),
+            mean_cloud=float(strategies[:, 1].mean()),
+            esp_units=esp_units_sum / denom,
+            csp_units=csp_units_sum / denom,
+            blocks=self.blocks_per_epoch,
+            overload_rate=overloads / self.blocks_per_epoch)
+
+    def _sat_weights(self, grid: StrategyGrid, e_others: float):
+        """Counterfactual satisfaction weight per grid action."""
+        if self.e_max is None:
+            return np.full(grid.size, self.h)
+        return (e_others + grid.actions[:, 0]
+                <= self.e_max).astype(float)
+
+    def _sample_winner(self, e_vec: np.ndarray, c_vec: np.ndarray,
+                       overloaded: bool) -> int:
+        """Draw the block winner from the model winning probabilities."""
+        S = float((e_vec + c_vec).sum())
+        if S <= 0:
+            return int(self._rng.integers(len(e_vec)))
+        E = float(e_vec.sum())
+        beta = self.fork_rate
+        if self.e_max is not None and overloaded:
+            # Standalone overload: edge requests rejected, cloud-only race.
+            weights = c_vec.copy()
+            if weights.sum() <= 0:
+                weights = np.ones_like(c_vec)
+        else:
+            base = (1.0 - beta) * (e_vec + c_vec) / S
+            bonus = beta * (self.h if self.e_max is None else 1.0)
+            edge = bonus * e_vec / E if E > 0 else 0.0
+            weights = base + edge
+        weights = np.maximum(weights, 0.0)
+        weights /= weights.sum()
+        return int(self._rng.choice(len(e_vec), p=weights))
+
+    # ------------------------------------------------------------------ #
+    # Full training with adaptive SP pricing.
+    # ------------------------------------------------------------------ #
+
+    def train(self, esp_learner: PriceLearner, csp_learner: PriceLearner,
+              max_epochs: int = 60, patience: int = 5) -> TrainingResult:
+        """Alternate epochs and SP price updates until a fixed point.
+
+        Convergence: the greedy prices of both SPs unchanged for
+        ``patience`` consecutive epochs.
+        """
+        if max_epochs < 1:
+            raise ConfigurationError("max_epochs must be >= 1")
+        result = TrainingResult()
+        stable = 0
+        last_pair: Optional[Tuple[float, float]] = None
+        for epoch in range(max_epochs):
+            p_e = esp_learner.start_epoch()
+            p_c = csp_learner.start_epoch()
+            outcome = self.run_epoch(p_e, p_c, epoch_index=epoch)
+            esp_learner.end_epoch(outcome.esp_profit(esp_learner.unit_cost))
+            csp_learner.end_epoch(outcome.csp_profit(csp_learner.unit_cost))
+            result.epochs.append(outcome)
+            pair = (esp_learner.greedy_price(), csp_learner.greedy_price())
+            if last_pair is not None and pair == last_pair:
+                stable += 1
+                if stable >= patience:
+                    result.converged = True
+                    break
+            else:
+                stable = 0
+            last_pair = pair
+        result.final_p_e, result.final_p_c = last_pair or (0.0, 0.0)
+        return result

@@ -1,0 +1,25 @@
+"""Physical network substrate: peer topologies, gossip propagation, and
+the calibration that turns topology + block size into the game's
+``D_avg``/``β`` parameters (Section III-A's "underlying factors")."""
+
+from .gossip import (DelayCalibration, GossipModel, calibrate_game_delays,
+                     propagation_time)
+from .topology import (CSP_NODE, ESP_NODE, LAN, METRO, WAN, LinkProfile,
+                       edge_cloud_topology, scale_free_topology,
+                       small_world_topology)
+
+__all__ = [
+    "DelayCalibration",
+    "GossipModel",
+    "calibrate_game_delays",
+    "propagation_time",
+    "CSP_NODE",
+    "ESP_NODE",
+    "LAN",
+    "METRO",
+    "WAN",
+    "LinkProfile",
+    "edge_cloud_topology",
+    "scale_free_topology",
+    "small_world_topology",
+]

@@ -1,0 +1,125 @@
+"""Gossip propagation over a weighted peer graph.
+
+A block found at an origin vertex reaches each peer along the fastest
+path, where traversing a link costs ``latency + block_size / bandwidth``
+(store-and-forward relaying, the standard first-order model of Bitcoin
+propagation). Propagation *time of a block* is the time until a target
+fraction of miners has received it — consensus in the paper's sense.
+
+:func:`propagation_time` computes these times exactly with Dijkstra;
+:func:`calibrate_game_delays` converts a topology + block size into the
+game's abstract parameters: the edge-vs-cloud delay gap ``D_avg`` and,
+through a :class:`~repro.blockchain.forks.ForkModel`, the fork rate
+``β`` — closing the loop from physical network to game parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..blockchain.forks import ForkModel
+from ..exceptions import ConfigurationError
+from .topology import CSP_NODE, ESP_NODE
+
+__all__ = ["GossipModel", "DelayCalibration", "propagation_time",
+           "calibrate_game_delays"]
+
+
+@dataclass(frozen=True)
+class GossipModel:
+    """Per-link cost model for block relay.
+
+    Attributes:
+        block_size: Block size in bytes.
+        validation_delay: Per-hop verification cost in seconds (each
+            relay validates before forwarding).
+    """
+
+    block_size: float = 1e6
+    validation_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ConfigurationError("block_size must be positive")
+        if self.validation_delay < 0:
+            raise ConfigurationError("validation_delay must be >= 0")
+
+    def link_cost(self, latency: float, bandwidth: float) -> float:
+        """Seconds to push one block across one link."""
+        return latency + self.block_size / bandwidth + \
+            self.validation_delay
+
+
+def _arrival_times(graph: nx.Graph, origin, model: GossipModel) -> Dict:
+    def weight(u, v, data):
+        return model.link_cost(data["latency"], data["bandwidth"])
+
+    return nx.single_source_dijkstra_path_length(graph, origin,
+                                                 weight=weight)
+
+
+def propagation_time(graph: nx.Graph, origin, model: GossipModel,
+                     coverage: float = 1.0) -> float:
+    """Time for a block found at ``origin`` to reach ``coverage`` of the
+    miner vertices.
+
+    Args:
+        graph: Topology with ``latency``/``bandwidth`` edge attributes.
+        origin: Vertex where the block is found (e.g. :data:`ESP_NODE`).
+        model: Relay cost model.
+        coverage: Fraction of miners that must have received the block
+            (1.0 = full propagation; Bitcoin studies often use 0.95).
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise ConfigurationError("coverage must be in (0, 1]")
+    arrivals = _arrival_times(graph, origin, model)
+    miner_times = sorted(t for node, t in arrivals.items()
+                         if graph.nodes[node].get("role") == "miner")
+    if not miner_times:
+        raise ConfigurationError("topology contains no miner vertices")
+    index = max(int(np.ceil(coverage * len(miner_times))) - 1, 0)
+    return float(miner_times[index])
+
+
+@dataclass(frozen=True)
+class DelayCalibration:
+    """Topology-derived game parameters.
+
+    Attributes:
+        edge_delay: Propagation time of an edge-solved block.
+        cloud_delay: Propagation time of a cloud-solved block.
+        d_avg: The exposure gap ``cloud_delay - edge_delay`` — the game's
+            ``D_avg`` (the window during which a cloud block can lose to
+            an edge block).
+        fork_rate: ``β = ForkModel.fork_rate(d_avg)``.
+    """
+
+    edge_delay: float
+    cloud_delay: float
+    d_avg: float
+    fork_rate: float
+
+
+def calibrate_game_delays(graph: nx.Graph, model: GossipModel,
+                          fork_model: Optional[ForkModel] = None,
+                          coverage: float = 1.0) -> DelayCalibration:
+    """Derive ``D_avg`` and ``β`` from a physical topology.
+
+    The paper's abstraction sets the edge delay to ~0 and charges the
+    cloud ``D_avg``; here both are computed from the graph, and the fork
+    rate follows from the *gap* (an edge-solved conflicting block only
+    needs to beat the cloud block's extra exposure).
+    """
+    edge_delay = propagation_time(graph, ESP_NODE, model,
+                                  coverage=coverage)
+    cloud_delay = propagation_time(graph, CSP_NODE, model,
+                                   coverage=coverage)
+    gap = max(cloud_delay - edge_delay, 0.0)
+    fm = fork_model if fork_model is not None else ForkModel()
+    return DelayCalibration(edge_delay=edge_delay,
+                            cloud_delay=cloud_delay, d_avg=gap,
+                            fork_rate=float(fm.fork_rate(gap)))

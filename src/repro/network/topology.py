@@ -1,0 +1,170 @@
+"""P2P network topologies for block propagation.
+
+Section III-A attributes propagation time to "underlying factors like
+network topology and block size". This package makes those factors
+explicit: build a peer graph, place the ESP and CSP on it, and compute
+block propagation times by gossip over weighted links. The result
+calibrates the abstract ``D_avg``/``β`` parameters of the game from
+physical quantities.
+
+Topology builders return :class:`networkx.Graph` objects whose edges
+carry:
+
+* ``latency`` — per-hop propagation latency (seconds);
+* ``bandwidth`` — link bandwidth (bytes/second), which converts block
+  size into per-hop transmission delay.
+
+Node roles: miner nodes plus two special vertices, :data:`ESP_NODE`
+(adjacent to every miner with LAN-grade links — "communication delay
+between the ESP and miners is negligible") and :data:`CSP_NODE`
+(reachable over WAN-grade links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ESP_NODE", "CSP_NODE", "LinkProfile", "edge_cloud_topology",
+           "small_world_topology", "scale_free_topology"]
+
+#: Vertex id of the edge service provider.
+ESP_NODE = "esp"
+#: Vertex id of the cloud service provider.
+CSP_NODE = "csp"
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Latency/bandwidth profile of one link class.
+
+    Attributes:
+        latency: One-way propagation latency in seconds.
+        bandwidth: Bytes per second.
+        jitter: Relative standard deviation applied when sampling
+            per-link values (0 = deterministic).
+    """
+
+    latency: float
+    bandwidth: float
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigurationError("latency must be non-negative")
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+
+    def sample(self, rng: np.random.Generator) -> tuple:
+        """Sample a (latency, bandwidth) pair with jitter applied."""
+        if self.jitter == 0.0:
+            return self.latency, self.bandwidth
+        lat = self.latency * max(
+            1.0 + self.jitter * rng.standard_normal(), 0.05)
+        bw = self.bandwidth * max(
+            1.0 + self.jitter * rng.standard_normal(), 0.05)
+        return lat, bw
+
+
+#: Default link classes, loosely calibrated to measured P2P networks.
+LAN = LinkProfile(latency=0.002, bandwidth=125e6)        # 1 Gb/s, 2 ms
+METRO = LinkProfile(latency=0.02, bandwidth=12.5e6)      # 100 Mb/s, 20 ms
+WAN = LinkProfile(latency=0.12, bandwidth=3.125e6)       # 25 Mb/s, 120 ms
+
+__all__ += ["LAN", "METRO", "WAN"]
+
+
+def _attach_providers(graph: nx.Graph, miners, rng,
+                      edge_profile: LinkProfile,
+                      cloud_profile: LinkProfile) -> nx.Graph:
+    """Add the ESP (LAN to every miner) and CSP (WAN) vertices."""
+    graph.add_node(ESP_NODE, role="esp")
+    graph.add_node(CSP_NODE, role="csp")
+    for m in miners:
+        lat, bw = edge_profile.sample(rng)
+        graph.add_edge(ESP_NODE, m, latency=lat, bandwidth=bw)
+        lat, bw = cloud_profile.sample(rng)
+        graph.add_edge(CSP_NODE, m, latency=lat, bandwidth=bw)
+    return graph
+
+
+def edge_cloud_topology(n_miners: int, peer_degree: int = 3,
+                        peer_profile: LinkProfile = METRO,
+                        edge_profile: LinkProfile = LAN,
+                        cloud_profile: LinkProfile = WAN,
+                        seed: int = 0) -> nx.Graph:
+    """The paper's Fig. 1 network: miners meshed over metro links, the
+    ESP one LAN hop away, the CSP one WAN hop away.
+
+    Args:
+        n_miners: Number of miner vertices (``0..n-1``).
+        peer_degree: Peer links per miner (regular random graph; clipped
+            to feasibility).
+        peer_profile / edge_profile / cloud_profile: Link classes.
+        seed: RNG seed for jitter and wiring.
+    """
+    if n_miners < 2:
+        raise ConfigurationError("need at least 2 miners")
+    rng = np.random.default_rng(seed)
+    degree = min(max(peer_degree, 1), n_miners - 1)
+    if (degree * n_miners) % 2 == 1:
+        degree = max(degree - 1, 1)
+    graph = nx.random_regular_graph(degree, n_miners, seed=seed)
+    for u, v in graph.edges:
+        lat, bw = peer_profile.sample(rng)
+        graph[u][v]["latency"] = lat
+        graph[u][v]["bandwidth"] = bw
+    for m in graph.nodes:
+        graph.nodes[m]["role"] = "miner"
+    return _attach_providers(graph, range(n_miners), rng, edge_profile,
+                             cloud_profile)
+
+
+def small_world_topology(n_miners: int, k: int = 4, rewire: float = 0.2,
+                         peer_profile: LinkProfile = METRO,
+                         edge_profile: LinkProfile = LAN,
+                         cloud_profile: LinkProfile = WAN,
+                         seed: int = 0) -> nx.Graph:
+    """Watts–Strogatz miner mesh with providers attached."""
+    if n_miners < 3:
+        raise ConfigurationError("need at least 3 miners")
+    rng = np.random.default_rng(seed)
+    graph = nx.watts_strogatz_graph(n_miners, min(k, n_miners - 1),
+                                    rewire, seed=seed)
+    for u, v in graph.edges:
+        lat, bw = peer_profile.sample(rng)
+        graph[u][v]["latency"] = lat
+        graph[u][v]["bandwidth"] = bw
+    for m in graph.nodes:
+        graph.nodes[m]["role"] = "miner"
+    return _attach_providers(graph, range(n_miners), rng, edge_profile,
+                             cloud_profile)
+
+
+def scale_free_topology(n_miners: int, attachments: int = 2,
+                        peer_profile: LinkProfile = METRO,
+                        edge_profile: LinkProfile = LAN,
+                        cloud_profile: LinkProfile = WAN,
+                        seed: int = 0) -> nx.Graph:
+    """Barabási–Albert miner mesh with providers attached."""
+    if n_miners < 3:
+        raise ConfigurationError("need at least 3 miners")
+    rng = np.random.default_rng(seed)
+    graph = nx.barabasi_albert_graph(n_miners,
+                                     min(attachments, n_miners - 1),
+                                     seed=seed)
+    for u, v in graph.edges:
+        lat, bw = peer_profile.sample(rng)
+        graph[u][v]["latency"] = lat
+        graph[u][v]["bandwidth"] = bw
+    for m in graph.nodes:
+        graph.nodes[m]["role"] = "miner"
+    return _attach_providers(graph, range(n_miners), rng, edge_profile,
+                             cloud_profile)

@@ -1,0 +1,27 @@
+"""Edge/cloud offloading substrate: providers, dispatch under the two edge
+operation modes, billing ledgers, and the priced market the RL framework
+trains against."""
+
+from .accounting import (EpochStatement, Invoice, InvoiceLine,
+                         build_invoices, build_statement)
+from .dispatcher import Dispatcher
+from .market import MarketRound, OffloadingMarket
+from .provider import CloudProvider, EdgeProvider, ProviderAccount
+from .request import Allocation, ResourceRequest, ResponseStatus
+
+__all__ = [
+    "EpochStatement",
+    "Invoice",
+    "InvoiceLine",
+    "build_invoices",
+    "build_statement",
+    "Dispatcher",
+    "MarketRound",
+    "OffloadingMarket",
+    "CloudProvider",
+    "EdgeProvider",
+    "ProviderAccount",
+    "Allocation",
+    "ResourceRequest",
+    "ResponseStatus",
+]

@@ -1,0 +1,159 @@
+"""Billing statements: per-epoch invoices for miners and SP ledgers.
+
+The market settles continuously through the provider accounts; this
+module adds the bookkeeping a deployed system would expose — per-miner
+invoices itemized by venue and disposition (served / transferred /
+rejected), epoch statements for the SPs, and a renderer for human
+inspection. Everything is derived from the
+:class:`~repro.offloading.request.Allocation` records, so the invariants
+(invoice totals == provider revenue) are checkable and checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from ..exceptions import ConfigurationError
+from .request import Allocation, ResponseStatus
+
+__all__ = ["InvoiceLine", "Invoice", "EpochStatement", "build_invoices",
+           "build_statement"]
+
+
+@dataclass(frozen=True)
+class InvoiceLine:
+    """One itemized charge on a miner's invoice.
+
+    Attributes:
+        venue: ``"edge"`` or ``"cloud"``.
+        disposition: How the units were handled (served/transferred/...).
+        units: Computing units billed.
+        unit_price: Price per unit applied.
+        amount: ``units * unit_price``.
+    """
+
+    venue: str
+    disposition: str
+    units: float
+    unit_price: float
+    amount: float
+
+
+@dataclass
+class Invoice:
+    """A miner's invoice for one provisioning epoch.
+
+    Attributes:
+        miner_id: The billed miner.
+        lines: Itemized charges.
+    """
+
+    miner_id: int
+    lines: List[InvoiceLine] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return sum(line.amount for line in self.lines)
+
+    def render(self) -> str:
+        """Human-readable invoice."""
+        out = [f"Invoice — miner {self.miner_id}"]
+        for line in self.lines:
+            out.append(
+                f"  {line.venue:5s} {line.disposition:12s} "
+                f"{line.units:10.3f} u @ {line.unit_price:.4f} = "
+                f"{line.amount:10.4f}")
+        out.append(f"  {'total':32s}{self.total:17.4f}")
+        return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class EpochStatement:
+    """SP-side settlement summary of one epoch.
+
+    Attributes:
+        esp_units: Units the ESP actually served.
+        esp_revenue: ESP revenue.
+        csp_units: Units the CSP served (incl. transferred overflow).
+        csp_revenue: CSP revenue.
+        transferred_units: Edge units rerouted to the CSP (connected).
+        rejected_units: Edge units dropped (standalone).
+    """
+
+    esp_units: float
+    esp_revenue: float
+    csp_units: float
+    csp_revenue: float
+    transferred_units: float
+    rejected_units: float
+
+    @property
+    def total_revenue(self) -> float:
+        return self.esp_revenue + self.csp_revenue
+
+
+def build_invoices(allocations: Sequence[Allocation],
+                   p_e: float, p_c: float) -> Dict[int, Invoice]:
+    """Itemized invoices per miner from an epoch's allocations.
+
+    The invoice totals always equal the allocations' recorded charges
+    (asserted here — a billing mismatch is a bug, not data).
+    """
+    if p_e <= 0 or p_c <= 0:
+        raise ConfigurationError("prices must be positive")
+    invoices: Dict[int, Invoice] = {}
+    for alloc in allocations:
+        inv = invoices.setdefault(alloc.request.miner_id,
+                                  Invoice(alloc.request.miner_id))
+        if alloc.edge_units > 0:
+            inv.lines.append(InvoiceLine(
+                venue="edge", disposition="served",
+                units=alloc.edge_units, unit_price=p_e,
+                amount=alloc.edge_units * p_e))
+        requested_cloud = alloc.request.cloud_units
+        if requested_cloud > 0:
+            inv.lines.append(InvoiceLine(
+                venue="cloud", disposition="served",
+                units=requested_cloud, unit_price=p_c,
+                amount=requested_cloud * p_c))
+        moved = alloc.cloud_units - requested_cloud
+        if moved > 1e-12:
+            inv.lines.append(InvoiceLine(
+                venue="cloud", disposition="transferred",
+                units=moved, unit_price=p_c, amount=moved * p_c))
+        if alloc.status is ResponseStatus.REJECTED \
+                and alloc.request.edge_units > 0:
+            inv.lines.append(InvoiceLine(
+                venue="edge", disposition="rejected",
+                units=alloc.request.edge_units, unit_price=p_e,
+                amount=0.0))
+        recorded = alloc.total_charge
+        if abs(inv_total_for(alloc, p_e, p_c) - recorded) > 1e-6 * max(
+                recorded, 1.0):
+            raise ConfigurationError(
+                f"billing mismatch for miner {alloc.request.miner_id}: "
+                f"itemized {inv_total_for(alloc, p_e, p_c):.6f} vs "
+                f"recorded {recorded:.6f}")
+    return invoices
+
+
+def inv_total_for(alloc: Allocation, p_e: float, p_c: float) -> float:
+    """Itemized total implied by one allocation."""
+    return alloc.edge_units * p_e + alloc.cloud_units * p_c
+
+
+def build_statement(allocations: Sequence[Allocation], p_e: float,
+                    p_c: float) -> EpochStatement:
+    """SP-side epoch settlement derived from the allocations."""
+    esp_units = sum(a.edge_units for a in allocations)
+    csp_units = sum(a.cloud_units for a in allocations)
+    transferred = sum(a.cloud_units - a.request.cloud_units
+                      for a in allocations
+                      if a.status is ResponseStatus.TRANSFERRED)
+    rejected = sum(a.request.edge_units for a in allocations
+                   if a.status is ResponseStatus.REJECTED)
+    return EpochStatement(
+        esp_units=esp_units, esp_revenue=esp_units * p_e,
+        csp_units=csp_units, csp_revenue=csp_units * p_c,
+        transferred_units=transferred, rejected_units=rejected)

@@ -1,0 +1,86 @@
+"""Request dispatch implementing the two edge operation modes of Fig. 1.
+
+The dispatcher receives each miner's request vector and produces an
+:class:`~repro.offloading.request.Allocation`:
+
+* **connected** — edge units run at the ESP with probability ``h``, else
+  they are *automatically transferred* to the CSP (arrow (3) of Fig. 1);
+  billing follows the executing provider.
+* **standalone** — edge units are admitted first-come-first-served against
+  ``E_max``; on overload the edge part is rejected (the miner keeps only
+  its cloud part and pays nothing for the rejected units).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..exceptions import ConfigurationError
+from .provider import CloudProvider, EdgeProvider
+from .request import Allocation, ResourceRequest, ResponseStatus
+
+__all__ = ["Dispatcher"]
+
+
+class Dispatcher:
+    """Routes miner requests to the ESP/CSP according to the edge mode."""
+
+    def __init__(self, edge: EdgeProvider, cloud: CloudProvider):
+        self.edge = edge
+        self.cloud = cloud
+
+    def dispatch(self, request: ResourceRequest) -> Allocation:
+        """Dispatch one request and return the realized allocation."""
+        if request.edge_units == 0.0:
+            cloud_charge = self.cloud.provision(request.cloud_units)
+            return Allocation(request=request, status=ResponseStatus.EMPTY,
+                              edge_units=0.0,
+                              cloud_units=request.cloud_units,
+                              edge_charge=0.0, cloud_charge=cloud_charge)
+        if self.edge.standalone:
+            return self._dispatch_standalone(request)
+        return self._dispatch_connected(request)
+
+    def _dispatch_connected(self, request: ResourceRequest) -> Allocation:
+        if self.edge.sample_satisfaction():
+            edge_charge = self.edge.admit(request.edge_units)
+            cloud_charge = self.cloud.provision(request.cloud_units)
+            return Allocation(request=request,
+                              status=ResponseStatus.SATISFIED,
+                              edge_units=request.edge_units,
+                              cloud_units=request.cloud_units,
+                              edge_charge=edge_charge,
+                              cloud_charge=cloud_charge)
+        # Automatic transfer: the edge request runs at the CSP and is
+        # billed at the CSP price (the ESP forfeits the sale).
+        moved = request.edge_units
+        cloud_charge = self.cloud.provision(request.cloud_units + moved)
+        return Allocation(request=request,
+                          status=ResponseStatus.TRANSFERRED,
+                          edge_units=0.0,
+                          cloud_units=request.cloud_units + moved,
+                          edge_charge=0.0, cloud_charge=cloud_charge)
+
+    def _dispatch_standalone(self, request: ResourceRequest) -> Allocation:
+        if self.edge.try_admit(request.edge_units):
+            cloud_charge = self.cloud.provision(request.cloud_units)
+            return Allocation(request=request,
+                              status=ResponseStatus.SATISFIED,
+                              edge_units=request.edge_units,
+                              cloud_units=request.cloud_units,
+                              edge_charge=request.edge_units
+                              * self.edge.price,
+                              cloud_charge=cloud_charge)
+        # Rejection: the edge part is dropped entirely (Eq. 8 semantics);
+        # the miner keeps only its cloud request.
+        cloud_charge = self.cloud.provision(request.cloud_units)
+        return Allocation(request=request, status=ResponseStatus.REJECTED,
+                          edge_units=0.0, cloud_units=request.cloud_units,
+                          edge_charge=0.0, cloud_charge=cloud_charge)
+
+    def dispatch_all(self,
+                     requests: Iterable[ResourceRequest]) -> List[Allocation]:
+        """Dispatch a batch (one provisioning epoch for the ESP)."""
+        if self.edge.standalone:
+            self.edge.reset_epoch()
+        return [self.dispatch(r) for r in requests]

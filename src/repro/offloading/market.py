@@ -1,0 +1,97 @@
+"""The offloading market: ties providers, dispatch, and mining together.
+
+:class:`OffloadingMarket` runs full *market rounds*: miners submit request
+vectors, the dispatcher realizes allocations under the configured edge
+mode, and a mining round is played on the realized unit pools. This is the
+substrate the RL framework (Section VI-C) trains against, and the bridge
+between the analytical game and the blockchain simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..blockchain.simulator import RoundSimulator
+from ..exceptions import ConfigurationError
+from .dispatcher import Dispatcher
+from .provider import CloudProvider, EdgeProvider
+from .request import Allocation, ResourceRequest
+
+__all__ = ["MarketRound", "OffloadingMarket"]
+
+
+@dataclass
+class MarketRound:
+    """Outcome of one market round (one block).
+
+    Attributes:
+        allocations: Realized allocation per miner.
+        winner: Miner id that won the block reward.
+        payoffs: Per-miner realized payoff ``R·1{win} - spending``.
+        esp_revenue: ESP revenue this round.
+        csp_revenue: CSP revenue this round.
+    """
+
+    allocations: List[Allocation]
+    winner: int
+    payoffs: np.ndarray
+    esp_revenue: float
+    csp_revenue: float
+
+
+class OffloadingMarket:
+    """A priced edge/cloud market over repeated mining rounds.
+
+    Args:
+        edge: The ESP (mode encoded by its ``capacity``).
+        cloud: The CSP.
+        reward: Block reward ``R``.
+        fork_rate: Fork rate ``β`` applied to cloud-solved blocks.
+        seed: RNG seed for the mining round draws.
+    """
+
+    def __init__(self, edge: EdgeProvider, cloud: CloudProvider,
+                 reward: float, fork_rate: float, seed: int = 0):
+        if reward <= 0:
+            raise ConfigurationError("reward must be positive")
+        if not 0.0 <= fork_rate < 1.0:
+            raise ConfigurationError("fork rate must be in [0, 1)")
+        self.edge = edge
+        self.cloud = cloud
+        self.dispatcher = Dispatcher(edge, cloud)
+        self.reward = reward
+        self.fork_rate = fork_rate
+        self._seed = seed
+        self._round_counter = 0
+
+    def play_round(self,
+                   requests: Sequence[ResourceRequest]) -> MarketRound:
+        """Dispatch requests, mine one block, and settle payoffs.
+
+        The mining race runs on the *realized* pools: transferred units
+        mine from the cloud (suffering its delay), rejected units do not
+        mine at all.
+        """
+        if len(requests) == 0:
+            raise ConfigurationError("a round needs at least one request")
+        allocations = self.dispatcher.dispatch_all(requests)
+        e = np.array([a.edge_units for a in allocations])
+        c = np.array([a.cloud_units for a in allocations])
+        if float(np.sum(e + c)) <= 0:
+            raise ConfigurationError(
+                "no computing units were provisioned this round")
+        self._round_counter += 1
+        sim = RoundSimulator(e, c, self.fork_rate,
+                             seed=self._seed + self._round_counter)
+        tally = sim.run(1)
+        winner = int(np.argmax(tally.wins))
+        payoffs = -np.array([a.total_charge for a in allocations])
+        payoffs[winner] += self.reward
+        esp_revenue = float(sum(a.edge_charge for a in allocations))
+        csp_revenue = float(sum(a.cloud_charge for a in allocations))
+        return MarketRound(allocations=allocations, winner=winner,
+                           payoffs=payoffs, esp_revenue=esp_revenue,
+                           csp_revenue=csp_revenue)

@@ -1,0 +1,175 @@
+"""Service providers: the ESP (two operation modes) and the CSP.
+
+These objects implement the substrate behaviour of Fig. 1: miners offload
+PoW computation by purchasing units; an overloaded connected-mode ESP
+transfers the overflow to the CSP (arrow (3) in the figure), a standalone
+ESP rejects it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import CapacityError, ConfigurationError
+
+__all__ = ["ProviderAccount", "CloudProvider", "EdgeProvider"]
+
+
+@dataclass
+class ProviderAccount:
+    """Revenue/cost ledger of one provider.
+
+    Attributes:
+        units_sold: Total units provisioned so far.
+        revenue: Total billed.
+        unit_cost: Operating cost per unit.
+    """
+
+    unit_cost: float
+    units_sold: float = 0.0
+    revenue: float = 0.0
+
+    @property
+    def operating_cost(self) -> float:
+        return self.unit_cost * self.units_sold
+
+    @property
+    def profit(self) -> float:
+        """``V = revenue - cost`` (Problem 2's objective, realized)."""
+        return self.revenue - self.operating_cost
+
+    def record_sale(self, units: float, price: float) -> float:
+        """Bill ``units`` at ``price``; returns the charge."""
+        if units < 0:
+            raise ConfigurationError("cannot sell negative units")
+        charge = units * price
+        self.units_sold += units
+        self.revenue += charge
+        return charge
+
+
+class CloudProvider:
+    """The CSP: unlimited capacity, communication delay ``D_avg``.
+
+    Args:
+        price: Unit price ``P_c``.
+        unit_cost: Unit operating cost ``C_c``.
+        d_avg: Average communication delay (informational).
+    """
+
+    def __init__(self, price: float, unit_cost: float = 0.0,
+                 d_avg: float = 0.0):
+        if price <= 0:
+            raise ConfigurationError("CSP price must be positive")
+        if unit_cost < 0:
+            raise ConfigurationError("CSP unit cost must be non-negative")
+        if d_avg < 0:
+            raise ConfigurationError("d_avg must be non-negative")
+        self.price = price
+        self.d_avg = d_avg
+        self.account = ProviderAccount(unit_cost=unit_cost)
+
+    def provision(self, units: float) -> float:
+        """Provision ``units`` (the CSP never refuses); returns the charge."""
+        return self.account.record_sale(units, self.price)
+
+
+class EdgeProvider:
+    """The ESP, in connected or standalone mode.
+
+    Connected mode (``capacity=None``): each edge request is satisfied with
+    probability ``h`` and otherwise flagged for transfer; the decision is
+    sampled from the provider's RNG, making the empirical transfer rate
+    converge to ``1-h``.
+
+    Standalone mode (``capacity=E_max``): requests are admitted
+    first-come-first-served until the capacity is exhausted; the remainder
+    raise :class:`~repro.exceptions.CapacityError` on strict admission or
+    are rejected via :meth:`try_admit`.
+
+    Args:
+        price: Unit price ``P_e``.
+        unit_cost: Unit operating cost ``C_e``.
+        h: Connected-mode satisfaction probability.
+        capacity: ``E_max`` for standalone mode; ``None`` = connected.
+        seed: RNG seed for the connected-mode satisfaction draws.
+    """
+
+    def __init__(self, price: float, unit_cost: float = 0.0, h: float = 1.0,
+                 capacity: Optional[float] = None, seed: int = 0):
+        if price <= 0:
+            raise ConfigurationError("ESP price must be positive")
+        if unit_cost < 0:
+            raise ConfigurationError("ESP unit cost must be non-negative")
+        if not 0.0 < h <= 1.0:
+            raise ConfigurationError("h must be in (0, 1]")
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError("capacity must be positive when set")
+        self.price = price
+        self.h = h
+        self.capacity = capacity
+        self.account = ProviderAccount(unit_cost=unit_cost)
+        self._rng = np.random.default_rng(seed)
+        self._load = 0.0
+
+    @property
+    def standalone(self) -> bool:
+        return self.capacity is not None
+
+    @property
+    def load(self) -> float:
+        """Units currently admitted in this provisioning epoch."""
+        return self._load
+
+    @property
+    def remaining_capacity(self) -> float:
+        if self.capacity is None:
+            return float("inf")
+        return max(self.capacity - self._load, 0.0)
+
+    def reset_epoch(self) -> None:
+        """Clear the admitted load (new provisioning round)."""
+        self._load = 0.0
+
+    def sample_satisfaction(self) -> bool:
+        """Connected mode: whether this request is served locally."""
+        if self.standalone:
+            raise ConfigurationError(
+                "sample_satisfaction is a connected-mode operation")
+        return bool(self._rng.random() < self.h)
+
+    def try_admit(self, units: float) -> bool:
+        """Standalone mode: admit ``units`` if capacity allows.
+
+        Returns True (and bills) on admission, False on rejection. The
+        all-or-nothing semantics match the paper: a partially servable
+        request is rejected outright.
+        """
+        if not self.standalone:
+            raise ConfigurationError("try_admit is a standalone operation")
+        if units < 0:
+            raise ConfigurationError("units must be non-negative")
+        if units == 0.0:
+            return True
+        if units > self.remaining_capacity + 1e-12:
+            return False
+        self._load += units
+        self.account.record_sale(units, self.price)
+        return True
+
+    def admit(self, units: float) -> float:
+        """Strict admission; raises :class:`CapacityError` on overload.
+
+        In connected mode this bills unconditionally (capacity is modeled
+        by the satisfaction probability, not a hard limit).
+        """
+        if self.standalone:
+            if not self.try_admit(units):
+                raise CapacityError(
+                    f"ESP overload: requested {units}, remaining "
+                    f"{self.remaining_capacity}")
+            return units * self.price
+        return self.account.record_sale(units, self.price)

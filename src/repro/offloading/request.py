@@ -1,0 +1,90 @@
+"""Offloading request/response protocol objects.
+
+Miners submit :class:`ResourceRequest` vectors ``r_i = [e_i, c_i]``; the
+providers answer with :class:`Allocation` records describing what actually
+ran where — which is what distinguishes the two edge operation modes
+(transfer vs. reject) at the substrate level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["ResourceRequest", "Allocation", "ResponseStatus"]
+
+
+class ResponseStatus(enum.Enum):
+    """How the ESP handled the edge part of a request."""
+
+    SATISFIED = "satisfied"       # ran on the ESP as requested
+    TRANSFERRED = "transferred"   # connected mode: moved to the CSP
+    REJECTED = "rejected"         # standalone mode: dropped
+    EMPTY = "empty"               # no edge units were requested
+
+
+@dataclass(frozen=True)
+class ResourceRequest:
+    """A miner's request vector ``r_i = [e_i, c_i]``.
+
+    Attributes:
+        miner_id: Requesting miner.
+        edge_units: Units requested from the ESP (``e_i``).
+        cloud_units: Units requested from the CSP (``c_i``).
+    """
+
+    miner_id: int
+    edge_units: float
+    cloud_units: float
+
+    def __post_init__(self) -> None:
+        if self.miner_id < 0:
+            raise ConfigurationError("miner_id must be non-negative")
+        if self.edge_units < 0 or self.cloud_units < 0:
+            raise ConfigurationError("requested units must be non-negative")
+
+    @property
+    def total_units(self) -> float:
+        return self.edge_units + self.cloud_units
+
+    def cost(self, p_e: float, p_c: float) -> float:
+        """Nominal cost of the request at the quoted prices."""
+        return p_e * self.edge_units + p_c * self.cloud_units
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """What the SPs actually provisioned for one request.
+
+    Attributes:
+        request: The originating request.
+        status: How the edge part was handled.
+        edge_units: Units that actually run at the ESP.
+        cloud_units: Units that actually run at the CSP (includes
+            transferred edge units in connected mode).
+        edge_charge: Amount billed by the ESP.
+        cloud_charge: Amount billed by the CSP.
+    """
+
+    request: ResourceRequest
+    status: ResponseStatus
+    edge_units: float
+    cloud_units: float
+    edge_charge: float
+    cloud_charge: float
+
+    def __post_init__(self) -> None:
+        if self.edge_units < 0 or self.cloud_units < 0:
+            raise ConfigurationError("allocated units must be non-negative")
+        if self.edge_charge < 0 or self.cloud_charge < 0:
+            raise ConfigurationError("charges must be non-negative")
+
+    @property
+    def total_charge(self) -> float:
+        return self.edge_charge + self.cloud_charge
+
+    @property
+    def total_units(self) -> float:
+        return self.edge_units + self.cloud_units

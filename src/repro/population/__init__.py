@@ -1,0 +1,14 @@
+"""Miner-population models (Section V): fixed counts for permissioned
+chains, discretized Gaussian counts for permissionless chains, and seeded
+per-block churn processes for the RL framework."""
+
+from .distribution import FixedPopulation, GaussianPopulation, PopulationModel
+from .sampler import BlockPopulation, PopulationProcess
+
+__all__ = [
+    "FixedPopulation",
+    "GaussianPopulation",
+    "PopulationModel",
+    "BlockPopulation",
+    "PopulationProcess",
+]

@@ -1,0 +1,132 @@
+"""Miner-population models for the dynamic scenario (Section V).
+
+Permissionless blockchains let miners join and leave freely, so the paper
+models the miner count as ``N ~ Gaussian(μ, σ²)`` discretized as
+``P(k) = Φ(k) - Φ(k-1)`` and truncated to ``k >= 1`` (a mining network needs
+at least one miner; the games additionally require ``k >= 2`` to be
+meaningful, which the equilibrium solvers enforce on the *mean*).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["PopulationModel", "FixedPopulation", "GaussianPopulation"]
+
+
+def _normal_cdf(x: float) -> float:
+    """Standard normal CDF via the error function (no scipy needed here)."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+class PopulationModel(abc.ABC):
+    """Distribution of the miner count ``N`` over positive integers."""
+
+    @abc.abstractmethod
+    def support(self) -> np.ndarray:
+        """Integer values of ``N`` with non-negligible probability."""
+
+    @abc.abstractmethod
+    def pmf(self) -> np.ndarray:
+        """Probabilities aligned with :meth:`support` (sums to 1)."""
+
+    @property
+    def mean(self) -> float:
+        """Expected miner count."""
+        return float(np.dot(self.support(), self.pmf()))
+
+    @property
+    def variance(self) -> float:
+        """Variance of the miner count."""
+        ks = self.support().astype(float)
+        p = self.pmf()
+        mu = float(np.dot(ks, p))
+        return float(np.dot((ks - mu) ** 2, p))
+
+    def sample(self, rng: np.random.Generator, size: int = None):
+        """Sample miner counts using the discretized pmf."""
+        ks = self.support()
+        p = self.pmf()
+        return rng.choice(ks, size=size, p=p)
+
+
+class FixedPopulation(PopulationModel):
+    """Degenerate model: exactly ``n`` miners (the Section IV scenario)."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ConfigurationError(f"miner count must be >= 1, got {n}")
+        self.n = int(n)
+
+    def support(self) -> np.ndarray:
+        return np.array([self.n], dtype=int)
+
+    def pmf(self) -> np.ndarray:
+        return np.array([1.0])
+
+    def __repr__(self) -> str:
+        return f"FixedPopulation(n={self.n})"
+
+
+class GaussianPopulation(PopulationModel):
+    """Discretized, ``k >= 1``-truncated Gaussian miner count.
+
+    ``P(N = k) ∝ Φ((k + ½ - μ)/σ) - Φ((k - ½ - μ)/σ)`` — the centered
+    binning of the paper's Fig. 3 toy example (μ=10, σ²=4). (The paper
+    prints ``Φ(k) - Φ(k-1)``, whose bins are shifted by +½ and would bias
+    the discretized mean to ``μ + ½``; Fig. 3's histogram is centered on μ,
+    so the centered convention is the faithful one.) The support is clipped
+    to ``μ ± tail_sigmas · σ`` and the pmf renormalized, so it always sums
+    to exactly 1.
+
+    Args:
+        mu: Mean miner count.
+        sigma: Standard deviation (NOT the variance; the paper's σ²=4
+            example corresponds to ``sigma=2``).
+        tail_sigmas: Width of the retained support in standard deviations.
+    """
+
+    def __init__(self, mu: float, sigma: float, tail_sigmas: float = 6.0):
+        if mu <= 0:
+            raise ConfigurationError(f"mu must be positive, got {mu}")
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {sigma}")
+        if tail_sigmas <= 0:
+            raise ConfigurationError("tail_sigmas must be positive")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        k_lo = max(1, int(math.floor(mu - tail_sigmas * sigma)))
+        k_hi = max(k_lo, int(math.ceil(mu + tail_sigmas * sigma)))
+        self._support = np.arange(k_lo, k_hi + 1, dtype=int)
+        raw = np.array([
+            _normal_cdf((k + 0.5 - mu) / sigma)
+            - _normal_cdf((k - 0.5 - mu) / sigma)
+            for k in self._support
+        ])
+        total = float(raw.sum())
+        if total <= 0:
+            raise ConfigurationError(
+                "population distribution degenerated to zero mass; widen "
+                "tail_sigmas")
+        self._pmf = raw / total
+
+    def support(self) -> np.ndarray:
+        return self._support
+
+    def pmf(self) -> np.ndarray:
+        return self._pmf
+
+    def truncation_mass(self) -> float:
+        """Probability mass lost to the ``k >= 1`` truncation (pre-renorm)."""
+        return float(_normal_cdf((self._support[0] - 0.5 - self.mu)
+                                 / self.sigma))
+
+    def __repr__(self) -> str:
+        return (f"GaussianPopulation(mu={self.mu}, sigma={self.sigma}, "
+                f"support=[{self._support[0]}, {self._support[-1]}])")

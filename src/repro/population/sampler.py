@@ -1,0 +1,75 @@
+"""Seeded sampling of miner-population trajectories.
+
+The RL framework of Section VI-C redraws the active miner set every block
+within a pricing epoch. :class:`PopulationProcess` produces those
+trajectories deterministically from a seed, modeling churn as miners
+joining/leaving to match each block's sampled count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .distribution import PopulationModel
+
+__all__ = ["BlockPopulation", "PopulationProcess"]
+
+
+@dataclass(frozen=True)
+class BlockPopulation:
+    """Active miner set for one block.
+
+    Attributes:
+        count: Number of active miners this block.
+        active: Indices (into the registered miner pool) that are active.
+    """
+
+    count: int
+    active: np.ndarray
+
+
+class PopulationProcess:
+    """Generates per-block active miner sets under a population model.
+
+    A pool of ``pool_size`` registered miners exists; each block, the
+    process samples ``N_t`` from the model and activates a uniformly random
+    subset of that size (clipped to the pool). Persistent identities let
+    learning agents accumulate experience across the blocks in which they
+    participate.
+    """
+
+    def __init__(self, model: PopulationModel, pool_size: int,
+                 seed: int = 0):
+        if pool_size < 1:
+            raise ConfigurationError("pool_size must be >= 1")
+        max_support = int(np.max(model.support()))
+        if pool_size < max_support:
+            raise ConfigurationError(
+                f"pool_size={pool_size} is smaller than the population "
+                f"support maximum {max_support}; some draws could not be "
+                "realized")
+        self.model = model
+        self.pool_size = int(pool_size)
+        self._rng = np.random.default_rng(seed)
+
+    def next_block(self) -> BlockPopulation:
+        """Sample the active miner set for the next block."""
+        count = int(self.model.sample(self._rng))
+        count = max(1, min(count, self.pool_size))
+        active = self._rng.choice(self.pool_size, size=count, replace=False)
+        active.sort()
+        return BlockPopulation(count=count, active=active)
+
+    def epoch(self, blocks: int) -> List[BlockPopulation]:
+        """Sample an epoch of ``blocks`` consecutive block populations."""
+        if blocks < 1:
+            raise ConfigurationError("an epoch needs at least one block")
+        return [self.next_block() for _ in range(blocks)]
+
+    def empirical_counts(self, blocks: int) -> np.ndarray:
+        """Counts only, for distribution-fit tests (Fig. 3)."""
+        return np.array([self.next_block().count for _ in range(blocks)])

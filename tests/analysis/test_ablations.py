@@ -1,0 +1,41 @@
+"""Ablation studies (fast configurations)."""
+
+import pytest
+
+from repro.analysis import (ablation_dynamic_weights, ablation_gnep_solvers,
+                            ablation_transfer_semantics)
+
+
+class TestGNEPSolvers:
+    def test_solvers_agree(self):
+        table = ablation_gnep_solvers(e_max_values=[80.0])
+        row = table.rows[0]
+        cols = {c: row[i] for i, c in enumerate(table.columns)}
+        assert cols["E_decomp"] == pytest.approx(cols["E_extragrad"],
+                                                 abs=1e-3)
+        assert cols["max_profile_diff"] < 1e-3
+        assert cols["nu_decomp"] == pytest.approx(cols["nu_extragrad"],
+                                                  abs=1e-3)
+
+    def test_decomposition_faster(self):
+        table = ablation_gnep_solvers(e_max_values=[80.0])
+        row = table.rows[0]
+        cols = {c: row[i] for i, c in enumerate(table.columns)}
+        assert cols["t_decomp_s"] < cols["t_extragrad_s"]
+
+
+class TestDynamicWeights:
+    def test_all_models_reported(self):
+        table = ablation_dynamic_weights()
+        names = [r[0] for r in table.rows]
+        assert names == ["capacity", "service", "paper", "h"]
+        assert all(r[-1] for r in table.rows)  # all converged
+
+
+class TestTransferSemantics:
+    def test_marginal_matches_model(self):
+        table = ablation_transfer_semantics(rounds=60000)
+        rows = {r[0]: r for r in table.rows}
+        assert rows["marginal"][3] < 0.01     # |gap| ~ sampling error
+        # The independent joint process overshoots Eq. (9) (Jensen).
+        assert rows["independent"][1] > rows["independent"][2]

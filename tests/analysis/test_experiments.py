@@ -1,0 +1,129 @@
+"""Experiment harness: fast shape checks for each paper artifact.
+
+Heavier experiments run with reduced point counts here; the benchmarks run
+the full versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (DEFAULTS, PaperSetup, fig3_population,
+                            fig4_price_sweep, fig5_delay_sweep,
+                            fig6_capacity_sweep, fig6_csp_price_crossover,
+                            fig7_budget_sweep, fig9_variance_sweep,
+                            table2_closed_forms, welfare_observations)
+
+
+class TestFig3:
+    def test_pmf_matches_samples(self):
+        table = fig3_population(samples=30000)
+        pmf = np.array(table.column("pmf"))
+        emp = np.array(table.column("empirical"))
+        assert np.max(np.abs(pmf - emp)) < 0.015
+
+
+class TestFig4:
+    def test_edge_demand_increases_with_cloud_price(self):
+        table = fig4_price_sweep(p_c_values=[0.6, 0.9, 1.2, 1.5])
+        assert table.assert_monotone("E_total", increasing=True,
+                                     strict=True)
+        assert table.assert_monotone("esp_revenue", increasing=True,
+                                     strict=True)
+
+
+class TestFig5:
+    def test_cloud_side_shrinks_with_beta(self):
+        table = fig5_delay_sweep(betas=[0.1, 0.2, 0.3])
+        assert table.assert_monotone("C_total", increasing=False,
+                                     strict=True)
+        assert table.assert_monotone("csp_revenue", increasing=False,
+                                     strict=True)
+
+    def test_total_sp_revenue_pinned_at_budgets(self):
+        """Fig. 5(c): total SP revenue ~ constant (= aggregate budget)."""
+        table = fig5_delay_sweep(betas=[0.1, 0.2, 0.3])
+        totals = np.array(table.column("total_sp_revenue"))
+        assert np.allclose(totals, 5 * 200.0, rtol=1e-3)
+
+
+class TestFig6:
+    def test_edge_requests_grow_with_capacity(self):
+        table = fig6_capacity_sweep(e_max_values=[20, 60, 100, 160])
+        assert table.assert_monotone("E_total", increasing=True)
+        # Saturation: at huge capacity, E equals unconstrained demand.
+        assert table.rows[-1][1] == pytest.approx(160.0, rel=1e-4)
+
+    def test_standalone_exceeds_connected(self):
+        # Capacity large enough that standalone demand is unconstrained:
+        # the h<1 transfer risk is then the only difference between modes.
+        table = fig6_capacity_sweep(e_max_values=[400])
+        e_sa = table.column("E_total")[0]
+        e_conn = table.column("connected_E_total")[0]
+        assert e_sa > e_conn
+
+    def test_csp_price_crossover_orders_by_delay(self):
+        table = fig6_csp_price_crossover(p_e_values=[2.0, 4.0],
+                                         betas=(0.1, 0.3))
+        # At high P_e the longer delay forces the lower CSP price.
+        last = table.rows[-1]
+        assert last[1] > last[2]  # p_c*(β=0.1) > p_c*(β=0.3)
+
+
+class TestFig7:
+    def test_requests_and_utility_grow_with_budget(self):
+        table = fig7_budget_sweep(budgets=[20, 80, 140, 200],
+                                  betas=(0.2,))
+        assert table.assert_monotone("e1_beta_0.2", increasing=True)
+        assert table.assert_monotone("U1_beta_0.2", increasing=True)
+
+    def test_total_requests_insensitive_to_delay(self):
+        table = fig7_budget_sweep(budgets=[100], betas=(0.1, 0.2))
+        r_low = table.column("r1_total_beta_0.1")[0]
+        r_high = table.column("r1_total_beta_0.2")[0]
+        assert r_low == pytest.approx(r_high, rel=0.15)
+
+
+class TestFig9:
+    def test_variance_sweep_shape(self):
+        table = fig9_variance_sweep(sigmas=[1.0, 2.5])
+        model = table.column("model_e")
+        assert model[-1] > model[0]
+
+
+class TestTable2:
+    def test_closed_forms_track_numeric(self):
+        table = table2_closed_forms()
+        rows = {r[0]: r[1:] for r in table.rows}
+        # Connected closed form vs numeric: tight agreement.
+        assert rows["P_e*"][0] == pytest.approx(rows["P_e*"][1], rel=0.01)
+        # Standalone: CSP price matches; ESP shades slightly below the
+        # clearing closed form (documented).
+        assert rows["P_c*"][2] == pytest.approx(rows["P_c*"][3], rel=0.02)
+        assert rows["P_e*"][3] <= rows["P_e*"][2] * 1.001
+        # Standalone ESP prices above connected (paper's conclusion).
+        assert rows["P_e*"][2] > rows["P_e*"][0]
+        assert rows["V_e*"][2] > rows["V_e*"][0]
+
+
+class TestWelfare:
+    def test_welfare_bounded_then_saturates(self):
+        table = welfare_observations(budgets=[20, 100, 400, 1600])
+        rev = table.column("total_sp_revenue")
+        agg = table.column("aggregate_budget")
+        binding = table.column("budget_binding")
+        assert binding[0] and not binding[-1]
+        # While binding, welfare == aggregate budget.
+        assert rev[0] == pytest.approx(agg[0], rel=1e-3)
+        # Once slack, welfare stops growing with budget.
+        assert rev[-1] == pytest.approx(rev[-2], rel=1e-3)
+
+
+class TestPaperSetup:
+    def test_defaults_satisfy_mixed_condition(self):
+        params = DEFAULTS.connected()
+        assert DEFAULTS.p_c < params.mixed_price_bound(DEFAULTS.p_e)
+
+    def test_custom_setup(self):
+        setup = PaperSetup(n=4, budget=100.0)
+        assert setup.connected().n == 4
+        assert setup.standalone().e_max == 80.0

@@ -1,0 +1,143 @@
+"""Extension experiments (EXT1-EXT4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (ext1_rent_dissipation, ext2_fictitious_play,
+                            ext3_difficulty_retargeting, ext4_elasticities)
+
+
+class TestExt1:
+    def test_accounting_identity_holds(self):
+        table = ext1_rent_dissipation(rewards=[1000.0, 2000.0])
+        for r in table.column("accounting_residual"):
+            assert abs(r) < 1e-6
+
+    def test_dissipation_falls_with_reward_once_interior(self):
+        table = ext1_rent_dissipation(rewards=[2000.0, 4000.0])
+        d = table.column("dissipation")
+        assert d[1] < d[0]
+        assert all(0.0 < x < 1.0 for x in d)
+
+
+class TestExt2:
+    def test_fictitious_play_gap_shrinks(self):
+        table = ext2_fictitious_play()
+        gaps = table.column("profile_gap")
+        assert gaps[-1] < 1e-3
+        assert gaps[0] > gaps[-1]
+
+    def test_ni_residual_certifies(self):
+        table = ext2_fictitious_play()
+        ni = table.column("ni_residual")
+        assert ni[-1] < 1e-6
+
+
+class TestExt3:
+    def test_interval_returns_to_target(self):
+        table = ext3_difficulty_retargeting()
+        intervals = table.column("mean_interval_s")
+        # Average of the last three epochs of each demand segment is near
+        # the 600 s target.
+        assert np.mean(intervals[3:6]) == pytest.approx(600.0, rel=0.25)
+        assert np.mean(intervals[9:12]) == pytest.approx(600.0, rel=0.25)
+        assert np.mean(intervals[15:18]) == pytest.approx(600.0, rel=0.25)
+
+    def test_difficulty_follows_demand(self):
+        table = ext3_difficulty_retargeting()
+        units = table.column("total_units")
+        diff = table.column("difficulty")
+        # Demand doubled from segment 1 to segment 2 => difficulty up.
+        assert units[7] > units[3]
+        assert diff[11] > diff[3]
+
+
+class TestExt4:
+    def test_both_modes_reported(self):
+        table = ext4_elasticities()
+        modes = {r[0] for r in table.rows}
+        assert modes == {"connected", "standalone"}
+
+    def test_signs_economically_sane(self):
+        table = ext4_elasticities()
+        for row in table.rows:
+            mode, param, eps_e = row[0], row[1], row[2]
+            if mode == "connected" and param == "P_e":
+                assert eps_e < 0  # own-price elasticity negative
+            if mode == "connected" and param == "P_c":
+                assert eps_e > 0  # cross-price elasticity positive
+
+
+class TestExt5:
+    def test_calibration_chain_monotone(self):
+        from repro.analysis import ext5_topology_calibration
+        table = ext5_topology_calibration(block_sizes=[1e5, 1e6, 1.6e7])
+        assert table.assert_monotone("beta", increasing=True, strict=True)
+        assert table.assert_monotone("edge_share", increasing=True,
+                                     strict=True)
+        assert table.assert_monotone("C_total", increasing=False,
+                                     strict=True)
+
+
+class TestExt6:
+    def test_prices_fall_with_entry(self):
+        from repro.analysis import ext6_edge_competition
+        table = ext6_edge_competition(counts=[1, 2, 4])
+        assert table.assert_monotone("scarce_price", increasing=False,
+                                     strict=True)
+        assert table.assert_monotone("scarce_total_units",
+                                     increasing=True, strict=True)
+        assert all(table.column("verified"))
+
+    def test_ample_capacity_bertrand_collapse(self):
+        from repro.analysis import ext6_edge_competition
+        table = ext6_edge_competition(counts=[1, 2])
+        ample_profit = table.column("ample_industry_profit")
+        assert ample_profit[0] > 0
+        assert ample_profit[1] == 0
+
+
+class TestExt7:
+    def test_interior_optimum(self):
+        from repro.analysis import ext7_optimal_block_size
+        table = ext7_optimal_block_size(
+            block_sizes=[1e5, 6e5, 4e6, 3.2e7])
+        rev = table.column("expected_revenue")
+        best = rev.index(max(rev))
+        assert 0 < best < len(rev) - 1  # interior
+        assert table.assert_monotone("beta", increasing=True, strict=True)
+        assert table.assert_monotone("mean_fees", increasing=True)
+
+
+class TestExt8:
+    def test_risk_shrinks_solo_mining(self):
+        from repro.analysis import ext8_risk_aversion
+        table = ext8_risk_aversion(risk_levels=[0.0, 0.002, 0.01])
+        assert table.assert_monotone("solo_demand", increasing=False,
+                                     strict=True)
+        assert table.assert_monotone("solo_active", increasing=False)
+
+    def test_pool_beats_solo_under_risk(self):
+        from repro.analysis import ext8_risk_aversion
+        table = ext8_risk_aversion(risk_levels=[0.002])
+        row = table.rows[0]
+        cols = {c: row[i] for i, c in enumerate(table.columns)}
+        assert cols["pool_demand"] > cols["solo_demand"]
+
+
+class TestExt9:
+    def test_value_of_information_structure(self):
+        from repro.analysis import ext9_private_budgets
+        table = ext9_private_budgets()
+        rows = {r[0]: r for r in table.rows}
+        cols = table.columns
+        voi = cols.index("value_of_information")
+        bne_e = cols.index("bne_e")
+        fi_e = cols.index("fullinfo_e")
+        # Budget-bound types spend everything either way: their requests
+        # barely move with information.
+        assert abs(rows[50.0][bne_e] - rows[50.0][fi_e]) < 0.01
+        # The interior (rich) type tailors its play to realized rivals:
+        # information is strictly valuable to it.
+        assert rows[400.0][voi] > 1.0
+        assert rows[400.0][voi] > rows[50.0][voi]

@@ -1,0 +1,44 @@
+"""Golden-file regression: deterministic experiments must reproduce the
+archived results exactly (up to solver tolerance).
+
+The golden files under ``benchmarks/golden/`` were produced by the same
+code at a known-good state; any numerical drift in the solvers shows up
+here before it shows up in EXPERIMENTS.md. Regenerate deliberately with::
+
+    python -c "from repro.analysis import ...; from repro.analysis.reporting import save; save(fig4_price_sweep(), 'benchmarks/golden/fig4.json')"
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (fig3_population, fig4_price_sweep,
+                            fig5_delay_sweep, fig6_capacity_sweep,
+                            fig7_budget_sweep, table2_closed_forms,
+                            welfare_observations)
+from repro.analysis.reporting import compare, load
+
+GOLDEN_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "golden"
+
+CASES = [
+    ("fig3", fig3_population, 1e-6),
+    ("fig4", fig4_price_sweep, 1e-5),
+    ("fig5", fig5_delay_sweep, 1e-5),
+    ("fig6", fig6_capacity_sweep, 1e-4),
+    ("fig7", fig7_budget_sweep, 1e-5),
+    ("welfare", welfare_observations, 1e-5),
+    ("table2", table2_closed_forms, 5e-3),
+]
+
+
+@pytest.mark.parametrize("name,runner,rel_tol", CASES,
+                         ids=[c[0] for c in CASES])
+def test_golden(name, runner, rel_tol):
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    assert golden_path.exists(), f"golden file missing: {golden_path}"
+    expected = load(golden_path)
+    actual = runner()
+    mismatches = compare(actual, expected, rel_tol=rel_tol)
+    assert mismatches == [], (
+        f"{name} drifted from golden: first mismatches "
+        f"{mismatches[:5]}")

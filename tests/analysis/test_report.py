@@ -1,0 +1,75 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.analysis import ResultTable, build_report, render_markdown
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def table():
+    t = ResultTable(title="Demo", columns=["x", "y", "label"],
+                    notes="a caption")
+    t.add_row(1, 2.0, "a")
+    t.add_row(2, 4.0, "b")
+    t.add_row(3, 8.0, "c")
+    return t
+
+
+class TestRenderMarkdown:
+    def test_contains_table_and_caption(self, table):
+        md = render_markdown(table)
+        assert "## Demo" in md
+        assert "| x | y | label |" in md
+        assert "| 3 | 8.0000 | c |" in md
+        assert "> a caption" in md
+
+    def test_sparkline_for_numeric_columns_only(self, table):
+        md = render_markdown(table)
+        assert "`y`" in md
+        assert "`label`" not in md
+
+    def test_heading_level(self, table):
+        md = render_markdown(table, heading_level=3)
+        assert md.startswith("### Demo")
+
+
+class TestBuildReport:
+    def test_runs_selected_experiments(self, table, tmp_path):
+        experiments = {"one": lambda: table, "two": lambda: table}
+        out = tmp_path / "r.md"
+        doc = build_report(experiments, path=out, ids=["one"])
+        assert out.read_text() == doc
+        assert "# repro-mining report" in doc
+        assert doc.count("## Demo") == 1
+
+    def test_default_runs_all_sorted(self, table):
+        calls = []
+
+        def make(name):
+            def run():
+                calls.append(name)
+                return table
+            return run
+
+        build_report({"b": make("b"), "a": make("a")})
+        assert calls == ["a", "b"]
+
+    def test_unknown_ids_rejected(self, table):
+        with pytest.raises(ConfigurationError):
+            build_report({"a": lambda: table}, ids=["nope"])
+
+
+class TestCliReport:
+    def test_cli_report_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "report.md"
+        assert main(["report", "--ids", "fig3", "--quiet",
+                     "--output", str(out)]) == 0
+        text = out.read_text()
+        assert "Fig. 3" in text
+        assert "trends:" in text
+
+    def test_cli_report_bad_ids(self, capsys):
+        from repro.cli import main
+        assert main(["report", "--ids", "bogus", "--quiet"]) == 2

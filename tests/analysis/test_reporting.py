@@ -1,0 +1,110 @@
+"""Result serialization and regression comparison."""
+
+import pytest
+
+from repro.analysis import ResultTable, compare, from_json, load, save, \
+    to_csv, to_json
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def table():
+    t = ResultTable(title="T", columns=["name", "x", "ok"],
+                    notes="hello")
+    t.add_row("a", 1.5, True)
+    t.add_row("b", 2.5e-7, False)
+    return t
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self, table):
+        back = from_json(to_json(table))
+        assert back.title == table.title
+        assert back.columns == table.columns
+        assert back.notes == table.notes
+        assert [list(r) for r in back.rows] == \
+            [list(r) for r in table.rows]
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            from_json('{"title": "x"}')
+
+
+class TestCsv:
+    def test_contains_header_and_rows(self, table):
+        text = to_csv(table)
+        assert "# T" in text
+        assert "name,x,ok" in text
+        assert "a,1.5,True" in text
+
+
+class TestFiles:
+    def test_save_load_json(self, table, tmp_path):
+        path = save(table, tmp_path / "out.json")
+        back = load(path)
+        assert back.title == "T"
+
+    def test_save_csv(self, table, tmp_path):
+        path = save(table, tmp_path / "out.csv")
+        assert path.read_text().startswith("# T")
+
+    def test_unknown_suffix_rejected(self, table, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save(table, tmp_path / "out.xlsx")
+
+    def test_load_csv_rejected(self, table, tmp_path):
+        path = save(table, tmp_path / "out.csv")
+        with pytest.raises(ConfigurationError):
+            load(path)
+
+
+class TestCompare:
+    def test_identical_tables_match(self, table):
+        assert compare(table, from_json(to_json(table))) == []
+
+    def test_numeric_tolerance(self, table):
+        other = from_json(to_json(table))
+        other.rows[0] = ("a", 1.5 * (1 + 1e-9), True)
+        assert compare(table, other, rel_tol=1e-6) == []
+        other.rows[0] = ("a", 1.6, True)
+        diffs = compare(table, other, rel_tol=1e-6)
+        assert diffs and diffs[0][:2] == (0, 1)
+
+    def test_non_numeric_exact(self, table):
+        other = from_json(to_json(table))
+        other.rows[1] = ("B", 2.5e-7, False)
+        assert len(compare(table, other)) == 1
+
+    def test_structural_mismatch_raises(self, table):
+        other = ResultTable(title="T", columns=["different"])
+        with pytest.raises(ConfigurationError):
+            compare(table, other)
+
+    def test_row_count_mismatch_raises(self, table):
+        other = from_json(to_json(table))
+        other.rows.append(("c", 1.0, True))
+        with pytest.raises(ConfigurationError):
+            compare(table, other)
+
+
+class TestCliOutput:
+    def test_cli_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+        out = tmp_path / "fig3.json"
+        assert main(["fig3", "--output", str(out), "--quiet"]) == 0
+        assert out.exists()
+        back = load(out)
+        assert "Fig. 3" in back.title
+
+    def test_cli_rejects_bad_suffix(self, tmp_path):
+        from repro.cli import main
+        assert main(["fig3", "--output",
+                     str(tmp_path / "x.xlsx"), "--quiet"]) == 2
+
+    def test_cli_all_rejects_output(self):
+        from repro.cli import main
+        assert main(["all", "--output", "x.json"]) == 2

@@ -1,0 +1,63 @@
+"""Sensitivity/elasticity analysis against exact closed-form values."""
+
+import pytest
+
+from repro.analysis import elasticity, equilibrium_elasticities
+from repro.core import EdgeMode, Prices, homogeneous
+from repro.exceptions import ConfigurationError
+
+
+class TestElasticityHelper:
+    def test_power_law_exact(self):
+        # y = theta^3 has elasticity 3 everywhere.
+        assert elasticity(lambda t: t ** 3, 2.0) == pytest.approx(
+            3.0, abs=1e-6)
+
+    def test_constant_has_zero_elasticity(self):
+        assert elasticity(lambda t: 5.0, 1.7) == pytest.approx(0.0,
+                                                               abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            elasticity(lambda t: t, 0.0)
+        with pytest.raises(ConfigurationError):
+            elasticity(lambda t: 0.0, 1.0)
+
+
+class TestEquilibriumElasticities:
+    def test_connected_interior_closed_forms(self):
+        """In the interior regime: e* = kβh/(P_e-P_c), total = ka/P_c, so
+        eps_E(P_e) = -P_e/(P_e-P_c) = -2 and eps_S(P_c) = -1 exactly."""
+        params = homogeneous(5, 10000.0, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+        table = equilibrium_elasticities(params, Prices(2.0, 1.0))
+        rows = {r[0]: r[1:] for r in table.rows}
+        assert rows["P_e"][0] == pytest.approx(-2.0, abs=1e-3)
+        assert rows["P_c"][0] == pytest.approx(1.0, abs=1e-3)
+        assert rows["P_c"][2] == pytest.approx(-1.0, abs=1e-3)
+        assert rows["R"][2] == pytest.approx(1.0, abs=1e-3)
+
+    def test_budget_binding_reward_elasticity_zero(self):
+        """With binding budgets the aggregates depend on B, not R."""
+        params = homogeneous(5, 100.0, reward=1000.0, fork_rate=0.2, h=0.8)
+        table = equilibrium_elasticities(params, Prices(2.0, 1.0))
+        rows = {r[0]: r[1:] for r in table.rows}
+        assert rows["R"][0] == pytest.approx(0.0, abs=1e-6)
+        assert rows["R"][2] == pytest.approx(0.0, abs=1e-6)
+
+    def test_standalone_capacity_elasticity(self):
+        """With the capacity binding, E* = E_max exactly: eps = 1."""
+        params = homogeneous(5, 10000.0, reward=1000.0, fork_rate=0.2,
+                             mode=EdgeMode.STANDALONE, e_max=80.0)
+        table = equilibrium_elasticities(params, Prices(2.0, 1.0))
+        rows = {r[0]: r[1:] for r in table.rows}
+        assert rows["E_max"][0] == pytest.approx(1.0, abs=1e-3)
+        # Edge demand pinned by capacity: insensitive to P_e locally.
+        assert rows["P_e"][0] == pytest.approx(0.0, abs=1e-3)
+
+    def test_h_row_only_when_meaningful(self):
+        capped = homogeneous(5, 10000.0, reward=1000.0, fork_rate=0.2,
+                             h=1.0)
+        table = equilibrium_elasticities(capped, Prices(2.0, 1.0))
+        names = [r[0] for r in table.rows]
+        assert "h" not in names  # h=1 cannot be perturbed upward

@@ -1,0 +1,83 @@
+"""ResultTable container and rendering."""
+
+import pytest
+
+from repro.analysis import ResultTable, render
+
+
+@pytest.fixture
+def table():
+    t = ResultTable(title="T", columns=["x", "y"], notes="hello")
+    t.add_row(1.0, 2.0)
+    t.add_row(2.0, 4.0)
+    t.add_row(3.0, 6.0)
+    return t
+
+
+class TestResultTable:
+    def test_add_row_checks_arity(self, table):
+        with pytest.raises(ValueError):
+            table.add_row(1.0)
+
+    def test_column_extraction(self, table):
+        assert table.column("y") == [2.0, 4.0, 6.0]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.column("z")
+
+    def test_monotone_checks(self, table):
+        assert table.assert_monotone("y", increasing=True, strict=True)
+        assert not table.assert_monotone("y", increasing=False,
+                                         strict=True)
+
+    def test_monotone_with_plateau(self):
+        t = ResultTable("T", ["x"])
+        t.add_row(1.0)
+        t.add_row(1.0)
+        assert t.assert_monotone("x", increasing=True)
+        assert not t.assert_monotone("x", increasing=True, strict=True)
+
+    def test_render_contains_everything(self, table):
+        text = render(table)
+        assert "T" in text
+        assert "x" in text and "y" in text
+        assert "hello" in text
+        assert "6.0000" in text
+
+    def test_render_strings_and_bools(self):
+        t = ResultTable("T", ["name", "flag", "v"])
+        t.add_row("mixed", True, 1e-9)
+        text = str(t)
+        assert "mixed" in text
+        assert "True" in text
+        assert "e-09" in text
+
+    def test_render_large_and_zero(self):
+        t = ResultTable("T", ["v"])
+        t.add_row(0)
+        t.add_row(1234567.0)
+        text = str(t)
+        assert "0" in text
+        assert "e+06" in text
+
+
+class TestSparkline:
+    def test_docstring_example(self):
+        from repro.analysis import sparkline
+        assert sparkline([1, 2, 4, 8, 4, 2, 1]) == "▁▂▄█▄▂▁"
+
+    def test_constant_series(self):
+        from repro.analysis import sparkline
+        out = sparkline([3.0, 3.0, 3.0])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+
+    def test_empty(self):
+        from repro.analysis import sparkline
+        assert sparkline([]) == ""
+
+    def test_monotone_series_monotone_blocks(self):
+        from repro.analysis import sparkline
+        out = sparkline(range(8))
+        assert list(out) == sorted(out)

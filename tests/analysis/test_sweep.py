@@ -1,0 +1,28 @@
+"""Sweep harness."""
+
+import pytest
+
+from repro.analysis import sweep
+
+
+class TestSweep:
+    def test_basic(self):
+        table = sweep("T", "x", [1, 2, 3],
+                      lambda x: {"square": x * x, "double": 2 * x})
+        assert table.columns == ["x", "square", "double"]
+        assert table.column("square") == [1, 4, 9]
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("T", "x", [], lambda x: {"y": x})
+
+    def test_inconsistent_metrics_rejected(self):
+        def evaluate(x):
+            return {"a": 1} if x == 1 else {"b": 2}
+
+        with pytest.raises(ValueError):
+            sweep("T", "x", [1, 2], evaluate)
+
+    def test_notes_forwarded(self):
+        table = sweep("T", "x", [1], lambda x: {"y": x}, notes="n")
+        assert table.notes == "n"

@@ -1,0 +1,60 @@
+"""Block and header primitives."""
+
+import pytest
+
+from repro.blockchain import GENESIS_PARENT, Block, BlockHeader
+
+
+class TestBlockHeader:
+    def test_digest_deterministic(self):
+        h = BlockHeader(GENESIS_PARENT, 1, 0, "edge", 1.0)
+        assert h.digest() == h.digest()
+
+    def test_digest_sensitive_to_fields(self):
+        base = BlockHeader(GENESIS_PARENT, 1, 0, "edge", 1.0)
+        changed = BlockHeader(GENESIS_PARENT, 1, 1, "edge", 1.0)
+        assert base.digest() != changed.digest()
+
+    def test_invalid_venue(self):
+        with pytest.raises(ValueError):
+            BlockHeader(GENESIS_PARENT, 1, 0, "moon", 1.0)
+
+    def test_negative_height(self):
+        with pytest.raises(ValueError):
+            BlockHeader(GENESIS_PARENT, -1, 0, "edge", 1.0)
+
+
+class TestBlock:
+    def test_genesis(self):
+        g = Block.genesis()
+        assert g.height == 0
+        assert g.miner_id == -1
+        assert g.header.parent_hash == GENESIS_PARENT
+
+    def test_genesis_is_stable(self):
+        assert Block.genesis().hash == Block.genesis().hash
+
+    def test_child_links_correctly(self):
+        g = Block.genesis()
+        child = g.child(miner_id=2, venue="cloud", found_at=5.0)
+        assert child.height == 1
+        assert child.header.parent_hash == g.hash
+        assert child.verify_link(g)
+
+    def test_child_rejects_time_travel(self):
+        g = Block.genesis()
+        b = g.child(0, "edge", 10.0)
+        with pytest.raises(ValueError):
+            b.child(0, "edge", 5.0)
+
+    def test_verify_link_rejects_wrong_parent(self):
+        g = Block.genesis()
+        a = g.child(0, "edge", 1.0)
+        b = g.child(1, "edge", 2.0)
+        orphan = a.child(0, "edge", 3.0)
+        assert not orphan.verify_link(b)
+
+    def test_hash_computed_at_construction(self):
+        g = Block.genesis()
+        b = g.child(0, "edge", 1.0)
+        assert b.hash == b.header.digest()

@@ -1,0 +1,147 @@
+"""Block tree, longest-chain rule, fork accounting."""
+
+import pytest
+
+from repro.blockchain import Block, Blockchain, UnknownParentError
+
+
+@pytest.fixture
+def chain():
+    return Blockchain()
+
+
+class TestAppend:
+    def test_add_extends_tip(self, chain):
+        b = chain.tip.child(0, "edge", 1.0)
+        assert chain.add(b)
+        assert chain.tip is b
+        assert chain.height == 1
+
+    def test_duplicate_add_is_noop(self, chain):
+        b = chain.tip.child(0, "edge", 1.0)
+        chain.add(b)
+        assert not chain.add(b)
+        assert len(chain) == 2  # genesis + b
+
+    def test_unknown_parent_rejected(self, chain):
+        stranger = Block.genesis().child(0, "edge", 1.0)
+        orphan_child = stranger.child(1, "edge", 2.0)
+        with pytest.raises(UnknownParentError):
+            chain.add(orphan_child)
+
+    def test_contains(self, chain):
+        b = chain.tip.child(0, "edge", 1.0)
+        chain.add(b)
+        assert b.hash in chain
+        assert "f" * 64 not in chain
+
+
+class TestForkResolution:
+    def test_first_received_wins_ties(self, chain):
+        g = chain.tip
+        first = g.child(0, "edge", 1.0)
+        second = g.child(1, "cloud", 1.1)
+        chain.add(first)
+        chain.add(second)
+        assert chain.tip is first  # same height: first received wins
+
+    def test_longer_fork_overtakes(self, chain):
+        g = chain.tip
+        a1 = g.child(0, "edge", 1.0)
+        chain.add(a1)
+        b1 = g.child(1, "cloud", 1.1)
+        chain.add(b1)
+        b2 = b1.child(1, "cloud", 2.0)
+        assert chain.add(b2)
+        assert chain.tip is b2
+        assert not chain.is_canonical(a1.hash)
+
+    def test_canonical_chain_order(self, chain):
+        tip = chain.tip
+        blocks = []
+        for i in range(4):
+            tip = tip.child(i % 2, "edge", float(i + 1))
+            chain.add(tip)
+            blocks.append(tip)
+        canonical = chain.canonical_chain()
+        assert canonical[0].height == 0
+        assert [b.hash for b in canonical[1:]] == [b.hash for b in blocks]
+
+    def test_winners_excludes_genesis(self, chain):
+        b = chain.tip.child(3, "edge", 1.0)
+        chain.add(b)
+        assert chain.winners() == [3]
+
+
+class TestStats:
+    def test_orphan_rate(self, chain):
+        g = chain.tip
+        a = g.child(0, "edge", 1.0)
+        b = g.child(1, "cloud", 1.1)
+        chain.add(a)
+        chain.add(b)
+        c = a.child(0, "edge", 2.0)
+        chain.add(c)
+        stats = chain.stats()
+        assert stats.total_blocks == 3
+        assert stats.orphans == 1
+        assert stats.fork_events == 1
+        assert stats.orphan_rate == pytest.approx(1 / 3)
+
+    def test_empty_chain_stats(self, chain):
+        stats = chain.stats()
+        assert stats.total_blocks == 0
+        assert stats.orphan_rate == 0.0
+
+    def test_validate(self, chain):
+        tip = chain.tip
+        for i in range(5):
+            tip = tip.child(0, "edge", float(i + 1))
+            chain.add(tip)
+        assert chain.validate()
+
+
+class TestAncestryUtilities:
+    def test_common_ancestor_of_fork(self, chain):
+        g = chain.tip
+        a1 = g.child(0, "edge", 1.0)
+        chain.add(a1)
+        a2 = a1.child(0, "edge", 2.0)
+        chain.add(a2)
+        b2 = a1.child(1, "cloud", 2.1)
+        chain.add(b2)
+        lca = chain.common_ancestor(a2.hash, b2.hash)
+        assert lca.hash == a1.hash
+
+    def test_ancestor_of_itself(self, chain):
+        b = chain.tip.child(0, "edge", 1.0)
+        chain.add(b)
+        assert chain.common_ancestor(b.hash, b.hash).hash == b.hash
+
+    def test_reorg_depth_zero_on_extension(self, chain):
+        a = chain.tip.child(0, "edge", 1.0)
+        chain.add(a)
+        old_tip = chain.tip.hash
+        b = chain.tip.child(0, "edge", 2.0)
+        chain.add(b)
+        assert chain.reorg_depth(old_tip) == 0
+
+    def test_reorg_depth_counts_abandoned_blocks(self, chain):
+        g = chain.tip
+        a1 = g.child(0, "edge", 1.0)
+        chain.add(a1)
+        a2 = a1.child(0, "edge", 2.0)
+        chain.add(a2)
+        old_tip = chain.tip.hash
+        # Competing branch from genesis overtakes with 3 blocks.
+        b = g
+        for t in (1.1, 2.1, 3.1):
+            b = b.child(1, "cloud", t)
+            chain.add(b)
+        assert chain.tip.hash == b.hash
+        assert chain.reorg_depth(old_tip) == 2
+
+    def test_unknown_block_raises(self, chain):
+        import pytest as _pytest
+        with _pytest.raises(Exception):
+            chain.common_ancestor("f" * 64, chain.tip.hash)

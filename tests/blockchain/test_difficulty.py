@@ -1,0 +1,79 @@
+"""Difficulty retargeting controller."""
+
+import numpy as np
+import pytest
+
+from repro.blockchain import (Difficulty, DifficultyAdjuster, PowOracle,
+                              RetargetPolicy, simulate_retargeting)
+from repro.exceptions import ConfigurationError
+
+
+class TestRetargetPolicy:
+    def test_fast_epoch_raises_difficulty(self):
+        policy = RetargetPolicy(target_interval=600.0, epoch_blocks=10)
+        d = Difficulty(unit_solve_time=1000.0)
+        # Epoch took half the target time: difficulty doubles.
+        out = policy.adjust(d, actual_epoch_seconds=3000.0)
+        assert out.unit_solve_time == pytest.approx(2000.0)
+
+    def test_slow_epoch_lowers_difficulty(self):
+        policy = RetargetPolicy(target_interval=600.0, epoch_blocks=10)
+        d = Difficulty(unit_solve_time=1000.0)
+        out = policy.adjust(d, actual_epoch_seconds=12000.0)
+        assert out.unit_solve_time == pytest.approx(500.0)
+
+    def test_adjustment_clamped(self):
+        policy = RetargetPolicy(target_interval=600.0, epoch_blocks=10,
+                                max_ratio=4.0)
+        d = Difficulty(unit_solve_time=1000.0)
+        out = policy.adjust(d, actual_epoch_seconds=1.0)
+        assert out.unit_solve_time == pytest.approx(4000.0)
+        out = policy.adjust(d, actual_epoch_seconds=1e9)
+        assert out.unit_solve_time == pytest.approx(250.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetargetPolicy(target_interval=0.0)
+        with pytest.raises(ConfigurationError):
+            RetargetPolicy(target_interval=1.0, epoch_blocks=0)
+        with pytest.raises(ConfigurationError):
+            RetargetPolicy(target_interval=1.0, max_ratio=1.0)
+        policy = RetargetPolicy(target_interval=600.0)
+        with pytest.raises(ConfigurationError):
+            policy.adjust(Difficulty(1.0), actual_epoch_seconds=0.0)
+
+
+class TestClosedLoop:
+    def test_interval_tracks_target_under_demand_shock(self):
+        """After demand doubles, intervals return near target in a few
+        epochs."""
+        policy = RetargetPolicy(target_interval=600.0, epoch_blocks=256)
+        initial = Difficulty(unit_solve_time=600.0 * 100.0)
+        demand = [100.0] * 5 + [200.0] * 10
+        history = simulate_retargeting(demand, policy, initial, seed=1)
+        tail = [rec.mean_interval for rec in history[-4:]]
+        assert np.mean(tail) == pytest.approx(600.0, rel=0.15)
+
+    def test_difficulty_scales_with_demand(self):
+        policy = RetargetPolicy(target_interval=600.0, epoch_blocks=256)
+        initial = Difficulty(unit_solve_time=600.0 * 100.0)
+        history = simulate_retargeting([100.0] * 5 + [400.0] * 10, policy,
+                                       initial, seed=2)
+        # Steady-state difficulty ~ demand * target.
+        assert history[-1].difficulty == pytest.approx(600.0 * 400.0,
+                                                       rel=0.25)
+
+    def test_adjuster_validation(self):
+        policy = RetargetPolicy(target_interval=600.0, epoch_blocks=4)
+        adjuster = DifficultyAdjuster(policy, Difficulty(100.0))
+        oracle = PowOracle(Difficulty(100.0), seed=0)
+        with pytest.raises(ConfigurationError):
+            adjuster.run_epoch(oracle, 0.0)
+
+    def test_history_recorded(self):
+        policy = RetargetPolicy(target_interval=10.0, epoch_blocks=8)
+        history = simulate_retargeting([50.0] * 3, policy,
+                                       Difficulty(unit_solve_time=500.0),
+                                       seed=3)
+        assert len(history) == 3
+        assert all(rec.total_units == 50.0 for rec in history)

@@ -1,0 +1,59 @@
+"""Fork-rate model (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.blockchain import BITCOIN_COLLISION_RATE, ForkModel
+from repro.exceptions import ConfigurationError
+
+
+class TestForkModel:
+    def test_cdf_properties(self):
+        m = ForkModel()
+        delays = np.linspace(0, 60, 50)
+        cdf = m.fork_rate(delays)
+        assert cdf[0] == 0.0
+        assert np.all(np.diff(cdf) > 0)
+        assert np.all(cdf < 1.0)
+
+    def test_pdf_integrates_to_cdf(self):
+        m = ForkModel(collision_rate=0.1)
+        t = np.linspace(0, 20, 20001)
+        integral = np.trapezoid(m.pdf(t), t)
+        assert integral == pytest.approx(float(m.fork_rate(20.0)),
+                                         abs=1e-4)
+
+    def test_inverse_roundtrip(self):
+        m = ForkModel()
+        for beta in (0.05, 0.2, 0.5, 0.9):
+            d = m.delay_for_fork_rate(beta)
+            assert float(m.fork_rate(d)) == pytest.approx(beta, rel=1e-10)
+
+    def test_linear_approximation_small_delay(self):
+        """The paper's 'almost linearly proportional' regime."""
+        m = ForkModel()
+        for d in (0.1, 0.5, 1.0):
+            assert m.linearization_error(d) < 0.01 * BITCOIN_COLLISION_RATE \
+                * d / BITCOIN_COLLISION_RATE + 0.005
+
+    def test_linearization_error_grows(self):
+        m = ForkModel()
+        assert m.linearization_error(30.0) > m.linearization_error(1.0)
+
+    def test_negative_delay_clamped(self):
+        m = ForkModel()
+        assert float(m.fork_rate(-5.0)) == 0.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            ForkModel(collision_rate=0.0)
+
+    def test_invalid_beta_inverse(self):
+        m = ForkModel()
+        with pytest.raises(ConfigurationError):
+            m.delay_for_fork_rate(1.0)
+
+    def test_scalar_and_vector_forms(self):
+        m = ForkModel()
+        assert isinstance(m.fork_rate(3.0), float)
+        assert m.fork_rate(np.array([3.0])).shape == (1,)

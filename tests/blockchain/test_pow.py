@@ -1,0 +1,84 @@
+"""Simulated PoW: exponential race statistics."""
+
+import numpy as np
+import pytest
+
+from repro.blockchain import Difficulty, PowOracle
+from repro.exceptions import ConfigurationError
+
+
+class TestDifficulty:
+    def test_rate_inverse(self):
+        d = Difficulty(unit_solve_time=20.0)
+        assert d.unit_rate == pytest.approx(0.05)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Difficulty(unit_solve_time=0.0)
+
+
+class TestSolveTime:
+    def test_mean_scales_inversely_with_units(self):
+        oracle = PowOracle(Difficulty(10.0), seed=0)
+        times_1 = [oracle.solve_time(1.0) for _ in range(4000)]
+        times_5 = [oracle.solve_time(5.0) for _ in range(4000)]
+        assert np.mean(times_1) == pytest.approx(10.0, rel=0.1)
+        assert np.mean(times_5) == pytest.approx(2.0, rel=0.1)
+
+    def test_zero_units_rejected(self):
+        oracle = PowOracle(Difficulty(10.0))
+        with pytest.raises(ConfigurationError):
+            oracle.solve_time(0.0)
+
+
+class TestRace:
+    def test_winner_proportional_to_units(self):
+        oracle = PowOracle(Difficulty(10.0), seed=1)
+        pools = [1.0, 3.0]
+        wins = np.zeros(2)
+        for _ in range(20000):
+            w, _ = oracle.race(pools)
+            wins[w] += 1
+        assert wins[1] / wins.sum() == pytest.approx(0.75, abs=0.02)
+
+    def test_elapsed_time_mean(self):
+        oracle = PowOracle(Difficulty(10.0), seed=2)
+        times = [oracle.race([2.0, 3.0])[1] for _ in range(5000)]
+        # Aggregate rate 5 units at 0.1/s => mean 2 s.
+        assert np.mean(times) == pytest.approx(2.0, rel=0.1)
+
+    def test_zero_pool_never_wins(self):
+        oracle = PowOracle(Difficulty(10.0), seed=3)
+        for _ in range(500):
+            w, _ = oracle.race([0.0, 1.0])
+            assert w == 1
+
+    def test_empty_race_rejected(self):
+        oracle = PowOracle(Difficulty(10.0))
+        with pytest.raises(ConfigurationError):
+            oracle.race([0.0, 0.0])
+
+    def test_negative_pool_rejected(self):
+        oracle = PowOracle(Difficulty(10.0))
+        with pytest.raises(ConfigurationError):
+            oracle.race([-1.0, 1.0])
+
+
+class TestWindow:
+    def test_probability_matches_exponential(self):
+        oracle = PowOracle(Difficulty(10.0), seed=4)
+        hits = sum(oracle.next_solution_within(2.0, 5.0)
+                   for _ in range(20000))
+        expected = 1.0 - np.exp(-2.0 * 0.1 * 5.0)
+        assert hits / 20000 == pytest.approx(expected, abs=0.01)
+
+    def test_degenerate_inputs(self):
+        oracle = PowOracle(Difficulty(10.0))
+        assert not oracle.next_solution_within(0.0, 5.0)
+        assert not oracle.next_solution_within(2.0, 0.0)
+
+    def test_seed_reproducibility(self):
+        a = PowOracle(Difficulty(10.0), seed=7)
+        b = PowOracle(Difficulty(10.0), seed=7)
+        assert [a.solve_time(1.0) for _ in range(10)] == \
+            [b.solve_time(1.0) for _ in range(10)]

@@ -1,0 +1,31 @@
+"""Propagation-delay model."""
+
+import pytest
+
+from repro.blockchain import PropagationModel
+from repro.exceptions import ConfigurationError
+
+
+class TestPropagationModel:
+    def test_venue_delays(self):
+        m = PropagationModel(cloud_delay=5.0)
+        assert m.delay("edge") == 0.0
+        assert m.delay("cloud") == 5.0
+
+    def test_exposure_window(self):
+        m = PropagationModel(cloud_delay=5.0, edge_delay=1.0)
+        assert m.exposure_window("cloud") == 4.0
+        assert m.exposure_window("edge") == 0.0
+
+    def test_unknown_venue(self):
+        m = PropagationModel(cloud_delay=5.0)
+        with pytest.raises(ConfigurationError):
+            m.delay("satellite")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PropagationModel(cloud_delay=-1.0)
+
+    def test_edge_cannot_be_farther_than_cloud(self):
+        with pytest.raises(ConfigurationError):
+            PropagationModel(cloud_delay=1.0, edge_delay=2.0)

@@ -1,0 +1,197 @@
+"""Mining simulators vs the Section-III winning-probability model.
+
+These are statistical tests with fixed seeds and tolerances sized to the
+sampling error of the configured round counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blockchain import (Difficulty, EventDrivenSimulator, ForkModel,
+                              MinerNode, PropagationModel, RoundSimulator)
+from repro.core.winning import w_connected, w_full
+from repro.exceptions import ConfigurationError
+
+E = np.array([10.0, 20.0, 5.0, 15.0, 10.0])
+C = np.array([40.0, 10.0, 30.0, 20.0, 25.0])
+BETA = 0.25
+ROUNDS = 60000
+
+
+class TestRoundSimulator:
+    def test_matches_w_full(self):
+        sim = RoundSimulator(E, C, BETA, seed=42)
+        tally = sim.run(ROUNDS)
+        model = w_full(E, C, BETA)
+        assert np.max(np.abs(tally.win_rates - model)) < 0.01
+
+    def test_win_rates_sum_to_one(self):
+        sim = RoundSimulator(E, C, BETA, seed=1)
+        tally = sim.run(5000)
+        assert float(tally.win_rates.sum()) == pytest.approx(1.0)
+
+    def test_marginal_transfer_matches_eq9(self):
+        h = 0.7
+        sim = RoundSimulator(E, C, BETA, h=h, seed=7)
+        tally = sim.run(ROUNDS, transfer="marginal", measured=0)
+        model = w_connected(E, C, BETA, h)
+        assert abs(tally.win_rates[0] - model[0]) < 0.01
+
+    def test_orphans_only_from_cloud_blocks(self):
+        # All-edge network: no cloud exposure, no orphans.
+        sim = RoundSimulator(E, np.zeros_like(E), BETA, seed=3)
+        tally = sim.run(5000)
+        assert tally.orphaned_cloud_blocks == 0
+
+    def test_zero_beta_no_orphans(self):
+        sim = RoundSimulator(E, C, 0.0, seed=4)
+        tally = sim.run(5000)
+        assert tally.orphaned_cloud_blocks == 0
+
+    def test_edge_advantage_grows_with_beta(self):
+        """A miner with mostly edge power gains from a higher fork rate."""
+        e = np.array([30.0, 0.0])
+        c = np.array([0.0, 30.0])
+        low = RoundSimulator(e, c, 0.05, seed=5).run(ROUNDS).win_rates[0]
+        high = RoundSimulator(e, c, 0.45, seed=5).run(ROUNDS).win_rates[0]
+        assert high > low
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RoundSimulator(E, C[:-1], BETA)
+        with pytest.raises(ConfigurationError):
+            RoundSimulator(E, C, 1.0)
+        with pytest.raises(ConfigurationError):
+            RoundSimulator(np.zeros(2), np.zeros(2), 0.1)
+        sim = RoundSimulator(E, C, BETA)
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+        with pytest.raises(ConfigurationError):
+            sim.run(10, transfer="sideways")
+        with pytest.raises(ConfigurationError):
+            sim.run(10, transfer="marginal")  # missing measured index
+
+    def test_seed_reproducibility(self):
+        a = RoundSimulator(E, C, BETA, seed=9).run(2000)
+        b = RoundSimulator(E, C, BETA, seed=9).run(2000)
+        assert np.array_equal(a.wins, b.wins)
+
+
+class TestEventDrivenSimulator:
+    def _build(self, seed=3, cloud_delay=None, blocks=4000):
+        fork = ForkModel()
+        d = cloud_delay if cloud_delay is not None else \
+            fork.delay_for_fork_rate(BETA)
+        nodes = [MinerNode(i, E[i], C[i]) for i in range(5)]
+        sim = EventDrivenSimulator(
+            nodes, Difficulty(unit_solve_time=float((E + C).sum())),
+            PropagationModel(cloud_delay=d), seed=seed)
+        return sim.run(blocks)
+
+    def test_chain_is_valid(self):
+        res = self._build(blocks=1000)
+        assert res.chain.validate()
+        assert res.chain.height >= 1000
+
+    def test_zero_delay_no_orphans(self):
+        res = self._build(cloud_delay=0.0, blocks=1500)
+        assert res.stats.orphans == 0
+
+    def test_orphan_rate_increases_with_delay(self):
+        low = self._build(cloud_delay=1.0, blocks=4000).stats.orphan_rate
+        high = self._build(cloud_delay=30.0, blocks=4000).stats.orphan_rate
+        assert high > low
+
+    def test_win_shares_match_model_at_emergent_fork_rate(self):
+        """The event-driven mechanism reproduces Eq. (6) evaluated at its
+        own *emergent* fork rate: the per-cloud-block conflict probability
+        1 - exp(-rate_edge * D_avg)."""
+        res = self._build(blocks=8000)
+        shares = res.win_shares
+        fork = ForkModel()
+        d = fork.delay_for_fork_rate(BETA)
+        rate_edge = float(E.sum()) / float((E + C).sum())  # per unit time
+        beta_emergent = 1.0 - np.exp(-rate_edge * d)
+        model = w_full(E, C, beta_emergent)
+        assert np.max(np.abs(shares - model)) < 0.02
+
+    def test_rewards_credited(self):
+        res = self._build(blocks=500)
+        total_wins = sum(n.blocks_won for n in res.nodes)
+        assert total_wins >= 500
+        for n in res.nodes:
+            assert n.reward_earned == pytest.approx(n.blocks_won * 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EventDrivenSimulator([], Difficulty(1.0),
+                                 PropagationModel(1.0))
+        nodes = [MinerNode(0, 1.0, 1.0)]
+        with pytest.raises(ConfigurationError):
+            EventDrivenSimulator(nodes, Difficulty(1.0),
+                                 PropagationModel(1.0), reward=0.0)
+        sim = EventDrivenSimulator(nodes, Difficulty(1.0),
+                                   PropagationModel(1.0))
+        with pytest.raises(ConfigurationError):
+            sim.run(0)
+
+
+class TestMinerNode:
+    def test_ledger(self):
+        n = MinerNode(0, 1.0, 2.0)
+        n.credit(10.0)
+        n.credit(10.0)
+        n.orphan()
+        assert n.blocks_won == 2
+        assert n.blocks_orphaned == 1
+        assert n.reward_earned == 20.0
+        assert n.empirical_win_rate() == pytest.approx(2 / 3)
+        assert n.total_units == 3.0
+
+    def test_empty_ledger_rate(self):
+        assert MinerNode(0, 1.0, 1.0).empirical_win_rate() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MinerNode(-1, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            MinerNode(0, -1.0, 1.0)
+
+
+class TestVectorizedPath:
+    def test_vectorized_matches_loop_statistics(self):
+        model = w_full(E, C, BETA)
+        vec = RoundSimulator(E, C, BETA, seed=21).run(100000)
+        loop = RoundSimulator(E, C, BETA, seed=22).run(30000,
+                                                       vectorized=False)
+        assert np.max(np.abs(vec.win_rates - model)) < 0.01
+        assert np.max(np.abs(loop.win_rates - model)) < 0.02
+        assert np.max(np.abs(vec.win_rates - loop.win_rates)) < 0.02
+
+    def test_vectorized_marginal_matches_eq9(self):
+        h = 0.6
+        model = w_connected(E, C, BETA, h)
+        tally = RoundSimulator(E, C, BETA, h=h, seed=23).run(
+            200000, transfer="marginal", measured=2)
+        assert abs(tally.win_rates[2] - model[2]) < 0.006
+
+    def test_vectorized_much_faster(self):
+        import time
+        sim_v = RoundSimulator(E, C, BETA, seed=24)
+        sim_l = RoundSimulator(E, C, BETA, seed=24)
+        t0 = time.perf_counter()
+        sim_v.run(50000)
+        t_vec = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sim_l.run(5000, vectorized=False)
+        t_loop_5k = time.perf_counter() - t0
+        # 50k vectorized rounds beat 5k looped rounds.
+        assert t_vec < t_loop_5k * 2
+
+    def test_orphan_counts_consistent(self):
+        vec = RoundSimulator(E, C, BETA, seed=25).run(100000)
+        rate_vec = vec.orphaned_cloud_blocks / 100000
+        loop = RoundSimulator(E, C, BETA, seed=26).run(20000,
+                                                       vectorized=False)
+        rate_loop = loop.orphaned_cloud_blocks / 20000
+        assert rate_vec == pytest.approx(rate_loop, abs=0.01)

@@ -1,0 +1,165 @@
+"""Transactions, mempool packing, fee-market simulation."""
+
+import numpy as np
+import pytest
+
+from repro.blockchain.transactions import (FeeSimulationResult, Mempool,
+                                           Transaction, TxArrivalProcess,
+                                           simulate_fee_revenue)
+from repro.exceptions import ConfigurationError
+
+
+def _tx(tx_id, fee, size):
+    return Transaction(tx_id=tx_id, fee=fee, size=size)
+
+
+class TestTransaction:
+    def test_fee_rate(self):
+        assert _tx(0, 10.0, 500.0).fee_rate == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _tx(0, -1.0, 500.0)
+        with pytest.raises(ConfigurationError):
+            _tx(0, 1.0, 0.0)
+
+
+class TestMempool:
+    def test_packs_by_fee_rate(self):
+        pool = Mempool()
+        pool.add(_tx(0, 1.0, 100.0))    # rate 0.01
+        pool.add(_tx(1, 5.0, 100.0))    # rate 0.05
+        pool.add(_tx(2, 2.0, 100.0))    # rate 0.02
+        packed = pool.pack_block(200.0)
+        assert [t.tx_id for t in packed] == [1, 2]
+        assert len(pool) == 1
+
+    def test_skips_oversized_keeps_them(self):
+        pool = Mempool()
+        pool.add(_tx(0, 50.0, 900.0))   # best rate but too big
+        pool.add(_tx(1, 1.0, 100.0))
+        packed = pool.pack_block(100.0)
+        assert [t.tx_id for t in packed] == [1]
+        assert len(pool) == 1           # the big one stays pooled
+
+    def test_total_accounting(self):
+        pool = Mempool()
+        pool.add(_tx(0, 1.0, 100.0))
+        pool.add(_tx(1, 2.0, 300.0))
+        assert pool.total_fees == pytest.approx(3.0)
+        assert pool.total_bytes == pytest.approx(400.0)
+
+    def test_empty_pack(self):
+        assert Mempool().pack_block(1000.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Mempool(lookahead=0)
+        with pytest.raises(ConfigurationError):
+            Mempool().pack_block(0.0)
+
+    def test_fifo_tiebreak_stable(self):
+        pool = Mempool()
+        pool.add(_tx(0, 1.0, 100.0))
+        pool.add(_tx(1, 1.0, 100.0))
+        packed = pool.pack_block(100.0)
+        assert packed[0].tx_id == 0
+
+
+class TestArrivalProcess:
+    def test_poisson_rate(self):
+        proc = TxArrivalProcess(rate=5.0, seed=1)
+        counts = [len(proc.arrivals(10.0)) for _ in range(200)]
+        assert np.mean(counts) == pytest.approx(50.0, rel=0.1)
+
+    def test_seeded_reproducibility(self):
+        a = TxArrivalProcess(rate=2.0, seed=3).arrivals(50.0)
+        b = TxArrivalProcess(rate=2.0, seed=3).arrivals(50.0)
+        assert [(t.fee, t.size) for t in a] == \
+            [(t.fee, t.size) for t in b]
+
+    def test_fee_rates_heavy_tailed(self):
+        proc = TxArrivalProcess(rate=10.0, fee_sigma=1.0, seed=5)
+        txs = proc.arrivals(500.0)
+        rates = np.array([t.fee_rate for t in txs])
+        assert np.mean(rates) > np.median(rates)  # right skew
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TxArrivalProcess(rate=0.0)
+        proc = TxArrivalProcess(rate=1.0)
+        with pytest.raises(ConfigurationError):
+            proc.arrivals(-1.0)
+
+
+class TestFeeSimulation:
+    def test_fees_increase_with_block_size(self):
+        def run(max_bytes):
+            proc = TxArrivalProcess(rate=3.0, seed=7)
+            return simulate_fee_revenue(proc, block_interval=600.0,
+                                        blocks=20,
+                                        max_block_bytes=max_bytes)
+
+        small = run(1e5)
+        large = run(2e6)
+        assert large.mean_fees > small.mean_fees
+
+    def test_fees_saturate_when_mempool_drains(self):
+        def run(max_bytes):
+            proc = TxArrivalProcess(rate=1.0, seed=9)
+            return simulate_fee_revenue(proc, block_interval=600.0,
+                                        blocks=30,
+                                        max_block_bytes=max_bytes)
+
+        # Demand ~ 1 tx/s * 600 s * 500 B = 3e5 B per block; limits far
+        # above that yield the same revenue.
+        big = run(5e6)
+        bigger = run(5e7)
+        assert big.mean_fees == pytest.approx(bigger.mean_fees, rel=0.05)
+        assert bigger.backlog < 100
+
+    def test_small_blocks_build_backlog(self):
+        proc = TxArrivalProcess(rate=3.0, seed=11)
+        res = simulate_fee_revenue(proc, block_interval=600.0, blocks=30,
+                                   max_block_bytes=1e5)
+        assert res.backlog > 1000
+
+    def test_validation(self):
+        proc = TxArrivalProcess(rate=1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_fee_revenue(proc, block_interval=0.0, blocks=10,
+                                 max_block_bytes=1e6)
+
+
+class TestMempoolProperties:
+    """Property-based invariants of the greedy packer."""
+
+    def test_packed_bytes_never_exceed_limit(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(st.lists(st.tuples(st.floats(0.0, 100.0),
+                                  st.floats(64.0, 5000.0)),
+                        min_size=0, max_size=40),
+               st.floats(100.0, 10000.0))
+        @settings(max_examples=80, deadline=None)
+        def check(items, limit):
+            pool = Mempool()
+            for i, (fee, size) in enumerate(items):
+                pool.add(_tx(i, fee, size))
+            packed = pool.pack_block(limit)
+            assert sum(t.size for t in packed) <= limit
+            # Conservation: packed + pooled == added.
+            assert len(packed) + len(pool) == len(items)
+
+        check()
+
+    def test_packing_is_greedy_optimal_on_uniform_sizes(self):
+        """With equal sizes the greedy pack IS the optimal knapsack:
+        it takes the highest-fee transactions that fit."""
+        pool = Mempool()
+        fees = [5.0, 9.0, 1.0, 7.0, 3.0]
+        for i, fee in enumerate(fees):
+            pool.add(_tx(i, fee, 100.0))
+        packed = pool.pack_block(300.0)
+        assert sorted(t.fee for t in packed) == [5.0, 7.0, 9.0]

@@ -1,0 +1,47 @@
+"""Shared fixtures: canonical parameter sets used across the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeMode, GameParameters, Prices, homogeneous
+
+
+@pytest.fixture
+def prices():
+    """The default price point used throughout Section VI."""
+    return Prices(p_e=2.0, p_c=1.0)
+
+
+@pytest.fixture
+def connected_params():
+    """n=5 homogeneous miners, B=200, connected mode (Fig. 4 setup)."""
+    return homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=0.8,
+                       edge_cost=0.2, cloud_cost=0.1)
+
+
+@pytest.fixture
+def binding_params():
+    """Budget-binding variant (B below the Corollary-1 threshold)."""
+    return homogeneous(5, 100.0, reward=1000.0, fork_rate=0.2, h=0.8,
+                       edge_cost=0.2, cloud_cost=0.1)
+
+
+@pytest.fixture
+def standalone_params():
+    """Standalone mode with a binding capacity of 80 units."""
+    return homogeneous(5, 1000.0, reward=1000.0, fork_rate=0.2,
+                       mode=EdgeMode.STANDALONE, e_max=80.0,
+                       edge_cost=0.2, cloud_cost=0.1)
+
+
+@pytest.fixture
+def heterogeneous_params():
+    """Five miners with distinct budgets."""
+    return GameParameters(reward=1000.0, fork_rate=0.2,
+                          budgets=[50.0, 100.0, 150.0, 200.0, 400.0],
+                          h=0.8, edge_cost=0.2, cloud_cost=0.1)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

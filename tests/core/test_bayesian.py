@@ -1,0 +1,93 @@
+"""Bayesian miner game (private budget types)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Prices, homogeneous, solve_connected_equilibrium
+from repro.core.bayesian import (BayesianMinerGame, BudgetType,
+                                 solve_bayesian_equilibrium)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def prices():
+    return Prices(2.0, 1.0)
+
+
+@pytest.fixture
+def types():
+    return [BudgetType(50.0, 0.4), BudgetType(150.0, 0.4),
+            BudgetType(400.0, 0.2)]
+
+
+class TestConstruction:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            BayesianMinerGame(5, [BudgetType(100.0, 0.5)], reward=1.0,
+                              fork_rate=0.1)
+
+    def test_multinomial_weights_sum_to_one(self, types):
+        game = BayesianMinerGame(5, types, reward=1000.0, fork_rate=0.2)
+        assert float(np.sum(game._weights)) == pytest.approx(1.0)
+
+    def test_profile_count(self, types):
+        # C(n-1+K-1, K-1) = C(6, 2) = 15 count vectors for n=5, K=3.
+        game = BayesianMinerGame(5, types, reward=1000.0, fork_rate=0.2)
+        assert len(game._profiles) == 15
+
+    def test_validation(self, types):
+        with pytest.raises(ConfigurationError):
+            BayesianMinerGame(1, types, reward=1.0, fork_rate=0.1)
+        with pytest.raises(ConfigurationError):
+            BudgetType(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            BudgetType(10.0, 0.0)
+
+
+class TestEquilibrium:
+    def test_degenerate_type_matches_homogeneous_ne(self, prices):
+        game = BayesianMinerGame(5, [BudgetType(200.0, 1.0)],
+                                 reward=1000.0, fork_rate=0.2, h=0.8)
+        bne = solve_bayesian_equilibrium(game, prices)
+        ref = solve_connected_equilibrium(
+            homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=0.8),
+            prices)
+        assert bne.converged
+        e, c = bne.request(0)
+        assert e == pytest.approx(float(ref.e[0]), rel=1e-3)
+        assert c == pytest.approx(float(ref.c[0]), rel=1e-3)
+
+    def test_monotone_in_type(self, types, prices):
+        """Richer types request weakly more of both resources."""
+        game = BayesianMinerGame(5, types, reward=1000.0, fork_rate=0.2,
+                                 h=0.8)
+        bne = solve_bayesian_equilibrium(game, prices)
+        assert bne.converged
+        es = [bne.request(k)[0] for k in range(3)]
+        cs = [bne.request(k)[1] for k in range(3)]
+        assert es[0] < es[1] < es[2]
+        assert cs[0] < cs[1] < cs[2]
+
+    def test_budgets_respected(self, types, prices):
+        game = BayesianMinerGame(5, types, reward=1000.0, fork_rate=0.2,
+                                 h=0.8)
+        bne = solve_bayesian_equilibrium(game, prices)
+        for k, t in enumerate(types):
+            e, c = bne.request(k)
+            assert 2.0 * e + 1.0 * c <= t.budget * (1 + 1e-6)
+
+    def test_no_profitable_type_deviation(self, types, prices):
+        """Grid scan: no type improves by deviating from the BNE."""
+        game = BayesianMinerGame(5, types, reward=1000.0, fork_rate=0.2,
+                                 h=0.8)
+        bne = solve_bayesian_equilibrium(game, prices)
+        rng = np.random.default_rng(0)
+        for k, t in enumerate(types):
+            star = float(bne.utilities[k])
+            for _ in range(60):
+                e = rng.uniform(0, t.budget / 2.0)
+                c = rng.uniform(0, t.budget)
+                if 2.0 * e + c > t.budget:
+                    continue
+                u = game.expected_utility(k, e, c, bne.strategy, prices)
+                assert u <= star + 1e-4 * max(abs(star), 1.0)

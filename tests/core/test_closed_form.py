@@ -1,0 +1,206 @@
+"""Closed-form results: Theorems 3/4, Corollary 1, Table II."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (Prices, binding_budget_threshold,
+                        corollary1_interior, csp_best_response_binding,
+                        csp_best_response_interior,
+                        homogeneous_miner_equilibrium, table2_connected,
+                        table2_standalone, theorem3_binding,
+                        theorem4_sp_equilibrium)
+from repro.exceptions import ConfigurationError, InfeasibleGameError
+
+
+class TestTheorem3:
+    def test_budget_identity(self):
+        """P_e e* + P_c c* == B exactly (derived in DESIGN.md)."""
+        prices = Prices(2.0, 1.0)
+        for budget in (10.0, 50.0, 120.0):
+            eq = theorem3_binding(5, budget, 0.2, 0.8, prices)
+            spend = 2.0 * eq.e + 1.0 * eq.c
+            assert spend == pytest.approx(budget, rel=1e-12)
+
+    def test_positive_requests_under_condition(self):
+        prices = Prices(2.0, 1.0)
+        eq = theorem3_binding(5, 100.0, 0.2, 0.8, prices)
+        assert eq.e > 0 and eq.c > 0
+
+    def test_rejects_condition_violation(self):
+        # P_c above the Theorem 3 bound.
+        with pytest.raises(InfeasibleGameError):
+            theorem3_binding(5, 100.0, 0.2, 0.8, Prices(2.0, 1.7))
+
+    def test_rejects_inverted_prices(self):
+        with pytest.raises(InfeasibleGameError):
+            theorem3_binding(5, 100.0, 0.2, 0.8, Prices(1.0, 2.0))
+
+    def test_requests_scale_linearly_with_budget(self):
+        prices = Prices(2.0, 1.0)
+        a = theorem3_binding(5, 50.0, 0.2, 0.8, prices)
+        b = theorem3_binding(5, 100.0, 0.2, 0.8, prices)
+        assert b.e == pytest.approx(2 * a.e)
+        assert b.c == pytest.approx(2 * a.c)
+
+
+class TestCorollary1:
+    def test_reference_values(self):
+        # e* = βhR(n-1)/(n²(P_e-P_c)) = 0.16*1000*4/25 = 25.6
+        eq = corollary1_interior(5, 1000.0, 0.2, 0.8, Prices(2.0, 1.0))
+        assert eq.e == pytest.approx(25.6)
+        # e*+c* = (1-β)R(n-1)/(n² P_c) = 128
+        assert eq.e + eq.c == pytest.approx(128.0)
+
+    def test_total_independent_of_p_e(self):
+        t1 = corollary1_interior(5, 1000.0, 0.2, 0.8, Prices(2.0, 1.0))
+        t2 = corollary1_interior(5, 1000.0, 0.2, 0.8, Prices(3.0, 1.0))
+        assert t1.e + t1.c == pytest.approx(t2.e + t2.c)
+
+    def test_paper_h1_instance(self):
+        """Corollary 1 as printed: c* = R(n-1)[(1-β)P_e - P_c]/(n²P_c(P_e-P_c))."""
+        n, R, beta = 5, 1000.0, 0.2
+        prices = Prices(2.0, 1.0)
+        eq = corollary1_interior(n, R, beta, 1.0, prices)
+        expected_c = R * (n - 1) * ((1 - beta) * 2.0 - 1.0) / (
+            n * n * 1.0 * (2.0 - 1.0))
+        assert eq.c == pytest.approx(expected_c)
+
+
+class TestThreshold:
+    def test_threshold_value(self):
+        # R(n-1)(1-β+βh)/n² = 1000*4*0.96/25
+        assert binding_budget_threshold(5, 1000.0, 0.2, 0.8) == \
+            pytest.approx(153.6)
+
+    def test_unified_selector(self):
+        prices = Prices(2.0, 1.0)
+        below = homogeneous_miner_equilibrium(5, 100.0, 1000.0, 0.2, 0.8,
+                                              prices)
+        above = homogeneous_miner_equilibrium(5, 200.0, 1000.0, 0.2, 0.8,
+                                              prices)
+        assert below.regime == "binding"
+        assert above.regime == "interior"
+
+    def test_continuity_at_threshold(self):
+        """The two regimes agree exactly at B = threshold."""
+        prices = Prices(2.0, 1.0)
+        thr = binding_budget_threshold(5, 1000.0, 0.2, 0.8)
+        binding = theorem3_binding(5, thr, 0.2, 0.8, prices)
+        interior = corollary1_interior(5, 1000.0, 0.2, 0.8, prices)
+        assert binding.e == pytest.approx(interior.e, rel=1e-10)
+        assert binding.c == pytest.approx(interior.c, rel=1e-10)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            binding_budget_threshold(1, 1000.0, 0.2, 0.8)
+        with pytest.raises(ConfigurationError):
+            binding_budget_threshold(5, -1.0, 0.2, 0.8)
+
+
+class TestCSPBestResponse:
+    def test_interior_of_feasible_interval(self):
+        p_c = csp_best_response_binding(2.0, 5, 100.0, 0.2, 0.8, 0.1)
+        assert 0.1 < p_c < 0.8 * 2.0 / 0.96
+
+    def test_first_order_condition(self):
+        """Numerically verify ∂V_c/∂P_c = 0 at the returned price."""
+        p_e, n, B, beta, h, cc = 2.0, 5, 100.0, 0.2, 0.8, 0.1
+        p_c = csp_best_response_binding(p_e, n, B, beta, h, cc)
+        a, g = 1 - beta, beta * h
+        D = a + g
+
+        def profit(p):
+            c = B * (a * (p_e - p) - g * p) / (p * D * (p_e - p))
+            return n * (p - cc) * c
+
+        eps = 1e-6
+        deriv = (profit(p_c + eps) - profit(p_c - eps)) / (2 * eps)
+        assert abs(deriv) < 1e-3 * max(profit(p_c), 1.0)
+
+    def test_interior_variant_foc(self):
+        p_e, n, R, beta, h, cc = 2.0, 5, 1000.0, 0.2, 0.8, 0.1
+        p_c = csp_best_response_interior(p_e, n, R, beta, h, cc)
+        a, g = 1 - beta, beta * h
+        k = R * (n - 1) / (n * n)
+
+        def profit(p):
+            return n * (p - cc) * k * (a / p - g / (p_e - p))
+
+        eps = 1e-6
+        deriv = (profit(p_c + eps) - profit(p_c - eps)) / (2 * eps)
+        assert abs(deriv) < 1e-3 * max(profit(p_c), 1.0)
+
+    def test_infeasible_when_cost_exceeds_bound(self):
+        with pytest.raises(InfeasibleGameError):
+            csp_best_response_binding(1.0, 5, 100.0, 0.2, 0.8, 5.0)
+
+
+class TestTheorem4:
+    def test_equilibrium_structure(self):
+        se = theorem4_sp_equilibrium(5, 100.0, 1000.0, 0.2, 0.8, 0.2, 0.1)
+        assert se.prices.p_e > se.prices.p_c > 0.1
+        assert se.v_e > 0 and se.v_c > 0
+        # Miner side consistent with Theorem 3 at those prices.
+        assert se.miner.regime == "binding"
+
+    def test_csp_cannot_improve(self):
+        """No profitable unilateral CSP price deviation."""
+        se = theorem4_sp_equilibrium(5, 100.0, 1000.0, 0.2, 0.8, 0.2, 0.1)
+        a, g = 0.8, 0.16
+        D = a + g
+        p_e = se.prices.p_e
+
+        def csp_profit(p_c):
+            c = 100.0 * (a * (p_e - p_c) - g * p_c) / (
+                p_c * D * (p_e - p_c))
+            return 5 * (p_c - 0.1) * c
+
+        star = csp_profit(se.prices.p_c)
+        for f in (0.9, 0.95, 1.05, 1.1):
+            p = se.prices.p_c * f
+            if p < a * p_e / D:
+                assert csp_profit(p) <= star * (1 + 1e-6)
+
+    def test_esp_price_grows_with_cost(self):
+        p_prev = 0.0
+        for c_e in (0.1, 0.3, 0.6):
+            se = theorem4_sp_equilibrium(5, 100.0, 1000.0, 0.2, 0.8, c_e, 0.1)
+            assert se.prices.p_e > p_prev
+            p_prev = se.prices.p_e
+
+
+class TestTableII:
+    def test_standalone_closed_forms(self):
+        se = table2_standalone(5, 1000.0, 0.2, 80.0, 0.2, 0.1)
+        n, k, a = 5, 1000.0 * 4 / 25, 0.8
+        assert se.prices.p_c == pytest.approx(
+            math.sqrt(n * k * a * 0.1 / 80.0))
+        assert se.prices.p_e == pytest.approx(
+            se.prices.p_c + n * k * 0.2 / 80.0)
+        assert se.miner.e == pytest.approx(80.0 / 5)
+        assert se.miner.total == pytest.approx(n * k * a / se.prices.p_c)
+
+    def test_standalone_requires_positive_cloud_cost(self):
+        with pytest.raises(ConfigurationError):
+            table2_standalone(5, 1000.0, 0.2, 80.0, 0.2, 0.0)
+
+    def test_standalone_rejects_slack_capacity(self):
+        # Enormous capacity => the constraint would not bind.
+        with pytest.raises(InfeasibleGameError):
+            table2_standalone(5, 1000.0, 0.2, 1e9, 0.2, 0.1)
+
+    def test_standalone_esp_prices_higher(self):
+        """§VI-B: standalone mode gives the ESP a higher price and more
+        profit, and the CSP less."""
+        sa = table2_standalone(5, 1000.0, 0.2, 80.0, 0.2, 0.1)
+        conn = table2_connected(5, 1000.0, 0.2, 0.8, 0.2, 0.1)
+        assert sa.prices.p_e > conn.prices.p_e
+        assert sa.v_e > conn.v_e
+
+    def test_connected_consistency_with_corollary1(self):
+        se = table2_connected(5, 1000.0, 0.2, 0.8, 0.2, 0.1)
+        cf = corollary1_interior(5, 1000.0, 0.2, 0.8, se.prices)
+        assert se.miner.e == pytest.approx(cf.e)
+        assert se.miner.c == pytest.approx(cf.c)

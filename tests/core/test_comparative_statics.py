@@ -1,0 +1,115 @@
+"""Property-based comparative statics of the miner equilibrium.
+
+These encode the *directions* the paper's sweeps rely on as universally
+quantified properties over random parameter draws, rather than spot
+checks at the default setup.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (EdgeMode, Prices, homogeneous,
+                        solve_connected_equilibrium,
+                        solve_standalone_equilibrium)
+
+# Parameter draws kept inside the well-posed region: mixed-strategy
+# condition enforced by construction via pc_frac of the Theorem-3 bound.
+params_strategy = st.fixed_dictionaries({
+    "n": st.integers(2, 8),
+    "budget": st.floats(30.0, 500.0),
+    "reward": st.floats(300.0, 3000.0),
+    "beta": st.floats(0.05, 0.45),
+    "h": st.floats(0.3, 1.0),
+    "p_e": st.floats(1.2, 4.0),
+    "pc_frac": st.floats(0.3, 0.9),
+})
+
+
+def _solve(draw, **overrides):
+    cfg = dict(draw)
+    cfg.update(overrides)
+    bound = (1 - cfg["beta"]) * cfg["p_e"] / (1 - cfg["beta"]
+                                              + cfg["beta"] * cfg["h"])
+    p_c = cfg["pc_frac"] * bound
+    params = homogeneous(cfg["n"], cfg["budget"], reward=cfg["reward"],
+                         fork_rate=cfg["beta"], h=cfg["h"])
+    return solve_connected_equilibrium(
+        params, Prices(cfg["p_e"], p_c), tol=1e-10), p_c
+
+
+class TestPriceStatics:
+    @given(params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_edge_demand_rises_with_cloud_price(self, draw):
+        lo, _ = _solve(draw, pc_frac=min(draw["pc_frac"], 0.6))
+        hi, _ = _solve(draw, pc_frac=min(draw["pc_frac"], 0.6) + 0.25)
+        assert hi.total_edge >= lo.total_edge * (1 - 1e-6)
+
+    @given(params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_edge_demand_falls_with_edge_price(self, draw):
+        lo, _ = _solve(draw)
+        hi, _ = _solve(draw, p_e=draw["p_e"] * 1.3,
+                       pc_frac=draw["pc_frac"] / 1.3)
+        # Same absolute P_c (bound scales with p_e, frac rescaled), higher
+        # P_e: edge demand cannot rise.
+        assert hi.total_edge <= lo.total_edge * (1 + 1e-6)
+
+
+class TestStructuralStatics:
+    @given(params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_higher_fork_rate_cuts_cloud_share(self, draw):
+        beta = min(draw["beta"], 0.35)
+        lo, _ = _solve(draw, beta=beta)
+        hi, _ = _solve(draw, beta=beta + 0.1)
+        share_lo = lo.total_cloud / lo.total
+        share_hi = hi.total_cloud / hi.total
+        assert share_hi <= share_lo * (1 + 1e-6)
+
+    @given(params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_budgets_never_shrink_totals(self, draw):
+        lo, _ = _solve(draw)
+        hi, _ = _solve(draw, budget=draw["budget"] * 1.5)
+        assert hi.total >= lo.total * (1 - 1e-6)
+
+    @given(params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_spending_within_budget(self, draw):
+        eq, _ = _solve(draw)
+        assert np.all(eq.spending <= draw["budget"] * (1 + 1e-8))
+
+    @given(params_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_equilibrium_winning_probabilities_valid(self, draw):
+        from repro.core.winning import w_connected
+        eq, _ = _solve(draw)
+        w = w_connected(eq.e, eq.c, draw["beta"], draw["h"])
+        assert np.all(w >= -1e-12)
+        assert float(np.sum(w)) <= 1.0 + 1e-9
+
+
+class TestCapacityStatics:
+    @given(st.integers(2, 6), st.floats(0.05, 0.4),
+           st.floats(10.0, 200.0))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_caps_edge_demand(self, n, beta, e_max):
+        params = homogeneous(n, 5000.0, reward=1000.0, fork_rate=beta,
+                             mode=EdgeMode.STANDALONE, e_max=e_max)
+        eq = solve_standalone_equilibrium(params, Prices(2.0, 1.0))
+        assert eq.total_edge <= e_max * (1 + 1e-6)
+
+    @given(st.integers(2, 6), st.floats(0.05, 0.4))
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_relaxation_weakly_raises_edge(self, n, beta):
+        params_lo = homogeneous(n, 5000.0, reward=1000.0, fork_rate=beta,
+                                mode=EdgeMode.STANDALONE, e_max=30.0)
+        params_hi = homogeneous(n, 5000.0, reward=1000.0, fork_rate=beta,
+                                mode=EdgeMode.STANDALONE, e_max=90.0)
+        prices = Prices(2.0, 1.0)
+        eq_lo = solve_standalone_equilibrium(params_lo, prices)
+        eq_hi = solve_standalone_equilibrium(params_hi, prices)
+        assert eq_hi.total_edge >= eq_lo.total_edge * (1 - 1e-6)

@@ -1,0 +1,149 @@
+"""Population-uncertainty scenario (Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (DynamicGame, Prices, solve_dynamic_equilibrium)
+from repro.core.nep import solve_connected_equilibrium
+from repro.core.params import homogeneous
+from repro.exceptions import ConfigurationError
+from repro.population import FixedPopulation, GaussianPopulation
+
+
+@pytest.fixture
+def dyn_prices():
+    return Prices(p_e=2.0, p_c=1.0)
+
+
+def _game(pop, weights="capacity", **kw):
+    defaults = dict(reward=1000.0, fork_rate=0.2, budget=200.0,
+                    e_max=80.0, h=0.8)
+    defaults.update(kw)
+    return DynamicGame(pop, weights=weights, **defaults)
+
+
+class TestConstruction:
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            _game(FixedPopulation(5), weights="bogus")
+
+    def test_capacity_weights_require_e_max(self):
+        with pytest.raises(ConfigurationError):
+            DynamicGame(FixedPopulation(5), reward=1.0, fork_rate=0.1,
+                        budget=10.0, weights="capacity")
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ConfigurationError):
+            _game(FixedPopulation(1))
+
+    def test_rejects_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            _game(FixedPopulation(5), reward=-1.0)
+        with pytest.raises(ConfigurationError):
+            _game(FixedPopulation(5), fork_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            _game(FixedPopulation(5), budget=0.0)
+
+
+class TestDegenerateConsistency:
+    def test_fixed_population_h_weights_match_nep(self, dyn_prices):
+        """With N deterministic and constant weights h, the symmetric
+        dynamic fixed point IS the connected-mode NE."""
+        game = _game(FixedPopulation(5), weights="h")
+        dyn = solve_dynamic_equilibrium(game, dyn_prices)
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=0.8)
+        eq = solve_connected_equilibrium(params, dyn_prices)
+        assert dyn.e == pytest.approx(float(eq.e[0]), rel=1e-4)
+        assert dyn.c == pytest.approx(float(eq.c[0]), rel=1e-4)
+
+    def test_budget_respected(self, dyn_prices):
+        game = _game(GaussianPopulation(5, 2), budget=50.0)
+        dyn = solve_dynamic_equilibrium(game, dyn_prices)
+        assert 2.0 * dyn.e + 1.0 * dyn.c <= 50.0 * (1 + 1e-6)
+
+
+class TestPaperFindings:
+    def test_uncertainty_inflates_edge_requests(self, dyn_prices):
+        """Section V / Fig. 9(a): population uncertainty makes miners more
+        aggressive at the ESP (capacity-derived weights)."""
+        dyn = solve_dynamic_equilibrium(
+            _game(GaussianPopulation(5, 2)), dyn_prices)
+        fix = solve_dynamic_equilibrium(
+            _game(FixedPopulation(5)), dyn_prices)
+        assert dyn.converged and fix.converged
+        assert dyn.e > fix.e
+
+    def test_expected_demand_can_exceed_capacity(self, dyn_prices):
+        dyn = solve_dynamic_equilibrium(
+            _game(GaussianPopulation(5, 2)), dyn_prices)
+        assert dyn.expected_edge_total > 80.0
+        assert dyn.expected_overload > 0.0
+
+    def test_overload_zero_without_capacity(self, dyn_prices):
+        game = DynamicGame(GaussianPopulation(5, 1), reward=1000.0,
+                           fork_rate=0.2, budget=200.0, weights="h",
+                           h=0.8)
+        dyn = solve_dynamic_equilibrium(game, dyn_prices)
+        assert dyn.expected_overload == 0.0
+
+    def test_variance_increases_edge_requests(self, dyn_prices):
+        """Fig. 9(b) shape over the paper's variance range."""
+        es = []
+        for sigma in (0.5, 1.0, 2.0):
+            dyn = solve_dynamic_equilibrium(
+                _game(GaussianPopulation(5, sigma)), dyn_prices)
+            es.append(dyn.e)
+        assert es[-1] > es[0]
+
+
+class TestWeightModels:
+    @pytest.mark.parametrize("weights", ["paper", "h", "capacity",
+                                         "service"])
+    def test_all_models_converge(self, weights, dyn_prices):
+        game = _game(GaussianPopulation(5, 2), weights=weights)
+        dyn = solve_dynamic_equilibrium(game, dyn_prices)
+        assert dyn.converged
+        assert dyn.e >= 0 and dyn.c >= 0
+
+    def test_paper_weights_are_half(self):
+        game = _game(FixedPopulation(5), weights="paper")
+        w = game._sat_weights(10.0)
+        assert np.all(w == 0.5)
+
+    def test_capacity_ramp_bounds(self):
+        game = _game(FixedPopulation(5), weights="capacity",
+                     capacity_ramp=0.1)
+        # demand = 5 e; fully served at e <= 16, fully rejected >= 17.6.
+        assert game._sat_weights(15.9)[0] == 1.0
+        assert game._sat_weights(17.7)[0] == 0.0
+        mid = game._sat_weights(16.8)[0]
+        assert 0.0 < mid < 1.0
+
+    def test_service_weights_proportional(self):
+        game = _game(FixedPopulation(5), weights="service")
+        w = game._sat_weights(32.0)  # demand 160 vs capacity 80
+        assert w[0] == pytest.approx(0.5)
+
+
+class TestBestResponse:
+    def test_best_response_is_optimal(self, dyn_prices):
+        """Grid check: no grid point beats the semi-analytic BR."""
+        game = _game(GaussianPopulation(5, 1.5), weights="service")
+        e_br, c_br = game.best_response(20.0, 90.0, dyn_prices)
+        u_star = game.expected_utility(e_br, c_br, 20.0, 90.0, dyn_prices)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            e = rng.uniform(0, 80.0)
+            c = rng.uniform(0, 180.0)
+            if 2.0 * e + 1.0 * c > 200.0:
+                continue
+            u = game.expected_utility(e, c, 20.0, 90.0, dyn_prices)
+            assert u <= u_star + 1e-6 * max(abs(u_star), 1.0)
+
+    def test_utility_decreases_with_price(self, dyn_prices):
+        game = _game(GaussianPopulation(5, 1.5), weights="h")
+        u_cheap = game.expected_utility(10.0, 50.0, 10.0, 50.0,
+                                        Prices(1.5, 0.8))
+        u_dear = game.expected_utility(10.0, 50.0, 10.0, 50.0,
+                                       Prices(2.5, 1.2))
+        assert u_cheap > u_dear

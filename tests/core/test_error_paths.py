@@ -1,0 +1,70 @@
+"""Failure-path coverage: solvers must fail loudly and informatively."""
+
+import numpy as np
+import pytest
+
+from repro.core import (EdgeMode, Prices, homogeneous,
+                        solve_connected_equilibrium, solve_stackelberg)
+from repro.core.dynamic import DynamicGame, solve_dynamic_equilibrium
+from repro.core.gnep import solve_standalone_extragradient
+from repro.exceptions import ConfigurationError, ConvergenceError
+from repro.population import FixedPopulation
+
+
+class TestSolverFailures:
+    def test_nep_raise_on_failure_carries_report(self, connected_params,
+                                                 prices):
+        with pytest.raises(ConvergenceError) as exc:
+            solve_connected_equilibrium(connected_params, prices,
+                                        tol=1e-16, max_iter=2,
+                                        raise_on_failure=True)
+        assert exc.value.report is not None
+        assert not exc.value.report.converged
+        assert exc.value.report.iterations == 2
+
+    def test_extragradient_honest_flag(self, standalone_params, prices):
+        eq = solve_standalone_extragradient(standalone_params, prices,
+                                            tol=1e-14, max_iter=5)
+        assert not eq.report.converged
+
+    def test_extragradient_raises_when_asked(self, standalone_params,
+                                             prices):
+        with pytest.raises(ConvergenceError):
+            solve_standalone_extragradient(standalone_params, prices,
+                                           tol=1e-14, max_iter=5,
+                                           raise_on_failure=True)
+
+    def test_stackelberg_rejects_bad_damping(self, binding_params):
+        with pytest.raises(ValueError):
+            solve_stackelberg(binding_params, scheme="best-response",
+                              damping=0.0)
+
+    def test_dynamic_rejects_bad_damping(self, prices):
+        game = DynamicGame(FixedPopulation(5), reward=1000.0,
+                           fork_rate=0.2, budget=200.0, weights="h")
+        with pytest.raises(ConfigurationError):
+            solve_dynamic_equilibrium(game, prices, damping=1.5)
+
+    def test_dynamic_raise_on_failure(self, prices):
+        game = DynamicGame(FixedPopulation(5), reward=1000.0,
+                           fork_rate=0.2, budget=200.0, weights="h")
+        with pytest.raises(ConvergenceError):
+            solve_dynamic_equilibrium(game, prices, tol=1e-16,
+                                      max_iter=2, raise_on_failure=True)
+
+
+class TestReportsAreInformative:
+    def test_failed_report_renders_residual(self, connected_params,
+                                            prices):
+        eq = solve_connected_equilibrium(connected_params, prices,
+                                         tol=1e-16, max_iter=2)
+        text = str(eq.report)
+        assert "NOT converged" in text
+        assert "residual" in text
+
+    def test_summary_survives_failure(self, connected_params, prices):
+        eq = solve_connected_equilibrium(connected_params, prices,
+                                         tol=1e-16, max_iter=2)
+        # The result object stays usable even when non-converged.
+        assert eq.total > 0
+        assert "NOT converged" in eq.summary()

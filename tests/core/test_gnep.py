@@ -1,0 +1,136 @@
+"""Standalone-mode GNEP: variational equilibrium, capacity complementarity,
+and solver cross-validation (Theorem 5 / Algorithm 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (EdgeMode, Prices, homogeneous,
+                        solve_standalone_equilibrium,
+                        solve_standalone_extragradient,
+                        verify_miner_equilibrium)
+from repro.core.gnep import edge_demand
+from repro.exceptions import ConfigurationError
+
+
+class TestCapacityComplementarity:
+    def test_slack_capacity_keeps_nu_zero(self, prices):
+        params = homogeneous(5, 1000.0, reward=1000.0, fork_rate=0.2,
+                             mode=EdgeMode.STANDALONE, e_max=500.0)
+        eq = solve_standalone_equilibrium(params, prices)
+        assert eq.nu == 0.0
+        assert eq.total_edge < 500.0
+
+    def test_binding_capacity_positive_nu(self, standalone_params, prices):
+        eq = solve_standalone_equilibrium(standalone_params, prices)
+        assert eq.nu > 0.0
+        assert eq.total_edge == pytest.approx(80.0, rel=1e-5)
+
+    def test_nu_matches_analytic_value(self, prices):
+        """Sufficient budget: ν* = n k β / E_max - (P_e - P_c)."""
+        for e_max in (20.0, 40.0, 80.0):
+            params = homogeneous(5, 5000.0, reward=1000.0, fork_rate=0.2,
+                                 mode=EdgeMode.STANDALONE, e_max=e_max)
+            eq = solve_standalone_equilibrium(params, prices)
+            expected = 5 * (1000.0 * 4 / 25) * 0.2 / e_max - 1.0
+            assert eq.nu == pytest.approx(expected, rel=1e-3)
+
+    def test_capacity_never_exceeded(self, prices):
+        for e_max in (10.0, 50.0, 100.0, 200.0):
+            params = homogeneous(5, 800.0, reward=1000.0, fork_rate=0.2,
+                                 mode=EdgeMode.STANDALONE, e_max=e_max)
+            eq = solve_standalone_equilibrium(params, prices)
+            assert eq.total_edge <= e_max * (1 + 1e-6)
+
+
+class TestVariationalEquilibrium:
+    def test_is_generalized_nash(self, standalone_params, prices):
+        eq = solve_standalone_equilibrium(standalone_params, prices)
+        assert verify_miner_equilibrium(eq)
+
+    def test_symmetric_profile_for_homogeneous(self, standalone_params,
+                                               prices):
+        eq = solve_standalone_equilibrium(standalone_params, prices)
+        assert np.allclose(eq.e, eq.e[0], atol=1e-5)
+        assert np.allclose(eq.c, eq.c[0], atol=1e-5)
+
+    def test_total_units_mode_invariant(self, prices):
+        """§IV-C.3: the aggregate S* is unchanged between modes at
+        identical prices (sufficient budgets)."""
+        conn = homogeneous(5, 5000.0, reward=1000.0, fork_rate=0.2, h=0.8)
+        sa = conn.with_mode(EdgeMode.STANDALONE, e_max=80.0)
+        from repro.core import solve_connected_equilibrium
+        eq_c = solve_connected_equilibrium(conn, prices)
+        eq_s = solve_standalone_equilibrium(sa, prices)
+        assert eq_c.total == pytest.approx(eq_s.total, rel=1e-4)
+
+    def test_standalone_buys_more_edge_than_connected(self, prices):
+        """§IV-C.3 conclusion: connected mode discourages ESP purchases."""
+        conn = homogeneous(5, 5000.0, reward=1000.0, fork_rate=0.2, h=0.8)
+        sa = conn.with_mode(EdgeMode.STANDALONE, e_max=500.0)
+        from repro.core import solve_connected_equilibrium
+        eq_c = solve_connected_equilibrium(conn, prices)
+        eq_s = solve_standalone_equilibrium(sa, prices)
+        assert eq_s.total_edge > eq_c.total_edge
+
+
+class TestSolverCrossValidation:
+    def test_decomposition_vs_extragradient(self, standalone_params,
+                                            prices):
+        dec = solve_standalone_equilibrium(standalone_params, prices)
+        ext = solve_standalone_extragradient(
+            standalone_params, prices, tol=1e-8,
+            initial=(dec.e * 1.1, dec.c * 0.9))
+        assert np.allclose(dec.e, ext.e, atol=1e-4)
+        assert np.allclose(dec.c, ext.c, atol=1e-4)
+        assert dec.nu == pytest.approx(ext.nu, abs=1e-3)
+
+    def test_extragradient_slack_capacity(self, prices):
+        params = homogeneous(3, 300.0, reward=500.0, fork_rate=0.15,
+                             mode=EdgeMode.STANDALONE, e_max=1000.0)
+        dec = solve_standalone_equilibrium(params, prices)
+        ext = solve_standalone_extragradient(
+            params, prices, tol=1e-9, initial=(dec.e * 1.2, dec.c * 1.1))
+        assert np.allclose(dec.e, ext.e, atol=1e-4)
+        assert ext.nu == pytest.approx(0.0, abs=1e-6)
+
+
+class TestEdgeDemandHelper:
+    def test_demand_decreasing_in_nu(self, standalone_params, prices):
+        previous = np.inf
+        for nu in (0.0, 0.5, 1.0, 2.0, 4.0):
+            eq = edge_demand(standalone_params, prices, nu=nu)
+            assert eq.total_edge < previous + 1e-9
+            previous = eq.total_edge
+
+    def test_mode_guard(self, connected_params, prices):
+        with pytest.raises(ConfigurationError):
+            solve_standalone_equilibrium(connected_params, prices)
+
+
+class TestVITheory:
+    def test_miner_operator_monotone_on_feasible_samples(self, prices):
+        """Theorem 2/5 rest on the monotonicity of F = -∂U; probe it on
+        random feasible profiles of the default game."""
+        import numpy as np
+        from repro.core import homogeneous
+        from repro.core.utility import miner_utility_gradients
+        from repro.game.vi import monotonicity_gap
+
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+
+        def operator(x):
+            e = x[:5]
+            c = x[5:]
+            du_de, du_dc = miner_utility_gradients(e, c, params, prices)
+            return -np.concatenate([du_de, du_dc])
+
+        rng = np.random.default_rng(3)
+        # Sample interior profiles away from the degenerate origin.
+        points = np.column_stack([
+            rng.uniform(5.0, 45.0, size=(12, 5)),
+            rng.uniform(20.0, 150.0, size=(12, 5)),
+        ]).reshape(12, 10)
+        # Interleave back to [e(5), c(5)] layout.
+        pts = np.concatenate([points[:, :5], points[:, 5:]], axis=1)
+        assert monotonicity_gap(operator, pts) > -1e-8

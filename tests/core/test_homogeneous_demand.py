@@ -1,0 +1,93 @@
+"""Closed-form demand oracle vs the iterative solvers, across regimes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (EdgeMode, Prices, homogeneous,
+                        solve_connected_equilibrium,
+                        solve_standalone_equilibrium)
+from repro.core.homogeneous_demand import homogeneous_demand
+from repro.exceptions import ConfigurationError
+
+
+def _numeric(params, prices):
+    if params.mode is EdgeMode.STANDALONE:
+        return solve_standalone_equilibrium(params, prices)
+    return solve_connected_equilibrium(params, prices)
+
+
+class TestRegimes:
+    def test_interior(self, connected_params, prices):
+        d = homogeneous_demand(connected_params, prices)
+        assert d.regime == "interior"
+        assert d.e == pytest.approx(25.6)
+
+    def test_binding(self, binding_params, prices):
+        d = homogeneous_demand(binding_params, prices)
+        assert d.regime == "binding"
+        assert 2.0 * d.e + 1.0 * d.c == pytest.approx(100.0)
+
+    def test_pure_edge_when_cloud_overpriced(self, connected_params):
+        bound = connected_params.mixed_price_bound(2.0)
+        d = homogeneous_demand(connected_params,
+                               Prices(2.0, bound + 0.01))
+        assert d.c == 0.0
+        assert d.e > 0.0
+
+    def test_capacity_binding(self, standalone_params, prices):
+        d = homogeneous_demand(standalone_params, prices)
+        assert d.regime.startswith("capacity")
+        assert d.total_edge == pytest.approx(80.0)
+        assert d.nu > 0
+
+    def test_capacity_slack(self, prices):
+        params = homogeneous(5, 1000.0, reward=1000.0, fork_rate=0.2,
+                             mode=EdgeMode.STANDALONE, e_max=1e5)
+        d = homogeneous_demand(params, prices)
+        assert d.nu == 0.0
+
+    def test_beta_zero_pure_cloud(self, prices):
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.0)
+        d = homogeneous_demand(params, prices)
+        assert d.e == 0.0
+        assert d.regime == "pure-cloud"
+
+    def test_heterogeneous_rejected(self, heterogeneous_params, prices):
+        with pytest.raises(ConfigurationError):
+            homogeneous_demand(heterogeneous_params, prices)
+
+
+class TestCrossValidation:
+    @given(st.sampled_from([60.0, 150.0, 200.0, 1200.0]),
+           st.floats(1.2, 4.0), st.floats(0.2, 0.95),
+           st.floats(0.05, 0.45), st.floats(0.2, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_connected_matches_numeric(self, budget, p_e, pc_frac, beta, h):
+        p_c = pc_frac * p_e
+        params = homogeneous(5, budget, reward=1000.0, fork_rate=beta, h=h)
+        prices = Prices(p_e, p_c)
+        d = homogeneous_demand(params, prices)
+        num = _numeric(params, prices)
+        assert num.converged
+        scale = max(1.0, num.total)
+        assert abs(d.total_edge - num.total_edge) / scale < 2e-4
+        assert abs(d.total_cloud - num.total_cloud) / scale < 2e-4
+
+    @given(st.sampled_from([200.0, 1200.0]),
+           st.sampled_from([30.0, 80.0, 300.0]),
+           st.floats(1.5, 3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_standalone_matches_numeric(self, budget, e_max, p_e):
+        params = homogeneous(5, budget, reward=1000.0, fork_rate=0.2,
+                             mode=EdgeMode.STANDALONE, e_max=e_max)
+        prices = Prices(p_e, 1.0)
+        try:
+            d = homogeneous_demand(params, prices)
+        except ConfigurationError:
+            return  # corner regime: oracle falls back to numeric by design
+        num = _numeric(params, prices)
+        scale = max(1.0, num.total)
+        assert abs(d.total_edge - num.total_edge) / scale < 5e-4
+        assert abs(d.total_cloud - num.total_cloud) / scale < 5e-4

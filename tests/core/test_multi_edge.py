@@ -1,0 +1,136 @@
+"""Multi-ESP Bertrand-Edgeworth competition."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_edge import (EdgeSupplier, MultiEdgeMarket,
+                                   best_response_price, clear_market,
+                                   symmetric_equilibrium,
+                                   undercutting_dynamics)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def market():
+    return MultiEdgeMarket(n=5, reward=1000.0, beta=0.2, h=1.0, p_c=1.0)
+
+
+class TestDemandCurve:
+    def test_exclusion_price(self, market):
+        # P_c D / a = 1 * 1.0 / 0.8
+        assert market.exclusion_price == pytest.approx(1.25)
+
+    def test_mixed_regime_matches_corollary1(self, market):
+        # n k β h / (p - p_c) = 5*160*0.2/1 = 160 at p=2.
+        assert market.demand(2.0) == pytest.approx(160.0)
+
+    def test_continuous_at_kink(self, market):
+        kink = market.exclusion_price
+        assert market.demand(kink * (1 - 1e-9)) == pytest.approx(
+            market.demand(kink * (1 + 1e-9)), rel=1e-6)
+
+    def test_inverse_demand_roundtrip(self, market):
+        for p in (1.1, 1.25, 2.0, 3.0):
+            E = market.demand(p)
+            assert market.marginal_value(E) == pytest.approx(p, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiEdgeMarket(n=1, reward=1.0, beta=0.1, h=1.0, p_c=1.0)
+        with pytest.raises(ConfigurationError):
+            MultiEdgeMarket(n=5, reward=1.0, beta=1.0, h=1.0, p_c=1.0)
+
+
+class TestClearing:
+    def test_cheapest_first(self, market):
+        suppliers = [EdgeSupplier(price=3.0, capacity=100.0),
+                     EdgeSupplier(price=2.0, capacity=50.0)]
+        clearing = clear_market(market, suppliers)
+        # Demand at p=2 is 160; cheap supplier sells out (50); residual
+        # demand at p=3 is 80, of which 50 already filled -> 30 more.
+        assert clearing.sales[1] == pytest.approx(50.0)
+        assert clearing.sales[0] == pytest.approx(30.0)
+        assert clearing.marginal_price == 3.0
+
+    def test_equal_prices_share_proportionally(self, market):
+        suppliers = [EdgeSupplier(price=2.0, capacity=300.0),
+                     EdgeSupplier(price=2.0, capacity=100.0)]
+        clearing = clear_market(market, suppliers)
+        assert clearing.total_edge == pytest.approx(160.0)
+        assert clearing.sales[0] == pytest.approx(120.0)
+        assert clearing.sales[1] == pytest.approx(40.0)
+
+    def test_profits_definition(self, market):
+        suppliers = [EdgeSupplier(price=2.0, capacity=1e6, unit_cost=0.5)]
+        clearing = clear_market(market, suppliers)
+        assert clearing.profits[0] == pytest.approx(1.5 * 160.0)
+
+    def test_empty_rejected(self, market):
+        with pytest.raises(ConfigurationError):
+            clear_market(market, [])
+
+
+class TestMonopoly:
+    def test_monopoly_prices_at_exclusion_kink(self, market):
+        suppliers = [EdgeSupplier(price=2.0, capacity=1e6, unit_cost=0.2)]
+        p = best_response_price(market, suppliers, 0)
+        assert p == pytest.approx(1.25, rel=1e-3)
+
+    def test_expensive_monopolist_prices_high(self, market):
+        # Cost above the cloud price: serving the premium segment only.
+        suppliers = [EdgeSupplier(price=2.0, capacity=1e6, unit_cost=1.5)]
+        p = best_response_price(market, suppliers, 0)
+        assert p > 1.5
+
+
+class TestSymmetricEquilibrium:
+    def test_ample_capacity_is_bertrand(self, market):
+        eq = symmetric_equilibrium(market, 2, 1e6, 0.2)
+        assert eq.regime == "bertrand"
+        assert eq.price == pytest.approx(0.2)
+        assert eq.per_supplier_profit == pytest.approx(0.0, abs=1e-9)
+        assert eq.verified
+
+    def test_scarce_capacity_clears_above_cost(self, market):
+        eq = symmetric_equilibrium(market, 2, 40.0, 0.2)
+        assert eq.regime == "clearing"
+        # v(80) = 1 + 160/80 = 3.
+        assert eq.price == pytest.approx(3.0)
+        assert eq.per_supplier_sales == pytest.approx(40.0)
+        assert eq.verified
+
+    def test_more_competitors_lower_price(self, market):
+        prices = [symmetric_equilibrium(market, m, 60.0, 0.2).price
+                  for m in (2, 3, 4)]
+        assert prices[0] > prices[1] > prices[2]
+
+    def test_monopoly_rejected(self, market):
+        with pytest.raises(ConfigurationError):
+            symmetric_equilibrium(market, 1, 100.0, 0.2)
+
+
+class TestDynamics:
+    def test_duopoly_descends_to_cost(self, market):
+        suppliers = [EdgeSupplier(price=1.25, capacity=1e6, unit_cost=0.2)
+                     for _ in range(2)]
+        res = undercutting_dynamics(market, suppliers, max_rounds=200,
+                                    tick=0.05)
+        assert res.converged
+        for s in res.suppliers:
+            assert s.price == pytest.approx(0.2, abs=0.05)
+
+    def test_scarce_duopoly_rests_at_clearing(self, market):
+        suppliers = [EdgeSupplier(price=2.0, capacity=40.0, unit_cost=0.2)
+                     for _ in range(2)]
+        res = undercutting_dynamics(market, suppliers, max_rounds=100,
+                                    tick=0.01)
+        assert res.converged
+        for s in res.suppliers:
+            assert s.price == pytest.approx(3.0, rel=0.02)
+
+    def test_validation(self, market):
+        suppliers = [EdgeSupplier(price=2.0, capacity=10.0)]
+        with pytest.raises(ConfigurationError):
+            best_response_price(market, suppliers, 5)
+        with pytest.raises(ConfigurationError):
+            best_response_price(market, suppliers, 0, tick=0.9)

@@ -1,0 +1,143 @@
+"""GameParameters / Prices validation and derived properties."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import (EdgeMode, GameParameters, Prices, homogeneous,
+                               mixed_strategy_price_bound)
+from repro.exceptions import ConfigurationError
+
+
+class TestPrices:
+    def test_valid(self):
+        p = Prices(2.0, 1.0)
+        assert p.premium() == 1.0
+        assert np.array_equal(p.as_array, [2.0, 1.0])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Prices(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Prices(2.0, -1.0)
+
+    def test_negative_premium_allowed(self):
+        # P_e < P_c is unusual but not invalid (solvers handle it).
+        assert Prices(1.0, 2.0).premium() == -1.0
+
+
+class TestMixedBound:
+    def test_formula(self):
+        # (1-β) P_e / (1-β+βh)
+        assert mixed_strategy_price_bound(0.2, 0.8, 2.0) == pytest.approx(
+            0.8 * 2.0 / 0.96)
+
+    def test_h_one_reduces(self):
+        assert mixed_strategy_price_bound(0.2, 1.0, 2.0) == pytest.approx(
+            1.6)
+
+    def test_beta_zero_gives_pe(self):
+        assert mixed_strategy_price_bound(0.0, 0.5, 2.0) == 2.0
+
+
+class TestGameParameters:
+    def test_basic_properties(self, connected_params):
+        assert connected_params.n == 5
+        assert connected_params.is_homogeneous
+        assert connected_params.effective_h == 0.8
+
+    def test_budget_array_read_only(self, connected_params):
+        arr = connected_params.budget_array
+        with pytest.raises(ValueError):
+            arr[0] = -1
+
+    def test_heterogeneous_flag(self, heterogeneous_params):
+        assert not heterogeneous_params.is_homogeneous
+
+    def test_single_miner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GameParameters(reward=1.0, fork_rate=0.1, budgets=[10.0])
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GameParameters(reward=1.0, fork_rate=0.1, budgets=[10.0, 0.0])
+
+    def test_fork_rate_range(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous(2, 10.0, reward=1.0, fork_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            homogeneous(2, 10.0, reward=1.0, fork_rate=-0.1)
+
+    def test_h_range(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous(2, 10.0, reward=1.0, fork_rate=0.1, h=0.0)
+        with pytest.raises(ConfigurationError):
+            homogeneous(2, 10.0, reward=1.0, fork_rate=0.1, h=1.1)
+
+    def test_standalone_requires_capacity(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous(2, 10.0, reward=1.0, fork_rate=0.1,
+                        mode=EdgeMode.STANDALONE)
+
+    def test_standalone_rejects_h(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous(2, 10.0, reward=1.0, fork_rate=0.1,
+                        mode=EdgeMode.STANDALONE, e_max=5.0, h=0.5)
+
+    def test_standalone_effective_h_is_one(self, standalone_params):
+        assert standalone_params.effective_h == 1.0
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous(2, 10.0, reward=1.0, fork_rate=0.1, edge_cost=-1.0)
+
+    def test_with_mode_roundtrip(self, connected_params):
+        sa = connected_params.with_mode(EdgeMode.STANDALONE, e_max=50.0)
+        assert sa.mode is EdgeMode.STANDALONE
+        assert sa.e_max == 50.0
+        assert sa.h == 1.0
+        back = sa.with_mode(EdgeMode.CONNECTED, h=0.7)
+        assert back.mode is EdgeMode.CONNECTED
+        assert back.h == 0.7
+        assert back.e_max is None
+
+    def test_with_budgets(self, connected_params):
+        other = connected_params.with_budgets([10.0] * 5)
+        assert other.budget_array[0] == 10.0
+        assert connected_params.budget_array[0] == 200.0
+
+    def test_validate_prices_accepts_mixed(self, connected_params):
+        connected_params.validate_prices(Prices(2.0, 1.0))
+
+    def test_validate_prices_rejects_above_bound(self, connected_params):
+        bound = connected_params.mixed_price_bound(2.0)
+        with pytest.raises(ConfigurationError):
+            connected_params.validate_prices(Prices(2.0, bound + 0.01))
+
+    def test_reward_positive(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous(2, 10.0, reward=0.0, fork_rate=0.1)
+
+    def test_negative_d_avg_rejected(self):
+        with pytest.raises(ConfigurationError):
+            homogeneous(2, 10.0, reward=1.0, fork_rate=0.1, d_avg=-1.0)
+
+
+class TestFromCalibration:
+    def test_builds_game_from_topology(self):
+        from repro.core import from_calibration
+        from repro.network import (GossipModel, calibrate_game_delays,
+                                   edge_cloud_topology)
+
+        cal = calibrate_game_delays(edge_cloud_topology(10, seed=0),
+                                    GossipModel(block_size=1e6))
+        params = from_calibration(cal, 5, 200.0, reward=1000.0, h=0.8)
+        assert params.fork_rate == pytest.approx(cal.fork_rate)
+        assert params.d_avg == pytest.approx(cal.d_avg)
+        assert params.n == 5
+        assert params.h == 0.8
+
+    def test_doctest_example(self):
+        import doctest
+        import repro.core.params as mod
+        results = doctest.testmod(mod)
+        assert results.failed == 0

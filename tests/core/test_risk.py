@@ -1,0 +1,135 @@
+"""Risk aversion and mining pools (EXT8 machinery)."""
+
+import math
+
+import pytest
+
+from repro.core import Prices
+from repro.core.risk import (RiskAverseGame, certainty_equivalent,
+                             pooled_certainty_equivalent,
+                             solve_risk_averse_equilibrium)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def prices():
+    return Prices(2.0, 1.0)
+
+
+def _game(**kw):
+    defaults = dict(n=5, reward=1000.0, fork_rate=0.2, h=0.8,
+                    budget=200.0)
+    defaults.update(kw)
+    return RiskAverseGame(**defaults)
+
+
+class TestCertaintyEquivalent:
+    def test_risk_neutral_limit(self):
+        assert certainty_equivalent(0.2, 1000.0, 0.0) == 200.0
+
+    def test_small_a_approaches_mean(self):
+        assert certainty_equivalent(0.2, 1000.0, 1e-7) == pytest.approx(
+            200.0, rel=1e-3)
+
+    def test_risk_aversion_discounts(self):
+        assert certainty_equivalent(0.2, 1000.0, 0.005) < 200.0
+
+    def test_monotone_in_win_prob(self):
+        ces = [certainty_equivalent(w, 1000.0, 0.003)
+               for w in (0.1, 0.3, 0.6, 0.9)]
+        assert all(b > a for a, b in zip(ces, ces[1:]))
+
+    def test_convex_in_win_prob_below_mean_line(self):
+        # CE is increasing and convex in W, lying below the risk-neutral
+        # line R*W (the risk discount).
+        a, b = 0.2, 0.4
+        mid = certainty_equivalent(0.3, 1000.0, 0.003)
+        avg = 0.5 * (certainty_equivalent(a, 1000.0, 0.003)
+                     + certainty_equivalent(b, 1000.0, 0.003))
+        assert mid < avg
+        for w in (0.1, 0.4, 0.8):
+            assert certainty_equivalent(w, 1000.0, 0.003) < 1000.0 * w
+
+    def test_degenerate_probabilities(self):
+        assert certainty_equivalent(0.0, 1000.0, 0.01) == pytest.approx(
+            0.0)
+        assert certainty_equivalent(1.0, 1000.0, 0.01) == pytest.approx(
+            1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            certainty_equivalent(1.5, 1000.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            certainty_equivalent(0.5, -1.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            certainty_equivalent(0.5, 1.0, -0.01)
+
+
+class TestPooling:
+    def test_pooling_raises_ce(self):
+        solo = pooled_certainty_equivalent(0.2, 1000.0, 0.005, 1)
+        pooled = pooled_certainty_equivalent(0.2, 1000.0, 0.005, 4)
+        assert pooled > solo
+
+    def test_pooling_neutral_when_risk_neutral(self):
+        solo = pooled_certainty_equivalent(0.1, 1000.0, 0.0, 1)
+        pooled = pooled_certainty_equivalent(0.1, 1000.0, 0.0, 5)
+        assert solo == pytest.approx(pooled)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            pooled_certainty_equivalent(0.1, 1000.0, 0.01, 0)
+
+
+class TestEquilibrium:
+    def test_risk_neutral_matches_nep(self, prices):
+        from repro.core import homogeneous, solve_connected_equilibrium
+        eq = solve_risk_averse_equilibrium(_game(risk_aversion=0.0),
+                                           prices)
+        ref = solve_connected_equilibrium(
+            homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=0.8),
+            prices)
+        assert eq.n_active == 5
+        assert eq.e == pytest.approx(float(ref.e[0]), rel=1e-3)
+        assert eq.c == pytest.approx(float(ref.c[0]), rel=1e-3)
+
+    def test_risk_aversion_suppresses_demand(self, prices):
+        neutral = solve_risk_averse_equilibrium(_game(risk_aversion=0.0),
+                                                prices)
+        averse = solve_risk_averse_equilibrium(
+            _game(risk_aversion=0.001), prices)
+        assert averse.e < neutral.e
+        assert averse.c < neutral.c
+
+    def test_participation_shrinks_with_risk(self, prices):
+        mild = solve_risk_averse_equilibrium(_game(risk_aversion=0.001),
+                                             prices)
+        strong = solve_risk_averse_equilibrium(_game(risk_aversion=0.01),
+                                               prices)
+        assert mild.n_active == 5
+        assert strong.n_active < mild.n_active
+
+    def test_equilibrium_utility_nonnegative(self, prices):
+        for a in (0.001, 0.003, 0.008):
+            eq = solve_risk_averse_equilibrium(_game(risk_aversion=a),
+                                               prices)
+            assert eq.utility >= -1e-6
+            assert eq.converged
+
+    def test_pooling_restores_participation(self, prices):
+        solo = solve_risk_averse_equilibrium(
+            _game(risk_aversion=0.002, pool_size=1), prices)
+        pooled = solve_risk_averse_equilibrium(
+            _game(risk_aversion=0.002, pool_size=2), prices)
+        assert pooled.n_active >= solo.n_active
+        agg_solo = solo.n_active * (solo.e + solo.c)
+        agg_pooled = pooled.n_active * (pooled.e + pooled.c)
+        assert agg_pooled > agg_solo
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _game(n=1)
+        with pytest.raises(ConfigurationError):
+            _game(risk_aversion=-1.0)
+        with pytest.raises(ConfigurationError):
+            _game(pool_size=9)

@@ -1,0 +1,71 @@
+"""Social-welfare analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Prices, captured_reward, homogeneous,
+                        rent_dissipation, social_welfare,
+                        solve_connected_equilibrium, welfare_report)
+
+
+class TestSocialWelfare:
+    def test_accounting_identity(self, connected_params, prices):
+        """SW == miner surplus + SP profits, at any profile."""
+        eq = solve_connected_equilibrium(connected_params, prices)
+        rep = welfare_report(eq)
+        assert rep.transfers_balance == pytest.approx(0.0, abs=1e-8)
+
+    def test_identity_off_equilibrium(self, connected_params, prices):
+        from repro.core.nep import MinerEquilibrium
+        from repro.game.diagnostics import ConvergenceReport
+        e = np.array([5.0, 10.0, 15.0, 20.0, 25.0])
+        c = np.array([30.0, 25.0, 20.0, 15.0, 10.0])
+        eq = MinerEquilibrium(e=e, c=c, params=connected_params,
+                              prices=prices,
+                              report=ConvergenceReport(True, 0, 0, 1))
+        assert welfare_report(eq).transfers_balance == pytest.approx(
+            0.0, abs=1e-8)
+
+    def test_captured_reward_connected_shortfall(self, connected_params):
+        """Σ W_i = 1 - β(1-h) in connected mode."""
+        e = np.full(5, 10.0)
+        c = np.full(5, 20.0)
+        captured = captured_reward(e, c, connected_params)
+        expected = 1000.0 * (1.0 - 0.2 * (1.0 - 0.8))
+        assert captured == pytest.approx(expected)
+
+    def test_captured_reward_full_at_h1(self, prices):
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=1.0)
+        e = np.full(5, 10.0)
+        c = np.full(5, 20.0)
+        assert captured_reward(e, c, params) == pytest.approx(1000.0)
+
+    def test_empty_profile(self, connected_params):
+        z = np.zeros(5)
+        assert social_welfare(z, z, connected_params) == 0.0
+
+    def test_dissipation_grows_with_costs(self, prices):
+        cheap = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=1.0,
+                            edge_cost=0.1, cloud_cost=0.05)
+        dear = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=1.0,
+                           edge_cost=0.5, cloud_cost=0.25)
+        e = np.full(5, 10.0)
+        c = np.full(5, 20.0)
+        assert rent_dissipation(e, c, dear) > rent_dissipation(e, c, cheap)
+
+    def test_planner_limit(self, prices):
+        """Tiny edge-only mining approaches zero dissipation."""
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
+                             h=1.0, edge_cost=0.2, cloud_cost=0.1)
+        e = np.full(5, 1e-6)
+        c = np.zeros(5)
+        assert rent_dissipation(e, c, params) == pytest.approx(0.0,
+                                                               abs=1e-5)
+
+    def test_report_fields_consistent(self, connected_params, prices):
+        eq = solve_connected_equilibrium(connected_params, prices)
+        rep = welfare_report(eq)
+        assert rep.social_welfare == pytest.approx(
+            rep.captured_reward - rep.edge_resource_cost
+            - rep.cloud_resource_cost)
+        assert 0.0 < rep.dissipation < 1.0

@@ -1,0 +1,91 @@
+"""Demand oracle and SP best-response pricing."""
+
+import numpy as np
+import pytest
+
+from repro.core import (DemandOracle, Prices, csp_best_response,
+                        esp_best_response, homogeneous)
+from repro.exceptions import ConfigurationError, InfeasibleGameError
+
+
+class TestDemandOracle:
+    def test_caches_repeated_queries(self, connected_params, prices):
+        oracle = DemandOracle(connected_params)
+        oracle.equilibrium(prices)
+        n0 = oracle.evaluations
+        oracle.equilibrium(prices)
+        assert oracle.evaluations == n0
+
+    def test_fast_path_used_for_homogeneous(self, connected_params, prices):
+        oracle = DemandOracle(connected_params)
+        eq = oracle.equilibrium(prices)
+        assert "closed form" in (eq.report.message or "")
+
+    def test_slow_path_matches_fast(self, connected_params, prices):
+        fast = DemandOracle(connected_params, fast=True)
+        slow = DemandOracle(connected_params, fast=False)
+        assert fast.edge_demand(prices) == pytest.approx(
+            slow.edge_demand(prices), rel=1e-5)
+        assert fast.cloud_demand(prices) == pytest.approx(
+            slow.cloud_demand(prices), rel=1e-5)
+
+    def test_heterogeneous_uses_numeric(self, heterogeneous_params, prices):
+        oracle = DemandOracle(heterogeneous_params)
+        assert not oracle.fast
+        eq = oracle.equilibrium(prices)
+        assert eq.converged
+
+    def test_fast_forced_on_heterogeneous_rejected(self,
+                                                   heterogeneous_params):
+        with pytest.raises(ConfigurationError):
+            DemandOracle(heterogeneous_params, fast=True)
+
+    def test_profit_definitions(self, connected_params, prices):
+        oracle = DemandOracle(connected_params)
+        v_e = oracle.esp_profit(prices)
+        v_c = oracle.csp_profit(prices)
+        assert v_e == pytest.approx(
+            (prices.p_e - 0.2) * oracle.edge_demand(prices))
+        assert v_c == pytest.approx(
+            (prices.p_c - 0.1) * oracle.cloud_demand(prices))
+
+
+class TestESPBestResponse:
+    def test_interior_optimum(self, binding_params):
+        oracle = DemandOracle(binding_params)
+        p_e = esp_best_response(oracle, p_c=1.0)
+        v_star = oracle.esp_profit(Prices(p_e, 1.0))
+        for f in (0.9, 0.97, 1.03, 1.1):
+            cand = p_e * f
+            if cand > 1.0:
+                assert oracle.esp_profit(Prices(cand, 1.0)) <= \
+                    v_star * (1 + 1e-5)
+
+    def test_capped_when_cloud_below_cost(self, binding_params):
+        """P_c <= C_e: profit rises toward its asymptote; the search
+        returns the capped optimum instead of erroring."""
+        oracle = DemandOracle(binding_params)
+        p_e = esp_best_response(oracle, p_c=0.15, max_expansions=6)
+        assert p_e > 1.0  # pushed far right
+
+
+class TestCSPBestResponse:
+    def test_interior_optimum(self, binding_params):
+        oracle = DemandOracle(binding_params)
+        p_c = csp_best_response(oracle, p_e=2.0)
+        v_star = oracle.csp_profit(Prices(2.0, p_c))
+        for f in (0.9, 0.97, 1.03, 1.1):
+            cand = p_c * f
+            if 0 < cand < 2.0:
+                assert oracle.csp_profit(Prices(2.0, cand)) <= \
+                    v_star * (1 + 1e-5)
+
+    def test_never_above_esp_price(self, binding_params):
+        oracle = DemandOracle(binding_params)
+        p_c = csp_best_response(oracle, p_e=2.0)
+        assert p_c < 2.0
+
+    def test_infeasible_when_esp_below_cloud_cost(self, binding_params):
+        oracle = DemandOracle(binding_params)
+        with pytest.raises(InfeasibleGameError):
+            csp_best_response(oracle, p_e=0.05)

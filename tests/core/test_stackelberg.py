@@ -1,0 +1,87 @@
+"""Full Stackelberg solves (Algorithms 1/2 and the Theorem-4 scheme)."""
+
+import pytest
+
+from repro.core import (EdgeMode, Prices, homogeneous, solve_stackelberg,
+                        table2_standalone, verify_sp_equilibrium)
+
+
+class TestConnected:
+    def test_auto_scheme_converges(self, binding_params):
+        se = solve_stackelberg(binding_params, tol=1e-5)
+        assert se.scheme == "esp-anticipates"
+        assert se.converged
+        assert se.prices.p_e > se.prices.p_c
+        assert se.v_e > 0 and se.v_c > 0
+
+    def test_simultaneous_best_response_cycles(self, binding_params):
+        """The connected simultaneous leader game has no pure NE: the ESP
+        replies with the pure-edge kink, the CSP undercuts, and the
+        iteration cycles (see EXPERIMENTS.md). The solver must report the
+        non-convergence honestly."""
+        se = solve_stackelberg(binding_params, scheme="best-response",
+                               tol=1e-6, max_iter=30)
+        assert not se.converged
+
+    def test_followers_at_equilibrium(self, binding_params):
+        from repro.core import verify_miner_equilibrium
+        se = solve_stackelberg(binding_params, tol=1e-5)
+        assert verify_miner_equilibrium(se.miners, rel_tol=1e-4)
+
+    def test_esp_anticipates_scheme(self, binding_params):
+        se = solve_stackelberg(binding_params, scheme="esp-anticipates")
+        assert se.scheme == "esp-anticipates"
+        assert se.prices.p_e > se.prices.p_c
+
+    def test_unknown_scheme_rejected(self, binding_params):
+        with pytest.raises(ValueError):
+            solve_stackelberg(binding_params, scheme="nope")
+
+    def test_summary_contains_prices(self, binding_params):
+        se = solve_stackelberg(binding_params, tol=1e-5)
+        assert "P_e=" in se.summary()
+
+
+class TestStandalone:
+    def test_price_bargaining_converges(self):
+        params = homogeneous(5, 100.0, reward=1000.0, fork_rate=0.2,
+                             mode=EdgeMode.STANDALONE, e_max=30.0,
+                             edge_cost=0.2, cloud_cost=0.1)
+        se = solve_stackelberg(params, tol=1e-4)
+        assert se.prices.p_e > se.prices.p_c
+        assert se.miners.total_edge <= 30.0 * (1 + 1e-6)
+
+    def test_matches_table2_closed_form(self):
+        """Sufficient budgets: the anticipating SE tracks Table II, with
+        the ESP shading its price slightly below the clearing point (the
+        CSP undercuts discontinuously right at clearing — see
+        EXPERIMENTS.md)."""
+        params = homogeneous(5, 10000.0, reward=1000.0, fork_rate=0.2,
+                             mode=EdgeMode.STANDALONE, e_max=80.0,
+                             edge_cost=0.2, cloud_cost=0.1)
+        se = solve_stackelberg(params, scheme="esp-anticipates",
+                               price_xatol=1e-7)
+        cf = table2_standalone(5, 1000.0, 0.2, 80.0, 0.2, 0.1)
+        assert se.prices.p_c == pytest.approx(cf.prices.p_c, rel=0.02)
+        assert se.prices.p_e == pytest.approx(cf.prices.p_e, rel=0.05)
+        assert se.prices.p_e <= cf.prices.p_e * (1 + 1e-6)
+        assert se.miners.e[0] == pytest.approx(cf.miner.e, rel=0.05)
+
+
+class TestVerification:
+    def test_equilibrium_passes_deviation_scan(self, binding_params):
+        se = solve_stackelberg(binding_params, tol=1e-6,
+                               price_xatol=1e-8)
+        ok, worst = verify_sp_equilibrium(se, grid=21, span=0.3)
+        assert ok, f"profitable deviation of {worst:.3%} found"
+
+    def test_perturbed_prices_fail_scan(self, binding_params):
+        se = solve_stackelberg(binding_params, tol=1e-6, price_xatol=1e-8)
+        from repro.core.stackelberg import StackelbergEquilibrium
+        bad = StackelbergEquilibrium(
+            prices=Prices(se.prices.p_e * 2.5, se.prices.p_c * 0.3),
+            miners=se.miners, v_e=0.0, v_c=0.0, report=se.report,
+            scheme=se.scheme)
+        ok, worst = verify_sp_equilibrium(bad, grid=21, span=0.4)
+        assert not ok
+        assert worst > 0

@@ -1,0 +1,68 @@
+"""Utility/profit functions (Problems 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Prices
+from repro.core.utility import (miner_utilities, miner_utility_gradients,
+                                miner_utility_single, sp_profits, spending)
+
+
+class TestSpending:
+    def test_linear(self, prices):
+        e = np.array([1.0, 2.0])
+        c = np.array([3.0, 4.0])
+        assert np.allclose(spending(e, c, prices), [5.0, 8.0])
+
+
+class TestMinerUtilities:
+    def test_definition(self, connected_params, prices):
+        e = np.array([10.0, 10.0, 10.0, 10.0, 10.0])
+        c = np.array([20.0, 20.0, 20.0, 20.0, 20.0])
+        u = miner_utilities(e, c, connected_params, prices)
+        from repro.core.winning import w_connected
+        w = w_connected(e, c, 0.2, 0.8)
+        expected = 1000.0 * w - (2.0 * e + 1.0 * c)
+        assert np.allclose(u, expected)
+
+    def test_single_matches_vector(self, connected_params, prices):
+        e = np.array([5.0, 8.0, 2.0, 9.0, 4.0])
+        c = np.array([10.0, 3.0, 7.0, 1.0, 6.0])
+        u = miner_utilities(e, c, connected_params, prices)
+        for i in range(5):
+            assert miner_utility_single(i, e, c, connected_params,
+                                        prices) == pytest.approx(float(u[i]))
+
+    def test_gradients_match_finite_differences(self, connected_params,
+                                                prices):
+        e = np.array([5.0, 8.0, 2.0, 9.0, 4.0])
+        c = np.array([10.0, 3.0, 7.0, 1.0, 6.0])
+        du_de, du_dc = miner_utility_gradients(e, c, connected_params,
+                                               prices)
+        eps = 1e-6
+        for i in range(5):
+            e_hi = e.copy(); e_hi[i] += eps
+            e_lo = e.copy(); e_lo[i] -= eps
+            fd = (miner_utility_single(i, e_hi, c, connected_params, prices)
+                  - miner_utility_single(i, e_lo, c, connected_params,
+                                         prices)) / (2 * eps)
+            assert du_de[i] == pytest.approx(fd, abs=1e-4)
+            c_hi = c.copy(); c_hi[i] += eps
+            c_lo = c.copy(); c_lo[i] -= eps
+            fd = (miner_utility_single(i, e, c_hi, connected_params, prices)
+                  - miner_utility_single(i, e, c_lo, connected_params,
+                                         prices)) / (2 * eps)
+            assert du_dc[i] == pytest.approx(fd, abs=1e-4)
+
+
+class TestSPProfits:
+    def test_definition(self, connected_params, prices):
+        e = np.full(5, 10.0)
+        c = np.full(5, 20.0)
+        v_e, v_c = sp_profits(e, c, connected_params, prices)
+        assert v_e == pytest.approx((2.0 - 0.2) * 50.0)
+        assert v_c == pytest.approx((1.0 - 0.1) * 100.0)
+
+    def test_zero_profile(self, connected_params, prices):
+        z = np.zeros(5)
+        assert sp_profits(z, z, connected_params, prices) == (0.0, 0.0)

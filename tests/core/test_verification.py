@@ -1,0 +1,67 @@
+"""Equilibrium verification utilities, including the Nikaido-Isoda merit."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Prices, best_deviation_gain, homogeneous,
+                        nikaido_isoda_residual,
+                        solve_connected_equilibrium,
+                        solve_standalone_equilibrium)
+from repro.core.nep import MinerEquilibrium
+from repro.game.diagnostics import ConvergenceReport
+
+
+def _profile(params, prices, e, c):
+    return MinerEquilibrium(e=np.asarray(e, float), c=np.asarray(c, float),
+                            params=params, prices=prices,
+                            report=ConvergenceReport(True, 0, 0.0, 1.0))
+
+
+class TestDeviationGain:
+    def test_equilibrium_has_no_gain(self, connected_params, prices):
+        eq = solve_connected_equilibrium(connected_params, prices)
+        rep = best_deviation_gain(eq)
+        assert rep.is_equilibrium
+        assert rep.max_gain <= 1e-5
+
+    def test_perturbed_profile_has_gain(self, connected_params, prices):
+        eq = solve_connected_equilibrium(connected_params, prices)
+        bad = _profile(connected_params, prices, eq.e * 0.2, eq.c * 0.2)
+        rep = best_deviation_gain(bad)
+        assert not rep.is_equilibrium
+        assert rep.max_gain > 0.01
+
+    def test_gains_vector_shape(self, connected_params, prices):
+        eq = solve_connected_equilibrium(connected_params, prices)
+        rep = best_deviation_gain(eq)
+        assert rep.gains.shape == (5,)
+        assert 0 <= rep.worst_miner < 5
+
+
+class TestNikaidoIsoda:
+    def test_zero_at_equilibrium(self, connected_params, prices):
+        eq = solve_connected_equilibrium(connected_params, prices)
+        assert nikaido_isoda_residual(eq) == pytest.approx(0.0, abs=1e-5)
+
+    def test_zero_at_variational_equilibrium(self, standalone_params,
+                                             prices):
+        eq = solve_standalone_equilibrium(standalone_params, prices)
+        assert nikaido_isoda_residual(eq) == pytest.approx(0.0, abs=1e-4)
+
+    def test_positive_off_equilibrium(self, connected_params, prices):
+        eq = solve_connected_equilibrium(connected_params, prices)
+        bad = _profile(connected_params, prices, eq.e * 0.3, eq.c * 1.5)
+        assert nikaido_isoda_residual(bad) > 1.0
+
+    def test_monotone_toward_equilibrium(self, connected_params, prices):
+        """The merit shrinks along the best-response path."""
+        from repro.core.nep import best_response_profile
+        eq = solve_connected_equilibrium(connected_params, prices)
+        e, c = eq.e * 0.4, eq.c * 0.4
+        values = []
+        for _ in range(4):
+            probe = _profile(connected_params, prices, e, c)
+            values.append(nikaido_isoda_residual(probe))
+            e, c = best_response_profile(e, c, connected_params, prices)
+        assert values[0] > values[-1]
+        assert values[-1] < 0.05 * values[0]

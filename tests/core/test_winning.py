@@ -1,0 +1,142 @@
+"""Winning-probability model (Section III): identities and gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import winning
+
+units = st.lists(
+    st.tuples(st.floats(0.01, 100.0), st.floats(0.01, 100.0)),
+    min_size=2, max_size=8)
+
+
+def _split(pairs):
+    e = np.array([p[0] for p in pairs])
+    c = np.array([p[1] for p in pairs])
+    return e, c
+
+
+class TestTheorem1:
+    @given(units, st.floats(0.0, 0.99))
+    @settings(max_examples=200, deadline=None)
+    def test_full_satisfaction_sums_to_one(self, pairs, beta):
+        e, c = _split(pairs)
+        assert float(np.sum(winning.w_full(e, c, beta))) == pytest.approx(
+            1.0, abs=1e-9)
+
+    @given(units, st.floats(0.0, 0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_components_sum_to_full(self, pairs, beta):
+        e, c = _split(pairs)
+        total = winning.w_edge_component(e, c, beta) + \
+            winning.w_cloud_component(e, c, beta)
+        assert np.allclose(total, winning.w_full(e, c, beta), atol=1e-12)
+
+    @given(units, st.floats(0.0, 0.99))
+    @settings(max_examples=100, deadline=None)
+    def test_probabilities_in_unit_interval(self, pairs, beta):
+        e, c = _split(pairs)
+        w = winning.w_full(e, c, beta)
+        assert np.all(w >= -1e-12)
+        assert np.all(w <= 1.0 + 1e-12)
+
+
+class TestConnectedIdentity:
+    @given(units, st.floats(0.0, 0.99), st.floats(0.01, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_mixture_equals_simplified_form(self, pairs, beta, h):
+        """Eq. (9): h W^h + (1-h) W^{1-h} == (1-β)(e+c)/S + βh e/E."""
+        e, c = _split(pairs)
+        mixture = h * winning.w_full(e, c, beta) + \
+            (1.0 - h) * winning.w_transfer_failure(e, c, beta)
+        simplified = winning.w_connected(e, c, beta, h)
+        assert np.allclose(mixture, simplified, atol=1e-12)
+
+    def test_standalone_is_h_one(self):
+        e = np.array([1.0, 2.0])
+        c = np.array([3.0, 4.0])
+        assert np.allclose(winning.w_standalone(e, c, 0.3),
+                           winning.w_connected(e, c, 0.3, 1.0))
+
+
+class TestFailureModes:
+    def test_transfer_failure_scales_with_total(self):
+        e = np.array([10.0, 0.0])
+        c = np.array([0.0, 10.0])
+        w = winning.w_transfer_failure(e, c, 0.2)
+        assert np.allclose(w, [0.4, 0.4])
+
+    def test_reject_failure_removes_own_edge(self):
+        # Eq. (8): W = (1-β) c_i / (S - e_i).
+        e = np.array([10.0, 0.0])
+        c = np.array([5.0, 5.0])
+        w = winning.w_reject_failure(e, c, 0.2)
+        assert w[0] == pytest.approx(0.8 * 5.0 / 10.0)
+        assert w[1] == pytest.approx(0.8 * 5.0 / 20.0)
+
+    def test_reject_failure_degenerate_pool(self):
+        e = np.array([10.0, 0.0])
+        c = np.array([0.0, 0.0])
+        w = winning.w_reject_failure(e, c, 0.2)
+        assert w[0] == 0.0
+
+
+class TestDegenerate:
+    def test_empty_pool_gives_zero(self):
+        z = np.zeros(3)
+        assert np.all(winning.w_full(z, z, 0.2) == 0.0)
+        assert np.all(winning.w_connected(z, z, 0.2, 0.5) == 0.0)
+
+    def test_no_edge_power_no_discount(self):
+        # With E = 0 cloud blocks only collide with equally-slow cloud
+        # blocks and cannot be beaten.
+        e = np.zeros(3)
+        c = np.array([1.0, 2.0, 3.0])
+        w = winning.w_full(e, c, 0.5)
+        assert np.allclose(w, c / 6.0)
+
+    def test_no_cloud_power(self):
+        e = np.array([2.0, 2.0])
+        c = np.zeros(2)
+        w = winning.w_full(e, c, 0.5)
+        assert np.allclose(w, [0.5, 0.5])
+
+
+class TestGradients:
+    @given(units, st.floats(0.01, 0.95), st.floats(0.05, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_gradients_match_finite_differences(self, pairs, beta, h):
+        e, c = _split(pairs)
+        de, dc = winning.w_connected_gradients(e, c, beta, h)
+        eps = 1e-6
+        for i in range(len(e)):
+            e_hi = e.copy()
+            e_hi[i] += eps
+            e_lo = e.copy()
+            e_lo[i] -= eps
+            fd_e = (winning.w_connected(e_hi, c, beta, h)[i]
+                    - winning.w_connected(e_lo, c, beta, h)[i]) / (2 * eps)
+            c_hi = c.copy()
+            c_hi[i] += eps
+            c_lo = c.copy()
+            c_lo[i] -= eps
+            fd_c = (winning.w_connected(e, c_hi, beta, h)[i]
+                    - winning.w_connected(e, c_lo, beta, h)[i]) / (2 * eps)
+            scale = max(abs(fd_e), abs(fd_c), 1e-3)
+            assert abs(de[i] - fd_e) < 1e-4 * scale + 1e-7
+            assert abs(dc[i] - fd_c) < 1e-4 * scale + 1e-7
+
+    def test_edge_gradient_exceeds_cloud(self):
+        e = np.array([5.0, 5.0])
+        c = np.array([5.0, 5.0])
+        de, dc = winning.w_connected_gradients(e, c, 0.3, 0.9)
+        assert np.all(de >= dc)
+
+
+class TestAggregate:
+    def test_aggregate_sums(self):
+        E, C, S = winning.aggregate(np.array([1.0, 2.0]),
+                                    np.array([3.0, 4.0]))
+        assert (E, C, S) == (3.0, 7.0, 10.0)

@@ -1,0 +1,145 @@
+"""Generic best-response iteration on games with known equilibria.
+
+The workhorse check is a linear-quadratic Cournot duopoly whose Nash
+equilibrium is available in closed form: quantities
+``q_i* = (a - c_i' ) /`` the usual expressions — with identical costs,
+``q* = (a - c) / (3 b)`` each.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.game.best_response import (BestResponseOptions,
+                                      projected_gradient_response,
+                                      solve_nash)
+from repro.game.types import ContinuousGame, Player, StrategySpace
+
+
+class _Interval(StrategySpace):
+    def __init__(self, lo, hi):
+        self.lo, self.hi = lo, hi
+        self.dim = 1
+
+    def project(self, x):
+        return np.clip(x, self.lo, self.hi)
+
+    def contains(self, x, tol=1e-9):
+        return bool(self.lo - tol <= x[0] <= self.hi + tol)
+
+    def interior_point(self):
+        return np.array([0.5 * (self.lo + self.hi)])
+
+
+class _CournotPlayer(Player):
+    """Cournot firm: payoff (a - b (q_i + q_j)) q_i - c q_i."""
+
+    def __init__(self, a=10.0, b=1.0, c=1.0, analytic=True):
+        self.a, self.b, self.c = a, b, c
+        self.space = _Interval(0.0, a / b)
+        self.analytic = analytic
+
+    def payoff(self, own, others):
+        q = float(own[0])
+        return (self.a - self.b * (q + others)) * q - self.c * q
+
+    def payoff_gradient(self, own, others):
+        q = float(own[0])
+        return np.array([self.a - self.c - self.b * others
+                         - 2.0 * self.b * q])
+
+    def best_response(self, others):
+        if not self.analytic:
+            return None
+        q = (self.a - self.c - self.b * others) / (2.0 * self.b)
+        return np.array([max(q, 0.0)])
+
+
+def _cournot_context(profile, i):
+    return float(sum(float(profile[j][0]) for j in range(len(profile))
+                     if j != i))
+
+
+class TestCournot:
+    def test_converges_to_closed_form(self):
+        game = ContinuousGame([_CournotPlayer(), _CournotPlayer()])
+        result = solve_nash(game, _cournot_context,
+                            BestResponseOptions(damping=0.5))
+        assert result.converged
+        expected = (10.0 - 1.0) / 3.0
+        for block in result.profile:
+            assert abs(float(block[0]) - expected) < 1e-6
+
+    def test_jacobi_sweep_matches(self):
+        game = ContinuousGame([_CournotPlayer(), _CournotPlayer()])
+        result = solve_nash(game, _cournot_context,
+                            BestResponseOptions(damping=0.5,
+                                                sweep="jacobi"))
+        assert result.converged
+        assert abs(float(result.profile[0][0]) - 3.0) < 1e-6
+
+    def test_gradient_fallback_matches_analytic(self):
+        game = ContinuousGame([_CournotPlayer(analytic=False),
+                               _CournotPlayer(analytic=False)])
+        result = solve_nash(game, _cournot_context,
+                            BestResponseOptions(damping=0.5, tol=1e-7,
+                                                max_iter=500))
+        assert abs(float(result.profile[0][0]) - 3.0) < 1e-3
+
+    def test_asymmetric_costs(self):
+        game = ContinuousGame([_CournotPlayer(c=1.0),
+                               _CournotPlayer(c=4.0)])
+        result = solve_nash(game, _cournot_context,
+                            BestResponseOptions(damping=0.5))
+        # q1* = (a - 2 c1 + c2)/(3b), q2* = (a - 2 c2 + c1)/(3b)
+        assert abs(float(result.profile[0][0]) - (10 - 2 + 4) / 3.0) < 1e-6
+        assert abs(float(result.profile[1][0]) - (10 - 8 + 1) / 3.0) < 1e-6
+
+    def test_initial_profile_respected(self):
+        game = ContinuousGame([_CournotPlayer(), _CournotPlayer()])
+        result = solve_nash(game, _cournot_context,
+                            BestResponseOptions(damping=0.5),
+                            initial=[np.array([1.0]), np.array([8.0])])
+        assert result.converged
+
+    def test_wrong_initial_length_rejected(self):
+        game = ContinuousGame([_CournotPlayer(), _CournotPlayer()])
+        with pytest.raises(ValueError):
+            solve_nash(game, _cournot_context, initial=[np.array([1.0])])
+
+    def test_failure_raises_when_requested(self):
+        game = ContinuousGame([_CournotPlayer(), _CournotPlayer()])
+        opts = BestResponseOptions(max_iter=1, tol=1e-15,
+                                   raise_on_failure=True)
+        with pytest.raises(ConvergenceError):
+            solve_nash(game, _cournot_context, opts,
+                       initial=[np.array([0.1]), np.array([9.0])])
+
+
+class TestOptions:
+    def test_damping_bounds(self):
+        with pytest.raises(ValueError):
+            BestResponseOptions(damping=0.0)
+        with pytest.raises(ValueError):
+            BestResponseOptions(damping=1.5)
+
+    def test_unknown_sweep(self):
+        with pytest.raises(ValueError):
+            BestResponseOptions(sweep="chaotic")
+
+    def test_max_iter_positive(self):
+        with pytest.raises(ValueError):
+            BestResponseOptions(max_iter=0)
+
+
+class TestProjectedGradient:
+    def test_maximizes_concave_quadratic(self):
+        player = _CournotPlayer(analytic=False)
+        # Against opponent quantity 3, BR = (10 - 1 - 3)/2 = 3.
+        out = projected_gradient_response(player, 3.0, np.array([0.5]))
+        assert abs(float(out[0]) - 3.0) < 1e-3
+
+    def test_respects_projection(self):
+        player = _CournotPlayer(analytic=False)
+        out = projected_gradient_response(player, 20.0, np.array([5.0]))
+        assert float(out[0]) >= 0.0

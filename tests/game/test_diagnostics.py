@@ -1,0 +1,58 @@
+"""Convergence reporting utilities."""
+
+import pytest
+
+from repro.game.diagnostics import ConvergenceReport, ResidualRecorder
+
+
+class TestResidualRecorder:
+    def test_record_below_tolerance(self):
+        rec = ResidualRecorder(1e-3)
+        assert not rec.record(1.0)
+        assert rec.record(1e-4)
+
+    def test_last_residual(self):
+        rec = ResidualRecorder(1e-3)
+        rec.record(0.5)
+        rec.record(0.25)
+        assert rec.last_residual == 0.25
+
+    def test_empty_recorder_reports_inf(self):
+        rec = ResidualRecorder(1e-3)
+        assert rec.last_residual == float("inf")
+
+    def test_history_trimming(self):
+        rec = ResidualRecorder(1e-12, max_history=10)
+        for i in range(50):
+            rec.record(1.0 / (i + 1))
+        report = rec.report(False, 50)
+        assert len(report.history) <= 10
+        # Most recent residual always retained.
+        assert report.history[-1] == pytest.approx(1.0 / 50)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            ResidualRecorder(0.0)
+
+    def test_report_fields(self):
+        rec = ResidualRecorder(1e-3)
+        rec.record(1e-4)
+        report = rec.report(True, 7, message="done")
+        assert report.converged
+        assert report.iterations == 7
+        assert report.tolerance == 1e-3
+        assert report.message == "done"
+
+
+class TestConvergenceReport:
+    def test_str_converged(self):
+        rep = ConvergenceReport(True, 12, 1e-10, 1e-9)
+        text = str(rep)
+        assert "converged" in text
+        assert "12" in text
+
+    def test_str_not_converged_with_message(self):
+        rep = ConvergenceReport(False, 3, 0.5, 1e-9, message="stalled")
+        text = str(rep)
+        assert "NOT converged" in text
+        assert "stalled" in text

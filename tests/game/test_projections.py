@@ -1,0 +1,146 @@
+"""Projections: closed-form correctness and optimality properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game.projections import (dykstra, project_budget_orthant,
+                                    project_halfspace, project_nonnegative)
+
+
+def brute_force_budget_projection(x, prices, budget, grid=400):
+    """Dense-sampling reference for the 2-D budget-orthant projection."""
+    best = None
+    best_d = np.inf
+    # Sample the feasible region boundary and interior coarsely.
+    max0 = budget / prices[0]
+    max1 = budget / prices[1]
+    for a in np.linspace(0, max0, grid):
+        rem = budget - prices[0] * a
+        for b in np.linspace(0, max(rem / prices[1], 0), 40):
+            d = (a - x[0]) ** 2 + (b - x[1]) ** 2
+            if d < best_d:
+                best_d = d
+                best = np.array([a, b])
+    return best
+
+
+class TestNonnegative:
+    def test_clips_negatives(self):
+        out = project_nonnegative(np.array([-1.0, 2.0, -0.5]))
+        assert np.array_equal(out, [0.0, 2.0, 0.0])
+
+    def test_identity_on_feasible(self):
+        x = np.array([0.0, 3.0])
+        assert np.array_equal(project_nonnegative(x), x)
+
+
+class TestHalfspace:
+    def test_feasible_point_unchanged(self):
+        x = np.array([1.0, 1.0])
+        out = project_halfspace(x, np.array([1.0, 1.0]), 5.0)
+        assert out is x
+
+    def test_projection_lands_on_boundary(self):
+        x = np.array([4.0, 4.0])
+        a = np.array([1.0, 1.0])
+        out = project_halfspace(x, a, 4.0)
+        assert np.isclose(np.dot(a, out), 4.0)
+
+    def test_projection_is_orthogonal(self):
+        x = np.array([5.0, 1.0])
+        a = np.array([1.0, 0.0])
+        out = project_halfspace(x, a, 2.0)
+        assert np.allclose(out, [2.0, 1.0])
+
+    def test_zero_normal_rejected_when_infeasible(self):
+        # 0 . x = 0 > -1: the constraint is violated but no direction can
+        # fix it — must raise instead of dividing by zero.
+        with pytest.raises(ValueError):
+            project_halfspace(np.array([1.0]), np.array([0.0]), -1.0)
+
+
+class TestBudgetOrthant:
+    def test_interior_point_unchanged(self):
+        prices = np.array([2.0, 1.0])
+        out = project_budget_orthant(np.array([1.0, 1.0]), prices, 100.0)
+        assert np.allclose(out, [1.0, 1.0])
+
+    def test_negative_coordinates_clipped(self):
+        prices = np.array([2.0, 1.0])
+        out = project_budget_orthant(np.array([-3.0, 1.0]), prices, 100.0)
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_budget_overflow_lands_on_plane(self):
+        prices = np.array([2.0, 1.0])
+        out = project_budget_orthant(np.array([100.0, 100.0]), prices, 50.0)
+        assert np.isclose(np.dot(prices, out), 50.0, atol=1e-8)
+        assert np.all(out >= 0)
+
+    def test_matches_brute_force(self):
+        prices = np.array([2.0, 1.0])
+        for x in ([30.0, 10.0], [5.0, 60.0], [-2.0, 80.0], [40.0, 40.0]):
+            exact = project_budget_orthant(np.array(x), prices, 50.0)
+            approx = brute_force_budget_projection(np.array(x), prices, 50.0)
+            assert np.linalg.norm(exact - approx) < 0.2
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            project_budget_orthant(np.array([1.0]), np.array([1.0]), -1.0)
+
+    def test_nonpositive_price_rejected(self):
+        with pytest.raises(ValueError):
+            project_budget_orthant(np.array([1.0, 1.0]),
+                                   np.array([1.0, 0.0]), 10.0)
+
+    @given(st.lists(st.floats(-50, 150), min_size=2, max_size=6),
+           st.floats(0.1, 10), st.floats(0.1, 10), st.floats(1, 200))
+    @settings(max_examples=150, deadline=None)
+    def test_projection_properties(self, xs, p0, p1, budget):
+        """The projection is feasible and no farther than any sampled
+        feasible point (variational characterization, sampled)."""
+        dim = len(xs)
+        x = np.array(xs)
+        prices = np.linspace(p0, p1, dim)
+        y = project_budget_orthant(x, prices, budget)
+        assert np.all(y >= -1e-9)
+        assert float(np.dot(prices, y)) <= budget + 1e-6
+        # Variational inequality: (x - y) . (z - y) <= 0 for feasible z.
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            z = rng.uniform(0, 1, dim)
+            z = z * budget / max(float(np.dot(prices, z)), 1e-12)
+            z *= rng.uniform(0, 1)
+            assert float(np.dot(x - y, z - y)) <= 1e-6 * (
+                1 + np.linalg.norm(x))
+
+
+class TestDykstra:
+    def test_intersection_of_halfspaces(self):
+        # Project (3, 3) onto {x <= 1} ∩ {y <= 1} == box corner (1, 1).
+        p1 = lambda v: project_halfspace(v, np.array([1.0, 0.0]), 1.0)
+        p2 = lambda v: project_halfspace(v, np.array([0.0, 1.0]), 1.0)
+        out = dykstra(np.array([3.0, 3.0]), [p1, p2])
+        assert np.allclose(out, [1.0, 1.0], atol=1e-8)
+
+    def test_budget_and_capacity(self):
+        prices = np.array([2.0, 1.0])
+        budget_proj = lambda v: project_budget_orthant(v, prices, 100.0)
+        cap_proj = lambda v: project_halfspace(v, np.array([1.0, 0.0]), 5.0)
+        out = dykstra(np.array([50.0, 20.0]), [budget_proj, cap_proj])
+        assert out[0] <= 5.0 + 1e-8
+        assert float(np.dot(prices, out)) <= 100.0 + 1e-6
+        assert np.all(out >= -1e-9)
+
+    def test_empty_projection_list_copies(self):
+        x = np.array([1.0, 2.0])
+        out = dykstra(x, [])
+        assert np.array_equal(out, x)
+        assert out is not x
+
+    def test_feasible_point_fixed(self):
+        p1 = lambda v: project_nonnegative(v)
+        p2 = lambda v: project_halfspace(v, np.array([1.0, 1.0]), 10.0)
+        x = np.array([2.0, 3.0])
+        assert np.allclose(dykstra(x, [p1, p2]), x)

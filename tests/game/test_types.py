@@ -1,0 +1,93 @@
+"""Strategy spaces and the ContinuousGame container."""
+
+import numpy as np
+import pytest
+
+from repro.game.types import BudgetBox, ContinuousGame, Player
+
+
+class _ConstantPlayer(Player):
+    """Minimal player for container tests."""
+
+    def __init__(self, prices, budget):
+        self.space = BudgetBox(np.asarray(prices, dtype=float), budget)
+
+    def payoff(self, own, others):
+        return -float(np.sum(own ** 2))
+
+    def payoff_gradient(self, own, others):
+        return -2.0 * own
+
+
+class TestBudgetBox:
+    def test_dim_from_prices(self):
+        box = BudgetBox(np.array([2.0, 1.0]), 10.0)
+        assert box.dim == 2
+
+    def test_contains_interior(self):
+        box = BudgetBox(np.array([2.0, 1.0]), 10.0)
+        assert box.contains(np.array([1.0, 1.0]))
+
+    def test_contains_rejects_budget_violation(self):
+        box = BudgetBox(np.array([2.0, 1.0]), 10.0)
+        assert not box.contains(np.array([4.0, 4.0]))
+
+    def test_contains_rejects_negative(self):
+        box = BudgetBox(np.array([2.0, 1.0]), 10.0)
+        assert not box.contains(np.array([-1.0, 0.0]))
+
+    def test_interior_point_strictly_feasible(self):
+        box = BudgetBox(np.array([2.0, 1.0]), 10.0)
+        p = box.interior_point()
+        assert np.all(p > 0)
+        assert float(np.dot(box.prices, p)) < box.budget
+
+    def test_project_returns_feasible(self):
+        box = BudgetBox(np.array([2.0, 1.0]), 10.0)
+        out = box.project(np.array([100.0, -3.0]))
+        assert box.contains(out, tol=1e-6)
+
+    def test_invalid_prices_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetBox(np.array([0.0, 1.0]), 10.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetBox(np.array([1.0]), -5.0)
+
+    def test_2d_prices_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetBox(np.array([[1.0, 2.0]]), 5.0)
+
+
+class TestContinuousGame:
+    def _game(self, n=3):
+        return ContinuousGame([_ConstantPlayer([2.0, 1.0], 10.0)
+                               for _ in range(n)])
+
+    def test_num_players(self):
+        assert self._game(4).num_players == 4
+
+    def test_stack_split_roundtrip(self):
+        game = self._game(3)
+        blocks = [np.array([1.0, 2.0]), np.array([3.0, 4.0]),
+                  np.array([5.0, 6.0])]
+        flat = game.stack(blocks)
+        assert flat.shape == (6,)
+        back = game.split(flat)
+        for a, b in zip(blocks, back):
+            assert np.array_equal(a, b)
+
+    def test_split_rejects_wrong_length(self):
+        game = self._game(2)
+        with pytest.raises(ValueError):
+            game.split(np.zeros(5))
+
+    def test_initial_profile_feasible(self):
+        game = self._game(3)
+        for player, block in zip(game.players, game.initial_profile()):
+            assert player.space.contains(block)
+
+    def test_empty_game_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousGame([])

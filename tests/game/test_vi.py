@@ -1,0 +1,98 @@
+"""VI solvers on problems with known solutions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.game.projections import project_nonnegative
+from repro.game.vi import (VIProblem, extragradient, monotonicity_gap,
+                           natural_residual, solve_vi_adaptive)
+
+
+def _affine_problem(dim=4, seed=0):
+    """VI with F(x) = M x + q, M positive definite: unique solution."""
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(dim, dim))
+    M = A @ A.T + dim * np.eye(dim)
+    q = rng.normal(size=dim)
+    problem = VIProblem(operator=lambda x: M @ x + q,
+                        project=project_nonnegative, dim=dim)
+    return problem, M, q
+
+
+def _check_kkt(M, q, x, tol=1e-5):
+    """Complementarity for VI(R^n_+, Mx+q): x>=0, F(x)>=0, x.F(x)=0."""
+    f = M @ x + q
+    assert np.all(x >= -tol)
+    assert np.all(f >= -tol)
+    assert abs(float(np.dot(x, f))) < tol * 10
+
+
+class TestExtragradient:
+    def test_solves_affine_vi(self):
+        problem, M, q = _affine_problem()
+        result = extragradient(problem, step=0.05, tol=1e-10)
+        assert result.converged
+        _check_kkt(M, q, result.solution)
+
+    def test_residual_zero_at_solution(self):
+        problem, M, q = _affine_problem()
+        result = extragradient(problem, step=0.05, tol=1e-12,
+                               max_iter=50000)
+        assert natural_residual(problem, result.solution) < 1e-8
+
+    def test_unconstrained_linear_system(self):
+        # With projection = identity the VI solves M x = -q exactly.
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(3, 3))
+        M = A @ A.T + 3 * np.eye(3)
+        q = rng.normal(size=3)
+        problem = VIProblem(operator=lambda x: M @ x + q,
+                            project=lambda x: x, dim=3)
+        result = extragradient(problem, step=0.05, tol=1e-12,
+                               max_iter=100000)
+        assert np.allclose(result.solution, np.linalg.solve(M, -q),
+                           atol=1e-6)
+
+    def test_invalid_step_rejected(self):
+        problem, _, _ = _affine_problem()
+        with pytest.raises(ValueError):
+            extragradient(problem, step=-1.0)
+
+    def test_raise_on_failure(self):
+        problem, _, _ = _affine_problem()
+        with pytest.raises(ConvergenceError):
+            extragradient(problem, step=1e-6, tol=1e-14, max_iter=3,
+                          raise_on_failure=True)
+
+
+class TestAdaptive:
+    def test_solves_without_lipschitz_knowledge(self):
+        problem, M, q = _affine_problem(dim=6, seed=3)
+        result = solve_vi_adaptive(problem, step=10.0, tol=1e-10)
+        assert result.converged
+        _check_kkt(M, q, result.solution)
+
+    def test_matches_fixed_step(self):
+        problem, _, _ = _affine_problem(dim=4, seed=5)
+        r1 = extragradient(problem, step=0.02, tol=1e-11, max_iter=100000)
+        r2 = solve_vi_adaptive(problem, step=5.0, tol=1e-11)
+        assert np.allclose(r1.solution, r2.solution, atol=1e-6)
+
+    def test_invalid_shrink_rejected(self):
+        problem, _, _ = _affine_problem()
+        with pytest.raises(ValueError):
+            solve_vi_adaptive(problem, shrink=1.5)
+
+
+class TestMonotonicity:
+    def test_monotone_operator_nonnegative_gap(self):
+        _, M, q = _affine_problem(dim=3, seed=7)
+        op = lambda x: M @ x + q
+        points = np.random.default_rng(0).normal(size=(8, 3))
+        assert monotonicity_gap(op, points) >= 0.0
+
+    def test_antimonotone_operator_detected(self):
+        op = lambda x: -x
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert monotonicity_gap(op, points) < 0.0

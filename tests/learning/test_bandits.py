@@ -1,0 +1,96 @@
+"""Bandit learners on stationary problems with known best arms."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learning import (EpsilonGreedyLearner, SoftmaxLearner, UCBLearner)
+
+
+def _train(learner, means, steps=3000, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        a = learner.select()
+        learner.update(a, means[a] + rng.normal(0, 0.1))
+    return learner
+
+
+MEANS = np.array([0.1, 0.9, 0.4, 0.2])
+
+
+class TestEpsilonGreedy:
+    def test_finds_best_arm(self):
+        learner = _train(EpsilonGreedyLearner(4, seed=1), MEANS)
+        assert learner.greedy() == 1
+
+    def test_epsilon_decays(self):
+        learner = EpsilonGreedyLearner(4, epsilon=0.5, epsilon_decay=0.9,
+                                       epsilon_min=0.05)
+        for _ in range(200):
+            learner.select()
+        assert learner.epsilon == pytest.approx(0.05)
+
+    def test_update_moves_value(self):
+        learner = EpsilonGreedyLearner(2, step_size=0.5)
+        learner.update(0, 10.0)
+        assert learner.values[0] == pytest.approx(5.0)
+
+    def test_update_all_full_information(self):
+        learner = EpsilonGreedyLearner(3, step_size=1.0)
+        learner.update_all(np.array([1.0, 5.0, 2.0]))
+        assert learner.greedy() == 1
+
+    def test_update_all_shape_check(self):
+        learner = EpsilonGreedyLearner(3)
+        with pytest.raises(ConfigurationError):
+            learner.update_all(np.array([1.0, 2.0]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedyLearner(0)
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedyLearner(3, epsilon=1.5)
+        with pytest.raises(ConfigurationError):
+            EpsilonGreedyLearner(3, step_size=0.0)
+
+    def test_out_of_range_action(self):
+        learner = EpsilonGreedyLearner(3)
+        with pytest.raises(ConfigurationError):
+            learner.update(5, 1.0)
+
+
+class TestSoftmax:
+    def test_finds_best_arm(self):
+        learner = _train(SoftmaxLearner(4, seed=2), MEANS)
+        assert learner.greedy() == 1
+
+    def test_temperature_anneals(self):
+        learner = SoftmaxLearner(4, temperature=1.0,
+                                 temperature_decay=0.5,
+                                 temperature_min=0.1)
+        for _ in range(20):
+            learner.select()
+        assert learner.temperature == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoftmaxLearner(3, temperature=0.0)
+
+
+class TestUCB:
+    def test_tries_every_arm_first(self):
+        learner = UCBLearner(4, seed=3)
+        first = []
+        for _ in range(4):
+            a = learner.select()
+            first.append(a)
+            learner.update(a, 0.0)
+        assert sorted(first) == [0, 1, 2, 3]
+
+    def test_finds_best_arm(self):
+        learner = _train(UCBLearner(4, exploration=0.5, seed=4), MEANS)
+        assert learner.greedy() == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UCBLearner(3, exploration=-1.0)

@@ -1,0 +1,47 @@
+"""Strategy grids."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learning import StrategyGrid
+
+
+class TestStrategyGrid:
+    def test_all_actions_feasible(self):
+        grid = StrategyGrid.build(200.0, 2.0, 1.0)
+        assert grid.feasible()
+
+    def test_contains_zero_and_extremes(self):
+        grid = StrategyGrid.build(100.0, 2.0, 1.0, spend_levels=4,
+                                  split_levels=5)
+        actions = grid.actions
+        assert any(np.allclose(a, [0.0, 0.0]) for a in actions)
+        assert any(np.allclose(a, [50.0, 0.0]) for a in actions)
+        assert any(np.allclose(a, [0.0, 100.0]) for a in actions)
+
+    def test_size_and_lookup(self):
+        grid = StrategyGrid.build(100.0, 2.0, 1.0, spend_levels=3,
+                                  split_levels=4)
+        assert grid.size == len(grid.actions)
+        e, c = grid.action(0)
+        assert isinstance(e, float) and isinstance(c, float)
+
+    def test_nearest(self):
+        grid = StrategyGrid.build(100.0, 2.0, 1.0)
+        idx = grid.nearest(0.0, 0.0)
+        assert np.allclose(grid.actions[idx], [0.0, 0.0])
+
+    def test_no_duplicate_actions(self):
+        grid = StrategyGrid.build(100.0, 2.0, 1.0, spend_levels=6,
+                                  split_levels=11)
+        rows = {tuple(a) for a in grid.actions}
+        assert len(rows) == grid.size
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StrategyGrid.build(0.0, 2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            StrategyGrid.build(100.0, 2.0, 1.0, spend_levels=0)
+        with pytest.raises(ConfigurationError):
+            StrategyGrid.build(100.0, 2.0, 1.0, split_levels=1)

@@ -1,0 +1,51 @@
+"""Fictitious play on the miner subgame."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_connected_equilibrium
+from repro.exceptions import ConfigurationError
+from repro.learning import fictitious_play
+
+
+class TestFictitiousPlay:
+    def test_converges_to_unique_ne(self, connected_params, prices):
+        fp = fictitious_play(connected_params, prices, rounds=400)
+        eq = solve_connected_equilibrium(connected_params, prices)
+        assert np.allclose(fp.e, eq.e, atol=5e-3)
+        assert np.allclose(fp.c, eq.c, atol=5e-3)
+
+    def test_heterogeneous_budgets(self, heterogeneous_params, prices):
+        # Belief averaging converges O(1/t): looser tolerance than the
+        # homogeneous case, tightened by more rounds.
+        fp = fictitious_play(heterogeneous_params, prices, rounds=400)
+        eq = solve_connected_equilibrium(heterogeneous_params, prices)
+        assert np.allclose(fp.e, eq.e, atol=0.1)
+        assert np.allclose(fp.c, eq.c, atol=0.3)
+
+    def test_beliefs_consistent_at_limit(self, connected_params, prices):
+        fp = fictitious_play(connected_params, prices, rounds=400)
+        E = float(np.sum(fp.e))
+        S = E + float(np.sum(fp.c))
+        for i in range(connected_params.n):
+            assert fp.beliefs_e[i] == pytest.approx(E - fp.e[i], abs=0.05)
+            assert fp.beliefs_s[i] == pytest.approx(
+                S - fp.e[i] - fp.c[i], abs=0.15)
+
+    def test_trajectory_recorded(self, connected_params, prices):
+        fp = fictitious_play(connected_params, prices, rounds=30, tol=1e-300)
+        assert len(fp.trajectory) == 30
+        E, C = fp.trajectory[-1]
+        assert E > 0 and C > 0
+
+    def test_respects_budgets(self, connected_params, prices):
+        fp = fictitious_play(connected_params, prices, rounds=100)
+        spend = prices.p_e * fp.e + prices.p_c * fp.c
+        assert np.all(spend <= connected_params.budget_array * (1 + 1e-9))
+
+    def test_validation(self, connected_params, prices):
+        with pytest.raises(ConfigurationError):
+            fictitious_play(connected_params, prices, rounds=0)
+        with pytest.raises(ConfigurationError):
+            fictitious_play(connected_params, prices,
+                            initial=(np.ones(2), np.ones(2)))

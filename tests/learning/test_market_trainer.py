@@ -1,0 +1,56 @@
+"""Market-coupled RL: realized payoffs through the physical substrates."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learning import MarketRLTrainer
+
+
+class TestMarketRLTrainer:
+    def test_connected_learns_toward_analytic_ne(self):
+        """Realized-payoff learning through the real dispatcher lands in
+        the neighborhood of the analytic equilibrium (e*=25.6, c*=102.4
+        at these parameters), despite the Bernoulli reward noise and the
+        coarse grid."""
+        trainer = MarketRLTrainer(n=5, budget=200.0, reward=1000.0,
+                                  fork_rate=0.2, p_e=2.0, p_c=1.0,
+                                  h=0.8, seed=1)
+        epoch = trainer.run_epoch(blocks=4000)
+        assert 10.0 <= epoch.mean_edge <= 45.0
+        assert 60.0 <= epoch.mean_cloud <= 160.0
+        # Connected mode: transfers happen, rejections never.
+        assert epoch.transfers > 0
+        assert epoch.rejections == 0
+
+    def test_standalone_learners_respect_capacity(self):
+        """With a hard E_max the rejected-and-billed-nothing feedback
+        teaches miners to stay near the capacity share."""
+        trainer = MarketRLTrainer(n=5, budget=200.0, reward=1000.0,
+                                  fork_rate=0.2, p_e=2.0, p_c=1.0,
+                                  e_max=80.0, seed=2)
+        epoch = trainer.run_epoch(blocks=4000)
+        assert epoch.rejections > 0
+        # Greedy edge strategies stay near/below the per-miner capacity
+        # share (16 units) rather than the unconstrained level (25.6+).
+        assert epoch.mean_edge <= 20.0
+
+    def test_revenue_accounting(self):
+        trainer = MarketRLTrainer(n=3, budget=100.0, reward=500.0,
+                                  fork_rate=0.1, p_e=2.0, p_c=1.0,
+                                  seed=3)
+        epoch = trainer.run_epoch(blocks=200)
+        assert epoch.esp_revenue >= 0
+        assert epoch.csp_revenue > 0
+        assert epoch.blocks == 200
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MarketRLTrainer(n=1, budget=100.0, reward=500.0,
+                            fork_rate=0.1, p_e=2.0, p_c=1.0)
+        with pytest.raises(ConfigurationError):
+            MarketRLTrainer(n=3, budget=100.0, reward=500.0,
+                            fork_rate=0.1, p_e=0.0, p_c=1.0)
+        trainer = MarketRLTrainer(n=3, budget=100.0, reward=500.0,
+                                  fork_rate=0.1, p_e=2.0, p_c=1.0)
+        with pytest.raises(ConfigurationError):
+            trainer.run_epoch(blocks=0)

@@ -1,0 +1,143 @@
+"""Learning miners: feedback rules and convergence to best responses."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learning import (EpsilonGreedyLearner, LearningMiner,
+                            RoundObservation, StrategyGrid)
+
+
+def _grid():
+    return StrategyGrid.build(200.0, 2.0, 1.0, spend_levels=8,
+                              split_levels=13)
+
+
+def _obs(grid, e_others=102.4, s_others=512.0, sat=1.0):
+    return RoundObservation(e_others=e_others, s_others=s_others,
+                            reward=1000.0, fork_rate=0.2,
+                            sat_weight=np.full(grid.size, sat),
+                            realized_payoff=0.0, won=False)
+
+
+class TestLearningMiner:
+    def test_act_returns_grid_action(self):
+        miner = LearningMiner(0, _grid(), seed=0)
+        idx, e, c = miner.act()
+        assert (e, c) == miner.grid.action(idx)
+
+    def test_observe_requires_act(self):
+        miner = LearningMiner(0, _grid())
+        with pytest.raises(ConfigurationError):
+            miner.observe(_obs(miner.grid))
+
+    def test_expected_feedback_converges_to_best_response(self):
+        """Against fixed opponents, the greedy strategy approaches the
+        exact best response (up to grid resolution)."""
+        from repro.core.miner_best_response import (ResponseContext,
+                                                    solve_best_response)
+        grid = _grid()
+        miner = LearningMiner(0, grid, feedback="expected", seed=1)
+        obs = _obs(grid)
+        for _ in range(60):
+            miner.act()
+            miner.observe(obs)
+        e_rl, c_rl = miner.greedy_strategy()
+        br = solve_best_response(
+            ResponseContext(e_others=102.4, s_others=512.0),
+            reward=1000.0, beta=0.2, h=1.0, p_e=2.0, p_c=1.0,
+            budget=200.0)
+        # Compare utilities rather than raw actions (grid resolution).
+        u_rl = miner.counterfactual_utilities(obs)[
+            miner.learner.greedy()]
+        S = 512.0 + br.e + br.c
+        E = 102.4 + br.e
+        u_br = 1000.0 * (0.8 * (br.e + br.c) / S + 0.2 * br.e / E) \
+            - 2.0 * br.e - 1.0 * br.c
+        assert u_rl >= 0.95 * u_br
+
+    def test_realized_feedback_updates_only_chosen(self):
+        grid = _grid()
+        learner = EpsilonGreedyLearner(grid.size, step_size=1.0, seed=2)
+        miner = LearningMiner(0, grid, learner=learner, feedback="realized")
+        idx, _, _ = miner.act()
+        obs = _obs(grid)
+        obs = RoundObservation(**{**obs.__dict__, "realized_payoff": 42.0})
+        miner.observe(obs)
+        assert learner.values[idx] == pytest.approx(42.0)
+        others = np.delete(learner.values, idx)
+        assert np.all(others == 0.0)
+
+    def test_counterfactual_respects_sat_weight(self):
+        grid = _grid()
+        miner = LearningMiner(0, grid)
+        full = miner.counterfactual_utilities(_obs(grid, sat=1.0))
+        none = miner.counterfactual_utilities(_obs(grid, sat=0.0))
+        # Removing the edge bonus can only lower utilities.
+        assert np.all(full >= none - 1e-12)
+        # And strictly so for actions with edge units.
+        edge_actions = grid.actions[:, 0] > 1.0
+        assert np.all(full[edge_actions] > none[edge_actions])
+
+    def test_strategy_entropy_drops_with_convergence(self):
+        grid = _grid()
+        miner = LearningMiner(0, grid, feedback="expected", seed=3)
+        obs = _obs(grid)
+        for _ in range(200):
+            miner.act()
+            miner.observe(obs)
+        # Entropy well below uniform over visited arms.
+        assert miner.strategy_entropy() < np.log(grid.size)
+
+    def test_validation(self):
+        grid = _grid()
+        with pytest.raises(ConfigurationError):
+            LearningMiner(0, grid, feedback="psychic")
+        with pytest.raises(ConfigurationError):
+            LearningMiner(0, grid,
+                          learner=EpsilonGreedyLearner(grid.size + 1))
+
+
+class TestQLearningMiner:
+    def test_converges_against_stationary_opponents(self):
+        """In a stationary environment the per-state greedy action earns
+        near-best-response utility (the Q-learner matches the bandit)."""
+        from repro.learning import QLearningMiner
+        import numpy as np
+
+        grid = _grid()
+        miner = QLearningMiner(0, grid, num_states=3, seed=4,
+                               epsilon=0.4, epsilon_decay=0.9998,
+                               epsilon_min=0.05, learning_rate=0.1,
+                               discount=0.0)
+        e_others, s_others = 102.4, 512.0
+        obs = _obs(grid)
+        ref = LearningMiner(0, grid, feedback="expected", seed=5)
+        payoffs = ref.counterfactual_utilities(obs)
+        miner.observe_state(e_others, s_others)
+        rng = np.random.default_rng(0)
+        for _ in range(12000):
+            idx, e, c = miner.act()
+            payoff = float(payoffs[idx]) + rng.normal(0, 1.0)
+            miner.learn(payoff, e_others, s_others)
+        state = miner.observe_state(e_others, s_others)
+        greedy_idx = int(miner.agent.greedy_policy()[state])
+        assert payoffs[greedy_idx] >= 0.93 * payoffs.max()
+
+    def test_requires_act_before_learn(self):
+        from repro.learning import QLearningMiner
+        from repro.exceptions import ConfigurationError
+        import pytest as _pytest
+
+        miner = QLearningMiner(0, _grid())
+        with _pytest.raises(ConfigurationError):
+            miner.learn(1.0, 10.0, 50.0)
+
+    def test_state_tracks_edge_share(self):
+        from repro.learning import QLearningMiner
+
+        miner = QLearningMiner(0, _grid(), num_states=4)
+        low = miner.observe_state(0.0, 100.0)
+        high = miner.observe_state(100.0, 100.0)
+        assert low == 0
+        assert high == 3

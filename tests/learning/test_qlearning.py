@@ -1,0 +1,62 @@
+"""Tabular Q-learning."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.learning import QLearningAgent, discretize_edge_share
+
+
+class TestQLearningAgent:
+    def test_learns_best_action_per_state(self):
+        agent = QLearningAgent(2, 3, learning_rate=0.2, discount=0.0,
+                               epsilon=0.3, epsilon_decay=1.0, seed=0)
+        rng = np.random.default_rng(0)
+        rewards = {0: [0.0, 1.0, 0.2], 1: [0.8, 0.1, 0.0]}
+        for _ in range(4000):
+            s = int(rng.integers(2))
+            a = agent.select(s)
+            agent.update(s, a, rewards[s][a] + rng.normal(0, 0.05))
+        policy = agent.greedy_policy()
+        assert policy[0] == 1
+        assert policy[1] == 0
+
+    def test_bootstrap_propagates_value(self):
+        agent = QLearningAgent(2, 1, learning_rate=1.0, discount=0.9)
+        agent.update(1, 0, 10.0)                # terminal-ish state value
+        agent.update(0, 0, 0.0, next_state=1)   # bootstraps from state 1
+        assert agent.q[0, 0] == pytest.approx(9.0)
+
+    def test_epsilon_anneals(self):
+        agent = QLearningAgent(1, 2, epsilon=0.5, epsilon_decay=0.5,
+                               epsilon_min=0.1)
+        for _ in range(10):
+            agent.select(0)
+        assert agent.epsilon == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QLearningAgent(0, 3)
+        with pytest.raises(ConfigurationError):
+            QLearningAgent(2, 3, learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            QLearningAgent(2, 3, discount=1.0)
+        agent = QLearningAgent(2, 3)
+        with pytest.raises(ConfigurationError):
+            agent.select(5)
+        with pytest.raises(ConfigurationError):
+            agent.update(0, 9, 1.0)
+
+
+class TestDiscretizeEdgeShare:
+    def test_bins(self):
+        assert discretize_edge_share(0.0, 10.0, 4) == 0
+        assert discretize_edge_share(10.0, 10.0, 4) == 3
+        assert discretize_edge_share(5.0, 10.0, 4) == 2
+
+    def test_degenerate_total(self):
+        assert discretize_edge_share(1.0, 0.0, 4) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            discretize_edge_share(1.0, 2.0, 0)

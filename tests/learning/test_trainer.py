@@ -1,0 +1,141 @@
+"""The Section VI-C epoch trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicGame, Prices, solve_dynamic_equilibrium
+from repro.exceptions import ConfigurationError
+from repro.learning import PriceLearner, RLTrainer
+from repro.population import FixedPopulation, GaussianPopulation
+
+
+def _trainer(pop=None, **kw):
+    defaults = dict(budget=200.0, reward=1000.0, fork_rate=0.2,
+                    e_max=80.0, seed=5)
+    defaults.update(kw)
+    return RLTrainer(pop or GaussianPopulation(5, 2), **defaults)
+
+
+class TestEpoch:
+    def test_strategies_converge_within_50_blocks(self):
+        """The paper's claim behind T=50: greedy strategies settle."""
+        trainer = _trainer()
+        ep = trainer.run_epoch(2.0, 1.0)
+        assert ep.blocks == 50
+        assert ep.mean_edge > 0
+        assert ep.mean_cloud > 0
+
+    def test_epoch_tracks_analytic_model(self):
+        """Fig. 9(a): RL points sit near the model lines."""
+        trainer = _trainer(grid_spend_levels=10, grid_split_levels=21)
+        ep = trainer.run_epoch(2.0, 1.0)
+        game = DynamicGame(GaussianPopulation(5, 2), reward=1000.0,
+                           fork_rate=0.2, budget=200.0, e_max=80.0,
+                           weights="capacity")
+        model = solve_dynamic_equilibrium(game, Prices(2.0, 1.0))
+        assert ep.mean_edge == pytest.approx(model.e, rel=0.25)
+        assert ep.mean_cloud == pytest.approx(model.c, rel=0.25)
+
+    def test_uncertainty_inflates_edge_requests(self):
+        """Fig. 9(a) comparison inside the RL framework itself.
+
+        Uses E_max=40 (hard-binding capacity: the analytic effect is ~20%)
+        with fine grids, averaged over seeds so the ε-greedy floor does
+        not mask the comparison.
+        """
+        kw = dict(e_max=40.0, grid_spend_levels=10, grid_split_levels=41)
+        dyn_e, fix_e = [], []
+        for seed in range(3):
+            dyn = _trainer(pop=GaussianPopulation(5, 2.5), seed=seed,
+                           **kw).run_epoch(2.0, 1.0)
+            fix = _trainer(pop=FixedPopulation(5), seed=seed,
+                           **kw).run_epoch(2.0, 1.0)
+            dyn_e.append(dyn.mean_edge)
+            fix_e.append(fix.mean_edge)
+        assert np.mean(dyn_e) > np.mean(fix_e)
+
+    def test_overloads_observed_in_dynamic_standalone(self):
+        ep = _trainer().run_epoch(2.0, 1.0)
+        assert 0.0 < ep.overload_rate < 1.0
+
+    def test_connected_mode_epoch(self):
+        trainer = _trainer(e_max=None, h=0.8)
+        ep = trainer.run_epoch(2.0, 1.0)
+        assert ep.overload_rate == 0.0
+        assert ep.esp_units > 0
+
+    def test_profit_helpers(self):
+        ep = _trainer().run_epoch(2.0, 1.0)
+        assert ep.esp_profit(0.2) == pytest.approx(1.8 * ep.esp_units)
+        assert ep.csp_profit(0.1) == pytest.approx(0.9 * ep.csp_units)
+
+    def test_validation(self):
+        trainer = _trainer()
+        with pytest.raises(ConfigurationError):
+            trainer.run_epoch(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            RLTrainer(GaussianPopulation(5, 2), budget=0.0, reward=1.0,
+                      fork_rate=0.2)
+        with pytest.raises(ConfigurationError):
+            RLTrainer(GaussianPopulation(5, 2), budget=1.0, reward=1.0,
+                      fork_rate=0.2, blocks_per_epoch=0)
+
+
+class TestTraining:
+    def test_price_fixed_point_reached(self):
+        trainer = _trainer()
+        esp = PriceLearner(np.linspace(1.2, 3.6, 5), unit_cost=0.2, seed=1)
+        csp = PriceLearner(np.linspace(0.4, 1.6, 5), unit_cost=0.1, seed=2)
+        result = trainer.train(esp, csp, max_epochs=30, patience=3)
+        assert result.converged
+        assert result.final_p_e in esp.grid
+        assert result.final_p_c in csp.grid
+        assert len(result.epochs) >= 4
+
+    def test_final_epoch_accessor(self):
+        trainer = _trainer()
+        esp = PriceLearner([1.0, 2.0], unit_cost=0.2)
+        csp = PriceLearner([0.5, 1.0], unit_cost=0.1)
+        result = trainer.train(esp, csp, max_epochs=3, patience=99)
+        assert result.final_epoch is result.epochs[-1]
+
+    def test_empty_training_rejected(self):
+        trainer = _trainer()
+        esp = PriceLearner([1.0, 2.0])
+        csp = PriceLearner([0.5, 1.0])
+        with pytest.raises(ConfigurationError):
+            trainer.train(esp, csp, max_epochs=0)
+
+
+class TestPriceLearner:
+    def test_epoch_cycle(self):
+        learner = PriceLearner([1.0, 2.0, 3.0], seed=0)
+        p = learner.start_epoch()
+        assert p in (1.0, 2.0, 3.0)
+        learner.end_epoch(10.0)
+
+    def test_learns_most_profitable_price(self):
+        learner = PriceLearner([1.0, 2.0, 3.0], epsilon=0.3, seed=1)
+        profits = {1.0: 5.0, 2.0: 9.0, 3.0: 4.0}
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            p = learner.start_epoch()
+            learner.end_epoch(profits[p] + rng.normal(0, 0.2))
+        assert learner.greedy_price() == 2.0
+
+    def test_value_table_shape(self):
+        learner = PriceLearner([1.0, 2.0])
+        assert learner.value_table().shape == (2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PriceLearner([2.0])
+        with pytest.raises(ConfigurationError):
+            PriceLearner([2.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            PriceLearner([-1.0, 1.0])
+        learner = PriceLearner([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            learner.end_epoch(1.0)
+        with pytest.raises(ConfigurationError):
+            learner.current_price

@@ -1,0 +1,97 @@
+"""Gossip propagation and game-parameter calibration."""
+
+import networkx as nx
+import pytest
+
+from repro.blockchain import ForkModel
+from repro.exceptions import ConfigurationError
+from repro.network import (CSP_NODE, ESP_NODE, GossipModel,
+                           calibrate_game_delays, edge_cloud_topology,
+                           propagation_time)
+
+
+@pytest.fixture
+def topology():
+    return edge_cloud_topology(20, seed=3)
+
+
+class TestGossipModel:
+    def test_link_cost_components(self):
+        m = GossipModel(block_size=1e6, validation_delay=0.01)
+        # 0.02 latency + 1e6/1e7 transmission + 0.01 validation
+        assert m.link_cost(0.02, 1e7) == pytest.approx(0.13)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GossipModel(block_size=0.0)
+        with pytest.raises(ConfigurationError):
+            GossipModel(block_size=1.0, validation_delay=-1.0)
+
+
+class TestPropagationTime:
+    def test_edge_faster_than_cloud(self, topology):
+        m = GossipModel()
+        assert propagation_time(topology, ESP_NODE, m) < \
+            propagation_time(topology, CSP_NODE, m)
+
+    def test_partial_coverage_is_faster(self, topology):
+        m = GossipModel()
+        assert propagation_time(topology, CSP_NODE, m, coverage=0.5) <= \
+            propagation_time(topology, CSP_NODE, m, coverage=1.0)
+
+    def test_two_node_line_exact(self):
+        g = nx.Graph()
+        g.add_node("a", role="miner")
+        g.add_node("b", role="miner")
+        g.add_edge("a", "b", latency=0.1, bandwidth=1e6)
+        m = GossipModel(block_size=1e5)
+        # cost = 0.1 + 1e5/1e6 = 0.2; origin 'a' reaches itself at 0.
+        assert propagation_time(g, "a", m) == pytest.approx(0.2)
+
+    def test_bigger_blocks_slower(self, topology):
+        small = GossipModel(block_size=1e5)
+        big = GossipModel(block_size=1e7)
+        assert propagation_time(topology, CSP_NODE, small) < \
+            propagation_time(topology, CSP_NODE, big)
+
+    def test_invalid_coverage(self, topology):
+        with pytest.raises(ConfigurationError):
+            propagation_time(topology, ESP_NODE, GossipModel(),
+                             coverage=0.0)
+
+    def test_no_miners_rejected(self):
+        g = nx.Graph()
+        g.add_node("x", role="esp")
+        with pytest.raises(ConfigurationError):
+            propagation_time(g, "x", GossipModel())
+
+
+class TestCalibration:
+    def test_fields_consistent(self, topology):
+        cal = calibrate_game_delays(topology, GossipModel())
+        assert cal.d_avg == pytest.approx(cal.cloud_delay
+                                          - cal.edge_delay)
+        assert 0.0 <= cal.fork_rate < 1.0
+
+    def test_fork_rate_from_gap(self, topology):
+        fm = ForkModel()
+        cal = calibrate_game_delays(topology, GossipModel(),
+                                    fork_model=fm)
+        assert cal.fork_rate == pytest.approx(
+            float(fm.fork_rate(cal.d_avg)))
+
+    def test_beta_monotone_in_block_size(self, topology):
+        betas = [calibrate_game_delays(
+            topology, GossipModel(block_size=bs)).fork_rate
+            for bs in (1e5, 1e6, 1e7)]
+        assert betas[0] < betas[1] < betas[2]
+
+    def test_zero_gap_zero_beta(self):
+        # If the CSP were as close as the ESP, no fork advantage remains.
+        g = edge_cloud_topology(10, seed=0)
+        for m in range(10):
+            g[CSP_NODE][m]["latency"] = g[ESP_NODE][m]["latency"]
+            g[CSP_NODE][m]["bandwidth"] = g[ESP_NODE][m]["bandwidth"]
+        cal = calibrate_game_delays(g, GossipModel())
+        assert cal.d_avg == pytest.approx(0.0)
+        assert cal.fork_rate == pytest.approx(0.0)

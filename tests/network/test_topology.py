@@ -1,0 +1,78 @@
+"""Topology builders."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network import (CSP_NODE, ESP_NODE, LAN, METRO, WAN,
+                           LinkProfile, edge_cloud_topology,
+                           scale_free_topology, small_world_topology)
+
+
+class TestLinkProfile:
+    def test_defaults_sane(self):
+        assert LAN.latency < METRO.latency < WAN.latency
+        assert LAN.bandwidth > METRO.bandwidth > WAN.bandwidth
+
+    def test_sampling_without_jitter_deterministic(self, rng):
+        lat, bw = METRO.sample(rng)
+        assert (lat, bw) == (METRO.latency, METRO.bandwidth)
+
+    def test_sampling_with_jitter_positive(self, rng):
+        noisy = LinkProfile(latency=0.05, bandwidth=1e6, jitter=0.3)
+        for _ in range(200):
+            lat, bw = noisy.sample(rng)
+            assert lat > 0 and bw > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkProfile(latency=-1.0, bandwidth=1e6)
+        with pytest.raises(ConfigurationError):
+            LinkProfile(latency=0.1, bandwidth=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkProfile(latency=0.1, bandwidth=1e6, jitter=1.0)
+
+
+@pytest.mark.parametrize("builder", [edge_cloud_topology,
+                                     small_world_topology,
+                                     scale_free_topology])
+class TestBuilders:
+    def test_providers_attached_to_every_miner(self, builder):
+        g = builder(12, seed=0)
+        assert ESP_NODE in g and CSP_NODE in g
+        for m in range(12):
+            assert g.has_edge(ESP_NODE, m)
+            assert g.has_edge(CSP_NODE, m)
+
+    def test_edges_carry_attributes(self, builder):
+        g = builder(12, seed=0)
+        for u, v, data in g.edges(data=True):
+            assert data["latency"] >= 0
+            assert data["bandwidth"] > 0
+
+    def test_connected(self, builder):
+        g = builder(12, seed=0)
+        assert nx.is_connected(g)
+
+    def test_roles_marked(self, builder):
+        g = builder(12, seed=0)
+        roles = nx.get_node_attributes(g, "role")
+        assert roles[ESP_NODE] == "esp"
+        assert roles[CSP_NODE] == "csp"
+        assert sum(1 for r in roles.values() if r == "miner") == 12
+
+    def test_too_few_miners_rejected(self, builder):
+        with pytest.raises(ConfigurationError):
+            builder(1, seed=0)
+
+
+class TestEdgeCloudSpecifics:
+    def test_odd_degree_product_handled(self):
+        # 5 miners x degree 3 = odd sum; the builder must fix it up.
+        g = edge_cloud_topology(5, peer_degree=3, seed=1)
+        assert nx.is_connected(g)
+
+    def test_seed_reproducibility(self):
+        a = edge_cloud_topology(10, seed=7)
+        b = edge_cloud_topology(10, seed=7)
+        assert set(a.edges) == set(b.edges)

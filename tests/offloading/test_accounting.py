@@ -1,0 +1,84 @@
+"""Billing statements and invoices."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.offloading import (CloudProvider, Dispatcher, EdgeProvider,
+                              ResourceRequest)
+from repro.offloading.accounting import (build_invoices, build_statement)
+
+
+def _allocations(capacity=None, h=1.0, seed=0):
+    esp = EdgeProvider(price=2.0, h=h, capacity=capacity, seed=seed)
+    csp = CloudProvider(price=1.0)
+    requests = [ResourceRequest(i, 10.0, 20.0) for i in range(4)]
+    return Dispatcher(esp, csp).dispatch_all(requests)
+
+
+class TestInvoices:
+    def test_served_lines(self):
+        invoices = build_invoices(_allocations(), 2.0, 1.0)
+        inv = invoices[0]
+        assert inv.total == pytest.approx(2.0 * 10 + 1.0 * 20)
+        venues = {(l.venue, l.disposition) for l in inv.lines}
+        assert ("edge", "served") in venues
+        assert ("cloud", "served") in venues
+
+    def test_transferred_line(self):
+        allocations = _allocations(h=1e-12, seed=1)  # everyone transfers
+        invoices = build_invoices(allocations, 2.0, 1.0)
+        inv = invoices[0]
+        moved = [l for l in inv.lines if l.disposition == "transferred"]
+        assert len(moved) == 1
+        assert moved[0].units == pytest.approx(10.0)
+        assert moved[0].unit_price == 1.0  # billed at the CSP price
+        assert inv.total == pytest.approx(30.0)
+
+    def test_rejected_line_costs_nothing(self):
+        allocations = _allocations(capacity=25.0)  # third+ get rejected
+        invoices = build_invoices(allocations, 2.0, 1.0)
+        rejected = [l for inv in invoices.values() for l in inv.lines
+                    if l.disposition == "rejected"]
+        assert rejected
+        assert all(l.amount == 0.0 for l in rejected)
+
+    def test_totals_match_recorded_charges(self):
+        allocations = _allocations(capacity=25.0)
+        invoices = build_invoices(allocations, 2.0, 1.0)
+        for alloc in allocations:
+            inv = invoices[alloc.request.miner_id]
+            assert inv.total == pytest.approx(alloc.total_charge)
+
+    def test_render_contains_total(self):
+        invoices = build_invoices(_allocations(), 2.0, 1.0)
+        text = invoices[0].render()
+        assert "Invoice — miner 0" in text
+        assert "total" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_invoices([], 0.0, 1.0)
+
+
+class TestStatement:
+    def test_connected_statement(self):
+        allocations = _allocations()
+        st = build_statement(allocations, 2.0, 1.0)
+        assert st.esp_units == pytest.approx(40.0)
+        assert st.csp_units == pytest.approx(80.0)
+        assert st.transferred_units == 0.0
+        assert st.rejected_units == 0.0
+        assert st.total_revenue == pytest.approx(40 * 2.0 + 80 * 1.0)
+
+    def test_transfer_statement(self):
+        allocations = _allocations(h=1e-12, seed=2)
+        st = build_statement(allocations, 2.0, 1.0)
+        assert st.esp_units == 0.0
+        assert st.transferred_units == pytest.approx(40.0)
+        assert st.csp_units == pytest.approx(120.0)
+
+    def test_rejection_statement(self):
+        allocations = _allocations(capacity=25.0)
+        st = build_statement(allocations, 2.0, 1.0)
+        assert st.rejected_units == pytest.approx(20.0)
+        assert st.esp_units == pytest.approx(20.0)

@@ -1,0 +1,104 @@
+"""Dispatch semantics under the two edge operation modes."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.offloading import (CloudProvider, Dispatcher, EdgeProvider,
+                              ResourceRequest, ResponseStatus)
+
+
+def _request(e=10.0, c=5.0, miner=0):
+    return ResourceRequest(miner_id=miner, edge_units=e, cloud_units=c)
+
+
+class TestRequest:
+    def test_cost(self):
+        r = _request()
+        assert r.cost(2.0, 1.0) == 25.0
+        assert r.total_units == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResourceRequest(miner_id=-1, edge_units=1.0, cloud_units=1.0)
+        with pytest.raises(ConfigurationError):
+            ResourceRequest(miner_id=0, edge_units=-1.0, cloud_units=1.0)
+
+
+class TestConnectedDispatch:
+    def test_satisfied_request(self):
+        esp = EdgeProvider(price=2.0, h=1.0)
+        csp = CloudProvider(price=1.0)
+        alloc = Dispatcher(esp, csp).dispatch(_request())
+        assert alloc.status is ResponseStatus.SATISFIED
+        assert alloc.edge_units == 10.0
+        assert alloc.cloud_units == 5.0
+        assert alloc.edge_charge == 20.0
+        assert alloc.cloud_charge == 5.0
+
+    def test_transfer_moves_units_to_cloud(self):
+        # h below any random draw: every request transfers.
+        esp = EdgeProvider(price=2.0, h=1e-12, seed=0)
+        csp = CloudProvider(price=1.0)
+        alloc = Dispatcher(esp, csp).dispatch(_request())
+        assert alloc.status is ResponseStatus.TRANSFERRED
+        assert alloc.edge_units == 0.0
+        assert alloc.cloud_units == 15.0
+        # Transferred units are billed at the CSP price.
+        assert alloc.edge_charge == 0.0
+        assert alloc.cloud_charge == 15.0
+
+    def test_transfer_rate_statistics(self):
+        esp = EdgeProvider(price=2.0, h=0.6, seed=1)
+        csp = CloudProvider(price=1.0)
+        dispatcher = Dispatcher(esp, csp)
+        outcomes = [dispatcher.dispatch(_request()).status
+                    for _ in range(5000)]
+        rate = outcomes.count(ResponseStatus.TRANSFERRED) / 5000
+        assert rate == pytest.approx(0.4, abs=0.03)
+
+    def test_empty_edge_request(self):
+        esp = EdgeProvider(price=2.0, h=0.5)
+        csp = CloudProvider(price=1.0)
+        alloc = Dispatcher(esp, csp).dispatch(_request(e=0.0))
+        assert alloc.status is ResponseStatus.EMPTY
+        assert alloc.cloud_charge == 5.0
+
+
+class TestStandaloneDispatch:
+    def _dispatcher(self, capacity=15.0):
+        esp = EdgeProvider(price=2.0, capacity=capacity)
+        csp = CloudProvider(price=1.0)
+        return Dispatcher(esp, csp)
+
+    def test_within_capacity_satisfied(self):
+        alloc = self._dispatcher().dispatch(_request())
+        assert alloc.status is ResponseStatus.SATISFIED
+
+    def test_overload_rejected_keeps_cloud_part(self):
+        d = self._dispatcher(capacity=15.0)
+        first = d.dispatch(_request(e=10.0, miner=0))
+        second = d.dispatch(_request(e=10.0, miner=1))
+        assert first.status is ResponseStatus.SATISFIED
+        assert second.status is ResponseStatus.REJECTED
+        assert second.edge_units == 0.0
+        assert second.cloud_units == 5.0
+        assert second.edge_charge == 0.0
+
+    def test_dispatch_all_resets_epoch(self):
+        d = self._dispatcher(capacity=15.0)
+        batch = [_request(e=10.0, miner=i) for i in range(2)]
+        first_round = d.dispatch_all(batch)
+        second_round = d.dispatch_all(batch)
+        # Without the epoch reset the second round would reject everything.
+        assert first_round[0].status is ResponseStatus.SATISFIED
+        assert second_round[0].status is ResponseStatus.SATISFIED
+
+    def test_fcfs_order_matters(self):
+        d = self._dispatcher(capacity=12.0)
+        allocs = d.dispatch_all([_request(e=10.0, miner=0),
+                                 _request(e=10.0, miner=1),
+                                 _request(e=2.0, miner=2)])
+        statuses = [a.status for a in allocs]
+        assert statuses == [ResponseStatus.SATISFIED,
+                            ResponseStatus.REJECTED,
+                            ResponseStatus.SATISFIED]

@@ -1,0 +1,72 @@
+"""Market rounds: dispatch + mining + settlement."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.offloading import (CloudProvider, EdgeProvider, OffloadingMarket,
+                              ResourceRequest)
+
+
+def _market(capacity=None, h=1.0, seed=0):
+    esp = EdgeProvider(price=2.0, unit_cost=0.2, h=h, capacity=capacity,
+                       seed=seed)
+    csp = CloudProvider(price=1.0, unit_cost=0.1)
+    return OffloadingMarket(esp, csp, reward=1000.0, fork_rate=0.2,
+                            seed=seed)
+
+
+def _requests(n=5, e=10.0, c=20.0):
+    return [ResourceRequest(miner_id=i, edge_units=e, cloud_units=c)
+            for i in range(n)]
+
+
+class TestMarketRound:
+    def test_exactly_one_winner(self):
+        round_ = _market().play_round(_requests())
+        assert 0 <= round_.winner < 5
+        winners = (round_.payoffs > 0).sum()
+        assert winners <= 1
+
+    def test_payoff_accounting(self):
+        round_ = _market().play_round(_requests())
+        spend = 2.0 * 10.0 + 1.0 * 20.0
+        for i, p in enumerate(round_.payoffs):
+            if i == round_.winner:
+                assert p == pytest.approx(1000.0 - spend)
+            else:
+                assert p == pytest.approx(-spend)
+
+    def test_revenue_split(self):
+        round_ = _market().play_round(_requests())
+        assert round_.esp_revenue == pytest.approx(5 * 10.0 * 2.0)
+        assert round_.csp_revenue == pytest.approx(5 * 20.0 * 1.0)
+
+    def test_standalone_overload_shifts_revenue(self):
+        market = _market(capacity=25.0)
+        round_ = market.play_round(_requests())
+        # Only two miners fit (10 + 10 <= 25, third rejected).
+        assert round_.esp_revenue == pytest.approx(2 * 10.0 * 2.0)
+
+    def test_empirical_win_rates_track_model(self):
+        market = _market(seed=11)
+        wins = np.zeros(5)
+        reqs = _requests()
+        for _ in range(4000):
+            wins[market.play_round(reqs).winner] += 1
+        rates = wins / wins.sum()
+        # Homogeneous miners: symmetric winning probability.
+        assert np.max(np.abs(rates - 0.2)) < 0.03
+
+    def test_validation(self):
+        market = _market()
+        with pytest.raises(ConfigurationError):
+            market.play_round([])
+        with pytest.raises(ConfigurationError):
+            OffloadingMarket(EdgeProvider(price=1.0),
+                             CloudProvider(price=1.0),
+                             reward=0.0, fork_rate=0.2)
+        zero = [ResourceRequest(miner_id=0, edge_units=0.0,
+                                cloud_units=0.0)]
+        with pytest.raises(ConfigurationError):
+            market.play_round(zero)

@@ -1,0 +1,110 @@
+"""Service providers: ledgers, admission, satisfaction sampling."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.offloading import CloudProvider, EdgeProvider, ProviderAccount
+
+
+class TestProviderAccount:
+    def test_profit_accounting(self):
+        acct = ProviderAccount(unit_cost=0.5)
+        acct.record_sale(10.0, 2.0)
+        assert acct.revenue == 20.0
+        assert acct.operating_cost == 5.0
+        assert acct.profit == 15.0
+
+    def test_negative_sale_rejected(self):
+        acct = ProviderAccount(unit_cost=0.0)
+        with pytest.raises(ConfigurationError):
+            acct.record_sale(-1.0, 2.0)
+
+
+class TestCloudProvider:
+    def test_never_refuses(self):
+        csp = CloudProvider(price=1.0, unit_cost=0.1)
+        charge = csp.provision(1e9)
+        assert charge == pytest.approx(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CloudProvider(price=0.0)
+        with pytest.raises(ConfigurationError):
+            CloudProvider(price=1.0, unit_cost=-0.1)
+        with pytest.raises(ConfigurationError):
+            CloudProvider(price=1.0, d_avg=-1.0)
+
+
+class TestEdgeProviderConnected:
+    def test_satisfaction_rate_converges_to_h(self):
+        esp = EdgeProvider(price=2.0, h=0.7, seed=0)
+        hits = sum(esp.sample_satisfaction() for _ in range(20000))
+        assert hits / 20000 == pytest.approx(0.7, abs=0.01)
+
+    def test_admit_bills_unconditionally(self):
+        esp = EdgeProvider(price=2.0, h=0.7)
+        assert esp.admit(10.0) == 20.0
+        assert esp.account.units_sold == 10.0
+
+    def test_unlimited_capacity_view(self):
+        esp = EdgeProvider(price=2.0, h=0.7)
+        assert esp.remaining_capacity == float("inf")
+        assert not esp.standalone
+
+    def test_try_admit_is_standalone_only(self):
+        esp = EdgeProvider(price=2.0, h=0.7)
+        with pytest.raises(ConfigurationError):
+            esp.try_admit(1.0)
+
+
+class TestEdgeProviderStandalone:
+    def test_admits_until_capacity(self):
+        esp = EdgeProvider(price=2.0, capacity=10.0)
+        assert esp.try_admit(6.0)
+        assert esp.try_admit(4.0)
+        assert not esp.try_admit(0.5)
+        assert esp.load == pytest.approx(10.0)
+
+    def test_all_or_nothing(self):
+        esp = EdgeProvider(price=2.0, capacity=10.0)
+        assert esp.try_admit(8.0)
+        # 3 > remaining 2: rejected entirely, not partially served.
+        assert not esp.try_admit(3.0)
+        assert esp.load == pytest.approx(8.0)
+
+    def test_rejected_units_not_billed(self):
+        esp = EdgeProvider(price=2.0, capacity=10.0)
+        esp.try_admit(8.0)
+        esp.try_admit(5.0)
+        assert esp.account.revenue == pytest.approx(16.0)
+
+    def test_reset_epoch(self):
+        esp = EdgeProvider(price=2.0, capacity=10.0)
+        esp.try_admit(10.0)
+        esp.reset_epoch()
+        assert esp.try_admit(10.0)
+
+    def test_strict_admit_raises(self):
+        esp = EdgeProvider(price=2.0, capacity=10.0)
+        esp.try_admit(9.0)
+        with pytest.raises(CapacityError):
+            esp.admit(5.0)
+
+    def test_sample_satisfaction_guarded(self):
+        esp = EdgeProvider(price=2.0, capacity=10.0)
+        with pytest.raises(ConfigurationError):
+            esp.sample_satisfaction()
+
+    def test_zero_request_always_admitted(self):
+        esp = EdgeProvider(price=2.0, capacity=10.0)
+        esp.try_admit(10.0)
+        assert esp.try_admit(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EdgeProvider(price=2.0, capacity=0.0)
+        with pytest.raises(ConfigurationError):
+            EdgeProvider(price=2.0, h=1.5)
+        with pytest.raises(ConfigurationError):
+            EdgeProvider(price=0.0)

@@ -1,0 +1,89 @@
+"""Population models: discretized Gaussian and fixed counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.population import FixedPopulation, GaussianPopulation
+
+
+class TestFixedPopulation:
+    def test_degenerate_pmf(self):
+        pop = FixedPopulation(7)
+        assert np.array_equal(pop.support(), [7])
+        assert pop.pmf()[0] == 1.0
+        assert pop.mean == 7.0
+        assert pop.variance == 0.0
+
+    def test_sampling_is_constant(self, rng):
+        pop = FixedPopulation(4)
+        assert np.all(pop.sample(rng, size=100) == 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedPopulation(0)
+
+
+class TestGaussianPopulation:
+    def test_pmf_sums_to_one(self):
+        pop = GaussianPopulation(10, 2)
+        assert float(pop.pmf().sum()) == pytest.approx(1.0, abs=1e-12)
+
+    @given(st.floats(2.0, 40.0), st.floats(0.3, 8.0))
+    @settings(max_examples=80, deadline=None)
+    def test_pmf_sums_to_one_property(self, mu, sigma):
+        pop = GaussianPopulation(mu, sigma)
+        assert float(pop.pmf().sum()) == pytest.approx(1.0, abs=1e-9)
+        assert np.all(pop.pmf() >= 0)
+        assert pop.support()[0] >= 1
+
+    def test_mean_close_to_mu_when_untruncated(self):
+        pop = GaussianPopulation(10, 2)
+        assert pop.mean == pytest.approx(10.0, abs=0.05)
+
+    def test_variance_close_to_sigma_squared(self):
+        pop = GaussianPopulation(10, 2)
+        assert pop.variance == pytest.approx(4.0, rel=0.1)
+
+    def test_centered_binning(self):
+        """P(k=μ) is the modal bin for integer μ (centered convention)."""
+        pop = GaussianPopulation(10, 2)
+        ks = pop.support()
+        mode = ks[np.argmax(pop.pmf())]
+        assert mode == 10
+
+    def test_truncation_bias_small_mu(self):
+        """Heavy truncation shifts the mean above μ."""
+        pop = GaussianPopulation(2.0, 2.0)
+        assert pop.mean > 2.0
+        assert pop.truncation_mass() > 0.01
+
+    def test_sampling_matches_pmf(self, rng):
+        pop = GaussianPopulation(6, 1.5)
+        draws = pop.sample(rng, size=30000)
+        for k, p in zip(pop.support(), pop.pmf()):
+            if p > 0.02:
+                emp = float(np.mean(draws == k))
+                assert emp == pytest.approx(p, abs=0.01)
+
+    def test_fig3_toy_example(self):
+        """The paper's Fig. 3: μ=10, σ²=4 fits the histogram."""
+        pop = GaussianPopulation(10, 2)
+        p10 = pop.pmf()[pop.support() == 10][0]
+        p6 = pop.pmf()[pop.support() == 6][0]
+        assert p10 > 0.15
+        assert p6 < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianPopulation(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            GaussianPopulation(5.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            GaussianPopulation(5.0, 1.0, tail_sigmas=0.0)
+
+    def test_repr_mentions_support(self):
+        pop = GaussianPopulation(5, 1)
+        assert "support" in repr(pop)

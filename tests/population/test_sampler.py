@@ -1,0 +1,50 @@
+"""Per-block population process."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.population import (FixedPopulation, GaussianPopulation,
+                              PopulationProcess)
+
+
+class TestPopulationProcess:
+    def test_counts_match_model(self):
+        model = GaussianPopulation(5, 1.5)
+        proc = PopulationProcess(model, pool_size=20, seed=0)
+        counts = proc.empirical_counts(5000)
+        assert np.mean(counts) == pytest.approx(model.mean, abs=0.15)
+
+    def test_active_sets_are_valid(self):
+        proc = PopulationProcess(GaussianPopulation(5, 2), pool_size=20,
+                                 seed=1)
+        for _ in range(100):
+            block = proc.next_block()
+            assert block.count == len(block.active)
+            assert len(set(block.active.tolist())) == block.count
+            assert block.active.max() < 20
+            assert np.all(np.diff(block.active) > 0)  # sorted
+
+    def test_epoch_length(self):
+        proc = PopulationProcess(FixedPopulation(3), pool_size=5, seed=2)
+        epoch = proc.epoch(50)
+        assert len(epoch) == 50
+        assert all(b.count == 3 for b in epoch)
+
+    def test_seed_reproducibility(self):
+        a = PopulationProcess(GaussianPopulation(5, 2), 20, seed=9)
+        b = PopulationProcess(GaussianPopulation(5, 2), 20, seed=9)
+        for _ in range(20):
+            ba, bb = a.next_block(), b.next_block()
+            assert ba.count == bb.count
+            assert np.array_equal(ba.active, bb.active)
+
+    def test_pool_too_small_rejected(self):
+        model = GaussianPopulation(10, 3)
+        with pytest.raises(ConfigurationError):
+            PopulationProcess(model, pool_size=5)
+
+    def test_epoch_validation(self):
+        proc = PopulationProcess(FixedPopulation(3), pool_size=5)
+        with pytest.raises(ConfigurationError):
+            proc.epoch(0)

@@ -1,0 +1,73 @@
+"""API-quality invariants: docstrings everywhere, exports resolve, and
+exceptions stay inside the library's hierarchy."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro", "repro.core", "repro.game", "repro.blockchain",
+    "repro.network", "repro.offloading", "repro.population",
+    "repro.learning", "repro.analysis",
+]
+
+
+def _walk_modules():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        yield pkg
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                yield importlib.import_module(f"{pkg_name}.{info.name}")
+
+
+ALL_MODULES = list({m.__name__: m for m in _walk_modules()}.values())
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module", ALL_MODULES,
+                             ids=[m.__name__ for m in ALL_MODULES])
+    def test_module_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), \
+            f"{module.__name__} lacks a module docstring"
+
+    @pytest.mark.parametrize("module", ALL_MODULES,
+                             ids=[m.__name__ for m in ALL_MODULES])
+    def test_public_items_documented(self, module):
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, (
+            f"{module.__name__} exports undocumented items: "
+            f"{undocumented}")
+
+
+class TestExports:
+    @pytest.mark.parametrize("module", ALL_MODULES,
+                             ids=[m.__name__ for m in ALL_MODULES])
+    def test_all_entries_resolve(self, module):
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), \
+                f"{module.__name__}.__all__ lists missing {name!r}"
+
+
+class TestExceptionHierarchy:
+    def test_all_library_errors_derive_from_base(self):
+        from repro import exceptions
+
+        for name in exceptions.__dict__:
+            obj = getattr(exceptions, name)
+            if inspect.isclass(obj) and issubclass(obj, Exception) \
+                    and obj.__module__ == "repro.exceptions":
+                assert issubclass(obj, repro.ReproError)
+
+    def test_configuration_errors_are_value_errors(self):
+        assert issubclass(repro.ConfigurationError, ValueError)
+        assert issubclass(repro.ConvergenceError, RuntimeError)

@@ -1,0 +1,35 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["does-not-exist"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_fast_experiment(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_runs_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_parser_help_mentions_paper(self):
+        parser = build_parser()
+        assert "Blockchain" in parser.description
+
+    def test_every_registered_experiment_is_callable(self):
+        for fn in EXPERIMENTS.values():
+            assert callable(fn)
+            assert fn.__doc__

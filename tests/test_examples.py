@@ -1,0 +1,47 @@
+"""Example scripts: importable, documented, and (the fast ones) runnable.
+
+The examples are user-facing documentation; a broken example is a broken
+README. Fast examples run end-to-end here; the slower simulation demos
+are compile+import checked (their components are covered by their own
+test modules).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+FAST_EXAMPLES = ["quickstart", "permissioned_network"]
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert set(FAST_EXAMPLES) <= set(ALL_EXAMPLES)
+        assert len(ALL_EXAMPLES) >= 5
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_importable_with_main(self, name):
+        module = _load(name)
+        assert callable(getattr(module, "main", None)), \
+            f"example {name} must define main()"
+        assert module.__doc__, f"example {name} must have a docstring"
+        assert "Run:" in module.__doc__
+
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_fast_examples_run(self, name, capsys):
+        module = _load(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) >= 5

@@ -1,0 +1,107 @@
+"""End-to-end integration: every subsystem composed in one scenario.
+
+Physical topology → delay/β calibration → Stackelberg pricing → miner
+equilibrium → offloading market dispatch + billing → event-driven mining
+on a real chain → welfare accounting. Each hand-off is checked, so a
+regression anywhere in the pipeline fails here even if the unit tests of
+the neighboring modules still pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blockchain import (Difficulty, EventDrivenSimulator, ForkModel,
+                              MinerNode, PropagationModel)
+from repro.core import (Prices, from_calibration, solve_stackelberg,
+                        verify_miner_equilibrium, welfare_report)
+from repro.network import (GossipModel, calibrate_game_delays,
+                           edge_cloud_topology)
+from repro.offloading import (CloudProvider, Dispatcher, EdgeProvider,
+                              ResourceRequest, build_invoices,
+                              build_statement)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """Run the full pipeline once; the tests inspect its stages."""
+    # 1. Physical network -> game parameters.
+    graph = edge_cloud_topology(20, seed=5)
+    calibration = calibrate_game_delays(graph,
+                                        GossipModel(block_size=4e6))
+    params = from_calibration(calibration, n=5, budget=150.0,
+                              reward=1000.0, h=0.8, edge_cost=0.2,
+                              cloud_cost=0.1)
+    # 2. Leader + follower stages.
+    se = solve_stackelberg(params)
+    # 3. Market dispatch at equilibrium.
+    esp = EdgeProvider(price=se.prices.p_e, unit_cost=0.2, h=1.0)
+    csp = CloudProvider(price=se.prices.p_c, unit_cost=0.1)
+    requests = [ResourceRequest(i, float(se.miners.e[i]),
+                                float(se.miners.c[i]))
+                for i in range(params.n)]
+    allocations = Dispatcher(esp, csp).dispatch_all(requests)
+    # 4. Mine a real chain on the provisioned units.
+    nodes = [MinerNode(i, a.edge_units, a.cloud_units)
+             for i, a in enumerate(allocations)]
+    total_units = sum(n.total_units for n in nodes)
+    sim = EventDrivenSimulator(
+        nodes, Difficulty(unit_solve_time=total_units * 30.0),
+        PropagationModel(cloud_delay=calibration.d_avg), reward=1000.0,
+        seed=9)
+    result = sim.run(4000)
+    return dict(calibration=calibration, params=params, se=se,
+                allocations=allocations, result=result, esp=esp,
+                csp=csp)
+
+
+class TestPipeline:
+    def test_calibration_feeds_the_game(self, pipeline):
+        cal = pipeline["calibration"]
+        params = pipeline["params"]
+        assert params.fork_rate == pytest.approx(cal.fork_rate)
+        assert 0.0 < params.fork_rate < 1.0
+
+    def test_equilibrium_is_verified(self, pipeline):
+        se = pipeline["se"]
+        assert se.prices.p_e > se.prices.p_c
+        assert verify_miner_equilibrium(se.miners, rel_tol=1e-4)
+
+    def test_market_serves_equilibrium_demand(self, pipeline):
+        se = pipeline["se"]
+        allocations = pipeline["allocations"]
+        served_edge = sum(a.edge_units for a in allocations)
+        assert served_edge == pytest.approx(se.miners.total_edge,
+                                            rel=1e-9)
+        # Billing consistency all the way through.
+        invoices = build_invoices(allocations, se.prices.p_e,
+                                  se.prices.p_c)
+        statement = build_statement(allocations, se.prices.p_e,
+                                    se.prices.p_c)
+        assert sum(i.total for i in invoices.values()) == pytest.approx(
+            statement.total_revenue)
+        assert statement.esp_revenue == pytest.approx(
+            pipeline["esp"].account.revenue)
+
+    def test_mined_chain_matches_model(self, pipeline):
+        from repro.core.winning import w_full
+        result = pipeline["result"]
+        allocations = pipeline["allocations"]
+        assert result.chain.validate()
+        e = np.array([a.edge_units for a in allocations])
+        c = np.array([a.cloud_units for a in allocations])
+        rate_edge = e.sum() / (e.sum() + c.sum()) / 30.0
+        beta_emergent = 1.0 - np.exp(
+            -rate_edge * pipeline["calibration"].d_avg)
+        model = w_full(e, c, beta_emergent)
+        assert np.max(np.abs(result.win_shares - model)) < 0.03
+
+    def test_welfare_accounting_closes(self, pipeline):
+        rep = welfare_report(pipeline["se"].miners)
+        assert rep.transfers_balance == pytest.approx(0.0, abs=1e-6)
+        assert 0.0 < rep.dissipation < 1.0
+
+    def test_rewards_conserved_on_chain(self, pipeline):
+        result = pipeline["result"]
+        credited = sum(n.reward_earned for n in result.nodes)
+        canonical = len(result.chain.winners())
+        assert credited == pytest.approx(canonical * 1000.0)

@@ -1,0 +1,52 @@
+"""Public API surface: everything advertised imports and works together.
+
+Doubles as the README quickstart's regression test.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (EdgeMode, GameParameters, Prices, homogeneous,
+                   solve_connected_equilibrium, solve_stackelberg,
+                   verify_miner_equilibrium)
+
+
+class TestTopLevelExports:
+    def test_all_symbols_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestQuickstart:
+    def test_readme_quickstart(self):
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=0.8)
+        eq = solve_connected_equilibrium(params, Prices(p_e=2.0, p_c=1.0))
+        assert eq.converged
+        assert "equilibrium" in eq.summary()
+        assert verify_miner_equilibrium(eq)
+
+    def test_end_to_end_stackelberg(self):
+        params = homogeneous(5, 100.0, reward=1000.0, fork_rate=0.2, h=0.8,
+                             edge_cost=0.2, cloud_cost=0.1)
+        se = solve_stackelberg(params)
+        assert se.prices.p_e > se.prices.p_c
+        # Miner spending never exceeds budgets at equilibrium prices.
+        assert np.all(se.miners.spending <= 100.0 * (1 + 1e-9))
+
+    def test_exceptions_are_catchable_via_base(self):
+        from repro import ReproError
+        with pytest.raises(ReproError):
+            homogeneous(1, 100.0, reward=1.0, fork_rate=0.1)
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.blockchain
+        import repro.game
+        import repro.learning
+        import repro.offloading
+        import repro.population
+        assert repro.blockchain.Block.genesis().height == 0
