@@ -22,7 +22,9 @@ Subpackages:
 * :mod:`repro.offloading` — ESP/CSP providers, dispatch, market;
 * :mod:`repro.population` — miner-count models;
 * :mod:`repro.learning` — the Section VI-C RL framework;
-* :mod:`repro.analysis` — per-figure/table experiment harness.
+* :mod:`repro.analysis` — per-figure/table experiment harness;
+* :mod:`repro.resilience` — fault injection, retry/backoff, solver
+  guards, and graceful degradation (chaos testing).
 """
 
 from .core import (EdgeMode, GameParameters, MinerEquilibrium, Prices,
@@ -31,7 +33,8 @@ from .core import (EdgeMode, GameParameters, MinerEquilibrium, Prices,
                    solve_stackelberg, solve_standalone_equilibrium,
                    verify_miner_equilibrium)
 from .exceptions import (CapacityError, ConfigurationError, ConvergenceError,
-                         InfeasibleGameError, ReproError)
+                         InfeasibleGameError, ReproError,
+                         TransientProviderError)
 
 __version__ = "1.0.0"
 
@@ -52,5 +55,6 @@ __all__ = [
     "ConvergenceError",
     "InfeasibleGameError",
     "ReproError",
+    "TransientProviderError",
     "__version__",
 ]

@@ -3,6 +3,7 @@ paper figure/table, and the ablation studies."""
 
 from .ablations import (ablation_dynamic_weights, ablation_gnep_solvers,
                         ablation_transfer_semantics)
+from .chaos import chaos_outage_sweep, outage_plan
 from .experiments import (DEFAULTS, PaperSetup, fig2_fork_model,
                           fig3_population, fig4_price_sweep,
                           fig5_delay_sweep, fig6_capacity_sweep,
@@ -27,6 +28,8 @@ __all__ = [
     "ablation_dynamic_weights",
     "ablation_gnep_solvers",
     "ablation_transfer_semantics",
+    "chaos_outage_sweep",
+    "outage_plan",
     "DEFAULTS",
     "PaperSetup",
     "fig2_fork_model",

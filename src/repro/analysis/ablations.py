@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..blockchain import RoundSimulator
-from ..core import (DynamicGame, Prices, solve_dynamic_equilibrium,
+from ..core import (DynamicGame, solve_dynamic_equilibrium,
                     solve_standalone_equilibrium,
                     solve_standalone_extragradient)
 from ..core.winning import w_connected

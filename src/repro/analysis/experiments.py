@@ -12,13 +12,13 @@ fall) that these tables support.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..blockchain import (Difficulty, EventDrivenSimulator, ForkModel,
-                          MinerNode, PropagationModel, RoundSimulator)
+                          MinerNode, PropagationModel)
 from ..core import (DemandOracle, DynamicGame, EdgeMode, GameParameters,
                     Prices, csp_best_response, homogeneous,
                     solve_connected_equilibrium, solve_dynamic_equilibrium,

@@ -20,9 +20,8 @@ import numpy as np
 
 from ..blockchain import Difficulty
 from ..blockchain.difficulty import RetargetPolicy, simulate_retargeting
-from ..core import (EdgeMode, Prices, homogeneous,
-                    solve_connected_equilibrium,
-                    solve_standalone_equilibrium, solve_stackelberg)
+from ..core import (Prices, homogeneous, solve_connected_equilibrium,
+                    solve_stackelberg)
 from ..core.social import welfare_report
 from ..core.verification import nikaido_isoda_residual
 from ..learning.fictitious import fictitious_play

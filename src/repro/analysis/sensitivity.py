@@ -14,9 +14,8 @@ regime (e.g. ``∂E/∂P_c · P_c/E``), which the tests use as ground truth.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, Optional
+from typing import Callable
 
-import numpy as np
 
 from ..core import (EdgeMode, GameParameters, Prices,
                     solve_connected_equilibrium,

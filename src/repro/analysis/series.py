@@ -9,7 +9,7 @@ shape checks they support.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 Number = Union[int, float]
 

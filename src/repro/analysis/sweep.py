@@ -7,7 +7,7 @@ metrics into a :class:`~repro.analysis.series.ResultTable`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Union
+from typing import Callable, Dict, Iterable, Union
 
 from .series import ResultTable
 

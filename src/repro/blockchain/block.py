@@ -13,7 +13,6 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Optional
 
 __all__ = ["BlockHeader", "Block", "GENESIS_PARENT"]
 

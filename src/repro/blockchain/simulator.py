@@ -34,7 +34,6 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from .block import Block
 from .chain import Blockchain, ChainStats
 from .node import MinerNode
 from .pow import Difficulty, PowOracle

@@ -16,7 +16,7 @@ import sys
 from typing import Callable, Dict
 
 from .analysis import (ablation_dynamic_weights, ablation_gnep_solvers,
-                       ablation_transfer_semantics,
+                       ablation_transfer_semantics, chaos_outage_sweep,
                        ext1_rent_dissipation, ext2_fictitious_play,
                        ext3_difficulty_retargeting, ext4_elasticities,
                        ext5_topology_calibration,
@@ -47,6 +47,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "abl1": ablation_gnep_solvers,
     "abl2": ablation_dynamic_weights,
     "abl3": ablation_transfer_semantics,
+    "chaos": chaos_outage_sweep,
     "ext1": ext1_rent_dissipation,
     "ext2": ext2_fictitious_play,
     "ext3": ext3_difficulty_retargeting,
@@ -88,7 +89,15 @@ def _run_one(name: str, output, quiet: bool) -> int:
         print(f"unknown experiment {name!r}; try 'repro-mining list'",
               file=sys.stderr)
         return 2
-    table = runner()
+    try:
+        table = runner()
+    except ReproError as ex:
+        # Covers the whole library hierarchy — ConvergenceError from a
+        # diverging solver, TransientProviderError surfacing past the
+        # retry budget, ConfigurationError, ... — one line, exit code 1.
+        print(f"experiment {name!r} failed: "
+              f"{type(ex).__name__}: {ex}", file=sys.stderr)
+        return 1
     if not quiet:
         print(table)
     if output is not None:

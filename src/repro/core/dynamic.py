@@ -40,9 +40,8 @@ case but with distribution-weighted marginals.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy.optimize import brentq

@@ -22,7 +22,6 @@ import numpy as np
 
 from ..game.best_response import (BestResponseOptions, BestResponseResult,
                                   solve_nash)
-from ..game.diagnostics import ConvergenceReport
 from ..game.types import BudgetBox, ContinuousGame, Player
 from .miner_best_response import ResponseContext, solve_best_response
 from .nep import MinerEquilibrium

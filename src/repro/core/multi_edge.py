@@ -27,14 +27,13 @@ point or cycle. Experiment EXT6 sweeps the number of competitors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy.optimize import minimize_scalar
 
 from ..exceptions import ConfigurationError
-from .params import Prices
 
 __all__ = ["EdgeSupplier", "MultiEdgeMarket", "MarketClearing",
            "clear_market", "best_response_price", "undercutting_dynamics"]

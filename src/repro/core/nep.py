@@ -11,7 +11,7 @@ needs (aggregates, utilities, SP profits).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from ..exceptions import ConvergenceError
 from ..game.diagnostics import ConvergenceReport, ResidualRecorder
 from . import utility
 from .miner_best_response import ResponseContext, solve_best_response
-from .params import EdgeMode, GameParameters, Prices
+from .params import GameParameters, Prices
 
 __all__ = ["MinerEquilibrium", "solve_connected_equilibrium",
            "initial_profile", "best_response_profile"]

@@ -32,13 +32,11 @@ sweeps this decomposition across rewards.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
 from .nep import MinerEquilibrium
-from .params import GameParameters, Prices
+from .params import GameParameters
 
 __all__ = ["WelfareReport", "social_welfare", "rent_dissipation",
            "mining_cost_breakdown", "welfare_report", "captured_reward"]

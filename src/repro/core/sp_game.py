@@ -14,7 +14,6 @@ optimization queries it many times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np

@@ -25,7 +25,7 @@ from scipy.optimize import minimize_scalar
 from ..exceptions import ConvergenceError
 from ..game.diagnostics import ConvergenceReport, ResidualRecorder
 from .nep import MinerEquilibrium
-from .params import EdgeMode, GameParameters, Prices
+from .params import GameParameters, Prices
 from .sp_game import DemandOracle, csp_best_response, esp_best_response
 
 __all__ = ["StackelbergEquilibrium", "solve_stackelberg",

@@ -11,7 +11,7 @@ from typing import Tuple
 import numpy as np
 
 from . import winning
-from .params import EdgeMode, GameParameters, Prices
+from .params import GameParameters, Prices
 
 __all__ = [
     "miner_utilities",

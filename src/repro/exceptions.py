@@ -41,3 +41,20 @@ class InfeasibleGameError(ReproError, ValueError):
 
 class CapacityError(ReproError, ValueError):
     """A resource request exceeds a provider's capacity constraints."""
+
+
+class TransientProviderError(ReproError, RuntimeError):
+    """A provider call failed for a (presumably) transient reason.
+
+    Raised by the fault-injecting providers in :mod:`repro.resilience` and
+    retried by :class:`~repro.resilience.ResilientDispatcher`. The failing
+    provider (``"esp"``/``"csp"``) and operation are attached so retry
+    bookkeeping and :class:`~repro.resilience.DegradationReport` entries can
+    name the fault precisely.
+    """
+
+    def __init__(self, message: str, provider: str = "unknown",
+                 operation: str = "unknown"):
+        super().__init__(message)
+        self.provider = provider
+        self.operation = operation

@@ -7,7 +7,8 @@ This package is paper-agnostic; the blockchain-mining games in
 
 from .best_response import (BestResponseOptions, BestResponseResult,
                             projected_gradient_response, solve_nash)
-from .diagnostics import ConvergenceReport, ResidualRecorder
+from .diagnostics import (ConvergenceReport, ResidualRecorder,
+                          classify_residuals)
 from .projections import (dykstra, project_budget_orthant, project_halfspace,
                           project_nonnegative)
 from .types import BudgetBox, ContinuousGame, Player, StrategySpace
@@ -21,6 +22,7 @@ __all__ = [
     "solve_nash",
     "ConvergenceReport",
     "ResidualRecorder",
+    "classify_residuals",
     "dykstra",
     "project_budget_orthant",
     "project_halfspace",

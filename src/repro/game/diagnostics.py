@@ -7,8 +7,9 @@ Every iterative solver in this library returns (or embeds) a
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 
 @dataclass
@@ -39,6 +40,45 @@ class ConvergenceReport:
             f"{status} after {self.iterations} iterations, "
             f"residual={self.residual:.3e} (tol={self.tolerance:.1e}){note}"
         )
+
+
+def classify_residuals(history: Sequence[float], tolerance: float,
+                       window: int = 20) -> str:
+    """Classify the tail behaviour of a residual series.
+
+    Used by :class:`repro.resilience.SolverGuard` to decide whether a
+    non-converged solve is worth salvaging or should trip the fallback
+    chain.
+
+    Returns one of:
+
+    * ``"empty"`` — no residuals were recorded;
+    * ``"invalid"`` — the tail contains NaN/Inf residuals;
+    * ``"converged"`` — the last residual is below the tolerance;
+    * ``"diverging"`` — the tail grows by an order of magnitude;
+    * ``"oscillating"`` — the tail flips direction on most steps without a
+      trend (the 2-cycle signature of a reaction-curve jump);
+    * ``"stalled"`` — none of the above: the iteration plateaued above the
+      tolerance (a degraded-but-usable approximation).
+    """
+    history = list(history)
+    if not history:
+        return "empty"
+    tail = history[-window:]
+    if any(not math.isfinite(r) for r in tail):
+        return "invalid"
+    if history[-1] < tolerance:
+        return "converged"
+    if len(tail) >= 3:
+        start = max(min(tail), 1e-300)
+        if tail[-1] > 10.0 * max(tail[0], start):
+            return "diverging"
+        diffs = [b - a for a, b in zip(tail, tail[1:])]
+        flips = sum(1 for a, b in zip(diffs, diffs[1:]) if a * b < 0)
+        spread = max(tail) / max(min(tail), 1e-300)
+        if flips >= (2 * (len(diffs) - 1)) // 3 and spread < 50.0:
+            return "oscillating"
+    return "stalled"
 
 
 class ResidualRecorder:

@@ -10,7 +10,6 @@ is what converges most robustly in self-play for this game.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

@@ -25,7 +25,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..population import FixedPopulation, PopulationModel, PopulationProcess
+from ..population import PopulationModel, PopulationProcess
 from .discretization import StrategyGrid
 from .miners import LearningMiner, RoundObservation
 from .providers import PriceLearner

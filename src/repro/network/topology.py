@@ -23,7 +23,6 @@ between the ESP and miners is negligible") and :data:`CSP_NODE`
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import networkx as nx
 import numpy as np

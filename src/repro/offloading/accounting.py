@@ -12,7 +12,7 @@ inspection. Everything is derived from the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, List, Sequence
 
 from ..exceptions import ConfigurationError
 from .request import Allocation, ResponseStatus

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Iterable, List
 
-from ..exceptions import ConfigurationError
 from .provider import CloudProvider, EdgeProvider
 from .request import Allocation, ResourceRequest, ResponseStatus
 
@@ -62,14 +61,18 @@ class Dispatcher:
                           edge_charge=0.0, cloud_charge=cloud_charge)
 
     def _dispatch_standalone(self, request: ResourceRequest) -> Allocation:
+        # try_admit bills through the provider's ledger; read the charge
+        # back off the revenue delta so both modes share one billing path
+        # and the allocation can never drift from the ESP's accounting.
+        billed_before = self.edge.account.revenue
         if self.edge.try_admit(request.edge_units):
+            edge_charge = self.edge.account.revenue - billed_before
             cloud_charge = self.cloud.provision(request.cloud_units)
             return Allocation(request=request,
                               status=ResponseStatus.SATISFIED,
                               edge_units=request.edge_units,
                               cloud_units=request.cloud_units,
-                              edge_charge=request.edge_units
-                              * self.edge.price,
+                              edge_charge=edge_charge,
                               cloud_charge=cloud_charge)
         # Rejection: the edge part is dropped entirely (Eq. 8 semantics);
         # the miner keeps only its cloud request.

@@ -10,7 +10,7 @@ between the analytical game and the blockchain simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

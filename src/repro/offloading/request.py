@@ -23,6 +23,7 @@ class ResponseStatus(enum.Enum):
     TRANSFERRED = "transferred"   # connected mode: moved to the CSP
     REJECTED = "rejected"         # standalone mode: dropped
     EMPTY = "empty"               # no edge units were requested
+    FAILED = "failed"             # dropped after exhausting retries
 
 
 @dataclass(frozen=True)

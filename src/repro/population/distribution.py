@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Tuple
 
 import numpy as np
 

@@ -1,0 +1,58 @@
+"""Resilience layer: fault injection, retry/backoff, solver guards, and
+graceful degradation across the offloading pipeline.
+
+The paper's premise is that edge resources are scarce and *unreliable*
+relative to the cloud; this package makes those failure modes first-class
+and testable:
+
+* :class:`FaultPlan` / :class:`FaultInjector` — a seeded scenario DSL
+  (ESP outage windows, CSP latency spikes, capacity degradation,
+  transient call failures) executed deterministically;
+* :class:`FaultyEdgeProvider` / :class:`FaultyCloudProvider` — wrappers
+  that apply the plan while exposing the unchanged provider surface;
+* :class:`RetryPolicy` / :func:`retry_call` — exponential backoff with
+  decorrelated jitter, used by :class:`ResilientDispatcher` for
+  transactional, never-double-billed retries;
+* :class:`SolverGuard` — NaN/divergence/oscillation detection and
+  declarative fallback chains around the equilibrium solvers;
+* :class:`DegradationReport` / :func:`run_resilient_pipeline` — the
+  labeled, reproducible chaos run: same plan + seed, same report.
+"""
+
+from .degradation import DegradationReport, all_cloud_equilibrium
+from .dispatcher import DispatchStats, ResilientDispatcher
+from .faults import (CapacityDegradation, CspLatencySpike, EspOutage,
+                     FaultEvent, FaultInjector, FaultPlan, TransientFaults)
+from .guard import (FallbackStep, GuardedSolution, SolverGuard,
+                    guarded_miner_equilibrium, guarded_stackelberg)
+from .pipeline import (PipelineOutcome, ResilientMarket,
+                       run_resilient_pipeline)
+from .providers import FaultyCloudProvider, FaultyEdgeProvider
+from .retry import RetryOutcome, RetryPolicy, retry_call
+
+__all__ = [
+    "DegradationReport",
+    "all_cloud_equilibrium",
+    "DispatchStats",
+    "ResilientDispatcher",
+    "CapacityDegradation",
+    "CspLatencySpike",
+    "EspOutage",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "TransientFaults",
+    "FallbackStep",
+    "GuardedSolution",
+    "SolverGuard",
+    "guarded_miner_equilibrium",
+    "guarded_stackelberg",
+    "PipelineOutcome",
+    "ResilientMarket",
+    "run_resilient_pipeline",
+    "FaultyCloudProvider",
+    "FaultyEdgeProvider",
+    "RetryOutcome",
+    "RetryPolicy",
+    "retry_call",
+]

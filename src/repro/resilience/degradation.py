@@ -1,0 +1,111 @@
+"""Graceful degradation: the all-cloud limit and the degradation report.
+
+When the ESP is faulted out entirely the market does not stop — miners
+fall back to the CSP, which is the ``P_e -> inf`` limit of the pricing
+game: the CSP re-optimizes as the sole leader and the miners play a
+cloud-only contest. :func:`all_cloud_equilibrium` computes exactly that
+limit with the existing solvers. :class:`DegradationReport` is the label
+every resilient result carries: which faults fired, which fallbacks ran,
+how many retries were spent, and which requests were dropped — so a
+degraded number can never masquerade as a clean one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.nep import MinerEquilibrium, solve_connected_equilibrium
+from ..core.params import GameParameters, Prices
+from ..core.sp_game import DemandOracle, csp_best_response
+from .faults import FaultEvent
+
+__all__ = ["DegradationReport", "all_cloud_equilibrium"]
+
+#: Price standing in for ``P_e -> inf``: far above any reward-justified
+#: willingness to pay, so edge demand is identically zero.
+_EFFECTIVELY_INFINITE = 1e9
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """What resilience machinery had to do to produce a result.
+
+    An all-default report (``degraded == False``) means the clean path
+    ran: no faults fired, no fallbacks, no retries, nothing dropped.
+
+    Attributes:
+        faults: Every :class:`~repro.resilience.faults.FaultEvent` that
+            fired, in firing order.
+        fallbacks: Names of solver fallback steps that had to run
+            (empty when the primary solver answered).
+        retries: Total provider-call retries spent by the dispatcher.
+        failed_requests: Miner ids whose requests were dropped after
+            exhausting retries (duplicates preserved: one entry per
+            dropped dispatch).
+        notes: Free-form degradation annotations (e.g. "all-cloud
+            equilibrium substituted: ESP out for the whole run").
+    """
+
+    faults: Tuple[FaultEvent, ...] = ()
+    fallbacks: Tuple[str, ...] = ()
+    retries: int = 0
+    failed_requests: Tuple[int, ...] = ()
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether anything at all deviated from the clean path."""
+        return bool(self.faults or self.fallbacks or self.retries
+                    or self.failed_requests or self.notes)
+
+    def to_dict(self) -> Dict:
+        """Deterministic plain-data form (stable across same-seed runs)."""
+        return {
+            "degraded": self.degraded,
+            "faults": [{"round": f.round, "kind": f.kind,
+                        "description": f.description}
+                       for f in self.faults],
+            "fallbacks": list(self.fallbacks),
+            "retries": self.retries,
+            "failed_requests": list(self.failed_requests),
+            "notes": list(self.notes),
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        if not self.degraded:
+            return "clean run: no faults fired, no fallbacks, no retries"
+        parts = [f"{len(self.faults)} fault event(s)"]
+        if self.fallbacks:
+            parts.append("fallbacks: " + ", ".join(self.fallbacks))
+        parts.append(f"{self.retries} retry(ies)")
+        if self.failed_requests:
+            parts.append(f"{len(self.failed_requests)} dropped request(s)")
+        if self.notes:
+            parts.append("; ".join(self.notes))
+        return "DEGRADED — " + "; ".join(parts)
+
+
+def all_cloud_equilibrium(params: GameParameters,
+                          p_c: Optional[float] = None,
+                          tol: float = 1e-9) -> MinerEquilibrium:
+    """Miner equilibrium of the ``P_e -> inf`` limit (ESP gone).
+
+    With the ESP out of the market the CSP is the only leader: unless a
+    cloud price is pinned explicitly, it re-optimizes as a monopolist
+    (its best response to an effectively infinite ``P_e``), and the
+    miners play the cloud-only contest at that price. Standalone-mode
+    parameters are accepted — at zero edge demand the capacity
+    constraint is slack, so the plain NEP solver applies.
+
+    Args:
+        params: Game parameters (either mode).
+        p_c: Optional pinned CSP price; default re-optimizes.
+        tol: Tolerance of the miner solve.
+    """
+    if p_c is None:
+        oracle = DemandOracle(params, tol=tol)
+        p_c = csp_best_response(oracle, _EFFECTIVELY_INFINITE)
+    prices = Prices(p_e=_EFFECTIVELY_INFINITE, p_c=float(p_c))
+    return solve_connected_equilibrium(params, prices, tol=tol)

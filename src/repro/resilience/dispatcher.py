@@ -1,0 +1,127 @@
+"""Retry-aware dispatch: transactional provider calls with backoff.
+
+:class:`ResilientDispatcher` extends the plain
+:class:`~repro.offloading.dispatcher.Dispatcher` with a
+:class:`~repro.resilience.retry.RetryPolicy`. A dispatch attempt that dies
+on a :class:`~repro.exceptions.TransientProviderError` is *rolled back* —
+provider ledgers and the standalone admission load are restored from a
+snapshot — before the retry, so billing stays exact no matter where inside
+the two-provider sequence the failure struck. When the attempt budget is
+exhausted the request is degraded to a zero-unit ``FAILED`` allocation
+instead of aborting the whole round (graceful degradation); the drop is
+recorded in :attr:`failed_requests` for the degradation report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..offloading.dispatcher import Dispatcher
+from ..offloading.request import (Allocation, ResourceRequest,
+                                  ResponseStatus)
+from .retry import RetryOutcome, RetryPolicy, retry_call
+
+__all__ = ["ResilientDispatcher", "DispatchStats"]
+
+
+@dataclass
+class _Snapshot:
+    edge_units_sold: float
+    edge_revenue: float
+    edge_load: float
+    cloud_units_sold: float
+    cloud_revenue: float
+
+
+@dataclass
+class DispatchStats:
+    """Retry/degradation counters accumulated across dispatches."""
+
+    dispatches: int = 0
+    retries: int = 0
+    failed_requests: int = 0
+    total_backoff: float = 0.0
+
+
+def _unwrap(provider):
+    """Reach the billing provider through any fault-injection wrapper."""
+    return getattr(provider, "inner", provider)
+
+
+class ResilientDispatcher(Dispatcher):
+    """A :class:`Dispatcher` that retries transient provider failures.
+
+    Args:
+        edge: The ESP (possibly a
+            :class:`~repro.resilience.providers.FaultyEdgeProvider`).
+        cloud: The CSP (possibly a
+            :class:`~repro.resilience.providers.FaultyCloudProvider`).
+        policy: Backoff/attempt budget for transient failures.
+        seed: Seed for the jitter schedules (one sub-seed per dispatch,
+            so schedules are independent yet reproducible).
+        sleep: Optional real sleep function (delays are virtual by
+            default).
+    """
+
+    def __init__(self, edge, cloud, policy: Optional[RetryPolicy] = None,
+                 seed: int = 0,
+                 sleep=None):
+        super().__init__(edge, cloud)
+        self.policy = policy or RetryPolicy()
+        self.stats = DispatchStats()
+        self.failed_requests: List[int] = []
+        self._seed = seed
+        self._sleep = sleep
+        self._dispatch_counter = 0
+
+    def _snapshot(self) -> _Snapshot:
+        edge = _unwrap(self.edge)
+        cloud = _unwrap(self.cloud)
+        return _Snapshot(
+            edge_units_sold=edge.account.units_sold,
+            edge_revenue=edge.account.revenue,
+            edge_load=edge.load,
+            cloud_units_sold=cloud.account.units_sold,
+            cloud_revenue=cloud.account.revenue)
+
+    def _rollback(self, snap: _Snapshot) -> None:
+        edge = _unwrap(self.edge)
+        cloud = _unwrap(self.cloud)
+        edge.account.units_sold = snap.edge_units_sold
+        edge.account.revenue = snap.edge_revenue
+        edge._load = snap.edge_load
+        cloud.account.units_sold = snap.cloud_units_sold
+        cloud.account.revenue = snap.cloud_revenue
+
+    def dispatch(self, request: ResourceRequest) -> Allocation:
+        """Dispatch one request, retrying transient provider failures.
+
+        Each attempt is transactional: any billing performed before the
+        failing call is rolled back, so a retried request is never
+        double-charged. After the final failed attempt the request
+        degrades to a zero-unit ``FAILED`` allocation.
+        """
+        self.stats.dispatches += 1
+        self._dispatch_counter += 1
+        snap = self._snapshot()
+
+        def attempt() -> Allocation:
+            return super(ResilientDispatcher, self).dispatch(request)
+
+        def roll_back(attempt_no: int, error: BaseException) -> None:
+            self._rollback(snap)
+
+        outcome: RetryOutcome = retry_call(
+            attempt, self.policy,
+            seed=self._seed + self._dispatch_counter,
+            sleep=self._sleep, on_retry=roll_back, swallow=True)
+        self.stats.retries += outcome.retries
+        self.stats.total_backoff += outcome.total_delay
+        if outcome.succeeded:
+            return outcome.value
+        self.stats.failed_requests += 1
+        self.failed_requests.append(request.miner_id)
+        return Allocation(request=request, status=ResponseStatus.FAILED,
+                          edge_units=0.0, cloud_units=0.0,
+                          edge_charge=0.0, cloud_charge=0.0)

@@ -1,0 +1,284 @@
+"""Fault-injection scenario DSL and the seeded injector that executes it.
+
+Real edge-resource markets fail in ways the paper's clean model does not
+represent: the ESP drops off the network for a while, the CSP's WAN path
+degrades and inflates the effective delay (hence the fork rate), capacity
+shrinks under contention, and individual provisioning calls time out.
+A :class:`FaultPlan` declares such a scenario as data; a
+:class:`FaultInjector` executes it deterministically (seeded RNG, round
+counter) and records every fault that actually fired so a
+:class:`~repro.resilience.degradation.DegradationReport` can name them.
+
+Time is measured in *market rounds* (one block / one provisioning epoch);
+windows are half-open ``[start, stop)`` with ``stop=None`` meaning "until
+the end of the run".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["EspOutage", "CspLatencySpike", "CapacityDegradation",
+           "TransientFaults", "FaultSpec", "FaultPlan", "FaultEvent",
+           "FaultInjector"]
+
+
+def _check_window(start: int, stop: Optional[int]) -> None:
+    if start < 0:
+        raise ConfigurationError(f"fault window start must be >= 0, "
+                                 f"got {start}")
+    if stop is not None and stop <= start:
+        raise ConfigurationError(
+            f"fault window must be non-empty, got [{start}, {stop})")
+
+
+def _active(start: int, stop: Optional[int], rnd: int) -> bool:
+    return rnd >= start and (stop is None or rnd < stop)
+
+
+@dataclass(frozen=True)
+class EspOutage:
+    """The ESP is unreachable during ``[start, stop)``.
+
+    A connected-mode ESP satisfies nothing (every edge request transfers
+    to the CSP); a standalone ESP rejects everything. An outage covering
+    the whole run is the ``P_e -> inf`` limit the degradation layer
+    recomputes the all-cloud equilibrium for.
+    """
+
+    start: int = 0
+    stop: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class CspLatencySpike:
+    """The CSP's communication delay is inflated during ``[start, stop)``.
+
+    ``factor >= 1`` multiplies the effective ``D_avg``; the induced fork
+    rate inflates as ``beta' = 1 - (1 - beta)**factor`` (independent
+    per-unit-time orphaning compounded over a ``factor``-times longer
+    exposure window), which keeps ``beta'`` in ``[beta, 1)``.
+    """
+
+    start: int = 0
+    stop: Optional[int] = None
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"latency spike factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class CapacityDegradation:
+    """The ESP serves only ``factor`` of its nominal capacity.
+
+    Standalone mode: the admission check runs against ``factor * E_max``.
+    Connected mode: the satisfaction probability is scaled to
+    ``factor * h`` (the overloaded ESP transfers more often).
+    """
+
+    start: int = 0
+    stop: Optional[int] = None
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        if not 0.0 <= self.factor <= 1.0:
+            raise ConfigurationError(
+                f"capacity factor must be in [0, 1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class TransientFaults:
+    """Individual provider calls fail with probability ``rate``.
+
+    ``target`` selects which side fails: ``"esp"``, ``"csp"``, or
+    ``"both"``. Failures raise
+    :class:`~repro.exceptions.TransientProviderError` *before* any billing
+    happens, so a retried call never double-charges.
+    """
+
+    rate: float
+    target: str = "csp"
+    start: int = 0
+    stop: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.stop)
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"transient fault rate must be in [0, 1], got {self.rate}")
+        if self.target not in ("esp", "csp", "both"):
+            raise ConfigurationError(
+                f"target must be 'esp', 'csp' or 'both', got {self.target!r}")
+
+
+FaultSpec = Union[EspOutage, CspLatencySpike, CapacityDegradation,
+                  TransientFaults]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative chaos scenario: which faults, when, and the seed.
+
+    The plan is immutable data; all execution state (round counter, RNG,
+    fired events) lives in the :class:`FaultInjector` so one plan can be
+    replayed any number of times — two injectors built from the same plan
+    produce identical fault sequences.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for f in self.faults:
+            if not isinstance(f, (EspOutage, CspLatencySpike,
+                                  CapacityDegradation, TransientFaults)):
+                raise ConfigurationError(
+                    f"unknown fault spec {type(f).__name__}")
+
+    @classmethod
+    def none(cls, seed: int = 0) -> "FaultPlan":
+        """The empty plan: nothing ever fails."""
+        return cls(faults=(), seed=seed)
+
+    def esp_down_for_all(self, n_rounds: int) -> bool:
+        """Whether an outage keeps the ESP dark for all ``n_rounds``."""
+        return any(isinstance(f, EspOutage) and f.start == 0
+                   and (f.stop is None or f.stop >= n_rounds)
+                   for f in self.faults)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (recorded once per round and kind)."""
+
+    round: int
+    kind: str
+    description: str
+
+    def __str__(self) -> str:
+        return f"[round {self.round}] {self.kind}: {self.description}"
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan`: answers provider queries, rolls the
+    transient-failure dice, advances the round clock, and records events.
+
+    Determinism: the transient draws come from a private
+    ``np.random.default_rng(plan.seed)``, so the same plan and the same
+    sequence of provider calls reproduce the same faults bit-for-bit.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._round = 0
+        self._events: List[FaultEvent] = []
+        self._seen = set()
+
+    @property
+    def round(self) -> int:
+        """Current market round (starts at 0)."""
+        return self._round
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """Every fault fired so far, in firing order."""
+        return tuple(self._events)
+
+    def advance_round(self) -> None:
+        """Move the scenario clock to the next market round."""
+        self._round += 1
+
+    def reset(self) -> None:
+        """Restart the scenario (round 0, fresh RNG, cleared events)."""
+        self._rng = np.random.default_rng(self.plan.seed)
+        self._round = 0
+        self._events = []
+        self._seen = set()
+
+    def _record(self, kind: str, description: str) -> None:
+        key = (self._round, kind)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._events.append(FaultEvent(round=self._round, kind=kind,
+                                       description=description))
+
+    # ----------------------------------------------------------------- #
+    # Queries the faulty providers ask.
+    # ----------------------------------------------------------------- #
+
+    def esp_down(self) -> bool:
+        """Whether an ESP outage window covers the current round."""
+        for f in self.plan.faults:
+            if isinstance(f, EspOutage) and _active(f.start, f.stop,
+                                                    self._round):
+                self._record("esp-outage",
+                             f"ESP unreachable (window [{f.start}, "
+                             f"{'end' if f.stop is None else f.stop}))")
+                return True
+        return False
+
+    def capacity_factor(self) -> float:
+        """Fraction of nominal ESP capacity available this round."""
+        factor = 1.0
+        for f in self.plan.faults:
+            if isinstance(f, CapacityDegradation) and _active(
+                    f.start, f.stop, self._round):
+                factor = min(factor, f.factor)
+        if factor < 1.0:
+            self._record("capacity-degradation",
+                         f"ESP capacity degraded to {factor:.0%}")
+        return factor
+
+    def latency_factor(self) -> float:
+        """Multiplier on the CSP's effective communication delay."""
+        factor = 1.0
+        for f in self.plan.faults:
+            if isinstance(f, CspLatencySpike) and _active(
+                    f.start, f.stop, self._round):
+                factor = max(factor, f.factor)
+        if factor > 1.0:
+            self._record("csp-latency-spike",
+                         f"CSP delay inflated {factor:.2f}x")
+        return factor
+
+    def bernoulli(self, p: float) -> bool:
+        """One seeded Bernoulli draw (used for degraded satisfaction)."""
+        return bool(self._rng.random() < p)
+
+    def transient_failure(self, target: str) -> bool:
+        """Roll the dice: does this provider call fail transiently?
+
+        ``target`` is ``"esp"`` or ``"csp"`` (the calling side). One RNG
+        draw is consumed per matching active fault spec, so the draw
+        sequence — and therefore the whole scenario — is reproducible.
+        """
+        failed = False
+        for f in self.plan.faults:
+            if not isinstance(f, TransientFaults):
+                continue
+            if f.target not in (target, "both"):
+                continue
+            if not _active(f.start, f.stop, self._round):
+                continue
+            if bool(self._rng.random() < f.rate):
+                self._record(f"transient-{target}",
+                             f"{target.upper()} call failed transiently "
+                             f"(rate {f.rate:g})")
+                failed = True
+        return failed

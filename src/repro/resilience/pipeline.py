@@ -1,0 +1,213 @@
+"""The resilient offloading pipeline: guarded solve + faulted market run.
+
+:func:`run_resilient_pipeline` is the chaos-suite entry point. It plays
+the full two-stage game end to end under a :class:`FaultPlan`:
+
+1. **Leader + follower stage, guarded** — the Stackelberg equilibrium is
+   solved through :func:`~repro.resilience.guard.guarded_stackelberg`.
+   If the plan keeps the ESP dark for the entire run, the pipeline
+   instead computes the all-cloud (``P_e -> inf``) equilibrium and says
+   so in the report.
+2. **Market rounds, faulted** — the equilibrium request vectors are
+   replayed through a :class:`ResilientDispatcher` over fault-injecting
+   providers for ``n_rounds`` blocks; CSP latency spikes inflate the
+   per-round fork rate, retries and drops are absorbed, and a round in
+   which nothing at all was provisioned mints no block instead of
+   raising.
+
+The outcome carries a :class:`~repro.resilience.degradation.DegradationReport`
+naming every fault fired, fallback taken, retry spent, and request
+dropped. Two runs with the same plan and seed produce identical reports;
+under :meth:`FaultPlan.none` the equilibrium is bit-identical to the
+unguarded ``solve_stackelberg``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..blockchain.simulator import RoundSimulator
+from ..core.nep import MinerEquilibrium
+from ..core.params import EdgeMode, GameParameters, Prices
+from ..offloading.market import MarketRound
+from ..offloading.provider import CloudProvider, EdgeProvider
+from ..offloading.request import ResourceRequest
+from .degradation import DegradationReport, all_cloud_equilibrium
+from .dispatcher import ResilientDispatcher
+from .faults import FaultInjector, FaultPlan
+from .guard import SolverGuard, guarded_stackelberg
+from .providers import FaultyCloudProvider, FaultyEdgeProvider
+from .retry import RetryPolicy
+
+__all__ = ["ResilientMarket", "PipelineOutcome", "run_resilient_pipeline"]
+
+
+class ResilientMarket:
+    """A priced market over repeated rounds with faults and retries.
+
+    The fault-tolerant counterpart of
+    :class:`~repro.offloading.market.OffloadingMarket`: providers are
+    wrapped with the injector, dispatch goes through
+    :class:`ResilientDispatcher`, the per-round fork rate reflects any
+    active CSP latency spike, and a fully-failed round (nothing
+    provisioned anywhere) settles as a no-block round with zero payoffs
+    instead of raising.
+    """
+
+    def __init__(self, edge: EdgeProvider, cloud: CloudProvider,
+                 reward: float, fork_rate: float, plan: FaultPlan,
+                 policy: Optional[RetryPolicy] = None, seed: int = 0):
+        self.injector = FaultInjector(plan)
+        self.edge = FaultyEdgeProvider(edge, self.injector)
+        self.cloud = FaultyCloudProvider(cloud, self.injector)
+        self.dispatcher = ResilientDispatcher(
+            self.edge, self.cloud, policy=policy, seed=seed)
+        self.reward = reward
+        self.fork_rate = fork_rate
+        self._seed = seed
+        self._round_counter = 0
+
+    def play_round(self, requests) -> MarketRound:
+        """Dispatch, mine, and settle one round under the fault plan.
+
+        Advances the injector's round clock afterwards, so consecutive
+        calls walk through the plan's windows in order.
+        """
+        allocations = self.dispatcher.dispatch_all(list(requests))
+        e = np.array([a.edge_units for a in allocations])
+        c = np.array([a.cloud_units for a in allocations])
+        beta = self.cloud.effective_fork_rate(self.fork_rate)
+        self._round_counter += 1
+        if float(np.sum(e + c)) <= 0:
+            # Nothing ran anywhere (total outage + exhausted retries):
+            # no block is mined this round; miners pay nothing, win
+            # nothing.
+            round_result = MarketRound(
+                allocations=allocations, winner=-1,
+                payoffs=np.zeros(len(allocations)),
+                esp_revenue=0.0, csp_revenue=0.0)
+        else:
+            sim = RoundSimulator(e, c, beta,
+                                 seed=self._seed + self._round_counter)
+            tally = sim.run(1)
+            winner = int(np.argmax(tally.wins))
+            payoffs = -np.array([a.total_charge for a in allocations])
+            payoffs[winner] += self.reward
+            round_result = MarketRound(
+                allocations=allocations, winner=winner, payoffs=payoffs,
+                esp_revenue=float(sum(a.edge_charge
+                                      for a in allocations)),
+                csp_revenue=float(sum(a.cloud_charge
+                                      for a in allocations)))
+        self.injector.advance_round()
+        return round_result
+
+
+@dataclass
+class PipelineOutcome:
+    """Everything a chaos run produced.
+
+    Attributes:
+        equilibrium: The miner equilibrium the requests were drawn from
+            (guarded Stackelberg follower stage, or the all-cloud limit).
+        prices: The prices that equilibrium responded to.
+        rounds: Per-round market results.
+        report: The degradation report (see module docstring).
+        mean_miner_payoff: Mean realized per-miner, per-round payoff.
+        esp_revenue: Total ESP revenue across the run.
+        csp_revenue: Total CSP revenue across the run.
+        blocks_mined: Rounds that actually minted a block.
+    """
+
+    equilibrium: MinerEquilibrium
+    prices: Prices
+    rounds: List[MarketRound] = field(default_factory=list)
+    report: DegradationReport = field(default_factory=DegradationReport)
+
+    @property
+    def mean_miner_payoff(self) -> float:
+        if not self.rounds:
+            return 0.0
+        return float(np.mean([np.mean(r.payoffs) for r in self.rounds]))
+
+    @property
+    def esp_revenue(self) -> float:
+        return float(sum(r.esp_revenue for r in self.rounds))
+
+    @property
+    def csp_revenue(self) -> float:
+        return float(sum(r.csp_revenue for r in self.rounds))
+
+    @property
+    def blocks_mined(self) -> int:
+        return sum(1 for r in self.rounds if r.winner >= 0)
+
+
+def run_resilient_pipeline(params: GameParameters, plan: FaultPlan,
+                           n_rounds: int = 20, seed: int = 0,
+                           policy: Optional[RetryPolicy] = None,
+                           guard: Optional[SolverGuard] = None,
+                           ) -> PipelineOutcome:
+    """Play the full Stackelberg pipeline under a fault plan.
+
+    See the module docstring for the two stages. With
+    ``plan=FaultPlan.none()`` the solved equilibrium is bit-identical to
+    ``solve_stackelberg(params)`` and the report comes back clean.
+
+    Args:
+        params: Game parameters (either edge operation mode).
+        plan: The chaos scenario.
+        n_rounds: Market rounds (blocks) to replay the equilibrium for.
+        seed: Seed for the mining draws and retry jitter (the fault
+            draws are seeded by ``plan.seed``).
+        policy: Retry policy for transient provider failures.
+        guard: Solver guard for the equilibrium stage.
+    """
+    notes: List[str] = []
+    fallbacks: Tuple[str, ...] = ()
+    if plan.esp_down_for_all(n_rounds):
+        # The ESP never comes up: solving the two-leader game would price
+        # a provider that cannot deliver. Recompute the P_e -> inf limit.
+        miners = all_cloud_equilibrium(params)
+        prices = miners.prices
+        notes.append("all-cloud equilibrium substituted: ESP out for the "
+                     "whole run (P_e -> inf limit)")
+    else:
+        guarded = guarded_stackelberg(params, guard=guard)
+        se = guarded.value
+        miners = se.miners
+        prices = se.prices
+        fallbacks = guarded.fallbacks_used
+        if guarded.degraded:
+            notes.append(f"leader stage degraded: solved by "
+                         f"{guarded.solver} "
+                         f"(diagnosis: {guarded.diagnosis})")
+
+    requests = [ResourceRequest(miner_id=i, edge_units=float(miners.e[i]),
+                                cloud_units=float(miners.c[i]))
+                for i in range(params.n)]
+
+    edge = EdgeProvider(price=prices.p_e, unit_cost=params.edge_cost,
+                        h=params.effective_h,
+                        capacity=(params.e_max
+                                  if params.mode is EdgeMode.STANDALONE
+                                  else None),
+                        seed=seed)
+    cloud = CloudProvider(price=prices.p_c, unit_cost=params.cloud_cost,
+                          d_avg=params.d_avg or 0.0)
+    market = ResilientMarket(edge, cloud, reward=params.reward,
+                             fork_rate=params.fork_rate, plan=plan,
+                             policy=policy, seed=seed)
+    rounds = [market.play_round(requests) for _ in range(n_rounds)]
+
+    report = DegradationReport(
+        faults=market.injector.events,
+        fallbacks=fallbacks,
+        retries=market.dispatcher.stats.retries,
+        failed_requests=tuple(market.dispatcher.failed_requests),
+        notes=tuple(notes))
+    return PipelineOutcome(equilibrium=miners, prices=prices,
+                           rounds=rounds, report=report)

@@ -1,0 +1,137 @@
+"""Fault-injecting provider wrappers.
+
+:class:`FaultyEdgeProvider` and :class:`FaultyCloudProvider` wrap the real
+:class:`~repro.offloading.provider.EdgeProvider` /
+:class:`~repro.offloading.provider.CloudProvider` and expose the exact same
+surface, so they slot into the existing
+:class:`~repro.offloading.dispatcher.Dispatcher` unchanged. Every fault is
+applied *before* the inner provider bills anything, which is what makes the
+retry layer safe: a failed call leaves the ledgers untouched.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import TransientProviderError
+from ..offloading.provider import CloudProvider, EdgeProvider
+from .faults import FaultInjector
+
+__all__ = ["FaultyEdgeProvider", "FaultyCloudProvider"]
+
+
+class _FaultyBase:
+    """Delegating wrapper: unknown attributes fall through to ``inner``."""
+
+    def __init__(self, inner, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class FaultyEdgeProvider(_FaultyBase):
+    """An ESP whose behaviour is perturbed by a :class:`FaultInjector`.
+
+    * During an :class:`~repro.resilience.faults.EspOutage` window the
+      provider behaves as fully unavailable: connected-mode requests all
+      transfer to the CSP, standalone-mode requests are all rejected —
+      both flow through the normal dispatcher paths.
+    * Under :class:`~repro.resilience.faults.CapacityDegradation` the
+      standalone admission check runs against the degraded capacity and
+      the connected satisfaction probability is scaled down.
+    * Active :class:`~repro.resilience.faults.TransientFaults` targeting
+      the ESP make calls raise
+      :class:`~repro.exceptions.TransientProviderError` before billing.
+    """
+
+    def __init__(self, inner: EdgeProvider, injector: FaultInjector):
+        super().__init__(inner, injector)
+
+    @property
+    def standalone(self) -> bool:
+        return self.inner.standalone
+
+    @property
+    def load(self) -> float:
+        return self.inner.load
+
+    @property
+    def remaining_capacity(self) -> float:
+        if self.inner.capacity is None:
+            return float("inf")
+        degraded = self.inner.capacity * self.injector.capacity_factor()
+        return max(degraded - self.inner.load, 0.0)
+
+    def reset_epoch(self) -> None:
+        self.inner.reset_epoch()
+
+    def _check_transient(self, operation: str) -> None:
+        if self.injector.transient_failure("esp"):
+            raise TransientProviderError(
+                f"ESP {operation} failed transiently", provider="esp",
+                operation=operation)
+
+    def sample_satisfaction(self) -> bool:
+        if self.injector.esp_down():
+            return False
+        self._check_transient("sample_satisfaction")
+        satisfied = self.inner.sample_satisfaction()
+        factor = self.injector.capacity_factor()
+        if satisfied and factor < 1.0:
+            # Degraded connected-mode ESP: thin the satisfaction rate to
+            # factor * h with an extra (injector-seeded) Bernoulli draw.
+            satisfied = self.injector.bernoulli(factor)
+        return satisfied
+
+    def try_admit(self, units: float) -> bool:
+        if self.injector.esp_down():
+            return False
+        self._check_transient("try_admit")
+        if units > self.remaining_capacity + 1e-12:
+            return False
+        return self.inner.try_admit(units)
+
+    def admit(self, units: float) -> float:
+        if self.injector.esp_down():
+            raise TransientProviderError(
+                "ESP admit during outage", provider="esp",
+                operation="admit")
+        self._check_transient("admit")
+        return self.inner.admit(units)
+
+
+class FaultyCloudProvider(_FaultyBase):
+    """A CSP with transient provisioning failures and latency spikes.
+
+    The CSP never runs out of capacity, so its faults are transient call
+    failures (retried upstream) and latency spikes, which inflate the
+    effective delay — exposed via :attr:`effective_d_avg` and
+    :meth:`effective_fork_rate` for the market layer to consume.
+    """
+
+    def __init__(self, inner: CloudProvider, injector: FaultInjector):
+        super().__init__(inner, injector)
+
+    @property
+    def effective_d_avg(self) -> float:
+        """``D_avg`` with any active latency spike applied."""
+        return self.inner.d_avg * self.injector.latency_factor()
+
+    def effective_fork_rate(self, base: float) -> float:
+        """Fork rate under the active latency spike.
+
+        Compounds the per-exposure orphaning probability over a
+        ``factor``-times longer window: ``1 - (1 - base)**factor``. The
+        result stays in ``[base, 1)`` for ``factor >= 1``.
+        """
+        factor = self.injector.latency_factor()
+        if factor == 1.0 or base == 0.0:
+            return base
+        return min(1.0 - (1.0 - base) ** factor, 1.0 - 1e-9)
+
+    def provision(self, units: float) -> float:
+        if self.injector.transient_failure("csp"):
+            raise TransientProviderError(
+                "CSP provision failed transiently", provider="csp",
+                operation="provision")
+        return self.inner.provision(units)

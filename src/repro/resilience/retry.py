@@ -1,0 +1,165 @@
+"""Retry with exponential backoff and decorrelated jitter.
+
+The policy is pure data plus a deterministic delay generator: given the
+same seed it produces the same delay schedule, which keeps chaos runs
+reproducible. Delays are *simulated* by default — this is a simulation
+library, so :func:`retry_call` advances a virtual clock instead of
+sleeping; pass ``sleep=time.sleep`` to block for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, TypeVar
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, TransientProviderError
+
+__all__ = ["RetryPolicy", "RetryOutcome", "retry_call"]
+
+T = TypeVar("T")
+
+_JITTER_MODES = ("decorrelated", "full", "none")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff parameters for retrying transient provider failures.
+
+    Attributes:
+        max_attempts: Total attempts including the first (>= 1).
+        base_delay: Lower bound of every backoff delay (seconds).
+        max_delay: Cap on every backoff delay (seconds).
+        deadline: Optional budget on the *sum* of delays; once the
+            accumulated (virtual) sleep time would exceed it, the retry
+            loop gives up even with attempts left.
+        jitter: ``"decorrelated"`` (AWS-style: next in
+            ``U[base, 3 * prev]``), ``"full"`` (``U[base, base * 2**k]``),
+            or ``"none"`` (pure exponential doubling). All modes clamp
+            into ``[base_delay, max_delay]``.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    deadline: Optional[float] = None
+    jitter: str = "decorrelated"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay <= 0:
+            raise ConfigurationError(
+                f"base_delay must be positive, got {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ConfigurationError(
+                f"max_delay ({self.max_delay}) must be >= base_delay "
+                f"({self.base_delay})")
+        if self.deadline is not None and self.deadline < 0:
+            raise ConfigurationError(
+                f"deadline must be non-negative, got {self.deadline}")
+        if self.jitter not in _JITTER_MODES:
+            raise ConfigurationError(
+                f"jitter must be one of {_JITTER_MODES}, got {self.jitter!r}")
+
+    def delays(self, seed: int = 0) -> Iterator[float]:
+        """Yield the (at most ``max_attempts - 1``) backoff delays.
+
+        Deterministic in ``seed``: the same seed reproduces the same
+        schedule. Every yielded delay lies in
+        ``[base_delay, max_delay]``.
+        """
+        rng = np.random.default_rng(seed)
+        prev = self.base_delay
+        for attempt in range(1, self.max_attempts):
+            if self.jitter == "none":
+                delay = self.base_delay * (2.0 ** (attempt - 1))
+            elif self.jitter == "full":
+                hi = min(self.max_delay,
+                         self.base_delay * (2.0 ** attempt))
+                delay = float(rng.uniform(self.base_delay, hi))
+            else:  # decorrelated
+                hi = max(self.base_delay, 3.0 * prev)
+                delay = float(rng.uniform(self.base_delay, hi))
+            delay = min(max(delay, self.base_delay), self.max_delay)
+            prev = delay
+            yield delay
+
+
+@dataclass
+class RetryOutcome:
+    """What happened inside one :func:`retry_call`.
+
+    Attributes:
+        value: The successful return value (``None`` if ``succeeded`` is
+            False — the error was re-raised unless ``swallow=True``).
+        succeeded: Whether any attempt returned.
+        attempts: Attempts actually made (1 = no retries needed).
+        retries: ``attempts - 1``.
+        total_delay: Sum of (virtual) backoff delays taken.
+        delays: The individual delays, in order.
+        last_error: The final error when every attempt failed.
+    """
+
+    value: object = None
+    succeeded: bool = False
+    attempts: int = 0
+    total_delay: float = 0.0
+    delays: List[float] = field(default_factory=list)
+    last_error: Optional[BaseException] = None
+
+    @property
+    def retries(self) -> int:
+        return max(self.attempts - 1, 0)
+
+
+def retry_call(fn: Callable[[], T], policy: RetryPolicy, seed: int = 0,
+               sleep: Optional[Callable[[float], None]] = None,
+               on_retry: Optional[Callable[[int, BaseException], None]]
+               = None, swallow: bool = False) -> RetryOutcome:
+    """Call ``fn`` under ``policy``, retrying on transient errors.
+
+    Only :class:`~repro.exceptions.TransientProviderError` is retried —
+    anything else is a bug or a permanent condition and propagates
+    immediately. When every attempt fails the last error is re-raised
+    (or, with ``swallow=True``, returned inside the outcome so batch
+    callers can degrade instead of abort).
+
+    Args:
+        fn: Zero-argument callable to attempt.
+        policy: Backoff/attempt budget.
+        seed: Seed of the jitter schedule (determinism).
+        sleep: Optional real sleep function; by default delays are only
+            accounted, not slept.
+        on_retry: Optional hook called with ``(attempt, error)`` before
+            each backoff — e.g. to roll back partial billing.
+        swallow: Return the failed outcome instead of re-raising.
+    """
+    outcome = RetryOutcome()
+    schedule = policy.delays(seed)
+    while True:
+        outcome.attempts += 1
+        try:
+            outcome.value = fn()
+            outcome.succeeded = True
+            return outcome
+        except TransientProviderError as ex:
+            outcome.last_error = ex
+            if on_retry is not None:
+                on_retry(outcome.attempts, ex)
+            delay = next(schedule, None)
+            exhausted = (delay is None
+                         or outcome.attempts >= policy.max_attempts
+                         or (policy.deadline is not None
+                             and outcome.total_delay + delay
+                             > policy.deadline))
+            if exhausted:
+                if swallow:
+                    return outcome
+                raise
+            outcome.total_delay += delay
+            outcome.delays.append(delay)
+            if sleep is not None:
+                sleep(delay)

@@ -1,0 +1,57 @@
+"""Chaos sweep: the robustness artifact behaves like a paper figure."""
+
+import pytest
+
+from repro.analysis import chaos_outage_sweep, outage_plan
+from repro.resilience import FaultInjector
+
+
+class TestOutagePlan:
+    def test_zero_rate_has_no_outage(self):
+        plan = outage_plan(0.0, 20, transient_rate=0.0, spike_factor=1.0)
+        assert plan.faults == ()
+
+    def test_full_rate_is_total_outage(self):
+        plan = outage_plan(1.0, 20, transient_rate=0.0, spike_factor=1.0)
+        assert plan.esp_down_for_all(20)
+
+    def test_partial_rate_covers_the_requested_fraction(self):
+        plan = outage_plan(0.4, 20, transient_rate=0.0, spike_factor=1.0,
+                           seed=5)
+        injector = FaultInjector(plan)
+        dark = 0
+        for _ in range(20):
+            if injector.esp_down():
+                dark += 1
+            injector.advance_round()
+        assert dark == 8
+
+    def test_deterministic_in_seed(self):
+        assert outage_plan(0.3, 20, seed=2) == outage_plan(0.3, 20, seed=2)
+        assert outage_plan(0.3, 20, seed=2) != outage_plan(0.3, 20, seed=3)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            outage_plan(1.5, 20)
+
+
+class TestChaosSweep:
+    def test_esp_revenue_decays_with_outage_rate(self):
+        table = chaos_outage_sweep(outage_rates=[0.0, 0.5, 1.0],
+                                   n_rounds=10, seed=0)
+        assert table.assert_monotone("esp_revenue", increasing=False)
+        esp = table.column("esp_revenue")
+        assert esp[0] > 0.0
+        assert esp[-1] == 0.0
+
+    def test_every_row_completed_and_counted_faults(self):
+        table = chaos_outage_sweep(outage_rates=[0.0, 1.0], n_rounds=10,
+                                   seed=0)
+        assert len(table.rows) == 2
+        faults = table.column("faults_fired")
+        assert faults[1] > faults[0]
+
+    def test_reproducible(self):
+        a = chaos_outage_sweep(outage_rates=[0.5], n_rounds=8, seed=4)
+        b = chaos_outage_sweep(outage_rates=[0.5], n_rounds=8, seed=4)
+        assert a.rows == b.rows

@@ -1,0 +1,105 @@
+"""ResilientDispatcher: transactional retries, exact billing, degradation."""
+
+import pytest
+
+from repro.offloading import (CloudProvider, Dispatcher, EdgeProvider,
+                              ResourceRequest, ResponseStatus)
+from repro.resilience import (EspOutage, FaultInjector, FaultPlan,
+                              FaultyCloudProvider, FaultyEdgeProvider,
+                              ResilientDispatcher, RetryPolicy,
+                              TransientFaults)
+
+
+def _stack(plan, *, capacity=None, h=0.8, policy=None, seed=0):
+    injector = FaultInjector(plan)
+    esp = FaultyEdgeProvider(
+        EdgeProvider(price=2.0, h=h if capacity is None else 1.0,
+                     capacity=capacity, seed=0), injector)
+    csp = FaultyCloudProvider(CloudProvider(price=1.0), injector)
+    return injector, esp, csp, ResilientDispatcher(esp, csp,
+                                                   policy=policy,
+                                                   seed=seed)
+
+
+class TestTransactionalRetry:
+    def test_clean_path_matches_plain_dispatcher(self):
+        _, esp, csp, resilient = _stack(FaultPlan.none())
+        plain_esp = EdgeProvider(price=2.0, h=0.8, seed=0)
+        plain_csp = CloudProvider(price=1.0)
+        plain = Dispatcher(plain_esp, plain_csp)
+        req = ResourceRequest(0, 4.0, 6.0)
+        a = resilient.dispatch(req)
+        b = plain.dispatch(req)
+        assert (a.status, a.edge_units, a.cloud_units,
+                a.edge_charge, a.cloud_charge) == \
+               (b.status, b.edge_units, b.cloud_units,
+                b.edge_charge, b.cloud_charge)
+        assert resilient.stats.retries == 0
+
+    def test_retry_recovers_without_double_billing(self):
+        # 50% CSP failure: with generous attempts, every request lands
+        # eventually; the ledgers must match the allocations exactly.
+        plan = FaultPlan((TransientFaults(rate=0.5, target="csp"),),
+                         seed=11)
+        _, esp, csp, disp = _stack(
+            plan, policy=RetryPolicy(max_attempts=50), seed=1)
+        requests = [ResourceRequest(i, 3.0, 5.0) for i in range(10)]
+        allocations = disp.dispatch_all(requests)
+        assert all(a.status is not ResponseStatus.FAILED
+                   for a in allocations)
+        assert disp.stats.retries > 0
+        edge_billed = sum(a.edge_charge for a in allocations)
+        cloud_billed = sum(a.cloud_charge for a in allocations)
+        assert esp.account.revenue == pytest.approx(edge_billed)
+        assert csp.account.revenue == pytest.approx(cloud_billed)
+        assert csp.account.units_sold == pytest.approx(
+            sum(a.cloud_units for a in allocations))
+
+    def test_exhausted_retries_degrade_to_failed_allocation(self):
+        plan = FaultPlan((TransientFaults(rate=1.0, target="csp"),))
+        _, esp, csp, disp = _stack(
+            plan, policy=RetryPolicy(max_attempts=3), seed=1)
+        alloc = disp.dispatch(ResourceRequest(7, 3.0, 5.0))
+        assert alloc.status is ResponseStatus.FAILED
+        assert alloc.total_units == 0.0
+        assert alloc.total_charge == 0.0
+        assert disp.failed_requests == [7]
+        assert disp.stats.failed_requests == 1
+        # Rollback left both ledgers untouched.
+        assert esp.account.revenue == 0.0
+        assert csp.account.revenue == 0.0
+
+    def test_standalone_load_rolled_back_on_failure(self):
+        # Edge admission succeeds, then the CSP dies permanently: the
+        # admitted load and ESP billing must be rolled back, leaving the
+        # full capacity to later requests.
+        plan = FaultPlan((TransientFaults(rate=1.0, target="csp"),))
+        _, esp, csp, disp = _stack(
+            plan, capacity=10.0, policy=RetryPolicy(max_attempts=2))
+        alloc = disp.dispatch(ResourceRequest(0, 8.0, 1.0))
+        assert alloc.status is ResponseStatus.FAILED
+        assert esp.load == 0.0
+        assert esp.account.revenue == 0.0
+        assert esp.remaining_capacity == pytest.approx(10.0)
+
+    def test_retry_stats_are_seed_deterministic(self):
+        plan = FaultPlan((TransientFaults(rate=0.4, target="both"),),
+                         seed=5)
+        requests = [ResourceRequest(i, 2.0, 2.0) for i in range(8)]
+        runs = []
+        for _ in range(2):
+            _, _, _, disp = _stack(
+                plan, policy=RetryPolicy(max_attempts=6), seed=2)
+            allocations = disp.dispatch_all(requests)
+            runs.append((disp.stats.retries, disp.failed_requests,
+                         [a.status for a in allocations]))
+        assert runs[0] == runs[1]
+
+    def test_outage_is_not_retried_in_connected_mode(self):
+        # An outage routes via transfer, not TransientProviderError:
+        # no retry budget is burned.
+        plan = FaultPlan((EspOutage(start=0),))
+        _, esp, csp, disp = _stack(plan)
+        alloc = disp.dispatch(ResourceRequest(0, 4.0, 0.0))
+        assert alloc.status is ResponseStatus.TRANSFERRED
+        assert disp.stats.retries == 0

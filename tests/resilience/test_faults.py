@@ -1,0 +1,172 @@
+"""Fault plan DSL + injector: windows, determinism, event recording."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, TransientProviderError
+from repro.offloading import (CloudProvider, Dispatcher, EdgeProvider,
+                              ResourceRequest, ResponseStatus)
+from repro.resilience import (CapacityDegradation, CspLatencySpike,
+                              EspOutage, FaultInjector, FaultPlan,
+                              FaultyCloudProvider, FaultyEdgeProvider,
+                              TransientFaults)
+
+
+class TestFaultPlanValidation:
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EspOutage(start=3, stop=3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EspOutage(start=-1)
+
+    def test_spike_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CspLatencySpike(factor=0.5)
+
+    def test_capacity_factor_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CapacityDegradation(factor=1.5)
+
+    def test_transient_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransientFaults(rate=1.5)
+
+    def test_transient_bad_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransientFaults(rate=0.1, target="mainframe")
+
+    def test_none_plan_is_empty(self):
+        assert FaultPlan.none().faults == ()
+
+    def test_esp_down_for_all(self):
+        assert FaultPlan((EspOutage(start=0),)).esp_down_for_all(10)
+        assert FaultPlan((EspOutage(0, 10),)).esp_down_for_all(10)
+        assert not FaultPlan((EspOutage(0, 9),)).esp_down_for_all(10)
+        assert not FaultPlan((EspOutage(1),)).esp_down_for_all(10)
+
+
+class TestFaultInjector:
+    def test_outage_window_half_open(self):
+        inj = FaultInjector(FaultPlan((EspOutage(start=1, stop=3),)))
+        down = []
+        for _ in range(5):
+            down.append(inj.esp_down())
+            inj.advance_round()
+        assert down == [False, True, True, False, False]
+
+    def test_events_recorded_once_per_round_and_kind(self):
+        inj = FaultInjector(FaultPlan((EspOutage(start=0, stop=1),)))
+        assert inj.esp_down() and inj.esp_down() and inj.esp_down()
+        assert len(inj.events) == 1
+        assert inj.events[0].kind == "esp-outage"
+        assert inj.events[0].round == 0
+
+    def test_latency_factor_takes_worst_spike(self):
+        inj = FaultInjector(FaultPlan((CspLatencySpike(0, None, 2.0),
+                                       CspLatencySpike(0, None, 3.0))))
+        assert inj.latency_factor() == 3.0
+
+    def test_capacity_factor_takes_worst_degradation(self):
+        inj = FaultInjector(FaultPlan((CapacityDegradation(0, None, 0.8),
+                                       CapacityDegradation(0, None, 0.4))))
+        assert inj.capacity_factor() == 0.4
+
+    def test_transient_draws_are_seed_deterministic(self):
+        plan = FaultPlan((TransientFaults(rate=0.5, target="csp"),), seed=9)
+        a = [FaultInjector(plan).transient_failure("csp")
+             for _ in range(1)]
+        i1, i2 = FaultInjector(plan), FaultInjector(plan)
+        seq1 = [i1.transient_failure("csp") for _ in range(50)]
+        seq2 = [i2.transient_failure("csp") for _ in range(50)]
+        assert seq1 == seq2
+        assert any(seq1) and not all(seq1)
+
+    def test_transient_target_filtering(self):
+        plan = FaultPlan((TransientFaults(rate=1.0, target="esp"),))
+        inj = FaultInjector(plan)
+        assert inj.transient_failure("esp")
+        assert not inj.transient_failure("csp")
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan((TransientFaults(rate=0.5, target="both"),), seed=3)
+        inj = FaultInjector(plan)
+        first = [inj.transient_failure("csp") for _ in range(20)]
+        inj.reset()
+        assert [inj.transient_failure("csp") for _ in range(20)] == first
+        assert inj.round == 0 and inj.events != ()
+
+
+class TestFaultyProviders:
+    def _esp(self, injector, **kwargs):
+        defaults = dict(price=2.0, h=0.8, seed=0)
+        defaults.update(kwargs)
+        return FaultyEdgeProvider(EdgeProvider(**defaults), injector)
+
+    def test_outage_forces_transfer_in_connected_mode(self):
+        inj = FaultInjector(FaultPlan((EspOutage(start=0),)))
+        esp = self._esp(inj)
+        assert not any(esp.sample_satisfaction() for _ in range(50))
+
+    def test_outage_rejects_in_standalone_mode(self):
+        inj = FaultInjector(FaultPlan((EspOutage(start=0),)))
+        esp = self._esp(inj, h=1.0, capacity=100.0)
+        assert not esp.try_admit(1.0)
+        assert esp.account.revenue == 0.0
+
+    def test_capacity_degradation_shrinks_admission(self):
+        inj = FaultInjector(FaultPlan((CapacityDegradation(0, None, 0.5),)))
+        esp = self._esp(inj, h=1.0, capacity=100.0)
+        assert esp.remaining_capacity == pytest.approx(50.0)
+        assert esp.try_admit(50.0)
+        assert not esp.try_admit(1.0)
+
+    def test_transient_esp_failure_raises_before_billing(self):
+        inj = FaultInjector(FaultPlan((TransientFaults(1.0, "esp"),)))
+        esp = self._esp(inj, h=1.0, capacity=100.0)
+        with pytest.raises(TransientProviderError) as exc:
+            esp.try_admit(5.0)
+        assert exc.value.provider == "esp"
+        assert esp.account.revenue == 0.0
+        assert esp.load == 0.0
+
+    def test_transient_csp_failure_raises_before_billing(self):
+        inj = FaultInjector(FaultPlan((TransientFaults(1.0, "csp"),)))
+        csp = FaultyCloudProvider(CloudProvider(price=1.0), inj)
+        with pytest.raises(TransientProviderError) as exc:
+            csp.provision(5.0)
+        assert exc.value.provider == "csp"
+        assert csp.account.revenue == 0.0
+
+    def test_latency_spike_inflates_fork_rate_within_bounds(self):
+        inj = FaultInjector(FaultPlan((CspLatencySpike(0, None, 3.0),)))
+        csp = FaultyCloudProvider(CloudProvider(price=1.0, d_avg=2.0), inj)
+        assert csp.effective_d_avg == pytest.approx(6.0)
+        beta = csp.effective_fork_rate(0.2)
+        assert 0.2 < beta < 1.0
+        assert beta == pytest.approx(1.0 - 0.8 ** 3)
+
+    def test_no_spike_is_identity(self):
+        inj = FaultInjector(FaultPlan.none())
+        csp = FaultyCloudProvider(CloudProvider(price=1.0, d_avg=2.0), inj)
+        assert csp.effective_fork_rate(0.2) == 0.2
+
+    def test_wrappers_slot_into_plain_dispatcher(self):
+        inj = FaultInjector(FaultPlan((EspOutage(start=0),)))
+        esp = self._esp(inj)
+        csp = FaultyCloudProvider(CloudProvider(price=1.0), inj)
+        disp = Dispatcher(esp, csp)
+        alloc = disp.dispatch(ResourceRequest(0, 4.0, 6.0))
+        assert alloc.status is ResponseStatus.TRANSFERRED
+        assert alloc.cloud_units == 10.0
+        assert alloc.edge_charge == 0.0
+
+    def test_unfaulted_wrapper_is_transparent(self):
+        inj = FaultInjector(FaultPlan.none())
+        bare = EdgeProvider(price=2.0, h=0.8, seed=42)
+        wrapped = FaultyEdgeProvider(EdgeProvider(price=2.0, h=0.8,
+                                                  seed=42), inj)
+        draws_bare = [bare.sample_satisfaction() for _ in range(200)]
+        draws_wrapped = [wrapped.sample_satisfaction() for _ in range(200)]
+        assert draws_bare == draws_wrapped
+        assert inj.events == ()

@@ -1,0 +1,130 @@
+"""The chaos suite: end-to-end resilient pipeline acceptance tests."""
+
+import numpy as np
+
+from repro.core import EdgeMode, homogeneous, solve_stackelberg
+from repro.resilience import (CspLatencySpike, DegradationReport,
+                              EspOutage, FaultPlan, TransientFaults,
+                              all_cloud_equilibrium,
+                              run_resilient_pipeline)
+
+
+def _params(**overrides):
+    defaults = dict(reward=1500.0, fork_rate=0.2, h=0.8,
+                    edge_cost=0.2, cloud_cost=0.1)
+    defaults.update(overrides)
+    return homogeneous(5, 200.0, **defaults)
+
+
+CHAOS_PLAN = FaultPlan(
+    faults=(EspOutage(start=2, stop=5),
+            TransientFaults(rate=0.3, target="csp"),
+            CspLatencySpike(start=6, stop=8, factor=3.0)),
+    seed=7)
+
+
+class TestChaosSuite:
+    def test_full_pipeline_completes_under_faults(self):
+        out = run_resilient_pipeline(_params(), CHAOS_PLAN, n_rounds=10,
+                                     seed=3)
+        assert len(out.rounds) == 10
+        assert out.report.degraded
+        kinds = {f.kind for f in out.report.faults}
+        assert "esp-outage" in kinds
+        assert "transient-csp" in kinds
+        assert "csp-latency-spike" in kinds
+        assert out.report.retries > 0
+
+    def test_report_names_every_outage_round(self):
+        out = run_resilient_pipeline(_params(), CHAOS_PLAN, n_rounds=10,
+                                     seed=3)
+        outage_rounds = sorted(f.round for f in out.report.faults
+                               if f.kind == "esp-outage")
+        assert outage_rounds == [2, 3, 4]
+
+    def test_same_seed_produces_identical_reports(self):
+        a = run_resilient_pipeline(_params(), CHAOS_PLAN, n_rounds=10,
+                                   seed=3)
+        b = run_resilient_pipeline(_params(), CHAOS_PLAN, n_rounds=10,
+                                   seed=3)
+        assert a.report == b.report
+        assert a.report.to_dict() == b.report.to_dict()
+        assert [r.winner for r in a.rounds] == [r.winner for r in b.rounds]
+        assert a.esp_revenue == b.esp_revenue
+        assert a.csp_revenue == b.csp_revenue
+
+    def test_zero_fault_plan_is_bit_identical_to_unguarded_path(self):
+        params = _params()
+        out = run_resilient_pipeline(params, FaultPlan.none(),
+                                     n_rounds=5, seed=1)
+        se = solve_stackelberg(params)
+        assert out.prices == se.prices
+        assert np.array_equal(out.equilibrium.e, se.miners.e)
+        assert np.array_equal(out.equilibrium.c, se.miners.c)
+        assert not out.report.degraded
+        assert out.report == DegradationReport()
+
+    def test_standalone_mode_pipeline(self):
+        params = _params(h=1.0).with_mode(EdgeMode.STANDALONE, e_max=40.0)
+        out = run_resilient_pipeline(params, CHAOS_PLAN, n_rounds=10,
+                                     seed=3)
+        assert len(out.rounds) == 10
+        # During outage rounds the standalone ESP rejects everything.
+        for rnd in (2, 3, 4):
+            assert out.rounds[rnd].esp_revenue == 0.0
+
+    def test_total_esp_outage_substitutes_all_cloud_equilibrium(self):
+        params = _params()
+        plan = FaultPlan((EspOutage(start=0),), seed=1)
+        out = run_resilient_pipeline(params, plan, n_rounds=5, seed=3)
+        assert any("all-cloud" in n for n in out.report.notes)
+        assert out.esp_revenue == 0.0
+        assert out.equilibrium.total_edge < 1e-3
+        assert out.equilibrium.total_cloud > 0.0
+        assert out.blocks_mined == 5
+
+    def test_outcome_aggregates_are_finite(self):
+        out = run_resilient_pipeline(_params(), CHAOS_PLAN, n_rounds=10,
+                                     seed=3)
+        assert np.isfinite(out.mean_miner_payoff)
+        assert out.esp_revenue >= 0.0 and out.csp_revenue >= 0.0
+        assert 0 <= out.blocks_mined <= 10
+
+
+class TestAllCloudEquilibrium:
+    def test_edge_demand_vanishes(self):
+        eq = all_cloud_equilibrium(_params())
+        assert eq.total_edge < 1e-3
+        assert eq.total_cloud > 0.0
+        assert eq.converged
+
+    def test_pinned_cloud_price_is_respected(self):
+        eq = all_cloud_equilibrium(_params(), p_c=1.0)
+        assert eq.prices.p_c == 1.0
+        assert eq.total_cloud > 0.0
+
+    def test_standalone_params_accepted(self):
+        params = _params(h=1.0).with_mode(EdgeMode.STANDALONE, e_max=40.0)
+        eq = all_cloud_equilibrium(params, p_c=1.0)
+        assert eq.total_edge < 1e-3
+
+
+class TestDegradationReport:
+    def test_clean_report_summary(self):
+        report = DegradationReport()
+        assert not report.degraded
+        assert "clean run" in report.summary()
+
+    def test_degraded_summary_names_fallbacks(self):
+        report = DegradationReport(fallbacks=("stackelberg-anticipating",),
+                                   retries=3)
+        assert report.degraded
+        assert "stackelberg-anticipating" in report.summary()
+
+    def test_to_dict_round_trips_the_fields(self):
+        out = run_resilient_pipeline(_params(), CHAOS_PLAN, n_rounds=6,
+                                     seed=3)
+        d = out.report.to_dict()
+        assert d["degraded"] is True
+        assert len(d["faults"]) == len(out.report.faults)
+        assert d["retries"] == out.report.retries

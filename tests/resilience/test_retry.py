@@ -1,0 +1,149 @@
+"""Retry/backoff: hypothesis properties + retry_call semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (ConfigurationError, ConvergenceError,
+                              TransientProviderError)
+from repro.resilience import RetryPolicy, retry_call
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_delay=st.floats(min_value=1e-3, max_value=1.0,
+                         allow_nan=False, allow_infinity=False),
+    max_delay=st.floats(min_value=1.0, max_value=60.0,
+                        allow_nan=False, allow_infinity=False),
+    jitter=st.sampled_from(["decorrelated", "full", "none"]),
+)
+
+
+class TestBackoffProperties:
+    @given(policy=policies, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_delays_stay_within_base_and_cap(self, policy, seed):
+        delays = list(policy.delays(seed))
+        assert len(delays) == policy.max_attempts - 1
+        for d in delays:
+            assert policy.base_delay <= d <= policy.max_delay
+
+    @given(policy=policies, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_is_seed_deterministic(self, policy, seed):
+        assert list(policy.delays(seed)) == list(policy.delays(seed))
+
+    @given(policy=policies, seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_attempts_never_exceed_policy_maximum(self, policy, seed):
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise TransientProviderError("boom")
+
+        outcome = retry_call(always_fails, policy, seed=seed,
+                             swallow=True)
+        assert not outcome.succeeded
+        assert outcome.attempts == len(calls) == policy.max_attempts
+        assert outcome.retries == policy.max_attempts - 1
+
+    def test_no_jitter_is_pure_doubling(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1,
+                             max_delay=100.0, jitter="none")
+        assert list(policy.delays(0)) == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+
+class TestRetryCall:
+    def test_success_first_try(self):
+        outcome = retry_call(lambda: 42, RetryPolicy())
+        assert outcome.succeeded and outcome.value == 42
+        assert outcome.attempts == 1 and outcome.retries == 0
+        assert outcome.total_delay == 0.0
+
+    def test_recovers_after_transient_failures(self):
+        state = {"left": 2}
+
+        def flaky():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise TransientProviderError("transient")
+            return "ok"
+
+        outcome = retry_call(flaky, RetryPolicy(max_attempts=5), seed=1)
+        assert outcome.succeeded and outcome.value == "ok"
+        assert outcome.attempts == 3
+        assert len(outcome.delays) == 2
+        assert outcome.total_delay == pytest.approx(sum(outcome.delays))
+
+    def test_exhaustion_reraises_by_default(self):
+        def always_fails():
+            raise TransientProviderError("down", provider="csp")
+
+        with pytest.raises(TransientProviderError):
+            retry_call(always_fails, RetryPolicy(max_attempts=2))
+
+    def test_non_transient_errors_propagate_immediately(self):
+        calls = []
+
+        def crash():
+            calls.append(1)
+            raise ConvergenceError("not transient")
+
+        with pytest.raises(ConvergenceError):
+            retry_call(crash, RetryPolicy(max_attempts=5))
+        assert len(calls) == 1
+
+    def test_deadline_cuts_the_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=10, base_delay=1.0,
+                             max_delay=1.0, deadline=2.5, jitter="none")
+
+        def always_fails():
+            raise TransientProviderError("down")
+
+        outcome = retry_call(always_fails, policy, swallow=True)
+        # Delays are 1.0 each; the third would push the total past 2.5.
+        assert outcome.attempts == 3
+        assert outcome.total_delay <= 2.5
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+
+        def always_fails():
+            raise TransientProviderError("down")
+
+        retry_call(always_fails, RetryPolicy(max_attempts=3),
+                   on_retry=lambda n, ex: seen.append(n), swallow=True)
+        assert seen == [1, 2, 3]
+
+    def test_sleep_hook_receives_the_delays(self):
+        slept = []
+        state = {"left": 2}
+
+        def flaky():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise TransientProviderError("transient")
+            return "ok"
+
+        outcome = retry_call(flaky, RetryPolicy(max_attempts=5), seed=7,
+                             sleep=slept.append)
+        assert slept == outcome.delays
+
+
+class TestPolicyValidation:
+    def test_bad_attempts(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+
+    def test_bad_base(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=0.0)
+
+    def test_cap_below_base(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=1.0, max_delay=0.5)
+
+    def test_bad_jitter(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter="quantum")

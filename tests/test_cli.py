@@ -1,7 +1,5 @@
 """CLI entry point."""
 
-import pytest
-
 from repro.cli import EXPERIMENTS, build_parser, main
 
 
@@ -15,6 +13,36 @@ class TestCLI:
     def test_unknown_experiment(self, capsys):
         assert main(["does-not-exist"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_failing_experiment_exits_1_with_one_line_message(
+            self, capsys, monkeypatch):
+        from repro.exceptions import ConvergenceError
+
+        def exploding():
+            """A deliberately failing experiment."""
+            raise ConvergenceError("solver blew past its budget")
+
+        monkeypatch.setitem(EXPERIMENTS, "boom", exploding)
+        assert main(["boom"]) == 1
+        err = capsys.readouterr().err
+        assert "experiment 'boom' failed" in err
+        assert "solver blew past its budget" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_transient_provider_error_also_caught(self, capsys,
+                                                  monkeypatch):
+        from repro.exceptions import TransientProviderError
+
+        def flaky():
+            """A deliberately flaky experiment."""
+            raise TransientProviderError("CSP down", provider="csp")
+
+        monkeypatch.setitem(EXPERIMENTS, "flaky", flaky)
+        assert main(["flaky"]) == 1
+        assert "TransientProviderError" in capsys.readouterr().err
+
+    def test_chaos_experiment_registered(self):
+        assert "chaos" in EXPERIMENTS
 
     def test_runs_fast_experiment(self, capsys):
         assert main(["fig3"]) == 0
