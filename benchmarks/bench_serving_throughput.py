@@ -1,0 +1,115 @@
+"""Serving-engine throughput: cold vs cached vs warm-started batches.
+
+Serves the same >=64-scenario price grid three ways and reports a JSON
+summary (hit rate, p50/p95 per-scenario latency, speedups):
+
+* **cold** — serial engine, no cache reuse, no warm starts: the
+  baseline a hand-rolled sweep loop would pay;
+* **warm** — serial engine with nearest-neighbor warm starts chaining
+  through the batch;
+* **cached** — a populated engine with ``max_workers > 1`` re-serving
+  the batch, i.e. the steady state of a long-lived serving process.
+
+Runnable as a pytest module (the test asserts the acceptance bar: the
+cached parallel pass is at least 3x faster than the serial cold path
+and all three passes agree within solver tolerance) or as a script::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+
+``REPRO_BENCH_SCENARIOS`` shrinks the grid for smoke runs (minimum 8).
+"""
+
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.core import Prices, homogeneous
+from repro.serving import ScenarioSpec, ServingEngine
+
+N_SCENARIOS = max(8, int(os.environ.get("REPRO_BENCH_SCENARIOS", "64")))
+WORKERS = max(2, int(os.environ.get("REPRO_BENCH_WORKERS", "2")))
+
+
+def make_grid(n=N_SCENARIOS, lo=0.4, hi=1.6):
+    """An ``n``-point CSP price grid over the paper's default game."""
+    params = homogeneous(5, 200.0, reward=1500.0, fork_rate=0.2, h=0.8)
+    step = (hi - lo) / (n - 1)
+    return [ScenarioSpec(params, Prices(2.0, round(lo + k * step, 9)))
+            for k in range(n)]
+
+
+def _latency_stats(results):
+    lat = sorted(1e3 * r.elapsed for r in results)
+    return {
+        "p50_ms": round(statistics.median(lat), 4),
+        "p95_ms": round(lat[min(len(lat) - 1,
+                                int(0.95 * len(lat)))], 4),
+    }
+
+
+def _timed_batch(engine, specs):
+    start = time.perf_counter()
+    results = engine.serve_batch(specs)
+    return results, time.perf_counter() - start
+
+
+def _profile(result):
+    eq = getattr(result.value, "miners", result.value)
+    return np.concatenate([eq.e, eq.c])
+
+
+def run_serving_benchmark(n_scenarios=N_SCENARIOS, workers=WORKERS):
+    """Run the three passes; returns the JSON-ready summary dict."""
+    specs = make_grid(n_scenarios)
+
+    cold_engine = ServingEngine(max_workers=0, warm_start=False,
+                                use_guard=False)
+    cold, cold_s = _timed_batch(cold_engine, specs)
+
+    warm_engine = ServingEngine(max_workers=0, warm_start=True,
+                                use_guard=False)
+    warm, warm_s = _timed_batch(warm_engine, specs)
+
+    cached_engine = ServingEngine(max_workers=workers, use_guard=False)
+    cached_engine.serve_batch(specs)  # populate
+    cached, cached_s = _timed_batch(cached_engine, specs)
+
+    assert all(r.ok for r in cold + warm + cached)
+    agreement = max(
+        float(np.max(np.abs(_profile(a) - _profile(b))))
+        for pass_results in (warm, cached)
+        for a, b in zip(cold, pass_results))
+
+    return {
+        "scenarios": n_scenarios,
+        "workers": workers,
+        "cold": {"seconds": round(cold_s, 4), **_latency_stats(cold)},
+        "warm": {"seconds": round(warm_s, 4), **_latency_stats(warm),
+                 "warm_started": sum(r.warm_key is not None
+                                     for r in warm)},
+        "cached": {"seconds": round(cached_s, 4),
+                   **_latency_stats(cached),
+                   "hit_rate": cached_engine.stats.hit_rate},
+        "speedup_warm_vs_cold": round(cold_s / warm_s, 2),
+        "speedup_cached_vs_cold": round(cold_s / cached_s, 2),
+        "max_abs_profile_difference": agreement,
+    }
+
+
+def test_bench_serving_throughput():
+    summary = run_serving_benchmark()
+    print()
+    print(json.dumps(summary, indent=2))
+    # Acceptance: warm cache + workers beats the serial cold path >=3x
+    # on the same grid, without moving the equilibria.
+    assert summary["speedup_cached_vs_cold"] >= 3.0
+    assert summary["cached"]["hit_rate"] >= 0.5
+    assert summary["max_abs_profile_difference"] < 1e-6
+    assert summary["warm"]["warm_started"] >= summary["scenarios"] - 1
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_serving_benchmark(), indent=2))

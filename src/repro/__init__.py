@@ -24,7 +24,9 @@ Subpackages:
 * :mod:`repro.learning` — the Section VI-C RL framework;
 * :mod:`repro.analysis` — per-figure/table experiment harness;
 * :mod:`repro.resilience` — fault injection, retry/backoff, solver
-  guards, and graceful degradation (chaos testing).
+  guards, and graceful degradation (chaos testing);
+* :mod:`repro.serving` — batch equilibrium serving: scenario cache,
+  nearest-neighbor warm starts, and parallel execution.
 """
 
 from .core import (EdgeMode, GameParameters, MinerEquilibrium, Prices,
@@ -35,6 +37,7 @@ from .core import (EdgeMode, GameParameters, MinerEquilibrium, Prices,
 from .exceptions import (CapacityError, ConfigurationError, ConvergenceError,
                          InfeasibleGameError, ReproError,
                          TransientProviderError)
+from .serving import ScenarioSpec, ServingEngine
 
 __version__ = "1.0.0"
 
@@ -56,5 +59,7 @@ __all__ = [
     "InfeasibleGameError",
     "ReproError",
     "TransientProviderError",
+    "ScenarioSpec",
+    "ServingEngine",
     "__version__",
 ]

@@ -18,7 +18,7 @@ from .extensions import (ext1_rent_dissipation, ext2_fictitious_play,
                          ext7_optimal_block_size,
                          ext8_risk_aversion,
                          ext9_private_budgets)
-from .report import build_report, render_markdown
+from .report import build_report, render_convergence, render_markdown
 from .reporting import compare, from_json, load, save, to_csv, to_json
 from .sensitivity import elasticity, equilibrium_elasticities
 from .series import ResultTable, render, sparkline
@@ -54,6 +54,7 @@ __all__ = [
     "ext8_risk_aversion",
     "ext9_private_budgets",
     "build_report",
+    "render_convergence",
     "render_markdown",
     "compare",
     "from_json",

@@ -22,12 +22,12 @@ from ..blockchain import (Difficulty, EventDrivenSimulator, ForkModel,
 from ..core import (DemandOracle, DynamicGame, EdgeMode, GameParameters,
                     Prices, csp_best_response, homogeneous,
                     solve_connected_equilibrium, solve_dynamic_equilibrium,
-                    solve_stackelberg, solve_standalone_equilibrium,
-                    table2_connected, table2_standalone)
+                    solve_stackelberg, table2_connected, table2_standalone)
 from ..learning import RLTrainer
 from ..population import FixedPopulation, GaussianPopulation
+from ..serving import ScenarioSpec, ServingEngine
 from .series import ResultTable
-from .sweep import sweep
+from .sweep import scenario_sweep, sweep
 
 __all__ = [
     "PaperSetup",
@@ -174,7 +174,8 @@ def fig3_population(mu: float = 10.0, sigma: float = 2.0,
 # --------------------------------------------------------------------- #
 
 def fig4_price_sweep(p_c_values: Optional[Sequence[float]] = None,
-                     setup: PaperSetup = DEFAULTS) -> ResultTable:
+                     setup: PaperSetup = DEFAULTS,
+                     engine: Optional[ServingEngine] = None) -> ResultTable:
     """Connected mode, homogeneous B=200: unilateral ``P_c`` increases push
     miners toward the ESP and raise ESP revenue."""
     params = setup.connected()
@@ -182,10 +183,10 @@ def fig4_price_sweep(p_c_values: Optional[Sequence[float]] = None,
         bound = params.mixed_price_bound(setup.p_e)
         p_c_values = np.round(np.linspace(0.5, 0.95 * bound, 8), 4)
 
-    def evaluate(p_c):
-        eq = solve_connected_equilibrium(params,
-                                         Prices(p_e=setup.p_e, p_c=p_c))
-        v_e, v_c = eq.sp_profits
+    def make_spec(p_c):
+        return ScenarioSpec(params, Prices(p_e=setup.p_e, p_c=p_c))
+
+    def metrics(p_c, eq):
         return {
             "e_per_miner": float(eq.e[0]),
             "c_per_miner": float(eq.c[0]),
@@ -194,10 +195,12 @@ def fig4_price_sweep(p_c_values: Optional[Sequence[float]] = None,
             "csp_revenue": p_c * eq.total_cloud,
         }
 
-    return sweep("Fig. 4 — miner subgame NE vs unilateral CSP price P_c "
-                 f"(P_e={setup.p_e})", "P_c", p_c_values, evaluate,
-                 notes="Raising P_c shifts requests to the ESP: e* and ESP "
-                       "revenue increase monotonically.")
+    return scenario_sweep(
+        "Fig. 4 — miner subgame NE vs unilateral CSP price P_c "
+        f"(P_e={setup.p_e})", "P_c", p_c_values, make_spec, metrics,
+        engine=engine,
+        notes="Raising P_c shifts requests to the ESP: e* and ESP "
+              "revenue increase monotonically.")
 
 
 # --------------------------------------------------------------------- #
@@ -205,7 +208,8 @@ def fig4_price_sweep(p_c_values: Optional[Sequence[float]] = None,
 # --------------------------------------------------------------------- #
 
 def fig5_delay_sweep(betas: Optional[Sequence[float]] = None,
-                     setup: PaperSetup = DEFAULTS) -> ResultTable:
+                     setup: PaperSetup = DEFAULTS,
+                     engine: Optional[ServingEngine] = None) -> ResultTable:
     """Connected mode: higher β (longer CSP delay) cuts CSP units sold and
     revenue, while total SP-side revenue stays pinned at the miners'
     aggregate budget (the budget constraint binds)."""
@@ -213,12 +217,14 @@ def fig5_delay_sweep(betas: Optional[Sequence[float]] = None,
         betas = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35]
     fork = ForkModel()
 
-    def evaluate(beta):
+    def make_spec(beta):
         params = homogeneous(setup.n, setup.budget, reward=setup.reward,
                              fork_rate=beta, h=setup.h,
                              edge_cost=setup.edge_cost,
                              cloud_cost=setup.cloud_cost)
-        eq = solve_connected_equilibrium(params, setup.prices())
+        return ScenarioSpec(params, setup.prices())
+
+    def metrics(beta, eq):
         esp_rev = setup.p_e * eq.total_edge
         csp_rev = setup.p_c * eq.total_cloud
         return {
@@ -230,11 +236,12 @@ def fig5_delay_sweep(betas: Optional[Sequence[float]] = None,
             "total_budget": setup.n * setup.budget,
         }
 
-    return sweep("Fig. 5 — CSP units/revenue vs fork rate β (CSP delay)",
-                 "beta", betas, evaluate,
-                 notes="C and CSP revenue fall with β; total SP revenue "
-                       "stays ~= the aggregate miner budget (binding "
-                       "budgets).")
+    return scenario_sweep(
+        "Fig. 5 — CSP units/revenue vs fork rate β (CSP delay)",
+        "beta", betas, make_spec, metrics, engine=engine,
+        notes="C and CSP revenue fall with β; total SP revenue "
+              "stays ~= the aggregate miner budget (binding "
+              "budgets).")
 
 
 # --------------------------------------------------------------------- #
@@ -242,7 +249,9 @@ def fig5_delay_sweep(betas: Optional[Sequence[float]] = None,
 # --------------------------------------------------------------------- #
 
 def fig6_capacity_sweep(e_max_values: Optional[Sequence[float]] = None,
-                        setup: PaperSetup = DEFAULTS) -> ResultTable:
+                        setup: PaperSetup = DEFAULTS,
+                        engine: Optional[ServingEngine] = None
+                        ) -> ResultTable:
     """Standalone mode: ESP capacity is positively related to edge
     requests; the connected mode discourages ESP purchases."""
     if e_max_values is None:
@@ -252,9 +261,11 @@ def fig6_capacity_sweep(e_max_values: Optional[Sequence[float]] = None,
         setup.connected(budget=big_budget), setup.prices())
     connected_e = connected_eq.total_edge
 
-    def evaluate(e_max):
+    def make_spec(e_max):
         params = setup.standalone(budget=big_budget, e_max=e_max)
-        eq = solve_standalone_equilibrium(params, setup.prices())
+        return ScenarioSpec(params, setup.prices())
+
+    def metrics(e_max, eq):
         return {
             "E_total": eq.total_edge,
             "capacity_bound": min(
@@ -264,11 +275,12 @@ def fig6_capacity_sweep(e_max_values: Optional[Sequence[float]] = None,
             "connected_E_total": connected_e,
         }
 
-    return sweep("Fig. 6 — standalone edge requests vs capacity E_max",
-                 "E_max", e_max_values, evaluate,
-                 notes="E* grows with capacity until the unconstrained "
-                       "demand is reached; connected-mode E* (transfer "
-                       "rate 1-h) stays below the standalone level.")
+    return scenario_sweep(
+        "Fig. 6 — standalone edge requests vs capacity E_max",
+        "E_max", e_max_values, make_spec, metrics, engine=engine,
+        notes="E* grows with capacity until the unconstrained "
+              "demand is reached; connected-mode E* (transfer "
+              "rate 1-h) stays below the standalone level.")
 
 
 def fig6_csp_price_crossover(p_e_values: Optional[Sequence[float]] = None,

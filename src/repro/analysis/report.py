@@ -16,7 +16,7 @@ from typing import Callable, Dict, Iterable, Optional, Union
 from ..exceptions import ConfigurationError
 from .series import ResultTable, sparkline
 
-__all__ = ["render_markdown", "build_report"]
+__all__ = ["render_markdown", "render_convergence", "build_report"]
 
 
 def _format_cell(value) -> str:
@@ -52,6 +52,27 @@ def render_markdown(table: ResultTable, heading_level: int = 2) -> str:
         lines += ["", f"> {table.notes}"]
     lines.append("")
     return "\n".join(lines)
+
+
+def render_convergence(report, label: str = "") -> str:
+    """Render solver convergence diagnostics as a one-line markdown note.
+
+    Accepts either a :class:`~repro.game.diagnostics.ConvergenceReport`
+    or its :meth:`~repro.game.diagnostics.ConvergenceReport.to_dict`
+    payload (e.g. as persisted by the serving cache's disk layer), so
+    report sections can annotate tables with solver behavior without
+    re-running anything.
+    """
+    payload = report if isinstance(report, dict) else report.to_dict()
+    status = "converged" if payload.get("converged") else "DID NOT converge"
+    parts = [f"`{label}`" if label else "solver", status,
+             f"in {payload.get('iterations', '?')} iterations",
+             f"(residual {_format_cell(payload.get('residual', 0.0))}, "
+             f"tol {_format_cell(payload.get('tolerance', 0.0))})"]
+    history = payload.get("history") or []
+    if len(history) > 1:
+        parts.append(sparkline(history))
+    return "> " + " ".join(parts)
 
 
 def build_report(experiments: Dict[str, Callable[[], ResultTable]],

@@ -3,17 +3,29 @@
 Small, explicit helper for the one-dimensional sweeps the paper's
 evaluation is built from: vary one knob, re-solve the game, collect named
 metrics into a :class:`~repro.analysis.series.ResultTable`.
+
+Two flavours:
+
+* :func:`sweep` — call an arbitrary ``evaluate`` function per knob
+  value (the original, fully general harness);
+* :func:`scenario_sweep` — build a
+  :class:`~repro.serving.ScenarioSpec` per knob value and serve the
+  whole grid through a :class:`~repro.serving.ServingEngine`, so
+  repeated sweeps hit the scenario cache, nearby points warm-start
+  each other, and a ``max_workers > 1`` engine fans the grid out over
+  a process pool.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Union
+from typing import Callable, Dict, Iterable, Optional, Union
 
+from ..exceptions import ConvergenceError
 from .series import ResultTable
 
 Number = Union[int, float]
 
-__all__ = ["sweep"]
+__all__ = ["sweep", "scenario_sweep"]
 
 
 def sweep(title: str, knob_name: str, values: Iterable[Number],
@@ -46,4 +58,68 @@ def sweep(title: str, knob_name: str, values: Iterable[Number],
                 f"evaluate returned inconsistent metrics at {knob_name}={v}: "
                 f"{list(metrics.keys())} vs {columns[1:]}")
         table.add_row(v, *metrics.values())
+    return table
+
+
+def scenario_sweep(title: str, knob_name: str, values: Iterable[Number],
+                   make_spec: Callable[[Number], "object"],
+                   metrics: Callable[[Number, "object"],
+                                     Dict[str, Number]],
+                   engine: Optional["object"] = None,
+                   notes: str = "") -> ResultTable:
+    """Run a sweep through the batch equilibrium-serving engine.
+
+    Args:
+        title: Table title.
+        knob_name: Header of the swept-parameter column.
+        values: Knob values, in order.
+        make_spec: Maps a knob value to a
+            :class:`~repro.serving.ScenarioSpec`.
+        metrics: Maps ``(knob value, equilibrium)`` to a
+            ``{metric: value}`` dict; every call must return the same
+            keys (checked, like :func:`sweep`).
+        engine: A :class:`~repro.serving.ServingEngine` to serve the
+            grid from. Passing a shared engine across sweeps reuses its
+            cache; ``None`` builds a throwaway serial engine whose
+            solves are bit-identical to calling the solvers directly
+            (warm starts and guards off).
+        notes: Optional caveats for the rendered table.
+
+    Returns:
+        A :class:`ResultTable` with one row per knob value.
+
+    Raises:
+        ConvergenceError: If any scenario in the grid failed to solve
+            (per-scenario errors are collected into one message).
+    """
+    from ..serving import ServingEngine  # local: keep import cycle-free
+
+    values = list(values)
+    if not values:
+        raise ValueError("scenario_sweep needs at least one knob value")
+    if engine is None:
+        engine = ServingEngine(max_workers=0, warm_start=False,
+                               use_guard=False)
+    specs = [make_spec(v) for v in values]
+    results = engine.serve_batch(specs)
+    failed = [(v, r.error) for v, r in zip(values, results)
+              if not r.ok]
+    if failed:
+        detail = "; ".join(f"{knob_name}={v}: {err}"
+                           for v, err in failed[:5])
+        raise ConvergenceError(
+            f"{len(failed)}/{len(values)} sweep points failed: {detail}")
+    table: Optional[ResultTable] = None
+    columns: list = []
+    for v, result in zip(values, results):
+        row = metrics(v, result.value)
+        if table is None:
+            columns = [knob_name] + list(row.keys())
+            table = ResultTable(title=title, columns=columns,
+                                notes=notes)
+        elif list(row.keys()) != columns[1:]:
+            raise ValueError(
+                f"metrics returned inconsistent keys at {knob_name}={v}: "
+                f"{list(row.keys())} vs {columns[1:]}")
+        table.add_row(v, *row.values())
     return table

@@ -2,17 +2,20 @@
 
 Usage::
 
-    repro-mining list
+    repro-mining list                 # or: repro-mining --list
     repro-mining fig4
     repro-mining table2 --output table2.json
     repro-mining ext6 --output ext6.csv --quiet
     repro-mining all
+    repro-mining serve --grid p_c:0.5:1.3:16 --workers 4 \\
+        --cache-dir .repro_cache
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Dict
 
 from .analysis import (ablation_dynamic_weights, ablation_gnep_solvers,
@@ -67,16 +70,59 @@ def build_parser() -> argparse.ArgumentParser:
                     "Edge-Cloud Computing for Mobile Blockchain Mining "
                     "Game' (ICDCS 2019).")
     parser.add_argument(
-        "experiment",
-        help="experiment id (one of: %s), 'list', 'all', or 'report' "
+        "experiment", nargs="?", default=None,
+        help="experiment id (one of: %s), 'list', 'all', 'report' "
              "(markdown report of the fast experiments; use --ids to "
-             "select)" % ", ".join(sorted(EXPERIMENTS)))
+             "select), or 'serve' (batch equilibrium serving; see "
+             "'serve --help')" % ", ".join(sorted(EXPERIMENTS)))
+    parser.add_argument(
+        "--list", action="store_true", dest="list_experiments",
+        help="print the available experiment ids and exit")
     parser.add_argument(
         "--ids", default=None, metavar="ID[,ID...]",
         help="comma-separated experiment ids for 'report'")
     parser.add_argument(
         "--output", "-o", default=None, metavar="PATH",
         help="also write the result table to PATH (.json or .csv)")
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress the rendered table on stdout")
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mining serve",
+        description="Serve a grid of equilibrium scenarios through the "
+                    "batch serving engine (cache + warm starts + "
+                    "worker pool).")
+    parser.add_argument(
+        "--grid", default="p_c:0.5:1.3:16", metavar="KNOB:LO:HI:N",
+        help="swept knob and range: one of p_c, p_e, beta, e_max, "
+             "budget, edge_cost (default: %(default)s)")
+    parser.add_argument(
+        "--mode", choices=("connected", "standalone"),
+        default="connected", help="edge operation mode")
+    parser.add_argument(
+        "--stackelberg", action="store_true",
+        help="serve full leader-stage (Stackelberg) solves instead of "
+             "miner-stage equilibria at fixed prices")
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="process-pool width for cache misses (0/1 = serial)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="JSON persistence directory (e.g. .repro_cache); omit "
+             "for a memory-only cache")
+    parser.add_argument(
+        "--no-warm-start", action="store_true",
+        help="disable nearest-neighbor warm starts")
+    parser.add_argument(
+        "--repeat", type=int, default=1, metavar="K",
+        help="serve the batch K times (repeats exercise the cache)")
+    parser.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="write the result table to PATH (.json or .csv)")
     parser.add_argument(
         "--quiet", "-q", action="store_true",
         help="suppress the rendered table on stdout")
@@ -110,14 +156,156 @@ def _run_one(name: str, output, quiet: bool) -> int:
     return 0
 
 
+def _parse_grid(grid: str):
+    """Parse ``KNOB:LO:HI:N`` into ``(knob, [values...])``."""
+    parts = grid.split(":")
+    if len(parts) != 4:
+        raise ValueError(
+            f"grid must look like KNOB:LO:HI:N, got {grid!r}")
+    knob, lo, hi, count = parts
+    knob = knob.strip().lower()
+    valid = ("p_c", "p_e", "beta", "e_max", "budget", "edge_cost")
+    if knob not in valid:
+        raise ValueError(f"unknown grid knob {knob!r}; pick one of "
+                         f"{', '.join(valid)}")
+    lo, hi, count = float(lo), float(hi), int(count)
+    if count < 1:
+        raise ValueError(f"grid needs at least 1 point, got {count}")
+    if count == 1:
+        return knob, [lo]
+    step = (hi - lo) / (count - 1)
+    return knob, [round(lo + step * k, 12) for k in range(count)]
+
+
+def _serve_spec(knob: str, value: float, mode: str, stackelberg: bool):
+    """Build the ScenarioSpec for one grid point off the paper setup."""
+    from .analysis.experiments import DEFAULTS as setup
+    from .core import EdgeMode, Prices, homogeneous
+    from .serving import ScenarioSpec
+
+    fields = {
+        "reward": setup.reward, "fork_rate": setup.beta,
+        "edge_cost": setup.edge_cost, "cloud_cost": setup.cloud_cost,
+    }
+    budget = setup.budget
+    p_e, p_c = setup.p_e, setup.p_c
+    e_max = setup.e_max
+    if knob == "beta":
+        fields["fork_rate"] = value
+    elif knob == "edge_cost":
+        fields["edge_cost"] = value
+    elif knob == "budget":
+        budget = value
+    elif knob == "p_e":
+        p_e = value
+    elif knob == "p_c":
+        p_c = value
+    elif knob == "e_max":
+        e_max = value
+    if mode == "standalone":
+        params = homogeneous(setup.n, budget,
+                             mode=EdgeMode.STANDALONE, e_max=e_max,
+                             **fields)
+    else:
+        params = homogeneous(setup.n, budget, h=setup.h, **fields)
+    prices = None if stackelberg else Prices(p_e=p_e, p_c=p_c)
+    return ScenarioSpec(params, prices)
+
+
+def serve_main(argv=None) -> int:
+    """Entry point of the ``serve`` subcommand."""
+    from .analysis.series import ResultTable
+    from .serving import ServingEngine
+
+    args = build_serve_parser().parse_args(argv)
+    try:
+        knob, values = _parse_grid(args.grid)
+    except ValueError as ex:
+        print(f"bad --grid: {ex}", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print("--repeat must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        specs = [_serve_spec(knob, v, args.mode, args.stackelberg)
+                 for v in values]
+    except ReproError as ex:
+        print(f"bad grid point: {type(ex).__name__}: {ex}",
+              file=sys.stderr)
+        return 2
+
+    engine = ServingEngine(cache_dir=args.cache_dir,
+                           max_workers=args.workers,
+                           warm_start=not args.no_warm_start)
+    start = time.perf_counter()
+    for _ in range(args.repeat):
+        results = engine.serve_batch(specs)
+    elapsed = time.perf_counter() - start
+
+    table = ResultTable(
+        title=f"serve — {len(values)}-point {knob} grid "
+              f"({args.mode}{', stackelberg' if args.stackelberg else ''}"
+              f", x{args.repeat})",
+        columns=[knob, "P_e", "P_c", "E_total", "C_total", "source",
+                 "ms"],
+        notes=f"workers={args.workers}, "
+              f"warm_start={not args.no_warm_start}, "
+              f"cache_dir={args.cache_dir or '-'}")
+    errors = 0
+    for value, res in zip(values, results):
+        if not res.ok:
+            errors += 1
+            table.add_row(value, float("nan"), float("nan"),
+                          float("nan"), float("nan"),
+                          f"error: {res.error}", 1e3 * res.elapsed)
+            continue
+        eq = res.value
+        miners = getattr(eq, "miners", eq)
+        table.add_row(value, eq.prices.p_e, eq.prices.p_c,
+                      miners.total_edge, miners.total_cloud,
+                      res.source + ("+warm" if res.warm_key else ""),
+                      1e3 * res.elapsed)
+    if not args.quiet:
+        print(table)
+    stats = engine.stats.to_dict()
+    print(f"served {args.repeat}x{len(values)} scenarios in "
+          f"{elapsed:.3f}s; cache: " +
+          ", ".join(f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+                    for k, v in stats.items()), file=sys.stderr)
+    if args.output is not None:
+        try:
+            path = save(table, args.output)
+        except ReproError as ex:
+            print(f"could not write {args.output!r}: {ex}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {path}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def _print_experiments() -> None:
+    for key in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
+        print(f"{key:12s} {doc}")
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0].lower() == "serve":
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.list_experiments:
+        _print_experiments()
+        return 0
+    if args.experiment is None:
+        build_parser().print_usage(sys.stderr)
+        print("an experiment id (or --list) is required",
+              file=sys.stderr)
+        return 2
     name = args.experiment.lower()
     if name == "list":
-        for key in sorted(EXPERIMENTS):
-            doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
-            print(f"{key:12s} {doc}")
+        _print_experiments()
         return 0
     if name == "report":
         from .analysis.report import build_report

@@ -73,6 +73,8 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
                                  tol: float = 1e-9,
                                  capacity_tol: float = 1e-7,
                                  max_bisect: int = 200,
+                                 initial: Optional[Tuple[np.ndarray,
+                                                         np.ndarray]] = None,
                                  raise_on_failure: bool = False,
                                  ) -> MinerEquilibrium:
     """Variational equilibrium of GNEP_MINER via shadow-price decomposition.
@@ -84,6 +86,10 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
         capacity_tol: Relative tolerance on ``|E - E_max|`` when the
             capacity constraint binds.
         max_bisect: Maximum bisection steps on ``ν``.
+        initial: Optional warm-start profile ``(e, c)`` for the first
+            (unconstrained) inner solve; subsequent ν-evaluations chain
+            their own warm starts. ``None`` reproduces the cold path
+            bit-identically.
         raise_on_failure: Raise instead of returning a flagged result.
 
     Returns:
@@ -92,7 +98,7 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
     """
     e_max = _require_standalone(params)
 
-    free = edge_demand(params, prices, nu=0.0, tol=tol)
+    free = edge_demand(params, prices, nu=0.0, tol=tol, initial=initial)
     if free.total_edge <= e_max * (1.0 + capacity_tol):
         return free
 

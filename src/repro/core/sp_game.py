@@ -45,7 +45,9 @@ class DemandOracle:
     _KEY_DECIMALS = 12
 
     def __init__(self, params: GameParameters, tol: float = 1e-9,
-                 max_iter: int = 3000, fast: str = "auto"):
+                 max_iter: int = 3000, fast: str = "auto",
+                 warm_profile: Optional[Tuple[np.ndarray,
+                                              np.ndarray]] = None):
         if fast not in ("auto", False, True):
             raise ConfigurationError("fast must be 'auto', True or False")
         self.params = params
@@ -55,6 +57,15 @@ class DemandOracle:
         if self.fast and not params.is_homogeneous:
             raise ConfigurationError(
                 "fast closed-form demand requires homogeneous miners")
+        if warm_profile is not None:
+            e0 = np.asarray(warm_profile[0], dtype=float)
+            c0 = np.asarray(warm_profile[1], dtype=float)
+            if e0.shape != (params.n,) or c0.shape != (params.n,):
+                raise ConfigurationError(
+                    "warm_profile shape mismatch: expected two arrays of "
+                    f"shape ({params.n},)")
+            warm_profile = (e0, c0)
+        self._warm_profile = warm_profile
         self._cache: Dict[Tuple[float, float], MinerEquilibrium] = {}
         self._last: Optional[MinerEquilibrium] = None
         self.evaluations = 0
@@ -86,11 +97,17 @@ class DemandOracle:
             except ConfigurationError:
                 self.fallbacks += 1
         if eq is None:
+            # Seed only the very first iterative solve from the external
+            # warm profile; afterwards the oracle chains its own last
+            # equilibrium exactly as it always has, so a ``None`` seed is
+            # bit-identical to the legacy behaviour.
+            seed = self._warm_profile if self._last is None else None
             if self.params.mode is EdgeMode.STANDALONE:
                 eq = solve_standalone_equilibrium(self.params, prices,
-                                                  tol=self.tol)
+                                                  tol=self.tol,
+                                                  initial=seed)
             else:
-                warm = None
+                warm = seed
                 if self._last is not None:
                     warm = (self._last.e, self._last.c)
                 eq = solve_connected_equilibrium(self.params, prices,

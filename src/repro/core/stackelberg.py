@@ -87,6 +87,9 @@ def solve_stackelberg(params: GameParameters,
                       price_xatol: float = 1e-9,
                       damping: float = 1.0,
                       raise_on_failure: bool = False,
+                      warm_start: Optional[Prices] = None,
+                      warm_profile: Optional[Tuple[np.ndarray,
+                                                   np.ndarray]] = None,
                       ) -> StackelbergEquilibrium:
     """Compute a Stackelberg equilibrium of the full game.
 
@@ -116,6 +119,16 @@ def solve_stackelberg(params: GameParameters,
             the iteration just below the jump instead of cycling on it.
         raise_on_failure: Raise :class:`ConvergenceError` instead of
             returning a non-converged result.
+        warm_start: Equilibrium prices of a *nearby* scenario (e.g. from
+            :mod:`repro.serving`). Unlike ``initial`` — which only picks
+            the starting point of the best-response iteration — a warm
+            start also narrows the anticipating scheme's coarse search
+            bracket around the hint, falling back to the full global
+            search whenever the localized optimum is not interior.
+            ``None`` (the default) keeps every path bit-identical to the
+            cold solve.
+        warm_profile: Optional miner profile ``(e, c)`` seeding the
+            demand oracle's first iterative follower solve.
 
     Returns:
         :class:`StackelbergEquilibrium`.
@@ -124,12 +137,16 @@ def solve_stackelberg(params: GameParameters,
         scheme = "esp-anticipates"
     if scheme not in ("best-response", "esp-anticipates"):
         raise ValueError(f"unknown scheme {scheme!r}")
-    oracle = DemandOracle(params, tol=demand_tol)
+    oracle = DemandOracle(params, tol=demand_tol,
+                          warm_profile=warm_profile)
+    if initial is None and warm_start is not None:
+        initial = warm_start
     prices = _initial_prices(params, initial)
 
     if scheme == "esp-anticipates":
         return _solve_esp_anticipates(params, oracle, prices, tol,
-                                      max_iter, price_xatol)
+                                      max_iter, price_xatol,
+                                      warm=warm_start)
 
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
@@ -183,7 +200,9 @@ def solve_stackelberg(params: GameParameters,
 
 def _solve_esp_anticipates(params: GameParameters, oracle: DemandOracle,
                            start: Prices, tol: float, max_iter: int,
-                           price_xatol: float) -> StackelbergEquilibrium:
+                           price_xatol: float,
+                           warm: Optional[Prices] = None,
+                           ) -> StackelbergEquilibrium:
     """ESP maximizes over ``P_e`` with the CSP reaction curve substituted."""
 
     def esp_profit_anticipating(p_e: float) -> float:
@@ -193,14 +212,34 @@ def _solve_esp_anticipates(params: GameParameters, oracle: DemandOracle,
     lo = max(params.edge_cost, params.cloud_cost) * (1.0 + 1e-7) + 1e-9
     hi = max(4.0 * lo, 2.0 * start.p_e, 1.0)
     best_p_e = None
-    for _ in range(60):
-        res = minimize_scalar(lambda x: -esp_profit_anticipating(x),
-                              bounds=(lo, hi), method="bounded",
-                              options={"xatol": price_xatol * max(1.0, hi)})
-        best_p_e = float(res.x)
-        if best_p_e < 0.99 * hi:
-            break
-        hi *= 2.0
+    if warm is not None:
+        # Localized coarse search: a nearby scenario's optimum bounds the
+        # bracket, cutting the number of (expensive) reaction-curve
+        # evaluations. Accept only an interior optimum — anything pinned
+        # to a warm bracket edge falls through to the global search, so a
+        # bad hint degrades to the cold path rather than a wrong answer.
+        lo_w = max(lo, 0.6 * warm.p_e)
+        hi_w = max(1.6 * warm.p_e, 1.5 * lo_w)
+        if hi_w > lo_w:
+            res = minimize_scalar(
+                lambda x: -esp_profit_anticipating(x),
+                bounds=(lo_w, hi_w), method="bounded",
+                options={"xatol": price_xatol * max(1.0, hi_w)})
+            cand = float(res.x)
+            margin = 0.01 * (hi_w - lo_w)
+            interior_lo = cand > lo_w + margin or lo_w <= lo * (1 + 1e-12)
+            if interior_lo and cand < hi_w - margin:
+                best_p_e = cand
+    if best_p_e is None:
+        for _ in range(60):
+            res = minimize_scalar(
+                lambda x: -esp_profit_anticipating(x),
+                bounds=(lo, hi), method="bounded",
+                options={"xatol": price_xatol * max(1.0, hi)})
+            best_p_e = float(res.x)
+            if best_p_e < 0.99 * hi:
+                break
+            hi *= 2.0
     # Polish pass: the anticipating objective carries inner-optimizer noise
     # and a market-clearing kink in standalone mode; a tighter local search
     # around the coarse optimum recovers the kink accurately.

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -39,6 +39,40 @@ class ConvergenceReport:
         return (
             f"{status} after {self.iterations} iterations, "
             f"residual={self.residual:.3e} (tol={self.tolerance:.1e}){note}"
+        )
+
+    def to_dict(self, history_tail: Optional[int] = None
+                ) -> Dict[str, Any]:
+        """JSON-serializable view of the report.
+
+        The canonical serialization used by the serving cache's disk
+        layer and the markdown report generator. ``history_tail`` caps
+        the residual history (None keeps all recorded entries).
+
+        Round-trips exactly through :meth:`from_dict`.
+        """
+        history = list(self.history)
+        if history_tail is not None:
+            history = history[-history_tail:]
+        return {
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "residual": float(self.residual),
+            "tolerance": float(self.tolerance),
+            "history": [float(r) for r in history],
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ConvergenceReport":
+        """Reconstruct a report from :meth:`to_dict` output."""
+        return cls(
+            converged=bool(payload["converged"]),
+            iterations=int(payload["iterations"]),
+            residual=float(payload["residual"]),
+            tolerance=float(payload["tolerance"]),
+            history=[float(r) for r in payload.get("history", [])],
+            message=payload.get("message"),
         )
 
 
@@ -106,6 +140,15 @@ class ResidualRecorder:
     @property
     def last_residual(self) -> float:
         return self._residuals[-1] if self._residuals else float("inf")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable snapshot of the recorder's current state."""
+        return {
+            "tolerance": float(self.tolerance),
+            "max_history": int(self.max_history),
+            "residuals": [float(r) for r in self._residuals],
+            "last_residual": float(self.last_residual),
+        }
 
     def report(self, converged: bool, iterations: int,
                message: Optional[str] = None) -> ConvergenceReport:

@@ -1,0 +1,57 @@
+"""Batch equilibrium serving: cache, warm starts, and worker pools.
+
+The paper's operator queries equilibria the way an inference service
+queries a model: many nearby parameter points, over and over, under
+shifting demand. This subpackage turns the solvers of
+:mod:`repro.core` into that service:
+
+* :mod:`repro.serving.keys` — canonical, hash-stable scenario keys
+  (floats quantized at a declared tolerance so near-identical queries
+  collide on purpose);
+* :mod:`repro.serving.cache` — a thread-safe LRU memo cache with
+  hit/miss/eviction counters and an optional JSON disk layer under
+  ``.repro_cache/``;
+* :mod:`repro.serving.warmstart` — nearest-neighbor warm starts
+  harvested from previously solved scenarios;
+* :mod:`repro.serving.engine` — the :class:`ServingEngine`: batch
+  dedup, chunked fan-out over a process pool, per-scenario error
+  capture, resilience-guarded workers;
+* :mod:`repro.serving.codec` — the JSON round-trip for persisted
+  equilibria.
+
+Quickstart::
+
+    from repro import homogeneous, Prices
+    from repro.serving import ScenarioSpec, ServingEngine
+
+    params = homogeneous(5, 200.0, reward=1500.0, fork_rate=0.2, h=0.8)
+    engine = ServingEngine(cache_dir=".repro_cache", max_workers=4)
+    specs = [ScenarioSpec(params, Prices(2.0, round(0.5 + 0.05 * k, 3)))
+             for k in range(16)]
+    results = engine.serve_batch(specs)
+    print(engine.stats.to_dict())
+"""
+
+from .cache import CacheStats, ScenarioCache
+from .codec import decode_result, encode_result
+from .engine import ScenarioResult, ServingEngine
+from .keys import (DEFAULT_QUANTUM, ScenarioSpec, family_key,
+                   feature_vector, quantize, scenario_key)
+from .warmstart import WarmStart, WarmStartIndex
+
+__all__ = [
+    "CacheStats",
+    "ScenarioCache",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ServingEngine",
+    "WarmStart",
+    "WarmStartIndex",
+    "DEFAULT_QUANTUM",
+    "decode_result",
+    "encode_result",
+    "family_key",
+    "feature_vector",
+    "quantize",
+    "scenario_key",
+]

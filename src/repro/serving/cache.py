@@ -1,0 +1,218 @@
+"""Thread-safe LRU scenario cache with an optional JSON disk layer.
+
+:class:`ScenarioCache` memoizes equilibrium results keyed by the
+hash-stable keys of :mod:`repro.serving.keys`. It is safe to share
+across threads (a single lock guards the LRU order and the counters)
+and exposes :class:`CacheStats` hit/miss/eviction counters so serving
+throughput is observable rather than inferred.
+
+When constructed with a ``cache_dir`` (conventionally
+``.repro_cache/``), every stored result is also written as one JSON
+file per key via :mod:`repro.serving.codec`; misses consult the disk
+before being reported to the caller, so a warm cache survives process
+restarts and is shareable between workers on one machine.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from .codec import decode_result, encode_result
+
+__all__ = ["CacheStats", "ScenarioCache"]
+
+#: Conventional on-disk location of the persistent layer.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache's lifetime activity.
+
+    Attributes:
+        hits: Lookups answered from memory.
+        disk_hits: Lookups answered from the JSON disk layer (these are
+            *not* double-counted as memory hits).
+        misses: Lookups answered by neither layer.
+        evictions: Entries dropped by the LRU bound.
+        puts: Results stored.
+    """
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls observed."""
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from either layer (0 when idle)."""
+        total = self.lookups
+        if total == 0:
+            return 0.0
+        return (self.hits + self.disk_hits) / total
+
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        """JSON-serializable counter snapshot."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class ScenarioCache:
+    """LRU memo cache for equilibrium results, optionally disk-backed.
+
+    Args:
+        maxsize: Bound on in-memory entries; least-recently-used entries
+            are evicted past it (the disk layer, if any, keeps them).
+        cache_dir: Directory for the JSON persistence layer; created on
+            demand. ``None`` disables persistence.
+    """
+
+    def __init__(self, maxsize: int = 4096,
+                 cache_dir: Optional[Union[str, Path]] = None):
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"maxsize must be at least 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Disk layer
+    # ------------------------------------------------------------------
+
+    def _path_for(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        # Keys look like "miner:connected:<digest>"; colons make poor
+        # filenames on some filesystems.
+        return self.cache_dir / (key.replace(":", "_") + ".json")
+
+    def _disk_load(self, key: str) -> Optional[_Entry]:
+        if self.cache_dir is None:
+            return None
+        path = self._path_for(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            return _Entry(value=decode_result(payload["result"]),
+                          meta=payload.get("meta", {}))
+        except (OSError, ValueError, KeyError, ConfigurationError):
+            # A corrupt or foreign file is a miss, never an error.
+            return None
+
+    def _disk_store(self, key: str, entry: _Entry) -> None:
+        if self.cache_dir is None:
+            return
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            payload = {"key": key, "result": encode_result(entry.value),
+                       "meta": entry.meta}
+            path = self._path_for(key)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(payload))
+            tmp.replace(path)
+        except (OSError, ConfigurationError):
+            # Persistence is best-effort; the memory layer stays correct.
+            pass
+
+    # ------------------------------------------------------------------
+    # Core API
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> Tuple[Optional[Any], str]:
+        """Look up a result; returns ``(value, layer)``.
+
+        ``layer`` is ``"memory"``, ``"disk"``, or ``"miss"``; the LRU
+        position is refreshed and the counters updated either way.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry.value, "memory"
+            entry = self._disk_load(key)
+            if entry is not None:
+                self.stats.disk_hits += 1
+                self._insert(key, entry, persist=False)
+                return entry.value, "disk"
+            self.stats.misses += 1
+            return None, "miss"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Look up a result, refreshing its LRU position. None on miss."""
+        return self.lookup(key)[0]
+
+    def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """Metadata stored alongside an in-memory entry (None if absent)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return None if entry is None else dict(entry.meta)
+
+    def put(self, key: str, value: Any,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        """Store a result under ``key`` (and on disk when configured)."""
+        entry = _Entry(value=value, meta=dict(meta or {}))
+        with self._lock:
+            self.stats.puts += 1
+            self._insert(key, entry, persist=True)
+
+    def _insert(self, key: str, entry: _Entry, persist: bool) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        if persist:
+            self._disk_store(key, entry)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        """Snapshot of ``(key, value)`` pairs, LRU-oldest first."""
+        with self._lock:
+            return iter([(k, e.value) for k, e in self._entries.items()])
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop all in-memory entries; optionally the disk layer too."""
+        with self._lock:
+            self._entries.clear()
+            if disk and self.cache_dir is not None \
+                    and self.cache_dir.exists():
+                for path in self.cache_dir.glob("*.json"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass

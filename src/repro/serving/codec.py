@@ -1,0 +1,121 @@
+"""JSON codec for equilibrium results (the cache's disk format).
+
+Round-trips :class:`~repro.core.nep.MinerEquilibrium` and
+:class:`~repro.core.stackelberg.StackelbergEquilibrium` — including
+their :class:`~repro.core.params.GameParameters` and convergence
+diagnostics (via :meth:`ConvergenceReport.to_dict`) — through plain
+JSON-serializable dictionaries, so cached equilibria survive process
+restarts under ``.repro_cache/``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from ..core.nep import MinerEquilibrium
+from ..core.params import EdgeMode, GameParameters, Prices
+from ..core.stackelberg import StackelbergEquilibrium
+from ..exceptions import ConfigurationError
+from ..game.diagnostics import ConvergenceReport
+
+__all__ = ["encode_result", "decode_result"]
+
+_SCHEMA = 1
+
+Result = Union[MinerEquilibrium, StackelbergEquilibrium]
+
+
+def _encode_params(params: GameParameters) -> Dict[str, Any]:
+    return {
+        "reward": params.reward,
+        "fork_rate": params.fork_rate,
+        "budgets": [float(b) for b in params.budget_array],
+        "mode": params.mode.value,
+        "h": params.h,
+        "e_max": params.e_max,
+        "edge_cost": params.edge_cost,
+        "cloud_cost": params.cloud_cost,
+        "d_avg": params.d_avg,
+    }
+
+
+def _decode_params(payload: Dict[str, Any]) -> GameParameters:
+    return GameParameters(
+        reward=float(payload["reward"]),
+        fork_rate=float(payload["fork_rate"]),
+        budgets=tuple(float(b) for b in payload["budgets"]),
+        mode=EdgeMode(payload["mode"]),
+        h=float(payload["h"]),
+        e_max=(None if payload.get("e_max") is None
+               else float(payload["e_max"])),
+        edge_cost=float(payload["edge_cost"]),
+        cloud_cost=float(payload["cloud_cost"]),
+        d_avg=(None if payload.get("d_avg") is None
+               else float(payload["d_avg"])),
+    )
+
+
+def _encode_miner(eq: MinerEquilibrium) -> Dict[str, Any]:
+    return {
+        "e": [float(v) for v in np.asarray(eq.e)],
+        "c": [float(v) for v in np.asarray(eq.c)],
+        "params": _encode_params(eq.params),
+        "prices": {"p_e": eq.prices.p_e, "p_c": eq.prices.p_c},
+        "report": eq.report.to_dict(history_tail=50),
+        "nu": float(eq.nu),
+    }
+
+
+def _decode_miner(payload: Dict[str, Any]) -> MinerEquilibrium:
+    return MinerEquilibrium(
+        e=np.asarray(payload["e"], dtype=float),
+        c=np.asarray(payload["c"], dtype=float),
+        params=_decode_params(payload["params"]),
+        prices=Prices(p_e=float(payload["prices"]["p_e"]),
+                      p_c=float(payload["prices"]["p_c"])),
+        report=ConvergenceReport.from_dict(payload["report"]),
+        nu=float(payload.get("nu", 0.0)),
+    )
+
+
+def encode_result(value: Result) -> Dict[str, Any]:
+    """Encode an equilibrium result as a JSON-serializable dict."""
+    if isinstance(value, StackelbergEquilibrium):
+        return {
+            "schema": _SCHEMA,
+            "type": "stackelberg",
+            "prices": {"p_e": value.prices.p_e, "p_c": value.prices.p_c},
+            "miners": _encode_miner(value.miners),
+            "v_e": float(value.v_e),
+            "v_c": float(value.v_c),
+            "report": value.report.to_dict(history_tail=50),
+            "scheme": value.scheme,
+        }
+    if isinstance(value, MinerEquilibrium):
+        payload = _encode_miner(value)
+        payload["schema"] = _SCHEMA
+        payload["type"] = "miner"
+        return payload
+    raise ConfigurationError(
+        f"cannot encode {type(value).__name__}; expected a "
+        "MinerEquilibrium or StackelbergEquilibrium")
+
+
+def decode_result(payload: Dict[str, Any]) -> Result:
+    """Reconstruct an equilibrium result from :func:`encode_result`."""
+    kind = payload.get("type")
+    if kind == "miner":
+        return _decode_miner(payload)
+    if kind == "stackelberg":
+        return StackelbergEquilibrium(
+            prices=Prices(p_e=float(payload["prices"]["p_e"]),
+                          p_c=float(payload["prices"]["p_c"])),
+            miners=_decode_miner(payload["miners"]),
+            v_e=float(payload["v_e"]),
+            v_c=float(payload["v_c"]),
+            report=ConvergenceReport.from_dict(payload["report"]),
+            scheme=str(payload["scheme"]),
+        )
+    raise ConfigurationError(f"unknown result type {kind!r}")

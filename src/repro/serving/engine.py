@@ -1,0 +1,340 @@
+"""The batch equilibrium-serving engine.
+
+:class:`ServingEngine` answers batches of equilibrium queries the way
+an inference server answers model queries:
+
+1. every scenario is keyed canonically (:mod:`repro.serving.keys`) and
+   looked up in the :class:`~repro.serving.cache.ScenarioCache`
+   (memory, then the optional JSON disk layer);
+2. the remaining misses are **deduplicated** — identical keys inside
+   one batch are solved once;
+3. each unique miss gets a **warm start** from the nearest previously
+   solved neighbor (:mod:`repro.serving.warmstart`);
+4. misses are partitioned into chunks and fanned out over a
+   ``concurrent.futures.ProcessPoolExecutor`` (``max_workers <= 1``
+   solves inline, serially) through a picklable pure-function worker;
+5. failures are captured **per scenario** — one diverging corner case
+   returns an errored :class:`ScenarioResult` instead of aborting the
+   batch — with :class:`repro.resilience.SolverGuard` fallback chains
+   absorbing salvageable solver pathologies inside each worker.
+
+Results come back in the order the scenarios were submitted, solved
+results are cached and indexed for future batches, and the cache
+counters make the hit rate observable.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.gnep import (solve_standalone_equilibrium,
+                         solve_standalone_extragradient)
+from ..core.nep import solve_connected_equilibrium
+from ..core.params import EdgeMode
+from ..core.stackelberg import solve_stackelberg
+from ..exceptions import ConfigurationError
+from ..resilience.guard import (SolverGuard, guarded_miner_equilibrium,
+                                guarded_stackelberg)
+from .cache import ScenarioCache
+from .keys import DEFAULT_QUANTUM, ScenarioSpec, scenario_key
+from .warmstart import WarmStart, WarmStartIndex
+
+__all__ = ["ScenarioResult", "ServingEngine"]
+
+#: Valid miner-stage schemes (leader-stage schemes are validated by
+#: :func:`~repro.core.stackelberg.solve_stackelberg` itself).
+_MINER_SCHEMES = ("auto", "best-response", "decomposition",
+                  "extragradient")
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of serving one scenario.
+
+    Attributes:
+        spec: The scenario as submitted.
+        key: Its canonical cache key.
+        value: The equilibrium (``None`` when ``error`` is set).
+        error: Exception summary when the solve failed; ``None`` on
+            success. One failing scenario never aborts its batch.
+        source: ``"memory"``/``"disk"`` (cache layers), ``"solved"``
+            (computed this batch), or ``"dedup"`` (identical key solved
+            earlier in the same batch).
+        warm_key: Key of the neighbor whose equilibrium warm-started
+            this solve, if any.
+        solver: Name of the solver (guard fallback step) that answered.
+        degraded: True when the resilience guard fell back or accepted
+            a stalled approximation.
+        elapsed: Wall-clock seconds spent on this scenario (lookup time
+            for hits, solve time for misses).
+    """
+
+    spec: ScenarioSpec
+    key: str
+    value: Any = None
+    error: Optional[str] = None
+    source: str = "solved"
+    warm_key: Optional[str] = None
+    solver: Optional[str] = None
+    degraded: bool = False
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario produced an equilibrium."""
+        return self.error is None
+
+
+def _solve_scenario(spec: ScenarioSpec, warm: Optional[WarmStart],
+                    use_guard: bool) -> Tuple[Any, Optional[str], bool]:
+    """Solve one scenario; returns ``(value, solver_name, degraded)``.
+
+    Pure function of its arguments (no engine state), so it is safe to
+    ship to a worker process.
+    """
+    params = spec.params
+    warm_prices = warm.prices if warm is not None else None
+    warm_profile = warm.profile if warm is not None else None
+
+    if spec.kind == "stackelberg":
+        if use_guard:
+            guarded = guarded_stackelberg(
+                params, guard=SolverGuard(), scheme=spec.scheme,
+                demand_tol=spec.tol, warm_start=warm_prices,
+                warm_profile=warm_profile)
+            return guarded.value, guarded.solver, guarded.degraded
+        se = solve_stackelberg(params, scheme=spec.scheme,
+                               demand_tol=spec.tol,
+                               warm_start=warm_prices,
+                               warm_profile=warm_profile)
+        return se, f"stackelberg-{se.scheme}", False
+
+    if spec.scheme not in _MINER_SCHEMES:
+        raise ConfigurationError(
+            f"unknown miner scheme {spec.scheme!r}; expected one of "
+            f"{_MINER_SCHEMES}")
+    prices = spec.prices
+    if spec.scheme == "extragradient":
+        if params.mode is not EdgeMode.STANDALONE:
+            raise ConfigurationError(
+                "the extragradient scheme requires standalone mode")
+        eq = solve_standalone_extragradient(params, prices, tol=spec.tol,
+                                            initial=warm_profile)
+        return eq, "vi-extragradient", False
+    if use_guard and spec.scheme in ("auto", "decomposition",
+                                     "best-response"):
+        guarded = guarded_miner_equilibrium(
+            params, prices, guard=SolverGuard(), tol=spec.tol,
+            initial=warm_profile)
+        return guarded.value, guarded.solver, guarded.degraded
+    if params.mode is EdgeMode.STANDALONE:
+        eq = solve_standalone_equilibrium(params, prices, tol=spec.tol,
+                                          initial=warm_profile)
+        return eq, "gnep-decomposition", False
+    eq = solve_connected_equilibrium(params, prices, tol=spec.tol,
+                                     initial=warm_profile)
+    return eq, "nep-best-response", False
+
+
+def _solve_chunk(chunk: Sequence[Tuple[int, ScenarioSpec,
+                                       Optional[WarmStart], bool]]
+                 ) -> List[Tuple[int, Any, Optional[str], Optional[str],
+                                 bool, float]]:
+    """Worker entry point: solve a chunk of scenarios independently.
+
+    Returns one ``(position, value, error, solver, degraded, elapsed)``
+    tuple per scenario; exceptions are captured per scenario so a bad
+    corner point cannot take down its siblings in the same chunk.
+    """
+    out = []
+    for position, spec, warm, use_guard in chunk:
+        start = time.perf_counter()
+        try:
+            value, solver, degraded = _solve_scenario(spec, warm,
+                                                      use_guard)
+            error = None
+        except Exception as ex:  # per-scenario capture, never batch abort
+            value, solver, degraded = None, None, False
+            error = f"{type(ex).__name__}: {ex}"
+        out.append((position, value, error, solver, degraded,
+                    time.perf_counter() - start))
+    return out
+
+
+class ServingEngine:
+    """Batch equilibrium server: cache + warm starts + worker pool.
+
+    Args:
+        cache: An existing :class:`ScenarioCache` to serve from (shared
+            caches let several engines cooperate); mutually exclusive
+            with ``cache_dir``/``maxsize``.
+        cache_dir: Directory for the JSON persistence layer (e.g.
+            ``".repro_cache"``); ``None`` keeps the cache memory-only.
+        maxsize: In-memory LRU bound of the internally created cache.
+        max_workers: Process-pool width for solving cache misses.
+            ``None``, 0, or 1 solve inline (serial, no processes) —
+            the right choice for small batches and single-core hosts.
+        warm_start: Whether misses are warm-started from the nearest
+            solved neighbor. Disable to reproduce cold solves exactly.
+        use_guard: Whether workers wrap solves in the
+            :class:`~repro.resilience.SolverGuard` fallback chains.
+        quantum: Float-quantization step of the cache keys (see
+            :mod:`repro.serving.keys`).
+        chunk_size: Scenarios per worker task; default balances ~4
+            tasks per worker.
+    """
+
+    def __init__(self, cache: Optional[ScenarioCache] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 maxsize: int = 4096,
+                 max_workers: Optional[int] = None,
+                 warm_start: bool = True,
+                 use_guard: bool = True,
+                 quantum: float = DEFAULT_QUANTUM,
+                 chunk_size: Optional[int] = None):
+        if cache is not None and cache_dir is not None:
+            raise ConfigurationError(
+                "pass either an existing cache or a cache_dir, not both")
+        self.cache = cache if cache is not None else \
+            ScenarioCache(maxsize=maxsize, cache_dir=cache_dir)
+        self.max_workers = max_workers
+        self.warm_start = warm_start
+        self.use_guard = use_guard
+        self.quantum = quantum
+        self.chunk_size = chunk_size
+        self.warm_index = WarmStartIndex()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """The underlying cache's :class:`CacheStats` counters."""
+        return self.cache.stats
+
+    def key_for(self, spec: ScenarioSpec) -> str:
+        """Canonical cache key of a scenario under this engine's quantum."""
+        return scenario_key(spec, quantum=self.quantum)
+
+    def _admit(self, spec: ScenarioSpec, key: str, value: Any) -> None:
+        """Insert a solved equilibrium into the cache and warm index."""
+        meta = {"scheme": spec.scheme, "tol": spec.tol,
+                "kind": spec.kind}
+        self.cache.put(key, value, meta=meta)
+        self.warm_index.add(spec, key, value)
+
+    def serve(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Serve a single scenario (batch of one)."""
+        return self.serve_batch([spec])[0]
+
+    def serve_batch(self, specs: Sequence[ScenarioSpec]
+                    ) -> List[ScenarioResult]:
+        """Serve a batch of scenarios; results align with the input order.
+
+        Cache hits are answered immediately; the deduplicated misses
+        are solved (in parallel when ``max_workers > 1``), admitted to
+        the cache, and every submitted position — including duplicate
+        keys — receives its result. Individual failures surface as
+        ``error`` strings on their own :class:`ScenarioResult` only.
+        """
+        results: List[Optional[ScenarioResult]] = [None] * len(specs)
+        first_seen: Dict[str, int] = {}
+        misses: List[Tuple[int, ScenarioSpec, str]] = []
+        duplicates: List[Tuple[int, ScenarioSpec, str, int]] = []
+
+        for i, spec in enumerate(specs):
+            start = time.perf_counter()
+            key = self.key_for(spec)
+            if key in first_seen:
+                duplicates.append((i, spec, key, first_seen[key]))
+                continue
+            value, layer = self.cache.lookup(key)
+            elapsed = time.perf_counter() - start
+            if value is not None:
+                results[i] = ScenarioResult(spec=spec, key=key,
+                                            value=value, source=layer,
+                                            elapsed=elapsed)
+                if self.warm_start:
+                    # A disk hit has not been indexed this process yet.
+                    self.warm_index.add(spec, key, value)
+            else:
+                first_seen[key] = i
+                misses.append((i, spec, key))
+
+        if misses:
+            self._solve_misses(misses, results)
+
+        for i, spec, key, primary in duplicates:
+            primary_result = results[primary]
+            assert primary_result is not None
+            results[i] = ScenarioResult(
+                spec=spec, key=key, value=primary_result.value,
+                error=primary_result.error,
+                source=("dedup" if primary_result.source
+                        in ("solved", "dedup") else primary_result.source),
+                warm_key=primary_result.warm_key,
+                solver=primary_result.solver,
+                degraded=primary_result.degraded, elapsed=0.0)
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+
+    def _solve_misses(self, misses: List[Tuple[int, ScenarioSpec, str]],
+                      results: List[Optional[ScenarioResult]]) -> None:
+        workers = self.max_workers or 0
+        if workers > 1 and len(misses) > 1:
+            self._solve_parallel(misses, results, workers)
+        else:
+            # Inline serial path: solve in submission order, admitting
+            # each equilibrium before the next solve so warm starts
+            # chain *within* the batch (a sweep's point k warm-starts
+            # from point k-1, exactly like a hand-rolled sweep would).
+            for i, spec, key in misses:
+                warm = self.warm_index.suggest(spec) if self.warm_start \
+                    else None
+                (_, value, error, solver, degraded,
+                 elapsed) = _solve_chunk(
+                    [(0, spec, warm, self.use_guard)])[0]
+                results[i] = ScenarioResult(
+                    spec=spec, key=key, value=value, error=error,
+                    source="solved",
+                    warm_key=warm.key if warm is not None else None,
+                    solver=solver, degraded=degraded, elapsed=elapsed)
+                if error is None:
+                    self._admit(spec, key, value)
+
+    def _solve_parallel(self, misses: List[Tuple[int, ScenarioSpec, str]],
+                        results: List[Optional[ScenarioResult]],
+                        workers: int) -> None:
+        # Suggestions are computed up front from the pre-batch index:
+        # worker processes cannot see equilibria admitted mid-batch.
+        payloads = []
+        warm_keys: Dict[int, Optional[str]] = {}
+        for position, (i, spec, key) in enumerate(misses):
+            warm = self.warm_index.suggest(spec) if self.warm_start \
+                else None
+            warm_keys[position] = warm.key if warm is not None else None
+            payloads.append((position, spec, warm, self.use_guard))
+
+        workers = min(workers, len(payloads))
+        size = self.chunk_size or max(
+            1, math.ceil(len(payloads) / (workers * 4)))
+        chunks = [payloads[i:i + size]
+                  for i in range(0, len(payloads), size)]
+        solved = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk_result in pool.map(_solve_chunk, chunks):
+                solved.extend(chunk_result)
+
+        for position, value, error, solver, degraded, elapsed in solved:
+            i, spec, key = misses[position]
+            results[i] = ScenarioResult(
+                spec=spec, key=key, value=value, error=error,
+                source="solved", warm_key=warm_keys[position],
+                solver=solver, degraded=degraded, elapsed=elapsed)
+            if error is None:
+                self._admit(spec, key, value)

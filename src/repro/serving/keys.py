@@ -1,0 +1,140 @@
+"""Canonical, hash-stable scenario keys for the serving layer.
+
+An equilibrium query is fully determined by its :class:`ScenarioSpec`:
+the :class:`~repro.core.params.GameParameters`, the announced prices
+(``None`` for a full leader-stage Stackelberg solve), and the solver
+scheme. The serving cache keys on a SHA-256 digest of a canonical JSON
+encoding of that spec with every float *quantized at a declared
+tolerance* (``quantum``), so near-identical queries — e.g. two sweep
+points that differ by numerical noise far below solver accuracy —
+collide **on purpose** and are answered once.
+
+The quantization tolerance is part of the key (two caches with
+different quanta never share entries) and should stay well below the
+solver tolerance of interest; see ``docs/SERVING.md`` for the caveats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.params import GameParameters, Prices
+
+__all__ = ["DEFAULT_QUANTUM", "ScenarioSpec", "quantize", "scenario_key",
+           "family_key", "feature_vector"]
+
+#: Default float-quantization step for cache keys. Two scenarios whose
+#: parameters agree to within half a quantum map to the same key.
+DEFAULT_QUANTUM = 1e-9
+
+
+def quantize(value: float, quantum: float = DEFAULT_QUANTUM) -> int:
+    """Quantize a float onto an integer lattice of step ``quantum``.
+
+    Integers are hash-stable across platforms and JSON round-trips,
+    unlike ``repr(float)`` at full precision.
+    """
+    if quantum <= 0:
+        raise ValueError(f"quantum must be positive, got {quantum}")
+    return int(round(float(value) / quantum))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One equilibrium query, fully specified.
+
+    Attributes:
+        params: Game parameters of the scenario.
+        prices: Announced SP prices for a *miner-stage* query, or
+            ``None`` for a full *leader-stage* (Stackelberg) solve.
+        scheme: Solver scheme. For leader-stage queries this is the
+            ``solve_stackelberg`` scheme (``"auto"``,
+            ``"esp-anticipates"``, ``"best-response"``); for miner-stage
+            queries ``"auto"`` picks the mode-appropriate solver and
+            ``"extragradient"`` forces the VI solver (standalone only).
+        tol: Solver tolerance the scenario should be solved at.
+        label: Free-form tag (not part of the cache key).
+    """
+
+    params: GameParameters
+    prices: Optional[Prices] = None
+    scheme: str = "auto"
+    tol: float = 1e-9
+    label: str = field(default="", compare=False)
+
+    @property
+    def kind(self) -> str:
+        """``"stackelberg"`` (leader stage) or ``"miner"`` (follower)."""
+        return "stackelberg" if self.prices is None else "miner"
+
+
+def _spec_fields(spec: ScenarioSpec,
+                 quantum: float) -> Dict[str, Any]:
+    """Canonical, quantized field mapping entering the key digest."""
+    p = spec.params
+    fields: Dict[str, Any] = {
+        "kind": spec.kind,
+        "mode": p.mode.value,
+        "scheme": spec.scheme,
+        "quantum": repr(float(quantum)),
+        "tol": quantize(spec.tol, quantum),
+        "reward": quantize(p.reward, quantum),
+        "fork_rate": quantize(p.fork_rate, quantum),
+        "h": quantize(p.h, quantum),
+        "e_max": None if p.e_max is None else quantize(p.e_max, quantum),
+        "edge_cost": quantize(p.edge_cost, quantum),
+        "cloud_cost": quantize(p.cloud_cost, quantum),
+        "budgets": [quantize(b, quantum) for b in p.budget_array],
+    }
+    if spec.prices is not None:
+        fields["p_e"] = quantize(spec.prices.p_e, quantum)
+        fields["p_c"] = quantize(spec.prices.p_c, quantum)
+    return fields
+
+
+def scenario_key(spec: ScenarioSpec,
+                 quantum: float = DEFAULT_QUANTUM) -> str:
+    """Hash-stable cache key for a scenario.
+
+    The key is ``"<kind>:<mode>:<sha256 prefix>"`` — the readable prefix
+    makes cache directories and log lines self-describing while the
+    digest guarantees collision-resistance across every quantized field.
+    """
+    fields = _spec_fields(spec, quantum)
+    blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+    return f"{spec.kind}:{spec.params.mode.value}:{digest}"
+
+
+def family_key(spec: ScenarioSpec) -> Tuple[str, str, str, int]:
+    """Grouping key for nearest-neighbor warm-start lookup.
+
+    Only scenarios of the same kind, mode, scheme, and miner count are
+    comparable in feature space (the feature vector's length and meaning
+    depend on all four).
+    """
+    return (spec.kind, spec.params.mode.value, spec.scheme,
+            spec.params.n)
+
+
+def feature_vector(spec: ScenarioSpec) -> np.ndarray:
+    """Unquantized numeric embedding of a scenario for neighbor search.
+
+    The layout is fixed within a :func:`family_key` group:
+    ``[reward, fork_rate, h, e_max, edge_cost, cloud_cost,
+    p_e, p_c, *budgets]`` with ``e_max`` and prices zeroed when absent.
+    """
+    p = spec.params
+    head = [p.reward, p.fork_rate, p.h,
+            0.0 if p.e_max is None else float(p.e_max),
+            p.edge_cost, p.cloud_cost]
+    if spec.prices is not None:
+        head += [spec.prices.p_e, spec.prices.p_c]
+    else:
+        head += [0.0, 0.0]
+    return np.asarray(head + list(p.budget_array), dtype=float)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import ConvergenceError
 from repro.game.projections import project_nonnegative
@@ -83,6 +85,66 @@ class TestAdaptive:
         problem, _, _ = _affine_problem()
         with pytest.raises(ValueError):
             solve_vi_adaptive(problem, shrink=1.5)
+
+
+class TestWarmStart:
+    """The x0 seam the serving layer relies on: a good initial point
+    never costs iterations and never changes the answer."""
+
+    def test_x0_at_solution_is_immediate(self):
+        problem, _, _ = _affine_problem()
+        cold = extragradient(problem, step=0.05, tol=1e-10)
+        warm = extragradient(problem, step=0.05, tol=1e-10,
+                             x0=cold.solution)
+        assert warm.converged
+        assert warm.report.iterations <= 1
+        assert np.allclose(warm.solution, cold.solution, atol=1e-9)
+
+    def test_none_x0_matches_legacy_zero_start(self):
+        problem, _, _ = _affine_problem(seed=11)
+        default = extragradient(problem, step=0.05, tol=1e-10)
+        explicit = extragradient(problem, step=0.05, tol=1e-10,
+                                 x0=np.zeros(problem.dim))
+        assert default.report.iterations == explicit.report.iterations
+        assert np.array_equal(default.solution, explicit.solution)
+
+    @settings(max_examples=25, deadline=None)
+    @given(dim=st.integers(min_value=2, max_value=6),
+           seed=st.integers(min_value=0, max_value=10_000),
+           frac=st.floats(min_value=0.05, max_value=0.95))
+    def test_warm_start_never_slower_same_equilibrium(self, dim, seed,
+                                                      frac):
+        # An x0 that is strictly closer to the equilibrium (a partial
+        # step from the cold start toward x*, so the initial error is
+        # frac < 1 times the cold error along the same direction) must
+        # reach the same equilibrium in no more iterations.
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(dim, dim))
+        M = A @ A.T + dim * np.eye(dim)
+        q = rng.normal(size=dim)
+        problem = VIProblem(operator=lambda x: M @ x + q,
+                            project=lambda x: x, dim=dim)
+        x_star = np.linalg.solve(M, -q)
+        step = 0.5 / np.linalg.norm(M, 2)
+        cold = extragradient(problem, step=step, tol=1e-9,
+                             max_iter=300000)
+        warm = extragradient(problem, step=step, tol=1e-9,
+                             max_iter=300000, x0=(1.0 - frac) * x_star)
+        assert cold.converged and warm.converged
+        assert warm.report.iterations <= cold.report.iterations
+        assert np.allclose(warm.solution, cold.solution, atol=1e-6)
+        assert np.allclose(warm.solution, x_star, atol=1e-5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_adaptive_accepts_x0(self, seed):
+        problem, M, q = _affine_problem(dim=4, seed=seed)
+        cold = solve_vi_adaptive(problem, step=5.0, tol=1e-10)
+        warm = solve_vi_adaptive(problem, step=5.0, tol=1e-10,
+                                 x0=cold.solution)
+        assert warm.converged
+        assert warm.report.iterations <= cold.report.iterations
+        assert np.allclose(warm.solution, cold.solution, atol=1e-7)
 
 
 class TestMonotonicity:

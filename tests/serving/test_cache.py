@@ -1,0 +1,116 @@
+"""LRU scenario cache: counters, eviction, and the JSON disk layer."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import Prices, homogeneous, solve_connected_equilibrium
+from repro.exceptions import ConfigurationError
+from repro.serving import ScenarioCache, ScenarioSpec, scenario_key
+
+
+def _solved_scenario(p_c=1.0):
+    params = homogeneous(5, 200.0, reward=1500.0, fork_rate=0.2, h=0.8)
+    prices = Prices(p_e=2.0, p_c=p_c)
+    spec = ScenarioSpec(params, prices)
+    return spec, scenario_key(spec), \
+        solve_connected_equilibrium(params, prices)
+
+
+class TestMemoryLayer:
+    def test_miss_then_hit_with_counters(self):
+        cache = ScenarioCache()
+        assert cache.get("nope") is None
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.stats.hits == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_lookup_reports_layer(self):
+        cache = ScenarioCache()
+        assert cache.lookup("k") == (None, "miss")
+        cache.put("k", "v")
+        assert cache.lookup("k") == ("v", "memory")
+
+    def test_lru_eviction_counts_and_keeps_recent(self):
+        cache = ScenarioCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh 'a'; 'b' is now LRU
+        cache.put("c", 3)
+        assert cache.stats.evictions == 1
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_meta_round_trip(self):
+        cache = ScenarioCache()
+        cache.put("k", 1, meta={"scheme": "auto"})
+        assert cache.meta("k") == {"scheme": "auto"}
+        assert cache.meta("absent") is None
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioCache(maxsize=0)
+
+    def test_hit_rate_zero_when_idle(self):
+        assert ScenarioCache().stats.hit_rate == 0.0
+
+    def test_clear(self):
+        cache = ScenarioCache()
+        cache.put("k", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_concurrent_puts_and_gets(self):
+        cache = ScenarioCache(maxsize=64)
+
+        def worker(tag):
+            for i in range(200):
+                cache.put(f"{tag}:{i % 80}", i)
+                cache.get(f"{tag}:{(i * 7) % 80}")
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 64
+        assert cache.stats.puts == 800
+
+
+class TestDiskLayer:
+    def test_persists_and_reloads_across_instances(self, tmp_path):
+        spec, key, eq = _solved_scenario()
+        first = ScenarioCache(cache_dir=tmp_path)
+        first.put(key, eq)
+        assert (tmp_path / (key.replace(":", "_") + ".json")).exists()
+
+        fresh = ScenarioCache(cache_dir=tmp_path)
+        value, layer = fresh.lookup(key)
+        assert layer == "disk"
+        assert fresh.stats.disk_hits == 1 and fresh.stats.hits == 0
+        np.testing.assert_allclose(value.e, eq.e, rtol=1e-12)
+        np.testing.assert_allclose(value.c, eq.c, rtol=1e-12)
+        assert value.prices == eq.prices
+        # Promoted to memory: the second lookup is a memory hit.
+        assert fresh.lookup(key)[1] == "memory"
+
+    def test_corrupt_disk_file_is_a_miss(self, tmp_path):
+        _, key, _ = _solved_scenario()
+        (tmp_path / (key.replace(":", "_") + ".json")).write_text(
+            "{not json")
+        cache = ScenarioCache(cache_dir=tmp_path)
+        assert cache.lookup(key) == (None, "miss")
+        assert cache.stats.misses == 1
+
+    def test_clear_disk(self, tmp_path):
+        spec, key, eq = _solved_scenario()
+        cache = ScenarioCache(cache_dir=tmp_path)
+        cache.put(key, eq)
+        cache.clear(disk=True)
+        assert list(tmp_path.glob("*.json")) == []
+        assert cache.lookup(key) == (None, "miss")

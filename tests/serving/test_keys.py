@@ -1,0 +1,102 @@
+"""Scenario keys: quantized, canonical, hash-stable."""
+
+import numpy as np
+import pytest
+
+from repro.core import EdgeMode, Prices, homogeneous
+from repro.serving import (DEFAULT_QUANTUM, ScenarioSpec, family_key,
+                           feature_vector, quantize, scenario_key)
+
+
+def _params(**overrides):
+    defaults = dict(reward=1500.0, fork_rate=0.2, h=0.8)
+    defaults.update(overrides)
+    return homogeneous(5, 200.0, **defaults)
+
+
+class TestQuantize:
+    def test_lattice(self):
+        assert quantize(1.0, 0.5) == 2
+        assert quantize(0.74, 0.5) == 1
+        assert quantize(0.76, 0.5) == 2
+
+    def test_default_quantum_resolves_solver_scale_differences(self):
+        assert quantize(1.0) != quantize(1.0 + 1e-6)
+        assert quantize(1.0) == quantize(1.0 + 1e-12)
+
+    def test_nonpositive_quantum_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(1.0, 0.0)
+        with pytest.raises(ValueError):
+            quantize(1.0, -1e-9)
+
+
+class TestScenarioKey:
+    def test_deterministic_and_readable(self):
+        spec = ScenarioSpec(_params(), Prices(2.0, 1.0))
+        key = scenario_key(spec)
+        assert key == scenario_key(spec)
+        kind, mode, digest = key.split(":")
+        assert kind == "miner"
+        assert mode == EdgeMode.CONNECTED.value
+        assert len(digest) == 32
+
+    def test_kind_property(self):
+        assert ScenarioSpec(_params(), Prices(2.0, 1.0)).kind == "miner"
+        assert ScenarioSpec(_params()).kind == "stackelberg"
+        assert scenario_key(ScenarioSpec(_params())).startswith(
+            "stackelberg:")
+
+    def test_sub_quantum_noise_collides_on_purpose(self):
+        a = ScenarioSpec(_params(), Prices(2.0, 1.0))
+        b = ScenarioSpec(_params(), Prices(2.0 + 1e-13, 1.0))
+        assert scenario_key(a) == scenario_key(b)
+
+    def test_super_quantum_difference_separates(self):
+        a = ScenarioSpec(_params(), Prices(2.0, 1.0))
+        b = ScenarioSpec(_params(), Prices(2.0 + 1e-6, 1.0))
+        assert scenario_key(a) != scenario_key(b)
+
+    def test_every_field_enters_the_digest(self):
+        base = ScenarioSpec(_params(), Prices(2.0, 1.0))
+        variants = [
+            ScenarioSpec(_params(reward=1501.0), Prices(2.0, 1.0)),
+            ScenarioSpec(_params(fork_rate=0.21), Prices(2.0, 1.0)),
+            ScenarioSpec(_params(), Prices(2.0, 1.1)),
+            ScenarioSpec(_params(), Prices(2.0, 1.0), scheme="best-response"),
+            ScenarioSpec(_params(), Prices(2.0, 1.0), tol=1e-6),
+            ScenarioSpec(_params()),
+        ]
+        keys = {scenario_key(s) for s in variants}
+        assert scenario_key(base) not in keys
+        assert len(keys) == len(variants)
+
+    def test_label_is_not_part_of_the_key(self):
+        a = ScenarioSpec(_params(), Prices(2.0, 1.0), label="fig4")
+        b = ScenarioSpec(_params(), Prices(2.0, 1.0), label="fig5")
+        assert scenario_key(a) == scenario_key(b)
+
+    def test_quantum_is_part_of_the_key(self):
+        spec = ScenarioSpec(_params(), Prices(2.0, 1.0))
+        assert scenario_key(spec, quantum=DEFAULT_QUANTUM) != \
+            scenario_key(spec, quantum=1e-6)
+
+
+class TestFamilyAndFeatures:
+    def test_family_groups_comparable_scenarios(self):
+        a = ScenarioSpec(_params(), Prices(2.0, 1.0))
+        b = ScenarioSpec(_params(reward=999.0), Prices(3.0, 0.5))
+        assert family_key(a) == family_key(b)
+        assert family_key(a) != family_key(ScenarioSpec(_params()))
+
+    def test_feature_vector_layout(self):
+        spec = ScenarioSpec(_params(), Prices(2.0, 1.0))
+        vec = feature_vector(spec)
+        assert vec.shape == (8 + 5,)
+        assert vec[0] == 1500.0  # reward
+        assert vec[6] == 2.0 and vec[7] == 1.0  # prices
+        assert np.all(vec[8:] == 200.0)  # budgets
+
+    def test_stackelberg_features_zero_the_price_slots(self):
+        vec = feature_vector(ScenarioSpec(_params()))
+        assert vec[6] == 0.0 and vec[7] == 0.0

@@ -12,7 +12,7 @@ import repro
 PACKAGES = [
     "repro", "repro.core", "repro.game", "repro.blockchain",
     "repro.network", "repro.offloading", "repro.population",
-    "repro.learning", "repro.analysis",
+    "repro.learning", "repro.analysis", "repro.serving",
 ]
 
 

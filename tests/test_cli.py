@@ -61,3 +61,44 @@ class TestCLI:
         for fn in EXPERIMENTS.values():
             assert callable(fn)
             assert fn.__doc__
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_no_experiment_is_a_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "experiment id" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_grid(self, capsys):
+        assert main(["serve", "--grid", "p_c:0.5:1.3:4"]) == 0
+        captured = capsys.readouterr()
+        assert "p_c grid" in captured.out
+        assert "hit_rate" in captured.err
+
+    def test_serve_repeat_hits_cache(self, capsys):
+        assert main(["serve", "--grid", "p_c:0.5:1.3:3",
+                     "--repeat", "2", "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "hits=3" in err
+        assert "misses=3" in err
+
+    def test_serve_bad_grid(self, capsys):
+        assert main(["serve", "--grid", "nope:0:1:4"]) == 2
+        assert "bad --grid" in capsys.readouterr().err
+        assert main(["serve", "--grid", "p_c:0:1"]) == 2
+
+    def test_serve_writes_output(self, tmp_path, capsys):
+        out = tmp_path / "grid.json"
+        assert main(["serve", "--grid", "p_c:0.5:1.3:3", "--quiet",
+                     "--output", str(out)]) == 0
+        assert out.exists()
+
+    def test_serve_invalid_grid_point(self, capsys):
+        # fork rate 1.0 is out of range -> ConfigurationError, exit 2
+        assert main(["serve", "--grid", "beta:1.0:1.0:1"]) == 2
+        assert "bad grid point" in capsys.readouterr().err
