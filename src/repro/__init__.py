@@ -26,7 +26,9 @@ Subpackages:
 * :mod:`repro.resilience` — fault injection, retry/backoff, solver
   guards, and graceful degradation (chaos testing);
 * :mod:`repro.serving` — batch equilibrium serving: scenario cache,
-  nearest-neighbor warm starts, and parallel execution.
+  nearest-neighbor warm starts, and parallel execution;
+* :mod:`repro.telemetry` — opt-in metrics, tracing, and event log
+  (disabled by default; zero-overhead when off).
 """
 
 from .core import (EdgeMode, GameParameters, MinerEquilibrium, Prices,
@@ -38,6 +40,7 @@ from .exceptions import (CapacityError, ConfigurationError, ConvergenceError,
                          InfeasibleGameError, ReproError,
                          TransientProviderError)
 from .serving import ScenarioSpec, ServingEngine
+from .telemetry import get_telemetry, telemetry_session
 
 __version__ = "1.0.0"
 
@@ -61,5 +64,7 @@ __all__ = [
     "TransientProviderError",
     "ScenarioSpec",
     "ServingEngine",
+    "get_telemetry",
+    "telemetry_session",
     "__version__",
 ]

@@ -16,7 +16,8 @@ from typing import Callable, Dict, Iterable, Optional, Union
 from ..exceptions import ConfigurationError
 from .series import ResultTable, sparkline
 
-__all__ = ["render_markdown", "render_convergence", "build_report"]
+__all__ = ["render_markdown", "render_convergence", "render_telemetry",
+           "build_report"]
 
 
 def _format_cell(value) -> str:
@@ -73,6 +74,60 @@ def render_convergence(report, label: str = "") -> str:
     if len(history) > 1:
         parts.append(sparkline(history))
     return "> " + " ".join(parts)
+
+
+def _label_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ", ".join(f"{k}={v}"
+                           for k, v in sorted(labels.items())) + "}"
+
+
+def render_telemetry(registry, heading_level: int = 2,
+                     title: str = "Telemetry") -> str:
+    """Render a metrics snapshot as a markdown section.
+
+    Accepts either a live
+    :class:`~repro.telemetry.metrics.MetricsRegistry` or its
+    :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot` payload,
+    so persisted snapshots render identically to live ones. Counters
+    and gauges become one table; histograms another, summarized by
+    count, mean, and the p50/p95/p99 estimates.
+    """
+    snapshot = (registry if isinstance(registry, dict)
+                else registry.snapshot())
+    lines = [f"{'#' * heading_level} {title}", ""]
+    scalars, histograms = [], []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        for child in family["values"]:
+            label = name + _label_suffix(child.get("labels", {}))
+            if family["kind"] == "histogram":
+                count = child.get("count", 0)
+                mean = (child.get("sum", 0.0) / count if count
+                        else float("nan"))
+                histograms.append(
+                    (label, count, mean, child.get("p50"),
+                     child.get("p95"), child.get("p99")))
+            else:
+                scalars.append((label, family["kind"],
+                                child.get("value", 0.0)))
+    if scalars:
+        lines += ["| metric | kind | value |", "|---|---|---|"]
+        lines += [f"| `{label}` | {kind} | {_format_cell(value)} |"
+                  for label, kind, value in scalars]
+        lines.append("")
+    if histograms:
+        lines += ["| histogram | count | mean | p50 | p95 | p99 |",
+                  "|---|---|---|---|---|---|"]
+        lines += ["| `{}` | {} | {} | {} | {} | {} |".format(
+            label, count, *(_format_cell(v)
+                            for v in (mean, p50, p95, p99)))
+            for label, count, mean, p50, p95, p99 in histograms]
+        lines.append("")
+    if not scalars and not histograms:
+        lines += ["(no metrics recorded)", ""]
+    return "\n".join(lines)
 
 
 def build_report(experiments: Dict[str, Callable[[], ResultTable]],

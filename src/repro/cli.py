@@ -9,14 +9,22 @@ Usage::
     repro-mining all
     repro-mining serve --grid p_c:0.5:1.3:16 --workers 4 \\
         --cache-dir .repro_cache
+    repro-mining metrics --grid p_c:0.8:1.2:8 --format prom
+    repro-mining fig4 --trace trace.json
+
+Every subcommand accepts ``--trace PATH``: telemetry is enabled for the
+run and the nested span tree is written to PATH as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 import time
-from typing import Callable, Dict
+from pathlib import Path
+from typing import Callable, Dict, Optional
 
 from .analysis import (ablation_dynamic_weights, ablation_gnep_solvers,
                        ablation_transfer_semantics, chaos_outage_sweep,
@@ -87,7 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", "-q", action="store_true",
         help="suppress the rendered table on stdout")
+    _add_trace_flag(parser)
     return parser
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable telemetry and write the nested span timing tree "
+             "to PATH as JSON")
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -126,6 +142,45 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", "-q", action="store_true",
         help="suppress the rendered table on stdout")
+    _add_trace_flag(parser)
+    return parser
+
+
+def build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mining metrics",
+        description="Run a serving grid with telemetry enabled and "
+                    "export the collected counters, gauges, and "
+                    "histograms.")
+    parser.add_argument(
+        "--grid", default="p_c:0.5:1.3:16", metavar="KNOB:LO:HI:N",
+        help="swept knob and range, as in 'serve' (default: "
+             "%(default)s)")
+    parser.add_argument(
+        "--mode", choices=("connected", "standalone"),
+        default="connected", help="edge operation mode")
+    parser.add_argument(
+        "--stackelberg", action="store_true",
+        help="serve full leader-stage solves instead of miner-stage "
+             "equilibria")
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="process-pool width for cache misses (0/1 = serial)")
+    parser.add_argument(
+        "--repeat", type=int, default=2, metavar="K",
+        help="serve the batch K times (default 2: the second pass "
+             "exercises the cache counters)")
+    parser.add_argument(
+        "--format", choices=("json", "prom", "both"), default="both",
+        dest="fmt", help="exposition format printed to stdout")
+    parser.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="also write the exposition to PATH (.json or .prom picked "
+             "by --format; 'both' writes PATH.json and PATH.prom)")
+    parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="stream structured telemetry events to PATH (JSON lines)")
+    _add_trace_flag(parser)
     return parser
 
 
@@ -212,6 +267,26 @@ def _serve_spec(knob: str, value: float, mode: str, stackelberg: bool):
     return ScenarioSpec(params, prices)
 
 
+@contextlib.contextmanager
+def _maybe_trace(trace_path: Optional[str]):
+    """Enable telemetry for the block and dump the span tree after.
+
+    A no-op (telemetry stays disabled, nothing written) when
+    ``trace_path`` is None.
+    """
+    if trace_path is None:
+        yield
+        return
+    from .telemetry import telemetry_session
+    with telemetry_session() as tel:
+        try:
+            yield
+        finally:
+            Path(trace_path).write_text(
+                json.dumps(tel.tracer.tree(), indent=1))
+            print(f"wrote span tree to {trace_path}", file=sys.stderr)
+
+
 def serve_main(argv=None) -> int:
     """Entry point of the ``serve`` subcommand."""
     from .analysis.series import ResultTable
@@ -238,8 +313,9 @@ def serve_main(argv=None) -> int:
                            max_workers=args.workers,
                            warm_start=not args.no_warm_start)
     start = time.perf_counter()
-    for _ in range(args.repeat):
-        results = engine.serve_batch(specs)
+    with _maybe_trace(args.trace):
+        for _ in range(args.repeat):
+            results = engine.serve_batch(specs)
     elapsed = time.perf_counter() - start
 
     table = ResultTable(
@@ -283,6 +359,65 @@ def serve_main(argv=None) -> int:
     return 1 if errors else 0
 
 
+def metrics_main(argv=None) -> int:
+    """Entry point of the ``metrics`` subcommand."""
+    from .serving import ServingEngine
+    from .telemetry import (render_json, render_prometheus,
+                            telemetry_session)
+
+    args = build_metrics_parser().parse_args(argv)
+    try:
+        knob, values = _parse_grid(args.grid)
+    except ValueError as ex:
+        print(f"bad --grid: {ex}", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print("--repeat must be at least 1", file=sys.stderr)
+        return 2
+    try:
+        specs = [_serve_spec(knob, v, args.mode, args.stackelberg)
+                 for v in values]
+    except ReproError as ex:
+        print(f"bad grid point: {type(ex).__name__}: {ex}",
+              file=sys.stderr)
+        return 2
+
+    engine = ServingEngine(max_workers=args.workers)
+    errors = 0
+    with telemetry_session(event_path=args.events) as tel:
+        for _ in range(args.repeat):
+            results = engine.serve_batch(specs)
+        errors = sum(1 for r in results if not r.ok)
+        json_text = render_json(tel.metrics)
+        prom_text = render_prometheus(tel.metrics)
+        if args.trace is not None:
+            Path(args.trace).write_text(
+                json.dumps(tel.tracer.tree(), indent=1))
+            print(f"wrote span tree to {args.trace}", file=sys.stderr)
+
+    if args.fmt in ("json", "both"):
+        print(json_text)
+    if args.fmt in ("prom", "both"):
+        print(prom_text, end="")
+    if args.output is not None:
+        base = Path(args.output)
+        try:
+            if args.fmt == "both":
+                base.with_suffix(base.suffix + ".json").write_text(
+                    json_text)
+                base.with_suffix(base.suffix + ".prom").write_text(
+                    prom_text)
+            else:
+                base.write_text(json_text if args.fmt == "json"
+                                else prom_text)
+        except OSError as ex:
+            print(f"could not write {args.output!r}: {ex}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def _print_experiments() -> None:
     for key in sorted(EXPERIMENTS):
         doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
@@ -294,6 +429,8 @@ def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0].lower() == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0].lower() == "metrics":
+        return metrics_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_experiments:
         _print_experiments()
@@ -312,8 +449,9 @@ def main(argv=None) -> int:
         ids = args.ids.split(",") if args.ids else \
             ["fig3", "fig4", "fig5", "fig6", "fig7", "welfare"]
         try:
-            document = build_report(EXPERIMENTS, path=args.output,
-                                    ids=ids)
+            with _maybe_trace(args.trace):
+                document = build_report(EXPERIMENTS, path=args.output,
+                                        ids=ids)
         except ReproError as ex:
             print(str(ex), file=sys.stderr)
             return 2
@@ -327,14 +465,16 @@ def main(argv=None) -> int:
             print("--output is per-experiment; run ids individually",
                   file=sys.stderr)
             return 2
-        for key in sorted(EXPERIMENTS):
-            code = _run_one(key, None, args.quiet)
-            if code != 0:
-                return code
-            if not args.quiet:
-                print()
+        with _maybe_trace(args.trace):
+            for key in sorted(EXPERIMENTS):
+                code = _run_one(key, None, args.quiet)
+                if code != 0:
+                    return code
+                if not args.quiet:
+                    print()
         return 0
-    return _run_one(name, args.output, args.quiet)
+    with _maybe_trace(args.trace):
+        return _run_one(name, args.output, args.quiet)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from scipy.optimize import minimize_scalar
 
 from ..exceptions import ConvergenceError
 from ..game.diagnostics import ConvergenceReport, ResidualRecorder
+from ..telemetry import TELEMETRY as _TEL
 from .nep import MinerEquilibrium
 from .params import GameParameters, Prices
 from .sp_game import DemandOracle, csp_best_response, esp_best_response
@@ -144,9 +145,15 @@ def solve_stackelberg(params: GameParameters,
     prices = _initial_prices(params, initial)
 
     if scheme == "esp-anticipates":
-        return _solve_esp_anticipates(params, oracle, prices, tol,
-                                      max_iter, price_xatol,
-                                      warm=warm_start)
+        with _TEL.span("stackelberg.solve", scheme=scheme,
+                       mode=params.mode.value) as sp:
+            se = _solve_esp_anticipates(params, oracle, prices, tol,
+                                        max_iter, price_xatol,
+                                        warm=warm_start)
+            if _TEL.enabled:
+                sp.set(oracle_calls=oracle.evaluations)
+                _record_stackelberg(scheme, params, oracle, se)
+        return se
 
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
@@ -155,6 +162,9 @@ def solve_stackelberg(params: GameParameters,
     iterations = 0
     message = None
     history = []
+    leader_span = _TEL.span("stackelberg.solve", scheme=scheme,
+                            mode=params.mode.value)
+    leader_span.__enter__()
     for it in range(max_iter):
         iterations = it + 1
         # Asynchronous best responses (Algorithm 1 / Algorithm 2 loop).
@@ -189,13 +199,39 @@ def solve_stackelberg(params: GameParameters,
                            "returned the better cycle point")
                 break
     report = recorder.report(converged, iterations, message=message)
+    leader_span.set(iterations=iterations,
+                    oracle_calls=oracle.evaluations)
+    leader_span.__exit__(None, None, None)
     if not converged and message is None and raise_on_failure:
         raise ConvergenceError(f"leader iteration failed: {report}", report)
 
     miners = oracle.equilibrium(prices)
-    return StackelbergEquilibrium(
+    se = StackelbergEquilibrium(
         prices=prices, miners=miners, v_e=oracle.esp_profit(prices),
         v_c=oracle.csp_profit(prices), report=report, scheme="best-response")
+    if _TEL.enabled:
+        _TEL.metrics.counter(
+            "stackelberg_leader_iterations_total",
+            "Leader best-response sweeps across all solves",
+            labels={"scheme": "best-response"}).inc(iterations)
+        _record_stackelberg("best-response", params, oracle, se)
+    return se
+
+
+def _record_stackelberg(scheme: str, params: GameParameters,
+                        oracle: DemandOracle,
+                        se: "StackelbergEquilibrium") -> None:
+    """Aggregate metrics for one finished leader-stage solve."""
+    labels = {"scheme": scheme, "mode": params.mode.value}
+    _TEL.metrics.counter("stackelberg_solves_total",
+                         "Completed leader-stage solves",
+                         labels=labels).inc()
+    _TEL.metrics.counter("stackelberg_oracle_calls_total",
+                         "Follower demand-oracle evaluations",
+                         labels=labels).inc(oracle.evaluations)
+    if not se.report.converged:
+        _TEL.emit("stackelberg.nonconverged", scheme=scheme,
+                  mode=params.mode.value, message=se.report.message)
 
 
 def _solve_esp_anticipates(params: GameParameters, oracle: DemandOracle,
@@ -240,6 +276,11 @@ def _solve_esp_anticipates(params: GameParameters, oracle: DemandOracle,
             if best_p_e < 0.99 * hi:
                 break
             hi *= 2.0
+            if _TEL.enabled:
+                _TEL.metrics.counter(
+                    "stackelberg_bracket_expansions_total",
+                    "Price-search bracket doublings in the "
+                    "anticipating scheme").inc()
     # Polish pass: the anticipating objective carries inner-optimizer noise
     # and a market-clearing kink in standalone mode; a tighter local search
     # around the coarse optimum recovers the kink accurately.

@@ -128,6 +128,7 @@ class ResidualRecorder:
         self.tolerance = tolerance
         self.max_history = max_history
         self._residuals: List[float] = []
+        self._truncated = False
 
     def record(self, residual: float) -> bool:
         """Record one iteration's residual; return True if below tolerance."""
@@ -135,11 +136,22 @@ class ResidualRecorder:
         if len(self._residuals) > self.max_history:
             # Drop the oldest half to amortize the trimming cost.
             self._residuals = self._residuals[self.max_history // 2:]
+            self._truncated = True
         return residual < self.tolerance
 
     @property
     def last_residual(self) -> float:
         return self._residuals[-1] if self._residuals else float("inf")
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the retained history has dropped early residuals.
+
+        Consumers that reason about the *whole* iteration trajectory
+        (rather than its tail, like :func:`classify_residuals` does)
+        must check this — a truncated history silently starts mid-run.
+        """
+        return self._truncated
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable snapshot of the recorder's current state."""
@@ -148,6 +160,7 @@ class ResidualRecorder:
             "max_history": int(self.max_history),
             "residuals": [float(r) for r in self._residuals],
             "last_residual": float(self.last_residual),
+            "truncated": bool(self._truncated),
         }
 
     def report(self, converged: bool, iterations: int,

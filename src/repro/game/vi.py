@@ -28,6 +28,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from ..exceptions import ConvergenceError
+from ..telemetry import RESIDUAL_BUCKETS, TELEMETRY as _TEL
 from .diagnostics import ConvergenceReport, ResidualRecorder
 
 __all__ = [
@@ -79,6 +80,22 @@ def natural_residual(problem: VIProblem, x: np.ndarray,
         x - problem.project(x - step * problem.operator(x)))))
 
 
+def _record_vi_solve(solver: str, report: ConvergenceReport) -> None:
+    """Aggregate metrics for one finished VI solve (telemetry enabled)."""
+    labels = {"solver": solver}
+    _TEL.metrics.counter("vi_solves_total", "Completed VI solves",
+                         labels=labels).inc()
+    _TEL.metrics.counter("vi_iterations_total",
+                         "Outer VI iterations across all solves",
+                         labels=labels).inc(report.iterations)
+    if not report.converged:
+        _TEL.metrics.counter("vi_nonconverged_total",
+                             "VI solves that hit the iteration budget",
+                             labels=labels).inc()
+        _TEL.emit("vi.nonconverged", solver=solver,
+                  iterations=report.iterations, residual=report.residual)
+
+
 def extragradient(problem: VIProblem,
                   x0: Optional[np.ndarray] = None,
                   step: float = 0.1,
@@ -105,6 +122,12 @@ def extragradient(problem: VIProblem,
     recorder = ResidualRecorder(tol)
     converged = False
     iterations = 0
+    # Telemetry seam, hoisted: one None check per iteration when the
+    # global facade is disabled (the zero-overhead contract).
+    residual_hist = (_TEL.metrics.histogram(
+        "vi_residual", "Per-iteration VI residuals",
+        labels={"solver": "extragradient"}, buckets=RESIDUAL_BUCKETS)
+        if _TEL.enabled else None)
     for k in range(max_iter):
         iterations = k + 1
         fx = problem.operator(x)
@@ -113,10 +136,14 @@ def extragradient(problem: VIProblem,
         x_new = problem.project(x - step * fy)
         residual = float(np.max(np.abs(x_new - x)))
         x = x_new
+        if residual_hist is not None:
+            residual_hist.observe(residual)
         if recorder.record(residual):
             converged = True
             break
     report = recorder.report(converged, iterations)
+    if _TEL.enabled:
+        _record_vi_solve("extragradient", report)
     if not converged and raise_on_failure:
         raise ConvergenceError(f"extragradient failed: {report}", report)
     return VIResult(solution=x, report=report)
@@ -145,6 +172,11 @@ def solve_vi_adaptive(problem: VIProblem,
     converged = False
     iterations = 0
     current_step = step
+    shrinks = 0
+    residual_hist = (_TEL.metrics.histogram(
+        "vi_residual", "Per-iteration VI residuals",
+        labels={"solver": "adaptive"}, buckets=RESIDUAL_BUCKETS)
+        if _TEL.enabled else None)
     for k in range(max_iter):
         iterations = k + 1
         fx = problem.operator(x)
@@ -159,6 +191,7 @@ def solve_vi_adaptive(problem: VIProblem,
                     <= 0.9 * norm_diff):
                 break
             current_step *= shrink
+            shrinks += 1
             if current_step < 1e-14:
                 raise ConvergenceError(
                     "extragradient step size underflow; operator may not be "
@@ -167,11 +200,20 @@ def solve_vi_adaptive(problem: VIProblem,
         x_new = problem.project(x - current_step * fy)
         residual = float(np.max(np.abs(x_new - x)))
         x = x_new
+        if residual_hist is not None:
+            residual_hist.observe(residual)
         if recorder.record(residual):
             converged = True
             break
     report = recorder.report(converged, iterations,
                              message=f"final step {current_step:.2e}")
+    if _TEL.enabled:
+        _record_vi_solve("adaptive", report)
+        if shrinks:
+            _TEL.metrics.counter(
+                "vi_step_shrinks_total",
+                "Backtracking step reductions in the adaptive solver",
+                labels={"solver": "adaptive"}).inc(shrinks)
     if not converged and raise_on_failure:
         raise ConvergenceError(f"adaptive extragradient failed: {report}",
                                report)

@@ -20,6 +20,7 @@ from typing import List, Optional
 from ..offloading.dispatcher import Dispatcher
 from ..offloading.request import (Allocation, ResourceRequest,
                                   ResponseStatus)
+from ..telemetry import TELEMETRY as _TEL
 from .retry import RetryOutcome, RetryPolicy, retry_call
 
 __all__ = ["ResilientDispatcher", "DispatchStats"]
@@ -118,10 +119,20 @@ class ResilientDispatcher(Dispatcher):
             sleep=self._sleep, on_retry=roll_back, swallow=True)
         self.stats.retries += outcome.retries
         self.stats.total_backoff += outcome.total_delay
+        if _TEL.enabled:
+            _TEL.metrics.counter("dispatch_total",
+                                 "Resource-request dispatches").inc()
         if outcome.succeeded:
             return outcome.value
         self.stats.failed_requests += 1
         self.failed_requests.append(request.miner_id)
+        if _TEL.enabled:
+            _TEL.metrics.counter(
+                "dispatch_degraded_total",
+                "Requests degraded to zero-unit FAILED allocations"
+            ).inc()
+            _TEL.emit("dispatch.degraded", miner_id=request.miner_id,
+                      attempts=outcome.attempts)
         return Allocation(request=request, status=ResponseStatus.FAILED,
                           edge_units=0.0, cloud_units=0.0,
                           edge_charge=0.0, cloud_charge=0.0)

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple, Union
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..telemetry import TELEMETRY as _TEL
 
 __all__ = ["EspOutage", "CspLatencySpike", "CapacityDegradation",
            "TransientFaults", "FaultSpec", "FaultPlan", "FaultEvent",
@@ -217,6 +218,12 @@ class FaultInjector:
         self._seen.add(key)
         self._events.append(FaultEvent(round=self._round, kind=kind,
                                        description=description))
+        if _TEL.enabled:
+            _TEL.metrics.counter("faults_injected_total",
+                                 "Fault events fired by the injector",
+                                 labels={"kind": kind}).inc()
+            _TEL.emit("fault.injected", fault=kind, round=self._round,
+                      description=description)
 
     # ----------------------------------------------------------------- #
     # Queries the faulty providers ask.

@@ -15,6 +15,7 @@ from typing import Callable, Iterator, List, Optional, TypeVar
 import numpy as np
 
 from ..exceptions import ConfigurationError, TransientProviderError
+from ..telemetry import TELEMETRY as _TEL
 
 __all__ = ["RetryPolicy", "RetryOutcome", "retry_call"]
 
@@ -144,6 +145,8 @@ def retry_call(fn: Callable[[], T], policy: RetryPolicy, seed: int = 0,
         try:
             outcome.value = fn()
             outcome.succeeded = True
+            if _TEL.enabled and outcome.retries:
+                _record_retries(outcome, exhausted=False)
             return outcome
         except TransientProviderError as ex:
             outcome.last_error = ex
@@ -156,6 +159,8 @@ def retry_call(fn: Callable[[], T], policy: RetryPolicy, seed: int = 0,
                              and outcome.total_delay + delay
                              > policy.deadline))
             if exhausted:
+                if _TEL.enabled:
+                    _record_retries(outcome, exhausted=True)
                 if swallow:
                     return outcome
                 raise
@@ -163,3 +168,20 @@ def retry_call(fn: Callable[[], T], policy: RetryPolicy, seed: int = 0,
             outcome.delays.append(delay)
             if sleep is not None:
                 sleep(delay)
+
+
+def _record_retries(outcome: RetryOutcome, exhausted: bool) -> None:
+    """Export one retry loop's backoff activity (telemetry enabled)."""
+    _TEL.metrics.counter("retry_retries_total",
+                         "Transient-failure retries performed").inc(
+        outcome.retries)
+    backoff = _TEL.metrics.histogram(
+        "retry_backoff_seconds", "Individual (virtual) backoff delays")
+    for delay in outcome.delays:
+        backoff.observe(delay)
+    if exhausted:
+        _TEL.metrics.counter(
+            "retry_exhausted_total",
+            "Retry loops that ran out of attempt budget").inc()
+        _TEL.emit("retry.exhausted", attempts=outcome.attempts,
+                  error=str(outcome.last_error))

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 from ..exceptions import ConfigurationError
+from ..telemetry import TELEMETRY as _TEL
 from .codec import decode_result, encode_result
 
 __all__ = ["CacheStats", "ScenarioCache"]
@@ -156,13 +157,25 @@ class ScenarioCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                if _TEL.enabled:
+                    _TEL.metrics.counter(
+                        "cache_lookups_total", "Cache lookups by outcome",
+                        labels={"layer": "memory"}).inc()
                 return entry.value, "memory"
             entry = self._disk_load(key)
             if entry is not None:
                 self.stats.disk_hits += 1
                 self._insert(key, entry, persist=False)
+                if _TEL.enabled:
+                    _TEL.metrics.counter(
+                        "cache_lookups_total", "Cache lookups by outcome",
+                        labels={"layer": "disk"}).inc()
                 return entry.value, "disk"
             self.stats.misses += 1
+            if _TEL.enabled:
+                _TEL.metrics.counter(
+                    "cache_lookups_total", "Cache lookups by outcome",
+                    labels={"layer": "miss"}).inc()
             return None, "miss"
 
     def get(self, key: str) -> Optional[Any]:
@@ -181,6 +194,9 @@ class ScenarioCache:
         entry = _Entry(value=value, meta=dict(meta or {}))
         with self._lock:
             self.stats.puts += 1
+            if _TEL.enabled:
+                _TEL.metrics.counter("cache_puts_total",
+                                     "Results stored in the cache").inc()
             self._insert(key, entry, persist=True)
 
     def _insert(self, key: str, entry: _Entry, persist: bool) -> None:
@@ -189,6 +205,10 @@ class ScenarioCache:
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if _TEL.enabled:
+                _TEL.metrics.counter(
+                    "cache_evictions_total",
+                    "Entries dropped by the LRU bound").inc()
         if persist:
             self._disk_store(key, entry)
 

@@ -40,6 +40,7 @@ from ..core.stackelberg import solve_stackelberg
 from ..exceptions import ConfigurationError
 from ..resilience.guard import (SolverGuard, guarded_miner_equilibrium,
                                 guarded_stackelberg)
+from ..telemetry import TELEMETRY as _TEL
 from .cache import ScenarioCache
 from .keys import DEFAULT_QUANTUM, ScenarioSpec, scenario_key
 from .warmstart import WarmStart, WarmStartIndex
@@ -246,6 +247,8 @@ class ServingEngine:
         misses: List[Tuple[int, ScenarioSpec, str]] = []
         duplicates: List[Tuple[int, ScenarioSpec, str, int]] = []
 
+        batch_span = _TEL.span("serving.batch", size=len(specs))
+        batch_span.__enter__()
         for i, spec in enumerate(specs):
             start = time.perf_counter()
             key = self.key_for(spec)
@@ -279,7 +282,56 @@ class ServingEngine:
                 warm_key=primary_result.warm_key,
                 solver=primary_result.solver,
                 degraded=primary_result.degraded, elapsed=0.0)
-        return [r for r in results if r is not None]
+        out = [r for r in results if r is not None]
+        if _TEL.enabled:
+            self._record_batch(out, misses=len(misses),
+                               duplicates=len(duplicates))
+            batch_span.set(misses=len(misses), dedup=len(duplicates))
+        batch_span.__exit__(None, None, None)
+        return out
+
+    def _record_batch(self, results: List[ScenarioResult],
+                      misses: int, duplicates: int) -> None:
+        """Export one batch's outcome to the metrics registry."""
+        metrics = _TEL.metrics
+        metrics.counter("serving_batches_total",
+                        "Batches served").inc()
+        metrics.gauge("serving_last_batch_size",
+                      "Scenario count of the most recent batch").set(
+            len(results))
+        metrics.counter("serving_dedup_total",
+                        "In-batch duplicate scenarios answered by the "
+                        "first solve").inc(duplicates)
+        latency = metrics.histogram(
+            "serving_scenario_seconds",
+            "Per-scenario wall clock (lookup for hits, solve for "
+            "misses)")
+        for res in results:
+            metrics.counter("serving_results_total",
+                            "Scenario results by source",
+                            labels={"source": res.source}).inc()
+            latency.observe(res.elapsed)
+            if res.error is not None:
+                metrics.counter("serving_errors_total",
+                                "Scenarios that failed to solve").inc()
+                _TEL.emit("serving.error", key=res.key, error=res.error)
+            if res.degraded:
+                metrics.counter("serving_degraded_total",
+                                "Scenarios answered by a fallback or "
+                                "stalled approximation").inc()
+                _TEL.emit("serving.degraded", key=res.key,
+                          solver=res.solver)
+        # The dedup ratio the throughput benchmark prints, exported:
+        # duplicates avoided per submitted scenario.
+        if results:
+            metrics.gauge("serving_dedup_ratio",
+                          "Duplicates per submitted scenario in the "
+                          "last batch").set(duplicates / len(results))
+        metrics.gauge("serving_cache_hit_rate",
+                      "Lifetime cache hit rate").set(
+            self.cache.stats.hit_rate)
+        metrics.gauge("serving_cache_entries",
+                      "In-memory cache entries").set(len(self.cache))
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,143 @@
+"""repro.telemetry — metrics, span tracing, and a structured event log.
+
+The observability substrate of the serving system: a process-wide
+:class:`~repro.telemetry.metrics.MetricsRegistry` (counters, gauges,
+fixed-bucket histograms with p50/p95/p99 estimation), a
+:class:`~repro.telemetry.tracing.Tracer` producing nested wall-clock
+span trees, and a JSON-lines
+:class:`~repro.telemetry.events.EventLog` — all reachable through one
+global :class:`Telemetry` facade that **defaults to disabled**.
+
+The zero-overhead contract: instrumented hot paths guard every
+telemetry touch behind ``TELEMETRY.enabled`` (a plain attribute read),
+and :meth:`Telemetry.span` returns a shared no-op singleton when
+disabled — so cold-path solver outputs stay bit-identical whether the
+instrumentation exists or not (proved by the golden-value tests).
+
+Usage::
+
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session() as tel:
+        engine.serve_batch(specs)          # seams record into tel
+        print(render_prometheus(tel.metrics))
+        print(tel.tracer.render())
+
+or imperatively: ``enable()`` / ``disable()`` flip the global facade.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+from .events import EventLog
+from .exposition import parse_prometheus, render_json, render_prometheus
+from .metrics import (DEFAULT_BUCKETS, RESIDUAL_BUCKETS, Counter, Gauge,
+                      Histogram, MetricsRegistry)
+from .tracing import NULL_SPAN, NullSpan, Span, SpanRecord, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_BUCKETS", "RESIDUAL_BUCKETS",
+    "Span", "SpanRecord", "NullSpan", "NULL_SPAN", "Tracer",
+    "EventLog",
+    "render_json", "render_prometheus", "parse_prometheus",
+    "Telemetry", "TELEMETRY", "get_telemetry",
+    "enable", "disable", "telemetry_enabled", "telemetry_session",
+]
+
+
+class Telemetry:
+    """The facade the instrumentation seams talk to.
+
+    ``enabled`` is the single switch every seam checks; the registry,
+    tracer, and event log always exist (they are cheap when idle) so
+    seams never need None checks beyond the flag.
+    """
+
+    __slots__ = ("enabled", "metrics", "tracer", "events")
+
+    def __init__(self, enabled: bool = False,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 events: Optional[EventLog] = None):
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.events = events if events is not None else EventLog()
+
+    def span(self, name: str, **attrs: Any):
+        """A tracer span when enabled; the shared no-op otherwise."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record a structured event (no-op when disabled)."""
+        if self.enabled:
+            self.events.emit(kind, **fields)
+
+    def reset(self) -> None:
+        """Clear metrics, finished spans, and buffered events."""
+        self.metrics.reset()
+        self.tracer.reset()
+        self.events.reset()
+
+
+#: The process-wide telemetry facade. Disabled by default: every seam
+#: in the library reduces to one attribute check.
+TELEMETRY = Telemetry(enabled=False)
+
+
+def get_telemetry() -> Telemetry:
+    """The global :class:`Telemetry` facade."""
+    return TELEMETRY
+
+
+def enable(event_path: Optional[Union[str, Path]] = None,
+           reset: bool = False) -> Telemetry:
+    """Switch the global telemetry on (optionally binding the event log).
+
+    Args:
+        event_path: When given, structured events stream to this
+            JSON-lines file.
+        reset: Clear previously accumulated metrics/spans/events first.
+    """
+    if reset:
+        TELEMETRY.reset()
+    if event_path is not None:
+        TELEMETRY.events.bind(event_path)
+    TELEMETRY.enabled = True
+    return TELEMETRY
+
+
+def disable() -> Telemetry:
+    """Switch the global telemetry off (accumulated data is retained)."""
+    TELEMETRY.enabled = False
+    return TELEMETRY
+
+
+def telemetry_enabled() -> bool:
+    """Whether the global facade is currently recording."""
+    return TELEMETRY.enabled
+
+
+@contextlib.contextmanager
+def telemetry_session(event_path: Optional[Union[str, Path]] = None,
+                      reset: bool = True) -> Iterator[Telemetry]:
+    """Enable telemetry for a scope, restoring the prior state after.
+
+    The workhorse of the CLI and the tests: a fresh recording window
+    whose collected metrics/spans/events stay readable after the block
+    exits (only the *switch* is restored, not the data).
+    """
+    prior = TELEMETRY.enabled
+    enable(event_path=event_path, reset=reset)
+    try:
+        yield TELEMETRY
+    finally:
+        TELEMETRY.enabled = prior
+        if event_path is not None:
+            TELEMETRY.events.unbind()

@@ -1,0 +1,92 @@
+"""Structured event log: JSON-lines records with a bounded ring buffer.
+
+:class:`EventLog` records discrete happenings — a solver fallback, an
+injected fault, a cache eviction burst — as structured dictionaries
+rather than log text. Events are kept in a bounded in-memory deque and,
+when the log is bound to a path, appended to a JSON-lines file so a
+run's event stream survives the process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Bounded, thread-safe structured event recorder.
+
+    Args:
+        maxlen: In-memory ring-buffer bound (oldest events dropped).
+        path: Optional JSON-lines file; every event is appended as one
+            line. Binding can also happen later via :meth:`bind`.
+    """
+
+    def __init__(self, maxlen: int = 4096,
+                 path: Optional[Union[str, Path]] = None):
+        self._lock = threading.Lock()
+        self._events: "deque[Dict[str, Any]]" = deque(maxlen=maxlen)
+        self._seq = 0
+        self._path: Optional[Path] = None
+        if path is not None:
+            self.bind(path)
+
+    def bind(self, path: Union[str, Path]) -> None:
+        """Start appending events to ``path`` (JSON lines)."""
+        with self._lock:
+            self._path = Path(path)
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                self._path.touch()
+            except OSError:
+                pass
+
+    def unbind(self) -> None:
+        """Stop writing to the bound file (in-memory buffer continues)."""
+        with self._lock:
+            self._path = None
+
+    def emit(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the stored record."""
+        with self._lock:
+            self._seq += 1
+            record: Dict[str, Any] = {"seq": self._seq,
+                                      "ts": time.time(),
+                                      "kind": str(kind)}
+            record.update(fields)
+            self._events.append(record)
+            if self._path is not None:
+                try:
+                    with self._path.open("a") as fh:
+                        fh.write(json.dumps(record, default=str) + "\n")
+                except OSError:
+                    # The event stream is best-effort observability;
+                    # a full disk must never fail the solve it observes.
+                    pass
+            return record
+
+    def tail(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent ``n`` events (all retained when ``None``)."""
+        with self._lock:
+            events = list(self._events)
+        return events if n is None else events[-n:]
+
+    def to_jsonl(self) -> str:
+        """The retained buffer as a JSON-lines string."""
+        return "\n".join(json.dumps(e, default=str) for e in self.tail())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def reset(self) -> None:
+        """Drop the in-memory buffer (the bound file is left alone)."""
+        with self._lock:
+            self._events.clear()
+            self._seq = 0

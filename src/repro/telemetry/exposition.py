@@ -1,0 +1,130 @@
+"""Exposition formats: registry snapshots as JSON or Prometheus text.
+
+Two renderers over :meth:`~repro.telemetry.metrics.MetricsRegistry`
+families, plus a small strict parser for the Prometheus text format
+used by the CI smoke job and the test suite to prove the exported text
+is machine-readable (no Prometheus dependency needed).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, List, Tuple
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["render_json", "render_prometheus", "parse_prometheus"]
+
+
+def render_json(registry: MetricsRegistry, indent: int = 1) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent,
+                      sort_keys=True, allow_nan=True)
+
+
+def _label_text(labels: Tuple[Tuple[str, str], ...],
+                extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _num(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format (0.0.4).
+
+    Counters get a ``_total``-free verbatim name (families here already
+    follow the ``*_total`` convention), histograms expand into
+    ``_bucket``/``_sum``/``_count`` series with cumulative ``le``
+    labels, exactly as a Prometheus scraper expects.
+    """
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in sorted(family.children.items()):
+            if isinstance(child, Histogram):
+                cumulative = 0
+                for bound, count in zip(child.bounds, child.counts):
+                    cumulative += count
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_label_text(labels, (('le', _num(bound)),))}"
+                        f" {cumulative}")
+                lines.append(
+                    f"{family.name}_bucket"
+                    f"{_label_text(labels, (('le', '+Inf'),))}"
+                    f" {child.count}")
+                lines.append(f"{family.name}_sum{_label_text(labels)} "
+                             f"{_num(child.sum)}")
+                lines.append(f"{family.name}_count{_label_text(labels)} "
+                             f"{child.count}")
+            else:
+                lines.append(f"{family.name}{_label_text(labels)} "
+                             f"{_num(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> List[Dict[str, Any]]:
+    """Parse Prometheus exposition text into sample dictionaries.
+
+    Returns one ``{"name", "labels", "value"}`` record per sample line.
+    Raises ``ValueError`` on any line that is neither a comment, a
+    blank, nor a well-formed sample — the strictness is the point: the
+    CI smoke job uses this to prove the ``metrics`` subcommand's output
+    would be scrapeable.
+    """
+    samples: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(
+                f"line {lineno} is not valid exposition text: {line!r}")
+        raw = match.group("labels")
+        labels: Dict[str, str] = {}
+        if raw:
+            consumed = sum(len(m.group(0))
+                           for m in _LABEL.finditer(raw))
+            if consumed < len(raw.replace(",", "")):
+                raise ValueError(
+                    f"line {lineno} has malformed labels: {raw!r}")
+            labels = {m.group(1): m.group(2)
+                      for m in _LABEL.finditer(raw)}
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            value = float(value_text)  # raises ValueError when garbage
+        samples.append({"name": match.group("name"), "labels": labels,
+                        "value": value})
+    return samples

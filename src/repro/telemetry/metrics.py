@@ -1,0 +1,250 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` holds metric *families* keyed by name; each
+family fans out into children keyed by a (sorted) label set, mirroring
+the Prometheus data model. Histograms use fixed upper-bound buckets
+with linear interpolation inside the winning bucket for p50/p95/p99
+quantile estimation — cheap enough to observe per solver iteration.
+
+All operations are thread-safe (one registry lock plus per-family
+creation, counter increments under the lock-free GIL path of plain
+float adds guarded by a lock only on child creation is not worth the
+complexity here: a single ``threading.Lock`` guards every mutation,
+and the hot paths only touch it when telemetry is enabled).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS", "RESIDUAL_BUCKETS"]
+
+#: Default histogram buckets: wall-clock latencies in seconds, spanning
+#: microsecond cache hits to multi-second Stackelberg solves.
+DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5,
+                   1.0, 5.0, 30.0)
+
+#: Buckets for solver residuals, spanning tolerance floors to divergence.
+RESIDUAL_BUCKETS = (1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1.0, 1e2)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _labelset(labels: Optional[Mapping[str, str]]) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (one labeled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (one labeled child)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile estimation.
+
+    ``buckets`` are the finite upper bounds (ascending); an implicit
+    ``+Inf`` bucket catches the overflow. Quantiles are estimated by
+    locating the target rank's bucket and interpolating linearly inside
+    it — exact enough for latency/residual distributions while keeping
+    ``observe`` O(log #buckets).
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"buckets must be distinct and ascending, got {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``); NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= rank and n > 0:
+                hi = (self.bounds[i] if i < len(self.bounds)
+                      else self.bounds[-1])
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                if i >= len(self.bounds):
+                    return hi  # overflow bucket: clamp to the last bound
+                frac = (rank - (cumulative - n)) / n
+                return lo + frac * (hi - lo)
+        return self.bounds[-1]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+
+class _Family:
+    """One named metric family: kind, help text, labeled children."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 buckets: Optional[Tuple[float, ...]] = None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.children: Dict[LabelSet, Any] = {}
+
+    def child(self, labels: LabelSet):
+        made = self.children.get(labels)
+        if made is None:
+            if self.kind == "counter":
+                made = Counter()
+            elif self.kind == "gauge":
+                made = Gauge()
+            else:
+                made = Histogram(self.buckets or DEFAULT_BUCKETS)
+            self.children[labels] = made
+        return made
+
+
+class MetricsRegistry:
+    """Thread-safe registry of counters, gauges, and histograms.
+
+    Metric getters are create-or-get: the first call registers the
+    family (name, kind, help text, buckets); later calls return the
+    existing child for the label set. Re-registering a name as a
+    different kind raises ``ValueError`` — silent kind drift would
+    corrupt the exposition.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: "Dict[str, _Family]" = {}
+
+    def _family(self, name: str, kind: str, help_text: str,
+                buckets: Optional[Tuple[float, ...]] = None) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help_text, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"not {kind}")
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Optional[Mapping[str, str]] = None) -> Counter:
+        with self._lock:
+            return self._family(name, "counter", help).child(
+                _labelset(labels))
+
+    def gauge(self, name: str, help: str = "",
+              labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        with self._lock:
+            return self._family(name, "gauge", help).child(
+                _labelset(labels))
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Optional[Mapping[str, str]] = None,
+                  buckets: Iterable[float] = DEFAULT_BUCKETS
+                  ) -> Histogram:
+        with self._lock:
+            return self._family(name, "histogram", help,
+                                tuple(float(b) for b in buckets)
+                                ).child(_labelset(labels))
+
+    def families(self) -> List[_Family]:
+        """Snapshot of the registered families, sorted by name."""
+        with self._lock:
+            return [self._families[n] for n in sorted(self._families)]
+
+    def reset(self) -> None:
+        """Drop every registered family (tests, fresh CLI runs)."""
+        with self._lock:
+            self._families.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serializable view of every metric.
+
+        Shape: ``{name: {"kind", "help", "values": [{"labels", ...}]}}``
+        with per-kind payloads — counters/gauges carry ``value``;
+        histograms carry ``count``, ``sum``, ``buckets`` (upper bound ->
+        cumulative count) and the ``p50``/``p95``/``p99`` estimates.
+        """
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            values = []
+            for labels, child in sorted(family.children.items()):
+                entry: Dict[str, Any] = {"labels": dict(labels)}
+                if isinstance(child, Histogram):
+                    cumulative = 0
+                    buckets = {}
+                    for bound, n in zip(child.bounds, child.counts):
+                        cumulative += n
+                        buckets[repr(bound)] = cumulative
+                    buckets["+Inf"] = child.count
+                    entry.update(count=child.count, sum=child.sum,
+                                 buckets=buckets, p50=child.p50,
+                                 p95=child.p95, p99=child.p99)
+                else:
+                    entry["value"] = child.value
+                values.append(entry)
+            out[family.name] = {"kind": family.kind, "help": family.help,
+                                "values": values}
+        return out

@@ -1,0 +1,161 @@
+"""Span tracing: nested wall-clock timing trees via context managers.
+
+A :class:`Tracer` keeps a thread-local stack of open spans; entering
+``tracer.span("serving.batch", size=64)`` pushes a child of whatever
+span is currently open on the same thread. Finished *root* spans are
+collected (bounded) so a CLI run can dump its full timing tree at exit
+(``repro-mining ... --trace trace.json``).
+
+The disabled path never touches the tracer: callers go through
+:meth:`repro.telemetry.Telemetry.span`, which returns the shared
+:data:`NULL_SPAN` singleton when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SpanRecord", "Span", "NullSpan", "NULL_SPAN", "Tracer"]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or still-open) span of the timing tree."""
+
+    name: str
+    start: float
+    duration: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Span:
+    """Context manager timing one tree node; created by the tracer."""
+
+    __slots__ = ("_tracer", "record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord):
+        self._tracer = tracer
+        self.record = record
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (e.g. result counts)."""
+        self.record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self.record)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.record.duration = (time.perf_counter()
+                                - self.record.start)
+        self._tracer._pop(self.record)
+
+
+class NullSpan:
+    """The no-op span: zero allocation, zero bookkeeping."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+#: Shared no-op instance returned whenever telemetry is disabled.
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects span trees per thread; finished roots are retained.
+
+    Args:
+        max_roots: Bound on retained finished root spans (oldest
+            dropped first) so long-lived processes cannot grow without
+            bound.
+    """
+
+    def __init__(self, max_roots: int = 256):
+        self.max_roots = max_roots
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: List[SpanRecord] = []
+
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Create a span; nest it under the enclosing open span."""
+        return Span(self, SpanRecord(name=name,
+                                     start=time.perf_counter(),
+                                     attrs=dict(attrs)))
+
+    def _push(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(record)
+        stack.append(record)
+
+    def _pop(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self._roots.append(record)
+                if len(self._roots) > self.max_roots:
+                    del self._roots[:len(self._roots) - self.max_roots]
+
+    @property
+    def roots(self) -> List[SpanRecord]:
+        """Finished root spans, oldest first (snapshot copy)."""
+        with self._lock:
+            return list(self._roots)
+
+    def tree(self) -> List[Dict[str, Any]]:
+        """JSON-serializable forest of every finished root span."""
+        return [r.to_dict() for r in self.roots]
+
+    def render(self, unit: str = "ms") -> str:
+        """Human-readable indented rendering of the span forest."""
+        scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
+        lines: List[str] = []
+
+        def walk(record: SpanRecord, depth: int) -> None:
+            took = ("?" if record.duration is None
+                    else f"{record.duration * scale:.3f}{unit}")
+            attrs = "".join(f" {k}={v}"
+                            for k, v in sorted(record.attrs.items()))
+            lines.append(f"{'  ' * depth}{record.name} {took}{attrs}")
+            for child in record.children:
+                walk(child, depth + 1)
+
+        for root in self.roots:
+            walk(root, 0)
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop every finished root (open spans are unaffected)."""
+        with self._lock:
+            self._roots.clear()

@@ -73,3 +73,43 @@ class TestCliReport:
     def test_cli_report_bad_ids(self, capsys):
         from repro.cli import main
         assert main(["report", "--ids", "bogus", "--quiet"]) == 2
+
+
+class TestRenderTelemetry:
+    def _registry(self):
+        from repro.telemetry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("solves_total", "Completed solves",
+                    labels={"solver": "adaptive"}).inc(3)
+        reg.gauge("cache_entries").set(12.0)
+        hist = reg.histogram("latency_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        return reg
+
+    def test_scalars_and_histograms_tabulated(self):
+        from repro.analysis.report import render_telemetry
+
+        text = render_telemetry(self._registry())
+        assert text.startswith("## Telemetry")
+        assert "| metric | kind | value |" in text
+        assert "`solves_total{solver=adaptive}`" in text
+        assert "| histogram | count | mean | p50 | p95 | p99 |" in text
+        assert "`latency_seconds`" in text
+
+    def test_accepts_snapshot_dict(self):
+        from repro.analysis.report import render_telemetry
+
+        live = render_telemetry(self._registry())
+        persisted = render_telemetry(self._registry().snapshot())
+        assert live == persisted
+
+    def test_empty_registry_notes_no_metrics(self):
+        from repro.analysis.report import render_telemetry
+        from repro.telemetry import MetricsRegistry
+
+        text = render_telemetry(MetricsRegistry(), heading_level=3,
+                                title="Empty")
+        assert text.startswith("### Empty")
+        assert "(no metrics recorded)" in text

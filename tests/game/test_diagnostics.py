@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.game.diagnostics import ConvergenceReport, ResidualRecorder
+from repro.game.diagnostics import (ConvergenceReport, ResidualRecorder,
+                                    classify_residuals)
 
 
 class TestResidualRecorder:
@@ -33,6 +34,70 @@ class TestResidualRecorder:
     def test_invalid_tolerance(self):
         with pytest.raises(ValueError):
             ResidualRecorder(0.0)
+
+    def test_truncated_flag_starts_false(self):
+        rec = ResidualRecorder(1e-3, max_history=10)
+        for _ in range(10):
+            rec.record(1.0)
+        assert rec.truncated is False
+        assert rec.to_dict()["truncated"] is False
+
+    def test_truncated_flag_set_and_sticky(self):
+        rec = ResidualRecorder(1e-12, max_history=10)
+        for i in range(11):
+            rec.record(1.0 / (i + 1))
+        assert rec.truncated is True
+        # Sticky: the flag survives later trims and further records.
+        rec.record(1e-3)
+        assert rec.truncated is True
+        assert rec.to_dict()["truncated"] is True
+
+    def test_to_dict_surfaces_truncation(self):
+        rec = ResidualRecorder(1e-9, max_history=6)
+        for i in range(20):
+            rec.record(2.0 ** -i)
+        payload = rec.to_dict()
+        assert payload["truncated"] is True
+        assert len(payload["residuals"]) < 20
+        assert payload["last_residual"] == pytest.approx(2.0 ** -19)
+
+
+class TestClassifyTruncatedHistories:
+    """classify_residuals stays sane on truncated (tail-only) histories.
+
+    Truncation drops the oldest residuals, so the classifier only ever
+    sees a mid-run suffix — its verdicts must reflect the tail, not be
+    confused by the missing prefix.
+    """
+
+    def _truncated_history(self, values, max_history=10):
+        rec = ResidualRecorder(1e-9, max_history=max_history)
+        for v in values:
+            rec.record(v)
+        assert rec.truncated
+        return rec.to_dict()["residuals"]
+
+    def test_converged_tail_classifies_converged(self):
+        history = self._truncated_history(
+            [10.0 / (i + 1) for i in range(40)] + [1e-12])
+        assert classify_residuals(history, 1e-9) == "converged"
+
+    def test_diverging_tail_detected_after_truncation(self):
+        history = self._truncated_history(
+            [1e-3] * 30 + [1e-3 * 3.0 ** i for i in range(8)])
+        assert classify_residuals(history, 1e-9) == "diverging"
+
+    def test_stalled_plateau_detected_after_truncation(self):
+        history = self._truncated_history([0.5] * 40)
+        assert classify_residuals(history, 1e-9) == "stalled"
+
+    def test_oscillating_tail_detected_after_truncation(self):
+        cycle = [0.4, 0.6] * 30
+        history = self._truncated_history(cycle)
+        assert classify_residuals(history, 1e-9) == "oscillating"
+
+    def test_empty_history_still_empty(self):
+        assert classify_residuals([], 1e-9) == "empty"
 
     def test_report_fields(self):
         rec = ResidualRecorder(1e-3)

@@ -1,0 +1,192 @@
+"""Determinism: parallel serving and fault-injected pipelines replay
+bit-identically.
+
+The parallel path ships scenario solves to worker processes; the serial
+path runs them inline. With warm-start chaining disabled (serial chains
+*within* a batch while the parallel path only sees the pre-batch index)
+the two must return the same equilibrium per scenario key. Fault
+injection is seeded, so a whole chaos pipeline replays exactly too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (EdgeMode, Prices, homogeneous,
+                        solve_connected_equilibrium)
+from repro.resilience import (FaultPlan, TransientFaults,
+                              run_resilient_pipeline)
+from repro.serving import ScenarioSpec, ServingEngine
+
+
+def _price_grid_specs():
+    """A miner-stage price sweep with deliberate duplicate keys."""
+    params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2, h=0.8)
+    specs = [ScenarioSpec(params=params, prices=Prices(p_e=2.0, p_c=p_c))
+             for p_c in np.linspace(0.5, 1.3, 6)]
+    # Duplicates of the first and last scenarios: dedup answers these.
+    specs.append(ScenarioSpec(params=params,
+                              prices=Prices(p_e=2.0, p_c=0.5)))
+    specs.append(ScenarioSpec(params=params,
+                              prices=Prices(p_e=2.0, p_c=1.3)))
+    return specs
+
+
+def _standalone_specs():
+    params = homogeneous(5, 1000.0, reward=1000.0, fork_rate=0.2,
+                         mode=EdgeMode.STANDALONE, e_max=80.0)
+    return [ScenarioSpec(params=params,
+                         prices=Prices(p_e=2.0, p_c=p_c))
+            for p_c in (0.8, 1.0, 1.2)]
+
+
+def _by_key(results):
+    return {r.key: r for r in results}
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("make_specs", [_price_grid_specs,
+                                            _standalone_specs])
+    def test_results_identical_per_key(self, make_specs):
+        specs = make_specs()
+        serial = ServingEngine(warm_start=False, max_workers=1)
+        parallel = ServingEngine(warm_start=False, max_workers=2)
+
+        serial_by_key = _by_key(serial.serve_batch(specs))
+        parallel_by_key = _by_key(parallel.serve_batch(specs))
+
+        assert set(serial_by_key) == set(parallel_by_key)
+        for key, s in serial_by_key.items():
+            p = parallel_by_key[key]
+            assert s.ok and p.ok
+            np.testing.assert_array_equal(np.asarray(s.value.e),
+                                          np.asarray(p.value.e))
+            np.testing.assert_array_equal(np.asarray(s.value.c),
+                                          np.asarray(p.value.c))
+
+    def test_duplicates_answered_identically(self):
+        specs = _price_grid_specs()
+        engine = ServingEngine(warm_start=False, max_workers=2)
+        results = engine.serve_batch(specs)
+        assert len(results) == len(specs)
+        # The appended duplicates carry the same keys as the originals
+        # and the identical equilibrium object content.
+        assert results[-2].key == results[0].key
+        assert results[-1].key == results[5].key
+        assert results[-2].source == "dedup"
+        np.testing.assert_array_equal(np.asarray(results[-2].value.e),
+                                      np.asarray(results[0].value.e))
+
+    def test_order_preserved(self):
+        specs = _price_grid_specs()
+        engine = ServingEngine(warm_start=False, max_workers=2)
+        results = engine.serve_batch(specs)
+        for spec, res in zip(specs, results):
+            assert res.spec.prices == spec.prices
+
+    def test_repeat_batch_is_all_cache_hits(self):
+        specs = _price_grid_specs()
+        engine = ServingEngine(warm_start=False, max_workers=2)
+        first = engine.serve_batch(specs)
+        second = engine.serve_batch(specs)
+        assert all(r.source == "memory" for r in second[:6])
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(np.asarray(a.value.e),
+                                          np.asarray(b.value.e))
+
+
+class TestFaultedPipelineDeterminism:
+    PLAN = FaultPlan(faults=(TransientFaults(rate=0.35, target="both"),),
+                     seed=7)
+
+    def _run(self):
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+        return run_resilient_pipeline(params, self.PLAN, n_rounds=12,
+                                      seed=3)
+
+    def test_two_runs_bit_identical(self):
+        a = self._run()
+        b = self._run()
+        np.testing.assert_array_equal(a.equilibrium.e, b.equilibrium.e)
+        np.testing.assert_array_equal(a.equilibrium.c, b.equilibrium.c)
+        assert a.prices == b.prices
+        assert a.report.retries == b.report.retries
+        assert a.report.failed_requests == b.report.failed_requests
+        assert [str(e) for e in a.report.faults] == \
+            [str(e) for e in b.report.faults]
+        assert a.esp_revenue == b.esp_revenue
+        assert a.csp_revenue == b.csp_revenue
+        assert [r.winner for r in a.rounds] == \
+            [r.winner for r in b.rounds]
+
+    def test_faults_actually_fired(self):
+        # The determinism claim is vacuous unless the plan bites.
+        outcome = self._run()
+        assert len(outcome.report.faults) > 0
+
+    def test_serving_grid_deterministic_alongside_faulted_pipeline(self):
+        # Faulted pipeline runs interleaved with a parallel serve must
+        # not perturb the served equilibria (no hidden global RNG).
+        specs = _price_grid_specs()
+        baseline = _by_key(
+            ServingEngine(warm_start=False).serve_batch(specs))
+        self._run()
+        interleaved = _by_key(ServingEngine(
+            warm_start=False, max_workers=2).serve_batch(specs))
+        for key, base in baseline.items():
+            np.testing.assert_array_equal(
+                np.asarray(base.value.e),
+                np.asarray(interleaved[key].value.e))
+
+
+class TestServedEquilibriumMatchesDirect:
+    def test_parallel_result_equals_direct_solve(self):
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+        prices = Prices(p_e=2.0, p_c=1.0)
+        direct = solve_connected_equilibrium(params, prices)
+        engine = ServingEngine(warm_start=False, use_guard=False,
+                               max_workers=2)
+        res = engine.serve_batch(
+            [ScenarioSpec(params=params, prices=prices)])[0]
+        np.testing.assert_array_equal(np.asarray(res.value.e), direct.e)
+        np.testing.assert_array_equal(np.asarray(res.value.c), direct.c)
+
+
+class TestFaultedPipelineWithTelemetry:
+    def test_faulted_run_records_metrics_and_events(self, tmp_path):
+        from repro.telemetry import telemetry_session
+
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+        plan = FaultPlan(
+            faults=(TransientFaults(rate=0.4, target="both"),), seed=7)
+        events_path = tmp_path / "chaos_events.jsonl"
+        with telemetry_session(event_path=events_path) as tel:
+            outcome = run_resilient_pipeline(params, plan, n_rounds=10,
+                                             seed=3)
+        snap = tel.metrics.snapshot()
+        assert snap["faults_injected_total"]["values"][0]["value"] > 0
+        assert snap["dispatch_total"]["values"][0]["value"] > 0
+        kinds = {e["kind"] for e in tel.events.tail()}
+        assert "fault.injected" in kinds
+        assert events_path.read_text().strip()
+        assert len(outcome.report.faults) > 0
+
+    def test_telemetry_does_not_perturb_faulted_run(self):
+        from repro.telemetry import telemetry_session
+
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+        plan = FaultPlan(
+            faults=(TransientFaults(rate=0.4, target="both"),), seed=7)
+        dark = run_resilient_pipeline(params, plan, n_rounds=10, seed=3)
+        with telemetry_session():
+            lit = run_resilient_pipeline(params, plan, n_rounds=10,
+                                         seed=3)
+        np.testing.assert_array_equal(dark.equilibrium.e,
+                                      lit.equilibrium.e)
+        assert dark.report.retries == lit.report.retries
+        assert [str(e) for e in dark.report.faults] == \
+            [str(e) for e in lit.report.faults]
+        assert dark.esp_revenue == lit.esp_revenue

@@ -1,0 +1,67 @@
+"""Event log: ring buffer, sequencing, and the JSON-lines file sink."""
+
+import json
+
+from repro.telemetry import EventLog
+
+
+class TestEventLog:
+    def test_emit_assigns_sequence_and_kind(self):
+        log = EventLog()
+        first = log.emit("solver.fallback", solver="adaptive")
+        second = log.emit("cache.evict")
+        assert first["seq"] == 1 and second["seq"] == 2
+        assert first["kind"] == "solver.fallback"
+        assert first["solver"] == "adaptive"
+
+    def test_ring_buffer_drops_oldest(self):
+        log = EventLog(maxlen=3)
+        for i in range(5):
+            log.emit("e", i=i)
+        assert len(log) == 3
+        assert [e["i"] for e in log.tail()] == [2, 3, 4]
+
+    def test_tail_n(self):
+        log = EventLog()
+        for i in range(4):
+            log.emit("e", i=i)
+        assert [e["i"] for e in log.tail(2)] == [2, 3]
+
+    def test_to_jsonl_round_trips(self):
+        log = EventLog()
+        log.emit("a", x=1)
+        log.emit("b", y="two")
+        lines = log.to_jsonl().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert [p["kind"] for p in parsed] == ["a", "b"]
+
+    def test_bound_file_receives_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path)
+        log.emit("fault.injected", kind_detail="esp-outage")
+        log.emit("retry.exhausted")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "fault.injected"
+
+    def test_bind_touches_file(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        EventLog(path=path)
+        assert path.exists()
+
+    def test_unbind_stops_writing(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path)
+        log.emit("a")
+        log.unbind()
+        log.emit("b")
+        assert len(path.read_text().splitlines()) == 1
+        assert len(log) == 2  # in-memory buffer keeps going
+
+    def test_reset_clears_buffer_not_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path=path)
+        log.emit("a")
+        log.reset()
+        assert len(log) == 0
+        assert len(path.read_text().splitlines()) == 1

@@ -1,0 +1,96 @@
+"""Exposition formats: JSON/Prometheus rendering and the strict parser."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (MetricsRegistry, parse_prometheus,
+                             render_json, render_prometheus)
+
+
+def _populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("solves_total", "Completed solves",
+                labels={"solver": "adaptive"}).inc(3)
+    reg.counter("solves_total", labels={"solver": "extragradient"}).inc()
+    reg.gauge("cache_entries", "Live cache entries").set(42.0)
+    hist = reg.histogram("latency_seconds", "Solve latency",
+                         buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return reg
+
+
+class TestRenderJson:
+    def test_is_valid_json_with_all_families(self):
+        doc = json.loads(render_json(_populated_registry()))
+        assert set(doc) == {"solves_total", "cache_entries",
+                            "latency_seconds"}
+        assert doc["latency_seconds"]["values"][0]["count"] == 3
+
+
+class TestRenderPrometheus:
+    def test_help_and_type_lines(self):
+        text = render_prometheus(_populated_registry())
+        assert "# HELP solves_total Completed solves" in text
+        assert "# TYPE solves_total counter" in text
+        assert "# TYPE latency_seconds histogram" in text
+        assert text.endswith("\n")
+
+    def test_labeled_counter_samples(self):
+        text = render_prometheus(_populated_registry())
+        assert 'solves_total{solver="adaptive"} 3.0' in text
+        assert 'solves_total{solver="extragradient"} 1.0' in text
+
+    def test_histogram_expansion_is_cumulative(self):
+        samples = parse_prometheus(
+            render_prometheus(_populated_registry()))
+        by_le = {s["labels"]["le"]: s["value"] for s in samples
+                 if s["name"] == "latency_seconds_bucket"}
+        assert by_le["0.1"] == 1
+        assert by_le["1.0"] == 2
+        assert by_le["+Inf"] == 3
+        count = [s for s in samples
+                 if s["name"] == "latency_seconds_count"][0]
+        assert count["value"] == 3
+
+    def test_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labels={"msg": 'a"b\\c'}).inc()
+        text = render_prometheus(reg)
+        samples = parse_prometheus(text)
+        assert samples[0]["labels"]["msg"] == r"a\"b\\c"
+
+
+class TestParsePrometheus:
+    def test_round_trip_every_sample(self):
+        reg = _populated_registry()
+        samples = parse_prometheus(render_prometheus(reg))
+        # 2 counters + 1 gauge + (2 finite + Inf buckets + sum + count)
+        assert len(samples) == 8
+        names = {s["name"] for s in samples}
+        assert "cache_entries" in names
+
+    def test_accepts_comments_and_blanks(self):
+        assert parse_prometheus("# a comment\n\nx_total 1\n") == [
+            {"name": "x_total", "labels": {}, "value": 1.0}]
+
+    def test_special_values(self):
+        import math
+        samples = parse_prometheus("a +Inf\nb -Inf\nc NaN\n")
+        assert samples[0]["value"] == math.inf
+        assert samples[1]["value"] == -math.inf
+        assert math.isnan(samples[2]["value"])
+
+    def test_rejects_garbage_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not a metric\n")
+
+    def test_rejects_garbage_value(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("x_total banana\n")
+
+    def test_rejects_malformed_labels(self):
+        with pytest.raises(ValueError):
+            parse_prometheus('x_total{oops} 1\n')

@@ -1,0 +1,99 @@
+"""The global Telemetry facade: switch semantics and seam behavior."""
+
+import json
+
+from repro.telemetry import (NULL_SPAN, TELEMETRY, Telemetry, disable,
+                             enable, get_telemetry, telemetry_enabled,
+                             telemetry_session)
+
+
+class TestFacade:
+    def test_disabled_by_default(self):
+        assert Telemetry().enabled is False
+
+    def test_global_is_disabled_outside_sessions(self):
+        assert telemetry_enabled() is False
+        assert get_telemetry() is TELEMETRY
+
+    def test_span_is_null_when_disabled(self):
+        tel = Telemetry(enabled=False)
+        assert tel.span("anything") is NULL_SPAN
+
+    def test_span_is_real_when_enabled(self):
+        tel = Telemetry(enabled=True)
+        with tel.span("solve") as sp:
+            assert sp is not NULL_SPAN
+        assert tel.tracer.roots[0].name == "solve"
+
+    def test_emit_gated_on_switch(self):
+        tel = Telemetry(enabled=False)
+        tel.emit("dropped")
+        assert len(tel.events) == 0
+        tel.enabled = True
+        tel.emit("kept")
+        assert len(tel.events) == 1
+
+    def test_reset_clears_all_three(self):
+        tel = Telemetry(enabled=True)
+        tel.metrics.counter("x_total").inc()
+        with tel.span("s"):
+            pass
+        tel.emit("e")
+        tel.reset()
+        assert tel.metrics.snapshot() == {}
+        assert tel.tracer.roots == []
+        assert len(tel.events) == 0
+
+
+class TestEnableDisable:
+    def test_enable_disable_flip_global(self):
+        try:
+            enable()
+            assert telemetry_enabled()
+        finally:
+            disable()
+        assert not telemetry_enabled()
+
+    def test_enable_reset_clears_prior_data(self):
+        try:
+            enable()
+            TELEMETRY.metrics.counter("stale_total").inc()
+            enable(reset=True)
+            assert TELEMETRY.metrics.snapshot() == {}
+        finally:
+            disable()
+
+
+class TestTelemetrySession:
+    def test_restores_prior_switch(self):
+        assert not telemetry_enabled()
+        with telemetry_session():
+            assert telemetry_enabled()
+        assert not telemetry_enabled()
+
+    def test_data_survives_the_block(self):
+        with telemetry_session() as tel:
+            tel.metrics.counter("x_total").inc(2)
+        assert tel.metrics.counter("x_total").value == 2.0
+
+    def test_fresh_window_by_default(self):
+        with telemetry_session() as tel:
+            tel.metrics.counter("first_total").inc()
+        with telemetry_session() as tel:
+            assert "first_total" not in tel.metrics.snapshot()
+
+    def test_event_path_bound_for_the_block(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with telemetry_session(event_path=path) as tel:
+            tel.emit("inside")
+        tel.events.emit("outside")  # unbound after the block
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [e["kind"] for e in lines] == ["inside"]
+
+    def test_nested_sessions_restore_correctly(self):
+        with telemetry_session():
+            with telemetry_session(reset=False):
+                assert telemetry_enabled()
+            assert telemetry_enabled()  # outer still live
+        assert not telemetry_enabled()

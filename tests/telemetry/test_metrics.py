@@ -1,0 +1,165 @@
+"""Metrics primitives: counters, gauges, histograms, and the registry."""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                             MetricsRegistry)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0.0
+
+    def test_inc_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec(3.0)
+        assert g.value == 12.0
+
+    def test_can_go_negative(self):
+        g = Gauge()
+        g.dec(2.0)
+        assert g.value == -2.0
+
+
+class TestHistogram:
+    def test_empty_quantiles_nan(self):
+        h = Histogram()
+        assert math.isnan(h.p50)
+        assert math.isnan(h.mean)
+
+    def test_counts_land_in_buckets(self):
+        h = Histogram(buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+
+    def test_boundary_value_goes_to_its_bucket(self):
+        # Prometheus buckets are inclusive upper bounds: le="1.0".
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(1.0)
+        assert h.counts[0] == 1
+
+    def test_quantile_interpolates(self):
+        h = Histogram(buckets=(0.0, 10.0))
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0):
+            h.observe(v)
+        # All ten observations sit in the (0, 10] bucket: interpolation
+        # maps the median to the bucket midpoint.
+        assert h.p50 == pytest.approx(5.0)
+        assert h.p99 == pytest.approx(9.9)
+
+    def test_overflow_clamps_to_last_bound(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(1000.0)
+        assert h.p50 == 1.0
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    @given(st.lists(st.floats(min_value=1e-6, max_value=25.0),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_quantile_monotone_and_bounded(self, values):
+        h = Histogram(DEFAULT_BUCKETS)
+        for v in values:
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert all(a <= b + 1e-12 for a, b in zip(qs, qs[1:]))
+        assert all(0.0 <= q <= DEFAULT_BUCKETS[-1] for q in qs)
+        assert h.count == len(values)
+
+
+class TestMetricsRegistry:
+    def test_create_or_get_returns_same_child(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_labels_fan_out_children(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels={"k": "1"})
+        b = reg.counter("x_total", labels={"k": "2"})
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels={"a": "1", "b": "2"})
+        b = reg.counter("x_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "a counter").inc(3)
+        reg.gauge("g", "a gauge").set(7.0)
+        hist = reg.histogram("h_seconds", "a histogram",
+                             buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        snap = reg.snapshot()
+        assert snap["c_total"]["kind"] == "counter"
+        assert snap["c_total"]["values"][0]["value"] == 3.0
+        assert snap["g"]["values"][0]["value"] == 7.0
+        entry = snap["h_seconds"]["values"][0]
+        assert entry["count"] == 2
+        assert entry["buckets"]["+Inf"] == 2
+        assert entry["buckets"][repr(1.0)] == 1  # cumulative
+
+    def test_reset_clears_families(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_thread_safety_under_contention(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(500):
+                reg.counter("shared_total").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Creation races must not lose the family or fork children.
+        assert len(reg.families()) == 1

@@ -1,0 +1,86 @@
+"""Span tracer: nesting, durations, bounds, and the no-op path."""
+
+import threading
+
+from repro.telemetry import NULL_SPAN, NullSpan, Tracer
+
+
+class TestTracer:
+    def test_single_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("solve", n=5) as sp:
+            sp.set(result="ok")
+        roots = tracer.roots
+        assert len(roots) == 1
+        assert roots[0].name == "solve"
+        assert roots[0].duration is not None and roots[0].duration >= 0
+        assert roots[0].attrs == {"n": 5, "result": "ok"}
+
+    def test_nesting_builds_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        roots = tracer.roots
+        assert len(roots) == 1
+        assert [c.name for c in roots[0].children] == ["inner.a",
+                                                       "inner.b"]
+
+    def test_tree_and_render(self):
+        tracer = Tracer()
+        with tracer.span("outer", size=2):
+            with tracer.span("inner"):
+                pass
+        forest = tracer.tree()
+        assert forest[0]["name"] == "outer"
+        assert forest[0]["children"][0]["name"] == "inner"
+        text = tracer.render()
+        assert "outer" in text and "  inner" in text
+        assert "size=2" in text
+
+    def test_max_roots_bound(self):
+        tracer = Tracer(max_roots=3)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        names = [r.name for r in tracer.roots]
+        assert names == ["s7", "s8", "s9"]
+
+    def test_reset_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+    def test_threads_do_not_cross_nest(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tracer.span(name):
+                barrier.wait()
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = tracer.roots
+        # Concurrent spans on different threads are siblings (two
+        # roots), never parent/child.
+        assert len(roots) == 2
+        assert all(not r.children for r in roots)
+
+
+class TestNullSpan:
+    def test_is_shared_noop(self):
+        assert isinstance(NULL_SPAN, NullSpan)
+        with NULL_SPAN as sp:
+            assert sp.set(anything=1) is sp
+
+    def test_set_returns_self_for_chaining(self):
+        assert NULL_SPAN.set(a=1).set(b=2) is NULL_SPAN

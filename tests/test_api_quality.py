@@ -13,6 +13,7 @@ PACKAGES = [
     "repro", "repro.core", "repro.game", "repro.blockchain",
     "repro.network", "repro.offloading", "repro.population",
     "repro.learning", "repro.analysis", "repro.serving",
+    "repro.telemetry",
 ]
 
 

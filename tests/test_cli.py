@@ -102,3 +102,81 @@ class TestServeCommand:
         # fork rate 1.0 is out of range -> ConfigurationError, exit 2
         assert main(["serve", "--grid", "beta:1.0:1.0:1"]) == 2
         assert "bad grid point" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_prometheus_output_is_parseable(self, capsys):
+        from repro.telemetry import parse_prometheus
+
+        assert main(["metrics", "--grid", "p_c:0.5:1.3:3",
+                     "--repeat", "2", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        samples = parse_prometheus(out)
+        names = {s["name"] for s in samples}
+        assert "serving_batches_total" in names
+        assert "cache_lookups_total" in names
+        # The second pass hits the cache, and the exposition says so.
+        hits = [s for s in samples
+                if s["name"] == "cache_lookups_total"
+                and s["labels"].get("layer") == "memory"]
+        assert hits and hits[0]["value"] >= 3
+
+    def test_json_output_is_valid(self, capsys):
+        import json
+
+        assert main(["metrics", "--grid", "p_c:0.5:1.3:3",
+                     "--repeat", "1", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["serving_batches_total"]["kind"] == "counter"
+
+    def test_both_formats_to_files(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import parse_prometheus
+
+        base = tmp_path / "metrics"
+        assert main(["metrics", "--grid", "p_c:0.5:1.3:3",
+                     "--repeat", "1", "--output", str(base)]) == 0
+        json.loads((tmp_path / "metrics.json").read_text())
+        parse_prometheus((tmp_path / "metrics.prom").read_text())
+
+    def test_trace_flag_writes_span_tree(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main(["metrics", "--grid", "p_c:0.5:1.3:3",
+                     "--repeat", "1", "--format", "json",
+                     "--trace", str(trace)]) == 0
+        forest = json.loads(trace.read_text())
+        assert any(root["name"] == "serving.batch" for root in forest)
+        batch = [r for r in forest if r["name"] == "serving.batch"][0]
+        assert batch["duration"] > 0
+        assert batch["attrs"]["size"] == 3
+
+    def test_events_flag_writes_jsonl(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["metrics", "--grid", "p_c:0.5:1.3:3",
+                     "--repeat", "1", "--format", "json",
+                     "--events", str(events)]) == 0
+        assert events.exists()
+
+    def test_serve_trace_flag(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "serve_trace.json"
+        assert main(["serve", "--grid", "p_c:0.5:1.3:3", "--quiet",
+                     "--trace", str(trace)]) == 0
+        forest = json.loads(trace.read_text())
+        assert forest and forest[0]["name"] == "serving.batch"
+
+    def test_metrics_bad_grid(self, capsys):
+        assert main(["metrics", "--grid", "nope:0:1:4"]) == 2
+        assert "bad --grid" in capsys.readouterr().err
+
+    def test_telemetry_left_disabled_after_run(self, capsys):
+        from repro.telemetry import telemetry_enabled
+
+        assert main(["metrics", "--grid", "p_c:0.5:1.3:3",
+                     "--repeat", "1", "--format", "json"]) == 0
+        capsys.readouterr()
+        assert not telemetry_enabled()

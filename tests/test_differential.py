@@ -1,0 +1,143 @@
+"""Differential testing: independent implementations must agree.
+
+Three cross-checks, each pitting a numerical solver against a second,
+independently-derived source of truth:
+
+* the connected-mode NEP solver against the paper's closed forms
+  (Theorem 3 / Corollary 1) over hypothesis-randomized parameter draws;
+* the standalone-mode GNEP decomposition against the extragradient VI
+  solver (two unrelated algorithms, one variational equilibrium);
+* ``solve_stackelberg`` reached directly against the same solve routed
+  through the serving engine (cache, keys, guard, batch machinery).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (EdgeMode, Prices, homogeneous,
+                        solve_connected_equilibrium, solve_stackelberg,
+                        solve_standalone_equilibrium)
+from repro.core.closed_form import (binding_budget_threshold,
+                                    homogeneous_miner_equilibrium)
+from repro.core.gnep import solve_standalone_extragradient
+from repro.core.params import mixed_strategy_price_bound
+from repro.serving import ScenarioSpec, ServingEngine
+
+
+def _feasible(beta, h, prices):
+    """The Theorem-3 mixed-strategy region with a safety margin."""
+    bound = mixed_strategy_price_bound(beta, h, prices.p_e)
+    return (prices.p_e > prices.p_c * 1.05
+            and prices.p_c < 0.9 * bound)
+
+
+class TestClosedFormVsNepSolver:
+    """Connected NEP solver == Theorem 3 / Corollary 1 closed forms."""
+
+    @given(n=st.integers(min_value=2, max_value=12),
+           budget=st.floats(min_value=20.0, max_value=2000.0),
+           reward=st.floats(min_value=200.0, max_value=5000.0),
+           beta=st.floats(min_value=0.05, max_value=0.45),
+           h=st.floats(min_value=0.4, max_value=1.0),
+           p_c=st.floats(min_value=0.4, max_value=1.5),
+           premium=st.floats(min_value=0.3, max_value=2.5))
+    @settings(max_examples=40, deadline=None)
+    def test_equilibrium_matches_closed_form(self, n, budget, reward,
+                                             beta, h, p_c, premium):
+        prices = Prices(p_e=p_c + premium, p_c=p_c)
+        assume(_feasible(beta, h, prices))
+        # Stay clearly inside one regime: solver/closed-form agreement
+        # right at the binding threshold is a measure-zero edge case.
+        threshold = binding_budget_threshold(n, reward, beta, h)
+        assume(abs(budget - threshold) > 0.05 * threshold)
+
+        closed = homogeneous_miner_equilibrium(n, budget, reward, beta,
+                                               h, prices)
+        assume(closed.e > 1e-3 and closed.c > 1e-3)
+
+        params = homogeneous(n, budget, reward=reward, fork_rate=beta,
+                             h=h)
+        eq = solve_connected_equilibrium(params, prices)
+        assert eq.converged
+        np.testing.assert_allclose(eq.e, np.full(n, closed.e),
+                                   rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(eq.c, np.full(n, closed.c),
+                                   rtol=1e-5, atol=1e-7)
+
+    @given(budget=st.floats(min_value=30.0, max_value=120.0))
+    @settings(max_examples=15, deadline=None)
+    def test_binding_regime_spends_whole_budget(self, budget):
+        n, reward, beta, h = 5, 1000.0, 0.2, 0.8
+        prices = Prices(p_e=2.0, p_c=1.0)
+        assume(budget < 0.95 * binding_budget_threshold(n, reward, beta,
+                                                        h))
+        closed = homogeneous_miner_equilibrium(n, budget, reward, beta,
+                                               h, prices)
+        assert closed.regime == "binding"
+        params = homogeneous(n, budget, reward=reward, fork_rate=beta,
+                             h=h)
+        eq = solve_connected_equilibrium(params, prices)
+        np.testing.assert_allclose(eq.spending, np.full(n, budget),
+                                   rtol=1e-6)
+        assert eq.e[0] == pytest.approx(closed.e, rel=1e-5)
+
+
+class TestGnepCrossSolver:
+    """Decomposition and extragradient find the same variational eq."""
+
+    @given(e_max=st.floats(min_value=30.0, max_value=200.0),
+           budget=st.floats(min_value=400.0, max_value=2000.0))
+    @settings(max_examples=10, deadline=None)
+    def test_decomposition_matches_extragradient(self, e_max, budget):
+        params = homogeneous(5, budget, reward=1000.0, fork_rate=0.2,
+                             mode=EdgeMode.STANDALONE, e_max=e_max)
+        prices = Prices(p_e=2.0, p_c=1.0)
+        direct = solve_standalone_equilibrium(params, prices)
+        vi = solve_standalone_extragradient(params, prices, tol=1e-10)
+        np.testing.assert_allclose(vi.e, direct.e, rtol=1e-3, atol=1e-4)
+        np.testing.assert_allclose(vi.c, direct.c, rtol=1e-3, atol=1e-4)
+        assert vi.total_edge == pytest.approx(direct.total_edge,
+                                              rel=1e-4)
+
+
+class TestDirectVsServingEngine:
+    """The serving engine returns exactly what the direct call returns."""
+
+    @pytest.mark.parametrize("n,budget,h", [
+        (5, 200.0, 0.8),
+        (5, 1000.0, 0.6),
+        (8, 150.0, 0.9),
+    ])
+    def test_connected_stackelberg_profits_agree(self, n, budget, h):
+        params = homogeneous(n, budget, reward=1000.0, fork_rate=0.2,
+                             h=h)
+        direct = solve_stackelberg(params)
+
+        engine = ServingEngine(warm_start=False, use_guard=False)
+        result = engine.serve(ScenarioSpec(params=params))
+        assert result.ok
+        served = result.value
+
+        assert served.v_e == pytest.approx(direct.v_e, rel=1e-9)
+        assert served.v_c == pytest.approx(direct.v_c, rel=1e-9)
+        assert served.prices.p_e == pytest.approx(direct.prices.p_e,
+                                                  rel=1e-9)
+        assert served.prices.p_c == pytest.approx(direct.prices.p_c,
+                                                  rel=1e-9)
+        np.testing.assert_allclose(served.miners.e, direct.miners.e,
+                                   rtol=1e-9)
+        np.testing.assert_allclose(served.miners.c, direct.miners.c,
+                                   rtol=1e-9)
+
+    def test_miner_stage_via_engine_matches_direct(self):
+        params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+        prices = Prices(p_e=2.0, p_c=1.0)
+        direct = solve_connected_equilibrium(params, prices)
+        engine = ServingEngine(warm_start=False, use_guard=False)
+        result = engine.serve(ScenarioSpec(params=params, prices=prices))
+        assert result.ok
+        np.testing.assert_allclose(result.value.e, direct.e, rtol=1e-9)
+        np.testing.assert_allclose(result.value.c, direct.c, rtol=1e-9)
