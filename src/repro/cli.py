@@ -10,6 +10,7 @@ Usage::
     repro-mining serve --grid p_c:0.5:1.3:16 --workers 4 \\
         --cache-dir .repro_cache
     repro-mining metrics --grid p_c:0.8:1.2:8 --format prom
+    repro-mining bench --quick --output BENCH_solvers.json
     repro-mining fig4 --trace trace.json
 
 Every subcommand accepts ``--trace PATH``: telemetry is enabled for the
@@ -81,8 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", nargs="?", default=None,
         help="experiment id (one of: %s), 'list', 'all', 'report' "
              "(markdown report of the fast experiments; use --ids to "
-             "select), or 'serve' (batch equilibrium serving; see "
-             "'serve --help')" % ", ".join(sorted(EXPERIMENTS)))
+             "select), 'serve' (batch equilibrium serving; see "
+             "'serve --help'), or 'bench' (solver-kernel benchmark; "
+             "see 'bench --help')" % ", ".join(sorted(EXPERIMENTS)))
     parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="print the available experiment ids and exit")
@@ -182,6 +184,97 @@ def build_metrics_parser() -> argparse.ArgumentParser:
         help="stream structured telemetry events to PATH (JSON lines)")
     _add_trace_flag(parser)
     return parser
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mining bench",
+        description="Benchmark the solver kernels (scalar / running / "
+                    "vectorized) across problem sizes, write the "
+                    "perf-trajectory JSON, and flag regressions "
+                    "against a baseline report.")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke preset: sizes (8, 64) and 3 repeats per case")
+    parser.add_argument(
+        "--sizes", default=None, metavar="N[,N...]",
+        help="comma-separated miner counts (overrides the preset)")
+    parser.add_argument(
+        "--repeats", type=int, default=None, metavar="K",
+        help="timed solves per case (default: 5, or 3 with --quick)")
+    parser.add_argument(
+        "--output", "-o", default="BENCH_solvers.json", metavar="PATH",
+        help="where to write the report (default: %(default)s)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline report to compare against; defaults to the "
+             "previous contents of --output when that file exists")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="relative regression tolerance on normalized medians "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--no-compare", action="store_true",
+        help="skip the regression comparison entirely")
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress the result table on stdout")
+    return parser
+
+
+def bench_main(argv=None) -> int:
+    """Entry point of the ``bench`` subcommand.
+
+    Exit codes: 0 — benchmark ran (and no regressions), 1 — regressions
+    beyond the tolerance, 2 — bad arguments or unreadable baseline.
+    """
+    from .kernels import (compare_reports, load_report, run_bench,
+                          write_report)
+
+    args = build_bench_parser().parse_args(argv)
+    sizes = None
+    if args.sizes is not None:
+        try:
+            sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+        except ValueError:
+            print(f"bad --sizes {args.sizes!r}: expected integers",
+                  file=sys.stderr)
+            return 2
+    baseline = None
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_compare and \
+            Path(args.output).exists():
+        baseline_path = args.output
+    if baseline_path is not None and not args.no_compare:
+        try:
+            baseline = load_report(baseline_path)
+        except (OSError, ValueError, KeyError, TypeError) as ex:
+            print(f"could not load baseline {baseline_path!r}: {ex}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        report = run_bench(sizes=sizes, repeats=args.repeats,
+                           quick=args.quick)
+    except ValueError as ex:
+        print(f"bench failed: {ex}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print("\n".join(report.summary_lines()))
+        for note in report.notes:
+            print(f"note: {note}", file=sys.stderr)
+    write_report(report, args.output)
+    print(f"wrote {args.output}", file=sys.stderr)
+    if baseline is not None:
+        regressions = compare_reports(report, baseline,
+                                      tolerance=args.tolerance)
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION {line}", file=sys.stderr)
+            return 1
+        print(f"no regressions vs {baseline_path} "
+              f"(tolerance {args.tolerance:.0%})", file=sys.stderr)
+    return 0
 
 
 def _run_one(name: str, output, quiet: bool) -> int:
@@ -431,6 +524,8 @@ def main(argv=None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0].lower() == "metrics":
         return metrics_main(argv[1:])
+    if argv and argv[0].lower() == "bench":
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_experiments:
         _print_experiments()

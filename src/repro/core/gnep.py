@@ -27,8 +27,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..exceptions import ConfigurationError, ConvergenceError
-from ..game.projections import dykstra, project_budget_orthant, \
-    project_halfspace
+from ..game.projections import dykstra, project_boxes_capacity, \
+    project_budget_orthant, project_halfspace
 from ..game.vi import VIProblem, solve_vi_adaptive
 from . import utility
 from .nep import MinerEquilibrium, initial_profile, \
@@ -51,7 +51,7 @@ def _require_standalone(params: GameParameters) -> float:
 def edge_demand(params: GameParameters, prices: Prices, nu: float,
                 tol: float = 1e-10, max_iter: int = 3000,
                 initial: Optional[Tuple[np.ndarray, np.ndarray]] = None,
-                ) -> MinerEquilibrium:
+                kernel: str = "scalar") -> MinerEquilibrium:
     """Unconstrained miner equilibrium under perceived edge price
     ``P_e + ν`` (budget charged at ``P_e``). Helper of the decomposition.
 
@@ -66,7 +66,7 @@ def edge_demand(params: GameParameters, prices: Prices, nu: float,
                    np.asarray(initial[1], dtype=float))
     return solve_connected_equilibrium(params, prices, tol=tol,
                                        max_iter=max_iter, initial=initial,
-                                       _nu=nu)
+                                       _nu=nu, kernel=kernel)
 
 
 def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
@@ -76,6 +76,7 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
                                  initial: Optional[Tuple[np.ndarray,
                                                          np.ndarray]] = None,
                                  raise_on_failure: bool = False,
+                                 kernel: str = "scalar",
                                  ) -> MinerEquilibrium:
     """Variational equilibrium of GNEP_MINER via shadow-price decomposition.
 
@@ -91,6 +92,10 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
             their own warm starts. ``None`` reproduces the cold path
             bit-identically.
         raise_on_failure: Raise instead of returning a flagged result.
+        kernel: Inner NEP kernel — see
+            :func:`~repro.core.nep.solve_connected_equilibrium`. The
+            ``"vectorized"`` aggregate kernel makes every ν-evaluation
+            O(n), which compounds across the shadow-price search.
 
     Returns:
         :class:`MinerEquilibrium` with ``nu`` set to the capacity shadow
@@ -98,14 +103,16 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
     """
     e_max = _require_standalone(params)
 
-    free = edge_demand(params, prices, nu=0.0, tol=tol, initial=initial)
+    free = edge_demand(params, prices, nu=0.0, tol=tol, initial=initial,
+                       kernel=kernel)
     if free.total_edge <= e_max * (1.0 + capacity_tol):
         return free
 
     # Capacity binds: bracket ν so that E(ν_hi) < E_max < E(ν_lo).
     nu_lo, nu_hi = 0.0, max(prices.p_e, 1.0)
     warm = (free.e, free.c)
-    eq_hi = edge_demand(params, prices, nu=nu_hi, tol=tol, initial=warm)
+    eq_hi = edge_demand(params, prices, nu=nu_hi, tol=tol, initial=warm,
+                        kernel=kernel)
     guard = 0
     while eq_hi.total_edge > e_max:
         nu_lo = nu_hi
@@ -116,7 +123,7 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
                 "could not bracket the capacity shadow price; edge demand "
                 "appears insensitive to price")
         eq_hi = edge_demand(params, prices, nu=nu_hi, tol=tol,
-                            initial=warm)
+                            initial=warm, kernel=kernel)
 
     # Brentq on the (smooth, strictly decreasing) excess-demand curve is
     # far cheaper than plain bisection; warm starts thread the last
@@ -127,7 +134,8 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
 
     def solve_at(nu: float) -> MinerEquilibrium:
         state["eq"] = edge_demand(params, prices, nu=nu, tol=tol,
-                                  initial=(state["eq"].e, state["eq"].c))
+                                  initial=(state["eq"].e, state["eq"].c),
+                                  kernel=kernel)
         return state["eq"]
 
     def excess(nu: float) -> float:
@@ -165,13 +173,32 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
 
 
 def _joint_projection(params: GameParameters, prices: Prices,
-                      e_max: float):
+                      e_max: float, kernel: str = "scalar"):
     """Projection onto {per-miner budget boxes} ∩ {Σ e_i <= E_max}.
 
     The joint vector layout is ``x = [e_0..e_{n-1}, c_0..c_{n-1}]``.
+
+    ``kernel="scalar"`` composes per-miner waterfilling with Dykstra's
+    alternating projections (the reference path); ``"vectorized"``
+    evaluates the joint KKT system directly via
+    :func:`repro.game.projections.project_boxes_capacity` — one batched
+    box projection per capacity-multiplier bisection step, with no
+    per-miner Python in the extragradient loop.
     """
     n = params.n
     budgets = params.budget_array
+
+    if kernel == "vectorized":
+        p_e = float(prices.p_e)
+        p_c = float(prices.p_c)
+
+        def project_fast(x: np.ndarray) -> np.ndarray:
+            e, c = project_boxes_capacity(x[:n], x[n:], p_e, p_c,
+                                          budgets, e_max)
+            return np.concatenate([e, c])
+
+        return project_fast
+
     price_vec = prices.as_array
     normal = np.concatenate([np.ones(n), np.zeros(n)])
 
@@ -201,11 +228,16 @@ def solve_standalone_extragradient(params: GameParameters, prices: Prices,
                                    initial: Optional[Tuple[np.ndarray,
                                                            np.ndarray]] = None,
                                    raise_on_failure: bool = False,
+                                   kernel: str = "scalar",
                                    ) -> MinerEquilibrium:
     """Variational equilibrium of GNEP_MINER via extragradient on the VI.
 
     Slower than the decomposition but assumption-light; used to
     cross-validate :func:`solve_standalone_equilibrium` (ablation ABL1).
+
+    ``kernel`` selects the projection oracle: ``"scalar"`` is the
+    Dykstra + per-miner waterfilling reference, ``"vectorized"`` the
+    batched joint KKT projection (see :func:`_joint_projection`).
     """
     e_max = _require_standalone(params)
     n = params.n
@@ -216,7 +248,7 @@ def solve_standalone_extragradient(params: GameParameters, prices: Prices,
         du_de, du_dc = utility.miner_utility_gradients(e, c, params, prices)
         return -np.concatenate([du_de, du_dc])
 
-    project = _joint_projection(params, prices, e_max)
+    project = _joint_projection(params, prices, e_max, kernel=kernel)
     if initial is None:
         e0, c0 = initial_profile(params, prices)
     else:
@@ -226,7 +258,8 @@ def solve_standalone_extragradient(params: GameParameters, prices: Prices,
     problem = VIProblem(operator=operator, project=project, dim=2 * n)
     result = solve_vi_adaptive(problem, x0=x0, step=step, tol=tol,
                                max_iter=max_iter,
-                               raise_on_failure=raise_on_failure)
+                               raise_on_failure=raise_on_failure,
+                               kernel=kernel)
     e = result.solution[:n]
     c = result.solution[n:]
     # Recover the capacity shadow price from the aggregate KKT residual of

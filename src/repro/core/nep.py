@@ -10,6 +10,7 @@ needs (aggregates, utilities, SP profits).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -17,12 +18,17 @@ import numpy as np
 
 from ..exceptions import ConvergenceError
 from ..game.diagnostics import ConvergenceReport, ResidualRecorder
+from ..telemetry import DEFAULT_BUCKETS, TELEMETRY as _TEL
 from . import utility
 from .miner_best_response import ResponseContext, solve_best_response
 from .params import GameParameters, Prices
 
 __all__ = ["MinerEquilibrium", "solve_connected_equilibrium",
-           "initial_profile", "best_response_profile"]
+           "initial_profile", "best_response_profile", "KERNELS"]
+
+#: Valid values of the ``kernel`` parameter of
+#: :func:`solve_connected_equilibrium`.
+KERNELS = ("scalar", "running", "vectorized")
 
 
 @dataclass
@@ -160,13 +166,53 @@ def best_response_profile(e: np.ndarray, c: np.ndarray,
     return e_new, c_new
 
 
+def _solve_vectorized(params: GameParameters, prices: Prices, tol: float,
+                      _nu: float) -> Optional[Tuple[np.ndarray, np.ndarray,
+                                                    ConvergenceReport]]:
+    """Aggregate-kernel solve plus batched fixed-point verification.
+
+    Returns ``None`` when the verification residual misses ``tol`` (the
+    caller falls back to the sweeping solver) — the vectorized path
+    never silently degrades accuracy.
+    """
+    from ..kernels.aggregate import solve_connected_aggregate
+    from ..kernels.batched_br import jacobi_sweep
+
+    sweep_hist = (_TEL.metrics.histogram(
+        "br_sweep_seconds", "Best-response sweep / kernel-solve latency",
+        labels={"kernel": "vectorized"}, buckets=DEFAULT_BUCKETS)
+        if _TEL.enabled else None)
+    t0 = time.perf_counter() if sweep_hist is not None else 0.0
+    sol = solve_connected_aggregate(params, prices, nu=_nu)
+    if sweep_hist is not None:
+        sweep_hist.observe(time.perf_counter() - t0)
+    # One exact batched best-response sweep certifies the profile: at
+    # the true equilibrium BR(x*) = x*, so the sweep residual bounds the
+    # aggregate kernel's error through the BR map's local Lipschitz
+    # constant.
+    e_br, c_br = jacobi_sweep(sol.e, sol.c, params, prices, nu=_nu)
+    scale = max(1.0, float(np.max(np.abs(e_br))),
+                float(np.max(np.abs(c_br))))
+    residual = max(float(np.max(np.abs(e_br - sol.e))),
+                   float(np.max(np.abs(c_br - sol.c)))) / scale
+    if not residual < tol:
+        return None
+    report = ConvergenceReport(
+        converged=True, iterations=sol.evals, residual=residual,
+        tolerance=tol, history=[residual],
+        message="aggregate kernel (iterations = consistency evals)")
+    return np.asarray(e_br, dtype=float), np.asarray(c_br, dtype=float), \
+        report
+
+
 def solve_connected_equilibrium(params: GameParameters, prices: Prices,
                                 tol: float = 1e-9, max_iter: int = 3000,
                                 damping: float = 1.0,
                                 initial: Optional[Tuple[np.ndarray,
                                                         np.ndarray]] = None,
                                 raise_on_failure: bool = False,
-                                _nu: float = 0.0) -> MinerEquilibrium:
+                                _nu: float = 0.0,
+                                kernel: str = "scalar") -> MinerEquilibrium:
     """Solve NEP_MINER by damped asynchronous best response.
 
     Args:
@@ -181,12 +227,31 @@ def solve_connected_equilibrium(params: GameParameters, prices: Prices,
             instead of returning a flagged result.
         _nu: Internal — shared-capacity multiplier for the GNEP
             decomposition.
+        kernel: ``"scalar"`` (default) sweeps with the per-miner
+            reference kernel and re-summed aggregates — the golden,
+            bit-stable path.  ``"running"`` sweeps with ``O(n)`` running
+            aggregates (within 1 ulp of scalar per sweep, not
+            bit-identical).  ``"vectorized"`` solves the aggregate
+            consistency system directly (:mod:`repro.kernels`),
+            verifies the result is a fixed point of the exact batched
+            best-response map, and falls back to ``"running"`` sweeps
+            if verification fails; ``damping`` and ``initial`` only
+            affect that fallback.
 
     Returns:
         The unique :class:`MinerEquilibrium` (Theorem 2).
     """
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
+    if kernel == "vectorized":
+        solved = _solve_vectorized(params, prices, tol, _nu)
+        if solved is not None:
+            e, c, report = solved
+            return MinerEquilibrium(e=e, c=c, params=params, prices=prices,
+                                    report=report, nu=_nu)
+        kernel = "running"
     if initial is None:
         e, c = initial_profile(params, prices)
     else:
@@ -195,13 +260,31 @@ def solve_connected_equilibrium(params: GameParameters, prices: Prices,
         if e.shape != (params.n,) or c.shape != (params.n,):
             raise ValueError("initial profile shape mismatch")
 
+    if kernel == "running":
+        from ..kernels.batched_br import gauss_seidel_sweep_running
+
+        def sweep(e, c):
+            return gauss_seidel_sweep_running(e, c, params, prices, nu=_nu)
+    else:
+        def sweep(e, c):
+            return best_response_profile(e, c, params, prices, nu=_nu)
+
+    sweep_hist = (_TEL.metrics.histogram(
+        "br_sweep_seconds", "Best-response sweep / kernel-solve latency",
+        labels={"kernel": kernel}, buckets=DEFAULT_BUCKETS)
+        if _TEL.enabled else None)
     recorder = ResidualRecorder(tol)
     converged = False
     iterations = 0
     restarts = 0
     for it in range(max_iter):
         iterations = it + 1
-        e_br, c_br = best_response_profile(e, c, params, prices, nu=_nu)
+        if sweep_hist is not None:
+            t0 = time.perf_counter()
+            e_br, c_br = sweep(e, c)
+            sweep_hist.observe(time.perf_counter() - t0)
+        else:
+            e_br, c_br = sweep(e, c)
         gamma = params.fork_rate * params.effective_h
         if gamma > 0.0 and float(np.sum(e_br)) <= 0.0 and restarts < 10:
             # An all-zero edge profile is absorbing for the smoothed model

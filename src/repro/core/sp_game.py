@@ -38,7 +38,10 @@ class DemandOracle:
     :mod:`repro.core.homogeneous_demand` (``fast="auto"``, the default),
     falling back to the iterative solvers in corner regimes the closed
     forms do not cover; ``fast=False`` forces the iterative path (used by
-    the tests that cross-validate the two).
+    the tests that cross-validate the two).  ``kernel`` selects the
+    follower-solver kernel on the iterative paths (see
+    :func:`~repro.core.nep.solve_connected_equilibrium`); the closed
+    forms ignore it.
     """
 
     #: Rounding (decimal places) for the memo key.
@@ -47,12 +50,14 @@ class DemandOracle:
     def __init__(self, params: GameParameters, tol: float = 1e-9,
                  max_iter: int = 3000, fast: str = "auto",
                  warm_profile: Optional[Tuple[np.ndarray,
-                                              np.ndarray]] = None):
+                                              np.ndarray]] = None,
+                 kernel: str = "scalar"):
         if fast not in ("auto", False, True):
             raise ConfigurationError("fast must be 'auto', True or False")
         self.params = params
         self.tol = tol
         self.max_iter = max_iter
+        self.kernel = kernel
         self.fast = (params.is_homogeneous if fast == "auto" else bool(fast))
         if self.fast and not params.is_homogeneous:
             raise ConfigurationError(
@@ -105,7 +110,8 @@ class DemandOracle:
             if self.params.mode is EdgeMode.STANDALONE:
                 eq = solve_standalone_equilibrium(self.params, prices,
                                                   tol=self.tol,
-                                                  initial=seed)
+                                                  initial=seed,
+                                                  kernel=self.kernel)
             else:
                 warm = seed
                 if self._last is not None:
@@ -113,7 +119,8 @@ class DemandOracle:
                 eq = solve_connected_equilibrium(self.params, prices,
                                                  tol=self.tol,
                                                  max_iter=self.max_iter,
-                                                 initial=warm)
+                                                 initial=warm,
+                                                 kernel=self.kernel)
         self._cache[key] = eq
         self._last = eq
         return eq

@@ -91,6 +91,7 @@ def solve_stackelberg(params: GameParameters,
                       warm_start: Optional[Prices] = None,
                       warm_profile: Optional[Tuple[np.ndarray,
                                                    np.ndarray]] = None,
+                      kernel: str = "scalar",
                       ) -> StackelbergEquilibrium:
     """Compute a Stackelberg equilibrium of the full game.
 
@@ -130,6 +131,9 @@ def solve_stackelberg(params: GameParameters,
             cold solve.
         warm_profile: Optional miner profile ``(e, c)`` seeding the
             demand oracle's first iterative follower solve.
+        kernel: Follower-solver kernel threaded into the demand oracle
+            (see :func:`~repro.core.nep.solve_connected_equilibrium`);
+            homogeneous games answered by the closed forms ignore it.
 
     Returns:
         :class:`StackelbergEquilibrium`.
@@ -139,14 +143,14 @@ def solve_stackelberg(params: GameParameters,
     if scheme not in ("best-response", "esp-anticipates"):
         raise ValueError(f"unknown scheme {scheme!r}")
     oracle = DemandOracle(params, tol=demand_tol,
-                          warm_profile=warm_profile)
+                          warm_profile=warm_profile, kernel=kernel)
     if initial is None and warm_start is not None:
         initial = warm_start
     prices = _initial_prices(params, initial)
 
     if scheme == "esp-anticipates":
         with _TEL.span("stackelberg.solve", scheme=scheme,
-                       mode=params.mode.value) as sp:
+                       mode=params.mode.value, kernel=kernel) as sp:
             se = _solve_esp_anticipates(params, oracle, prices, tol,
                                         max_iter, price_xatol,
                                         warm=warm_start)
@@ -163,7 +167,7 @@ def solve_stackelberg(params: GameParameters,
     message = None
     history = []
     leader_span = _TEL.span("stackelberg.solve", scheme=scheme,
-                            mode=params.mode.value)
+                            mode=params.mode.value, kernel=kernel)
     leader_span.__enter__()
     for it in range(max_iter):
         iterations = it + 1

@@ -21,6 +21,8 @@ __all__ = [
     "project_nonnegative",
     "project_halfspace",
     "project_budget_orthant",
+    "project_budget_boxes",
+    "project_boxes_capacity",
     "dykstra",
 ]
 
@@ -89,6 +91,128 @@ def project_budget_orthant(x: np.ndarray, prices: np.ndarray,
             lo = hi
     # All coordinates clipped to zero satisfies any non-negative budget.
     return np.zeros_like(x)
+
+
+def project_budget_boxes(e: np.ndarray, c: np.ndarray, p_e: float,
+                         p_c: float, budgets: np.ndarray,
+                         tol: float = 1e-12
+                         ) -> "tuple[np.ndarray, np.ndarray]":
+    """Project all miners' ``(e_i, c_i)`` onto their budget boxes at once.
+
+    The vectorized counterpart of calling :func:`project_budget_orthant`
+    per miner on 2-vectors: each point is projected onto
+    ``{(y_e, y_c) >= 0 : p_e y_e + p_c y_c <= B_i}``.  In two dimensions
+    the waterfilling collapses to a closed form — the interior segment
+    ``t = (p . x - B) / ||p||²`` when both shifted coordinates survive,
+    otherwise the coordinate with the smaller breakpoint ``x_k / p_k``
+    dies and the survivor lands exactly on the budget line at
+    ``B / p_j``.
+
+    Args:
+        e, c: Coordinates to project, shape ``(n,)`` each (may be
+            negative).
+        p_e, p_c: Positive prices.
+        budgets: Non-negative budgets, shape ``(n,)``.
+
+    Returns:
+        ``(e_proj, c_proj)`` — the exact Euclidean projections.
+    """
+    if p_e <= 0 or p_c <= 0:
+        raise ValueError("all prices must be positive")
+    budgets = np.asarray(budgets, dtype=float)
+    if np.any(budgets < 0):
+        raise ValueError("budgets must be non-negative")
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    y_e = np.maximum(e, 0.0)
+    y_c = np.maximum(c, 0.0)
+    over = p_e * y_e + p_c * y_c > budgets + tol
+    if not np.any(over):
+        return y_e, y_c
+    xe = e[over]
+    xc = c[over]
+    bb = budgets[over]
+    t = (p_e * xe + p_c * xc - bb) / (p_e * p_e + p_c * p_c)
+    ze = xe - t * p_e
+    zc = xc - t * p_c
+    # t <= 0 can only arise from a strongly negative coordinate whose
+    # clipping (not the budget shift) drives the violation; the budget
+    # multiplier must be positive for the interior segment to apply.
+    interior = (t > 0.0) & (ze >= 0.0) & (zc >= 0.0)
+    # One coordinate clips to zero: the one whose breakpoint x_k / p_k
+    # is reached first as t grows; the survivor takes the whole budget.
+    e_dies = xe * p_c <= xc * p_e
+    pe = np.where(interior, ze, np.where(e_dies, 0.0, bb / p_e))
+    pc = np.where(interior, zc, np.where(e_dies, bb / p_c, 0.0))
+    y_e[over] = pe
+    y_c[over] = pc
+    return y_e, y_c
+
+
+def project_boxes_capacity(e: np.ndarray, c: np.ndarray, p_e: float,
+                           p_c: float, budgets: np.ndarray, e_max: float,
+                           tol: float = 1e-12, max_iter: int = 200
+                           ) -> "tuple[np.ndarray, np.ndarray]":
+    """Joint projection onto budget boxes ∩ ``{Σ e_i <= E_max}``.
+
+    By the KKT conditions of the projection program, the answer is
+    ``P_boxes(e - μ, c)`` for the smallest multiplier ``μ >= 0``
+    restoring ``Σ e_i <= E_max`` (the capacity constraint's normal only
+    touches the ``e`` block).  ``Σ e_i(μ)`` is continuous and
+    non-increasing, so ``μ`` comes from scalar bisection; every
+    evaluation is one vectorized :func:`project_budget_boxes` call.
+    Replaces Dykstra + per-miner Python loops in the extragradient
+    projection oracle with an exact ``O(n log(1/tol))`` kernel.
+
+    Args:
+        e, c: Coordinates to project, shape ``(n,)`` each.
+        p_e, p_c: Positive prices.
+        budgets: Non-negative budgets, shape ``(n,)``.
+        e_max: Shared edge capacity (positive).
+        tol: Absolute tolerance on the capacity residual.
+        max_iter: Bisection iteration cap.
+
+    Returns:
+        ``(e_proj, c_proj)`` — the Euclidean projection onto the
+        intersection.
+    """
+    if e_max <= 0:
+        raise ValueError(f"e_max must be positive, got {e_max}")
+    e = np.asarray(e, dtype=float)
+    c = np.asarray(c, dtype=float)
+    y_e, y_c = project_budget_boxes(e, c, p_e, p_c, budgets, tol=tol)
+    excess = float(np.sum(y_e)) - e_max
+    if excess <= tol:
+        return y_e, y_c
+
+    def edge_total(mu: float) -> float:
+        pe, _ = project_budget_boxes(e - mu, c, p_e, p_c, budgets,
+                                     tol=tol)
+        return float(np.sum(pe))
+
+    lo, hi = 0.0, 1.0
+    guard = 0
+    while edge_total(hi) > e_max:
+        lo = hi
+        hi *= 2.0
+        guard += 1
+        if guard > 80:
+            raise ValueError(
+                "capacity multiplier bracket diverged in joint projection")
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        if mid <= lo or mid >= hi:
+            break
+        total = edge_total(mid)
+        if abs(total - e_max) <= tol:
+            lo = hi = mid
+            break
+        if total > e_max:
+            lo = mid
+        else:
+            hi = mid
+    mu = 0.5 * (lo + hi)
+    return project_budget_boxes(e - mu, c, p_e, p_c, budgets, tol=tol)
 
 
 def dykstra(x: np.ndarray,

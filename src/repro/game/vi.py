@@ -80,14 +80,20 @@ def natural_residual(problem: VIProblem, x: np.ndarray,
         x - problem.project(x - step * problem.operator(x)))))
 
 
-def _record_vi_solve(solver: str, report: ConvergenceReport) -> None:
+def _record_vi_solve(solver: str, report: ConvergenceReport,
+                     kernel: str = "scalar",
+                     operator_evals: int = 0) -> None:
     """Aggregate metrics for one finished VI solve (telemetry enabled)."""
-    labels = {"solver": solver}
+    labels = {"solver": solver, "kernel": kernel}
     _TEL.metrics.counter("vi_solves_total", "Completed VI solves",
                          labels=labels).inc()
     _TEL.metrics.counter("vi_iterations_total",
                          "Outer VI iterations across all solves",
                          labels=labels).inc(report.iterations)
+    if operator_evals:
+        _TEL.metrics.counter("vi_operator_evals_total",
+                             "Operator (F) evaluations across all solves",
+                             labels=labels).inc(operator_evals)
     if not report.converged:
         _TEL.metrics.counter("vi_nonconverged_total",
                              "VI solves that hit the iteration budget",
@@ -101,7 +107,8 @@ def extragradient(problem: VIProblem,
                   step: float = 0.1,
                   tol: float = 1e-9,
                   max_iter: int = 20000,
-                  raise_on_failure: bool = False) -> VIResult:
+                  raise_on_failure: bool = False,
+                  kernel: str = "scalar") -> VIResult:
     """Korpelevich extragradient method with a fixed step size.
 
     Each iteration takes a predictor step, evaluates ``F`` there, and takes a
@@ -113,6 +120,10 @@ def extragradient(problem: VIProblem,
     Converges for monotone, Lipschitz ``F`` whenever
     ``step < 1 / L``; use :func:`solve_vi_adaptive` when the Lipschitz
     constant is unknown.
+
+    ``kernel`` labels the telemetry series with the projection kernel
+    the caller wired into ``problem`` (``"scalar"`` per-miner loops vs
+    ``"vectorized"`` batch projections); it does not change behaviour.
     """
     if step <= 0:
         raise ValueError(f"step must be positive, got {step}")
@@ -126,7 +137,8 @@ def extragradient(problem: VIProblem,
     # global facade is disabled (the zero-overhead contract).
     residual_hist = (_TEL.metrics.histogram(
         "vi_residual", "Per-iteration VI residuals",
-        labels={"solver": "extragradient"}, buckets=RESIDUAL_BUCKETS)
+        labels={"solver": "extragradient", "kernel": kernel},
+        buckets=RESIDUAL_BUCKETS)
         if _TEL.enabled else None)
     for k in range(max_iter):
         iterations = k + 1
@@ -143,7 +155,8 @@ def extragradient(problem: VIProblem,
             break
     report = recorder.report(converged, iterations)
     if _TEL.enabled:
-        _record_vi_solve("extragradient", report)
+        _record_vi_solve("extragradient", report, kernel=kernel,
+                         operator_evals=2 * iterations)
     if not converged and raise_on_failure:
         raise ConvergenceError(f"extragradient failed: {report}", report)
     return VIResult(solution=x, report=report)
@@ -155,13 +168,17 @@ def solve_vi_adaptive(problem: VIProblem,
                       shrink: float = 0.5,
                       tol: float = 1e-9,
                       max_iter: int = 20000,
-                      raise_on_failure: bool = False) -> VIResult:
+                      raise_on_failure: bool = False,
+                      kernel: str = "scalar") -> VIResult:
     """Extragradient with backtracking step-size adaptation.
 
     The step is shrunk whenever the local Lipschitz test
     ``step * ||F(x) - F(y)|| <= 0.9 * ||x - y||`` fails, so no Lipschitz
     constant needs to be known a priori. The step never grows, which keeps
     the classical convergence guarantee.
+
+    ``kernel`` labels the telemetry series with the projection kernel
+    the caller wired into ``problem``; it does not change behaviour.
     """
     if not 0.0 < shrink < 1.0:
         raise ValueError(f"shrink must be in (0, 1), got {shrink}")
@@ -173,20 +190,27 @@ def solve_vi_adaptive(problem: VIProblem,
     iterations = 0
     current_step = step
     shrinks = 0
+    f_evals = 0
     residual_hist = (_TEL.metrics.histogram(
         "vi_residual", "Per-iteration VI residuals",
-        labels={"solver": "adaptive"}, buckets=RESIDUAL_BUCKETS)
+        labels={"solver": "adaptive", "kernel": kernel},
+        buckets=RESIDUAL_BUCKETS)
         if _TEL.enabled else None)
     for k in range(max_iter):
         iterations = k + 1
         fx = problem.operator(x)
+        f_evals += 1
         while True:
             y = problem.project(x - current_step * fx)
             diff = y - x
             norm_diff = float(np.linalg.norm(diff))
             if norm_diff == 0.0:
+                # y coincides with x, so F(y) is F(x) exactly — no
+                # evaluation needed (and the Lipschitz test is vacuous).
+                fy = fx
                 break
             fy = problem.operator(y)
+            f_evals += 1
             if (current_step * float(np.linalg.norm(fy - fx))
                     <= 0.9 * norm_diff):
                 break
@@ -196,7 +220,8 @@ def solve_vi_adaptive(problem: VIProblem,
                 raise ConvergenceError(
                     "extragradient step size underflow; operator may not be "
                     "locally Lipschitz on the feasible set")
-        fy = problem.operator(y)
+        # The backtracking loop exits with fy = F(y) already in hand;
+        # re-evaluating it here would waste one F-eval per iteration.
         x_new = problem.project(x - current_step * fy)
         residual = float(np.max(np.abs(x_new - x)))
         x = x_new
@@ -208,7 +233,8 @@ def solve_vi_adaptive(problem: VIProblem,
     report = recorder.report(converged, iterations,
                              message=f"final step {current_step:.2e}")
     if _TEL.enabled:
-        _record_vi_solve("adaptive", report)
+        _record_vi_solve("adaptive", report, kernel=kernel,
+                         operator_evals=f_evals)
         if shrinks:
             _TEL.metrics.counter(
                 "vi_step_shrinks_total",

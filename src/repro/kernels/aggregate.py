@@ -1,0 +1,306 @@
+"""Aggregate-space equilibrium kernel for the connected-mode NEP.
+
+Best-response *dynamics* are the wrong vehicle for large ``n``: the
+miner subgame is a Cournot-style aggregative game, so simultaneous
+(Jacobi) best-response play is unstable for ``n >= 3`` (Theocharis'
+classic result — confirmed empirically in ``docs/PERFORMANCE.md``) and
+the sequential Gauss–Seidel sweep contracts at only ``1 - O(1/n)`` per
+sweep, needing ``O(n)`` sweeps of ``n`` scalar solves each.
+
+This kernel exploits the aggregative structure instead.  Fix the
+*totals* ``S = Σ s_i`` and ``E = Σ e_i``.  Because miner ``i``'s payoff
+depends on opponents only through ``s̄_i = S - s_i`` and
+``ē_i = E - e_i``, the stationarity conditions written at known totals
+are **linear** in the miner's own variables:
+
+* cloud:  ``R(1-β)(S - s_i)/S² = q_c + λ_i p_c``
+* edge:   ``R(1-β)(S - s_i)/S² + Rγ(E - e_i)/E² = q_e + λ_i p_e``
+
+so every miner's KKT response — interior, cloud-only, edge-only or
+inactive, with the budget multiplier ``λ_i`` resolved by vectorized
+bisection on the monotone spending curve — is a closed-form array
+program over the miner axis.  The equilibrium is then the root of a
+consistency system in at most **two scalar unknowns**,
+
+    ``Σ_i s_i(S, E) = S``  and  ``Σ_i e_i(S, E) = E``,
+
+solved by nested Brent root-finding (each total's excess response is
+single-crossing).  Iteration count is independent of ``n``; every
+evaluation is ``O(n)`` vectorized work.
+
+Degenerate price/fork configurations collapse to one-dimensional
+consistency problems and are dispatched exactly like the scalar
+kernel's branch order: no edge bonus (``γ = 0``) reduces to a single
+pool at the cheaper objective price, and a non-positive edge premium
+(``q_e <= q_c`` with ``γ > 0``) makes cloud strictly dominated.
+
+The caller (:func:`repro.core.nep.solve_connected_equilibrium` with
+``kernel="vectorized"``) verifies the returned profile is a fixed point
+of the exact batched best-response map and falls back to the sweeping
+solver if the check fails, so this kernel never silently degrades
+accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..exceptions import ConvergenceError
+
+__all__ = ["solve_connected_aggregate", "AggregateSolution"]
+
+#: Budget slack below which the constraint is treated as free (the
+#: scalar kernel's ``_TOL``).
+_TOL = 1e-13
+
+#: ``brentq`` settings for the consistency roots: effectively exact.
+_XTOL = 1e-30
+_RTOL = 8.9e-16
+
+#: Bisection sweeps for the per-miner budget multipliers.
+_LAM_SWEEPS = 110
+
+
+class AggregateSolution(Tuple[np.ndarray, np.ndarray, int]):
+    """``(e, c, evaluations)`` — kept as a named tuple subclass so the
+    solver can report its work without a new dataclass."""
+
+    __slots__ = ()
+
+    def __new__(cls, e: np.ndarray, c: np.ndarray, evals: int):
+        return super().__new__(cls, (e, c, evals))
+
+    @property
+    def e(self) -> np.ndarray:
+        return self[0]
+
+    @property
+    def c(self) -> np.ndarray:
+        return self[1]
+
+    @property
+    def evals(self) -> int:
+        return self[2]
+
+
+def _solve_single_pool(n: int, k_tot: float, a: float, caps: np.ndarray,
+                       counter: list) -> np.ndarray:
+    """Consistency root of a one-pool aggregative game.
+
+    Every miner plays ``s_i(T) = clip(T - a T²/k_tot, 0, cap_i)``
+    against total ``T``; returns the profile at the total solving
+    ``Σ s_i(T) = T``.  ``Σ s_i(T)/T`` is decreasing in ``T`` (each
+    clipped share is), so the excess response is single-crossing.
+    """
+    t_hi = k_tot / a
+
+    def profile(t: float) -> np.ndarray:
+        return np.clip(t - a * t * t / k_tot, 0.0, caps)
+
+    def excess(t: float) -> float:
+        counter[0] += 1
+        return float(np.sum(profile(t))) - t
+
+    t_lo = t_hi * 1e-15
+    if excess(t_lo) <= 0.0:
+        return np.zeros(n)
+    t_star = float(brentq(excess, t_lo, t_hi, xtol=_XTOL, rtol=_RTOL))
+    return profile(t_star)
+
+
+def _lane_responses(S: float, E: float, lam: np.ndarray,
+                    a_e0: np.ndarray, a_c0: np.ndarray,
+                    ks: float, kg: float, p_e: float, p_c: float
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-miner KKT responses at totals ``(S, E)``, multipliers ``λ``.
+
+    Mirrors the scalar ``_candidate`` branch order: a non-positive
+    effective premium forces edge-only; otherwise the interior linear
+    system is tried and negative coordinates drop to the cloud-only or
+    edge-only corner (``e < 0`` checked before ``c < 0``).
+    """
+    A = ks / (S * S)
+    Bm = kg / (E * E)
+    a_c = a_c0 + lam * p_c
+    a_e = a_e0 + lam * p_e
+    da = a_e - a_c
+    s_int = S - a_c / A
+    e_int = E - da / Bm
+    c_int = s_int - e_int
+    cloud = (da > 0.0) & (e_int < 0.0)
+    edge = (da <= 0.0) | ((da > 0.0) & (e_int >= 0.0) & (c_int < 0.0))
+    e = np.where(cloud | edge, 0.0, np.maximum(e_int, 0.0))
+    c = np.where(cloud, np.maximum(s_int, 0.0),
+                 np.where(edge, 0.0, np.maximum(c_int, 0.0)))
+    if np.any(edge):
+        e_eo = (A * S + Bm * E - a_e) / (A + Bm)
+        e = np.where(edge, np.maximum(e_eo, 0.0), e)
+    return e, c
+
+
+def _budget_responses(S: float, E: float, budgets: np.ndarray,
+                      a_e0: np.ndarray, a_c0: np.ndarray, ks: float,
+                      kg: float, p_e: float, p_c: float
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Responses at totals ``(S, E)`` with budget multipliers resolved.
+
+    Unconstrained lanes keep ``λ = 0``; over-budget lanes get their
+    multiplier from bracket-doubling + bisection on the (strictly
+    decreasing, piecewise-linear) spending curve.
+    """
+    zero = np.zeros_like(budgets)
+    e, c = _lane_responses(S, E, zero, a_e0, a_c0, ks, kg, p_e, p_c)
+    spend = p_e * e + p_c * c
+    over = spend > budgets + _TOL
+    if not np.any(over):
+        return e, c
+    bb = budgets[over]
+    ae = a_e0[over]
+    ac = a_c0[over]
+
+    def lane_spend(lam: np.ndarray) -> np.ndarray:
+        es, cs = _lane_responses(S, E, lam, ae, ac, ks, kg, p_e, p_c)
+        return p_e * es + p_c * cs
+
+    lo = np.zeros_like(bb)
+    hi = np.ones_like(bb)
+    for _ in range(70):
+        grow = lane_spend(hi) > bb
+        if not np.any(grow):
+            break
+        lo = np.where(grow, hi, lo)
+        hi = np.where(grow, 2.0 * hi, hi)
+        if np.any(hi > 1e18):
+            raise ConvergenceError(
+                "budget multiplier bracket diverged in aggregate kernel")
+    else:
+        if np.any(lane_spend(hi) > bb):
+            raise ConvergenceError(
+                "budget multiplier bracket diverged in aggregate kernel")
+    for _ in range(_LAM_SWEEPS):
+        mid = 0.5 * (lo + hi)
+        if np.all((mid <= lo) | (mid >= hi)):
+            break
+        high = lane_spend(mid) > bb
+        lo = np.where(high, mid, lo)
+        hi = np.where(high, hi, mid)
+    es, cs = _lane_responses(S, E, 0.5 * (lo + hi), ae, ac, ks, kg,
+                             p_e, p_c)
+    e[over] = es
+    c[over] = cs
+    return e, c
+
+
+def solve_connected_aggregate(params, prices,
+                              nu: float = 0.0) -> AggregateSolution:
+    """Connected-mode NEP equilibrium via aggregate consistency.
+
+    Args:
+        params: :class:`~repro.core.params.GameParameters`.
+        prices: :class:`~repro.core.params.Prices`.
+        nu: Shared-capacity multiplier of the GNEP decomposition — the
+            perceived edge price becomes ``p_e + nu`` while the budget
+            is charged at ``p_e`` (exactly as in the scalar kernel).
+
+    Returns:
+        :class:`AggregateSolution` — the profile plus the number of
+        consistency-function evaluations performed.
+    """
+    n = params.n
+    budgets = np.asarray(params.budget_array, dtype=float)
+    reward = float(params.reward)
+    beta = float(params.fork_rate)
+    gamma = beta * float(params.effective_h)
+    p_e = float(prices.p_e)
+    p_c = float(prices.p_c)
+    q_e = p_e + float(nu)
+    q_c = p_c
+    ks = reward * (1.0 - beta)
+    kg = reward * gamma
+
+    zeros = np.zeros(n)
+    if n < 2 or ks <= 0.0:
+        # A lone miner earns the whole (1-β) share regardless of effort
+        # (and the ē=0 model discontinuity zeroes the edge bonus), so
+        # its exact best response to empty opposition is inactivity —
+        # the same fixed point the sweeping solvers reach.
+        return AggregateSolution(zeros, zeros.copy(), 0)
+
+    counter = [0]
+    if kg <= 0.0:
+        # No edge bonus: one pool at the cheaper objective price (the
+        # scalar kernel's a_e < a_c tie-break sends ties to the cloud).
+        if q_e < q_c:
+            s = _solve_single_pool(n, ks, q_e, budgets / p_e, counter)
+            return AggregateSolution(s, zeros, counter[0])
+        s = _solve_single_pool(n, ks, q_c, budgets / p_c, counter)
+        return AggregateSolution(zeros, s, counter[0])
+
+    if q_e <= q_c:
+        # Edge no pricier but strictly more valuable: cloud dominated,
+        # single pool with stacked marginal value ks + kg at price q_e.
+        s = _solve_single_pool(n, ks + kg, q_e, budgets / p_e, counter)
+        return AggregateSolution(s.copy(), zeros, counter[0])
+
+    # General two-pool case: nested consistency roots.
+    a_e0 = np.full(n, q_e)
+    a_c0 = np.full(n, q_c)
+    dq = q_e - q_c
+
+    def totals_at(S: float, E: float) -> Tuple[float, float,
+                                               np.ndarray, np.ndarray]:
+        counter[0] += 1
+        e, c = _budget_responses(S, E, budgets, a_e0, a_c0, ks, kg,
+                                 p_e, p_c)
+        return float(np.sum(e)), float(np.sum(e) + np.sum(c)), e, c
+
+    def s_excess_factory(E: float):
+        def s_excess(S: float) -> float:
+            _, s_tot, _, _ = totals_at(S, E)
+            return s_tot - S
+        return s_excess
+
+    def inner_S(E: float) -> float:
+        """Total-spending consistency root ``S(E)`` (0 if none)."""
+        s_excess = s_excess_factory(E)
+        hi = ks / q_c
+        for _ in range(200):
+            if s_excess(hi) < 0.0:
+                break
+            hi *= 2.0
+        else:
+            raise ConvergenceError(
+                "aggregate kernel could not bracket total demand")
+        lo = (ks / q_c) * 1e-15
+        if s_excess(lo) <= 0.0:
+            return 0.0
+        return float(brentq(s_excess, lo, hi, xtol=_XTOL, rtol=_RTOL))
+
+    def e_excess(E: float) -> float:
+        S = inner_S(E)
+        if S <= 0.0:
+            return -E
+        e_tot, _, _, _ = totals_at(S, E)
+        return e_tot - E
+
+    e_hi = kg / dq
+    for _ in range(200):
+        if e_excess(e_hi) < 0.0:
+            break
+        e_hi *= 2.0
+    else:
+        raise ConvergenceError(
+            "aggregate kernel could not bracket edge demand")
+    e_lo = (kg / dq) * 1e-15
+    if e_excess(e_lo) <= 0.0:
+        # Edge pool empty at equilibrium (possible only through budget
+        # degeneracies); the cloud-only game remains one-dimensional.
+        s = _solve_single_pool(n, ks, q_c, budgets / p_c, counter)
+        return AggregateSolution(zeros, s, counter[0])
+    e_star = float(brentq(e_excess, e_lo, e_hi, xtol=_XTOL, rtol=_RTOL))
+    s_star = inner_S(e_star)
+    _, _, e, c = totals_at(s_star, e_star)
+    return AggregateSolution(e, c, counter[0])

@@ -1,0 +1,418 @@
+"""Perf-trajectory harness for the solver kernels.
+
+:func:`run_bench` times the equilibrium solvers across kernels
+(``scalar`` / ``running`` / ``vectorized``) and problem sizes, collects
+operator-eval counts from the telemetry registry, and packages
+everything into a JSON-serializable :class:`BenchReport`
+(``BENCH_solvers.json`` at the repo root is the committed trajectory).
+:func:`compare_reports` checks a fresh report against a stored baseline
+with a configurable regression tolerance; the comparison is
+machine-independent because both reports are normalized by the
+geometric mean of their shared cases before medians are compared, so a
+uniformly faster or slower machine shifts every case equally and
+cancels out.
+
+Honesty rules (no silent caps):
+
+* The sweeping kernels (``scalar``, ``running``) contract at
+  ``1 - O(1/n)`` and need ``~30 n`` sweeps, so full solves at
+  ``n >= 256`` take minutes.  Those cases run with an explicit sweep
+  cap (``max_iter``), are flagged ``capped`` in the report, and every
+  derived speedup is therefore a *lower bound* (the capped scalar time
+  undercounts the true scalar solve).
+* Standalone-decomposition and extragradient cases that would be
+  impractically slow at large ``n`` are skipped entirely and listed in
+  the report's ``notes``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+__all__ = ["BenchCaseResult", "BenchReport", "run_bench",
+           "compare_reports", "load_report", "write_report"]
+
+#: Version stamp of the JSON schema (bump on incompatible changes).
+SCHEMA_VERSION = 1
+
+#: Problem sizes of the full benchmark run.
+DEFAULT_SIZES = (8, 64, 256, 1024)
+
+#: Problem sizes of the ``--quick`` run (CI smoke).
+QUICK_SIZES = (8, 64)
+
+#: From this miner count on, the sweeping kernels run with a sweep cap.
+SWEEP_CAP_AT = 256
+
+#: The explicit sweep cap (``max_iter``) applied at ``SWEEP_CAP_AT``.
+SWEEP_CAP = 150
+
+#: Largest size the scalar standalone decomposition is benchmarked at —
+#: every shadow-price evaluation is a full inner NEP solve, so larger
+#: sizes take minutes per repeat.
+STANDALONE_SCALAR_MAX_N = 8
+
+#: Largest size the extragradient cases are benchmarked at.
+EXTRAGRADIENT_MAX_N = 8
+
+_SOLVERS = ("connected", "standalone", "extragradient")
+
+
+@dataclass
+class BenchCaseResult:
+    """Timing and convergence record of one (solver, kernel, n) case.
+
+    Attributes:
+        solver: ``"connected"``, ``"standalone"``, or
+            ``"extragradient"``.
+        kernel: Kernel the case ran with (``scalar`` / ``running`` /
+            ``vectorized``).
+        n: Miner count.
+        median_s: Median wall-clock seconds over ``repeats`` solves.
+        p95_s: Interpolated 95th-percentile wall clock.
+        repeats: Number of timed solves.
+        converged: Whether the final solve reported convergence
+            (capped sweeping cases legitimately report ``False``).
+        iterations: Iteration count of the final solve (sweeps for the
+            sweeping kernels, consistency evals for the aggregate
+            kernel, extragradient steps for the VI).
+        max_iter: Iteration budget the case ran with.
+        capped: True when ``max_iter`` was deliberately lowered to keep
+            the case tractable; timings are then lower bounds on the
+            uncapped solve.
+        counters: Operator-eval counts from one telemetry-instrumented
+            solve — ``br_sweeps`` (best-response sweeps / kernel
+            solves) and ``operator_evals`` (VI operator evaluations).
+    """
+
+    solver: str
+    kernel: str
+    n: int
+    median_s: float
+    p95_s: float
+    repeats: int
+    converged: bool
+    iterations: int
+    max_iter: int
+    capped: bool
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def case_id(self) -> str:
+        """Stable identifier used to match cases across reports."""
+        return f"{self.solver}/{self.kernel}/n={self.n}"
+
+
+@dataclass
+class BenchReport:
+    """One benchmark run: settings, cases, and derived speedups.
+
+    Attributes:
+        schema: JSON schema version (:data:`SCHEMA_VERSION`).
+        quick: Whether this was a ``--quick`` (CI smoke) run.
+        repeats: Timed solves per case.
+        sizes: Miner counts the run covered.
+        cases: Per-case results (see :class:`BenchCaseResult`).
+        speedups: ``{"<solver>/n=<n>": scalar_median /
+            vectorized_median}`` for every size where both kernels ran.
+        notes: Human-readable record of every cap and skip — a report
+            never truncates coverage silently.
+    """
+
+    schema: int = SCHEMA_VERSION
+    quick: bool = False
+    repeats: int = 0
+    sizes: List[int] = field(default_factory=list)
+    cases: List[BenchCaseResult] = field(default_factory=list)
+    speedups: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable view (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BenchReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        cases = [BenchCaseResult(**c) for c in payload.get("cases", [])]
+        return cls(schema=int(payload.get("schema", SCHEMA_VERSION)),
+                   quick=bool(payload.get("quick", False)),
+                   repeats=int(payload.get("repeats", 0)),
+                   sizes=[int(s) for s in payload.get("sizes", [])],
+                   cases=cases,
+                   speedups={str(k): float(v) for k, v in
+                             payload.get("speedups", {}).items()},
+                   notes=[str(x) for x in payload.get("notes", [])])
+
+    def summary_lines(self) -> List[str]:
+        """Fixed-width table of the cases, for terminal output."""
+        lines = [f"{'case':34s} {'median':>11s} {'p95':>11s} "
+                 f"{'iters':>6s} {'conv':>5s} {'cap':>4s}"]
+        for case in self.cases:
+            lines.append(
+                f"{case.case_id:34s} {case.median_s * 1e3:9.2f}ms "
+                f"{case.p95_s * 1e3:9.2f}ms {case.iterations:6d} "
+                f"{'yes' if case.converged else 'NO':>5s} "
+                f"{'yes' if case.capped else '-':>4s}")
+        for key in sorted(self.speedups):
+            lines.append(f"speedup {key}: {self.speedups[key]:.1f}x "
+                         f"(scalar / vectorized)")
+        return lines
+
+
+def _p95(samples: Sequence[float]) -> float:
+    """Interpolated 95th percentile of a small sample."""
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = 0.95 * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] + frac * (ordered[hi] - ordered[lo])
+
+
+def _collect_counters(solve: Callable[[], object]) -> Dict[str, int]:
+    """Run one instrumented solve and harvest operator-eval counters.
+
+    Opens a fresh (reset) telemetry window, so this must not run inside
+    an enabled telemetry session the caller wants to keep.
+    """
+    from ..telemetry import telemetry_session
+
+    with telemetry_session() as tel:
+        solve()
+        snapshot = tel.metrics.snapshot()
+    counters: Dict[str, int] = {}
+    sweeps = snapshot.get("br_sweep_seconds")
+    if sweeps is not None:
+        counters["br_sweeps"] = int(sum(
+            entry["count"] for entry in sweeps["values"]))
+    evals = snapshot.get("vi_operator_evals_total")
+    if evals is not None:
+        counters["operator_evals"] = int(sum(
+            entry["value"] for entry in evals["values"]))
+    return counters
+
+
+def _time_case(solver: str, kernel: str, n: int,
+               solve: Callable[[], object], repeats: int,
+               max_iter: int, capped: bool) -> BenchCaseResult:
+    """Time ``repeats`` cold solves plus one instrumented solve."""
+    times: List[float] = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = solve()
+        times.append(time.perf_counter() - start)
+    report = getattr(result, "report", None)
+    converged = bool(getattr(report, "converged", True))
+    iterations = int(getattr(report, "iterations", 0))
+    times.sort()
+    median = times[len(times) // 2] if len(times) % 2 else \
+        0.5 * (times[len(times) // 2 - 1] + times[len(times) // 2])
+    return BenchCaseResult(
+        solver=solver, kernel=kernel, n=n, median_s=median,
+        p95_s=_p95(times), repeats=repeats, converged=converged,
+        iterations=iterations, max_iter=max_iter, capped=capped,
+        counters=_collect_counters(solve))
+
+
+def _connected_cases(sizes: Sequence[int], repeats: int,
+                     notes: List[str]) -> List[BenchCaseResult]:
+    from ..core.nep import solve_connected_equilibrium
+    from ..core.params import Prices, homogeneous
+
+    prices = Prices(p_e=2.0, p_c=1.0)
+    out = []
+    for n in sizes:
+        params = homogeneous(n, 200.0, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+        for kernel in ("scalar", "running", "vectorized"):
+            capped = kernel != "vectorized" and n >= SWEEP_CAP_AT
+            max_iter = SWEEP_CAP if capped else 3000
+            if capped:
+                notes.append(
+                    f"connected/{kernel}/n={n}: sweep cap max_iter="
+                    f"{SWEEP_CAP} (full solve needs ~{30 * n} sweeps); "
+                    f"timings and derived speedups are lower bounds")
+
+            def solve(params=params, kernel=kernel, max_iter=max_iter):
+                return solve_connected_equilibrium(
+                    params, prices, max_iter=max_iter, kernel=kernel)
+
+            out.append(_time_case("connected", kernel, n, solve,
+                                  repeats, max_iter, capped))
+    return out
+
+
+def _standalone_cases(sizes: Sequence[int], repeats: int,
+                      notes: List[str]) -> List[BenchCaseResult]:
+    from ..core.gnep import solve_standalone_equilibrium
+    from ..core.params import EdgeMode, Prices, homogeneous
+
+    prices = Prices(p_e=2.0, p_c=1.0)
+    out = []
+    for n in sizes:
+        params = homogeneous(n, 1000.0, reward=1000.0, fork_rate=0.2,
+                             mode=EdgeMode.STANDALONE, e_max=80.0)
+        for kernel in ("scalar", "vectorized"):
+            if kernel == "scalar" and n > STANDALONE_SCALAR_MAX_N:
+                notes.append(
+                    f"standalone/scalar/n={n}: skipped (every "
+                    f"shadow-price evaluation is a full inner NEP "
+                    f"solve; minutes per repeat at this size)")
+                continue
+
+            def solve(params=params, kernel=kernel):
+                return solve_standalone_equilibrium(params, prices,
+                                                    kernel=kernel)
+
+            out.append(_time_case("standalone", kernel, n, solve,
+                                  repeats, 3000, False))
+    return out
+
+
+def _extragradient_cases(sizes: Sequence[int], repeats: int,
+                         notes: List[str]) -> List[BenchCaseResult]:
+    from ..core.gnep import solve_standalone_extragradient
+    from ..core.params import EdgeMode, Prices, homogeneous
+
+    prices = Prices(p_e=2.0, p_c=1.0)
+    out = []
+    for n in sizes:
+        if n > EXTRAGRADIENT_MAX_N:
+            notes.append(f"extragradient/n={n}: skipped (tens of "
+                         f"thousands of projection steps at this size)")
+            continue
+        params = homogeneous(n, 1000.0, reward=1000.0, fork_rate=0.2,
+                             mode=EdgeMode.STANDALONE, e_max=80.0)
+        for kernel in ("scalar", "vectorized"):
+
+            def solve(params=params, kernel=kernel):
+                return solve_standalone_extragradient(params, prices,
+                                                      kernel=kernel)
+
+            out.append(_time_case("extragradient", kernel, n, solve,
+                                  repeats, 50000, False))
+    return out
+
+
+def run_bench(sizes: Optional[Sequence[int]] = None,
+              repeats: Optional[int] = None,
+              quick: bool = False,
+              solvers: Optional[Sequence[str]] = None) -> BenchReport:
+    """Run the kernel benchmark suite and return a :class:`BenchReport`.
+
+    Args:
+        sizes: Miner counts to cover; defaults to
+            :data:`QUICK_SIZES` when ``quick`` else
+            :data:`DEFAULT_SIZES`.
+        repeats: Timed solves per case (median/p95 statistics);
+            defaults to 3 when ``quick`` else 5.
+        quick: CI-smoke preset — small sizes, fewer repeats.
+        solvers: Subset of ``("connected", "standalone",
+            "extragradient")`` to run; ``None`` runs all three.
+
+    Each case is also solved once inside a fresh telemetry session to
+    record operator-eval counters (sweeps, VI operator evaluations);
+    see the module docstring for the capping policy.
+    """
+    if sizes is None:
+        sizes = QUICK_SIZES if quick else DEFAULT_SIZES
+    sizes = [int(n) for n in sizes]
+    if any(n < 2 for n in sizes):
+        raise ValueError(f"sizes need at least 2 miners, got {sizes}")
+    if repeats is None:
+        repeats = 3 if quick else 5
+    if repeats < 1:
+        raise ValueError(f"repeats must be positive, got {repeats}")
+    chosen = _SOLVERS if solvers is None else tuple(solvers)
+    unknown = [s for s in chosen if s not in _SOLVERS]
+    if unknown:
+        raise ValueError(f"unknown solvers {unknown}; pick from "
+                         f"{_SOLVERS}")
+
+    notes: List[str] = []
+    cases: List[BenchCaseResult] = []
+    if "connected" in chosen:
+        cases.extend(_connected_cases(sizes, repeats, notes))
+    if "standalone" in chosen:
+        cases.extend(_standalone_cases(sizes, repeats, notes))
+    if "extragradient" in chosen:
+        cases.extend(_extragradient_cases(sizes, repeats, notes))
+
+    by_id = {c.case_id: c for c in cases}
+    speedups: Dict[str, float] = {}
+    for case in cases:
+        if case.kernel != "vectorized" or case.median_s <= 0:
+            continue
+        scalar = by_id.get(f"{case.solver}/scalar/n={case.n}")
+        if scalar is not None and scalar.median_s > 0:
+            speedups[f"{case.solver}/n={case.n}"] = \
+                scalar.median_s / case.median_s
+    return BenchReport(schema=SCHEMA_VERSION, quick=quick,
+                       repeats=repeats, sizes=sizes, cases=cases,
+                       speedups=speedups, notes=notes)
+
+
+def compare_reports(current: BenchReport, baseline: BenchReport,
+                    tolerance: float = 0.25) -> List[str]:
+    """Regression check of ``current`` against ``baseline``.
+
+    Both reports are normalized by the geometric mean of the median
+    times over their *shared* cases (same ``case_id`` and same capping
+    state), which cancels uniform machine-speed differences; a case
+    regresses when its normalized median grew by more than
+    ``tolerance`` (relative).  Returns one human-readable line per
+    regression — an empty list means the check passed.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    cur = {c.case_id: c for c in current.cases}
+    base = {c.case_id: c for c in baseline.cases}
+    common = sorted(
+        key for key in cur
+        if key in base
+        and cur[key].capped == base[key].capped
+        and cur[key].median_s > 0 and base[key].median_s > 0)
+    if len(common) < 2:
+        # One shared case normalizes to exactly 1.0 against itself;
+        # nothing meaningful to compare.
+        return []
+
+    def geomean(values: List[float]) -> float:
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    norm_cur = geomean([cur[k].median_s for k in common])
+    norm_base = geomean([base[k].median_s for k in common])
+    regressions = []
+    for key in common:
+        rel_cur = cur[key].median_s / norm_cur
+        rel_base = base[key].median_s / norm_base
+        if rel_cur > rel_base * (1.0 + tolerance):
+            growth = rel_cur / rel_base - 1.0
+            regressions.append(
+                f"{key}: normalized median {rel_cur:.3f} vs baseline "
+                f"{rel_base:.3f} (+{100.0 * growth:.0f}% > "
+                f"{100.0 * tolerance:.0f}% tolerance)")
+    return regressions
+
+
+def write_report(report: BenchReport,
+                 path: Union[str, Path]) -> Path:
+    """Write a report to ``path`` as indented, sorted JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report.to_dict(), indent=1,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: Union[str, Path]) -> BenchReport:
+    """Load a report previously written by :func:`write_report`."""
+    return BenchReport.from_dict(json.loads(Path(path).read_text()))

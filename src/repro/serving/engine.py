@@ -107,12 +107,13 @@ def _solve_scenario(spec: ScenarioSpec, warm: Optional[WarmStart],
             guarded = guarded_stackelberg(
                 params, guard=SolverGuard(), scheme=spec.scheme,
                 demand_tol=spec.tol, warm_start=warm_prices,
-                warm_profile=warm_profile)
+                warm_profile=warm_profile, kernel=spec.kernel)
             return guarded.value, guarded.solver, guarded.degraded
         se = solve_stackelberg(params, scheme=spec.scheme,
                                demand_tol=spec.tol,
                                warm_start=warm_prices,
-                               warm_profile=warm_profile)
+                               warm_profile=warm_profile,
+                               kernel=spec.kernel)
         return se, f"stackelberg-{se.scheme}", False
 
     if spec.scheme not in _MINER_SCHEMES:
@@ -125,20 +126,23 @@ def _solve_scenario(spec: ScenarioSpec, warm: Optional[WarmStart],
             raise ConfigurationError(
                 "the extragradient scheme requires standalone mode")
         eq = solve_standalone_extragradient(params, prices, tol=spec.tol,
-                                            initial=warm_profile)
+                                            initial=warm_profile,
+                                            kernel=spec.kernel)
         return eq, "vi-extragradient", False
     if use_guard and spec.scheme in ("auto", "decomposition",
                                      "best-response"):
         guarded = guarded_miner_equilibrium(
             params, prices, guard=SolverGuard(), tol=spec.tol,
-            initial=warm_profile)
+            initial=warm_profile, kernel=spec.kernel)
         return guarded.value, guarded.solver, guarded.degraded
     if params.mode is EdgeMode.STANDALONE:
         eq = solve_standalone_equilibrium(params, prices, tol=spec.tol,
-                                          initial=warm_profile)
+                                          initial=warm_profile,
+                                          kernel=spec.kernel)
         return eq, "gnep-decomposition", False
     eq = solve_connected_equilibrium(params, prices, tol=spec.tol,
-                                     initial=warm_profile)
+                                     initial=warm_profile,
+                                     kernel=spec.kernel)
     return eq, "nep-best-response", False
 
 

@@ -58,6 +58,13 @@ class ScenarioSpec:
             queries ``"auto"`` picks the mode-appropriate solver and
             ``"extragradient"`` forces the VI solver (standalone only).
         tol: Solver tolerance the scenario should be solved at.
+        kernel: Solver kernel (see
+            :func:`~repro.core.nep.solve_connected_equilibrium`). The
+            serving default is ``"vectorized"`` — the aggregate kernel
+            with exact fixed-point verification; pass ``"scalar"`` to
+            reproduce the golden reference path bit-for-bit. Part of
+            the cache key: results solved under different kernels
+            agree only to solver tolerance, not bit-for-bit.
         label: Free-form tag (not part of the cache key).
     """
 
@@ -65,6 +72,7 @@ class ScenarioSpec:
     prices: Optional[Prices] = None
     scheme: str = "auto"
     tol: float = 1e-9
+    kernel: str = "vectorized"
     label: str = field(default="", compare=False)
 
     @property
@@ -81,6 +89,7 @@ def _spec_fields(spec: ScenarioSpec,
         "kind": spec.kind,
         "mode": p.mode.value,
         "scheme": spec.scheme,
+        "kernel": spec.kernel,
         "quantum": repr(float(quantum)),
         "tol": quantize(spec.tol, quantum),
         "reward": quantize(p.reward, quantum),

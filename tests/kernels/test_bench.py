@@ -1,0 +1,123 @@
+"""Benchmark harness: report round-trips and regression detection.
+
+The regression comparison is geomean-normalized so a uniformly faster
+or slower machine never flags; these tests pin both directions — a
+single case that slows down relative to its peers is flagged, and a
+uniform slowdown across all cases is not.
+"""
+
+import pytest
+
+from repro.kernels import (BenchCaseResult, BenchReport,
+                           compare_reports, load_report, run_bench,
+                           write_report)
+
+
+def _case(solver="connected", kernel="scalar", n=8, median=1.0,
+          capped=False):
+    return BenchCaseResult(solver=solver, kernel=kernel, n=n,
+                           median_s=median, p95_s=median * 1.1,
+                           repeats=3, converged=True, iterations=10,
+                           max_iter=3000, capped=capped)
+
+
+def _report(cases):
+    return BenchReport(repeats=3, sizes=[8], cases=cases)
+
+
+class TestCompareReports:
+    def test_single_case_slowdown_is_flagged(self):
+        baseline = _report([_case(kernel="scalar", median=1.0),
+                            _case(kernel="running", median=1.0),
+                            _case(kernel="vectorized", median=1.0)])
+        current = _report([_case(kernel="scalar", median=2.0),
+                           _case(kernel="running", median=1.0),
+                           _case(kernel="vectorized", median=1.0)])
+        regressions = compare_reports(current, baseline, tolerance=0.25)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("connected/scalar/n=8")
+
+    def test_uniform_slowdown_is_machine_independent(self):
+        baseline = _report([_case(kernel="scalar", median=1.0),
+                            _case(kernel="running", median=0.5),
+                            _case(kernel="vectorized", median=2.0)])
+        # Same machine, 3x slower across the board: must not flag.
+        current = _report([_case(kernel="scalar", median=3.0),
+                           _case(kernel="running", median=1.5),
+                           _case(kernel="vectorized", median=6.0)])
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+
+    def test_within_tolerance_not_flagged(self):
+        baseline = _report([_case(kernel="scalar", median=1.0),
+                            _case(kernel="running", median=1.0)])
+        current = _report([_case(kernel="scalar", median=1.2),
+                           _case(kernel="running", median=1.0)])
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+        assert compare_reports(current, baseline, tolerance=0.05)
+
+    def test_capping_mismatch_excluded_from_comparison(self):
+        # A case whose capping state changed is not comparable: the
+        # capped timing is a lower bound, not the same measurement.
+        baseline = _report([_case(kernel="scalar", median=1.0,
+                                  capped=True),
+                            _case(kernel="running", median=1.0),
+                            _case(kernel="vectorized", median=1.0)])
+        current = _report([_case(kernel="scalar", median=50.0,
+                                 capped=False),
+                           _case(kernel="running", median=1.0),
+                           _case(kernel="vectorized", median=1.0)])
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+
+    def test_fewer_than_two_common_cases_is_vacuous(self):
+        baseline = _report([_case(kernel="scalar")])
+        current = _report([_case(kernel="scalar", median=100.0)])
+        assert compare_reports(current, baseline) == []
+
+    def test_negative_tolerance_rejected(self):
+        report = _report([_case()])
+        with pytest.raises(ValueError):
+            compare_reports(report, report, tolerance=-0.1)
+
+
+class TestReportSerialization:
+    def test_write_load_roundtrip(self, tmp_path):
+        report = _report([_case(), _case(kernel="vectorized",
+                                         median=0.1)])
+        report.speedups["connected/n=8"] = 10.0
+        report.notes.append("a note")
+        path = write_report(report, tmp_path / "bench.json")
+        loaded = load_report(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_summary_lines_cover_all_cases(self):
+        report = _report([_case(), _case(kernel="vectorized")])
+        report.speedups["connected/n=8"] = 3.0
+        lines = report.summary_lines()
+        text = "\n".join(lines)
+        assert "connected/scalar/n=8" in text
+        assert "connected/vectorized/n=8" in text
+        assert "speedup connected/n=8: 3.0x" in text
+
+
+class TestRunBench:
+    def test_smoke_connected_only(self):
+        report = run_bench(sizes=(4,), repeats=1,
+                           solvers=("connected",))
+        ids = {c.case_id for c in report.cases}
+        assert ids == {"connected/scalar/n=4",
+                       "connected/running/n=4",
+                       "connected/vectorized/n=4"}
+        assert "connected/n=4" in report.speedups
+        assert all(c.converged for c in report.cases)
+        assert all(not c.capped for c in report.cases)
+        # Telemetry counters were harvested from instrumented solves.
+        scalar = next(c for c in report.cases if c.kernel == "scalar")
+        assert scalar.counters.get("br_sweeps", 0) > 0
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            run_bench(sizes=(1,))
+        with pytest.raises(ValueError):
+            run_bench(sizes=(4,), repeats=0)
+        with pytest.raises(ValueError):
+            run_bench(sizes=(4,), solvers=("connected", "simd"))

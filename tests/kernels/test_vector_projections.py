@@ -1,0 +1,152 @@
+"""Vectorized projection kernels against exact references.
+
+:func:`project_budget_boxes` must reproduce the per-miner waterfilling
+projection (:func:`project_budget_orthant`) exactly; the joint
+box-capacity projection is validated against feasibility, idempotence,
+the VI optimality inequality ``(x - P(x)) . (y - P(x)) <= 0`` for
+feasible ``y``, and scipy's SLSQP on small instances.
+"""
+
+import numpy as np
+import pytest
+from scipy.optimize import minimize
+
+from repro.game.projections import (project_boxes_capacity,
+                                    project_budget_boxes,
+                                    project_budget_orthant)
+
+P_E, P_C = 2.0, 1.0
+
+
+def _random_points(rng, n):
+    # Include negative coordinates: extragradient steps can leave the
+    # orthant before projection.
+    e = rng.uniform(-20.0, 120.0, size=n)
+    c = rng.uniform(-20.0, 120.0, size=n)
+    budgets = rng.uniform(0.5, 150.0, size=n)
+    return e, c, budgets
+
+
+class TestProjectBudgetBoxes:
+    def test_matches_per_miner_waterfilling(self):
+        rng = np.random.default_rng(11)
+        prices = np.array([P_E, P_C])
+        for _ in range(40):
+            n = int(rng.integers(1, 30))
+            e, c, budgets = _random_points(rng, n)
+            pe, pc = project_budget_boxes(e, c, P_E, P_C, budgets)
+            for i in range(n):
+                ref = project_budget_orthant(
+                    np.array([e[i], c[i]]), prices, float(budgets[i]))
+                assert abs(pe[i] - ref[0]) < 1e-10
+                assert abs(pc[i] - ref[1]) < 1e-10
+
+    def test_feasible_points_unchanged(self):
+        e = np.array([1.0, 3.0])
+        c = np.array([2.0, 0.0])
+        budgets = np.array([10.0, 100.0])
+        pe, pc = project_budget_boxes(e, c, P_E, P_C, budgets)
+        np.testing.assert_array_equal(pe, e)
+        np.testing.assert_array_equal(pc, c)
+
+    def test_zero_budget_clips_to_origin(self):
+        pe, pc = project_budget_boxes(np.array([5.0]), np.array([5.0]),
+                                      P_E, P_C, np.array([0.0]))
+        assert pe[0] == 0.0 and pc[0] == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            project_budget_boxes(np.array([1.0]), np.array([1.0]),
+                                 0.0, P_C, np.array([1.0]))
+        with pytest.raises(ValueError):
+            project_budget_boxes(np.array([1.0]), np.array([1.0]),
+                                 P_E, P_C, np.array([-1.0]))
+
+
+def _feasible(e, c, budgets, e_max, slack=1e-8):
+    return (np.all(e >= -slack) and np.all(c >= -slack)
+            and np.all(P_E * e + P_C * c <= budgets + slack)
+            and float(np.sum(e)) <= e_max + slack)
+
+
+class TestProjectBoxesCapacity:
+    def test_result_is_feasible(self):
+        rng = np.random.default_rng(12)
+        for _ in range(30):
+            n = int(rng.integers(1, 25))
+            e, c, budgets = _random_points(rng, n)
+            e_max = float(rng.uniform(1.0, 0.4 * np.sum(budgets) / P_E))
+            pe, pc = project_boxes_capacity(e, c, P_E, P_C, budgets,
+                                            e_max)
+            assert _feasible(pe, pc, budgets, e_max)
+
+    def test_idempotent_on_feasible_points(self):
+        rng = np.random.default_rng(13)
+        n = 8
+        e, c, budgets = _random_points(rng, n)
+        e_max = 40.0
+        pe, pc = project_boxes_capacity(e, c, P_E, P_C, budgets, e_max)
+        pe2, pc2 = project_boxes_capacity(pe, pc, P_E, P_C, budgets,
+                                          e_max)
+        np.testing.assert_allclose(pe2, pe, rtol=0, atol=1e-9)
+        np.testing.assert_allclose(pc2, pc, rtol=0, atol=1e-9)
+
+    def test_vi_optimality_inequality(self):
+        # P(x) is the Euclidean projection iff
+        # (x - P(x)) . (y - P(x)) <= 0 for every feasible y.
+        rng = np.random.default_rng(14)
+        n = 6
+        e, c, budgets = _random_points(rng, n)
+        e_max = 15.0
+        pe, pc = project_boxes_capacity(e, c, P_E, P_C, budgets, e_max)
+        gap_e = e - pe
+        gap_c = c - pc
+        for _ in range(200):
+            ye = rng.uniform(0.0, budgets / P_E)
+            yc = np.maximum(
+                rng.uniform(0.0, (budgets - P_E * ye)) / P_C, 0.0)
+            total = float(np.sum(ye))
+            if total > e_max:
+                ye *= e_max / total
+            assert _feasible(ye, yc, budgets, e_max)
+            inner = float(np.dot(gap_e, ye - pe)
+                          + np.dot(gap_c, yc - pc))
+            assert inner <= 1e-6
+
+    def test_matches_slsqp_on_small_instances(self):
+        rng = np.random.default_rng(15)
+        for _ in range(6):
+            n = 3
+            e, c, budgets = _random_points(rng, n)
+            e_max = 10.0
+            pe, pc = project_boxes_capacity(e, c, P_E, P_C, budgets,
+                                            e_max)
+
+            def objective(z):
+                return (np.sum((z[:n] - e) ** 2)
+                        + np.sum((z[n:] - c) ** 2))
+
+            cons = [{"type": "ineq",
+                     "fun": lambda z, i=i:
+                         budgets[i] - P_E * z[i] - P_C * z[n + i]}
+                    for i in range(n)]
+            cons.append({"type": "ineq",
+                         "fun": lambda z: e_max - np.sum(z[:n])})
+            # Start SLSQP at the kernel's answer: if it is the true
+            # projection, SLSQP must stay put; if it were suboptimal,
+            # SLSQP would walk away and improve the objective.
+            x0 = np.concatenate([pe, pc])
+            res = minimize(objective, x0, method="SLSQP",
+                           bounds=[(0.0, None)] * (2 * n),
+                           constraints=cons,
+                           options={"maxiter": 400, "ftol": 1e-10})
+            assert objective(x0) <= res.fun + 1e-6
+            np.testing.assert_allclose(res.x[:n], pe, rtol=0,
+                                       atol=1e-4)
+            np.testing.assert_allclose(res.x[n:], pc, rtol=0,
+                                       atol=1e-4)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            project_boxes_capacity(np.array([1.0]), np.array([1.0]),
+                                   P_E, P_C, np.array([5.0]), 0.0)

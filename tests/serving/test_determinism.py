@@ -144,11 +144,12 @@ class TestServedEquilibriumMatchesDirect:
         params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
                              h=0.8)
         prices = Prices(p_e=2.0, p_c=1.0)
-        direct = solve_connected_equilibrium(params, prices)
+        spec = ScenarioSpec(params=params, prices=prices)
+        direct = solve_connected_equilibrium(params, prices,
+                                             kernel=spec.kernel)
         engine = ServingEngine(warm_start=False, use_guard=False,
                                max_workers=2)
-        res = engine.serve_batch(
-            [ScenarioSpec(params=params, prices=prices)])[0]
+        res = engine.serve_batch([spec])[0]
         np.testing.assert_array_equal(np.asarray(res.value.e), direct.e)
         np.testing.assert_array_equal(np.asarray(res.value.c), direct.c)
 

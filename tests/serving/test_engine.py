@@ -58,7 +58,8 @@ class TestServeBatch:
                                use_guard=False)
         spec = _grid(1)[0]
         direct = solve_connected_equilibrium(spec.params, spec.prices,
-                                             tol=spec.tol)
+                                             tol=spec.tol,
+                                             kernel=spec.kernel)
         served = engine.serve(spec).value
         assert np.array_equal(served.e, direct.e)
         assert np.array_equal(served.c, direct.c)
@@ -95,7 +96,8 @@ class TestServeBatch:
         spec = ScenarioSpec(_params())
         result = engine.serve(spec)
         assert result.ok
-        direct = solve_stackelberg(spec.params, demand_tol=spec.tol)
+        direct = solve_stackelberg(spec.params, demand_tol=spec.tol,
+                                   kernel=spec.kernel)
         assert result.value.prices == direct.prices
 
     def test_extragradient_scheme_requires_standalone(self):

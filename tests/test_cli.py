@@ -180,3 +180,91 @@ class TestMetricsCommand:
                      "--repeat", "1", "--format", "json"]) == 0
         capsys.readouterr()
         assert not telemetry_enabled()
+
+
+class TestBenchCommand:
+    """`repro-mining bench` plumbing, with run_bench stubbed for speed.
+
+    The real harness is exercised by tests/kernels/test_bench.py; here
+    we pin exit codes, baseline auto-loading, and report writing.
+    """
+
+    @staticmethod
+    def _fake_report(scalar_median):
+        from repro.kernels import BenchCaseResult, BenchReport
+
+        def case(kernel, median):
+            return BenchCaseResult(
+                solver="connected", kernel=kernel, n=8,
+                median_s=median, p95_s=median, repeats=1,
+                converged=True, iterations=5, max_iter=3000,
+                capped=False)
+
+        return BenchReport(repeats=1, sizes=[8],
+                           cases=[case("scalar", scalar_median),
+                                  case("running", 1.0),
+                                  case("vectorized", 1.0)],
+                           speedups={"connected/n=8": scalar_median},
+                           notes=["stubbed run"])
+
+    def _patch(self, monkeypatch, scalar_median):
+        import repro.kernels as kernels
+
+        monkeypatch.setattr(
+            kernels, "run_bench",
+            lambda **kw: self._fake_report(scalar_median))
+
+    def test_writes_report_and_exits_zero(self, tmp_path, capsys,
+                                          monkeypatch):
+        import json
+
+        self._patch(monkeypatch, 1.0)
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["cases"][0]["solver"] == "connected"
+        captured = capsys.readouterr()
+        assert "connected/scalar/n=8" in captured.out
+        assert "note: stubbed run" in captured.err
+
+    def test_previous_output_is_default_baseline(self, tmp_path,
+                                                 capsys, monkeypatch):
+        out = tmp_path / "bench.json"
+        self._patch(monkeypatch, 1.0)
+        assert main(["bench", "-o", str(out)]) == 0
+        # Second run: scalar case 3x slower relative to its peers.
+        self._patch(monkeypatch, 3.0)
+        assert main(["bench", "-o", str(out)]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION connected/scalar/n=8" in err
+
+    def test_no_compare_skips_baseline(self, tmp_path, monkeypatch):
+        out = tmp_path / "bench.json"
+        self._patch(monkeypatch, 1.0)
+        assert main(["bench", "-o", str(out)]) == 0
+        self._patch(monkeypatch, 3.0)
+        assert main(["bench", "-o", str(out), "--no-compare"]) == 0
+
+    def test_tolerance_flag_loosens_check(self, tmp_path, capsys,
+                                          monkeypatch):
+        out = tmp_path / "bench.json"
+        self._patch(monkeypatch, 1.0)
+        assert main(["bench", "-o", str(out)]) == 0
+        self._patch(monkeypatch, 1.1)
+        assert main(["bench", "-o", str(out),
+                     "--tolerance", "5.0"]) == 0
+
+    def test_bad_sizes_exits_two(self, tmp_path, capsys, monkeypatch):
+        self._patch(monkeypatch, 1.0)
+        assert main(["bench", "--sizes", "abc",
+                     "-o", str(tmp_path / "b.json")]) == 2
+        assert "bad --sizes" in capsys.readouterr().err
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys,
+                                           monkeypatch):
+        self._patch(monkeypatch, 1.0)
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["bench", "-o", str(tmp_path / "b.json"),
+                     "--baseline", str(bad)]) == 2
+        assert "could not load baseline" in capsys.readouterr().err
