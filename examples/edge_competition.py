@@ -38,7 +38,7 @@ def main() -> None:
         share = eq.total_edge / eq.total
         print(f"{block_size:12.0f} {cal.cloud_delay:10.2f}s "
               f"{cal.d_avg:7.2f}s {cal.fork_rate:7.4f} {share:11.1%}")
-        if block_size == 8e6:
+        if block_size == 8e6:  # repro: noqa[RPR002] — literal grid point
             chosen = cal
     print("  -> bigger blocks make the cloud riskier; demand migrates "
           "to the edge\n")

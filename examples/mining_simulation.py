@@ -46,7 +46,8 @@ def main() -> None:
     requests = [ResourceRequest(i, float(eq.e[i]), float(eq.c[i]))
                 for i in range(params.n)]
     allocations = dispatcher.dispatch_all(requests)
-    rejected = [a for a in allocations if a.edge_units == 0.0
+    rejected = [a for a in allocations
+                if a.edge_units == 0.0  # repro: noqa[RPR002] — sentinel
                 and a.request.edge_units > 0]
     print(f"\nDispatch: {len(allocations) - len(rejected)}/5 edge "
           f"requests admitted (equilibrium fits the capacity exactly)")

@@ -28,7 +28,9 @@ Subpackages:
 * :mod:`repro.serving` — batch equilibrium serving: scenario cache,
   nearest-neighbor warm starts, and parallel execution;
 * :mod:`repro.telemetry` — opt-in metrics, tracing, and event log
-  (disabled by default; zero-overhead when off).
+  (disabled by default; zero-overhead when off);
+* :mod:`repro.lint` — domain-aware AST static analysis (the RPR rule
+  engine behind ``repro-mining lint``).
 """
 
 from .core import (EdgeMode, GameParameters, MinerEquilibrium, Prices,

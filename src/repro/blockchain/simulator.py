@@ -101,6 +101,9 @@ class RoundSimulator:
         """One round under realized pools; returns ``(winner, orphaned)``."""
         E = float(e.sum())
         S = E + float(c.sum())
+        if S <= 0.0:
+            raise ConfigurationError(
+                "cannot simulate a round with zero total offloaded power")
         pools = np.concatenate([e, c])
         first = int(self._rng.choice(2 * self.n, p=pools / S))
         if first < self.n:
@@ -167,6 +170,9 @@ class RoundSimulator:
         """Vectorized rounds under *fixed* realized pools."""
         E = float(e.sum())
         S = E + float(c.sum())
+        if S <= 0.0:
+            raise ConfigurationError(
+                "cannot simulate rounds with zero total offloaded power")
         pools = np.concatenate([e, c])
         first = self._rng.choice(2 * self.n, size=rounds, p=pools / S)
         winners = np.where(first < self.n, first, first - self.n)

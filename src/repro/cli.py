@@ -11,6 +11,7 @@ Usage::
         --cache-dir .repro_cache
     repro-mining metrics --grid p_c:0.8:1.2:8 --format prom
     repro-mining bench --quick --output BENCH_solvers.json
+    repro-mining lint src tests --format json
     repro-mining fig4 --trace trace.json
 
 Every subcommand accepts ``--trace PATH``: telemetry is enabled for the
@@ -511,6 +512,85 @@ def metrics_main(argv=None) -> int:
     return 1 if errors else 0
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mining lint",
+        description="Domain-aware static analysis (RPR rules) over the "
+                    "solver stack; exits 1 when findings remain.")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--format", dest="fmt",
+                        choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(e.g. RPR001,RPR003)")
+    parser.add_argument("--ignore", default=None, metavar="IDS",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--statistics", action="store_true",
+                        help="append per-rule counts to the text report")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--output", default=None,
+                        help="also write the report to this path")
+    return parser
+
+
+def _parse_rule_ids(raw: str, known: frozenset) -> frozenset:
+    ids = frozenset(part.strip().upper()
+                    for part in raw.split(",") if part.strip())
+    unknown = ids - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}")
+    return ids
+
+
+def lint_main(argv=None) -> int:
+    """Entry point of the ``lint`` subcommand."""
+    from .lint import (ALL_RULES, LintConfig, lint_paths, render_json,
+                       render_text, rule_catalog)
+
+    args = build_lint_parser().parse_args(argv)
+    if args.list_rules:
+        for entry in rule_catalog():
+            print(f"{entry['id']} {entry['name']} "
+                  f"[{entry['severity']}]")
+            print(f"    {entry['description']}")
+        return 0
+    known = frozenset(rule.id for rule in ALL_RULES)
+    try:
+        select = (_parse_rule_ids(args.select, known)
+                  if args.select else None)
+        ignore = (_parse_rule_ids(args.ignore, known)
+                  if args.ignore else frozenset())
+    except ValueError as ex:
+        print(str(ex), file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    config = LintConfig(select=select, ignore=ignore)
+    findings = lint_paths(args.paths, config)
+    if args.fmt == "json":
+        report = render_json(findings)
+    else:
+        report = render_text(findings, statistics=args.statistics)
+    print(report)
+    if args.output is not None:
+        try:
+            Path(args.output).write_text(report + "\n")
+        except OSError as ex:
+            print(f"could not write {args.output!r}: {ex}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 1 if findings else 0
+
+
 def _print_experiments() -> None:
     for key in sorted(EXPERIMENTS):
         doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
@@ -526,6 +606,8 @@ def main(argv=None) -> int:
         return metrics_main(argv[1:])
     if argv and argv[0].lower() == "bench":
         return bench_main(argv[1:])
+    if argv and argv[0].lower() == "lint":
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_experiments:
         _print_experiments()

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import minimize
@@ -58,7 +58,8 @@ class BudgetType:
             raise ConfigurationError("type probability must be in (0, 1]")
 
 
-def _count_vectors(total: int, bins: int):
+def _count_vectors(total: int,
+                   bins: int) -> Iterator[Tuple[int, ...]]:
     """All ways to split ``total`` indistinguishable opponents into
     ``bins`` types (the multinomial support)."""
     if bins == 1:
@@ -81,7 +82,7 @@ class BayesianMinerGame:
     """
 
     def __init__(self, n: int, types: Sequence[BudgetType], reward: float,
-                 fork_rate: float, h: float = 1.0):
+                 fork_rate: float, h: float = 1.0) -> None:
         if n < 2:
             raise ConfigurationError("need n >= 2 miners")
         if len(types) < 1:
@@ -107,7 +108,8 @@ class BayesianMinerGame:
     def num_types(self) -> int:
         return len(self.types)
 
-    def _enumerate_profiles(self):
+    def _enumerate_profiles(
+            self) -> Tuple[List[Tuple[int, ...]], np.ndarray]:
         """Multinomial opponent type-count vectors and their weights."""
         k = self.num_types
         m = self.n - 1
@@ -149,7 +151,7 @@ class BayesianMinerGame:
         """SLSQP best response of one type to the symmetric strategy."""
         budget = self.types[type_index].budget
 
-        def neg(x):
+        def neg(x: np.ndarray) -> float:
             return -self.expected_utility(type_index, float(x[0]),
                                           float(x[1]), strategy, prices)
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from scipy.optimize import minimize_scalar
 
@@ -232,8 +232,10 @@ def csp_best_response_interior(p_e: float, n: int, reward: float, beta: float,
     return float(res.x)
 
 
-def _esp_anticipating_price(csp_response, esp_profit, edge_cost: float,
-                            p_e_hi: float = None) -> float:
+def _esp_anticipating_price(csp_response: Callable[[float], float],
+                            esp_profit: Callable[[float, float], float],
+                            edge_cost: float,
+                            p_e_hi: Optional[float] = None) -> float:
     """Maximize the ESP profit anticipating the CSP best response.
 
     ``csp_response(p_e) -> p_c*`` and ``esp_profit(p_e, p_c) -> V_e``.

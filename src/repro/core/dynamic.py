@@ -99,7 +99,8 @@ class DynamicGame:
     def __init__(self, population: PopulationModel, reward: float,
                  fork_rate: float, budget: float,
                  e_max: Optional[float] = None, h: float = 1.0,
-                 weights: str = "capacity", capacity_ramp: float = 0.1):
+                 weights: str = "capacity",
+                 capacity_ramp: float = 0.1) -> None:
         if reward <= 0:
             raise ConfigurationError("reward must be positive")
         if not 0.0 <= fork_rate < 1.0:
@@ -245,7 +246,8 @@ class DynamicGame:
                 t_val = float(brentq(total_gap, e_val, hi, xtol=1e-13))
             c_val = max(t_val - e_val, 0.0)
 
-            if c_val == 0.0:
+            # The max(., 0.0) clamp above yields an exact 0.0 corner.
+            if c_val == 0.0:  # repro: noqa[RPR002]
                 # Corner: re-optimize e alone against the full marginal.
                 def e_only_gap(e: float) -> float:
                     g_e, _ = self._marginals(e, 0.0, e_sym, c_sym)

@@ -16,7 +16,7 @@ projected-gradient fallback). It exists for two reasons:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -57,7 +57,7 @@ class MinerPlayer(Player):
     """
 
     def __init__(self, index: int, params: GameParameters, prices: Prices,
-                 use_analytic_br: bool = True):
+                 use_analytic_br: bool = True) -> None:
         self.index = index
         self.params = params
         self.prices = prices
@@ -65,7 +65,8 @@ class MinerPlayer(Player):
         self.space = BudgetBox(prices.as_array,
                                float(params.budget_array[index]))
 
-    def _pieces(self, own: np.ndarray, others: OpponentAggregates):
+    def _pieces(self, own: np.ndarray, others: OpponentAggregates
+                ) -> Tuple[float, float, float, float]:
         e_i, c_i = float(own[0]), float(own[1])
         S = others.s_others + e_i + c_i
         E = others.e_others + e_i
@@ -92,7 +93,8 @@ class MinerPlayer(Player):
         return np.array([g_s + g_e - self.prices.p_e,
                          g_s - self.prices.p_c])
 
-    def best_response(self, others: OpponentAggregates):
+    def best_response(self,
+                      others: OpponentAggregates) -> Optional[np.ndarray]:
         if not self.use_analytic_br:
             return None
         br = solve_best_response(
@@ -107,7 +109,10 @@ class MinerPlayer(Player):
 
 
 def build_miner_game(params: GameParameters, prices: Prices,
-                     use_analytic_br: bool = True):
+                     use_analytic_br: bool = True
+                     ) -> Tuple[ContinuousGame,
+                                Callable[[List[np.ndarray], int],
+                                         OpponentAggregates]]:
     """Construct the generic game and its opponent-context builder.
 
     Returns:

@@ -22,7 +22,7 @@ Two independent solvers are provided and cross-validated in the test suite:
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -173,7 +173,8 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
 
 
 def _joint_projection(params: GameParameters, prices: Prices,
-                      e_max: float, kernel: str = "scalar"):
+                      e_max: float, kernel: str = "scalar"
+                      ) -> Callable[[np.ndarray], np.ndarray]:
     """Projection onto {per-miner budget boxes} ∩ {Σ e_i <= E_max}.
 
     The joint vector layout is ``x = [e_0..e_{n-1}, c_0..c_{n-1}]``.

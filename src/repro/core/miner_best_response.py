@@ -103,7 +103,9 @@ def _edge_only(reward: float, beta: float, gamma: float, ctx: ResponseContext,
         g_e = reward * gamma * e_bar / (pool * pool) if pool > 0 else 0.0
         return g_s + g_e
 
-    if marginal(0.0) <= a_e or (s_bar == 0.0 and e_bar == 0.0):
+    # Exact opponents-at-origin corner check below.
+    if marginal(0.0) <= a_e or (
+            s_bar == 0.0 and e_bar == 0.0):  # repro: noqa[RPR002]
         return 0.0
     hi = 1.0
     while marginal(hi) > a_e:

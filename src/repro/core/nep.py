@@ -263,10 +263,12 @@ def solve_connected_equilibrium(params: GameParameters, prices: Prices,
     if kernel == "running":
         from ..kernels.batched_br import gauss_seidel_sweep_running
 
-        def sweep(e, c):
+        def sweep(e: np.ndarray,
+                  c: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
             return gauss_seidel_sweep_running(e, c, params, prices, nu=_nu)
     else:
-        def sweep(e, c):
+        def sweep(e: np.ndarray,
+                  c: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
             return best_response_profile(e, c, params, prices, nu=_nu)
 
     sweep_hist = (_TEL.metrics.histogram(

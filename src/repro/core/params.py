@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
@@ -105,8 +105,7 @@ class GameParameters:
     edge_cost: float = 0.0
     cloud_cost: float = 0.0
     d_avg: Optional[float] = None
-    _budgets_array: np.ndarray = field(init=False, repr=False, compare=False,
-                                       default=None)
+    _budgets_array: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         budgets = np.asarray(self.budgets, dtype=float)
@@ -130,7 +129,7 @@ class GameParameters:
             if self.e_max is None or self.e_max <= 0:
                 raise ConfigurationError(
                     "standalone mode requires a positive e_max capacity")
-            if self.h != 1.0:
+            if self.h != 1.0:  # repro: noqa[RPR002] — config sentinel
                 raise ConfigurationError(
                     "standalone mode models capacity via e_max; h must stay "
                     "at its default 1.0")
@@ -195,7 +194,7 @@ class GameParameters:
                 f"P_c < {bound:.6g} (Theorem 3)")
 
 
-def homogeneous(n: int, budget: float, **kwargs) -> GameParameters:
+def homogeneous(n: int, budget: float, **kwargs: Any) -> GameParameters:
     """Convenience constructor for ``n`` identical miners.
 
     Example:
@@ -207,8 +206,8 @@ def homogeneous(n: int, budget: float, **kwargs) -> GameParameters:
     return GameParameters(budgets=(float(budget),) * n, **kwargs)
 
 
-def from_calibration(calibration, n: int, budget: float, reward: float,
-                     **kwargs) -> GameParameters:
+def from_calibration(calibration: Any, n: int, budget: float,
+                     reward: float, **kwargs: Any) -> GameParameters:
     """Game parameters derived from a physical network calibration.
 
     Takes a :class:`repro.network.DelayCalibration` (duck-typed: anything

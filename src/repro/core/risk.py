@@ -58,7 +58,8 @@ def certainty_equivalent(win_prob: float, reward: float,
         raise ConfigurationError("reward must be non-negative")
     if risk_aversion < 0:
         raise ConfigurationError("risk_aversion must be non-negative")
-    if risk_aversion == 0.0 or reward == 0.0:
+    # Exact zero fast path (closed form). # repro: noqa[RPR002]
+    if risk_aversion == 0.0 or reward == 0.0:  # repro: noqa[RPR002]
         return reward * win_prob
     inner = 1.0 - win_prob + win_prob * math.exp(-risk_aversion * reward)
     return -math.log(inner) / risk_aversion
@@ -149,7 +150,7 @@ class RiskAverseGame:
         fixed-point sweep, single warm starts afterwards).
         """
 
-        def neg(x):
+        def neg(x: np.ndarray) -> float:
             return -self.utility(float(x[0]), float(x[1]), e_sym, c_sym,
                                  prices)
 

@@ -14,7 +14,7 @@ optimization queries it many times.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import minimize_scalar
@@ -51,7 +51,7 @@ class DemandOracle:
                  max_iter: int = 3000, fast: str = "auto",
                  warm_profile: Optional[Tuple[np.ndarray,
                                               np.ndarray]] = None,
-                 kernel: str = "scalar"):
+                 kernel: str = "scalar") -> None:
         if fast not in ("auto", False, True):
             raise ConfigurationError("fast must be 'auto', True or False")
         self.params = params
@@ -143,7 +143,8 @@ class DemandOracle:
             self.cloud_demand(prices)
 
 
-def _bounded_argmax(fn, lo: float, hi: float, xatol: float) -> float:
+def _bounded_argmax(fn: Callable[[float], float], lo: float, hi: float,
+                    xatol: float) -> float:
     res = minimize_scalar(lambda x: -fn(x), bounds=(lo, hi),
                           method="bounded", options={"xatol": xatol})
     return float(res.x)

@@ -357,7 +357,10 @@ def verify_sp_equilibrium(se: StackelbergEquilibrium,
             else:
                 try:
                     p_c_react = csp_best_response(oracle, p_e_dev)
-                except Exception:
+                # Any CSP-reaction failure means "no profitable
+                # reaction" for the deviation check, whatever scipy
+                # raises. # repro: noqa[RPR007]
+                except Exception:  # repro: noqa[RPR007]
                     p_c_react = None
                 if p_c_react is not None:
                     gain = (oracle.esp_profit(Prices(p_e_dev, p_c_react))

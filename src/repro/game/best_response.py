@@ -15,7 +15,7 @@ equilibrium from any feasible starting point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -69,7 +69,7 @@ class BestResponseResult:
         return self.report.converged
 
 
-def projected_gradient_response(player: Player, others,
+def projected_gradient_response(player: Player, others: Any,
                                 start: np.ndarray,
                                 step: float = 0.1,
                                 tol: float = 1e-10,

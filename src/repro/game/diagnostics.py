@@ -122,7 +122,7 @@ class ResidualRecorder:
     the most recent residuals are always retained.
     """
 
-    def __init__(self, tolerance: float, max_history: int = 1000):
+    def __init__(self, tolerance: float, max_history: int = 1000) -> None:
         if tolerance <= 0:
             raise ValueError(f"tolerance must be positive, got {tolerance}")
         self.tolerance = tolerance

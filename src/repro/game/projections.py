@@ -48,7 +48,7 @@ def project_halfspace(x: np.ndarray, a: np.ndarray, b: float) -> np.ndarray:
     if violation <= 0.0:
         return x
     denom = float(np.dot(a, a))
-    if denom == 0.0:
+    if denom == 0.0:  # repro: noqa[RPR002] — exact zero-normal check
         raise ValueError("half-space normal vector must be nonzero")
     return x - (violation / denom) * a
 

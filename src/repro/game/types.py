@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -91,14 +91,14 @@ class Player(abc.ABC):
     space: StrategySpace
 
     @abc.abstractmethod
-    def payoff(self, own: np.ndarray, others) -> float:
+    def payoff(self, own: np.ndarray, others: Any) -> float:
         """Payoff of playing ``own`` against opponent context ``others``."""
 
     @abc.abstractmethod
-    def payoff_gradient(self, own: np.ndarray, others) -> np.ndarray:
+    def payoff_gradient(self, own: np.ndarray, others: Any) -> np.ndarray:
         """Gradient of :meth:`payoff` with respect to ``own``."""
 
-    def best_response(self, others) -> Optional[np.ndarray]:
+    def best_response(self, others: Any) -> Optional[np.ndarray]:
         """Exact best response if available, else ``None``.
 
         Solvers fall back to projected-gradient maximization when a player
@@ -114,7 +114,7 @@ class ContinuousGame:
     keeps block boundaries explicit (miners own 2-vectors in this library).
     """
 
-    def __init__(self, players: Sequence[Player]):
+    def __init__(self, players: Sequence[Player]) -> None:
         if len(players) == 0:
             raise ValueError("a game needs at least one player")
         self.players: List[Player] = list(players)

@@ -204,7 +204,7 @@ def solve_vi_adaptive(problem: VIProblem,
             y = problem.project(x - current_step * fx)
             diff = y - x
             norm_diff = float(np.linalg.norm(diff))
-            if norm_diff == 0.0:
+            if norm_diff == 0.0:  # repro: noqa[RPR002] — exact 0 step
                 # y coincides with x, so F(y) is F(x) exactly — no
                 # evaluation needed (and the Lipschitz test is vacuous).
                 fy = fx

@@ -43,12 +43,15 @@ accuracy.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Callable, Tuple
 
 import numpy as np
 from scipy.optimize import brentq
 
 from ..exceptions import ConvergenceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.params import GameParameters, Prices
 
 __all__ = ["solve_connected_aggregate", "AggregateSolution"]
 
@@ -70,7 +73,8 @@ class AggregateSolution(Tuple[np.ndarray, np.ndarray, int]):
 
     __slots__ = ()
 
-    def __new__(cls, e: np.ndarray, c: np.ndarray, evals: int):
+    def __new__(cls, e: np.ndarray, c: np.ndarray,
+                evals: int) -> "AggregateSolution":
         return super().__new__(cls, (e, c, evals))
 
     @property
@@ -194,7 +198,7 @@ def _budget_responses(S: float, E: float, budgets: np.ndarray,
     return e, c
 
 
-def solve_connected_aggregate(params, prices,
+def solve_connected_aggregate(params: "GameParameters", prices: "Prices",
                               nu: float = 0.0) -> AggregateSolution:
     """Connected-mode NEP equilibrium via aggregate consistency.
 
@@ -257,7 +261,7 @@ def solve_connected_aggregate(params, prices,
                                  p_e, p_c)
         return float(np.sum(e)), float(np.sum(e) + np.sum(c)), e, c
 
-    def s_excess_factory(E: float):
+    def s_excess_factory(E: float) -> Callable[[float], float]:
         def s_excess(S: float) -> float:
             _, s_tot, _, _ = totals_at(S, E)
             return s_tot - S

@@ -27,11 +27,14 @@ and scalar responses agree far inside the ``1e-9`` contract pinned by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.params import GameParameters, Prices
 
 __all__ = ["BatchedBestResponse", "batched_best_response",
            "jacobi_sweep", "gauss_seidel_sweep_running"]
@@ -287,7 +290,8 @@ def batched_best_response(e_others: np.ndarray, s_others: np.ndarray, *,
             bb / safe, 1.0)
         eb_opt *= scale
         cb_opt *= scale
-        cost_b = np.where(scale != 1.0, bb, cost_b)
+        # scale is exactly 1.0 where untouched. # repro: noqa[RPR002]
+        cost_b = np.where(scale != 1.0, bb, cost_b)  # repro: noqa[RPR002]
         e[over] = eb_opt
         c[over] = cb_opt
         cost[over] = cost_b
@@ -296,7 +300,8 @@ def batched_best_response(e_others: np.ndarray, s_others: np.ndarray, *,
                                spending=cost)
 
 
-def jacobi_sweep(e: np.ndarray, c: np.ndarray, params, prices,
+def jacobi_sweep(e: np.ndarray, c: np.ndarray, params: "GameParameters",
+                 prices: "Prices",
                  nu: float = 0.0) -> Tuple[np.ndarray, np.ndarray]:
     """One simultaneous best-response sweep over all miners.
 
@@ -327,8 +332,9 @@ def jacobi_sweep(e: np.ndarray, c: np.ndarray, params, prices,
     return br.e, br.c
 
 
-def gauss_seidel_sweep_running(e: np.ndarray, c: np.ndarray, params,
-                               prices, nu: float = 0.0
+def gauss_seidel_sweep_running(e: np.ndarray, c: np.ndarray,
+                               params: "GameParameters", prices: "Prices",
+                               nu: float = 0.0
                                ) -> Tuple[np.ndarray, np.ndarray]:
     """Asynchronous sweep with running aggregates: ``O(n)`` per sweep.
 

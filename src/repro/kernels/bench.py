@@ -32,7 +32,12 @@ import math
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
+                    Sequence, Union)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.nep import MinerEquilibrium
+    from ..core.params import GameParameters
 
 __all__ = ["BenchCaseResult", "BenchReport", "run_bench",
            "compare_reports", "load_report", "write_report"]
@@ -242,7 +247,9 @@ def _connected_cases(sizes: Sequence[int], repeats: int,
                     f"{SWEEP_CAP} (full solve needs ~{30 * n} sweeps); "
                     f"timings and derived speedups are lower bounds")
 
-            def solve(params=params, kernel=kernel, max_iter=max_iter):
+            def solve(params: "GameParameters" = params,
+                      kernel: str = kernel,
+                      max_iter: int = max_iter) -> "MinerEquilibrium":
                 return solve_connected_equilibrium(
                     params, prices, max_iter=max_iter, kernel=kernel)
 
@@ -269,7 +276,8 @@ def _standalone_cases(sizes: Sequence[int], repeats: int,
                     f"solve; minutes per repeat at this size)")
                 continue
 
-            def solve(params=params, kernel=kernel):
+            def solve(params: "GameParameters" = params,
+                      kernel: str = kernel) -> "MinerEquilibrium":
                 return solve_standalone_equilibrium(params, prices,
                                                     kernel=kernel)
 
@@ -294,7 +302,8 @@ def _extragradient_cases(sizes: Sequence[int], repeats: int,
                              mode=EdgeMode.STANDALONE, e_max=80.0)
         for kernel in ("scalar", "vectorized"):
 
-            def solve(params=params, kernel=kernel):
+            def solve(params: "GameParameters" = params,
+                      kernel: str = kernel) -> "MinerEquilibrium":
                 return solve_standalone_extragradient(params, prices,
                                                       kernel=kernel)
 

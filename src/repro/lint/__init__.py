@@ -1,0 +1,48 @@
+"""repro.lint — domain-aware AST static analysis for the solver stack.
+
+A visitor-based rule engine over Python's :mod:`ast` with eight RPR
+rules encoding the numerical conventions no general-purpose linter
+checks: explicit seeded RNGs (RPR001), tolerance-based float
+comparison (RPR002), zero-guarded divisions by game aggregates
+(RPR003), the ``kernel``/warm-start seams on every solver entry point
+(RPR004), mutable defaults (RPR005), solver determinism (RPR006),
+narrow exception handling outside the resilience layer (RPR007), and
+the zero-overhead telemetry contract in hot loops (RPR008).
+
+Findings can be suppressed per line with ``# repro: noqa`` (all
+rules) or ``# repro: noqa[RPR002,RPR007]`` (listed rules).  The CLI
+front end is ``repro-mining lint``; see ``docs/STATIC_ANALYSIS.md``
+for the rule catalog with rationale.
+
+Usage::
+
+    from repro.lint import lint_paths, render_text
+
+    findings = lint_paths(["src"])
+    print(render_text(findings))
+"""
+
+from __future__ import annotations
+
+from .engine import (Finding, LintConfig, LintContext, Rule,
+                     iter_python_files, lint_path, lint_paths,
+                     lint_source, parse_suppressions)
+from .reporters import render_json, render_text, summarize
+from .rules import ALL_RULES, rule_catalog
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintContext",
+    "Rule",
+    "ALL_RULES",
+    "rule_catalog",
+    "lint_source",
+    "lint_path",
+    "lint_paths",
+    "iter_python_files",
+    "parse_suppressions",
+    "render_text",
+    "render_json",
+    "summarize",
+]

@@ -1,0 +1,462 @@
+"""The rule engine: one AST walk per file, fanning out to every rule.
+
+The engine owns everything rules should not have to reimplement:
+file discovery, parsing, the lexical context stacks (enclosing
+functions, loops, ``if`` tests), ``# repro: noqa[...]`` suppression
+comments, and rule selection.  A rule is a small object with an id,
+a severity, and ``on_<NodeType>`` hooks; the :class:`_Walker` visits
+the tree once and dispatches each node to every interested rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Any, Dict, FrozenSet, Iterable, Iterator, List,
+                    Optional, Sequence, Tuple, Union)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintContext",
+    "Rule",
+    "lint_source",
+    "lint_path",
+    "lint_paths",
+    "iter_python_files",
+    "parse_suppressions",
+]
+
+#: ``# repro: noqa`` or ``# repro: noqa[RPR001,RPR007]`` — the only
+#: suppression syntax the engine honours.  Matched per physical line.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+#: Packages whose modules hold solver/numerical code; several rules
+#: scope themselves to these (see :class:`LintContext` helpers).
+SOLVER_PACKAGES = ("core", "game", "kernels", "serving")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: str = "error"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run, at which severity, with which options.
+
+    Args:
+        select: When given, only these rule ids run.
+        ignore: Rule ids switched off entirely.
+        severities: Per-rule severity overrides (``"error"`` or
+            ``"warning"``).
+        rule_options: Per-rule option dictionaries merged over each
+            rule's defaults (e.g. extra aggregate names for RPR003).
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+    severities: Dict[str, str] = field(default_factory=dict)
+    rule_options: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if self.select is not None:
+            return rule_id in self.select
+        return True
+
+
+class LintContext:
+    """Per-file state shared by the walker and every rule."""
+
+    def __init__(self, path: Union[str, Path], source: str,
+                 config: LintConfig):
+        self.path = str(path)
+        self.source = source
+        self.config = config
+        self.lines = source.splitlines()
+        self.suppressions = parse_suppressions(self.lines)
+        # Lexical stacks maintained by the walker.
+        self.function_stack: List[ast.AST] = []
+        self.loop_stack: List[ast.AST] = []
+        self.if_test_stack: List[str] = []
+        # Names assigned from a floor expression (max(...), a positive
+        # constant offset); one scope set per enclosing function.
+        self.floored_stack: List[set] = [set()]
+        self._parts = self._module_parts()
+
+    # -- module classification -------------------------------------
+    def _module_parts(self) -> Tuple[str, ...]:
+        return Path(self.path).parts
+
+    def in_package(self, name: str) -> bool:
+        """True when the file lives under a package directory *name*."""
+        return name in self._parts
+
+    @property
+    def module_name(self) -> str:
+        return Path(self.path).stem
+
+    @property
+    def is_test_file(self) -> bool:
+        return ("tests" in self._parts
+                or self.module_name.startswith("test_")
+                or self.module_name.startswith("bench_")
+                or self.module_name == "conftest")
+
+    @property
+    def is_bench_module(self) -> bool:
+        return self.module_name.startswith("bench")
+
+    @property
+    def is_solver_module(self) -> bool:
+        """Numerical solver code: core/game/kernels/serving, not bench."""
+        if self.is_test_file or self.is_bench_module:
+            return False
+        return any(self.in_package(p) for p in SOLVER_PACKAGES)
+
+    # -- suppression + emission ------------------------------------
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        codes = self.suppressions.get(line)
+        if codes is None:
+            return False
+        return not codes or rule_id in codes
+
+    def finding(self, rule: "Rule", node: ast.AST,
+                message: str) -> Optional[Finding]:
+        """Build a finding for *node* unless a noqa comment covers it."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressed(rule.id, line):
+            return None
+        severity = self.config.severities.get(rule.id, rule.severity)
+        return Finding(rule_id=rule.id, message=message, path=self.path,
+                       line=line, col=col, severity=severity)
+
+    # -- convenience for rules -------------------------------------
+    def unparse(self, node: ast.AST) -> str:
+        try:
+            return ast.unparse(node)
+        except Exception:  # repro: noqa[RPR007] — best-effort rendering
+            return "<expr>"
+
+    def guarded_by(self, needle: str) -> bool:
+        """Does any enclosing ``if``/``while``/ternary test mention
+        *needle* (textually)?  The cheap lexical notion of "guarded"
+        used by RPR003."""
+        return any(needle in test for test in self.if_test_stack)
+
+    def is_floored(self, name: str) -> bool:
+        """Was *name* last assigned from a floor expression (e.g.
+        ``denom = max(x, 1.0)``) in an enclosing scope?"""
+        return any(name in scope for scope in self.floored_stack)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``name``/``severity``/``description``/
+    ``rationale`` and implement ``on_<NodeType>`` hooks returning an
+    iterable of :class:`Finding` (or ``None``).  ``options`` holds
+    rule-specific configuration merged with any
+    :attr:`LintConfig.rule_options` entry.
+    """
+
+    id: str = "RPR000"
+    name: str = "abstract-rule"
+    severity: str = "error"
+    description: str = ""
+    rationale: str = ""
+    default_options: Dict[str, Any] = {}
+
+    def __init__(self, options: Optional[Dict[str, Any]] = None):
+        merged = dict(self.default_options)
+        if options:
+            merged.update(options)
+        self.options = merged
+
+    def hooks(self) -> Dict[str, Any]:
+        """Map node-class-name -> bound hook method."""
+        out = {}
+        for attr in dir(self):
+            if attr.startswith("on_"):
+                out[attr[3:]] = getattr(self, attr)
+        return out
+
+
+class _Walker(ast.NodeVisitor):
+    """Single-pass dispatcher: maintains the context stacks and fans
+    each node out to every rule hook registered for its type."""
+
+    def __init__(self, ctx: LintContext, rules: Sequence[Rule]):
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        # node-class-name -> [(rule, hook), ...]
+        self.dispatch: Dict[str, List[Tuple[Rule, Any]]] = {}
+        for rule in rules:
+            for node_name, hook in rule.hooks().items():
+                self.dispatch.setdefault(node_name, []).append(
+                    (rule, hook))
+
+    def _emit(self, result: Optional[Iterable[Optional[Finding]]]) -> None:
+        if result is None:
+            return
+        for finding in result:
+            if finding is not None:
+                self.findings.append(finding)
+
+    def _fan_out(self, node: ast.AST) -> None:
+        for _rule, hook in self.dispatch.get(type(node).__name__, ()):
+            self._emit(hook(node, self.ctx))
+
+    # -- traversal --------------------------------------------------
+    def _visit_block(self, stmts: Sequence[ast.stmt]) -> None:
+        """Visit a statement sequence, accumulating sibling guards:
+        once an ``if``/``assert`` mentioning some expression has run,
+        later statements in the same block count as guarded by its
+        test (covers the ``if S == 0: return ...`` early-exit and the
+        ``if S <= 0: S = eps`` reassignment idioms)."""
+        pushed = 0
+        for stmt in stmts:
+            self.visit(stmt)
+            self._track_assign(stmt)
+            if isinstance(stmt, ast.If):
+                self.ctx.if_test_stack.append(self.ctx.unparse(stmt.test))
+                pushed += 1
+            elif isinstance(stmt, ast.Assert):
+                self.ctx.if_test_stack.append(self.ctx.unparse(stmt.test))
+                pushed += 1
+        for _ in range(pushed):
+            self.ctx.if_test_stack.pop()
+
+    def _visit_fields(self, node: ast.AST) -> None:
+        """Visit children, routing statement lists through
+        :meth:`_visit_block`."""
+        for _name, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                if value and all(isinstance(v, ast.stmt) for v in value):
+                    self._visit_block(value)
+                else:
+                    for item in value:
+                        if isinstance(item, ast.AST):
+                            self.visit(item)
+            elif isinstance(value, ast.AST):
+                self.visit(value)
+
+    # -- floor-assignment tracking ---------------------------------
+    @staticmethod
+    def _has_positive_offset(node: ast.AST) -> bool:
+        """``512.0 + x`` (recursively over ``+``) is bounded away
+        from zero when the rest is non-negative."""
+        if not (isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Add)):
+            return False
+        for side in (node.left, node.right):
+            if (isinstance(side, ast.Constant)
+                    and isinstance(side.value, (int, float))
+                    and side.value > 0):
+                return True
+            if _Walker._has_positive_offset(side):
+                return True
+        return False
+
+    @staticmethod
+    def _is_floor_expr(node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "max":
+                return len(node.args) >= 2
+            if isinstance(func, ast.Attribute) and func.attr == "maximum":
+                return True  # np.maximum(...)
+        return _Walker._has_positive_offset(node)
+
+    def _track_assign(self, node: ast.AST) -> None:
+        scope = self.ctx.floored_stack[-1]
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, ast.AugAssign):
+            targets, value = [node.target], None
+        else:
+            return
+        floored = value is not None and self._is_floor_expr(value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if floored:
+                    scope.add(target.id)
+                else:
+                    scope.discard(target.id)
+
+    # -- stack-maintaining visits ----------------------------------
+    def _visit_function(self, node: ast.AST) -> None:
+        self._fan_out(node)
+        self.ctx.function_stack.append(node)
+        self.ctx.floored_stack.append(set())
+        self._visit_fields(node)
+        self.ctx.floored_stack.pop()
+        self.ctx.function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._fan_out(node)
+        self.ctx.loop_stack.append(node)
+        if isinstance(node, ast.While):
+            # ``while S > 0:`` guards its own body.
+            self.ctx.if_test_stack.append(self.ctx.unparse(node.test))
+            self._visit_fields(node)
+            self.ctx.if_test_stack.pop()
+        else:
+            self._visit_fields(node)
+        self.ctx.loop_stack.pop()
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop
+
+    def visit_If(self, node: ast.If) -> None:
+        self._fan_out(node)
+        test_src = self.ctx.unparse(node.test)
+        # Both branches count as guarded: the else of
+        # ``if S == 0: ... else: x / S`` is exactly the guarded path,
+        # and the lexical needle check cannot tell polarities apart.
+        self.ctx.if_test_stack.append(test_src)
+        self.visit(node.test)
+        self._visit_block(node.body)
+        if node.orelse:
+            self._visit_block(node.orelse)
+        self.ctx.if_test_stack.pop()
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._fan_out(node)
+        test_src = self.ctx.unparse(node.test)
+        self.ctx.if_test_stack.append(test_src)
+        self.visit(node.test)
+        self.visit(node.body)
+        self.visit(node.orelse)
+        self.ctx.if_test_stack.pop()
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._fan_out(node)
+        self.ctx.if_test_stack.append(self.ctx.unparse(node.test))
+        self._visit_fields(node)
+        self.ctx.if_test_stack.pop()
+
+    def visit(self, node: ast.AST) -> None:
+        method = "visit_" + type(node).__name__
+        if method in type(self).__dict__:
+            getattr(self, method)(node)
+        else:
+            self._fan_out(node)
+            self._visit_fields(node)
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Line number (1-based) -> suppressed rule ids.
+
+    An empty frozenset means *all* rules are suppressed on that line
+    (bare ``# repro: noqa``).
+    """
+    out: Dict[int, FrozenSet[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        if "repro:" not in line:
+            continue
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[i] = frozenset()
+        else:
+            out[i] = frozenset(
+                c.strip() for c in codes.split(",") if c.strip())
+    return out
+
+
+def _active_rules(config: LintConfig) -> List[Rule]:
+    # Imported here to avoid a cycle (rules import Rule from engine).
+    from .rules import ALL_RULES
+
+    rules = []
+    for rule_cls in ALL_RULES:
+        if config.enabled(rule_cls.id):
+            rules.append(rule_cls(config.rule_options.get(rule_cls.id)))
+    return rules
+
+
+def lint_source(source: str, path: Union[str, Path] = "<string>",
+                config: Optional[LintConfig] = None) -> List[Finding]:
+    """Lint one source string; *path* drives module classification."""
+    config = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(rule_id="RPR999", severity="error",
+                        message=f"syntax error: {exc.msg}",
+                        path=str(path), line=exc.lineno or 1,
+                        col=exc.offset or 0)]
+    ctx = LintContext(path, source, config)
+    walker = _Walker(ctx, _active_rules(config))
+    walker.visit(tree)
+    return sorted(walker.findings, key=Finding.sort_key)
+
+
+def lint_path(path: Union[str, Path],
+              config: Optional[LintConfig] = None) -> List[Finding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), p, config)
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` files, skipping
+    caches and hidden directories."""
+    seen = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for c in candidates:
+            if any(part.startswith(".") or part == "__pycache__"
+                   for part in c.parts):
+                continue
+            if c not in seen:
+                seen.add(c)
+                yield c
+
+
+def lint_paths(paths: Iterable[Union[str, Path]],
+               config: Optional[LintConfig] = None) -> List[Finding]:
+    """Lint every python file under *paths* (files or directories)."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_path(file_path, config))
+    return sorted(findings, key=Finding.sort_key)

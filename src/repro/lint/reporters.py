@@ -1,0 +1,54 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, List, Sequence
+
+from .engine import Finding
+from .rules import rule_catalog
+
+__all__ = ["render_text", "render_json", "summarize"]
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """Counts by rule and by severity."""
+    by_rule = Counter(f.rule_id for f in findings)
+    by_severity = Counter(f.severity for f in findings)
+    return {
+        "total": len(findings),
+        "by_rule": dict(sorted(by_rule.items())),
+        "by_severity": dict(sorted(by_severity.items())),
+    }
+
+
+def render_text(findings: Sequence[Finding],
+                statistics: bool = False) -> str:
+    """One ``path:line:col: RPRxxx [severity] message`` line per
+    finding, optionally followed by per-rule counts."""
+    lines: List[str] = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id} [{f.severity}] "
+        f"{f.message}"
+        for f in findings
+    ]
+    if statistics and findings:
+        lines.append("")
+        for rule_id, count in sorted(
+                Counter(f.rule_id for f in findings).items()):
+            lines.append(f"{rule_id}: {count}")
+    if not findings:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], indent: int = 2) -> str:
+    """Stable JSON document: findings + summary + rule catalog
+    versioned for downstream tooling."""
+    doc = {
+        "version": 1,
+        "findings": [f.to_dict() for f in findings],
+        "summary": summarize(findings),
+        "rules": rule_catalog(),
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)

@@ -1,0 +1,431 @@
+"""The RPR rule catalog: domain conventions of the solver stack.
+
+Each rule encodes a convention whose silent violation produces
+plausible-but-wrong equilibria rather than crashes — see
+``docs/STATIC_ANALYSIS.md`` for the full rationale catalog.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
+
+from .engine import Finding, LintContext, Rule
+
+__all__ = ["ALL_RULES", "rule_catalog"]
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+class GlobalNumpyRNG(Rule):
+    """RPR001 — ``np.random.*`` module-level RNG instead of a passed
+    ``numpy.random.Generator``."""
+
+    id = "RPR001"
+    name = "global-numpy-rng"
+    severity = "error"
+    description = ("Call through the global numpy RNG (np.random.*) "
+                   "instead of a seeded, explicitly passed Generator.")
+    rationale = ("Global RNG state couples experiments: results change "
+                 "with import order and parallel scheduling, silently "
+                 "breaking reproducibility of sampled populations and "
+                 "fault plans.")
+    #: Constructors/types reachable through np.random that are fine.
+    default_options: Dict[str, Any] = {
+        "allowed": ("default_rng", "Generator", "SeedSequence",
+                    "BitGenerator", "PCG64", "PCG64DXSM", "Philox",
+                    "SFC64", "MT19937"),
+    }
+
+    def on_Attribute(self, node: ast.Attribute,
+                     ctx: LintContext) -> Iterator[Optional[Finding]]:
+        chain = _attr_chain(node)
+        if not chain or len(chain) < 3:
+            return
+        if chain[0] in ("np", "numpy") and chain[1] == "random":
+            leaf = chain[2]
+            if leaf not in self.options["allowed"]:
+                yield ctx.finding(
+                    self, node,
+                    f"np.random.{leaf} uses the global RNG; pass a "
+                    f"seeded np.random.Generator instead")
+
+
+class FloatEquality(Rule):
+    """RPR002 — ``==``/``!=`` against a float literal."""
+
+    id = "RPR002"
+    name = "float-equality"
+    severity = "error"
+    description = ("Exact equality comparison against a float literal; "
+                   "use a tolerance (math.isclose / np.isclose) or "
+                   "suppress for deliberate exact-sentinel checks.")
+    rationale = ("Solver outputs are the result of iterative floating "
+                 "arithmetic; exact comparison flips on 1-ulp changes "
+                 "(kernel choice, BLAS build) and turns report/analysis "
+                 "branches into coin flips.")
+    #: Test assertions compare exactly-representable constructed
+    #: values by design; the rule targets library branching.
+    default_options: Dict[str, Any] = {"include_tests": False}
+
+    def on_Compare(self, node: ast.Compare,
+                   ctx: LintContext) -> Iterator[Optional[Finding]]:
+        if ctx.is_test_file and not self.options["include_tests"]:
+            return
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left, *node.comparators]
+        for operand in operands:
+            if (isinstance(operand, ast.Constant)
+                    and isinstance(operand.value, float)):
+                yield ctx.finding(
+                    self, node,
+                    f"float equality `{ctx.unparse(node)}`: compare "
+                    f"with a tolerance, or mark the exact sentinel "
+                    f"check with `# repro: noqa[RPR002]`")
+                return
+
+
+class UnguardedAggregateDivision(Rule):
+    """RPR003 — division by a game aggregate that can be zero."""
+
+    id = "RPR003"
+    name = "unguarded-aggregate-division"
+    severity = "error"
+    description = ("Division whose denominator is a game aggregate "
+                   "(`S`, `E + C`, a sum(...) / .sum() call) with no "
+                   "enclosing zero-guard mentioning the denominator.")
+    rationale = ("Total offloaded power S = E + C is exactly zero at "
+                 "boundary price points (all-local equilibria); an "
+                 "unguarded S division yields inf/nan that propagates "
+                 "into win probabilities instead of crashing.")
+    default_options: Dict[str, Any] = {
+        # Bare names treated as aggregates when used as a denominator.
+        "aggregate_names": ("S", "E", "C", "total", "denom"),
+        # Pairs that form an aggregate when added (either order).
+        "aggregate_sums": (("E", "C"),),
+    }
+
+    def _is_sum_call(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "sum":
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "sum":
+            return True  # arr.sum(), np.sum(...)
+        return False
+
+    def _is_aggregate(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self.options["aggregate_names"]
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left, right = node.left, node.right
+            if isinstance(left, ast.Name) and isinstance(right, ast.Name):
+                pair = {left.id, right.id}
+                return any(set(p) == pair
+                           for p in self.options["aggregate_sums"])
+        return self._is_sum_call(node)
+
+    def on_BinOp(self, node: ast.BinOp,
+                 ctx: LintContext) -> Iterator[Optional[Finding]]:
+        if not isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Mod)):
+            return
+        denom = node.right
+        if not self._is_aggregate(denom):
+            return
+        denom_src = ctx.unparse(denom)
+        # Lexically guarded: an enclosing if/ternary/assert test
+        # mentions the denominator (e.g. `if S > 0: ... x / S`), or
+        # the name was assigned from a floor (`denom = max(x, 1.0)`).
+        needle = denom_src
+        if isinstance(denom, ast.Name):
+            needle = denom.id
+            if ctx.is_floored(needle):
+                return
+        if ctx.guarded_by(needle):
+            return
+        yield ctx.finding(
+            self, node,
+            f"division by aggregate `{denom_src}` with no enclosing "
+            f"zero-guard; guard with `if {denom_src} > 0` or use a "
+            f"max(eps, .) floor")
+
+
+class SolverSignatureDrift(Rule):
+    """RPR004 — scenario entry points must keep the ``kernel`` +
+    warm-start seams."""
+
+    id = "RPR004"
+    name = "solver-signature-drift"
+    severity = "error"
+    description = ("A known solver entry point is missing the `kernel` "
+                   "parameter or a warm-start parameter "
+                   "(`initial`/`warm_start`), or no longer forwards "
+                   "`kernel=` to a callee.")
+    rationale = ("The serving engine, guards, and benchmarks thread "
+                 "kernel/warm-start through every entry point; a "
+                 "dropped kwarg silently falls back to cold scalar "
+                 "solves and invalidates cache keys.")
+    default_options: Dict[str, Any] = {
+        # Entry points checked wherever they are defined.
+        "entry_points": ("solve_connected_equilibrium",
+                         "solve_standalone_equilibrium",
+                         "solve_standalone_extragradient",
+                         "solve_stackelberg"),
+        "warm_params": ("initial", "warm_start"),
+        # Entry points whose body consumes `kernel` directly instead
+        # of forwarding it as a keyword (the NEP solver dispatches on
+        # it); for these the forward check is skipped.
+        "no_forward_check": ("solve_connected_equilibrium",),
+    }
+
+    def _param_names(self, node: ast.FunctionDef) -> List[str]:
+        a = node.args
+        names = [p.arg for p in a.posonlyargs + a.args + a.kwonlyargs]
+        if a.vararg:
+            names.append(a.vararg.arg)
+        if a.kwarg:
+            names.append(a.kwarg.arg)
+        return names
+
+    def _forwards_kernel(self, node: ast.FunctionDef) -> bool:
+        for call in ast.walk(node):
+            if isinstance(call, ast.Call):
+                for kw in call.keywords:
+                    if kw.arg == "kernel":
+                        return True
+        return False
+
+    def on_FunctionDef(self, node: ast.FunctionDef,
+                       ctx: LintContext) -> Iterator[Optional[Finding]]:
+        if node.name not in self.options["entry_points"]:
+            return
+        params = self._param_names(node)
+        missing = []
+        if "kernel" not in params:
+            missing.append("kernel")
+        if not any(w in params for w in self.options["warm_params"]):
+            missing.append("initial|warm_start")
+        if missing:
+            yield ctx.finding(
+                self, node,
+                f"solver entry point `{node.name}` is missing "
+                f"required parameter(s): {', '.join(missing)}")
+            return
+        if (node.name not in self.options["no_forward_check"]
+                and not self._forwards_kernel(node)):
+            yield ctx.finding(
+                self, node,
+                f"solver entry point `{node.name}` accepts `kernel` "
+                f"but never forwards it (`kernel=` missing from every "
+                f"call in its body)")
+
+
+class MutableDefaultArgument(Rule):
+    """RPR005 — mutable default argument values."""
+
+    id = "RPR005"
+    name = "mutable-default-argument"
+    severity = "error"
+    description = ("Function parameter defaults to a mutable object "
+                   "([], {}, set(), list(), dict()); shared across "
+                   "calls.")
+    rationale = ("A mutated default leaks state between solver calls — "
+                 "exactly the cross-scenario coupling the serving "
+                 "engine's determinism tests exist to rule out.")
+
+    _mutable_calls = ("list", "dict", "set")
+
+    def _is_mutable(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._mutable_calls
+                and not node.args and not node.keywords):
+            return True
+        return False
+
+    def _check(self, node: ast.FunctionDef,
+               ctx: LintContext) -> Iterator[Optional[Finding]]:
+        a = node.args
+        pos_params = a.posonlyargs + a.args
+        for param, default in zip(pos_params[len(pos_params)
+                                             - len(a.defaults):],
+                                  a.defaults):
+            if self._is_mutable(default):
+                yield ctx.finding(
+                    self, default,
+                    f"mutable default for parameter `{param.arg}` of "
+                    f"`{node.name}`; use None and create inside")
+        for param, kw_default in zip(a.kwonlyargs, a.kw_defaults):
+            if kw_default is not None and self._is_mutable(kw_default):
+                yield ctx.finding(
+                    self, kw_default,
+                    f"mutable default for parameter `{param.arg}` of "
+                    f"`{node.name}`; use None and create inside")
+
+    on_FunctionDef = _check
+    on_AsyncFunctionDef = _check
+
+
+class SolverNondeterminism(Rule):
+    """RPR006 — wall-clock / unseeded randomness in solver modules."""
+
+    id = "RPR006"
+    name = "solver-nondeterminism"
+    severity = "error"
+    description = ("time.time / random.* / argless datetime.now inside "
+                   "a solver module (core/game/kernels/serving, bench "
+                   "and telemetry excluded).  Monotonic timers "
+                   "(perf_counter/monotonic) are allowed — they only "
+                   "feed latency metrics, never results.")
+    rationale = ("A timestamp or stdlib-random draw inside a solver "
+                 "makes equilibria irreproducible and breaks the "
+                 "bit-identity goldens that pin the scalar kernel.")
+    default_options: Dict[str, Any] = {
+        "banned_time": ("time", "time_ns"),
+        "banned_datetime": ("now", "utcnow", "today"),
+    }
+
+    def on_Call(self, node: ast.Call,
+                ctx: LintContext) -> Iterator[Optional[Finding]]:
+        if not ctx.is_solver_module or ctx.in_package("telemetry"):
+            return
+        chain = _attr_chain(node.func)
+        if not chain:
+            return
+        root, leaf = chain[0], chain[-1]
+        if root == "time" and leaf in self.options["banned_time"]:
+            yield ctx.finding(
+                self, node,
+                f"wall-clock `{'.'.join(chain)}()` in a solver module; "
+                f"use time.perf_counter for telemetry timing or pass "
+                f"timestamps in")
+        elif root == "random" and len(chain) == 2:
+            yield ctx.finding(
+                self, node,
+                f"stdlib `random.{leaf}()` in a solver module; pass a "
+                f"seeded np.random.Generator instead")
+        elif (root == "datetime" and not node.args and not node.keywords
+                and leaf in self.options["banned_datetime"]):
+            yield ctx.finding(
+                self, node,
+                f"argless `{'.'.join(chain)}()` in a solver module "
+                f"reads the wall clock; pass timestamps in")
+
+
+class OverbroadExcept(Rule):
+    """RPR007 — bare / overbroad ``except`` outside ``resilience``."""
+
+    id = "RPR007"
+    name = "overbroad-except"
+    severity = "error"
+    description = ("bare `except:` or `except (Base)Exception` outside "
+                   "the resilience package; catch the specific "
+                   "ReproError subclass, or suppress with a "
+                   "justification at deliberate capture boundaries.")
+    rationale = ("Broad catches around solver calls swallow "
+                 "ConvergenceError and return stale/partial equilibria "
+                 "as if they converged; fault handling belongs to the "
+                 "resilience layer, which owns retry/degradation "
+                 "policy.")
+    default_options: Dict[str, Any] = {
+        "exempt_packages": ("resilience",),
+        "broad_names": ("Exception", "BaseException"),
+    }
+
+    def _broad(self, node: Optional[ast.expr]) -> bool:
+        if node is None:
+            return True  # bare except
+        if isinstance(node, ast.Name):
+            return node.id in self.options["broad_names"]
+        if isinstance(node, ast.Tuple):
+            return any(self._broad(el) for el in node.elts)
+        return False
+
+    def on_ExceptHandler(self, node: ast.ExceptHandler,
+                         ctx: LintContext) -> Iterator[Optional[Finding]]:
+        if any(ctx.in_package(p)
+               for p in self.options["exempt_packages"]):
+            return
+        if self._broad(node.type):
+            what = ("bare except"
+                    if node.type is None
+                    else f"except {ctx.unparse(node.type)}")
+            yield ctx.finding(
+                self, node,
+                f"{what} outside resilience/; catch specific "
+                f"exceptions, or justify the capture boundary with "
+                f"`# repro: noqa[RPR007]`")
+
+
+class UnguardedTelemetryInLoop(Rule):
+    """RPR008 — telemetry facade touched inside a loop without the
+    ``.enabled`` seam check."""
+
+    id = "RPR008"
+    name = "unguarded-telemetry-in-loop"
+    severity = "error"
+    description = ("A telemetry facade call (TELEMETRY./_TEL./tel.) "
+                   "inside a for/while loop that is not under an "
+                   "`if <facade>.enabled` guard; bind instruments "
+                   "outside the loop or guard the seam.")
+    rationale = ("The zero-overhead contract: disabled telemetry must "
+                 "cost one attribute read per solve, not per "
+                 "iteration; unguarded registry lookups in the sweep "
+                 "loop showed up as >5% overhead in the seam-cost "
+                 "tests.")
+    default_options: Dict[str, Any] = {
+        "facade_names": ("TELEMETRY", "_TEL", "telemetry", "tel"),
+    }
+
+    def on_Call(self, node: ast.Call,
+                ctx: LintContext) -> Iterator[Optional[Finding]]:
+        if not ctx.loop_stack:
+            return
+        chain = _attr_chain(node.func)
+        if not chain or len(chain) < 2:
+            return
+        if chain[0] not in self.options["facade_names"]:
+            return
+        if any(".enabled" in test or "enabled" == test.split(".")[-1]
+               for test in ctx.if_test_stack):
+            return
+        yield ctx.finding(
+            self, node,
+            f"`{'.'.join(chain)}(...)` inside a loop without an "
+            f"`if {chain[0]}.enabled` guard; hoist the instrument or "
+            f"guard the seam")
+
+
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    GlobalNumpyRNG,
+    FloatEquality,
+    UnguardedAggregateDivision,
+    SolverSignatureDrift,
+    MutableDefaultArgument,
+    SolverNondeterminism,
+    OverbroadExcept,
+    UnguardedTelemetryInLoop,
+)
+
+
+def rule_catalog() -> List[Dict[str, str]]:
+    """Machine-readable rule listing (id, name, severity, docs)."""
+    return [
+        {"id": r.id, "name": r.name, "severity": r.severity,
+         "description": r.description, "rationale": r.rationale}
+        for r in ALL_RULES
+    ]

@@ -63,7 +63,7 @@ class LinkProfile:
 
     def sample(self, rng: np.random.Generator) -> tuple:
         """Sample a (latency, bandwidth) pair with jitter applied."""
-        if self.jitter == 0.0:
+        if self.jitter == 0.0:  # repro: noqa[RPR002] — config sentinel
             return self.latency, self.bandwidth
         lat = self.latency * max(
             1.0 + self.jitter * rng.standard_normal(), 0.05)

@@ -30,7 +30,7 @@ class Dispatcher:
 
     def dispatch(self, request: ResourceRequest) -> Allocation:
         """Dispatch one request and return the realized allocation."""
-        if request.edge_units == 0.0:
+        if request.edge_units <= 0.0:
             cloud_charge = self.cloud.provision(request.cloud_units)
             return Allocation(request=request, status=ResponseStatus.EMPTY,
                               edge_units=0.0,

@@ -152,7 +152,7 @@ class EdgeProvider:
             raise ConfigurationError("try_admit is a standalone operation")
         if units < 0:
             raise ConfigurationError("units must be non-negative")
-        if units == 0.0:
+        if units == 0.0:  # repro: noqa[RPR002] — validated non-negative
             return True
         if units > self.remaining_capacity + 1e-12:
             return False

@@ -125,7 +125,8 @@ class FaultyCloudProvider(_FaultyBase):
         result stays in ``[base, 1)`` for ``factor >= 1``.
         """
         factor = self.injector.latency_factor()
-        if factor == 1.0 or base == 0.0:
+        # Exact no-fault / no-fork fast path. # repro: noqa[RPR002]
+        if factor == 1.0 or base == 0.0:  # repro: noqa[RPR002]
             return base
         return min(1.0 - (1.0 - base) ** factor, 1.0 - 1e-9)
 

@@ -93,7 +93,7 @@ class ScenarioCache:
     """
 
     def __init__(self, maxsize: int = 4096,
-                 cache_dir: Optional[Union[str, Path]] = None):
+                 cache_dir: Optional[Union[str, Path]] = None) -> None:
         if maxsize < 1:
             raise ConfigurationError(
                 f"maxsize must be at least 1, got {maxsize}")

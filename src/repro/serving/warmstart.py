@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -69,7 +69,7 @@ class WarmStartIndex:
     """
 
     def __init__(self, max_entries: int = 2048,
-                 max_relative_distance: float = 0.5):
+                 max_relative_distance: float = 0.5) -> None:
         if max_entries < 1:
             raise ValueError(
                 f"max_entries must be at least 1, got {max_entries}")
@@ -82,7 +82,7 @@ class WarmStartIndex:
         with self._lock:
             return sum(len(v) for v in self._families.values())
 
-    def add(self, spec: ScenarioSpec, key: str, result) -> None:
+    def add(self, spec: ScenarioSpec, key: str, result: Any) -> None:
         """Index a solved scenario's equilibrium for future suggestions."""
         prices: Optional[Prices] = None
         profile: Optional[Tuple[np.ndarray, np.ndarray]] = None

@@ -1,0 +1,10 @@
+"""Clean for RPR001: a seeded Generator is threaded through."""
+import numpy as np
+
+
+def sample_budgets(n: int, rng: np.random.Generator) -> np.ndarray:
+    return 100.0 + rng.random(n)
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,8 @@
+"""Triggers RPR001: draws from the global NumPy RNG."""
+import numpy as np
+
+
+def sample_budgets(n: int) -> np.ndarray:
+    noise = np.random.rand(n)
+    np.random.shuffle(noise)
+    return 100.0 + noise

@@ -1,0 +1,8 @@
+"""Clean for RPR002: tolerance-based comparison."""
+import math
+
+
+def at_corner(price: float, premium: float) -> bool:
+    if abs(price - 0.3) < 1e-9:
+        return True
+    return not math.isclose(premium, 1.5)

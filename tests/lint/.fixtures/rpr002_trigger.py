@@ -1,0 +1,7 @@
+"""Triggers RPR002: exact equality against float literals."""
+
+
+def at_corner(price: float, premium: float) -> bool:
+    if price == 0.3:
+        return True
+    return premium != 1.5

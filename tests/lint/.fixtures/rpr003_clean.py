@@ -1,0 +1,13 @@
+"""Clean for RPR003: guarded and floored denominators."""
+import numpy as np
+
+
+def win_probability(e, c, S):
+    if S <= 0.0:
+        return 0.0
+    return (e + c) / S
+
+
+def normalized(pools):
+    total = max(float(np.sum(pools)), 1e-12)
+    return pools / total

@@ -1,0 +1,11 @@
+"""Triggers RPR003: division by game aggregates without a zero guard."""
+import numpy as np
+
+
+def win_probability(e, c, S):
+    return (e + c) / S
+
+
+def normalized(pools):
+    total = np.sum(pools)
+    return pools / total

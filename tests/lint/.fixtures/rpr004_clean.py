@@ -1,0 +1,6 @@
+"""Clean for RPR004: entry point exposes kernel= and initial=."""
+
+
+def solve_connected_equilibrium(params, prices, tol=1e-8,
+                                kernel="auto", initial=None):
+    return None

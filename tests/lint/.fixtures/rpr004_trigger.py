@@ -1,0 +1,5 @@
+"""Triggers RPR004: solver entry point missing its kernel/warm seams."""
+
+
+def solve_connected_equilibrium(params, prices, tol=1e-8):
+    return None

@@ -1,0 +1,7 @@
+"""Clean for RPR005: None sentinel instead of a shared mutable."""
+
+
+def record(value, history=None):
+    history = [] if history is None else history
+    history.append(value)
+    return history

@@ -1,0 +1,10 @@
+"""Triggers RPR005: mutable default arguments."""
+
+
+def record(value, history=[]):
+    history.append(value)
+    return history
+
+
+def tag(value, *, labels={}):
+    return dict(labels, value=value)

@@ -1,0 +1,8 @@
+"""Clean for RPR006: monotonic timing, seeded generator threaded in."""
+import time
+
+
+def timed_sweep(profile, rng):
+    start = time.perf_counter()
+    shaken = profile * (1.0 + 0.01 * rng.random())
+    return shaken, time.perf_counter() - start

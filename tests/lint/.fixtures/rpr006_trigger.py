@@ -1,0 +1,9 @@
+"""Triggers RPR006 (when placed in a solver module): wall-clock and
+unseeded randomness inside numerical code."""
+import random
+import time
+
+
+def jitter_start(profile):
+    stamp = time.time()
+    return profile * (1.0 + 0.01 * random.random()), stamp

@@ -1,0 +1,8 @@
+"""Clean for RPR007: specific exception types only."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except (OSError, ValueError):
+        return None

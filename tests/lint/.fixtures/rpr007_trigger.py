@@ -1,0 +1,15 @@
+"""Triggers RPR007: bare / overbroad exception handlers."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except Exception:
+        return None
+
+
+def probe(fn):
+    try:
+        return fn()
+    except:  # noqa: E722 - deliberate fixture
+        return None

@@ -1,0 +1,11 @@
+"""Clean for RPR008: the loop body checks the enabled flag first."""
+from repro.telemetry import get_telemetry
+
+_TEL = get_telemetry()
+
+
+def sweep(profiles):
+    for profile in profiles:
+        if _TEL.enabled:
+            _TEL.emit("sweep.step", size=len(profile))
+    return len(profiles)

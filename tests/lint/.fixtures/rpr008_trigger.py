@@ -1,0 +1,10 @@
+"""Triggers RPR008: telemetry facade hit inside a hot loop, unguarded."""
+from repro.telemetry import get_telemetry
+
+_TEL = get_telemetry()
+
+
+def sweep(profiles):
+    for profile in profiles:
+        _TEL.emit("sweep.step", size=len(profile))
+    return len(profiles)

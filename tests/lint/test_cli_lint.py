@@ -1,0 +1,95 @@
+"""The ``repro-mining lint`` subcommand: exit codes, formats,
+selection flags, and the repository self-check."""
+
+import json
+
+import pytest
+
+from repro.cli import lint_main, main
+
+CLEAN = "def f(x):\n    return x + 1\n"
+DIRTY = "def f(x, history=[]):\n    return history\n"
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty.py"
+    path.write_text(DIRTY)
+    return path
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(CLEAN)
+    return path
+
+
+def test_clean_file_exits_zero(clean_file, capsys):
+    assert lint_main([str(clean_file)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_seeded_violation_exits_one_with_rule_id(dirty_file, capsys):
+    assert lint_main([str(dirty_file)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR005" in out
+    assert str(dirty_file) in out
+
+
+def test_main_routes_lint_subcommand(dirty_file):
+    assert main(["lint", str(dirty_file)]) == 1
+
+
+def test_json_format_is_parseable(dirty_file, capsys):
+    assert lint_main([str(dirty_file), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 1
+    assert doc["summary"]["by_rule"] == {"RPR005": 1}
+
+
+def test_select_limits_rules(dirty_file):
+    assert lint_main([str(dirty_file), "--select", "RPR001"]) == 0
+    assert lint_main([str(dirty_file), "--select", "RPR005"]) == 1
+
+
+def test_ignore_skips_rules(dirty_file):
+    assert lint_main([str(dirty_file), "--ignore", "RPR005"]) == 0
+
+
+def test_unknown_rule_id_is_usage_error(dirty_file, capsys):
+    assert lint_main([str(dirty_file), "--select", "RPR999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "absent")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RPR001", "RPR008"):
+        assert rule_id in out
+
+
+def test_output_flag_writes_report(dirty_file, tmp_path, capsys):
+    report = tmp_path / "report.json"
+    code = lint_main([str(dirty_file), "--format", "json",
+                      "--output", str(report)])
+    assert code == 1
+    doc = json.loads(report.read_text())
+    assert doc["summary"]["total"] == 1
+    assert f"wrote {report}" in capsys.readouterr().err
+
+
+def test_statistics_flag_appends_counts(dirty_file, capsys):
+    assert lint_main([str(dirty_file), "--statistics"]) == 1
+    assert capsys.readouterr().out.rstrip().endswith("RPR005: 1")
+
+
+def test_repository_self_check(capsys):
+    """The acceptance gate: the repository's own tree lints clean."""
+    assert lint_main(["src", "tests", "examples", "benchmarks"]) == 0
+    assert "no findings" in capsys.readouterr().out

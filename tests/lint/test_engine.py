@@ -1,0 +1,125 @@
+"""Engine behavior: suppression comments, syntax-error handling, file
+discovery, and finding ordering."""
+
+from pathlib import Path
+
+from repro.lint import (Finding, lint_path, lint_paths, lint_source,
+                        iter_python_files, parse_suppressions)
+
+BAD_DIVISION = """\
+def share(e, S):
+    return e / S
+"""
+
+SUPPRESSED_DIVISION = """\
+def share(e, S):
+    return e / S  # repro: noqa[RPR003]
+"""
+
+BARE_NOQA_DIVISION = """\
+def share(e, S):
+    return e / S  # repro: noqa
+"""
+
+WRONG_CODE_DIVISION = """\
+def share(e, S):
+    return e / S  # repro: noqa[RPR001]
+"""
+
+WRONG_LINE_DIVISION = """\
+def share(e, S):
+    # repro: noqa[RPR003]
+    return e / S
+"""
+
+
+def rule_ids(source: str) -> list:
+    return [f.rule_id for f in lint_source(source, path="src/x.py")]
+
+
+def test_unsuppressed_division_fires():
+    assert "RPR003" in rule_ids(BAD_DIVISION)
+
+
+def test_coded_noqa_suppresses_matching_rule():
+    assert rule_ids(SUPPRESSED_DIVISION) == []
+
+
+def test_bare_noqa_suppresses_every_rule():
+    assert rule_ids(BARE_NOQA_DIVISION) == []
+
+
+def test_noqa_with_other_code_does_not_suppress():
+    assert "RPR003" in rule_ids(WRONG_CODE_DIVISION)
+
+
+def test_noqa_must_sit_on_the_flagged_line():
+    assert "RPR003" in rule_ids(WRONG_LINE_DIVISION)
+
+
+def test_plain_noqa_comment_is_not_our_syntax():
+    # Ruff/flake8-style ``# noqa`` without the ``repro:`` prefix must
+    # not silence RPR rules.
+    src = "def share(e, S):\n    return e / S  # noqa\n"
+    assert "RPR003" in rule_ids(src)
+
+
+def test_parse_suppressions_maps_lines_to_codes():
+    sup = parse_suppressions([
+        "x = 1",
+        "y = 2  # repro: noqa",
+        "z = 3  # repro: noqa[RPR001, RPR007]",
+    ])
+    assert sup == {2: frozenset(),
+                   3: frozenset({"RPR001", "RPR007"})}
+
+
+def test_syntax_error_becomes_rpr999_finding():
+    findings = lint_source("def broken(:\n", path="src/broken.py")
+    assert len(findings) == 1
+    assert findings[0].rule_id == "RPR999"
+    assert findings[0].severity == "error"
+    assert "syntax error" in findings[0].message
+
+
+def test_findings_sorted_by_location():
+    src = ("def f(x, h=[]):\n"
+           "    if x == 0.5:\n"
+           "        return h\n")
+    findings = lint_source(src, path="src/x.py")
+    assert findings == sorted(findings, key=Finding.sort_key)
+    assert [f.rule_id for f in findings] == ["RPR005", "RPR002"]
+
+
+def test_finding_to_dict_round_trip():
+    f = Finding(rule_id="RPR001", message="m", path="p.py", line=3,
+                col=7, severity="warning")
+    assert f.to_dict() == {
+        "rule": "RPR001", "severity": "warning", "path": "p.py",
+        "line": 3, "col": 7, "message": "m"}
+
+
+def test_iter_python_files_skips_hidden_and_pycache(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "b.py").write_text("x = 1\n")
+    files = list(iter_python_files([tmp_path]))
+    assert [f.name for f in files] == ["a.py"]
+
+
+def test_lint_path_and_lint_paths_agree(tmp_path):
+    target = tmp_path / "sample.py"
+    target.write_text(BAD_DIVISION)
+    assert ([f.rule_id for f in lint_path(target)]
+            == [f.rule_id for f in lint_paths([tmp_path])]
+            == ["RPR003"])
+
+
+def test_fixture_directory_is_invisible_to_discovery():
+    fixtures = Path(__file__).parent / ".fixtures"
+    assert fixtures.is_dir()
+    found = list(iter_python_files([Path(__file__).parent]))
+    assert all(".fixtures" not in f.parts for f in found)

@@ -1,0 +1,77 @@
+"""Reporter output: text rendering, statistics, and a golden JSON
+snapshot pinned against ``tests/lint/golden_report.json``."""
+
+import json
+from pathlib import Path
+
+from repro.lint import (ALL_RULES, lint_source, render_json,
+                        render_text, summarize)
+
+GOLDEN = Path(__file__).parent / "golden_report.json"
+
+#: A deliberately multi-violation snippet with a stable virtual path so
+#: the JSON document is fully deterministic.
+SNIPPET = """\
+def fraction(e, S, history=[]):
+    if e == 0.25:
+        return 0.0
+    history.append(e / S)
+    return history[-1]
+"""
+SNIPPET_PATH = "src/repro/core/snippet.py"
+
+
+def snippet_findings():
+    return lint_source(SNIPPET, path=SNIPPET_PATH)
+
+
+def test_snippet_triggers_three_rules():
+    assert [f.rule_id for f in snippet_findings()] == [
+        "RPR005", "RPR002", "RPR003"]
+
+
+def test_render_text_line_format():
+    text = render_text(snippet_findings())
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith(f"{SNIPPET_PATH}:1:")
+    assert "RPR005" in lines[0]
+    assert "[error]" in lines[0] or "[warning]" in lines[0]
+
+
+def test_render_text_empty_says_no_findings():
+    assert render_text([]) == "no findings"
+
+
+def test_render_text_statistics_appends_counts():
+    text = render_text(snippet_findings(), statistics=True)
+    tail = text.splitlines()[-3:]
+    assert tail == ["RPR002: 1", "RPR003: 1", "RPR005: 1"]
+
+
+def test_summarize_counts():
+    summary = summarize(snippet_findings())
+    assert summary["total"] == 3
+    assert summary["by_rule"] == {
+        "RPR002": 1, "RPR003": 1, "RPR005": 1}
+    assert set(summary["by_severity"]) <= {"error", "warning"}
+
+
+def test_render_json_matches_golden_snapshot():
+    document = json.loads(render_json(snippet_findings()))
+    expected = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert document == expected
+
+
+def test_render_json_schema_essentials():
+    document = json.loads(render_json(snippet_findings()))
+    assert document["version"] == 1
+    assert len(document["findings"]) == 3
+    assert len(document["rules"]) == len(ALL_RULES)
+    for finding in document["findings"]:
+        assert set(finding) == {"rule", "severity", "path", "line",
+                                "col", "message"}
+    for rule in document["rules"]:
+        assert set(rule) == {"id", "name", "severity", "description",
+                             "rationale"}
+        assert rule["rationale"]

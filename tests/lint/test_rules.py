@@ -1,0 +1,119 @@
+"""Golden fixture tests: every RPR rule fires on its triggering snippet
+and stays silent on the paired clean snippet.
+
+The fixtures live in ``tests/lint/.fixtures`` (a dot-directory so the
+repository's own lint sweep, ruff, and pytest collection all skip the
+deliberately broken files).  Module classification is path-driven, so
+each case lints the fixture *source* under a virtual path that puts it
+in the right package context (solver module, test file, ...).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, LintConfig, lint_source
+
+FIXTURES = Path(__file__).parent / ".fixtures"
+
+#: Virtual path per rule: where the snippet pretends to live.  RPR006
+#: only applies inside solver packages; the rest are package-agnostic
+#: but must not look like test files (RPR002 skips tests by default).
+VIRTUAL_PATHS = {
+    "RPR001": "src/repro/analysis/sample.py",
+    "RPR002": "src/repro/core/sample.py",
+    "RPR003": "src/repro/core/sample.py",
+    "RPR004": "src/repro/core/sample.py",
+    "RPR005": "src/repro/offloading/sample.py",
+    "RPR006": "src/repro/kernels/sample.py",
+    "RPR007": "src/repro/game/sample.py",
+    "RPR008": "src/repro/serving/sample.py",
+}
+
+RULE_IDS = sorted(VIRTUAL_PATHS)
+
+
+def lint_fixture(rule_id: str, kind: str):
+    stem = f"{rule_id.lower()}_{kind}"
+    source = (FIXTURES / f"{stem}.py").read_text(encoding="utf-8")
+    return lint_source(source, path=VIRTUAL_PATHS[rule_id])
+
+
+def test_catalog_covers_all_fixture_rules():
+    assert sorted(r.id for r in ALL_RULES) == RULE_IDS
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_trigger_fixture_fires(rule_id):
+    findings = lint_fixture(rule_id, "trigger")
+    fired = {f.rule_id for f in findings}
+    assert rule_id in fired, (
+        f"{rule_id} did not fire on its trigger fixture; got {fired}")
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_clean_fixture_is_silent(rule_id):
+    findings = lint_fixture(rule_id, "clean")
+    fired = [f for f in findings if f.rule_id == rule_id]
+    assert fired == [], (
+        f"{rule_id} fired on its clean fixture: "
+        f"{[f.message for f in fired]}")
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_findings_carry_location_and_severity(rule_id):
+    for f in lint_fixture(rule_id, "trigger"):
+        assert f.path == VIRTUAL_PATHS[rule_id]
+        assert f.line >= 1
+        assert f.col >= 0
+        assert f.severity in ("error", "warning")
+        assert f.message
+
+
+def test_rpr001_trigger_counts():
+    # Two global-RNG touches: np.random.rand and np.random.shuffle.
+    findings = lint_fixture("RPR001", "trigger")
+    assert len([f for f in findings if f.rule_id == "RPR001"]) == 2
+
+
+def test_rpr002_exempts_test_files_by_default():
+    source = (FIXTURES / "rpr002_trigger.py").read_text()
+    findings = lint_source(source, path="tests/core/test_sample.py")
+    assert not any(f.rule_id == "RPR002" for f in findings)
+
+
+def test_rpr006_only_applies_to_solver_modules():
+    source = (FIXTURES / "rpr006_trigger.py").read_text()
+    outside = lint_source(source, path="src/repro/analysis/sample.py")
+    assert not any(f.rule_id == "RPR006" for f in outside)
+
+
+def test_rpr007_exempts_resilience_package():
+    source = (FIXTURES / "rpr007_trigger.py").read_text()
+    inside = lint_source(source, path="src/repro/resilience/sample.py")
+    assert not any(f.rule_id == "RPR007" for f in inside)
+
+
+def test_rpr003_respects_select_config():
+    source = (FIXTURES / "rpr003_trigger.py").read_text()
+    config = LintConfig(select=frozenset({"RPR005"}))
+    findings = lint_source(source, path=VIRTUAL_PATHS["RPR003"],
+                           config=config)
+    assert findings == []
+
+
+def test_ignore_config_switches_rule_off():
+    source = (FIXTURES / "rpr005_trigger.py").read_text()
+    config = LintConfig(ignore=frozenset({"RPR005"}))
+    findings = lint_source(source, path=VIRTUAL_PATHS["RPR005"],
+                           config=config)
+    assert not any(f.rule_id == "RPR005" for f in findings)
+
+
+def test_severity_override_applies():
+    source = (FIXTURES / "rpr005_trigger.py").read_text()
+    config = LintConfig(severities={"RPR005": "warning"})
+    findings = [f for f in lint_source(
+        source, path=VIRTUAL_PATHS["RPR005"], config=config)
+        if f.rule_id == "RPR005"]
+    assert findings and all(f.severity == "warning" for f in findings)

@@ -1,0 +1,52 @@
+"""Availability-gated checks for the external toolchain gates.
+
+The strict-typing and ruff gates are enforced in CI (see
+``.github/workflows/ci.yml``); these tests run the same commands
+locally *when the tools are installed* so a contributor with the dev
+toolchain catches regressions before pushing.  Environments without
+mypy/ruff (the minimal runtime image) skip them.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+STRICT_PACKAGES = ("src/repro/kernels", "src/repro/serving",
+                   "src/repro/core")
+
+
+def run(cmd):
+    return subprocess.run(cmd, cwd=REPO, capture_output=True,
+                          text=True, timeout=600)
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed")
+def test_mypy_strict_gate():
+    proc = run([sys.executable, "-m", "mypy", "--strict",
+                *STRICT_PACKAGES])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed")
+def test_ruff_gate():
+    proc = run(["ruff", "check", "src", "tests", "examples",
+                "benchmarks"])
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_mypy_config_present():
+    text = (REPO / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in text
+    assert "strict = true" in text
+
+
+def test_py_typed_marker_ships():
+    assert (REPO / "src/repro/py.typed").exists()
+    assert 'repro = ["py.typed"]' in (REPO / "pyproject.toml").read_text()

@@ -54,7 +54,7 @@ class TestMarketRound:
         reqs = _requests()
         for _ in range(4000):
             wins[market.play_round(reqs).winner] += 1
-        rates = wins / wins.sum()
+        rates = wins / wins.sum()  # repro: noqa[RPR003] — 4000 draws
         # Homogeneous miners: symmetric winning probability.
         assert np.max(np.abs(rates - 0.2)) < 0.03
 
