@@ -3,7 +3,8 @@ paper figure/table, and the ablation studies."""
 
 from .ablations import (ablation_dynamic_weights, ablation_gnep_solvers,
                         ablation_transfer_semantics)
-from .chaos import chaos_outage_sweep, outage_plan
+from .chaos import (chaos_control_comparison, chaos_outage_sweep,
+                    outage_plan, recovery_rounds)
 from .experiments import (DEFAULTS, PaperSetup, fig2_fork_model,
                           fig3_population, fig4_price_sweep,
                           fig5_delay_sweep, fig6_capacity_sweep,
@@ -29,6 +30,8 @@ __all__ = [
     "ablation_gnep_solvers",
     "ablation_transfer_semantics",
     "chaos_outage_sweep",
+    "chaos_control_comparison",
+    "recovery_rounds",
     "outage_plan",
     "DEFAULTS",
     "PaperSetup",

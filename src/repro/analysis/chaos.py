@@ -11,6 +11,7 @@ sweep over *failure intensity* instead of a price or capacity knob.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 import numpy as np
@@ -21,7 +22,8 @@ from .experiments import DEFAULTS, PaperSetup
 from .series import ResultTable
 from .sweep import sweep
 
-__all__ = ["chaos_outage_sweep", "outage_plan"]
+__all__ = ["chaos_outage_sweep", "chaos_control_comparison",
+           "outage_plan", "recovery_rounds"]
 
 
 def outage_plan(outage_rate: float, n_rounds: int,
@@ -99,3 +101,86 @@ def chaos_outage_sweep(outage_rates: Optional[Sequence[float]] = None,
                        "all-cloud equilibrium is substituted. ESP "
                        "revenue decays with outage exposure while the "
                        "CSP absorbs transferred demand.")
+
+
+def recovery_rounds(reports: Sequence) -> float:
+    """Rounds from the first detected anomaly to the first clean window.
+
+    ``reports`` is a :class:`~repro.control.loop.ControlLoop`'s
+    ``reports`` list (one per tick). Returns NaN when nothing was ever
+    detected, and ``inf`` when anomalies persisted through the final
+    window (the loop never saw the system recover).
+    """
+    first_detect = None
+    for report in reports:
+        if report.anomalies and first_detect is None:
+            first_detect = report.tick
+        elif first_detect is not None and not report.anomalies:
+            return float(report.tick - first_detect)
+    if first_detect is None:
+        return float("nan")
+    return float("inf")
+
+
+def chaos_control_comparison(transient_rates: Optional[Sequence[float]]
+                             = None, setup: PaperSetup = DEFAULTS,
+                             n_rounds: int = 20, seed: int = 0
+                             ) -> ResultTable:
+    """Chaos with the self-tuning control loop vs uncontrolled baseline.
+
+    Each row replays one seeded fault plan (transient provider failures
+    at the swept rate plus a mid-run latency spike) twice: once plain,
+    once with a :class:`~repro.control.loop.ControlLoop` ticking every
+    market round over the run's dispatcher. Reported per row: what the
+    loop detected, verified, and applied; how many rounds detection-to-
+    recovery took (inf = the fault outlived the run — honest, faults at
+    a constant rate never "recover"); and the realized payoff/drop
+    deltas against the baseline.
+
+    Both runs execute inside a fresh global telemetry session (the
+    detectors read the global registry), so any telemetry accumulated
+    before this experiment is reset.
+    """
+    from ..control import ControlLoop, ControlTarget
+    from ..telemetry import telemetry_session
+
+    if transient_rates is None:
+        transient_rates = [0.0, 0.2, 0.4, 0.6, 0.8]
+    params = setup.connected()
+
+    def evaluate(rate):
+        plan = outage_plan(0.0, n_rounds, transient_rate=float(rate),
+                           seed=seed)
+        baseline = run_resilient_pipeline(params, plan,
+                                          n_rounds=n_rounds, seed=seed)
+        with telemetry_session():
+            controller = ControlLoop(ControlTarget(),
+                                     cooldown_ticks=2, action_budget=8)
+            controlled = run_resilient_pipeline(params, plan,
+                                                n_rounds=n_rounds,
+                                                seed=seed,
+                                                controller=controller)
+        summary = controlled.control_summary or {}
+        recovery = recovery_rounds(controller.reports)
+        return {
+            "baseline_payoff": baseline.mean_miner_payoff,
+            "controlled_payoff": controlled.mean_miner_payoff,
+            "baseline_dropped": len(baseline.report.failed_requests),
+            "controlled_dropped": len(controlled.report.failed_requests),
+            "anomalies": summary.get("anomalies", 0),
+            "actions_applied": summary.get("actions_applied", 0),
+            "recovery_rounds": (recovery if math.isfinite(recovery)
+                                else (-1.0 if math.isinf(recovery)
+                                      else float("nan"))),
+            "degraded_mode": float(controller.target.degraded),
+        }
+
+    return sweep("Chaos — self-tuning control loop vs uncontrolled "
+                 f"baseline ({n_rounds} rounds, seeded faults)",
+                 "transient_rate", list(transient_rates), evaluate,
+                 notes="Same fault plan replayed twice per row. "
+                       "recovery_rounds: detection-to-clean-window "
+                       "distance in control ticks (NaN = nothing "
+                       "detected, -1 = anomalies persisted to the end "
+                       "of the run). Every applied action passed the "
+                       "differential verification battery first.")

@@ -12,6 +12,9 @@ Usage::
     repro-mining metrics --grid p_c:0.8:1.2:8 --format prom
     repro-mining bench --quick --output BENCH_solvers.json
     repro-mining lint src tests --format json
+    repro-mining control --check
+    repro-mining control --run --scenario retry-storm --events ctrl.jsonl
+    repro-mining chaos --with-control
     repro-mining fig4 --trace trace.json
 
 Every subcommand accepts ``--trace PATH``: telemetry is enabled for the
@@ -29,7 +32,8 @@ from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from .analysis import (ablation_dynamic_weights, ablation_gnep_solvers,
-                       ablation_transfer_semantics, chaos_outage_sweep,
+                       ablation_transfer_semantics,
+                       chaos_control_comparison, chaos_outage_sweep,
                        ext1_rent_dissipation, ext2_fictitious_play,
                        ext3_difficulty_retargeting, ext4_elasticities,
                        ext5_topology_calibration,
@@ -61,6 +65,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "abl2": ablation_dynamic_weights,
     "abl3": ablation_transfer_semantics,
     "chaos": chaos_outage_sweep,
+    "chaos-control": chaos_control_comparison,
     "ext1": ext1_rent_dissipation,
     "ext2": ext2_fictitious_play,
     "ext3": ext3_difficulty_retargeting,
@@ -98,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", "-q", action="store_true",
         help="suppress the rendered table on stdout")
+    parser.add_argument(
+        "--with-control", action="store_true",
+        help="for 'chaos': run the controlled-vs-baseline comparison "
+             "(equivalent to the 'chaos-control' experiment id)")
     _add_trace_flag(parser)
     return parser
 
@@ -591,6 +600,132 @@ def lint_main(argv=None) -> int:
     return 1 if findings else 0
 
 
+def build_control_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mining control",
+        description="The self-tuning control plane: run the golden "
+                    "differential battery (--check), or induce a "
+                    "seeded anomaly scenario and drive the detect -> "
+                    "propose -> verify -> apply loop over it (--run).")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run the golden/differential checks for --kernel and exit "
+             "1 if any disagrees")
+    parser.add_argument(
+        "--run", action="store_true",
+        help="induce --scenario and run the control loop for "
+             "--windows windows; exit 1 unless at least one "
+             "remediation completed the detected -> verified -> "
+             "applied chain")
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="with --run: verify every proposal but never apply it "
+             "(the exit criterion becomes >= 1 verified proposal)")
+    parser.add_argument(
+        "--scenario", choices=("cache-collapse", "retry-storm",
+                               "solver-divergence", "warm-drift",
+                               "slo-breach"),
+        default="cache-collapse",
+        help="seeded anomaly induction for --run "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--windows", type=int, default=3, metavar="K",
+        help="control windows (loop ticks) to run (default: "
+             "%(default)s)")
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="seed of the induction (default: %(default)s)")
+    parser.add_argument(
+        "--kernel", choices=("scalar", "running", "vectorized"),
+        default="vectorized",
+        help="kernel the --check battery exercises (default: "
+             "%(default)s)")
+    parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="stream the control decision chain (and all other "
+             "telemetry events) to PATH as JSON lines")
+    parser.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="write the per-window control reports to PATH as JSON")
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress the per-window report lines on stdout")
+    return parser
+
+
+def control_main(argv=None) -> int:
+    """Entry point of the ``control`` subcommand.
+
+    Exit codes: 0 — checks passed / the loop completed a verified
+    remediation chain, 1 — a check failed or no chain completed,
+    2 — bad arguments.
+    """
+    from .control import (ControlLoop, ControlTarget, induce,
+                          run_golden_checks)
+    from .serving import ServingEngine
+    from .telemetry import telemetry_session
+
+    args = build_control_parser().parse_args(argv)
+    if not args.check and not args.run:
+        build_control_parser().print_usage(sys.stderr)
+        print("one of --check or --run is required", file=sys.stderr)
+        return 2
+    if args.windows < 1:
+        print("--windows must be at least 1", file=sys.stderr)
+        return 2
+
+    failed = 0
+    if args.check:
+        for res in run_golden_checks(args.kernel):
+            status = "ok  " if res.ok else "FAIL"
+            err = ("" if res.max_error != res.max_error
+                   else f" max_error={res.max_error:.3g}")
+            detail = f" ({res.detail})" if res.detail else ""
+            print(f"{status} {res.name}{err}{detail}")
+            failed += 0 if res.ok else 1
+        if not args.run:
+            return 1 if failed else 0
+
+    with telemetry_session(event_path=args.events) as tel:
+        scenario = induce(args.scenario, seed=args.seed)
+        engine = scenario.engine or ServingEngine(warm_start=False,
+                                                  use_guard=False)
+        target = ControlTarget(engine=engine,
+                               dispatcher=scenario.dispatcher)
+        loop = ControlLoop(target, dry_run=args.dry_run)
+        for _ in range(args.windows):
+            report = loop.run_once()
+            if not args.quiet:
+                anomalies = ", ".join(a.kind for a in report.anomalies) \
+                    or "none"
+                decisions = ", ".join(
+                    f"{d.remediation.kind}->{d.outcome}"
+                    for d in report.decisions) or "none"
+                print(f"window {report.tick}: anomalies [{anomalies}]; "
+                      f"decisions [{decisions}]")
+        summary = loop.summary()
+        if args.events is not None:
+            print(f"wrote {len(tel.events)} events to {args.events}",
+                  file=sys.stderr)
+
+    print(f"{summary['ticks']} window(s): {summary['anomalies']} "
+          f"anomaly(ies), {summary['actions_applied']} applied, "
+          f"outcomes {summary['outcomes'] or '{}'}", file=sys.stderr)
+    if args.output is not None:
+        try:
+            Path(args.output).write_text(json.dumps(
+                [r.to_dict() for r in loop.reports], indent=1))
+        except OSError as ex:
+            print(f"could not write {args.output!r}: {ex}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.output}", file=sys.stderr)
+    outcomes = summary["outcomes"]
+    chain_done = (outcomes.get("dry-run", 0) if args.dry_run
+                  else outcomes.get("applied", 0))
+    return 1 if (failed or not chain_done) else 0
+
+
 def _print_experiments() -> None:
     for key in sorted(EXPERIMENTS):
         doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
@@ -608,6 +743,8 @@ def main(argv=None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0].lower() == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0].lower() == "control":
+        return control_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_experiments:
         _print_experiments()
@@ -618,6 +755,8 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
     name = args.experiment.lower()
+    if name == "chaos" and args.with_control:
+        name = "chaos-control"
     if name == "list":
         _print_experiments()
         return 0

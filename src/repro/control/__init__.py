@@ -1,0 +1,84 @@
+"""repro.control — the self-tuning control plane.
+
+A detect → propose → verify → apply remediation loop over the
+telemetry stack, making the serving system self-healing:
+
+* **detect** — :mod:`~repro.control.anomalies` classifies windowed
+  metric snapshots (cache-hit collapse, solver divergence, retry
+  storms, warm-start drift, latency SLO breaches);
+* **propose** — :mod:`~repro.control.remediations` maps each anomaly
+  to a typed action (switch kernel, resize/flush the cache, rebuild
+  the warm-start index, tighten retries, enter/exit all-cloud
+  degradation);
+* **verify** — :mod:`~repro.control.verify` dry-runs every action
+  against the golden/differential checks (closed forms, cross-solver,
+  serving-vs-direct) on scratch objects;
+* **apply** — :mod:`~repro.control.actuator` executes verified actions
+  transactionally, with snapshot rollback when the live post-check
+  fails;
+* **loop** — :mod:`~repro.control.loop` bounds the whole pipeline with
+  per-class cooldowns, a hard action budget, and a recovery path out
+  of degradation.
+
+Everything is observable: each decision lands in the telemetry event
+log as a ``control.*`` event, so the full detected → proposed →
+verified → applied chain is auditable from the JSONL stream. With no
+:class:`ControlLoop` constructed, none of this code runs and every
+existing output stays bit-identical.
+
+Usage::
+
+    from repro.control import ControlLoop, ControlTarget
+
+    target = ControlTarget(engine=engine, dispatcher=dispatcher)
+    loop = ControlLoop(target)
+    report = loop.run_once()          # one window, one decision round
+    # or: with loop: ...             # background thread at loop.interval
+"""
+
+from .actuator import Actuator, Decision
+from .anomalies import (KIND_CACHE_COLLAPSE, KIND_RETRY_STORM,
+                        KIND_SLO_BREACH, KIND_SOLVER_DIVERGENCE,
+                        KIND_WARM_DRIFT, Anomaly, CacheHitRateCollapse,
+                        Detector, LatencySloBreach, RetryStorm,
+                        SolverDivergence, WarmStartDrift,
+                        default_detectors, detect_all)
+from .loop import ControlLoop, ControlReport
+from .remediations import (KERNEL_ROBUSTNESS_CHAIN, EnterDegradedMode,
+                           ExitDegradedMode, FlushCache, Proposer,
+                           RebuildWarmIndex, Remediation, ResizeCache,
+                           SwitchKernel, TightenRetryPolicy)
+from .scenarios import SCENARIOS, InducedScenario, induce
+from .target import ControlTarget, TargetSnapshot, TargetState
+from .verify import (CheckResult, VerificationReport, Verifier,
+                     check_all_cloud_limit, check_connected_closed_form,
+                     check_retry_policy_invariants,
+                     check_serving_matches_direct,
+                     check_standalone_cross_solver, run_golden_checks)
+from .window import (HistogramWindow, counter_sum, gauge_value,
+                     histogram_window)
+
+__all__ = [
+    # anomalies
+    "Anomaly", "Detector", "CacheHitRateCollapse", "SolverDivergence",
+    "RetryStorm", "WarmStartDrift", "LatencySloBreach",
+    "default_detectors", "detect_all",
+    "KIND_CACHE_COLLAPSE", "KIND_SOLVER_DIVERGENCE", "KIND_RETRY_STORM",
+    "KIND_WARM_DRIFT", "KIND_SLO_BREACH",
+    # remediations
+    "Remediation", "SwitchKernel", "ResizeCache", "FlushCache",
+    "RebuildWarmIndex", "TightenRetryPolicy", "EnterDegradedMode",
+    "ExitDegradedMode", "Proposer", "KERNEL_ROBUSTNESS_CHAIN",
+    # verify
+    "CheckResult", "VerificationReport", "Verifier",
+    "check_connected_closed_form", "check_standalone_cross_solver",
+    "check_serving_matches_direct", "check_retry_policy_invariants",
+    "check_all_cloud_limit", "run_golden_checks",
+    # target / actuator / loop
+    "ControlTarget", "TargetState", "TargetSnapshot",
+    "Actuator", "Decision", "ControlLoop", "ControlReport",
+    # scenarios
+    "InducedScenario", "SCENARIOS", "induce",
+    # window readers
+    "counter_sum", "gauge_value", "histogram_window", "HistogramWindow",
+]

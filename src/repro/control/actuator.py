@@ -1,0 +1,170 @@
+"""Transactional application of verified remediations.
+
+The :class:`Actuator` is the only component that mutates the live
+target, and it refuses to do so blind:
+
+1. **pre-verify** — the remediation is dry-run against the
+   differential checks (:mod:`repro.control.verify`) on scratch
+   objects; a failed check rejects the action before anything changes;
+2. **snapshot** — the target's revertible state is captured;
+3. **apply** — the remediation executes against the live objects;
+4. **post-check** — the live engine must still reproduce the direct
+   solver's answer on the canonical scenario; a failed post-check
+   triggers **rollback** to the snapshot.
+
+Every transition is appended to the telemetry event log
+(``control.verified`` / ``control.rejected`` / ``control.applied`` /
+``control.rolled_back`` / ``control.skipped``) so the full decision
+chain is auditable from the JSONL stream alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..core import solve_connected_equilibrium
+from ..serving.keys import ScenarioSpec
+from ..telemetry import TELEMETRY as _TEL
+from .remediations import Remediation
+from .target import ControlTarget
+from .verify import (CheckResult, VerificationReport, Verifier,
+                     _check_setup, _rel_error, quiet_telemetry)
+
+__all__ = ["Decision", "Actuator"]
+
+#: Decision outcomes, in the order the pipeline can reach them.
+OUTCOMES = ("rejected", "skipped", "applied", "rolled-back", "dry-run")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """What happened to one proposed remediation.
+
+    Attributes:
+        remediation: The proposed action.
+        outcome: ``"rejected"`` (pre-verify failed, nothing changed),
+            ``"skipped"`` (no-op for this target), ``"applied"``,
+            ``"rolled-back"`` (post-check failed, snapshot restored),
+            or ``"dry-run"`` (verified but deliberately not applied).
+        report: The pre-verification report.
+        post_check: The live post-apply check (None when not reached).
+    """
+
+    remediation: Remediation
+    outcome: str
+    report: VerificationReport
+    post_check: Optional[CheckResult] = None
+
+    @property
+    def applied(self) -> bool:
+        return self.outcome == "applied"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"remediation": self.remediation.to_dict(),
+                "outcome": self.outcome,
+                "verified": self.report.ok,
+                "checks": [c.to_dict() for c in self.report.checks],
+                "post_check": (None if self.post_check is None
+                               else self.post_check.to_dict())}
+
+
+def live_self_check(target: ControlTarget,
+                    tol: float = 1e-6) -> CheckResult:
+    """Post-apply check on the *live* engine: the canonical miner-stage
+    scenario served through it must match the direct solve.
+
+    The miner stage (fixed canonical prices) is used instead of the
+    full Stackelberg solve because the leader stage admits multiple
+    near-optimal price points under warm starts — comparing there would
+    roll back perfectly valid remediations.
+    """
+    name = "live-self-check"
+    if target.engine is None:
+        return CheckResult(name, True, 0.0, detail="no engine attached")
+    try:
+        # Quiet: the check's own solve must not feed the detectors.
+        with quiet_telemetry():
+            params, prices = _check_setup()
+            kernel = (target.engine.kernel_override
+                      or target.default_kernel)
+            direct = solve_connected_equilibrium(params, prices,
+                                                 kernel=kernel)
+            result = target.engine.serve(
+                ScenarioSpec(params=params, prices=prices,
+                             kernel=kernel))
+        if not result.ok:
+            return CheckResult(name, False,
+                               detail=f"serving failed: {result.error}")
+        err = max(_rel_error(result.value.e, direct.e),
+                  _rel_error(result.value.c, direct.c))
+        return CheckResult(name, err <= tol, err,
+                           detail=f"source={result.source}")
+    except Exception as ex:  # repro: noqa[RPR007] — a failed check is
+        # a rollback signal, never a crash of the control loop.
+        return CheckResult(name, False,
+                           detail=f"{type(ex).__name__}: {ex}")
+
+
+class Actuator:
+    """Verify-then-apply executor with rollback.
+
+    Args:
+        target: The live objects remediations act on.
+        verifier: The differential-check dry-runner.
+        self_check: Post-apply live check; injectable for tests (return
+            a failing :class:`CheckResult` to force a rollback). None
+            disables the post-check (pre-verification still gates).
+        dry_run: Verify every proposal but never mutate the target.
+    """
+
+    def __init__(self, target: ControlTarget,
+                 verifier: Optional[Verifier] = None,
+                 self_check: Optional[
+                     Callable[[ControlTarget], CheckResult]
+                 ] = live_self_check,
+                 dry_run: bool = False) -> None:
+        self.target = target
+        self.verifier = verifier or Verifier(
+            default_kernel=target.default_kernel)
+        self.self_check = self_check
+        self.dry_run = dry_run
+
+    def execute(self, remediation: Remediation) -> Decision:
+        """Run the verify → snapshot → apply → post-check pipeline."""
+        state = self.target.state()
+        report = self.verifier.verify(remediation,
+                                      current_kernel=state.kernel)
+        if not report.ok:
+            _TEL.emit("control.rejected",
+                      remediation=remediation.to_dict(),
+                      checks=[c.to_dict() for c in report.checks])
+            return Decision(remediation, "rejected", report)
+        _TEL.emit("control.verified",
+                  remediation=remediation.to_dict(),
+                  checks=[c.to_dict() for c in report.checks])
+        if self.dry_run:
+            return Decision(remediation, "dry-run", report)
+
+        snapshot = self.target.snapshot()
+        changed = self.target.apply(remediation)
+        if not changed:
+            _TEL.emit("control.skipped",
+                      remediation=remediation.to_dict(),
+                      reason="no-op for this target")
+            return Decision(remediation, "skipped", report)
+
+        post: Optional[CheckResult] = None
+        if self.self_check is not None:
+            post = self.self_check(self.target)
+            if not post.ok:
+                self.target.restore(snapshot)
+                _TEL.emit("control.rolled_back",
+                          remediation=remediation.to_dict(),
+                          post_check=post.to_dict())
+                return Decision(remediation, "rolled-back", report,
+                                post_check=post)
+        _TEL.emit("control.applied",
+                  remediation=remediation.to_dict(),
+                  description=remediation.describe())
+        return Decision(remediation, "applied", report, post_check=post)

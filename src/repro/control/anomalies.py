@@ -1,0 +1,325 @@
+"""Anomaly detectors over windowed telemetry snapshots.
+
+Each detector polls one slice of the serving stack's health through the
+per-window metric view (:meth:`repro.telemetry.MetricsRegistry.window_snapshot`)
+and classifies what it sees into typed :class:`Anomaly` records. The
+catalog mirrors the failure modes the resilience layer can inject and
+the telemetry layer can observe:
+
+* :class:`CacheHitRateCollapse` — the scenario cache's *recent* hit
+  rate fell below a floor (lifetime averages hide collapses, hence the
+  windowed view);
+* :class:`SolverDivergence` — VI/NEP iteration blow-ups, residual
+  blow-ups, or non-converged solves inside the window;
+* :class:`RetryStorm` — transient-failure retries or injected faults
+  spiking relative to dispatch volume;
+* :class:`WarmStartDrift` — warm-started solves running *slower* than
+  cold solves, i.e. the nearest-neighbor index is suggesting poisoned
+  starting points;
+* :class:`LatencySloBreach` — serving p95/p99 exceeding the configured
+  SLO within the window.
+
+Detectors are pure functions of the window dictionary: no clocks, no
+global state, fully deterministic for a given window — which is what
+makes the control loop's decisions replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from .window import Snapshot, counter_sum, histogram_window
+
+__all__ = ["Anomaly", "Detector", "CacheHitRateCollapse",
+           "SolverDivergence", "RetryStorm", "WarmStartDrift",
+           "LatencySloBreach", "default_detectors", "detect_all"]
+
+#: Canonical anomaly kinds (the proposer keys its playbook on these).
+KIND_CACHE_COLLAPSE = "cache-hit-collapse"
+KIND_SOLVER_DIVERGENCE = "solver-divergence"
+KIND_RETRY_STORM = "retry-storm"
+KIND_WARM_DRIFT = "warm-start-drift"
+KIND_SLO_BREACH = "latency-slo-breach"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One classified deviation observed in a metric window.
+
+    Attributes:
+        kind: Canonical anomaly kind (see the module constants).
+        detector: Name of the detector that raised it.
+        severity: ``"warn"`` or ``"critical"`` — critical anomalies are
+            allowed to propose degradation-mode remediations.
+        message: Human-readable one-liner.
+        evidence: The windowed numbers the classification rests on
+            (JSON-serializable; lands verbatim in the event log).
+    """
+
+    kind: str
+    detector: str
+    severity: str = "warn"
+    message: str = ""
+    evidence: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "detector": self.detector,
+                "severity": self.severity, "message": self.message,
+                "evidence": dict(self.evidence)}
+
+
+class Detector:
+    """Base detector: a name plus a pure ``detect(window)`` method."""
+
+    name = "detector"
+
+    def detect(self, window: Snapshot) -> List[Anomaly]:
+        raise NotImplementedError
+
+
+class CacheHitRateCollapse(Detector):
+    """Recent cache hit rate below ``min_hit_rate``.
+
+    The rate is derived from the per-window deltas of the
+    ``cache_lookups_total{layer=...}`` counters, so a cache whose
+    lifetime average still looks healthy cannot mask a collapse.
+    Windows with fewer than ``min_lookups`` lookups are ignored — an
+    idle cache is not a collapsed cache.
+    """
+
+    name = "cache-hit-rate"
+
+    def __init__(self, min_hit_rate: float = 0.2,
+                 min_lookups: int = 8) -> None:
+        self.min_hit_rate = min_hit_rate
+        self.min_lookups = min_lookups
+
+    def detect(self, window: Snapshot) -> List[Anomaly]:
+        memory = counter_sum(window, "cache_lookups_total",
+                             {"layer": "memory"})
+        disk = counter_sum(window, "cache_lookups_total",
+                           {"layer": "disk"})
+        miss = counter_sum(window, "cache_lookups_total",
+                           {"layer": "miss"})
+        lookups = memory + disk + miss
+        if lookups < self.min_lookups:
+            return []
+        hit_rate = (memory + disk) / lookups
+        if hit_rate >= self.min_hit_rate:
+            return []
+        evictions = counter_sum(window, "cache_evictions_total")
+        return [Anomaly(
+            kind=KIND_CACHE_COLLAPSE, detector=self.name,
+            severity="warn",
+            message=f"windowed cache hit rate {hit_rate:.2f} below "
+                    f"floor {self.min_hit_rate:.2f} "
+                    f"({int(lookups)} lookups)",
+            evidence={"hit_rate": hit_rate, "lookups": lookups,
+                      "misses": miss, "evictions": evictions})]
+
+
+class SolverDivergence(Detector):
+    """Solver iteration/residual blow-ups inside the window.
+
+    Fires when solves failed to converge, when the mean outer-iteration
+    count per solve exceeds ``max_mean_iterations``, or when the
+    windowed p95 of the per-iteration VI residuals exceeds
+    ``max_residual_p95`` (residuals of a healthy solve shrink toward
+    the tolerance; a fat residual tail means thrashing).
+    """
+
+    name = "solver-health"
+
+    def __init__(self, max_mean_iterations: float = 200.0,
+                 max_residual_p95: float = 1.0) -> None:
+        self.max_mean_iterations = max_mean_iterations
+        self.max_residual_p95 = max_residual_p95
+
+    def detect(self, window: Snapshot) -> List[Anomaly]:
+        anomalies: List[Anomaly] = []
+        nonconverged = counter_sum(window, "vi_nonconverged_total")
+        solves = counter_sum(window, "vi_solves_total")
+        iterations = counter_sum(window, "vi_iterations_total")
+        if nonconverged > 0:
+            anomalies.append(Anomaly(
+                kind=KIND_SOLVER_DIVERGENCE, detector=self.name,
+                severity="critical",
+                message=f"{int(nonconverged)} solve(s) hit the "
+                        f"iteration budget without converging",
+                evidence={"nonconverged": nonconverged,
+                          "solves": solves}))
+            return anomalies
+        if solves > 0:
+            mean_iterations = iterations / solves
+            if mean_iterations > self.max_mean_iterations:
+                anomalies.append(Anomaly(
+                    kind=KIND_SOLVER_DIVERGENCE, detector=self.name,
+                    severity="warn",
+                    message=f"mean iterations per solve "
+                            f"{mean_iterations:.0f} above "
+                            f"{self.max_mean_iterations:.0f}",
+                    evidence={"mean_iterations": mean_iterations,
+                              "solves": solves}))
+                return anomalies
+        residuals = histogram_window(window, "vi_residual")
+        if residuals is not None and residuals.count > 0 \
+                and residuals.p95 > self.max_residual_p95:
+            anomalies.append(Anomaly(
+                kind=KIND_SOLVER_DIVERGENCE, detector=self.name,
+                severity="warn",
+                message=f"windowed residual p95 {residuals.p95:.3g} "
+                        f"above {self.max_residual_p95:.3g}",
+                evidence={"residual_p95": residuals.p95,
+                          "observations": float(residuals.count)}))
+        return anomalies
+
+
+class RetryStorm(Detector):
+    """Retries or injected faults spiking relative to dispatch volume.
+
+    ``max_retry_ratio`` bounds retries-per-dispatch; any exhausted
+    retry loop (a request that burned its whole attempt budget) is
+    critical on its own, as is a fault-injection rate above
+    ``max_fault_rate`` per dispatch.
+    """
+
+    name = "retry-storm"
+
+    def __init__(self, max_retry_ratio: float = 0.5,
+                 max_fault_rate: float = 1.0,
+                 min_dispatches: int = 4) -> None:
+        self.max_retry_ratio = max_retry_ratio
+        self.max_fault_rate = max_fault_rate
+        self.min_dispatches = min_dispatches
+
+    def detect(self, window: Snapshot) -> List[Anomaly]:
+        dispatches = counter_sum(window, "dispatch_total")
+        retries = counter_sum(window, "retry_retries_total")
+        exhausted = counter_sum(window, "retry_exhausted_total")
+        faults = counter_sum(window, "faults_injected_total")
+        anomalies: List[Anomaly] = []
+        if exhausted > 0:
+            anomalies.append(Anomaly(
+                kind=KIND_RETRY_STORM, detector=self.name,
+                severity="critical",
+                message=f"{int(exhausted)} retry loop(s) exhausted "
+                        f"their attempt budget",
+                evidence={"exhausted": exhausted, "retries": retries,
+                          "dispatches": dispatches}))
+            return anomalies
+        if dispatches >= self.min_dispatches:
+            ratio = retries / dispatches
+            if ratio > self.max_retry_ratio:
+                anomalies.append(Anomaly(
+                    kind=KIND_RETRY_STORM, detector=self.name,
+                    severity="warn",
+                    message=f"retry ratio {ratio:.2f} per dispatch "
+                            f"above {self.max_retry_ratio:.2f}",
+                    evidence={"retry_ratio": ratio, "retries": retries,
+                              "dispatches": dispatches}))
+                return anomalies
+            fault_rate = faults / dispatches
+            if fault_rate > self.max_fault_rate:
+                anomalies.append(Anomaly(
+                    kind=KIND_RETRY_STORM, detector=self.name,
+                    severity="warn",
+                    message=f"fault rate {fault_rate:.2f} per "
+                            f"dispatch above {self.max_fault_rate:.2f}",
+                    evidence={"fault_rate": fault_rate,
+                              "faults": faults,
+                              "dispatches": dispatches}))
+        return anomalies
+
+
+class WarmStartDrift(Detector):
+    """Warm-started solves slower than cold solves: index drift.
+
+    Compares the windowed p50 of ``serving_solve_seconds`` split by the
+    ``warm`` label. A healthy nearest-neighbor index makes warm solves
+    *faster*; when the suggested neighbors are stale (parameter drift,
+    regime changes), iterating from them costs more than a cold start —
+    the index should be rebuilt.
+    """
+
+    name = "warm-start-index"
+
+    def __init__(self, drift_factor: float = 1.5,
+                 min_solves: int = 3) -> None:
+        self.drift_factor = drift_factor
+        self.min_solves = min_solves
+
+    def detect(self, window: Snapshot) -> List[Anomaly]:
+        warm = histogram_window(window, "serving_solve_seconds",
+                                {"warm": "true"})
+        cold = histogram_window(window, "serving_solve_seconds",
+                                {"warm": "false"})
+        if warm is None or cold is None:
+            return []
+        if warm.count < self.min_solves or cold.count < self.min_solves:
+            return []
+        if not (warm.p50 > self.drift_factor * cold.p50):
+            return []
+        return [Anomaly(
+            kind=KIND_WARM_DRIFT, detector=self.name, severity="warn",
+            message=f"warm-start p50 {warm.p50 * 1e3:.2f}ms exceeds "
+                    f"{self.drift_factor:.1f}x cold p50 "
+                    f"{cold.p50 * 1e3:.2f}ms",
+            evidence={"warm_p50": warm.p50, "cold_p50": cold.p50,
+                      "warm_solves": float(warm.count),
+                      "cold_solves": float(cold.count)})]
+
+
+class LatencySloBreach(Detector):
+    """Serving latency above the SLO inside the window.
+
+    Watches the windowed quantiles of ``serving_scenario_seconds``
+    (per-scenario wall clock: lookups for hits, solves for misses)
+    against the p95/p99 objectives.
+    """
+
+    name = "latency-slo"
+
+    def __init__(self, slo_p95: float = 0.5, slo_p99: float = 2.0,
+                 min_requests: int = 8) -> None:
+        self.slo_p95 = slo_p95
+        self.slo_p99 = slo_p99
+        self.min_requests = min_requests
+
+    def detect(self, window: Snapshot) -> List[Anomaly]:
+        latency = histogram_window(window, "serving_scenario_seconds")
+        if latency is None or latency.count < self.min_requests:
+            return []
+        breaches: Dict[str, float] = {}
+        if latency.p95 > self.slo_p95:
+            breaches["p95"] = latency.p95
+        if latency.p99 > self.slo_p99:
+            breaches["p99"] = latency.p99
+        if not breaches:
+            return []
+        worst = ", ".join(f"{q}={v * 1e3:.1f}ms"
+                          for q, v in breaches.items())
+        return [Anomaly(
+            kind=KIND_SLO_BREACH, detector=self.name,
+            severity="critical" if "p99" in breaches else "warn",
+            message=f"serving latency SLO breached ({worst}; "
+                    f"objectives p95<{self.slo_p95 * 1e3:.0f}ms, "
+                    f"p99<{self.slo_p99 * 1e3:.0f}ms)",
+            evidence={"p95": latency.p95, "p99": latency.p99,
+                      "requests": float(latency.count),
+                      **{f"breach_{q}": v for q, v in breaches.items()}})]
+
+
+def default_detectors() -> List[Detector]:
+    """The full detector catalog with default thresholds."""
+    return [CacheHitRateCollapse(), SolverDivergence(), RetryStorm(),
+            WarmStartDrift(), LatencySloBreach()]
+
+
+def detect_all(detectors: Sequence[Detector],
+               window: Snapshot) -> List[Anomaly]:
+    """Run every detector over one window; anomalies in catalog order."""
+    found: List[Anomaly] = []
+    for detector in detectors:
+        found.extend(detector.detect(window))
+    return found

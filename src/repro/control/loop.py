@@ -1,0 +1,243 @@
+"""The self-tuning loop: detect → propose → verify → apply, bounded.
+
+:class:`ControlLoop` stitches the pipeline together over windowed
+metric snapshots and adds the safety rails that keep a self-healing
+system from thrashing itself:
+
+* **cadence** — one :meth:`run_once` consumes exactly one metrics
+  window (:meth:`~repro.telemetry.MetricsRegistry.window_snapshot`);
+  the optional background thread runs it at a bounded interval, or a
+  host (pipeline, chaos harness) calls :meth:`tick` once per round;
+* **hysteresis** — after an action of some ``cooldown_class`` is
+  applied, further actions of that class are suppressed for
+  ``cooldown_ticks`` windows, so two cache remedies can never
+  ping-pong;
+* **action budget** — a hard lifetime cap on applied remediations; a
+  exhausted budget turns the loop into a pure detector;
+* **recovery** — after ``recovery_windows`` consecutive anomaly-free
+  windows in degraded mode, an ``ExitDegradedMode`` is proposed
+  through the same verify/apply gauntlet as any other action.
+
+Determinism: given the same sequence of windows the loop makes the
+same decisions — there is no randomness and no wall-clock dependence
+in the decision path (the thread interval only paces *when* windows
+are taken, never *what* is decided).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..telemetry import TELEMETRY as _TEL
+from ..telemetry import MetricsRegistry
+from .actuator import Actuator, Decision
+from .anomalies import Anomaly, Detector, default_detectors, detect_all
+from .remediations import ExitDegradedMode, Proposer, Remediation
+from .target import ControlTarget
+
+__all__ = ["ControlReport", "ControlLoop"]
+
+
+@dataclass
+class ControlReport:
+    """Everything one control window produced.
+
+    Attributes:
+        tick: Ordinal of this window since the loop was built.
+        anomalies: What the detectors flagged.
+        decisions: Outcome of every proposal that reached the actuator.
+        suppressed: ``(kind, reason)`` pairs for proposals blocked by
+            hysteresis or the action budget before verification.
+    """
+
+    tick: int = 0
+    anomalies: List[Anomaly] = field(default_factory=list)
+    decisions: List[Decision] = field(default_factory=list)
+    suppressed: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def applied(self) -> List[Decision]:
+        return [d for d in self.decisions if d.applied]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"tick": self.tick,
+                "anomalies": [a.to_dict() for a in self.anomalies],
+                "decisions": [d.to_dict() for d in self.decisions],
+                "suppressed": [{"kind": k, "reason": r}
+                               for k, r in self.suppressed]}
+
+
+class ControlLoop:
+    """Bounded detect → propose → verify → apply loop.
+
+    Args:
+        target: The live objects remediations act on.
+        registry: Metrics source; defaults to the global telemetry
+            registry.
+        detectors: Anomaly detectors; defaults to the standard five.
+        proposer: Anomaly → remediation playbook.
+        actuator: Verify-then-apply executor (built from ``target``
+            when omitted). Pass ``Actuator(..., dry_run=True)`` — or
+            ``dry_run=True`` here — to observe without acting.
+        cooldown_ticks: Windows an applied action's ``cooldown_class``
+            stays suppressed for.
+        action_budget: Lifetime cap on *applied* remediations.
+        recovery_windows: Consecutive clean windows before degraded
+            mode is exited.
+        interval: Background-thread cadence in seconds.
+        dry_run: Shorthand for a dry-run actuator.
+    """
+
+    def __init__(self, target: ControlTarget,
+                 registry: Optional[MetricsRegistry] = None,
+                 detectors: Optional[Sequence[Detector]] = None,
+                 proposer: Optional[Proposer] = None,
+                 actuator: Optional[Actuator] = None,
+                 cooldown_ticks: int = 2,
+                 action_budget: int = 8,
+                 recovery_windows: int = 3,
+                 interval: float = 5.0,
+                 dry_run: bool = False) -> None:
+        self.target = target
+        self._registry = registry
+        self.detectors: List[Detector] = list(
+            detectors if detectors is not None else default_detectors())
+        self.proposer = proposer or Proposer()
+        self.actuator = actuator or Actuator(target, dry_run=dry_run)
+        self.cooldown_ticks = cooldown_ticks
+        self.action_budget = action_budget
+        self.recovery_windows = recovery_windows
+        self.interval = interval
+        self.actions_applied = 0
+        self.reports: List[ControlReport] = []
+        self._tick = 0
+        self._cooldowns: Dict[str, int] = {}
+        self._clean_windows = 0
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return (self._registry if self._registry is not None
+                else _TEL.metrics)
+
+    # ------------------------------------------------------------------
+
+    def run_once(self) -> ControlReport:
+        """Consume one metrics window and run the full pipeline."""
+        self._tick += 1
+        report = ControlReport(tick=self._tick)
+        window = self.registry.window_snapshot()
+        report.anomalies = detect_all(self.detectors, window)
+        for anomaly in report.anomalies:
+            if _TEL.enabled:
+                _TEL.emit("control.detected", tick=self._tick,
+                          anomaly=anomaly.to_dict())
+
+        proposals = self.proposer.propose_all(report.anomalies,
+                                              self.target.state())
+        proposals.extend(self._recovery_proposals(report.anomalies))
+
+        for remediation in proposals:
+            blocked = self._suppression_reason(remediation)
+            if blocked is not None:
+                report.suppressed.append((remediation.kind, blocked))
+                if _TEL.enabled:
+                    _TEL.emit("control.skipped", tick=self._tick,
+                              remediation=remediation.to_dict(),
+                              reason=blocked)
+                continue
+            if _TEL.enabled:
+                _TEL.emit("control.proposed", tick=self._tick,
+                          remediation=remediation.to_dict(),
+                          description=remediation.describe())
+            decision = self.actuator.execute(remediation)
+            report.decisions.append(decision)
+            if decision.applied:
+                self.actions_applied += 1
+                self._cooldowns[remediation.cooldown_class] = \
+                    self._tick + self.cooldown_ticks
+        self.reports.append(report)
+        return report
+
+    #: Per-round hook for hosts that own the cadence (pipeline, chaos).
+    tick = run_once
+
+    def _recovery_proposals(self, anomalies: Sequence[Anomaly]
+                            ) -> List[Remediation]:
+        """Exit degradation after enough consecutive clean windows."""
+        if anomalies:
+            self._clean_windows = 0
+            return []
+        self._clean_windows += 1
+        if (self.target.degraded
+                and self._clean_windows >= self.recovery_windows):
+            return [ExitDegradedMode(reason="recovery")]
+        return []
+
+    def _suppression_reason(self,
+                            remediation: Remediation) -> Optional[str]:
+        if self.actions_applied >= self.action_budget:
+            return f"action budget exhausted ({self.action_budget})"
+        until = self._cooldowns.get(remediation.cooldown_class, 0)
+        if self._tick < until:
+            return (f"cooldown on class "
+                    f"{remediation.cooldown_class!r} until tick {until}")
+        return None
+
+    # ------------------------------------------------------------------
+    # Background-thread cadence
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Run :meth:`run_once` every ``interval`` seconds until
+        :meth:`stop`. Idempotent while already running."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+
+        def _worker() -> None:
+            while not self._stop.wait(self.interval):
+                try:
+                    self.run_once()
+                except Exception as ex:  # repro: noqa[RPR007] — the
+                    # loop must survive any single bad window; the
+                    # failure is logged, never raised into the thread.
+                    if _TEL.enabled:
+                        _TEL.emit("control.error", error=str(ex))
+
+        self._thread = threading.Thread(target=_worker,
+                                        name="repro-control-loop",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the background thread to exit and join it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def __enter__(self) -> "ControlLoop":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view of every window processed so far."""
+        outcomes: Dict[str, int] = {}
+        for report in self.reports:
+            for decision in report.decisions:
+                outcomes[decision.outcome] = \
+                    outcomes.get(decision.outcome, 0) + 1
+        return {"ticks": self._tick,
+                "anomalies": sum(len(r.anomalies) for r in self.reports),
+                "actions_applied": self.actions_applied,
+                "outcomes": outcomes,
+                "degraded": self.target.degraded}

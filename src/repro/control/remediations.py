@@ -1,0 +1,253 @@
+"""Typed remediation actions and the anomaly → remediation playbook.
+
+A :class:`Remediation` is pure data describing one reversible change to
+the serving stack; the :class:`~repro.control.actuator.Actuator` is the
+only component that executes them. Each remediation carries a
+``cooldown_class`` — the hysteresis key the control loop rate-limits
+on, so e.g. two different cache actions share one cooldown window and
+the loop cannot thrash a subsystem by alternating remedies.
+
+The :class:`Proposer` maps each anomaly kind to its playbook entry:
+
+====================  ==========================================
+anomaly               remediation
+====================  ==========================================
+cache-hit-collapse    grow the cache when the window shows
+                      evictions (capacity collapse), flush it
+                      otherwise (stale/poisoned contents)
+solver-divergence     step the kernel down the robustness chain
+                      ``vectorized -> running -> scalar``
+retry-storm           tighten the retry policy; on exhausted
+                      budgets (critical), enter all-cloud
+                      degradation instead
+warm-start-drift      rebuild the warm-start index
+latency-slo-breach    step the kernel *up* the speed chain
+                      toward ``vectorized``; already there ->
+                      grow the cache
+(recovery)            exit degradation after ``recovery_windows``
+                      consecutive clean windows
+====================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
+                    Set)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .target import TargetState
+
+from ..resilience.retry import RetryPolicy
+from .anomalies import (KIND_CACHE_COLLAPSE, KIND_RETRY_STORM,
+                        KIND_SLO_BREACH, KIND_SOLVER_DIVERGENCE,
+                        KIND_WARM_DRIFT, Anomaly)
+
+__all__ = ["Remediation", "SwitchKernel", "ResizeCache", "FlushCache",
+           "RebuildWarmIndex", "TightenRetryPolicy",
+           "EnterDegradedMode", "ExitDegradedMode", "Proposer",
+           "KERNEL_ROBUSTNESS_CHAIN"]
+
+#: Kernel fallback order under solver trouble: the vectorized aggregate
+#: kernel is fastest but assumes the consistency system is
+#: well-behaved; "running" does exact per-miner best responses with
+#: O(n) aggregates; "scalar" is the reference implementation.
+KERNEL_ROBUSTNESS_CHAIN = ("vectorized", "running", "scalar")
+
+
+@dataclass(frozen=True)
+class Remediation:
+    """Base class: one typed, describable action.
+
+    Attributes:
+        reason: The anomaly kind (or ``"recovery"``) that motivated it.
+    """
+
+    reason: str = ""
+
+    #: Canonical action kind; overridden per subclass.
+    kind = "noop"
+    #: Hysteresis key shared by related actions.
+    cooldown_class = "noop"
+
+    def describe(self) -> str:
+        return self.kind
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"kind": self.kind,
+                                   "class": self.cooldown_class,
+                                   "reason": self.reason}
+        for name, value in vars(self).items():
+            if name != "reason":
+                payload[name] = value
+        return payload
+
+
+@dataclass(frozen=True)
+class SwitchKernel(Remediation):
+    """Force the serving engine onto ``target`` for every scenario."""
+
+    target: str = "running"
+    kind = "switch-kernel"
+    cooldown_class = "kernel"
+
+    def describe(self) -> str:
+        return f"switch solver kernel to {self.target!r}"
+
+
+@dataclass(frozen=True)
+class ResizeCache(Remediation):
+    """Change the scenario cache's LRU bound to ``maxsize``."""
+
+    maxsize: int = 4096
+    kind = "resize-cache"
+    cooldown_class = "cache"
+
+    def describe(self) -> str:
+        return f"resize scenario cache to {self.maxsize} entries"
+
+
+@dataclass(frozen=True)
+class FlushCache(Remediation):
+    """Drop every in-memory cache entry (disk layer untouched)."""
+
+    kind = "flush-cache"
+    cooldown_class = "cache"
+
+    def describe(self) -> str:
+        return "flush the in-memory scenario cache"
+
+
+@dataclass(frozen=True)
+class RebuildWarmIndex(Remediation):
+    """Drop the warm-start index so it repopulates from fresh solves."""
+
+    kind = "rebuild-warm-index"
+    cooldown_class = "warmstart"
+
+    def describe(self) -> str:
+        return "rebuild the warm-start index"
+
+
+@dataclass(frozen=True)
+class TightenRetryPolicy(Remediation):
+    """Swap the dispatcher's retry policy for a tighter one."""
+
+    policy: RetryPolicy = field(default_factory=lambda: RetryPolicy(
+        max_attempts=2, base_delay=0.05, max_delay=0.5))
+    kind = "tighten-retry"
+    cooldown_class = "retry"
+
+    def describe(self) -> str:
+        return (f"tighten retry policy to max_attempts="
+                f"{self.policy.max_attempts}, max_delay="
+                f"{self.policy.max_delay:g}s")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "class": self.cooldown_class,
+                "reason": self.reason,
+                "max_attempts": self.policy.max_attempts,
+                "base_delay": self.policy.base_delay,
+                "max_delay": self.policy.max_delay,
+                "jitter": self.policy.jitter}
+
+
+@dataclass(frozen=True)
+class EnterDegradedMode(Remediation):
+    """Enter all-cloud degradation: route every request to the CSP."""
+
+    kind = "enter-degraded"
+    cooldown_class = "degradation"
+
+    def describe(self) -> str:
+        return "enter all-cloud degradation mode"
+
+
+@dataclass(frozen=True)
+class ExitDegradedMode(Remediation):
+    """Leave all-cloud degradation and resume normal routing."""
+
+    kind = "exit-degraded"
+    cooldown_class = "degradation"
+
+    def describe(self) -> str:
+        return "exit all-cloud degradation mode"
+
+
+class Proposer:
+    """Maps anomalies onto remediations, given the live target state.
+
+    Args:
+        max_cache_size: Hard cap the cache-grow playbook never exceeds.
+        tight_policy: The retry policy installed on a retry storm.
+    """
+
+    def __init__(self, max_cache_size: int = 65536,
+                 tight_policy: Optional[RetryPolicy] = None) -> None:
+        self.max_cache_size = max_cache_size
+        self.tight_policy = tight_policy or RetryPolicy(
+            max_attempts=2, base_delay=0.05, max_delay=0.5)
+
+    def propose(self, anomaly: Anomaly,
+                state: "TargetState") -> Optional[Remediation]:
+        """The playbook entry for one anomaly, or None when the state
+        offers no further action (e.g. already on the scalar kernel)."""
+        kind = anomaly.kind
+        if kind == KIND_CACHE_COLLAPSE:
+            if anomaly.evidence.get("evictions", 0.0) > 0.0 \
+                    and state.cache_maxsize < self.max_cache_size:
+                grown = min(state.cache_maxsize * 2,
+                            self.max_cache_size)
+                return ResizeCache(maxsize=grown, reason=kind)
+            return FlushCache(reason=kind)
+        if kind == KIND_SOLVER_DIVERGENCE:
+            downgraded = _step_kernel(state.kernel, direction=+1)
+            if downgraded is None:
+                return None  # already on the reference kernel
+            return SwitchKernel(target=downgraded, reason=kind)
+        if kind == KIND_RETRY_STORM:
+            if anomaly.severity == "critical" and not state.degraded:
+                return EnterDegradedMode(reason=kind)
+            if not state.retry_tightened:
+                return TightenRetryPolicy(policy=self.tight_policy,
+                                          reason=kind)
+            return None
+        if kind == KIND_WARM_DRIFT:
+            return RebuildWarmIndex(reason=kind)
+        if kind == KIND_SLO_BREACH:
+            upgraded = _step_kernel(state.kernel, direction=-1)
+            if upgraded is not None:
+                return SwitchKernel(target=upgraded, reason=kind)
+            if state.cache_maxsize < self.max_cache_size:
+                grown = min(state.cache_maxsize * 2,
+                            self.max_cache_size)
+                return ResizeCache(maxsize=grown, reason=kind)
+            return None
+        return None
+
+    def propose_all(self, anomalies: Sequence[Anomaly],
+                    state: "TargetState") -> List[Remediation]:
+        """Playbook over a window's anomalies, deduplicated by action
+        kind (two anomalies proposing the same action yield one)."""
+        out: List[Remediation] = []
+        seen: Set[str] = set()
+        for anomaly in anomalies:
+            remediation = self.propose(anomaly, state)
+            if remediation is None or remediation.kind in seen:
+                continue
+            seen.add(remediation.kind)
+            out.append(remediation)
+        return out
+
+
+def _step_kernel(current: str, direction: int) -> Optional[str]:
+    """Next kernel along the robustness chain (+1 = more robust,
+    -1 = faster); None at either end or for unknown kernels."""
+    try:
+        index = KERNEL_ROBUSTNESS_CHAIN.index(current)
+    except ValueError:
+        return KERNEL_ROBUSTNESS_CHAIN[0] if direction < 0 else None
+    index += direction
+    if 0 <= index < len(KERNEL_ROBUSTNESS_CHAIN):
+        return KERNEL_ROBUSTNESS_CHAIN[index]
+    return None

@@ -1,0 +1,206 @@
+"""Seeded anomaly-induction scenarios for exercising the control loop.
+
+Each function drives the *real* subsystems (serving engine, resilient
+dispatcher, VI solver) — or, where real timing would be flaky, records
+deterministic observations — until the telemetry window exhibits one
+anomaly class. The CLI ``repro-mining control --check --scenario X``
+and the control-plane tests share these, so "does detector X fire and
+does the loop heal it" is asserted against identical, reproducible
+inductions everywhere.
+
+Every induction is deterministic in its ``seed``; none of them touch
+wall-clock randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core import Prices, homogeneous
+from ..core.gnep import solve_standalone_extragradient
+from ..core.params import EdgeMode
+from ..offloading.provider import CloudProvider, EdgeProvider
+from ..offloading.request import ResourceRequest
+from ..resilience.dispatcher import ResilientDispatcher
+from ..resilience.faults import FaultInjector, FaultPlan, TransientFaults
+from ..resilience.providers import (FaultyCloudProvider,
+                                    FaultyEdgeProvider)
+from ..resilience.retry import RetryPolicy
+from ..serving.engine import ServingEngine
+from ..serving.keys import ScenarioSpec
+from ..telemetry import TELEMETRY as _TEL
+from .anomalies import (KIND_CACHE_COLLAPSE, KIND_RETRY_STORM,
+                        KIND_SLO_BREACH, KIND_SOLVER_DIVERGENCE,
+                        KIND_WARM_DRIFT)
+
+__all__ = ["InducedScenario", "SCENARIOS", "induce_cache_collapse",
+           "induce_retry_storm", "induce_solver_divergence",
+           "induce_warm_drift", "induce_slo_breach", "induce"]
+
+
+@dataclass
+class InducedScenario:
+    """What an induction built and what it expects the loop to see.
+
+    Attributes:
+        kind: The anomaly kind the induction provokes.
+        engine: The serving engine involved, when the scenario has one
+            (attach it to the :class:`~repro.control.target.ControlTarget`).
+        dispatcher: The resilient dispatcher, when the scenario has one.
+        detail: Free-form numbers describing what was driven.
+    """
+
+    kind: str
+    engine: Optional[ServingEngine] = None
+    dispatcher: Optional[ResilientDispatcher] = None
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+def induce_cache_collapse(seed: int = 0, n_specs: int = 24,
+                          maxsize: int = 2) -> InducedScenario:
+    """Thrash a tiny cache with an all-distinct scenario stream.
+
+    ``n_specs`` distinct miner-stage scenarios (budgets drawn from a
+    seeded grid) served through a ``maxsize``-entry cache: every lookup
+    misses and the LRU bound evicts constantly, so the windowed hit
+    rate collapses to ~0 with evictions > 0 — exactly the signature
+    the :class:`~repro.control.anomalies.CacheHitRateCollapse` detector
+    keys on (and the grow-the-cache playbook answers).
+    """
+    engine = ServingEngine(maxsize=maxsize, warm_start=False,
+                           use_guard=False)
+    prices = Prices(p_e=2.0, p_c=1.0)
+    rng = np.random.default_rng(seed)
+    budgets = 150.0 + 400.0 * rng.random(n_specs)
+    specs = [ScenarioSpec(params=homogeneous(5, float(b), reward=1500.0,
+                                             fork_rate=0.2, h=0.8),
+                          prices=prices)
+             for b in budgets]
+    results = engine.serve_batch(specs)
+    solved = sum(1 for r in results if r.ok)
+    return InducedScenario(
+        kind=KIND_CACHE_COLLAPSE, engine=engine,
+        detail={"specs": float(n_specs), "solved": float(solved),
+                "evictions": float(engine.cache.stats.evictions)})
+
+
+def induce_retry_storm(seed: int = 0, n_requests: int = 12,
+                       rate: float = 0.85) -> InducedScenario:
+    """Dispatch through providers whose calls fail transiently.
+
+    A seeded :class:`~repro.resilience.faults.TransientFaults` plan at
+    a high failure rate makes nearly every dispatch burn retries and a
+    fraction exhaust the attempt budget — the retry-storm signature
+    (retries per dispatch above threshold, ``retry_exhausted_total``
+    > 0 escalating severity to critical).
+    """
+    plan = FaultPlan(faults=(TransientFaults(rate=rate, target="both"),),
+                     seed=seed)
+    injector = FaultInjector(plan)
+    edge = FaultyEdgeProvider(
+        EdgeProvider(price=2.0, unit_cost=0.2, h=0.8, seed=seed),
+        injector)
+    cloud = FaultyCloudProvider(
+        CloudProvider(price=1.0, unit_cost=0.1, d_avg=0.0), injector)
+    dispatcher = ResilientDispatcher(edge, cloud, policy=RetryPolicy(),
+                                     seed=seed)
+    for i in range(n_requests):
+        dispatcher.dispatch(ResourceRequest(miner_id=i, edge_units=2.0,
+                                            cloud_units=3.0))
+    stats = dispatcher.stats
+    return InducedScenario(
+        kind=KIND_RETRY_STORM, dispatcher=dispatcher,
+        detail={"dispatches": float(stats.dispatches),
+                "retries": float(stats.retries),
+                "failed": float(stats.failed_requests)})
+
+
+def induce_solver_divergence(seed: int = 0,
+                             max_iter: int = 5) -> InducedScenario:
+    """Starve the extragradient VI solver of iterations.
+
+    A real standalone solve capped at ``max_iter`` steps cannot
+    converge; it returns a flagged result and bumps
+    ``vi_nonconverged_total`` plus a large ``vi_residual`` observation
+    — the solver-divergence signature that steps the serving kernel
+    down the robustness chain.
+    """
+    params = homogeneous(5, 1000.0, reward=1000.0, fork_rate=0.2,
+                         mode=EdgeMode.STANDALONE, e_max=80.0)
+    prices = Prices(p_e=2.0, p_c=1.0)
+    eq = solve_standalone_extragradient(params, prices, tol=1e-14,
+                                        max_iter=max_iter,
+                                        raise_on_failure=False)
+    return InducedScenario(
+        kind=KIND_SOLVER_DIVERGENCE,
+        detail={"converged": float(eq.converged),
+                "iterations": float(eq.report.iterations)})
+
+
+def induce_warm_drift(n_obs: int = 6, warm_seconds: float = 0.9,
+                      cold_seconds: float = 0.2) -> InducedScenario:
+    """Record a warm-slower-than-cold latency split.
+
+    Real drift induction would depend on wall-clock solver timing
+    (flaky under CI load), so the drift signature is recorded directly
+    into the ``serving_solve_seconds`` histograms the
+    :class:`~repro.control.anomalies.WarmStartDrift` detector reads:
+    warm-started solves landing ~4x slower than cold ones.
+    """
+    metrics = _TEL.metrics
+    warm = metrics.histogram(
+        "serving_solve_seconds",
+        "Wall clock of cache-miss solves, split warm vs cold",
+        labels={"warm": "true"})
+    cold = metrics.histogram(
+        "serving_solve_seconds",
+        "Wall clock of cache-miss solves, split warm vs cold",
+        labels={"warm": "false"})
+    for _ in range(n_obs):
+        warm.observe(warm_seconds)
+        cold.observe(cold_seconds)
+    return InducedScenario(
+        kind=KIND_WARM_DRIFT,
+        detail={"warm_seconds": warm_seconds,
+                "cold_seconds": cold_seconds, "observations": float(n_obs)})
+
+
+def induce_slo_breach(n_obs: int = 12,
+                      seconds: float = 1.5) -> InducedScenario:
+    """Record per-scenario latencies far above the serving SLO.
+
+    Like :func:`induce_warm_drift`, the breach is recorded rather than
+    timed: ``n_obs`` observations at ``seconds`` push the windowed p95
+    of ``serving_scenario_seconds`` over the SLO threshold.
+    """
+    latency = _TEL.metrics.histogram(
+        "serving_scenario_seconds",
+        "Per-scenario wall clock (lookup for hits, solve for misses)")
+    for _ in range(n_obs):
+        latency.observe(seconds)
+    return InducedScenario(
+        kind=KIND_SLO_BREACH,
+        detail={"seconds": seconds, "observations": float(n_obs)})
+
+
+#: Scenario name → induction function (the CLI's ``--scenario`` menu).
+SCENARIOS: Dict[str, Callable[..., InducedScenario]] = {
+    "cache-collapse": induce_cache_collapse,
+    "retry-storm": induce_retry_storm,
+    "solver-divergence": induce_solver_divergence,
+    "warm-drift": induce_warm_drift,
+    "slo-breach": induce_slo_breach,
+}
+
+
+def induce(name: str, seed: int = 0) -> InducedScenario:
+    """Run one named induction (seeded where the scenario draws)."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; expected one of "
+                       f"{sorted(SCENARIOS)}")
+    if name in ("warm-drift", "slo-breach"):
+        return SCENARIOS[name]()
+    return SCENARIOS[name](seed=seed)

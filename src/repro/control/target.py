@@ -1,0 +1,179 @@
+"""The mutable surface the control plane acts on.
+
+:class:`ControlTarget` bundles the live objects a remediation may
+touch — a :class:`~repro.serving.engine.ServingEngine`, a
+:class:`~repro.resilience.dispatcher.ResilientDispatcher`, and the
+all-cloud degradation flag — behind three operations the actuator
+needs: read the current :class:`TargetState` (what the proposer keys
+its playbook on), ``apply`` a remediation, and ``snapshot``/``restore``
+for transactional rollback when a post-apply check fails.
+
+Either component may be ``None``: a target built around only an engine
+ignores retry remediations, and vice versa. ``apply`` reports whether
+it actually changed anything so the loop can log no-ops honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..exceptions import ConfigurationError
+from .remediations import (EnterDegradedMode, ExitDegradedMode,
+                           FlushCache, RebuildWarmIndex, Remediation,
+                           ResizeCache, SwitchKernel,
+                           TightenRetryPolicy)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..resilience.dispatcher import ResilientDispatcher
+    from ..resilience.retry import RetryPolicy
+    from ..serving.engine import ServingEngine
+
+__all__ = ["TargetState", "TargetSnapshot", "ControlTarget"]
+
+#: The kernel the engine effectively runs when no override is set
+#: (specs default to it throughout the stack).
+DEFAULT_KERNEL = "vectorized"
+
+
+@dataclass(frozen=True)
+class TargetState:
+    """What the proposer sees: the target's current configuration.
+
+    Attributes:
+        kernel: Effective solver kernel (the engine override when set,
+            otherwise the stack default).
+        cache_maxsize: Scenario cache LRU bound (0 without an engine).
+        degraded: Whether all-cloud degradation mode is active.
+        retry_tightened: Whether a tightened retry policy has already
+            been installed (prevents re-proposing it every window).
+    """
+
+    kernel: str = DEFAULT_KERNEL
+    cache_maxsize: int = 0
+    degraded: bool = False
+    retry_tightened: bool = False
+
+
+@dataclass
+class TargetSnapshot:
+    """Everything ``restore`` needs to undo one ``apply``."""
+
+    kernel_override: Optional[str] = None
+    cache_maxsize: int = 0
+    cache_entries: Any = None
+    warm_index: Any = None
+    retry_policy: Optional["RetryPolicy"] = None
+    degraded: bool = False
+    retry_tightened: bool = False
+
+
+class ControlTarget:
+    """Applies remediations to live serving/resilience objects.
+
+    Args:
+        engine: The serving engine (kernel, cache, warm-index seams).
+        dispatcher: The resilient dispatcher (retry-policy seam).
+        default_kernel: Kernel reported while no override is active.
+    """
+
+    def __init__(self, engine: Optional["ServingEngine"] = None,
+                 dispatcher: Optional["ResilientDispatcher"] = None,
+                 default_kernel: str = DEFAULT_KERNEL) -> None:
+        self.engine = engine
+        self.dispatcher = dispatcher
+        self.default_kernel = default_kernel
+        self.degraded = False
+        self.retry_tightened = False
+
+    # ------------------------------------------------------------------
+
+    def state(self) -> TargetState:
+        """The current configuration, as the proposer keys on it."""
+        kernel = self.default_kernel
+        maxsize = 0
+        if self.engine is not None:
+            kernel = self.engine.kernel_override or self.default_kernel
+            maxsize = self.engine.cache.maxsize
+        return TargetState(kernel=kernel, cache_maxsize=maxsize,
+                           degraded=self.degraded,
+                           retry_tightened=self.retry_tightened)
+
+    def snapshot(self) -> TargetSnapshot:
+        """Capture everything a subsequent ``restore`` must put back."""
+        snap = TargetSnapshot(degraded=self.degraded,
+                              retry_tightened=self.retry_tightened)
+        if self.engine is not None:
+            snap.kernel_override = self.engine.kernel_override
+            snap.cache_maxsize = self.engine.cache.maxsize
+            snap.cache_entries = self.engine.cache.snapshot_entries()
+            snap.warm_index = self.engine.warm_index
+        if self.dispatcher is not None:
+            snap.retry_policy = self.dispatcher.policy
+        return snap
+
+    def restore(self, snap: TargetSnapshot) -> None:
+        """Roll the target back to a snapshot (inverse of ``apply``)."""
+        self.degraded = snap.degraded
+        self.retry_tightened = snap.retry_tightened
+        if self.engine is not None:
+            self.engine.kernel_override = snap.kernel_override
+            self.engine.cache.maxsize = snap.cache_maxsize
+            if snap.cache_entries is not None:
+                self.engine.cache.restore_entries(snap.cache_entries)
+            if snap.warm_index is not None:
+                self.engine.warm_index = snap.warm_index
+        if self.dispatcher is not None and snap.retry_policy is not None:
+            self.dispatcher.policy = snap.retry_policy
+
+    # ------------------------------------------------------------------
+
+    def apply(self, remediation: Remediation) -> bool:
+        """Execute one remediation; True when live state changed.
+
+        A remediation whose component is absent (e.g. a retry action on
+        an engine-only target) is a no-op and returns False — the loop
+        logs it as skipped rather than applied.
+        """
+        if isinstance(remediation, SwitchKernel):
+            if self.engine is None:
+                return False
+            target = remediation.target
+            if target == self.default_kernel:
+                self.engine.set_kernel_override(None)
+            else:
+                self.engine.set_kernel_override(target)
+            return True
+        if isinstance(remediation, ResizeCache):
+            if self.engine is None:
+                return False
+            self.engine.resize_cache(remediation.maxsize)
+            return True
+        if isinstance(remediation, FlushCache):
+            if self.engine is None:
+                return False
+            self.engine.flush_cache()
+            return True
+        if isinstance(remediation, RebuildWarmIndex):
+            if self.engine is None:
+                return False
+            self.engine.rebuild_warm_index()
+            return True
+        if isinstance(remediation, TightenRetryPolicy):
+            if self.dispatcher is None:
+                return False
+            self.dispatcher.policy = remediation.policy
+            self.retry_tightened = True
+            return True
+        if isinstance(remediation, EnterDegradedMode):
+            if self.degraded:
+                return False
+            self.degraded = True
+            return True
+        if isinstance(remediation, ExitDegradedMode):
+            if not self.degraded:
+                return False
+            self.degraded = False
+            return True
+        raise ConfigurationError(
+            f"unknown remediation {type(remediation).__name__}")

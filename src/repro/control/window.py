@@ -1,0 +1,88 @@
+"""Typed readers over windowed metric snapshots.
+
+The control-plane detectors consume the dictionaries produced by
+:meth:`repro.telemetry.MetricsRegistry.window_snapshot` (or
+:func:`repro.telemetry.snapshot_delta`). These helpers pull single
+values out of that nested shape without every detector re-implementing
+label matching: counters sum across matching children, gauges report
+their level, histograms expose the windowed count/sum/quantiles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+__all__ = ["counter_sum", "gauge_value", "histogram_window",
+           "HistogramWindow"]
+
+Snapshot = Dict[str, Any]
+
+
+def _matching_values(window: Snapshot, name: str,
+                     labels: Optional[Mapping[str, str]]
+                     ) -> Iterator[Dict[str, Any]]:
+    family = window.get(name)
+    if family is None:
+        return
+    for value in family.get("values", []):
+        child_labels = value.get("labels", {})
+        if labels and any(child_labels.get(k) != v
+                          for k, v in labels.items()):
+            continue
+        yield value
+
+
+def counter_sum(window: Snapshot, name: str,
+                labels: Optional[Mapping[str, str]] = None) -> float:
+    """Sum of a counter family's windowed increments over the children
+    whose labels include every ``labels`` pair (all children when
+    ``labels`` is None/empty). Missing families read as 0.0."""
+    return float(sum(float(v.get("value", 0.0))
+                     for v in _matching_values(window, name, labels)))
+
+
+def gauge_value(window: Snapshot, name: str,
+                labels: Optional[Mapping[str, str]] = None
+                ) -> Optional[float]:
+    """Level of the first matching gauge child, or None when absent."""
+    for value in _matching_values(window, name, labels):
+        return float(value.get("value", 0.0))
+    return None
+
+
+class HistogramWindow:
+    """One histogram child's windowed payload, attribute-style."""
+
+    __slots__ = ("count", "sum", "p50", "p95", "p99")
+
+    def __init__(self, count: int, total: float, p50: float,
+                 p95: float, p99: float) -> None:
+        self.count = count
+        self.sum = total
+        self.p50 = p50
+        self.p95 = p95
+        self.p99 = p99
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+
+def histogram_window(window: Snapshot, name: str,
+                     labels: Optional[Mapping[str, str]] = None
+                     ) -> Optional[HistogramWindow]:
+    """Windowed stats of the first matching histogram child, or None.
+
+    The quantiles are the *per-window* estimates computed by
+    :func:`repro.telemetry.snapshot_delta` from the bucket deltas —
+    they describe only the observations made inside the window.
+    """
+    for value in _matching_values(window, name, labels):
+        if "count" not in value:
+            return None  # not a histogram child
+        return HistogramWindow(count=int(value["count"]),
+                               total=float(value.get("sum", 0.0)),
+                               p50=float(value.get("p50", float("nan"))),
+                               p95=float(value.get("p95", float("nan"))),
+                               p99=float(value.get("p99", float("nan"))))
+    return None

@@ -13,7 +13,7 @@ degraded number can never masquerade as a clean one.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.nep import MinerEquilibrium, solve_connected_equilibrium
 from ..core.params import GameParameters, Prices
@@ -59,7 +59,7 @@ class DegradationReport:
         return bool(self.faults or self.fallbacks or self.retries
                     or self.failed_requests or self.notes)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """Deterministic plain-data form (stable across same-seed runs)."""
         return {
             "degraded": self.degraded,

@@ -15,7 +15,7 @@ recorded in :attr:`failed_requests` for the degradation report.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Callable, List, Optional
 
 from ..offloading.dispatcher import Dispatcher
 from ..offloading.request import (Allocation, ResourceRequest,
@@ -45,7 +45,7 @@ class DispatchStats:
     total_backoff: float = 0.0
 
 
-def _unwrap(provider):
+def _unwrap(provider: Any) -> Any:
     """Reach the billing provider through any fault-injection wrapper."""
     return getattr(provider, "inner", provider)
 
@@ -65,9 +65,10 @@ class ResilientDispatcher(Dispatcher):
             default).
     """
 
-    def __init__(self, edge, cloud, policy: Optional[RetryPolicy] = None,
+    def __init__(self, edge: Any, cloud: Any,
+                 policy: Optional[RetryPolicy] = None,
                  seed: int = 0,
-                 sleep=None):
+                 sleep: Optional[Callable[[float], None]] = None) -> None:
         super().__init__(edge, cloud)
         self.policy = policy or RetryPolicy()
         self.stats = DispatchStats()

@@ -17,7 +17,7 @@ the end of the run".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -183,12 +183,12 @@ class FaultInjector:
     sequence of provider calls reproduce the same faults bit-for-bit.
     """
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self._rng = np.random.default_rng(plan.seed)
         self._round = 0
         self._events: List[FaultEvent] = []
-        self._seen = set()
+        self._seen: Set[Tuple[int, str]] = set()
 
     @property
     def round(self) -> int:

@@ -68,7 +68,7 @@ class GuardedSolution:
         return tuple(n for n in self.attempts if n in self.failures)
 
 
-def _find_report(value: Any):
+def _find_report(value: Any) -> Optional[Any]:
     report = getattr(value, "report", None)
     if report is not None and hasattr(report, "history"):
         return report
@@ -110,7 +110,7 @@ class SolverGuard:
 
     def __init__(self, deadline: Optional[float] = None,
                  accept_stalled: bool = True,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.deadline = deadline
         self.accept_stalled = accept_stalled
         self._clock = clock
@@ -183,9 +183,9 @@ class SolverGuard:
             + "; ".join(f"{n}: {r}" for n, r in failures.items()))
 
 
-def guarded_miner_equilibrium(params, prices,
+def guarded_miner_equilibrium(params: Any, prices: Any,
                               guard: Optional[SolverGuard] = None,
-                              **solver_kwargs) -> GuardedSolution:
+                              **solver_kwargs: Any) -> GuardedSolution:
     """Miner-stage solve with the default fallback chain.
 
     Chain: mode-appropriate best-response solver (the paper's algorithm)
@@ -234,8 +234,9 @@ def guarded_miner_equilibrium(params, prices,
     return guard.run(steps)
 
 
-def guarded_stackelberg(params, guard: Optional[SolverGuard] = None,
-                        **solver_kwargs) -> GuardedSolution:
+def guarded_stackelberg(params: Any,
+                        guard: Optional[SolverGuard] = None,
+                        **solver_kwargs: Any) -> GuardedSolution:
     """Leader-stage solve with the default fallback chain.
 
     Chain: the anticipating scheme (Theorem 4; the library default) ->

@@ -25,9 +25,15 @@ unguarded ``solve_stackelberg``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Dict, Iterable, List,
+                    Optional, Tuple)
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (the
+    # control package imports resilience; the runtime edge goes the
+    # other way only through this parameter).
+    from ..control.loop import ControlLoop
 
 from ..blockchain.simulator import RoundSimulator
 from ..core.nep import MinerEquilibrium
@@ -59,7 +65,8 @@ class ResilientMarket:
 
     def __init__(self, edge: EdgeProvider, cloud: CloudProvider,
                  reward: float, fork_rate: float, plan: FaultPlan,
-                 policy: Optional[RetryPolicy] = None, seed: int = 0):
+                 policy: Optional[RetryPolicy] = None,
+                 seed: int = 0) -> None:
         self.injector = FaultInjector(plan)
         self.edge = FaultyEdgeProvider(edge, self.injector)
         self.cloud = FaultyCloudProvider(cloud, self.injector)
@@ -70,7 +77,8 @@ class ResilientMarket:
         self._seed = seed
         self._round_counter = 0
 
-    def play_round(self, requests) -> MarketRound:
+    def play_round(self,
+                   requests: Iterable[ResourceRequest]) -> MarketRound:
         """Dispatch, mine, and settle one round under the fault plan.
 
         Advances the injector's round clock afterwards, so consecutive
@@ -126,6 +134,7 @@ class PipelineOutcome:
     prices: Prices
     rounds: List[MarketRound] = field(default_factory=list)
     report: DegradationReport = field(default_factory=DegradationReport)
+    control_summary: Optional[Dict[str, Any]] = None
 
     @property
     def mean_miner_payoff(self) -> float:
@@ -150,6 +159,7 @@ def run_resilient_pipeline(params: GameParameters, plan: FaultPlan,
                            n_rounds: int = 20, seed: int = 0,
                            policy: Optional[RetryPolicy] = None,
                            guard: Optional[SolverGuard] = None,
+                           controller: Optional["ControlLoop"] = None,
                            ) -> PipelineOutcome:
     """Play the full Stackelberg pipeline under a fault plan.
 
@@ -165,6 +175,13 @@ def run_resilient_pipeline(params: GameParameters, plan: FaultPlan,
             draws are seeded by ``plan.seed``).
         policy: Retry policy for transient provider failures.
         guard: Solver guard for the equilibrium stage.
+        controller: Optional :class:`~repro.control.loop.ControlLoop`;
+            when given, the loop ticks once per market round over the
+            run's own dispatcher (wired into the controller's target if
+            it has none), and rounds played while the target is in
+            all-cloud degradation mode reroute every edge unit to the
+            CSP. ``None`` (the default) leaves the run bit-identical
+            to a controller-free pipeline.
     """
     notes: List[str] = []
     fallbacks: Tuple[str, ...] = ()
@@ -201,7 +218,29 @@ def run_resilient_pipeline(params: GameParameters, plan: FaultPlan,
     market = ResilientMarket(edge, cloud, reward=params.reward,
                              fork_rate=params.fork_rate, plan=plan,
                              policy=policy, seed=seed)
-    rounds = [market.play_round(requests) for _ in range(n_rounds)]
+    if controller is not None and controller.target.dispatcher is None:
+        # Let the loop watch (and retune) this run's own dispatcher.
+        controller.target.dispatcher = market.dispatcher
+    rerouted = [ResourceRequest(miner_id=r.miner_id, edge_units=0.0,
+                                cloud_units=r.edge_units + r.cloud_units)
+                for r in requests]
+    rerouted_from: Optional[int] = None
+    rounds: List[MarketRound] = []
+    for rnd in range(n_rounds):
+        degraded_now = (controller is not None
+                        and controller.target.degraded)
+        if degraded_now and rerouted_from is None:
+            rerouted_from = rnd
+        rounds.append(market.play_round(
+            rerouted if degraded_now else requests))
+        if controller is not None:
+            # The dispatcher's retry policy may have been tightened by
+            # an earlier tick; the market object shares the instance,
+            # so the change takes effect on the next dispatch.
+            controller.tick()
+    if rerouted_from is not None:
+        notes.append(f"control: edge load rerouted to cloud from round "
+                     f"{rerouted_from} (all-cloud degradation mode)")
 
     report = DegradationReport(
         faults=market.injector.events,
@@ -209,5 +248,7 @@ def run_resilient_pipeline(params: GameParameters, plan: FaultPlan,
         retries=market.dispatcher.stats.retries,
         failed_requests=tuple(market.dispatcher.failed_requests),
         notes=tuple(notes))
-    return PipelineOutcome(equilibrium=miners, prices=prices,
-                           rounds=rounds, report=report)
+    return PipelineOutcome(
+        equilibrium=miners, prices=prices, rounds=rounds, report=report,
+        control_summary=(None if controller is None
+                         else controller.summary()))

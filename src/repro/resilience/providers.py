@@ -11,6 +11,8 @@ retry layer safe: a failed call leaves the ledgers untouched.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..exceptions import TransientProviderError
 from ..offloading.provider import CloudProvider, EdgeProvider
 from .faults import FaultInjector
@@ -21,11 +23,12 @@ __all__ = ["FaultyEdgeProvider", "FaultyCloudProvider"]
 class _FaultyBase:
     """Delegating wrapper: unknown attributes fall through to ``inner``."""
 
-    def __init__(self, inner, injector: FaultInjector):
+    def __init__(self, inner: Any,
+                 injector: FaultInjector) -> None:
         self.inner = inner
         self.injector = injector
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> Any:
         return getattr(self.inner, name)
 
 
@@ -44,7 +47,8 @@ class FaultyEdgeProvider(_FaultyBase):
       :class:`~repro.exceptions.TransientProviderError` before billing.
     """
 
-    def __init__(self, inner: EdgeProvider, injector: FaultInjector):
+    def __init__(self, inner: EdgeProvider,
+                 injector: FaultInjector) -> None:
         super().__init__(inner, injector)
 
     @property
@@ -109,7 +113,8 @@ class FaultyCloudProvider(_FaultyBase):
     :meth:`effective_fork_rate` for the market layer to consume.
     """
 
-    def __init__(self, inner: CloudProvider, injector: FaultInjector):
+    def __init__(self, inner: CloudProvider,
+                 injector: FaultInjector) -> None:
         super().__init__(inner, injector)
 
     @property

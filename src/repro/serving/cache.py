@@ -75,6 +75,28 @@ class CacheStats:
             "hit_rate": self.hit_rate,
         }
 
+    def copy(self) -> "CacheStats":
+        """Point-in-time snapshot (the live object keeps mutating)."""
+        return CacheStats(hits=self.hits, disk_hits=self.disk_hits,
+                          misses=self.misses, evictions=self.evictions,
+                          puts=self.puts)
+
+    def delta(self, prior: "CacheStats") -> "CacheStats":
+        """Windowed counters: activity since ``prior`` was snapshotted.
+
+        The returned object's :attr:`hit_rate` is therefore the *recent*
+        hit rate — what the control-plane detectors watch — rather than
+        the lifetime average, which stays misleadingly high long after a
+        cache collapse. Counters are clamped at zero so a reset prior
+        never produces negative windows.
+        """
+        return CacheStats(
+            hits=max(self.hits - prior.hits, 0),
+            disk_hits=max(self.disk_hits - prior.disk_hits, 0),
+            misses=max(self.misses - prior.misses, 0),
+            evictions=max(self.evictions - prior.evictions, 0),
+            puts=max(self.puts - prior.puts, 0))
+
 
 @dataclass
 class _Entry:
@@ -211,6 +233,47 @@ class ScenarioCache:
                     "Entries dropped by the LRU bound").inc()
         if persist:
             self._disk_store(key, entry)
+
+    def resize(self, maxsize: int) -> int:
+        """Change the LRU bound in place; returns entries evicted now.
+
+        Shrinking evicts least-recently-used entries immediately (the
+        disk layer, when configured, keeps them); growing only raises
+        the bound. This is the control-plane's cache-resize actuator
+        seam.
+        """
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"maxsize must be at least 1, got {maxsize}")
+        evicted = 0
+        with self._lock:
+            self.maxsize = maxsize
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted += 1
+            if evicted and _TEL.enabled:
+                _TEL.metrics.counter(
+                    "cache_evictions_total",
+                    "Entries dropped by the LRU bound").inc(evicted)
+        return evicted
+
+    def snapshot_entries(self) -> "OrderedDict[str, _Entry]":
+        """Point-in-time copy of the in-memory entries (LRU order kept).
+
+        Together with :meth:`restore_entries` this is the rollback seam
+        the control plane uses to make flush/resize transactional: the
+        entry objects themselves are shared (equilibria are treated as
+        immutable), only the ordering container is copied.
+        """
+        with self._lock:
+            return OrderedDict(self._entries)
+
+    def restore_entries(self,
+                        entries: "OrderedDict[str, _Entry]") -> None:
+        """Replace the in-memory entries with a prior snapshot."""
+        with self._lock:
+            self._entries = OrderedDict(entries)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -214,6 +214,8 @@ class ServingEngine:
         self.quantum = quantum
         self.chunk_size = chunk_size
         self.warm_index = WarmStartIndex()
+        self.kernel_override: Optional[str] = None
+        self._window_stats = self.cache.stats.copy()
 
     # ------------------------------------------------------------------
 
@@ -237,6 +239,39 @@ class ServingEngine:
         """Serve a single scenario (batch of one)."""
         return self.serve_batch([spec])[0]
 
+    # ------------------------------------------------------------------
+    # Control-plane actuator seams. Each is safe to call between
+    # batches; none of them changes the engine's behavior unless the
+    # control plane (or an operator) invokes it explicitly, so with the
+    # control loop disabled serving stays bit-identical.
+    # ------------------------------------------------------------------
+
+    def set_kernel_override(self, kernel: Optional[str]) -> None:
+        """Force every served scenario onto ``kernel`` (None restores
+        the per-spec kernels). The override participates in cache keys
+        exactly as if callers had requested that kernel themselves."""
+        if kernel is not None and kernel not in ("scalar", "running",
+                                                 "vectorized"):
+            raise ConfigurationError(
+                f"unknown kernel {kernel!r}; expected scalar, running, "
+                f"or vectorized")
+        self.kernel_override = kernel
+
+    def resize_cache(self, maxsize: int) -> int:
+        """Resize the scenario cache's LRU bound; returns evictions."""
+        return self.cache.resize(maxsize)
+
+    def flush_cache(self) -> None:
+        """Drop every in-memory cache entry (disk layer untouched)."""
+        self.cache.clear()
+
+    def rebuild_warm_index(self) -> None:
+        """Drop the warm-start index; it repopulates incrementally from
+        subsequent admissions. The remediation for index drift (warm
+        starts landing slower than cold solves): stale neighbors are
+        forgotten instead of poisoning future suggestions."""
+        self.warm_index = WarmStartIndex()
+
     def serve_batch(self, specs: Sequence[ScenarioSpec]
                     ) -> List[ScenarioResult]:
         """Serve a batch of scenarios; results align with the input order.
@@ -247,6 +282,11 @@ class ServingEngine:
         keys — receives its result. Individual failures surface as
         ``error`` strings on their own :class:`ScenarioResult` only.
         """
+        if self.kernel_override is not None:
+            override = self.kernel_override
+            specs = [spec if spec.kernel == override
+                     else replace(spec, kernel=override)
+                     for spec in specs]
         results: List[Optional[ScenarioResult]] = [None] * len(specs)
         first_seen: Dict[str, int] = {}
         misses: List[Tuple[int, ScenarioSpec, str]] = []
@@ -327,6 +367,18 @@ class ServingEngine:
                                 "stalled approximation").inc()
                 _TEL.emit(  # repro: noqa[RPR008] — caller holds guard
                     "serving.degraded", key=res.key, solver=res.solver)
+        solve_latency = metrics.histogram(
+            "serving_solve_seconds",
+            "Wall clock of cache-miss solves, split warm vs cold",
+            labels={"warm": "true"})
+        cold_latency = metrics.histogram(
+            "serving_solve_seconds",
+            "Wall clock of cache-miss solves, split warm vs cold",
+            labels={"warm": "false"})
+        for res in results:
+            if res.source == "solved" and res.ok:
+                (solve_latency if res.warm_key is not None
+                 else cold_latency).observe(res.elapsed)
         # The dedup ratio the throughput benchmark prints, exported:
         # duplicates avoided per submitted scenario.
         if results:
@@ -336,6 +388,12 @@ class ServingEngine:
         metrics.gauge("serving_cache_hit_rate",
                       "Lifetime cache hit rate").set(
             self.cache.stats.hit_rate)
+        window = self.cache.stats.delta(self._window_stats)
+        self._window_stats = self.cache.stats.copy()
+        metrics.gauge("serving_cache_window_hit_rate",
+                      "Cache hit rate since the previous recorded "
+                      "batch (the per-window view detectors watch)"
+                      ).set(window.hit_rate)
         metrics.gauge("serving_cache_entries",
                       "In-memory cache entries").set(len(self.cache))
 

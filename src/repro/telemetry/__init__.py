@@ -35,12 +35,14 @@ from typing import Any, Iterator, Optional, Union
 from .events import EventLog
 from .exposition import parse_prometheus, render_json, render_prometheus
 from .metrics import (DEFAULT_BUCKETS, RESIDUAL_BUCKETS, Counter, Gauge,
-                      Histogram, MetricsRegistry)
+                      Histogram, MetricsRegistry, quantile_from_counts,
+                      snapshot_delta)
 from .tracing import NULL_SPAN, NullSpan, Span, SpanRecord, Tracer
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "DEFAULT_BUCKETS", "RESIDUAL_BUCKETS",
+    "quantile_from_counts", "snapshot_delta",
     "Span", "SpanRecord", "NullSpan", "NULL_SPAN", "Tracer",
     "EventLog",
     "render_json", "render_prometheus", "parse_prometheus",
@@ -62,13 +64,14 @@ class Telemetry:
     def __init__(self, enabled: bool = False,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 events: Optional[EventLog] = None):
+                 events: Optional[EventLog] = None) -> None:
         self.enabled = enabled
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
         self.events = events if events is not None else EventLog()
 
-    def span(self, name: str, **attrs: Any):
+    def span(self, name: str,
+             **attrs: Any) -> Union[Span, NullSpan]:
         """A tracer span when enabled; the shared no-op otherwise."""
         if not self.enabled:
             return NULL_SPAN

@@ -29,7 +29,7 @@ class EventLog:
     """
 
     def __init__(self, maxlen: int = 4096,
-                 path: Optional[Union[str, Path]] = None):
+                 path: Optional[Union[str, Path]] = None) -> None:
         self._lock = threading.Lock()
         self._events: "deque[Dict[str, Any]]" = deque(maxlen=maxlen)
         self._seq = 0

@@ -16,11 +16,13 @@ and the hot paths only touch it when telemetry is enabled).
 from __future__ import annotations
 
 import bisect
+import json
 import threading
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS", "RESIDUAL_BUCKETS"]
+           "DEFAULT_BUCKETS", "RESIDUAL_BUCKETS",
+           "quantile_from_counts", "snapshot_delta"]
 
 #: Default histogram buckets: wall-clock latencies in seconds, spanning
 #: microsecond cache hits to multi-second Stackelberg solves.
@@ -83,7 +85,8 @@ class Histogram:
 
     __slots__ = ("bounds", "counts", "sum", "count")
 
-    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+    def __init__(self,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds or list(bounds) != sorted(set(bounds)):
             raise ValueError(
@@ -101,23 +104,8 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile (``0 <= q <= 1``); NaN when empty."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return float("nan")
-        rank = q * self.count
-        cumulative = 0
-        for i, n in enumerate(self.counts):
-            cumulative += n
-            if cumulative >= rank and n > 0:
-                hi = (self.bounds[i] if i < len(self.bounds)
-                      else self.bounds[-1])
-                lo = self.bounds[i - 1] if i > 0 else 0.0
-                if i >= len(self.bounds):
-                    return hi  # overflow bucket: clamp to the last bound
-                frac = (rank - (cumulative - n)) / n
-                return lo + frac * (hi - lo)
-        return self.bounds[-1]
+        return quantile_from_counts(self.bounds, self.counts,
+                                    self.count, q)
 
     @property
     def p50(self) -> float:
@@ -136,20 +124,48 @@ class Histogram:
         return self.sum / self.count if self.count else float("nan")
 
 
+def quantile_from_counts(bounds: Tuple[float, ...],
+                         counts: Iterable[int], count: int,
+                         q: float) -> float:
+    """Interpolated quantile over per-bucket (non-cumulative) counts.
+
+    The shared estimator behind :meth:`Histogram.quantile` and the
+    windowed views of :func:`snapshot_delta`: ``counts`` has one entry
+    per finite bound plus the trailing ``+Inf`` overflow bucket, and
+    ``count`` is their sum. NaN when the window is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count == 0:
+        return float("nan")
+    rank = q * count
+    cumulative = 0
+    for i, n in enumerate(counts):
+        cumulative += n
+        if cumulative >= rank and n > 0:
+            hi = bounds[i] if i < len(bounds) else bounds[-1]
+            lo = bounds[i - 1] if i > 0 else 0.0
+            if i >= len(bounds):
+                return hi  # overflow bucket: clamp to the last bound
+            frac = (rank - (cumulative - n)) / n
+            return lo + frac * (hi - lo)
+    return bounds[-1]
+
+
 class _Family:
     """One named metric family: kind, help text, labeled children."""
 
     __slots__ = ("name", "kind", "help", "buckets", "children")
 
     def __init__(self, name: str, kind: str, help_text: str,
-                 buckets: Optional[Tuple[float, ...]] = None):
+                 buckets: Optional[Tuple[float, ...]] = None) -> None:
         self.name = name
         self.kind = kind
         self.help = help_text
         self.buckets = buckets
         self.children: Dict[LabelSet, Any] = {}
 
-    def child(self, labels: LabelSet):
+    def child(self, labels: LabelSet) -> Any:
         made = self.children.get(labels)
         if made is None:
             if self.kind == "counter":
@@ -175,6 +191,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._families: "Dict[str, _Family]" = {}
+        self._last_window: Optional[Dict[str, Any]] = None
 
     def _family(self, name: str, kind: str, help_text: str,
                 buckets: Optional[Tuple[float, ...]] = None) -> _Family:
@@ -218,6 +235,7 @@ class MetricsRegistry:
         """Drop every registered family (tests, fresh CLI runs)."""
         with self._lock:
             self._families.clear()
+            self._last_window = None
 
     def snapshot(self) -> Dict[str, Any]:
         """JSON-serializable view of every metric.
@@ -248,3 +266,100 @@ class MetricsRegistry:
             out[family.name] = {"kind": family.kind, "help": family.help,
                                 "values": values}
         return out
+
+    def window_snapshot(self) -> Dict[str, Any]:
+        """Delta view since the previous ``window_snapshot`` call.
+
+        The first call returns the full :meth:`snapshot` (the window
+        opens at zero); every later call returns the *difference* —
+        counter increments, histogram observations, and windowed
+        p50/p95/p99 recomputed from the bucket deltas — accumulated
+        since the previous call. Gauges report their current level
+        (a gauge is a level, not a flow). This is the view the
+        control-plane detectors poll: recent rates, not lifetime
+        averages.
+        """
+        current = self.snapshot()
+        with self._lock:
+            previous = self._last_window
+            self._last_window = current
+        return snapshot_delta(previous, current)
+
+
+def _delta_entry(kind: str, before: Optional[Dict[str, Any]],
+                 after: Dict[str, Any]) -> Dict[str, Any]:
+    """Windowed payload for one labeled child (before may be absent)."""
+    entry: Dict[str, Any] = {"labels": dict(after["labels"])}
+    if kind == "counter":
+        prior = 0.0 if before is None else float(before["value"])
+        # A registry reset mid-window shows up as a shrinking counter;
+        # clamp to zero instead of reporting a negative rate.
+        entry["value"] = max(float(after["value"]) - prior, 0.0)
+    elif kind == "gauge":
+        entry["value"] = float(after["value"])
+    else:  # histogram
+        prior_count = 0 if before is None else int(before["count"])
+        prior_sum = 0.0 if before is None else float(before["sum"])
+        count = max(int(after["count"]) - prior_count, 0)
+        # Difference the cumulative bucket counts, then unroll them
+        # into per-bucket counts for the windowed quantile estimate.
+        bounds: List[float] = []
+        delta_cums: List[int] = []
+        buckets: Dict[str, int] = {}
+        for bound_key, cum in after["buckets"].items():
+            if bound_key == "+Inf":
+                continue
+            prior_cum = (0 if before is None
+                         else int(before["buckets"].get(bound_key, 0)))
+            delta = max(int(cum) - prior_cum, 0)
+            bounds.append(float(bound_key))
+            delta_cums.append(delta)
+            buckets[bound_key] = delta
+        buckets["+Inf"] = count
+        per_bucket: List[int] = []
+        previous_cum = 0
+        for delta in delta_cums:
+            per_bucket.append(max(delta - previous_cum, 0))
+            previous_cum = delta
+        per_bucket.append(max(count - previous_cum, 0))  # overflow
+        tup = tuple(bounds)
+        entry.update(
+            count=count,
+            sum=max(float(after["sum"]) - prior_sum, 0.0),
+            buckets=buckets,
+            p50=quantile_from_counts(tup, per_bucket, count, 0.50),
+            p95=quantile_from_counts(tup, per_bucket, count, 0.95),
+            p99=quantile_from_counts(tup, per_bucket, count, 0.99))
+    return entry
+
+
+def snapshot_delta(before: Optional[Dict[str, Any]],
+                   after: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-window difference between two :meth:`MetricsRegistry.snapshot`
+    dictionaries (``before`` taken earlier; ``None`` means "empty").
+
+    Counters and histograms are differenced (they are monotone);
+    gauges carry the ``after`` level. Histogram windows carry delta
+    bucket counts and p50/p95/p99 recomputed *within the window* via
+    :func:`quantile_from_counts`. Families or labeled children that
+    only exist in ``after`` are differenced against zero; children
+    that vanished (a reset) are dropped.
+    """
+    out: Dict[str, Any] = {}
+    for name, family in after.items():
+        prior_family = None if before is None else before.get(name)
+        prior_values: Dict[str, Dict[str, Any]] = {}
+        if prior_family is not None and \
+                prior_family.get("kind") == family["kind"]:
+            for value in prior_family["values"]:
+                label_key = json.dumps(value["labels"], sort_keys=True)
+                prior_values[label_key] = value
+        values = []
+        for value in family["values"]:
+            label_key = json.dumps(value["labels"], sort_keys=True)
+            values.append(_delta_entry(family["kind"],
+                                       prior_values.get(label_key),
+                                       value))
+        out[name] = {"kind": family["kind"], "help": family["help"],
+                     "values": values}
+    return out

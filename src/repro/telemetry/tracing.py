@@ -45,7 +45,8 @@ class Span:
 
     __slots__ = ("_tracer", "record")
 
-    def __init__(self, tracer: "Tracer", record: SpanRecord):
+    def __init__(self, tracer: "Tracer",
+                 record: SpanRecord) -> None:
         self._tracer = tracer
         self.record = record
 
@@ -92,7 +93,7 @@ class Tracer:
             bound.
     """
 
-    def __init__(self, max_roots: int = 256):
+    def __init__(self, max_roots: int = 256) -> None:
         self.max_roots = max_roots
         self._local = threading.local()
         self._lock = threading.Lock()

@@ -1,0 +1,187 @@
+"""Actuator transaction semantics: pre-verify rejection, post-check
+rollback, no-op skipping, and dry-run — each leaving the target exactly
+as contracted."""
+
+from repro.control import (Actuator, CheckResult, ControlTarget,
+                           EnterDegradedMode, ExitDegradedMode,
+                           FlushCache, RebuildWarmIndex, ResizeCache,
+                           SwitchKernel, TightenRetryPolicy,
+                           VerificationReport, Verifier)
+from repro.resilience import RetryPolicy
+from repro.serving import ScenarioSpec, ServingEngine
+from repro.telemetry import telemetry_session
+from repro.core import homogeneous
+
+
+def _engine(**kwargs):
+    kwargs.setdefault("warm_start", False)
+    kwargs.setdefault("use_guard", False)
+    return ServingEngine(**kwargs)
+
+
+def _fingerprint(target):
+    """Everything restore() promises to put back, for equality checks."""
+    fp = {"degraded": target.degraded,
+          "retry_tightened": target.retry_tightened}
+    if target.engine is not None:
+        fp["kernel_override"] = target.engine.kernel_override
+        fp["maxsize"] = target.engine.cache.maxsize
+        fp["cache_keys"] = list(target.engine.cache.snapshot_entries())
+        fp["warm_index"] = id(target.engine.warm_index)
+    if target.dispatcher is not None:
+        fp["policy"] = target.dispatcher.policy
+    return fp
+
+
+class _RejectingVerifier(Verifier):
+    def verify(self, remediation, current_kernel="vectorized"):
+        return VerificationReport(
+            remediation=remediation,
+            checks=(CheckResult("forced-failure", False,
+                                detail="injected by test"),))
+
+
+def _failing_self_check(target):
+    return CheckResult("forced-post-failure", False,
+                       detail="injected by test")
+
+
+class TestRejection:
+    def test_failed_verification_is_never_applied(self):
+        with telemetry_session() as tel:
+            target = ControlTarget(engine=_engine())
+            before = _fingerprint(target)
+            actuator = Actuator(target,
+                                verifier=_RejectingVerifier("vectorized"))
+            decision = actuator.execute(SwitchKernel(target="running"))
+
+            assert decision.outcome == "rejected"
+            assert not decision.applied
+            assert not decision.report.ok
+            assert _fingerprint(target) == before
+            kinds = [e["kind"] for e in tel.events.tail()]
+            assert "control.rejected" in kinds
+            assert "control.applied" not in kinds
+
+
+class TestRollback:
+    def test_failed_post_check_restores_every_seam(self):
+        with telemetry_session() as tel:
+            engine = _engine(maxsize=8)
+            # Populate the cache so rollback has entries to preserve.
+            engine.serve(ScenarioSpec(params=homogeneous(5, 200.0, reward=1500.0, fork_rate=0.2, h=0.8)))
+            target = ControlTarget(engine=engine)
+            before = _fingerprint(target)
+
+            actuator = Actuator(target,
+                                self_check=_failing_self_check)
+            decision = actuator.execute(ResizeCache(maxsize=64))
+
+            assert decision.outcome == "rolled-back"
+            assert decision.post_check is not None
+            assert not decision.post_check.ok
+            assert _fingerprint(target) == before
+            kinds = [e["kind"] for e in tel.events.tail()]
+            assert "control.rolled_back" in kinds
+            assert "control.applied" not in kinds
+
+    def test_kernel_switch_rolls_back_override(self):
+        with telemetry_session():
+            engine = _engine()
+            target = ControlTarget(engine=engine)
+            actuator = Actuator(target,
+                                self_check=_failing_self_check)
+            decision = actuator.execute(SwitchKernel(target="scalar"))
+            assert decision.outcome == "rolled-back"
+            assert engine.kernel_override is None
+
+    def test_degradation_flag_rolls_back(self):
+        with telemetry_session():
+            target = ControlTarget(engine=_engine())
+            actuator = Actuator(target,
+                                self_check=_failing_self_check)
+            decision = actuator.execute(EnterDegradedMode())
+            assert decision.outcome == "rolled-back"
+            assert not target.degraded
+
+
+class TestApply:
+    def test_applied_remediation_survives_passing_post_check(self):
+        with telemetry_session() as tel:
+            engine = _engine()
+            target = ControlTarget(engine=engine)
+            actuator = Actuator(target)
+            decision = actuator.execute(SwitchKernel(target="running"))
+
+            assert decision.outcome == "applied"
+            assert decision.post_check is not None
+            assert decision.post_check.ok
+            assert engine.kernel_override == "running"
+            assert "control.applied" in \
+                [e["kind"] for e in tel.events.tail()]
+
+    def test_switch_to_default_kernel_clears_override(self):
+        with telemetry_session():
+            engine = _engine()
+            engine.set_kernel_override("scalar")
+            target = ControlTarget(engine=engine)
+            decision = Actuator(target).execute(
+                SwitchKernel(target="vectorized"))
+            assert decision.outcome == "applied"
+            assert engine.kernel_override is None
+
+    def test_tighten_retry_policy_swaps_dispatcher_policy(self):
+        from repro.control.scenarios import induce_retry_storm
+        with telemetry_session():
+            scenario = induce_retry_storm(seed=0)
+            target = ControlTarget(dispatcher=scenario.dispatcher)
+            tight = RetryPolicy(max_attempts=2, base_delay=0.05,
+                                max_delay=0.5)
+            decision = Actuator(target).execute(
+                TightenRetryPolicy(policy=tight))
+            assert decision.outcome == "applied"
+            assert scenario.dispatcher.policy == tight
+            assert target.retry_tightened
+
+    def test_flush_and_rebuild_apply_cleanly(self):
+        with telemetry_session():
+            engine = ServingEngine(warm_start=True, use_guard=False)
+            engine.serve(ScenarioSpec(params=homogeneous(5, 200.0, reward=1500.0, fork_rate=0.2, h=0.8)))
+            target = ControlTarget(engine=engine)
+            # No post-check: the live self-check would repopulate the
+            # cache with the canonical scenario it serves.
+            actuator = Actuator(target, self_check=None)
+            assert actuator.execute(FlushCache()).outcome == "applied"
+            assert len(engine.cache) == 0
+            assert actuator.execute(
+                RebuildWarmIndex()).outcome == "applied"
+
+
+class TestSkips:
+    def test_retry_action_on_engine_only_target_is_skipped(self):
+        with telemetry_session() as tel:
+            target = ControlTarget(engine=_engine())
+            decision = Actuator(target).execute(TightenRetryPolicy())
+            assert decision.outcome == "skipped"
+            assert "control.skipped" in \
+                [e["kind"] for e in tel.events.tail()]
+
+    def test_exit_degraded_when_not_degraded_is_skipped(self):
+        with telemetry_session():
+            target = ControlTarget(engine=_engine())
+            decision = Actuator(target).execute(ExitDegradedMode())
+            assert decision.outcome == "skipped"
+
+    def test_dry_run_verifies_but_never_touches_target(self):
+        with telemetry_session() as tel:
+            engine = _engine()
+            target = ControlTarget(engine=engine)
+            before = _fingerprint(target)
+            decision = Actuator(target, dry_run=True).execute(
+                SwitchKernel(target="running"))
+            assert decision.outcome == "dry-run"
+            assert decision.report.ok
+            assert _fingerprint(target) == before
+            kinds = [e["kind"] for e in tel.events.tail()]
+            assert "control.verified" in kinds
+            assert "control.applied" not in kinds

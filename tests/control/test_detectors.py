@@ -1,0 +1,187 @@
+"""Per-detector tests: each seeded induction fires exactly its detector
+and the loop answers with the playbook remediation, verified then
+applied, with the full decision chain in the event log."""
+
+import pytest
+
+from repro.control import (KIND_CACHE_COLLAPSE, KIND_RETRY_STORM,
+                           KIND_SLO_BREACH, KIND_SOLVER_DIVERGENCE,
+                           KIND_WARM_DRIFT, ControlLoop, ControlTarget,
+                           induce)
+from repro.serving import ServingEngine
+from repro.telemetry import telemetry_session
+
+
+def _event_kinds(tel):
+    return [e["kind"] for e in tel.events.tail()]
+
+
+class TestCacheCollapse:
+    def test_detected_and_cache_grown(self):
+        with telemetry_session() as tel:
+            scenario = induce("cache-collapse", seed=3)
+            assert scenario.engine is not None
+            before = scenario.engine.cache.maxsize
+            loop = ControlLoop(ControlTarget(engine=scenario.engine))
+            report = loop.run_once()
+
+            assert [a.kind for a in report.anomalies] == \
+                [KIND_CACHE_COLLAPSE]
+            assert report.anomalies[0].evidence["evictions"] > 0
+            [decision] = report.decisions
+            assert decision.remediation.kind == "resize-cache"
+            assert decision.outcome == "applied"
+            assert decision.report.ok
+            assert scenario.engine.cache.maxsize == 2 * before
+            kinds = _event_kinds(tel)
+            for k in ("control.detected", "control.proposed",
+                      "control.verified", "control.applied"):
+                assert k in kinds
+
+    def test_anomaly_clears_in_next_window(self):
+        with telemetry_session():
+            scenario = induce("cache-collapse", seed=3)
+            loop = ControlLoop(ControlTarget(engine=scenario.engine))
+            loop.run_once()
+            second = loop.run_once()
+            assert second.anomalies == []
+            assert second.decisions == []
+
+
+class TestRetryStorm:
+    def test_critical_storm_enters_degradation(self):
+        with telemetry_session():
+            scenario = induce("retry-storm", seed=1)
+            assert scenario.dispatcher is not None
+            target = ControlTarget(dispatcher=scenario.dispatcher)
+            loop = ControlLoop(target)
+            report = loop.run_once()
+
+            [anomaly] = report.anomalies
+            assert anomaly.kind == KIND_RETRY_STORM
+            assert anomaly.severity == "critical"
+            [decision] = report.decisions
+            assert decision.remediation.kind == "enter-degraded"
+            assert decision.outcome == "applied"
+            assert target.degraded
+
+    def test_recovery_exits_degradation_after_clean_windows(self):
+        with telemetry_session():
+            scenario = induce("retry-storm", seed=1)
+            target = ControlTarget(dispatcher=scenario.dispatcher)
+            loop = ControlLoop(target, recovery_windows=3)
+            loop.run_once()
+            assert target.degraded
+            reports = [loop.run_once() for _ in range(3)]
+            exit_decisions = [d for r in reports for d in r.decisions
+                              if d.remediation.kind == "exit-degraded"]
+            assert len(exit_decisions) == 1
+            assert exit_decisions[0].outcome == "applied"
+            assert not target.degraded
+
+
+class TestSolverDivergence:
+    def test_kernel_stepped_down_robustness_chain(self):
+        with telemetry_session():
+            induce("solver-divergence")
+            engine = ServingEngine(warm_start=False, use_guard=False)
+            loop = ControlLoop(ControlTarget(engine=engine))
+            report = loop.run_once()
+
+            [anomaly] = report.anomalies
+            assert anomaly.kind == KIND_SOLVER_DIVERGENCE
+            [decision] = report.decisions
+            assert decision.remediation.kind == "switch-kernel"
+            assert decision.remediation.target == "running"
+            assert decision.outcome == "applied"
+            assert engine.kernel_override == "running"
+
+
+class TestWarmDrift:
+    def test_warm_index_rebuilt(self):
+        with telemetry_session():
+            induce("warm-drift")
+            engine = ServingEngine(use_guard=False)
+            stale_index = engine.warm_index
+            loop = ControlLoop(ControlTarget(engine=engine))
+            report = loop.run_once()
+
+            assert [a.kind for a in report.anomalies] == \
+                [KIND_WARM_DRIFT]
+            [decision] = report.decisions
+            assert decision.remediation.kind == "rebuild-warm-index"
+            assert decision.outcome == "applied"
+            assert engine.warm_index is not stale_index
+
+
+class TestSloBreach:
+    def test_cache_grown_when_already_on_fastest_kernel(self):
+        with telemetry_session():
+            induce("slo-breach")
+            engine = ServingEngine(warm_start=False, use_guard=False)
+            before = engine.cache.maxsize
+            loop = ControlLoop(ControlTarget(engine=engine))
+            report = loop.run_once()
+
+            assert [a.kind for a in report.anomalies] == \
+                [KIND_SLO_BREACH]
+            [decision] = report.decisions
+            # Default kernel is already the fastest, so the playbook
+            # falls through to growing the cache.
+            assert decision.remediation.kind == "resize-cache"
+            assert decision.outcome == "applied"
+            assert engine.cache.maxsize == 2 * before
+
+
+class TestLoopBounds:
+    def test_cooldown_suppresses_repeat_actions(self):
+        with telemetry_session():
+            induce("slo-breach")
+            engine = ServingEngine(warm_start=False, use_guard=False)
+            loop = ControlLoop(ControlTarget(engine=engine),
+                               cooldown_ticks=5)
+            first = loop.run_once()
+            assert first.applied
+            induce("slo-breach")
+            second = loop.run_once()
+            assert second.decisions == []
+            assert any("cooldown" in reason
+                       for _, reason in second.suppressed)
+
+    def test_action_budget_exhausts(self):
+        with telemetry_session():
+            engine = ServingEngine(warm_start=False, use_guard=False)
+            loop = ControlLoop(ControlTarget(engine=engine),
+                               cooldown_ticks=0, action_budget=1)
+            induce("slo-breach")
+            assert loop.run_once().applied
+            induce("slo-breach")
+            report = loop.run_once()
+            assert report.decisions == []
+            assert any("budget" in reason
+                       for _, reason in report.suppressed)
+
+    def test_dry_run_never_mutates(self):
+        with telemetry_session():
+            scenario = induce("cache-collapse", seed=3)
+            before = scenario.engine.cache.maxsize
+            loop = ControlLoop(ControlTarget(engine=scenario.engine),
+                               dry_run=True)
+            report = loop.run_once()
+            [decision] = report.decisions
+            assert decision.outcome == "dry-run"
+            assert decision.report.ok
+            assert scenario.engine.cache.maxsize == before
+            assert loop.actions_applied == 0
+
+
+@pytest.mark.parametrize("name", ["cache-collapse", "retry-storm",
+                                  "solver-divergence", "warm-drift",
+                                  "slo-breach"])
+def test_inductions_are_deterministic(name):
+    def run():
+        with telemetry_session():
+            scenario = induce(name, seed=7)
+            return scenario.detail
+
+    assert run() == run()

@@ -1,0 +1,155 @@
+"""End-to-end control-plane properties the issue pins down:
+
+* the induced chaos scenarios drive identical decision chains across
+  two runs under the same seed (acceptance: E2E determinism);
+* ``run_resilient_pipeline`` with the control loop disabled is
+  bit-identical to the pre-control pipeline (acceptance: zero overhead
+  when off);
+* the controlled chaos pipeline detects, verifies, and applies at least
+  one remediation, and every applied action passed verification first.
+"""
+
+import json
+
+import numpy as np
+
+from repro.analysis import outage_plan, recovery_rounds
+from repro.control import ControlLoop, ControlTarget, induce
+from repro.core import homogeneous
+from repro.resilience import FaultPlan, run_resilient_pipeline
+from repro.telemetry import telemetry_session
+
+
+def connected_params():
+    return homogeneous(5, 200.0, reward=1500.0, fork_rate=0.2, h=0.8,
+                       edge_cost=0.2, cloud_cost=0.1)
+
+
+def _decision_chain(seed):
+    """One full seeded scenario mix → JSON-shaped report list."""
+    with telemetry_session():
+        scenario = induce("cache-collapse", seed=seed)
+        loop = ControlLoop(ControlTarget(engine=scenario.engine),
+                           cooldown_ticks=1)
+        reports = [loop.run_once()]
+        induce("slo-breach")
+        reports.append(loop.run_once())
+        induce("solver-divergence", seed=seed)
+        reports.append(loop.run_once())
+        return [r.to_dict() for r in reports], loop.summary()
+
+
+class TestDeterminism:
+    def test_same_seed_identical_decision_chain(self):
+        first = _decision_chain(seed=11)
+        second = _decision_chain(seed=11)
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+    def test_chain_actually_contains_decisions(self):
+        reports, summary = _decision_chain(seed=11)
+        assert summary["actions_applied"] >= 2
+        assert summary["anomalies"] >= 2
+
+
+class TestPipelineBitIdentical:
+    def test_controller_none_matches_pre_control_pipeline(self):
+        params = connected_params()
+        plan = outage_plan(0.2, 10, transient_rate=0.3, seed=5)
+
+        def run(**kwargs):
+            out = run_resilient_pipeline(params, plan, n_rounds=10,
+                                         seed=5, **kwargs)
+            return out
+
+        a = run()
+        b = run(controller=None)
+        assert np.array_equal(a.equilibrium.e, b.equilibrium.e)
+        assert np.array_equal(a.equilibrium.c, b.equilibrium.c)
+        assert a.prices == b.prices
+        assert len(a.rounds) == len(b.rounds)
+        for ra, rb in zip(a.rounds, b.rounds):
+            assert ra.winner == rb.winner
+            assert np.array_equal(ra.payoffs, rb.payoffs)
+            assert ra.esp_revenue == rb.esp_revenue
+            assert ra.csp_revenue == rb.csp_revenue
+        assert a.report == b.report
+        assert a.control_summary is None
+        assert b.control_summary is None
+
+    def test_clean_plan_with_controller_changes_nothing(self):
+        # A fault-free run gives the detectors nothing to act on, so
+        # the controlled outcome must equal the uncontrolled one.
+        params = connected_params()
+        plan = FaultPlan.none()
+        baseline = run_resilient_pipeline(params, plan, n_rounds=5,
+                                          seed=2)
+        with telemetry_session():
+            controller = ControlLoop(ControlTarget())
+            controlled = run_resilient_pipeline(params, plan,
+                                                n_rounds=5, seed=2,
+                                                controller=controller)
+        assert np.array_equal(baseline.equilibrium.e,
+                              controlled.equilibrium.e)
+        for ra, rb in zip(baseline.rounds, controlled.rounds):
+            assert ra.winner == rb.winner
+            assert np.array_equal(ra.payoffs, rb.payoffs)
+        assert controlled.control_summary is not None
+        assert controlled.control_summary["actions_applied"] == 0
+
+
+class TestControlledChaos:
+    def test_faulted_run_detects_verifies_applies(self):
+        params = connected_params()
+        plan = outage_plan(0.0, 12, transient_rate=0.8, seed=0)
+        with telemetry_session() as tel:
+            controller = ControlLoop(ControlTarget(),
+                                     cooldown_ticks=2, action_budget=8)
+            out = run_resilient_pipeline(params, plan, n_rounds=12,
+                                         seed=0, controller=controller)
+            events = tel.events.tail()
+
+        summary = out.control_summary
+        assert summary is not None
+        assert summary["anomalies"] >= 1
+        assert summary["actions_applied"] >= 1
+        kinds = [e["kind"] for e in events]
+        for required in ("control.detected", "control.proposed",
+                         "control.verified", "control.applied"):
+            assert required in kinds, f"missing {required}"
+        # The applied set is a subset of the verified set: nothing can
+        # be applied without passing verification first.
+        verified = [json.dumps(e["remediation"], sort_keys=True)
+                    for e in events if e["kind"] == "control.verified"]
+        applied = [json.dumps(e["remediation"], sort_keys=True)
+                   for e in events if e["kind"] == "control.applied"]
+        assert set(applied) <= set(verified)
+
+    def test_recovery_rounds_metric(self):
+        with telemetry_session():
+            scenario = induce("cache-collapse", seed=4)
+            loop = ControlLoop(ControlTarget(engine=scenario.engine))
+            loop.run_once()
+            loop.run_once()
+        assert recovery_rounds(loop.reports) == 1.0
+        assert np.isnan(recovery_rounds([]))
+
+    def test_controlled_run_is_deterministic(self):
+        params = connected_params()
+        plan = outage_plan(0.0, 8, transient_rate=0.7, seed=3)
+
+        def run():
+            with telemetry_session():
+                controller = ControlLoop(ControlTarget(),
+                                         cooldown_ticks=2)
+                out = run_resilient_pipeline(params, plan, n_rounds=8,
+                                             seed=3,
+                                             controller=controller)
+                return (out.mean_miner_payoff, out.control_summary,
+                        [r.to_dict() for r in controller.reports])
+
+        first = run()
+        second = run()
+        assert json.dumps(first[1:], sort_keys=True) == \
+            json.dumps(second[1:], sort_keys=True)
+        assert first[0] == second[0]

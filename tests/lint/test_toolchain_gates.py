@@ -17,7 +17,8 @@ import pytest
 REPO = Path(__file__).resolve().parents[2]
 
 STRICT_PACKAGES = ("src/repro/kernels", "src/repro/serving",
-                   "src/repro/core")
+                   "src/repro/core", "src/repro/resilience",
+                   "src/repro/telemetry", "src/repro/control")
 
 
 def run(cmd):

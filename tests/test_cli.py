@@ -1,5 +1,7 @@
 """CLI entry point."""
 
+import json
+
 from repro.cli import EXPERIMENTS, build_parser, main
 
 
@@ -268,3 +270,71 @@ class TestBenchCommand:
         assert main(["bench", "-o", str(tmp_path / "b.json"),
                      "--baseline", str(bad)]) == 2
         assert "could not load baseline" in capsys.readouterr().err
+
+
+class TestControlCommand:
+    def test_check_passes(self, capsys):
+        assert main(["control", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "FAIL" not in out
+        # All four golden families are printed.
+        for name in ("connected-closed-form", "standalone-cross-solver",
+                     "serving-vs-direct", "all-cloud-limit"):
+            assert name in out
+
+    def test_no_mode_is_usage_error(self, capsys):
+        assert main(["control"]) == 2
+        assert "--check or --run" in capsys.readouterr().err
+
+    def test_bad_windows_is_usage_error(self, capsys):
+        assert main(["control", "--run", "--windows", "0"]) == 2
+
+    def test_run_cache_collapse_applies_remediation(self, capsys):
+        assert main(["control", "--run",
+                     "--scenario", "cache-collapse"]) == 0
+        captured = capsys.readouterr()
+        assert "resize-cache->applied" in captured.out
+        assert "1 applied" in captured.err
+
+    def test_dry_run_verifies_without_applying(self, capsys):
+        assert main(["control", "--run", "--dry-run",
+                     "--scenario", "slo-breach"]) == 0
+        captured = capsys.readouterr()
+        assert "->dry-run" in captured.out
+        assert "0 applied" in captured.err
+
+    def test_events_stream_carries_decision_chain(self, tmp_path,
+                                                  capsys):
+        events = tmp_path / "ctrl.jsonl"
+        assert main(["control", "--run", "--scenario", "retry-storm",
+                     "--events", str(events), "--quiet"]) == 0
+        kinds = [json.loads(line)["kind"]
+                 for line in events.read_text().splitlines()]
+        for required in ("control.detected", "control.proposed",
+                         "control.verified", "control.applied"):
+            assert required in kinds
+
+    def test_output_reports_are_json(self, tmp_path, capsys):
+        out = tmp_path / "reports.json"
+        assert main(["control", "--run", "--scenario", "warm-drift",
+                     "--quiet", "-o", str(out)]) == 0
+        reports = json.loads(out.read_text())
+        assert len(reports) == 3
+        assert reports[0]["anomalies"][0]["kind"] == "warm-start-drift"
+
+    def test_chaos_with_control_flag(self, capsys):
+        import repro.cli as cli
+        calls = {}
+
+        def fake():
+            calls["hit"] = True
+            from repro.analysis.series import ResultTable
+            return ResultTable(title="t", columns=["x"], rows=[(1.0,)])
+
+        original = cli.EXPERIMENTS["chaos-control"]
+        cli.EXPERIMENTS["chaos-control"] = fake
+        try:
+            assert main(["chaos", "--with-control"]) == 0
+        finally:
+            cli.EXPERIMENTS["chaos-control"] = original
+        assert calls.get("hit")

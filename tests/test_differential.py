@@ -9,6 +9,12 @@ independently-derived source of truth:
   solver (two unrelated algorithms, one variational equilibrium);
 * ``solve_stackelberg`` reached directly against the same solve routed
   through the serving engine (cache, keys, guard, batch machinery).
+
+The point comparisons live in :mod:`repro.control.verify` — the same
+battery the control plane's verifier dry-runs before applying any
+remediation — so this suite and the runtime verification can never
+drift apart. The hypothesis layers here sweep those shared checks over
+randomized parameter draws.
 """
 
 import numpy as np
@@ -16,12 +22,14 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+from repro.control.verify import (check_connected_closed_form,
+                                  check_serving_matches_direct,
+                                  check_standalone_cross_solver,
+                                  run_golden_checks)
 from repro.core import (EdgeMode, Prices, homogeneous,
-                        solve_connected_equilibrium, solve_stackelberg,
-                        solve_standalone_equilibrium)
+                        solve_connected_equilibrium)
 from repro.core.closed_form import (binding_budget_threshold,
                                     homogeneous_miner_equilibrium)
-from repro.core.gnep import solve_standalone_extragradient
 from repro.core.params import mixed_strategy_price_bound
 from repro.serving import ScenarioSpec, ServingEngine
 
@@ -59,12 +67,9 @@ class TestClosedFormVsNepSolver:
 
         params = homogeneous(n, budget, reward=reward, fork_rate=beta,
                              h=h)
-        eq = solve_connected_equilibrium(params, prices)
-        assert eq.converged
-        np.testing.assert_allclose(eq.e, np.full(n, closed.e),
-                                   rtol=1e-5, atol=1e-7)
-        np.testing.assert_allclose(eq.c, np.full(n, closed.c),
-                                   rtol=1e-5, atol=1e-7)
+        result = check_connected_closed_form(params=params,
+                                             prices=prices)
+        assert result.ok, f"{result.detail} (err {result.max_error:g})"
 
     @given(budget=st.floats(min_value=30.0, max_value=120.0))
     @settings(max_examples=15, deadline=None)
@@ -82,6 +87,10 @@ class TestClosedFormVsNepSolver:
         np.testing.assert_allclose(eq.spending, np.full(n, budget),
                                    rtol=1e-6)
         assert eq.e[0] == pytest.approx(closed.e, rel=1e-5)
+        result = check_connected_closed_form(params=params,
+                                             prices=prices)
+        assert result.ok
+        assert result.detail == "regime=binding"
 
 
 class TestGnepCrossSolver:
@@ -93,13 +102,8 @@ class TestGnepCrossSolver:
     def test_decomposition_matches_extragradient(self, e_max, budget):
         params = homogeneous(5, budget, reward=1000.0, fork_rate=0.2,
                              mode=EdgeMode.STANDALONE, e_max=e_max)
-        prices = Prices(p_e=2.0, p_c=1.0)
-        direct = solve_standalone_equilibrium(params, prices)
-        vi = solve_standalone_extragradient(params, prices, tol=1e-10)
-        np.testing.assert_allclose(vi.e, direct.e, rtol=1e-3, atol=1e-4)
-        np.testing.assert_allclose(vi.c, direct.c, rtol=1e-3, atol=1e-4)
-        assert vi.total_edge == pytest.approx(direct.total_edge,
-                                              rel=1e-4)
+        result = check_standalone_cross_solver(params=params)
+        assert result.ok, f"{result.detail} (err {result.max_error:g})"
 
 
 class TestDirectVsServingEngine:
@@ -113,23 +117,8 @@ class TestDirectVsServingEngine:
     def test_connected_stackelberg_profits_agree(self, n, budget, h):
         params = homogeneous(n, budget, reward=1000.0, fork_rate=0.2,
                              h=h)
-        direct = solve_stackelberg(params)
-
-        engine = ServingEngine(warm_start=False, use_guard=False)
-        result = engine.serve(ScenarioSpec(params=params))
-        assert result.ok
-        served = result.value
-
-        assert served.v_e == pytest.approx(direct.v_e, rel=1e-9)
-        assert served.v_c == pytest.approx(direct.v_c, rel=1e-9)
-        assert served.prices.p_e == pytest.approx(direct.prices.p_e,
-                                                  rel=1e-9)
-        assert served.prices.p_c == pytest.approx(direct.prices.p_c,
-                                                  rel=1e-9)
-        np.testing.assert_allclose(served.miners.e, direct.miners.e,
-                                   rtol=1e-9)
-        np.testing.assert_allclose(served.miners.c, direct.miners.c,
-                                   rtol=1e-9)
+        result = check_serving_matches_direct(params=params)
+        assert result.ok, f"{result.detail} (err {result.max_error:g})"
 
     def test_miner_stage_via_engine_matches_direct(self):
         params = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
@@ -141,3 +130,15 @@ class TestDirectVsServingEngine:
         assert result.ok
         np.testing.assert_allclose(result.value.e, direct.e, rtol=1e-9)
         np.testing.assert_allclose(result.value.c, direct.c, rtol=1e-9)
+
+
+class TestGoldenBattery:
+    """The full verifier battery — what the control plane dry-runs —
+    must hold on every kernel, straight from the importable module."""
+
+    @pytest.mark.parametrize("kernel",
+                             ["scalar", "running", "vectorized"])
+    def test_all_golden_checks_pass(self, kernel):
+        results = run_golden_checks(kernel)
+        failed = [r for r in results if not r.ok]
+        assert not failed, [(r.name, r.detail) for r in failed]
