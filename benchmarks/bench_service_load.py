@@ -1,0 +1,104 @@
+"""Online-service load benchmark: 10^5-request seeded replay.
+
+Drives a live :class:`~repro.service.EquilibriumService` through the
+in-process client with the :mod:`repro.service.loadgen` harness — a
+zipf-mixed, bursty, seeded request stream — and asserts the service's
+acceptance bar:
+
+* **zero failed requests** across the whole replay;
+* **measured coalescing** — duplicate-key traffic joins in-flight
+  solves, so total solves equal the number of unique keys;
+* **no shedding** at the default (unconstrained-rate) settings, and
+  shed-only-when-overloaded in the constrained pass;
+* **latency SLO** — p50/p95/p99 from the ``service_request_seconds``
+  telemetry histogram under generous bounds.
+
+Runnable as a pytest module or a script::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py
+
+``REPRO_BENCH_REQUESTS`` scales the replay (default 10^5; minimum
+1000); set it to 1000000 for the full million-request run.
+"""
+
+import asyncio
+import json
+import os
+
+from repro.service import (EquilibriumService, InProcessClient, LoadPlan,
+                           run_load)
+from repro.telemetry import telemetry_session
+
+N_REQUESTS = max(1000, int(os.environ.get("REPRO_BENCH_REQUESTS",
+                                          "100000")))
+UNIQUE = max(8, int(os.environ.get("REPRO_BENCH_UNIQUE", "256")))
+
+
+def run_service_load(requests=N_REQUESTS, unique=UNIQUE, seed=7):
+    """One full replay; returns the JSON-ready load report."""
+
+    async def _run():
+        service = EquilibriumService(max_inflight=8, max_queue=512)
+        try:
+            client = InProcessClient(service)
+            plan = LoadPlan(requests=requests, unique=unique,
+                            mix="zipf", zipf_a=1.2, burst=64, seed=seed,
+                            slo_p50=0.5, slo_p95=2.0, slo_p99=10.0)
+            report = await run_load(client, plan)
+            return report.to_dict()
+        finally:
+            service.close()
+
+    with telemetry_session():
+        return asyncio.run(_run())
+
+
+def run_overload(requests=4096, unique=64, seed=11):
+    """A deliberately overloaded pass: tiny admission bounds, full
+    bursts — shedding must engage (and only the queue-full kind, since
+    no rate limit is configured)."""
+
+    async def _run():
+        service = EquilibriumService(max_inflight=1, max_queue=1)
+        try:
+            client = InProcessClient(service)
+            plan = LoadPlan(requests=requests, unique=unique,
+                            mix="uniform", burst=128, seed=seed)
+            report = await run_load(client, plan)
+            return report.to_dict()
+        finally:
+            service.close()
+
+    with telemetry_session():
+        return asyncio.run(_run())
+
+
+def test_bench_service_load():
+    summary = run_service_load()
+    print()
+    print(json.dumps(summary, indent=2))
+    assert summary["requests"] == N_REQUESTS
+    assert summary["errors"] == 0
+    assert summary["shed_total"] == 0
+    # Coalescing bar: duplicates never trigger duplicate solves.
+    assert summary["solves"] == summary["unique_keys"]
+    assert summary["unique_keys"] <= UNIQUE
+    assert summary["slo_ok"], summary["slo"]
+    assert not summary["failed"]
+
+
+def test_bench_service_overload_sheds():
+    summary = run_overload()
+    print()
+    print(json.dumps(summary, indent=2))
+    assert summary["errors"] == 0
+    assert summary["shed_total"] > 0
+    assert set(summary["shed"]) == {"queue-full"}
+    # Shed requests never consumed a solve; admitted traffic still
+    # coalesces down to one solve per successfully answered key (a key
+    # whose requests were all shed is allowed to stay unsolved).
+    assert summary["solves"] == summary["unique_ok_keys"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_service_load(), indent=2))

@@ -12,7 +12,7 @@ sweep over *failure intensity* instead of a price or capacity knob.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from ..resilience import (CspLatencySpike, EspOutage, FaultPlan,
                           TransientFaults, run_resilient_pipeline)
 from .experiments import DEFAULTS, PaperSetup
 from .series import ResultTable
-from .sweep import sweep
+from .sweep import Number, sweep
 
 __all__ = ["chaos_outage_sweep", "chaos_control_comparison",
            "outage_plan", "recovery_rounds"]
@@ -41,7 +41,7 @@ def outage_plan(outage_rate: float, n_rounds: int,
                          f"got {outage_rate}")
     rng = np.random.default_rng(seed)
     n_out = int(round(outage_rate * n_rounds))
-    faults = []
+    faults: List[Any] = []
     if n_out >= n_rounds:
         faults.append(EspOutage(start=0))
     elif n_out > 0:
@@ -79,7 +79,7 @@ def chaos_outage_sweep(outage_rates: Optional[Sequence[float]] = None,
         outage_rates = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
     params = setup.connected()
 
-    def evaluate(rate):
+    def evaluate(rate: Number) -> Dict[str, Number]:
         plan = outage_plan(float(rate), n_rounds, seed=seed)
         out = run_resilient_pipeline(params, plan, n_rounds=n_rounds,
                                      seed=seed)
@@ -103,7 +103,7 @@ def chaos_outage_sweep(outage_rates: Optional[Sequence[float]] = None,
                        "CSP absorbs transferred demand.")
 
 
-def recovery_rounds(reports: Sequence) -> float:
+def recovery_rounds(reports: Sequence[Any]) -> float:
     """Rounds from the first detected anomaly to the first clean window.
 
     ``reports`` is a :class:`~repro.control.loop.ControlLoop`'s
@@ -148,7 +148,7 @@ def chaos_control_comparison(transient_rates: Optional[Sequence[float]]
         transient_rates = [0.0, 0.2, 0.4, 0.6, 0.8]
     params = setup.connected()
 
-    def evaluate(rate):
+    def evaluate(rate: Number) -> Dict[str, Number]:
         plan = outage_plan(0.0, n_rounds, transient_rate=float(rate),
                            seed=seed)
         baseline = run_resilient_pipeline(params, plan,

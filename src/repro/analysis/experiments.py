@@ -13,7 +13,7 @@ fall) that these tables support.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -24,10 +24,11 @@ from ..core import (DemandOracle, DynamicGame, EdgeMode, GameParameters,
                     solve_connected_equilibrium, solve_dynamic_equilibrium,
                     solve_stackelberg, table2_connected, table2_standalone)
 from ..learning import RLTrainer
-from ..population import FixedPopulation, GaussianPopulation
+from ..population import (FixedPopulation, GaussianPopulation,
+                          PopulationModel)
 from ..serving import ScenarioSpec, ServingEngine
 from .series import ResultTable
-from .sweep import scenario_sweep, sweep
+from .sweep import Number, scenario_sweep, sweep
 
 __all__ = [
     "PaperSetup",
@@ -112,7 +113,7 @@ def fig2_fork_model(delays: Optional[Sequence[float]] = None,
     if delays is None:
         delays = [0.5, 1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0]
 
-    def evaluate(d):
+    def evaluate(d: Number) -> Dict[str, Number]:
         # Mechanistic check: all-cloud miners, the fork rate then emerges
         # purely from edge conflicts -- so split power 50/50 edge/cloud and
         # measure the cloud-block orphan fraction.
@@ -183,10 +184,10 @@ def fig4_price_sweep(p_c_values: Optional[Sequence[float]] = None,
         bound = params.mixed_price_bound(setup.p_e)
         p_c_values = np.round(np.linspace(0.5, 0.95 * bound, 8), 4)
 
-    def make_spec(p_c):
+    def make_spec(p_c: Number) -> ScenarioSpec:
         return ScenarioSpec(params, Prices(p_e=setup.p_e, p_c=p_c))
 
-    def metrics(p_c, eq):
+    def metrics(p_c: Number, eq: Any) -> Dict[str, Number]:
         return {
             "e_per_miner": float(eq.e[0]),
             "c_per_miner": float(eq.c[0]),
@@ -217,14 +218,14 @@ def fig5_delay_sweep(betas: Optional[Sequence[float]] = None,
         betas = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35]
     fork = ForkModel()
 
-    def make_spec(beta):
+    def make_spec(beta: Number) -> ScenarioSpec:
         params = homogeneous(setup.n, setup.budget, reward=setup.reward,
                              fork_rate=beta, h=setup.h,
                              edge_cost=setup.edge_cost,
                              cloud_cost=setup.cloud_cost)
         return ScenarioSpec(params, setup.prices())
 
-    def metrics(beta, eq):
+    def metrics(beta: Number, eq: Any) -> Dict[str, Number]:
         esp_rev = setup.p_e * eq.total_edge
         csp_rev = setup.p_c * eq.total_cloud
         return {
@@ -261,11 +262,11 @@ def fig6_capacity_sweep(e_max_values: Optional[Sequence[float]] = None,
         setup.connected(budget=big_budget), setup.prices())
     connected_e = connected_eq.total_edge
 
-    def make_spec(e_max):
+    def make_spec(e_max: Number) -> ScenarioSpec:
         params = setup.standalone(budget=big_budget, e_max=e_max)
         return ScenarioSpec(params, setup.prices())
 
-    def metrics(e_max, eq):
+    def metrics(e_max: Number, eq: Any) -> Dict[str, Number]:
         return {
             "E_total": eq.total_edge,
             "capacity_bound": min(
@@ -296,8 +297,8 @@ def fig6_csp_price_crossover(p_e_values: Optional[Sequence[float]] = None,
     if p_e_values is None:
         p_e_values = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0]
 
-    def evaluate(p_e):
-        out = {}
+    def evaluate(p_e: Number) -> Dict[str, Number]:
+        out: Dict[str, Number] = {}
         for beta in betas:
             params = homogeneous(setup.n, setup.budget, reward=setup.reward,
                                  fork_rate=beta, h=setup.h,
@@ -325,8 +326,8 @@ def fig7_budget_sweep(budgets: Optional[Sequence[float]] = None,
     if budgets is None:
         budgets = [20, 50, 80, 110, 140, 170, 200]
 
-    def evaluate(b1):
-        out = {}
+    def evaluate(b1: Number) -> Dict[str, Number]:
+        out: Dict[str, Number] = {}
         for beta in betas:
             others = [setup.budget] * (setup.n - 1)
             params = GameParameters(
@@ -356,7 +357,7 @@ def fig8_sp_equilibrium(edge_costs: Optional[Sequence[float]] = None,
     if edge_costs is None:
         edge_costs = [0.1, 0.2, 0.4, 0.6, 0.8]
 
-    def evaluate(c_e):
+    def evaluate(c_e: Number) -> Dict[str, Number]:
         conn = homogeneous(setup.n, setup.budget, reward=setup.reward,
                            fork_rate=setup.beta, h=setup.h,
                            edge_cost=c_e, cloud_cost=setup.cloud_cost)
@@ -426,8 +427,8 @@ def fig9_population_uncertainty(mu: float = 5.0, sigma: float = 2.0,
     fixed = solve_dynamic_equilibrium(fixed_game, prices)
     dyn = solve_dynamic_equilibrium(dyn_game, prices)
 
-    def rl_mean_edge(population) -> float:
-        values = []
+    def rl_mean_edge(population: PopulationModel) -> float:
+        values: List[float] = []
         for s_idx in range(rl_seeds):
             trainer = RLTrainer(population, budget=setup.budget,
                                 reward=setup.reward, fork_rate=setup.beta,
@@ -461,7 +462,7 @@ def fig9_variance_sweep(sigmas: Optional[Sequence[float]] = None,
         sigmas = [0.5, 1.0, 1.5, 2.0, 2.5]
     prices = setup.prices()
 
-    def evaluate(sigma):
+    def evaluate(sigma: Number) -> Dict[str, Number]:
         game = DynamicGame(GaussianPopulation(mu, sigma),
                            reward=setup.reward, fork_rate=setup.beta,
                            budget=setup.budget, e_max=e_max,
@@ -543,7 +544,7 @@ def welfare_observations(budgets: Optional[Sequence[float]] = None,
     if budgets is None:
         budgets = [20, 50, 100, 150, 200, 400, 800, 1600]
 
-    def evaluate(b):
+    def evaluate(b: Number) -> Dict[str, Number]:
         params = setup.connected(budget=b)
         eq = solve_connected_equilibrium(params, setup.prices())
         esp_rev = setup.p_e * eq.total_edge

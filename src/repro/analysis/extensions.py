@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from ..learning.fictitious import fictitious_play
 from .experiments import DEFAULTS, PaperSetup
 from .sensitivity import equilibrium_elasticities
 from .series import ResultTable
-from .sweep import sweep
+from .sweep import Number, sweep
 
 __all__ = ["ext1_rent_dissipation", "ext2_fictitious_play",
            "ext3_difficulty_retargeting", "ext4_elasticities",
@@ -48,7 +48,7 @@ def ext1_rent_dissipation(rewards: Optional[Sequence[float]] = None,
     if rewards is None:
         rewards = [500.0, 1000.0, 2000.0, 4000.0]
 
-    def evaluate(reward):
+    def evaluate(reward: Number) -> Dict[str, Number]:
         params = homogeneous(setup.n, setup.budget, reward=reward,
                              fork_rate=setup.beta, h=setup.h,
                              edge_cost=setup.edge_cost,
@@ -143,7 +143,7 @@ def ext5_topology_calibration(block_sizes: Optional[Sequence[float]] = None,
         block_sizes = [1e5, 1e6, 4e6, 1.6e7, 6.4e7]
     graph = edge_cloud_topology(n_nodes, seed=seed)
 
-    def evaluate(block_size):
+    def evaluate(block_size: Number) -> Dict[str, Number]:
         cal = calibrate_game_delays(graph, GossipModel(block_size=
                                                        block_size))
         params = homogeneous(setup.n, setup.budget, reward=setup.reward,
@@ -189,7 +189,8 @@ def ext6_edge_competition(counts: Optional[Sequence[int]] = None,
     market = MultiEdgeMarket(n=setup.n, reward=setup.reward,
                              beta=setup.beta, h=1.0, p_c=setup.p_c)
 
-    def solve(m, capacity):
+    def solve(m: int, capacity: float
+              ) -> Tuple[float, float, float, bool]:
         if m == 1:
             suppliers = [EdgeSupplier(price=2.0, capacity=capacity,
                                       unit_cost=setup.edge_cost)]
@@ -206,7 +207,7 @@ def ext6_edge_competition(counts: Optional[Sequence[int]] = None,
     ample_capacity = 2.0 * market.demand(
         max(setup.edge_cost, 0.5 * setup.p_c))
 
-    def evaluate(m):
+    def evaluate(m: Number) -> Dict[str, Number]:
         price_s, profit_s, sales_s, ok_s = solve(m, capacity_per_esp)
         price_a, profit_a, _, ok_a = solve(m, ample_capacity)
         return {
@@ -256,7 +257,7 @@ def ext7_optimal_block_size(block_sizes: Optional[Sequence[float]] = None,
         block_sizes = [1e5, 3e5, 6e5, 1e6, 2e6, 4e6, 8e6, 1.6e7, 3.2e7]
     graph = edge_cloud_topology(n_nodes, seed=seed)
 
-    def evaluate(block_size):
+    def evaluate(block_size: Number) -> Dict[str, Number]:
         cal = calibrate_game_delays(graph,
                                     GossipModel(block_size=block_size))
         process = TxArrivalProcess(rate=tx_rate, mean_size=500.0,
@@ -301,7 +302,7 @@ def ext8_risk_aversion(risk_levels: Optional[Sequence[float]] = None,
         risk_levels = [0.0, 0.001, 0.002, 0.005, 0.01]
     prices = setup.prices()
 
-    def evaluate(a):
+    def evaluate(a: Number) -> Dict[str, Number]:
         solo = solve_risk_averse_equilibrium(
             RiskAverseGame(n=setup.n, reward=setup.reward,
                            fork_rate=setup.beta, h=setup.h,
@@ -366,7 +367,8 @@ def ext9_private_budgets(setup: PaperSetup = None) -> ResultTable:
     probs = np.array([t.probability for t in types])
     m = setup.n - 1
 
-    def opponent_profiles():
+    def opponent_profiles(
+    ) -> Iterator[Tuple[Tuple[int, ...], float]]:
         for counts in itertools.product(range(m + 1), repeat=k):
             if sum(counts) != m:
                 continue

@@ -11,7 +11,8 @@ counterpart of EXPERIMENTS.md.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Optional, Union
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Union)
 
 from ..exceptions import ConfigurationError
 from .series import ResultTable, sparkline
@@ -20,7 +21,7 @@ __all__ = ["render_markdown", "render_convergence", "render_telemetry",
            "build_report"]
 
 
-def _format_cell(value) -> str:
+def _format_cell(value: object) -> str:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         return str(value)
     if isinstance(value, int):
@@ -41,7 +42,7 @@ def render_markdown(table: ResultTable, heading_level: int = 2) -> str:
         lines.append("| " + " | ".join(_format_cell(v) for v in row)
                      + " |")
     # Sparkline summary of the numeric columns (skip the knob column).
-    sparks = []
+    sparks: List[str] = []
     for name in table.columns[1:]:
         values = table.column(name)
         if all(isinstance(v, (int, float)) and not isinstance(v, bool)
@@ -55,7 +56,7 @@ def render_markdown(table: ResultTable, heading_level: int = 2) -> str:
     return "\n".join(lines)
 
 
-def render_convergence(report, label: str = "") -> str:
+def render_convergence(report: Any, label: str = "") -> str:
     """Render solver convergence diagnostics as a one-line markdown note.
 
     Accepts either a :class:`~repro.game.diagnostics.ConvergenceReport`
@@ -83,7 +84,7 @@ def _label_suffix(labels: Dict[str, str]) -> str:
                            for k, v in sorted(labels.items())) + "}"
 
 
-def render_telemetry(registry, heading_level: int = 2,
+def render_telemetry(registry: Any, heading_level: int = 2,
                      title: str = "Telemetry") -> str:
     """Render a metrics snapshot as a markdown section.
 

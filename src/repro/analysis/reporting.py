@@ -108,7 +108,7 @@ def compare(actual: ResultTable, expected: ResultTable,
         raise ConfigurationError(
             f"row-count mismatch: {len(actual.rows)} vs "
             f"{len(expected.rows)}")
-    mismatches = []
+    mismatches: List[str] = []
     for i, (row_a, row_e) in enumerate(zip(actual.rows, expected.rows)):
         for j, (a, e) in enumerate(zip(row_a, row_e)):
             if isinstance(a, bool) or isinstance(e, bool) or \

@@ -14,7 +14,7 @@ regime (e.g. ``∂E/∂P_c · P_c/E``), which the tests use as ground truth.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable
+from typing import Any, Callable, List, Tuple
 
 
 from ..core import (EdgeMode, GameParameters, Prices,
@@ -26,7 +26,7 @@ from .series import ResultTable
 __all__ = ["equilibrium_elasticities", "elasticity"]
 
 
-def _solve(params: GameParameters, prices: Prices):
+def _solve(params: GameParameters, prices: Prices) -> Any:
     if params.mode is EdgeMode.STANDALONE:
         return solve_standalone_equilibrium(params, prices)
     return solve_connected_equilibrium(params, prices)
@@ -61,7 +61,8 @@ def equilibrium_elasticities(params: GameParameters, prices: Prices,
     in standalone mode when the capacity binds).
     """
 
-    def aggregates(p: GameParameters, pr: Prices):
+    def aggregates(p: GameParameters, pr: Prices
+                   ) -> Tuple[float, float, float]:
         eq = _solve(p, pr)
         return eq.total_edge, eq.total_cloud, eq.total
 
@@ -72,8 +73,10 @@ def equilibrium_elasticities(params: GameParameters, prices: Prices,
               "eps_E w.r.t. P_c is the cross-price elasticity of edge "
               "demand.")
 
-    def add(name: str, base: float, solve_at: Callable[[float], tuple]):
-        eps = []
+    def add(name: str, base: float,
+            solve_at: Callable[[float],
+                               Tuple[float, float, float]]) -> None:
+        eps: List[float] = []
         for idx in range(3):
             eps.append(elasticity(lambda t, i=idx: solve_at(t)[i], base,
                                   rel_step=rel_step))

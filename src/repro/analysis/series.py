@@ -64,7 +64,7 @@ class ResultTable:
                    for a, b in pairs)
 
 
-def _format(value) -> str:
+def _format(value: object) -> str:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         return str(value)
     if isinstance(value, int):
@@ -98,7 +98,7 @@ def sparkline(values: Sequence[Number]) -> str:
     if hi == lo:
         return _SPARK_BLOCKS[3] * len(vals)
     span = hi - lo
-    chars = []
+    chars: List[str] = []
     for v in vals:
         idx = int((v - lo) / span * (len(_SPARK_BLOCKS) - 1) + 0.5)
         chars.append(_SPARK_BLOCKS[idx])

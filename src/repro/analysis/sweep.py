@@ -18,7 +18,7 @@ Two flavours:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from ..exceptions import ConvergenceError
 from .series import ResultTable
@@ -110,7 +110,7 @@ def scenario_sweep(title: str, knob_name: str, values: Iterable[Number],
         raise ConvergenceError(
             f"{len(failed)}/{len(values)} sweep points failed: {detail}")
     table: Optional[ResultTable] = None
-    columns: list = []
+    columns: List[str] = []
     for v, result in zip(values, results):
         row = metrics(v, result.value)
         if table is None:

@@ -16,6 +16,10 @@ Usage::
     repro-mining control --run --scenario retry-storm --events ctrl.jsonl
     repro-mining chaos --with-control
     repro-mining fig4 --trace trace.json
+    repro-mining serve-online --port 8765 --shards 8 --ttl 600 \\
+        --max-inflight 8
+    repro-mining loadgen --requests 100000 --seed 7 --output load.json
+    repro-mining loadgen --port 8765 --requests 500  # vs a live server
 
 Every subcommand accepts ``--trace PATH``: telemetry is enabled for the
 run and the nested span tree is written to PATH as JSON.
@@ -89,8 +93,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id (one of: %s), 'list', 'all', 'report' "
              "(markdown report of the fast experiments; use --ids to "
              "select), 'serve' (batch equilibrium serving; see "
-             "'serve --help'), or 'bench' (solver-kernel benchmark; "
-             "see 'bench --help')" % ", ".join(sorted(EXPERIMENTS)))
+             "'serve --help'), 'serve-online' (asyncio HTTP service; "
+             "see 'serve-online --help'), 'loadgen' (seeded load "
+             "replay; see 'loadgen --help'), or 'bench' "
+             "(solver-kernel benchmark; see 'bench --help')"
+             % ", ".join(sorted(EXPERIMENTS)))
     parser.add_argument(
         "--list", action="store_true", dest="list_experiments",
         help="print the available experiment ids and exit")
@@ -726,6 +733,228 @@ def control_main(argv=None) -> int:
     return 1 if (failed or not chain_done) else 0
 
 
+def build_serve_online_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mining serve-online",
+        description="Run the online equilibrium service: an asyncio "
+                    "HTTP server with request coalescing, admission "
+                    "control, and a sharded TTL cache. Endpoints: "
+                    "POST /solve, GET /healthz /stats /metrics, "
+                    "POST /admin/invalidate /admin/admission.")
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default: %(default)s)")
+    parser.add_argument(
+        "--port", type=int, default=8765, metavar="N",
+        help="bind port; 0 picks a free one (default: %(default)s)")
+    parser.add_argument(
+        "--shards", type=int, default=8, metavar="N",
+        help="scenario-cache shard count (default: %(default)s)")
+    parser.add_argument(
+        "--maxsize", type=int, default=4096, metavar="N",
+        help="total cache capacity across shards "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="cache entry time-to-live (default: no expiry)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="per-shard JSON persistence root; omit for memory-only")
+    parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="concurrent solves admitted (default: %(default)s)")
+    parser.add_argument(
+        "--max-queue", type=int, default=256, metavar="N",
+        help="requests allowed to wait for a solve slot before "
+             "queue-full shedding (default: %(default)s)")
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="token-bucket sustained request rate (default: "
+             "unlimited)")
+    parser.add_argument(
+        "--burst", type=float, default=None, metavar="N",
+        help="token-bucket burst capacity (default: --rate)")
+    parser.add_argument(
+        "--solver-threads", type=int, default=1, metavar="N",
+        help="solver thread-pool width (default: %(default)s)")
+    parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="stream telemetry events to PATH as JSON lines")
+    return parser
+
+
+def serve_online_main(argv=None) -> int:
+    """Entry point of the ``serve-online`` subcommand.
+
+    Runs in the foreground until interrupted; exit code 0 on a clean
+    shutdown (Ctrl-C), 2 on bad arguments.
+    """
+    import asyncio
+
+    from .service import EquilibriumService, ServiceServer
+    from .telemetry import telemetry_session
+
+    args = build_serve_online_parser().parse_args(argv)
+    try:
+        service = EquilibriumService(
+            n_shards=args.shards, maxsize=args.maxsize, ttl=args.ttl,
+            cache_dir=args.cache_dir, max_inflight=args.max_inflight,
+            max_queue=args.max_queue, rate=args.rate, burst=args.burst,
+            solver_threads=args.solver_threads)
+    except ReproError as ex:
+        print(f"bad service configuration: {ex}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        server = ServiceServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving on http://{args.host}:{server.port} "
+              f"(shards={args.shards}, maxsize={args.maxsize}, "
+              f"ttl={args.ttl or '-'}, "
+              f"max_inflight={args.max_inflight})", file=sys.stderr)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    with telemetry_session(event_path=args.events):
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+        finally:
+            service.close()
+    return 0
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mining loadgen",
+        description="Replay a seeded scenario-request stream against "
+                    "the online service and report latency quantiles "
+                    "from the telemetry histograms. Without --port a "
+                    "throwaway in-process service is driven; with "
+                    "--port a live serve-online server is.")
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="server address for HTTP mode (default: %(default)s)")
+    parser.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="server port; omit to run against an in-process service")
+    parser.add_argument(
+        "--requests", type=int, default=100_000, metavar="N",
+        help="requests to replay (default: %(default)s)")
+    parser.add_argument(
+        "--unique", type=int, default=64, metavar="N",
+        help="distinct scenarios in the pool (default: %(default)s)")
+    parser.add_argument(
+        "--mix", choices=("zipf", "uniform"), default="zipf",
+        help="key-popularity mix (default: %(default)s)")
+    parser.add_argument(
+        "--zipf-a", type=float, default=1.2, metavar="A",
+        help="zipf exponent (default: %(default)s)")
+    parser.add_argument(
+        "--burst", type=int, default=64, metavar="N",
+        help="requests launched concurrently per wave "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--seed", type=int, default=7, metavar="N",
+        help="seed of the scenario pool and request stream "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="in-process mode: admitted solve concurrency "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--slo-p50", type=float, default=None, metavar="SECONDS",
+        help="p50 latency SLO bound; breaching it fails the run")
+    parser.add_argument(
+        "--slo-p95", type=float, default=None, metavar="SECONDS",
+        help="p95 latency SLO bound")
+    parser.add_argument(
+        "--slo-p99", type=float, default=None, metavar="SECONDS",
+        help="p99 latency SLO bound")
+    parser.add_argument(
+        "--output", "-o", default=None, metavar="PATH",
+        help="write the JSON load report to PATH")
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="suppress the report on stdout")
+    return parser
+
+
+def loadgen_main(argv=None) -> int:
+    """Entry point of the ``loadgen`` subcommand.
+
+    Exit codes: 0 — replay completed with zero errors and every SLO
+    met, 1 — errors or an SLO breach, 2 — bad arguments.
+    """
+    import asyncio
+
+    from .service import (EquilibriumService, HttpClient,
+                          InProcessClient, LoadPlan, run_load)
+    from .telemetry import telemetry_session
+
+    args = build_loadgen_parser().parse_args(argv)
+    try:
+        plan = LoadPlan(requests=args.requests, unique=args.unique,
+                        mix=args.mix, zipf_a=args.zipf_a,
+                        burst=args.burst, seed=args.seed,
+                        slo_p50=args.slo_p50, slo_p95=args.slo_p95,
+                        slo_p99=args.slo_p99)
+    except ReproError as ex:
+        print(f"bad load plan: {ex}", file=sys.stderr)
+        return 2
+
+    async def _http() -> "object":
+        client = HttpClient(host=args.host, port=args.port)
+        try:
+            return await run_load(client, plan)
+        finally:
+            await client.close()
+
+    async def _in_process() -> "object":
+        service = EquilibriumService(max_inflight=args.max_inflight)
+        try:
+            return await run_load(InProcessClient(service), plan)
+        finally:
+            service.close()
+
+    if args.port is not None:
+        try:
+            report = asyncio.run(_http())
+        except (ConnectionError, OSError) as ex:
+            print(f"could not reach {args.host}:{args.port}: {ex}",
+                  file=sys.stderr)
+            return 2
+    else:
+        with telemetry_session():
+            report = asyncio.run(_in_process())
+
+    summary = report.to_dict()
+    if not args.quiet:
+        print(json.dumps(summary, indent=2))
+    print(f"{summary['requests']} requests in "
+          f"{summary['elapsed_seconds']:.2f}s "
+          f"({summary['rps']:.0f} rps): {summary['ok']} ok, "
+          f"{summary['shed_total']} shed, {summary['errors']} errors; "
+          f"{summary['coalesced']} coalesced, "
+          f"{summary['solves']} solves / "
+          f"{summary['unique_ok_keys']} served keys; "
+          f"p50={summary['latency']['p50']:.4g}s "
+          f"p95={summary['latency']['p95']:.4g}s "
+          f"p99={summary['latency']['p99']:.4g}s", file=sys.stderr)
+    if args.output is not None:
+        try:
+            Path(args.output).write_text(json.dumps(summary, indent=2))
+        except OSError as ex:
+            print(f"could not write {args.output!r}: {ex}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 1 if summary["failed"] else 0
+
+
 def _print_experiments() -> None:
     for key in sorted(EXPERIMENTS):
         doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()[0]
@@ -745,6 +974,10 @@ def main(argv=None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0].lower() == "control":
         return control_main(argv[1:])
+    if argv and argv[0].lower() == "serve-online":
+        return serve_online_main(argv[1:])
+    if argv and argv[0].lower() == "loadgen":
+        return loadgen_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_experiments:
         _print_experiments()

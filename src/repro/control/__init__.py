@@ -44,14 +44,16 @@ from .anomalies import (KIND_CACHE_COLLAPSE, KIND_RETRY_STORM,
                         SolverDivergence, WarmStartDrift,
                         default_detectors, detect_all)
 from .loop import ControlLoop, ControlReport
-from .remediations import (KERNEL_ROBUSTNESS_CHAIN, EnterDegradedMode,
-                           ExitDegradedMode, FlushCache, Proposer,
-                           RebuildWarmIndex, Remediation, ResizeCache,
-                           SwitchKernel, TightenRetryPolicy)
+from .remediations import (KERNEL_ROBUSTNESS_CHAIN, AdmissionControl,
+                           EnterDegradedMode, ExitDegradedMode,
+                           FlushCache, Proposer, RebuildWarmIndex,
+                           Remediation, ResizeCache, SwitchKernel,
+                           TightenRetryPolicy)
 from .scenarios import SCENARIOS, InducedScenario, induce
 from .target import ControlTarget, TargetSnapshot, TargetState
 from .verify import (CheckResult, VerificationReport, Verifier,
-                     check_all_cloud_limit, check_connected_closed_form,
+                     check_admission_serves, check_all_cloud_limit,
+                     check_connected_closed_form,
                      check_retry_policy_invariants,
                      check_serving_matches_direct,
                      check_standalone_cross_solver, run_golden_checks)
@@ -68,12 +70,14 @@ __all__ = [
     # remediations
     "Remediation", "SwitchKernel", "ResizeCache", "FlushCache",
     "RebuildWarmIndex", "TightenRetryPolicy", "EnterDegradedMode",
-    "ExitDegradedMode", "Proposer", "KERNEL_ROBUSTNESS_CHAIN",
+    "ExitDegradedMode", "AdmissionControl", "Proposer",
+    "KERNEL_ROBUSTNESS_CHAIN",
     # verify
     "CheckResult", "VerificationReport", "Verifier",
     "check_connected_closed_form", "check_standalone_cross_solver",
     "check_serving_matches_direct", "check_retry_policy_invariants",
-    "check_all_cloud_limit", "run_golden_checks",
+    "check_all_cloud_limit", "check_admission_serves",
+    "run_golden_checks",
     # target / actuator / loop
     "ControlTarget", "TargetState", "TargetSnapshot",
     "Actuator", "Decision", "ControlLoop", "ControlReport",

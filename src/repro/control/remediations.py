@@ -22,8 +22,12 @@ retry-storm           tighten the retry policy; on exhausted
                       degradation instead
 warm-start-drift      rebuild the warm-start index
 latency-slo-breach    step the kernel *up* the speed chain
-                      toward ``vectorized``; already there ->
-                      grow the cache
+                      toward ``vectorized``; already there and
+                      the breach *sustained* (>= 2 consecutive
+                      windows) on a target with an online
+                      admission surface -> halve the admitted
+                      solve concurrency; otherwise grow the
+                      cache
 (recovery)            exit degradation after ``recovery_windows``
                       consecutive clean windows
 ====================  ==========================================
@@ -45,8 +49,8 @@ from .anomalies import (KIND_CACHE_COLLAPSE, KIND_RETRY_STORM,
 
 __all__ = ["Remediation", "SwitchKernel", "ResizeCache", "FlushCache",
            "RebuildWarmIndex", "TightenRetryPolicy",
-           "EnterDegradedMode", "ExitDegradedMode", "Proposer",
-           "KERNEL_ROBUSTNESS_CHAIN"]
+           "EnterDegradedMode", "ExitDegradedMode", "AdmissionControl",
+           "Proposer", "KERNEL_ROBUSTNESS_CHAIN"]
 
 #: Kernel fallback order under solver trouble: the vectorized aggregate
 #: kernel is fastest but assumes the consistency system is
@@ -164,6 +168,27 @@ class EnterDegradedMode(Remediation):
 
 
 @dataclass(frozen=True)
+class AdmissionControl(Remediation):
+    """Resize the online service's admitted solve concurrency.
+
+    Proposed on a *sustained* latency-SLO breach when the target
+    fronts an :class:`~repro.service.EquilibriumService`: shrinking
+    ``max_inflight`` trades throughput for tail latency by shedding
+    (fast, explicit 429s) instead of queueing (slow, SLO-breaching
+    waits). Rolled back like any other remediation — the snapshot
+    captures the previous bound.
+    """
+
+    max_inflight: int = 4
+    kind = "admission-control"
+    cooldown_class = "admission"
+
+    def describe(self) -> str:
+        return (f"limit admitted solve concurrency to "
+                f"{self.max_inflight}")
+
+
+@dataclass(frozen=True)
 class ExitDegradedMode(Remediation):
     """Leave all-cloud degradation and resume normal routing."""
 
@@ -180,13 +205,21 @@ class Proposer:
     Args:
         max_cache_size: Hard cap the cache-grow playbook never exceeds.
         tight_policy: The retry policy installed on a retry storm.
+        sustained_windows: Consecutive SLO-breach windows before the
+            admission-control escalation arms (breach streaks shorter
+            than this stay on the kernel/cache playbook).
     """
 
     def __init__(self, max_cache_size: int = 65536,
-                 tight_policy: Optional[RetryPolicy] = None) -> None:
+                 tight_policy: Optional[RetryPolicy] = None,
+                 sustained_windows: int = 2) -> None:
         self.max_cache_size = max_cache_size
         self.tight_policy = tight_policy or RetryPolicy(
             max_attempts=2, base_delay=0.05, max_delay=0.5)
+        self.sustained_windows = sustained_windows
+        #: Consecutive windows (propose_all calls) whose anomaly set
+        #: contained a latency-SLO breach; resets on a clean window.
+        self.slo_streak = 0
 
     def propose(self, anomaly: Anomaly,
                 state: "TargetState") -> Optional[Remediation]:
@@ -218,6 +251,15 @@ class Proposer:
             upgraded = _step_kernel(state.kernel, direction=-1)
             if upgraded is not None:
                 return SwitchKernel(target=upgraded, reason=kind)
+            # Already on the fastest kernel. A *sustained* breach on a
+            # target with an online admission surface means queueing
+            # delay, not solve cost — shrink the admitted concurrency
+            # so excess load sheds fast instead of waiting slow.
+            if (self.slo_streak >= self.sustained_windows
+                    and state.admission_inflight > 1):
+                halved = max(1, state.admission_inflight // 2)
+                return AdmissionControl(max_inflight=halved,
+                                        reason=kind)
             if state.cache_maxsize < self.max_cache_size:
                 grown = min(state.cache_maxsize * 2,
                             self.max_cache_size)
@@ -228,7 +270,17 @@ class Proposer:
     def propose_all(self, anomalies: Sequence[Anomaly],
                     state: "TargetState") -> List[Remediation]:
         """Playbook over a window's anomalies, deduplicated by action
-        kind (two anomalies proposing the same action yield one)."""
+        kind (two anomalies proposing the same action yield one).
+
+        Also advances the SLO-breach streak: one ``propose_all`` call
+        is one detection window, so the streak counts consecutive
+        windows in breach — the "sustained" signal the
+        admission-control escalation keys on.
+        """
+        if any(a.kind == KIND_SLO_BREACH for a in anomalies):
+            self.slo_streak += 1
+        else:
+            self.slo_streak = 0
         out: List[Remediation] = []
         seen: Set[str] = set()
         for anomaly in anomalies:

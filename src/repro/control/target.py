@@ -19,14 +19,15 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..exceptions import ConfigurationError
-from .remediations import (EnterDegradedMode, ExitDegradedMode,
-                           FlushCache, RebuildWarmIndex, Remediation,
-                           ResizeCache, SwitchKernel,
-                           TightenRetryPolicy)
+from .remediations import (AdmissionControl, EnterDegradedMode,
+                           ExitDegradedMode, FlushCache,
+                           RebuildWarmIndex, Remediation, ResizeCache,
+                           SwitchKernel, TightenRetryPolicy)
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from ..resilience.dispatcher import ResilientDispatcher
     from ..resilience.retry import RetryPolicy
+    from ..service.service import EquilibriumService
     from ..serving.engine import ServingEngine
 
 __all__ = ["TargetState", "TargetSnapshot", "ControlTarget"]
@@ -47,12 +48,16 @@ class TargetState:
         degraded: Whether all-cloud degradation mode is active.
         retry_tightened: Whether a tightened retry policy has already
             been installed (prevents re-proposing it every window).
+        admission_inflight: The online service's admitted solve
+            concurrency (0 when the target fronts no service — the
+            admission playbook stays inert on batch-only targets).
     """
 
     kernel: str = DEFAULT_KERNEL
     cache_maxsize: int = 0
     degraded: bool = False
     retry_tightened: bool = False
+    admission_inflight: int = 0
 
 
 @dataclass
@@ -66,6 +71,7 @@ class TargetSnapshot:
     retry_policy: Optional["RetryPolicy"] = None
     degraded: bool = False
     retry_tightened: bool = False
+    admission_inflight: int = 0
 
 
 class ControlTarget:
@@ -74,14 +80,22 @@ class ControlTarget:
     Args:
         engine: The serving engine (kernel, cache, warm-index seams).
         dispatcher: The resilient dispatcher (retry-policy seam).
+        service: The online :class:`EquilibriumService` (admission
+            seam); when given and ``engine`` is None, the service's
+            own engine is adopted so kernel/cache remediations act on
+            the same objects the service serves from.
         default_kernel: Kernel reported while no override is active.
     """
 
     def __init__(self, engine: Optional["ServingEngine"] = None,
                  dispatcher: Optional["ResilientDispatcher"] = None,
+                 service: Optional["EquilibriumService"] = None,
                  default_kernel: str = DEFAULT_KERNEL) -> None:
+        if engine is None and service is not None:
+            engine = service.engine
         self.engine = engine
         self.dispatcher = dispatcher
+        self.service = service
         self.default_kernel = default_kernel
         self.degraded = False
         self.retry_tightened = False
@@ -95,9 +109,12 @@ class ControlTarget:
         if self.engine is not None:
             kernel = self.engine.kernel_override or self.default_kernel
             maxsize = self.engine.cache.maxsize
+        inflight = (self.service.max_inflight
+                    if self.service is not None else 0)
         return TargetState(kernel=kernel, cache_maxsize=maxsize,
                            degraded=self.degraded,
-                           retry_tightened=self.retry_tightened)
+                           retry_tightened=self.retry_tightened,
+                           admission_inflight=inflight)
 
     def snapshot(self) -> TargetSnapshot:
         """Capture everything a subsequent ``restore`` must put back."""
@@ -110,6 +127,8 @@ class ControlTarget:
             snap.warm_index = self.engine.warm_index
         if self.dispatcher is not None:
             snap.retry_policy = self.dispatcher.policy
+        if self.service is not None:
+            snap.admission_inflight = self.service.max_inflight
         return snap
 
     def restore(self, snap: TargetSnapshot) -> None:
@@ -125,6 +144,8 @@ class ControlTarget:
                 self.engine.warm_index = snap.warm_index
         if self.dispatcher is not None and snap.retry_policy is not None:
             self.dispatcher.policy = snap.retry_policy
+        if self.service is not None and snap.admission_inflight > 0:
+            self.service.set_max_inflight(snap.admission_inflight)
 
     # ------------------------------------------------------------------
 
@@ -174,6 +195,13 @@ class ControlTarget:
             if not self.degraded:
                 return False
             self.degraded = False
+            return True
+        if isinstance(remediation, AdmissionControl):
+            if self.service is None:
+                return False
+            if self.service.max_inflight == remediation.max_inflight:
+                return False
+            self.service.set_max_inflight(remediation.max_inflight)
             return True
         raise ConfigurationError(
             f"unknown remediation {type(remediation).__name__}")

@@ -24,6 +24,10 @@ tighten-retry         retry-policy invariants (schedule bounded,
 enter-degraded        the all-cloud ``P_e -> inf`` limit zeroes
                       edge demand and converges
 exit-degraded         serving vs direct on the default kernel
+admission-control     a scratch online service at the proposed
+                      concurrency bound answers concurrent
+                      duplicates bit-identically to the direct
+                      engine solve (coalescing intact, no errors)
 ====================  ==========================================
 """
 
@@ -46,16 +50,16 @@ from ..resilience.retry import RetryPolicy
 from ..telemetry import TELEMETRY as _TEL
 from ..serving.engine import ServingEngine
 from ..serving.keys import ScenarioSpec
-from .remediations import (EnterDegradedMode, ExitDegradedMode,
-                           FlushCache, RebuildWarmIndex, Remediation,
-                           ResizeCache, SwitchKernel,
-                           TightenRetryPolicy)
+from .remediations import (AdmissionControl, EnterDegradedMode,
+                           ExitDegradedMode, FlushCache,
+                           RebuildWarmIndex, Remediation, ResizeCache,
+                           SwitchKernel, TightenRetryPolicy)
 
 __all__ = ["CheckResult", "VerificationReport", "Verifier",
            "check_connected_closed_form", "check_standalone_cross_solver",
            "check_serving_matches_direct", "check_retry_policy_invariants",
-           "check_all_cloud_limit", "run_golden_checks",
-           "quiet_telemetry"]
+           "check_all_cloud_limit", "check_admission_serves",
+           "run_golden_checks", "quiet_telemetry"]
 
 
 @dataclass(frozen=True)
@@ -293,6 +297,70 @@ def check_all_cloud_limit(tol: float = 1e-6) -> CheckResult:
                            detail=f"{type(ex).__name__}: {ex}")
 
 
+def check_admission_serves(max_inflight: int,
+                           kernel: str = "vectorized",
+                           tol: float = 1e-9) -> CheckResult:
+    """A scratch online service at the proposed concurrency bound
+    still serves correct, coalesced answers.
+
+    Spins up a throwaway :class:`~repro.service.EquilibriumService`
+    (own engine, own event loop via ``asyncio.run`` — the control loop
+    runs in a plain thread, so no loop is running here), fires more
+    concurrent duplicates of the canonical scenario than the bound
+    admits, and requires: a positive in-range bound, zero errors,
+    exactly one solve (the duplicates coalesced), and a served
+    equilibrium matching the direct engine solve bit-for-bit in the
+    relative-error metric.
+    """
+    import asyncio
+
+    from ..service.service import EquilibriumService
+
+    name = f"admission-serves[max_inflight={max_inflight}]"
+    try:
+        if not 1 <= max_inflight <= 4096:
+            return CheckResult(
+                name, False,
+                detail=f"max_inflight {max_inflight} outside [1, 4096]")
+        params, _ = _check_setup()
+        spec = ScenarioSpec(params=params, kernel=kernel)
+        direct_engine = ServingEngine(maxsize=8, warm_start=False,
+                                      use_guard=False)
+        direct = direct_engine.serve(spec)
+        if not direct.ok:
+            return CheckResult(name, False,
+                               detail=f"direct solve failed: "
+                                      f"{direct.error}")
+
+        async def _exercise() -> Tuple[int, int, Any]:
+            service = EquilibriumService(max_inflight=max_inflight,
+                                         max_queue=64)
+            try:
+                client_spec = spec
+                responses = await asyncio.gather(
+                    *(service.handle(client_spec) for _ in range(8)))
+                errors = sum(1 for r in responses if not r.ok)
+                return errors, service.solves, responses[0].result
+            finally:
+                service.close()
+
+        errors, solves, served = asyncio.run(_exercise())
+        if errors or solves != 1 or served is None:
+            return CheckResult(
+                name, False,
+                detail=f"errors={errors}, solves={solves} "
+                       f"(expected 0 errors, 1 coalesced solve)")
+        err = max(_rel_error(served.value.miners.e,
+                             direct.value.miners.e),
+                  _rel_error(served.value.miners.c,
+                             direct.value.miners.c))
+        return CheckResult(name, err <= tol, err,
+                           detail=f"coalesced 8 -> {solves} solve")
+    except Exception as ex:  # repro: noqa[RPR007] — see above.
+        return CheckResult(name, False,
+                           detail=f"{type(ex).__name__}: {ex}")
+
+
 def run_golden_checks(kernel: str = "vectorized") -> List[CheckResult]:
     """The full differential battery for one kernel (CLI ``--check``).
 
@@ -341,6 +409,9 @@ class Verifier:
             return [check_all_cloud_limit()]
         if isinstance(remediation, ExitDegradedMode):
             return [check_serving_matches_direct(kernel)]
+        if isinstance(remediation, AdmissionControl):
+            return [check_admission_serves(remediation.max_inflight,
+                                           kernel)]
         return [CheckResult(
             name=f"unknown-remediation[{remediation.kind}]", ok=False,
             detail="no checks registered for this remediation type")]

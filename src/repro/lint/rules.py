@@ -410,6 +410,75 @@ class UnguardedTelemetryInLoop(Rule):
             f"guard the seam")
 
 
+class BlockingCallInAsync(Rule):
+    """RPR009 — event-loop-blocking call inside an ``async def`` of
+    the online service package."""
+
+    id = "RPR009"
+    name = "blocking-call-in-async"
+    severity = "error"
+    description = ("time.sleep or synchronous file I/O (open, "
+                   "Path.read_text/write_text/..., os.replace/fsync) "
+                   "inside an `async def` under repro/service/; use "
+                   "asyncio.sleep or run_in_executor.")
+    rationale = ("The service multiplexes every connection on one "
+                 "event loop; a single blocking call inside a "
+                 "coroutine stalls all concurrent requests at once — "
+                 "coalescing and admission deadlines included — and "
+                 "shows up as an unexplained latency-SLO breach.")
+    default_options: Dict[str, Any] = {
+        #: Only this package runs on an event loop.
+        "packages": ("service",),
+        #: Sync-I/O method names flagged on any attribute chain
+        #: (Path API and file objects).
+        "io_methods": ("read_text", "write_text", "read_bytes",
+                       "write_bytes"),
+        #: os-level file operations that hit the disk synchronously.
+        "os_calls": ("replace", "fsync", "rename", "remove", "unlink"),
+    }
+
+    def _in_async_def(self, ctx: LintContext) -> bool:
+        stack = ctx.function_stack
+        return bool(stack) and isinstance(stack[-1],
+                                          ast.AsyncFunctionDef)
+
+    def on_Call(self, node: ast.Call,
+                ctx: LintContext) -> Iterator[Optional[Finding]]:
+        if not any(ctx.in_package(p) for p in self.options["packages"]):
+            return
+        if not self._in_async_def(ctx):
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            yield ctx.finding(
+                self, node,
+                "synchronous open() inside an async def blocks the "
+                "event loop; run file I/O through run_in_executor")
+            return
+        chain = _attr_chain(func)
+        if not chain or len(chain) < 2:
+            return
+        root, leaf = chain[0], chain[-1]
+        dotted = ".".join(chain)
+        if root == "time" and leaf == "sleep":
+            yield ctx.finding(
+                self, node,
+                f"`{dotted}()` inside an async def blocks the event "
+                f"loop; use `await asyncio.sleep(...)`")
+        elif root == "os" and leaf in self.options["os_calls"]:
+            yield ctx.finding(
+                self, node,
+                f"`{dotted}()` inside an async def performs "
+                f"synchronous file I/O; run it through "
+                f"run_in_executor")
+        elif leaf in self.options["io_methods"]:
+            yield ctx.finding(
+                self, node,
+                f"`{dotted}()` inside an async def performs "
+                f"synchronous file I/O; run it through "
+                f"run_in_executor")
+
+
 ALL_RULES: Tuple[Type[Rule], ...] = (
     GlobalNumpyRNG,
     FloatEquality,
@@ -419,6 +488,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     SolverNondeterminism,
     OverbroadExcept,
     UnguardedTelemetryInLoop,
+    BlockingCallInAsync,
 )
 
 

@@ -16,7 +16,7 @@ through a :class:`~repro.blockchain.forks.ForkModel`, the fork rate
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import networkx as nx
 import numpy as np
@@ -54,15 +54,17 @@ class GossipModel:
             self.validation_delay
 
 
-def _arrival_times(graph: nx.Graph, origin, model: GossipModel) -> Dict:
-    def weight(u, v, data):
+def _arrival_times(graph: nx.Graph, origin: Any,
+                   model: GossipModel) -> Dict[Any, float]:
+    def weight(u: Any, v: Any, data: Dict[str, float]) -> float:
         return model.link_cost(data["latency"], data["bandwidth"])
 
     return nx.single_source_dijkstra_path_length(graph, origin,
                                                  weight=weight)
 
 
-def propagation_time(graph: nx.Graph, origin, model: GossipModel,
+def propagation_time(graph: nx.Graph, origin: Any,
+                     model: GossipModel,
                      coverage: float = 1.0) -> float:
     """Time for a block found at ``origin`` to reach ``coverage`` of the
     miner vertices.

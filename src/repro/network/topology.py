@@ -23,6 +23,7 @@ between the ESP and miners is negligible") and :data:`CSP_NODE`
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Tuple
 
 import networkx as nx
 import numpy as np
@@ -61,7 +62,8 @@ class LinkProfile:
         if not 0.0 <= self.jitter < 1.0:
             raise ConfigurationError("jitter must be in [0, 1)")
 
-    def sample(self, rng: np.random.Generator) -> tuple:
+    def sample(self, rng: np.random.Generator
+               ) -> Tuple[float, float]:
         """Sample a (latency, bandwidth) pair with jitter applied."""
         if self.jitter == 0.0:  # repro: noqa[RPR002] — config sentinel
             return self.latency, self.bandwidth
@@ -80,7 +82,8 @@ WAN = LinkProfile(latency=0.12, bandwidth=3.125e6)       # 25 Mb/s, 120 ms
 __all__ += ["LAN", "METRO", "WAN"]
 
 
-def _attach_providers(graph: nx.Graph, miners, rng,
+def _attach_providers(graph: nx.Graph, miners: Iterable[int],
+                      rng: np.random.Generator,
                       edge_profile: LinkProfile,
                       cloud_profile: LinkProfile) -> nx.Graph:
     """Add the ESP (LAN to every miner) and CSP (WAN) vertices."""

@@ -1,0 +1,213 @@
+"""Admission control for the online service: rate + concurrency gates.
+
+Two independent gates, both with explicit shed semantics (a rejected
+request gets an immediate 429-style response; nothing blocks forever):
+
+* :class:`TokenBucket` — request-rate limiting. Tokens refill at
+  ``rate`` per second up to ``burst``; a request that finds the bucket
+  empty is shed with reason ``"rate"``. The clock is injectable, so
+  tests drive refills deterministically.
+* :class:`AdmissionController` — solve-concurrency limiting. At most
+  ``max_inflight`` solves run at once; up to ``max_queue`` further
+  requests wait their turn; past that, requests are shed with reason
+  ``"queue-full"``. Cache hits and coalesced joins never consume a
+  solve slot — backpressure applies to the expensive path only.
+
+Queue depth, inflight count, and shed totals are exported through
+:mod:`repro.telemetry` so the load harness and the control plane see
+the same numbers the service acts on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, Optional
+
+from ..exceptions import ConfigurationError
+from ..telemetry import TELEMETRY as _TEL
+
+__all__ = ["TokenBucket", "AdmissionController",
+           "SHED_RATE", "SHED_QUEUE_FULL"]
+
+#: Shed reasons (stable strings: wire responses and telemetry labels).
+SHED_RATE = "rate"
+SHED_QUEUE_FULL = "queue-full"
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter.
+
+    Args:
+        rate: Sustained tokens (requests) per second.
+        burst: Bucket capacity — the largest instantaneous burst
+            admitted from a full bucket. Defaults to ``rate``.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if rate <= 0:
+            raise ConfigurationError(
+                f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else rate)
+        if self.burst < 1:
+            raise ConfigurationError(
+                f"burst must admit at least one request, got "
+                f"{self.burst}")
+        self._clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._last = self._clock()
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; never blocks."""
+        now = self._clock()
+        elapsed = max(now - self._last, 0.0)
+        self._last = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (as of the last acquire)."""
+        return self._tokens
+
+
+class AdmissionController:
+    """Bounded solve concurrency with an explicit wait queue.
+
+    All coordination happens on one event loop (the service's); the
+    only cross-thread entry point is :meth:`resize`, which updates the
+    bound synchronously and marshals the waiter wake-up onto the loop.
+
+    Args:
+        max_inflight: Concurrent solves admitted (>= 1).
+        max_queue: Requests allowed to wait for a slot; 0 sheds the
+            moment every slot is busy.
+        bucket: Optional rate gate applied before the capacity gate.
+    """
+
+    def __init__(self, max_inflight: int = 8, max_queue: int = 64,
+                 bucket: Optional[TokenBucket] = None) -> None:
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be at least 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ConfigurationError(
+                f"max_queue must be non-negative, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.bucket = bucket
+        self.inflight = 0
+        self.queued = 0
+        self.admitted = 0
+        self.shed: Dict[str, int] = {SHED_RATE: 0, SHED_QUEUE_FULL: 0}
+        self._cond: Optional[asyncio.Condition] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def _condition(self) -> asyncio.Condition:
+        # Created lazily on the serving loop (constructing the service
+        # must not require a running event loop).
+        if self._cond is None:
+            self._cond = asyncio.Condition()
+            self._loop = asyncio.get_running_loop()
+        return self._cond
+
+    def _shed(self, reason: str) -> str:
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+        if _TEL.enabled:
+            _TEL.metrics.counter(
+                "service_shed_total", "Requests shed by admission "
+                "control, by reason", labels={"reason": reason}).inc()
+        return reason
+
+    def check_rate(self) -> Optional[str]:
+        """Apply the rate gate alone; shed reason or None.
+
+        Called once per request (including cache hits) — rate limiting
+        protects the whole front door, not just the solver pool.
+        """
+        if self.bucket is not None and not self.bucket.try_acquire():
+            return self._shed(SHED_RATE)
+        return None
+
+    async def acquire(self) -> Optional[str]:
+        """Take a solve slot, waiting in the bounded queue if needed.
+
+        Returns ``None`` on admission (pair with :meth:`release`), or
+        the shed reason when the queue is full.
+        """
+        cond = self._condition()
+        async with cond:
+            if (self.inflight >= self.max_inflight
+                    and self.queued >= self.max_queue):
+                return self._shed(SHED_QUEUE_FULL)
+            self.queued += 1
+            self._export_depth()
+            try:
+                while self.inflight >= self.max_inflight:
+                    await cond.wait()
+            finally:
+                self.queued -= 1
+            self.inflight += 1
+            self.admitted += 1
+            self._export_depth()
+        return None
+
+    async def release(self) -> None:
+        """Return a solve slot and wake one queued waiter."""
+        cond = self._condition()
+        async with cond:
+            self.inflight = max(self.inflight - 1, 0)
+            cond.notify(1)
+            self._export_depth()
+
+    def resize(self, max_inflight: int) -> None:
+        """Change the concurrency bound (the control plane's seam).
+
+        Safe from any thread: the bound itself changes immediately
+        (new arrivals see it); waiters are woken via the service loop
+        when one is attached and running.
+        """
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be at least 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._notify_waiters)
+
+    def _notify_waiters(self) -> None:
+        if self._cond is None:
+            return
+
+        async def _wake() -> None:
+            cond = self._condition()
+            async with cond:
+                cond.notify_all()
+
+        asyncio.ensure_future(_wake())
+
+    def _export_depth(self) -> None:
+        if _TEL.enabled:
+            _TEL.metrics.gauge(
+                "service_queue_depth",
+                "Requests waiting for a solve slot").set(self.queued)
+            _TEL.metrics.gauge(
+                "service_inflight", "Solves currently running").set(
+                self.inflight)
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-shaped snapshot for the stats endpoint."""
+        return {"max_inflight": float(self.max_inflight),
+                "max_queue": float(self.max_queue),
+                "inflight": float(self.inflight),
+                "queued": float(self.queued),
+                "admitted": float(self.admitted),
+                "shed_rate": float(self.shed.get(SHED_RATE, 0)),
+                "shed_queue_full":
+                    float(self.shed.get(SHED_QUEUE_FULL, 0))}

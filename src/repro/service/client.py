@@ -1,0 +1,158 @@
+"""Async clients for the equilibrium service, one per transport.
+
+Both clients expose the same call surface and return the same
+JSON-shaped payloads (:func:`~repro.service.server.response_payload`),
+so the load generator and the tests swap transports with one flag:
+
+* :class:`InProcessClient` — calls
+  :meth:`~repro.service.service.EquilibriumService.handle` directly on
+  the current event loop. Zero serialization; the default for tests
+  and the 10^5–10^6-request load runs.
+* :class:`HttpClient` — stdlib asyncio-streams HTTP/1.1 client with a
+  small keep-alive connection pool, for driving a real
+  :class:`~repro.service.server.ServiceServer` (the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..serving.codec import encode_spec
+from ..serving.keys import ScenarioSpec
+from .server import response_payload
+from .service import EquilibriumService
+
+__all__ = ["InProcessClient", "HttpClient"]
+
+
+class InProcessClient:
+    """Direct client: the service core without a socket in between."""
+
+    def __init__(self, service: EquilibriumService) -> None:
+        self.service = service
+
+    async def solve(self, spec: ScenarioSpec,
+                    include_result: bool = True) -> Dict[str, Any]:
+        """Submit one scenario; returns the wire-shaped payload with
+        the transport status under ``"http_status"``."""
+        response = await self.service.handle(spec)
+        payload = response_payload(response,
+                                   include_result=include_result)
+        payload["http_status"] = response.status
+        return payload
+
+    async def invalidate(self) -> int:
+        return self.service.invalidate()
+
+    async def metrics_text(self) -> str:
+        from ..telemetry import TELEMETRY, render_prometheus
+        return render_prometheus(TELEMETRY.metrics)
+
+    async def close(self) -> None:
+        """Nothing to release (the service owns its executor)."""
+
+
+class HttpClient:
+    """Keep-alive HTTP client over asyncio streams (no third-party
+    HTTP stack), with a bounded connection pool so concurrent requests
+    each get their own connection.
+
+    Args:
+        host: Server address.
+        port: Server port.
+        pool_size: Idle connections retained for reuse.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 pool_size: int = 32) -> None:
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self._idle: List[Tuple[asyncio.StreamReader,
+                               asyncio.StreamWriter]] = []
+
+    async def _acquire(self) -> Tuple[asyncio.StreamReader,
+                                      asyncio.StreamWriter]:
+        if self._idle:
+            return self._idle.pop()
+        return await asyncio.open_connection(self.host, self.port)
+
+    def _release(self, conn: Tuple[asyncio.StreamReader,
+                                   asyncio.StreamWriter]) -> None:
+        if len(self._idle) < self.pool_size:
+            self._idle.append(conn)
+        else:
+            conn[1].close()
+
+    async def request(self, method: str, path: str,
+                      payload: Optional[Dict[str, Any]] = None
+                      ) -> Tuple[int, Dict[str, Any]]:
+        """One HTTP exchange; returns ``(status, decoded body)``."""
+        body = b"" if payload is None else \
+            json.dumps(payload).encode("utf-8")
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: keep-alive\r\n\r\n")
+        reader, writer = await self._acquire()
+        try:
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            status, response = await self._read_response(reader)
+        except BaseException:  # repro: noqa[RPR007] - close, then re-raise
+            writer.close()
+            raise
+        self._release((reader, writer))
+        return status, response
+
+    async def _read_response(self, reader: asyncio.StreamReader
+                             ) -> Tuple[int, Dict[str, Any]]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await reader.readexactly(length) if length else b""
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+        return status, payload
+
+    # ------------------------------------------------------------------
+
+    async def solve(self, spec: ScenarioSpec,
+                    include_result: bool = True) -> Dict[str, Any]:
+        """Submit one scenario over HTTP; payload shape matches
+        :meth:`InProcessClient.solve`."""
+        body = encode_spec(spec)
+        if not include_result:
+            body["include_result"] = False
+        status, payload = await self.request("POST", "/solve", body)
+        payload["http_status"] = status
+        return payload
+
+    async def invalidate(self) -> int:
+        _, payload = await self.request("POST", "/admin/invalidate")
+        return int(payload["version"])
+
+    async def healthz(self) -> Dict[str, Any]:
+        _, payload = await self.request("GET", "/healthz")
+        return payload
+
+    async def stats(self) -> Dict[str, Any]:
+        _, payload = await self.request("GET", "/stats")
+        return payload
+
+    async def metrics_text(self) -> str:
+        _, payload = await self.request("GET", "/metrics")
+        return str(payload.get("text", ""))
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        while self._idle:
+            _, writer = self._idle.pop()
+            writer.close()

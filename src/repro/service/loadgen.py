@@ -1,0 +1,297 @@
+"""Seeded load-generation harness for the online service.
+
+Replays 10^5–10^6 scenario requests against an
+:class:`~repro.service.client.InProcessClient` or
+:class:`~repro.service.client.HttpClient` and reports latency
+quantiles **from the telemetry histograms** (the service's own
+``service_request_seconds``), not from client-side stopwatches — the
+numbers in the report are the numbers the control plane acts on.
+
+The request stream is deterministic in its seed:
+
+* a pool of ``unique`` distinct miner-stage scenarios (seeded budget
+  draws around the paper's canonical setup);
+* a key mix — ``"zipf"`` (rank-frequency ``1/r^a``, the classic
+  hot-key cache workload) or ``"uniform"``;
+* a burst pattern: requests are launched ``burst`` at a time and
+  awaited together, so every wave exercises coalescing and admission
+  concurrently rather than serially.
+
+SLO targets (p50/p95/p99 upper bounds in seconds) are part of the
+plan; the report records each target, the measured quantile, and the
+overall verdict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from ..core import Prices, homogeneous
+from ..exceptions import ConfigurationError
+from ..serving.keys import ScenarioSpec
+from ..telemetry import TELEMETRY as _TEL
+from ..telemetry import parse_prometheus, quantile_from_counts
+from .client import HttpClient, InProcessClient
+
+__all__ = ["LoadPlan", "LoadReport", "scenario_pool",
+           "request_indices", "run_load", "quantiles_from_prometheus"]
+
+#: The histogram the latency SLO is measured on.
+LATENCY_METRIC = "service_request_seconds"
+
+Client = Union[InProcessClient, HttpClient]
+
+
+@dataclass(frozen=True)
+class LoadPlan:
+    """One reproducible load-run specification.
+
+    Attributes:
+        requests: Total requests to replay.
+        unique: Distinct scenarios in the pool (the working-set size).
+        mix: ``"zipf"`` or ``"uniform"`` key-popularity mix.
+        zipf_a: Zipf exponent (larger = hotter hot keys).
+        burst: Requests launched concurrently per wave.
+        seed: Seed for the scenario pool and the request stream.
+        n_miners: Miner count of every pooled scenario.
+        include_result: Ship full equilibrium bodies back (off by
+            default: the harness measures serving, not serialization).
+        slo_p50/slo_p95/slo_p99: Latency SLO upper bounds in seconds
+            (None = not asserted).
+    """
+
+    requests: int = 100_000
+    unique: int = 64
+    mix: str = "zipf"
+    zipf_a: float = 1.2
+    burst: int = 64
+    seed: int = 7
+    n_miners: int = 5
+    include_result: bool = False
+    slo_p50: Optional[float] = None
+    slo_p95: Optional[float] = None
+    slo_p99: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigurationError(
+                f"requests must be positive, got {self.requests}")
+        if self.unique < 1:
+            raise ConfigurationError(
+                f"unique must be positive, got {self.unique}")
+        if self.burst < 1:
+            raise ConfigurationError(
+                f"burst must be positive, got {self.burst}")
+        if self.mix not in ("zipf", "uniform"):
+            raise ConfigurationError(
+                f"mix must be 'zipf' or 'uniform', got {self.mix!r}")
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured (JSON-shaped via :meth:`to_dict`)."""
+
+    plan: LoadPlan
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    shed: Dict[str, int] = field(default_factory=dict)
+    coalesced: int = 0
+    sources: Dict[str, int] = field(default_factory=dict)
+    unique_keys: int = 0
+    unique_ok_keys: int = 0
+    solves: int = 0
+    elapsed_seconds: float = 0.0
+    p50: float = float("nan")
+    p95: float = float("nan")
+    p99: float = float("nan")
+
+    @property
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    @property
+    def rps(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.requests / self.elapsed_seconds
+
+    def slo_checks(self) -> List[Dict[str, Any]]:
+        """One record per configured SLO target: bound, measured, ok."""
+        checks: List[Dict[str, Any]] = []
+        for name, bound, measured in (
+                ("p50", self.plan.slo_p50, self.p50),
+                ("p95", self.plan.slo_p95, self.p95),
+                ("p99", self.plan.slo_p99, self.p99)):
+            if bound is None:
+                continue
+            ok = bool(np.isfinite(measured) and measured <= bound)
+            checks.append({"quantile": name, "bound": bound,
+                           "measured": measured, "ok": ok})
+        return checks
+
+    @property
+    def slo_ok(self) -> bool:
+        return all(c["ok"] for c in self.slo_checks())
+
+    @property
+    def failed(self) -> bool:
+        """Harness verdict: any error, or any SLO target missed."""
+        return self.errors > 0 or not self.slo_ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": {"requests": self.plan.requests,
+                     "unique": self.plan.unique, "mix": self.plan.mix,
+                     "zipf_a": self.plan.zipf_a,
+                     "burst": self.plan.burst, "seed": self.plan.seed,
+                     "n_miners": self.plan.n_miners},
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "shed": dict(self.shed),
+            "shed_total": self.shed_total,
+            "coalesced": self.coalesced,
+            "sources": dict(self.sources),
+            "unique_keys": self.unique_keys,
+            "unique_ok_keys": self.unique_ok_keys,
+            "solves": self.solves,
+            "elapsed_seconds": self.elapsed_seconds,
+            "rps": self.rps,
+            "latency": {"p50": self.p50, "p95": self.p95,
+                        "p99": self.p99},
+            "slo": self.slo_checks(),
+            "slo_ok": self.slo_ok,
+            "failed": self.failed,
+        }
+
+
+def scenario_pool(plan: LoadPlan) -> List[ScenarioSpec]:
+    """The plan's ``unique`` distinct miner-stage scenarios.
+
+    Budgets are drawn from a seeded RNG around the paper's canonical
+    connected-mode setup, so every pooled scenario is a cheap, real
+    solve and any two plans with the same seed share the pool exactly.
+    """
+    rng = np.random.default_rng(plan.seed)
+    budgets = 150.0 + 400.0 * rng.random(plan.unique)
+    prices = Prices(p_e=2.0, p_c=1.0)
+    return [
+        ScenarioSpec(
+            params=homogeneous(plan.n_miners, float(b), reward=1500.0,
+                               fork_rate=0.2, h=0.8),
+            prices=prices, label=f"loadgen-{i}")
+        for i, b in enumerate(budgets)]
+
+
+def request_indices(plan: LoadPlan) -> np.ndarray:
+    """The seeded request stream: pool indices, one per request."""
+    rng = np.random.default_rng(plan.seed + 1)
+    if plan.mix == "uniform":
+        return rng.integers(0, plan.unique, size=plan.requests)
+    ranks = np.arange(1, plan.unique + 1, dtype=float)
+    weights = ranks ** (-plan.zipf_a)
+    weights /= weights.sum()
+    return rng.choice(plan.unique, size=plan.requests, p=weights)
+
+
+def quantiles_from_prometheus(text: str, metric: str = LATENCY_METRIC
+                              ) -> Tuple[float, float, float]:
+    """p50/p95/p99 of one histogram family in scraped exposition text.
+
+    Rebuilds per-bucket counts from the cumulative ``_bucket`` samples
+    and runs the same interpolated estimator the registry uses, so the
+    HTTP path reports identical quantiles to the in-process path.
+    """
+    cumulative: List[Tuple[float, int]] = []
+    total = 0
+    for sample in parse_prometheus(text):
+        if sample["name"] == f"{metric}_bucket":
+            bound_text = sample["labels"].get("le", "")
+            if bound_text == "+Inf":
+                total = int(sample["value"])
+            else:
+                cumulative.append((float(bound_text),
+                                   int(sample["value"])))
+    if not cumulative:
+        return float("nan"), float("nan"), float("nan")
+    cumulative.sort(key=lambda pair: pair[0])
+    bounds = tuple(bound for bound, _ in cumulative)
+    per_bucket: List[int] = []
+    previous = 0
+    for _, cum in cumulative:
+        per_bucket.append(max(cum - previous, 0))
+        previous = cum
+    per_bucket.append(max(total - previous, 0))
+    return (quantile_from_counts(bounds, per_bucket, total, 0.50),
+            quantile_from_counts(bounds, per_bucket, total, 0.95),
+            quantile_from_counts(bounds, per_bucket, total, 0.99))
+
+
+async def run_load(client: Client, plan: LoadPlan) -> LoadReport:
+    """Replay the plan against a client; returns the measured report.
+
+    Latency quantiles come from the service's telemetry histogram —
+    read live for the in-process transport, scraped from ``/metrics``
+    for HTTP — so both transports report the server-side view.
+    """
+    pool = scenario_pool(plan)
+    stream = request_indices(plan)
+    report = LoadReport(plan=plan)
+    seen_keys: Set[str] = set()
+    seen_ok_keys: Set[str] = set()
+    start = time.perf_counter()
+
+    async def one(index: int) -> Dict[str, Any]:
+        return await client.solve(pool[index],
+                                  include_result=plan.include_result)
+
+    for wave_start in range(0, plan.requests, plan.burst):
+        wave = stream[wave_start:wave_start + plan.burst]
+        payloads = await asyncio.gather(*(one(int(i)) for i in wave))
+        for payload in payloads:
+            report.requests += 1
+            status = payload.get("status")
+            if status == "ok":
+                report.ok += 1
+            elif status == "shed":
+                reason = str(payload.get("reason"))
+                report.shed[reason] = report.shed.get(reason, 0) + 1
+            else:
+                report.errors += 1
+            coalesced = bool(payload.get("coalesced"))
+            if coalesced:
+                report.coalesced += 1
+            source = payload.get("source")
+            if source is not None:
+                report.sources[source] = \
+                    report.sources.get(source, 0) + 1
+                # Coalesced payloads carry the winner's result object
+                # (source "solved"), but only the winner ran a solve.
+                if source == "solved" and not coalesced:
+                    report.solves += 1
+            key = payload.get("key")
+            if key:
+                seen_keys.add(key)
+                if status == "ok":
+                    seen_ok_keys.add(key)
+
+    report.elapsed_seconds = time.perf_counter() - start
+    report.unique_keys = len(seen_keys)
+    report.unique_ok_keys = len(seen_ok_keys)
+    if isinstance(client, InProcessClient):
+        hist = _TEL.metrics.histogram(
+            LATENCY_METRIC,
+            "End-to-end request latency, including queueing")
+        report.p50, report.p95, report.p99 = (hist.p50, hist.p95,
+                                              hist.p99)
+    else:
+        text = await client.metrics_text()
+        report.p50, report.p95, report.p99 = \
+            quantiles_from_prometheus(text)
+    return report

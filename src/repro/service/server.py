@@ -1,0 +1,265 @@
+"""Minimal HTTP/1.1 front end for the equilibrium service.
+
+Stdlib-only (``asyncio.start_server`` + hand-rolled request framing —
+no third-party web framework), because the repo's container policy is
+"no new dependencies" and the protocol surface is deliberately tiny:
+
+====== ==================== =======================================
+method path                 semantics
+====== ==================== =======================================
+GET    /healthz             liveness + cache version
+GET    /stats               :meth:`EquilibriumService.stats` JSON
+GET    /metrics             Prometheus exposition of the telemetry
+                            registry (the load harness scrapes its
+                            latency quantiles from here)
+POST   /solve               body: :func:`~repro.serving.codec.encode_spec`
+                            payload (optionally ``{"include_result":
+                            false}`` to omit the equilibrium body);
+                            429 + reason when shed
+POST   /admin/invalidate    bump the cache version (online parameter
+                            update)
+POST   /admin/admission     body ``{"max_inflight": N}``: resize the
+                            solve-concurrency bound
+====== ==================== =======================================
+
+Connections are keep-alive by default (``Connection: close`` honored),
+one request at a time per connection; concurrency comes from many
+connections multiplexed on the event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..serving.codec import decode_spec, encode_result
+from ..telemetry import TELEMETRY as _TEL
+from ..telemetry import render_prometheus
+from .service import EquilibriumService, ServiceResponse
+
+__all__ = ["ServiceServer", "response_payload"]
+
+#: Refuse request bodies past this (a spec for 10^6 miners is ~20 MB).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Refuse header sections past this.
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+
+def response_payload(response: ServiceResponse,
+                     include_result: bool = True) -> Dict[str, Any]:
+    """JSON body of one ``/solve`` answer (shared with the in-process
+    client so both transports expose identical shapes)."""
+    if response.status == 429:
+        return {"status": "shed", "reason": response.shed_reason,
+                "key": response.key, "elapsed": response.elapsed}
+    result = response.result
+    payload: Dict[str, Any] = {
+        "status": "ok" if response.status == 200 else "error",
+        "key": response.key,
+        "coalesced": response.coalesced,
+        "elapsed": response.elapsed,
+    }
+    if result is not None:
+        payload["source"] = result.source
+        payload["solver"] = result.solver
+        payload["degraded"] = result.degraded
+        if result.error is not None:
+            payload["error"] = result.error
+        elif include_result:
+            payload["result"] = encode_result(result.value)
+    return payload
+
+
+class ServiceServer:
+    """Asyncio stream server exposing one :class:`EquilibriumService`.
+
+    Args:
+        service: The service core requests are routed to.
+        host: Bind address (loopback by default).
+        port: Bind port; 0 picks a free one (read :attr:`port` after
+            :meth:`start`).
+    """
+
+    def __init__(self, service: EquilibriumService,
+                 host: str = "127.0.0.1", port: int = 8765) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port)
+        sockets = self._server.sockets or []
+        self.port = (sockets[0].getsockname()[1] if sockets
+                     else self._requested_port)
+        if _TEL.enabled:
+            _TEL.emit("service.listening", host=self.host,
+                      port=self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting, close the listener and every live
+        connection (idle keep-alive connections would otherwise pin
+        their handler tasks until loop teardown)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        await asyncio.sleep(0)  # let handler tasks observe the EOF
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI's foreground mode)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body = parsed
+                status, payload = await self._route(method, path, body)
+                keep_alive = headers.get(
+                    "connection", "keep-alive").lower() != "close"
+                await self._write_response(writer, status, payload,
+                                           keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            # Client went away mid-request, or the loop is tearing the
+            # handler task down — either way there is nothing left to
+            # answer on this connection.
+            pass
+        except Exception as ex:  # repro: noqa[RPR007] — transport
+            # boundary: a malformed connection must never take down
+            # the accept loop; the error is surfaced to telemetry.
+            if _TEL.enabled:
+                _TEL.emit("service.connection_error", error=str(ex))
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Optional[Tuple[str, str,
+                                                Dict[str, str], bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError:
+            return None  # clean EOF between requests
+        except asyncio.LimitOverrunError as ex:
+            raise ValueError("header section too large") from ex
+        if len(head) > MAX_HEADER_BYTES:
+            raise ValueError("header section too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise ValueError(f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ValueError(f"invalid content length {length}")
+        body = await reader.readexactly(length) if length else b""
+        path = target.split("?", 1)[0]
+        return method.upper(), path, headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, payload: Dict[str, Any],
+                              keep_alive: bool) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {connection}\r\n\r\n")
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, Dict[str, Any]]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            cache = self.service.engine.cache
+            return 200, {"status": "ok",
+                         "version": int(getattr(cache, "version", 0)),
+                         "entries": len(cache)}
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return 200, self.service.stats()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            # Prometheus exposition is text; wrapped in JSON so the
+            # transport stays single-format (parse_prometheus on the
+            # client side reads payload["text"]).
+            return 200, {"text": render_prometheus(_TEL.metrics)}
+        if path == "/solve":
+            if method != "POST":
+                return 405, {"error": "POST only"}
+            return await self._route_solve(body)
+        if path == "/admin/invalidate":
+            if method != "POST":
+                return 405, {"error": "POST only"}
+            return 200, {"version": self.service.invalidate()}
+        if path == "/admin/admission":
+            if method != "POST":
+                return 405, {"error": "POST only"}
+            try:
+                payload = json.loads(body.decode("utf-8"))
+                self.service.set_max_inflight(
+                    int(payload["max_inflight"]))
+            except (ValueError, KeyError, TypeError) as ex:
+                return 400, {"error": f"bad admission payload: {ex}"}
+            return 200, self.service.admission.to_dict()
+        return 404, {"error": f"no route for {path}"}
+
+    async def _route_solve(self, body: bytes
+                           ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            include_result = bool(payload.get("include_result", True))
+            spec = decode_spec(payload)
+        except Exception as ex:  # repro: noqa[RPR007] — request-parse
+            # boundary: any malformed body is a 400, never a crash.
+            return 400, {"error": f"bad spec payload: "
+                                  f"{type(ex).__name__}: {ex}"}
+        response = await self.service.handle(spec)
+        return response.status, response_payload(
+            response, include_result=include_result)

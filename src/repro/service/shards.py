@@ -1,0 +1,219 @@
+"""Sharded scenario cache: N hash-partitioned LRU shards, one facade.
+
+:class:`ShardedScenarioCache` presents the exact
+:class:`~repro.serving.cache.ScenarioCache` surface the serving engine
+and the control plane already program against, but spreads entries
+over ``n_shards`` independent :class:`ScenarioCache` shards selected
+by a stable CRC-32 of the scenario key. Under the online service this
+buys two things:
+
+* **lock spreading** — each shard has its own lock, so concurrent
+  solver threads admitting results and the event loop probing
+  membership contend on ``1/n_shards`` of the keyspace instead of one
+  global lock;
+* **uniform TTL / versioned invalidation** — every shard shares the
+  facade's ``ttl`` and version counter, so one
+  :meth:`~ShardedScenarioCache.invalidate` call retires the entire
+  keyspace (memory and disk) without a cold restart and without an
+  O(entries) pause.
+
+Shard selection uses ``zlib.crc32`` rather than :func:`hash` so the
+partition is stable across processes and ``PYTHONHASHSEED`` values —
+a persisted shard directory written by one server is readable by the
+next.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterator, List, Optional,
+                    Tuple, Union)
+
+from ..exceptions import ConfigurationError
+from ..serving.cache import CacheStats, ScenarioCache
+
+__all__ = ["ShardedScenarioCache", "shard_index"]
+
+
+def shard_index(key: str, n_shards: int) -> int:
+    """Stable shard assignment of a scenario key (CRC-32 mod shards)."""
+    return zlib.crc32(key.encode("utf-8")) % n_shards
+
+
+class ShardedScenarioCache:
+    """Hash-partitioned scenario cache, drop-in for ``ScenarioCache``.
+
+    Args:
+        n_shards: Number of independent LRU shards (>= 1).
+        maxsize: Total in-memory capacity; distributed evenly over the
+            shards (each shard gets at least one entry, so the
+            effective capacity is ``max(n_shards, maxsize)``).
+        cache_dir: Root of the JSON persistence layer; each shard
+            persists under ``cache_dir/shard-<i>``. ``None`` keeps the
+            cache memory-only.
+        ttl: Seconds an entry stays servable; ``None`` disables expiry.
+        clock: Monotonic time source shared by every shard (injectable
+            for deterministic TTL tests).
+    """
+
+    def __init__(self, n_shards: int = 8, maxsize: int = 4096,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 ttl: Optional[float] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be at least 1, got {n_shards}")
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"maxsize must be at least 1, got {maxsize}")
+        self.n_shards = n_shards
+        self._maxsize = maxsize
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self._clock = clock if clock is not None else time.monotonic
+        per_shard = self._per_shard_bound(maxsize)
+        self._shards: List[ScenarioCache] = [
+            ScenarioCache(
+                maxsize=per_shard,
+                cache_dir=(None if self.cache_dir is None
+                           else self.cache_dir / f"shard-{i}"),
+                ttl=ttl, clock=self._clock)
+            for i in range(n_shards)]
+
+    def _per_shard_bound(self, total: int) -> int:
+        return max(1, -(-total // self.n_shards))  # ceil division
+
+    def shard_for(self, key: str) -> ScenarioCache:
+        """The shard that owns ``key``."""
+        return self._shards[shard_index(key, self.n_shards)]
+
+    # ------------------------------------------------------------------
+    # ScenarioCache surface (what the engine and control plane use)
+    # ------------------------------------------------------------------
+
+    @property
+    def maxsize(self) -> int:
+        """Configured total capacity (the control plane's resize seam
+        reads and assigns this like a plain attribute)."""
+        return self._maxsize
+
+    @maxsize.setter
+    def maxsize(self, value: int) -> None:
+        # Attribute assignment mirrors ScenarioCache semantics: the
+        # bound changes without immediate eviction (restore paths pair
+        # it with restore_entries); resize() is the evicting form.
+        self._maxsize = value
+        per_shard = self._per_shard_bound(max(value, 1))
+        for shard in self._shards:
+            shard.maxsize = per_shard
+
+    @property
+    def ttl(self) -> Optional[float]:
+        """Shared per-entry TTL in seconds (None = no expiry)."""
+        return self._shards[0].ttl
+
+    @ttl.setter
+    def ttl(self, value: Optional[float]) -> None:
+        for shard in self._shards:
+            shard.ttl = value
+
+    @property
+    def version(self) -> int:
+        """Current cache version (bumped by :meth:`invalidate`)."""
+        return self._shards[0].version
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated counters over every shard (fresh snapshot)."""
+        total = CacheStats()
+        for shard in self._shards:
+            s = shard.stats
+            total.hits += s.hits
+            total.disk_hits += s.disk_hits
+            total.misses += s.misses
+            total.evictions += s.evictions
+            total.puts += s.puts
+            total.expired += s.expired
+        return total
+
+    def lookup(self, key: str) -> Tuple[Optional[Any], str]:
+        """Per-shard lookup; returns ``(value, layer)`` like the flat
+        cache."""
+        return self.shard_for(key).lookup(key)
+
+    def get(self, key: str) -> Optional[Any]:
+        """Look up a result, refreshing its LRU position. None on miss."""
+        return self.lookup(key)[0]
+
+    def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """Metadata stored alongside an in-memory entry (None if absent)."""
+        return self.shard_for(key).meta(key)
+
+    def put(self, key: str, value: Any,
+            meta: Optional[Dict[str, Any]] = None) -> None:
+        """Store a result in the owning shard (and its disk layer)."""
+        self.shard_for(key).put(key, value, meta=meta)
+
+    def resize(self, maxsize: int) -> int:
+        """Change the total capacity; returns entries evicted now."""
+        if maxsize < 1:
+            raise ConfigurationError(
+                f"maxsize must be at least 1, got {maxsize}")
+        self._maxsize = maxsize
+        per_shard = self._per_shard_bound(maxsize)
+        return sum(shard.resize(per_shard) for shard in self._shards)
+
+    def invalidate(self) -> int:
+        """Bump every shard's version in lockstep; returns the new
+        version. Entries admitted before the bump (memory and disk)
+        lazily become misses — the online parameter-update path."""
+        version = 0
+        for shard in self._shards:
+            version = shard.invalidate()
+        return version
+
+    def snapshot_entries(self) -> List[Any]:
+        """Per-shard entry snapshots (the control plane's rollback
+        seam; pair with :meth:`restore_entries`)."""
+        return [shard.snapshot_entries() for shard in self._shards]
+
+    def restore_entries(self, entries: List[Any]) -> None:
+        """Replace every shard's entries with a prior snapshot."""
+        if len(entries) != self.n_shards:
+            raise ConfigurationError(
+                f"snapshot has {len(entries)} shards, cache has "
+                f"{self.n_shards}")
+        for shard, snap in zip(self._shards, entries):
+            shard.restore_entries(snap)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shard_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        """Snapshot of ``(key, value)`` pairs across all shards."""
+        pairs: List[Tuple[str, Any]] = []
+        for shard in self._shards:
+            pairs.extend(shard.items())
+        return iter(pairs)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop all in-memory entries; optionally the disk layers too."""
+        for shard in self._shards:
+            shard.clear(disk=disk)
+
+    # ------------------------------------------------------------------
+
+    def shard_sizes(self) -> List[int]:
+        """Entry count per shard (balance diagnostics for /stats)."""
+        return [len(shard) for shard in self._shards]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-shaped summary for the service's stats endpoint."""
+        return {"n_shards": self.n_shards, "maxsize": self.maxsize,
+                "ttl": self.ttl, "version": self.version,
+                "entries": len(self), "shard_sizes": self.shard_sizes(),
+                "stats": self.stats.to_dict()}

@@ -33,7 +33,7 @@ Quickstart::
 """
 
 from .cache import CacheStats, ScenarioCache
-from .codec import decode_result, encode_result
+from .codec import decode_result, decode_spec, encode_result, encode_spec
 from .engine import ScenarioResult, ServingEngine
 from .keys import (DEFAULT_QUANTUM, ScenarioSpec, family_key,
                    feature_vector, quantize, scenario_key)
@@ -49,7 +49,9 @@ __all__ = [
     "WarmStartIndex",
     "DEFAULT_QUANTUM",
     "decode_result",
+    "decode_spec",
     "encode_result",
+    "encode_spec",
     "family_key",
     "feature_vector",
     "quantize",

@@ -19,8 +19,10 @@ from ..core.params import EdgeMode, GameParameters, Prices
 from ..core.stackelberg import StackelbergEquilibrium
 from ..exceptions import ConfigurationError
 from ..game.diagnostics import ConvergenceReport
+from .keys import ScenarioSpec
 
-__all__ = ["encode_result", "decode_result"]
+__all__ = ["encode_result", "decode_result", "encode_spec",
+           "decode_spec"]
 
 _SCHEMA = 1
 
@@ -101,6 +103,50 @@ def encode_result(value: Result) -> Dict[str, Any]:
     raise ConfigurationError(
         f"cannot encode {type(value).__name__}; expected a "
         "MinerEquilibrium or StackelbergEquilibrium")
+
+
+def encode_spec(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Encode a scenario spec as a JSON-serializable dict.
+
+    The wire format of the online service's ``/solve`` endpoint; the
+    inverse of :func:`decode_spec`. The round trip preserves every
+    key-relevant field, so a spec submitted over HTTP lands on the
+    same cache entry as the identical in-process spec.
+    """
+    payload: Dict[str, Any] = {
+        "schema": _SCHEMA,
+        "params": _encode_params(spec.params),
+        "prices": (None if spec.prices is None
+                   else {"p_e": spec.prices.p_e,
+                         "p_c": spec.prices.p_c}),
+        "scheme": spec.scheme,
+        "tol": spec.tol,
+        "kernel": spec.kernel,
+    }
+    if spec.label:
+        payload["label"] = spec.label
+    return payload
+
+
+def decode_spec(payload: Dict[str, Any]) -> ScenarioSpec:
+    """Reconstruct a scenario spec from :func:`encode_spec`."""
+    try:
+        prices_payload = payload.get("prices")
+        prices = (None if prices_payload is None
+                  else Prices(p_e=float(prices_payload["p_e"]),
+                              p_c=float(prices_payload["p_c"])))
+        return ScenarioSpec(
+            params=_decode_params(payload["params"]),
+            prices=prices,
+            scheme=str(payload.get("scheme", "auto")),
+            tol=float(payload.get("tol", 1e-9)),
+            kernel=str(payload.get("kernel", "vectorized")),
+            label=str(payload.get("label", "")),
+        )
+    except (KeyError, TypeError, ValueError) as ex:
+        raise ConfigurationError(
+            f"malformed scenario spec payload: "
+            f"{type(ex).__name__}: {ex}") from ex
 
 
 def decode_result(payload: Dict[str, Any]) -> Result:

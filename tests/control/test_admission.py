@@ -1,0 +1,126 @@
+"""The admission-control remediation: a sustained latency-SLO breach
+halves the online service's solve concurrency — detected, verified
+against a scratch service, applied through the actuator, and rolled
+back when the live post-check fails."""
+
+import pytest
+
+from repro.control import (KIND_SLO_BREACH, Actuator, AdmissionControl,
+                           ControlLoop, ControlTarget, Proposer,
+                           check_admission_serves, induce)
+from repro.control.anomalies import Anomaly
+from repro.control.target import TargetState
+from repro.control.verify import CheckResult
+from repro.service import EquilibriumService
+from repro.telemetry import telemetry_session
+
+
+def slo_anomaly():
+    return Anomaly(kind=KIND_SLO_BREACH, detector="latency-slo",
+                   message="p95 over target")
+
+
+class TestProposerPlaybook:
+    def test_requires_sustained_streak(self):
+        proposer = Proposer(sustained_windows=2)
+        state = TargetState(admission_inflight=8)
+        first = proposer.propose_all([slo_anomaly()], state)
+        assert all(r.kind != "admission-control" for r in first)
+        second = proposer.propose_all([slo_anomaly()], state)
+        [admission] = [r for r in second
+                       if r.kind == "admission-control"]
+        assert admission.max_inflight == 4
+
+    def test_streak_resets_on_clean_window(self):
+        proposer = Proposer(sustained_windows=2)
+        state = TargetState(admission_inflight=8)
+        proposer.propose_all([slo_anomaly()], state)
+        proposer.propose_all([], state)  # clean window resets
+        after = proposer.propose_all([slo_anomaly()], state)
+        assert all(r.kind != "admission-control" for r in after)
+
+    def test_engine_only_target_never_throttles(self):
+        """Pinned: with no service attached (admission_inflight=0) the
+        slo-breach playbook behaves exactly as before this feature."""
+        proposer = Proposer(sustained_windows=2)
+        state = TargetState(admission_inflight=0)
+        for _ in range(4):
+            proposals = proposer.propose_all([slo_anomaly()], state)
+            assert all(r.kind != "admission-control"
+                       for r in proposals)
+
+    def test_halving_floors_at_one(self):
+        proposer = Proposer(sustained_windows=1)
+        state = TargetState(admission_inflight=1)
+        # Already at the floor: halving again would be a no-op, so the
+        # playbook must not propose it.
+        proposals = proposer.propose_all([slo_anomaly()], state)
+        assert all(r.kind != "admission-control" for r in proposals)
+
+
+class TestVerification:
+    def test_check_admission_serves_passes_for_sane_bounds(self):
+        with telemetry_session():
+            check = check_admission_serves(4)
+        assert check.ok, check.detail
+        assert "admission-serves" in check.name
+
+    def test_check_rejects_out_of_range_bounds(self):
+        assert not check_admission_serves(0).ok
+        assert not check_admission_serves(100_000).ok
+
+
+class TestEndToEnd:
+    def test_sustained_breach_fires_verifies_and_applies(self):
+        """The acceptance scenario: two consecutive slo-breach windows
+        against a service-fronting target end in an applied
+        admission-control decision and a live resize."""
+        with telemetry_session():
+            service = EquilibriumService(max_inflight=8)
+            target = ControlTarget(service=service)
+            loop = ControlLoop(target, cooldown_ticks=0)
+
+            induce("slo-breach")
+            first = loop.run_once()
+            assert [a.kind for a in first.anomalies] == \
+                [KIND_SLO_BREACH]
+            assert all(d.remediation.kind != "admission-control"
+                       for d in first.decisions)
+            assert service.max_inflight == 8
+
+            induce("slo-breach")
+            second = loop.run_once()
+            [decision] = second.decisions
+            assert decision.remediation.kind == "admission-control"
+            assert decision.outcome == "applied"
+            assert decision.report.ok
+            assert any("admission-serves" in c.name
+                       for c in decision.report.checks)
+            assert service.max_inflight == 4
+            service.close()
+
+    def test_failed_post_check_rolls_back_resize(self):
+        with telemetry_session():
+            service = EquilibriumService(max_inflight=8)
+            target = ControlTarget(service=service)
+            actuator = Actuator(
+                target,
+                self_check=lambda t: CheckResult(
+                    "forced-fail", False, 1.0, detail="induced"))
+            decision = actuator.execute(
+                AdmissionControl(max_inflight=4, reason="test"))
+            assert decision.outcome == "rolled-back"
+            assert service.max_inflight == 8  # snapshot restored
+            service.close()
+
+    def test_dry_run_verifies_without_resizing(self):
+        with telemetry_session():
+            service = EquilibriumService(max_inflight=8)
+            target = ControlTarget(service=service)
+            actuator = Actuator(target, dry_run=True)
+            decision = actuator.execute(
+                AdmissionControl(max_inflight=4, reason="test"))
+            assert decision.outcome == "dry-run"
+            assert decision.report.ok
+            assert service.max_inflight == 8
+            service.close()

@@ -1,0 +1,17 @@
+"""Clean for RPR009: async code awaits; file I/O runs in an executor."""
+import asyncio
+import time
+
+
+async def handle(path):
+    await asyncio.sleep(0.1)
+    loop = asyncio.get_running_loop()
+    payload = await loop.run_in_executor(None, _read, path)
+    return payload
+
+
+def _read(path):
+    # Synchronous helpers off the event loop may block freely.
+    time.sleep(0.0)
+    with open(path) as fh:
+        return fh.read()

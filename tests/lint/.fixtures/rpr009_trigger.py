@@ -1,0 +1,10 @@
+"""Triggers RPR009: blocking calls inside async defs of the service."""
+import time
+
+
+async def handle(path):
+    time.sleep(0.1)
+    with open(path) as fh:
+        payload = fh.read()
+    text = path.read_text(encoding="utf-8")
+    return payload, text

@@ -28,6 +28,7 @@ VIRTUAL_PATHS = {
     "RPR006": "src/repro/kernels/sample.py",
     "RPR007": "src/repro/game/sample.py",
     "RPR008": "src/repro/serving/sample.py",
+    "RPR009": "src/repro/service/sample.py",
 }
 
 RULE_IDS = sorted(VIRTUAL_PATHS)

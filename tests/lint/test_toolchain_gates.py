@@ -18,7 +18,9 @@ REPO = Path(__file__).resolve().parents[2]
 
 STRICT_PACKAGES = ("src/repro/kernels", "src/repro/serving",
                    "src/repro/core", "src/repro/resilience",
-                   "src/repro/telemetry", "src/repro/control")
+                   "src/repro/telemetry", "src/repro/control",
+                   "src/repro/analysis", "src/repro/network",
+                   "src/repro/service")
 
 
 def run(cmd):

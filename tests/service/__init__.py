@@ -1,0 +1,1 @@
+"""Tests for the online equilibrium service (repro.service)."""

@@ -1,0 +1,83 @@
+"""Token bucket and admission controller: shed reasons, queue bounds,
+and the thread-safe resize seam."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import (SHED_QUEUE_FULL, SHED_RATE,
+                           AdmissionController, TokenBucket)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill_on_injected_clock(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=lambda: now[0])
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()  # burst spent, no time passed
+        now[0] = 1.0  # one second -> one token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_burst_defaults_to_rate(self):
+        bucket = TokenBucket(rate=3.0, clock=lambda: 0.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0)
+
+
+class TestAdmissionController:
+    def test_rate_shed_counted(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=lambda: 0.0)
+        ctl = AdmissionController(max_inflight=4, max_queue=4,
+                                  bucket=bucket)
+        assert ctl.check_rate() is None
+        assert ctl.check_rate() == SHED_RATE
+        assert ctl.shed[SHED_RATE] == 1
+
+    def test_queue_full_sheds_past_bound(self):
+        async def run():
+            ctl = AdmissionController(max_inflight=1, max_queue=1)
+            assert await ctl.acquire() is None  # takes the slot
+            waiter = asyncio.ensure_future(ctl.acquire())  # queues
+            await asyncio.sleep(0)
+            assert await ctl.acquire() == SHED_QUEUE_FULL
+            assert ctl.shed[SHED_QUEUE_FULL] == 1
+            await ctl.release()  # wakes the queued waiter
+            assert await waiter is None
+            await ctl.release()
+
+        asyncio.run(run())
+
+    def test_resize_from_foreign_thread_wakes_waiters(self):
+        async def run():
+            ctl = AdmissionController(max_inflight=1, max_queue=4)
+            assert await ctl.acquire() is None
+            waiter = asyncio.ensure_future(ctl.acquire())
+            await asyncio.sleep(0)
+            thread = threading.Thread(target=ctl.resize, args=(2,))
+            thread.start()
+            thread.join()
+            assert await asyncio.wait_for(waiter, timeout=2.0) is None
+            assert ctl.max_inflight == 2
+            await ctl.release()
+            await ctl.release()
+
+        asyncio.run(run())
+
+    def test_resize_rejects_nonpositive(self):
+        ctl = AdmissionController()
+        with pytest.raises(ConfigurationError):
+            ctl.resize(0)
+
+    def test_to_dict_shape(self):
+        ctl = AdmissionController(max_inflight=2, max_queue=3)
+        doc = ctl.to_dict()
+        assert doc["max_inflight"] == 2.0
+        assert doc["max_queue"] == 3.0
+        assert doc["inflight"] == 0.0

@@ -1,0 +1,118 @@
+"""The load harness: seeded determinism, report accounting, SLO
+verdicts, and quantiles sourced from the telemetry histograms."""
+
+import asyncio
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import (EquilibriumService, InProcessClient,
+                           LoadPlan, request_indices, run_load,
+                           scenario_pool)
+from repro.telemetry import telemetry_session
+
+
+def small_plan(**overrides):
+    base = dict(requests=300, unique=16, mix="zipf", burst=32, seed=7)
+    base.update(overrides)
+    return LoadPlan(**base)
+
+
+class TestPlanAndStream:
+    def test_request_stream_is_seed_deterministic(self):
+        plan = small_plan()
+        np.testing.assert_array_equal(request_indices(plan),
+                                      request_indices(plan))
+
+    def test_different_seeds_differ(self):
+        a = request_indices(small_plan(seed=1))
+        b = request_indices(small_plan(seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_zipf_mix_skews_toward_low_ranks(self):
+        counts = np.bincount(request_indices(small_plan(
+            requests=5000, zipf_a=1.5)), minlength=16)
+        assert counts[0] > counts[-1]
+        assert counts[0] > 5000 / 16  # head rank beats uniform share
+
+    def test_uniform_mix_covers_all_ranks(self):
+        idx = request_indices(small_plan(mix="uniform",
+                                         requests=2000))
+        assert set(np.unique(idx)) == set(range(16))
+
+    def test_pool_specs_are_unique_and_seeded(self):
+        plan = small_plan()
+        pool_a = scenario_pool(plan)
+        pool_b = scenario_pool(plan)
+        assert len(pool_a) == 16
+        assert len({spec.params.budgets[0] for spec in pool_a}) == 16
+        for a, b in zip(pool_a, pool_b):
+            np.testing.assert_array_equal(a.params.budget_array,
+                                          b.params.budget_array)
+
+    def test_invalid_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_plan(requests=0)
+        with pytest.raises(ConfigurationError):
+            small_plan(mix="bursty-nonsense")
+
+
+class TestRunLoad:
+    def run(self, plan, **service_kwargs):
+        kwargs = dict(max_inflight=8, max_queue=512)
+        kwargs.update(service_kwargs)
+        with telemetry_session():
+            service = EquilibriumService(**kwargs)
+            client = InProcessClient(service)
+            try:
+                report = asyncio.run(run_load(client, plan))
+            finally:
+                service.close()
+        return report, service
+
+    def test_replay_solves_each_key_once(self):
+        plan = small_plan()
+        report, service = self.run(plan)
+        assert report.requests == 300
+        assert report.errors == 0
+        assert report.shed_total == 0
+        assert report.ok == 300
+        assert report.coalesced > 0
+        assert report.solves == report.unique_keys
+        assert report.solves == service.solves
+        assert not report.failed and report.slo_ok
+
+    def test_quantiles_come_from_telemetry_histogram(self):
+        report, _ = self.run(small_plan())
+        assert not math.isnan(report.p50)
+        assert not math.isnan(report.p99)
+        assert report.p50 <= report.p95 <= report.p99
+
+    def test_slo_breach_marks_report_failed(self):
+        report, _ = self.run(small_plan(slo_p50=0.0))
+        [check] = [c for c in report.slo_checks() if not c["ok"]]
+        assert check["quantile"] == "p50"
+        assert not report.slo_ok
+        assert report.failed
+
+    def test_overload_sheds_only_queue_full(self):
+        plan = small_plan(requests=256, mix="uniform", unique=64,
+                          burst=128)
+        report, _ = self.run(plan, max_inflight=1, max_queue=1)
+        assert report.errors == 0
+        assert report.shed_total > 0
+        assert set(report.shed) == {"queue-full"}
+        assert report.solves == report.unique_ok_keys
+        # Sheds are explicit backpressure, not errors: the verdict
+        # stays clean unless an SLO target or a request failed.
+        assert not report.failed
+
+    def test_report_to_dict_is_json_ready(self):
+        report, _ = self.run(small_plan())
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["requests"] == 300
+        assert doc["plan"]["seed"] == 7
+        assert "p95" in doc["latency"] and "rps" in doc

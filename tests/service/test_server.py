@@ -1,0 +1,114 @@
+"""HTTP transport smoke: the stdlib-asyncio server end to end over a
+real socket, including admin and observability endpoints."""
+
+import asyncio
+
+import numpy as np
+
+from repro.core import Prices, homogeneous
+from repro.serving import ScenarioSpec, ServingEngine
+from repro.service import EquilibriumService, HttpClient, ServiceServer
+from repro.telemetry import parse_prometheus, telemetry_session
+
+
+def miner_spec(budget=200.0):
+    params = homogeneous(5, budget, reward=1500.0, fork_rate=0.2,
+                         h=0.8)
+    return ScenarioSpec(params, Prices(p_e=2.0, p_c=1.0))
+
+
+async def _with_server(body):
+    """Start service+server on an ephemeral port, run ``body(client,
+    service)``, tear everything down."""
+    service = EquilibriumService(max_inflight=4, max_queue=64)
+    server = ServiceServer(service, port=0)
+    await server.start()
+    client = HttpClient(port=server.port)
+    try:
+        return await body(client, service)
+    finally:
+        await client.close()
+        await server.stop()
+        service.close()
+
+
+class TestHttpRoundTrip:
+    def test_solve_matches_direct_engine(self):
+        async def body(client, service):
+            return await client.solve(miner_spec(),
+                                      include_result=True)
+
+        payload = asyncio.run(_with_server(body))
+        assert payload["http_status"] == 200
+        assert payload["status"] == "ok"
+        assert payload["source"] == "solved"
+        direct = ServingEngine().serve(miner_spec())
+        np.testing.assert_allclose(payload["result"]["e"],
+                                   direct.value.e, rtol=1e-12)
+        np.testing.assert_allclose(payload["result"]["c"],
+                                   direct.value.c, rtol=1e-12)
+
+    def test_repeat_solve_served_from_cache(self):
+        async def body(client, service):
+            first = await client.solve(miner_spec())
+            second = await client.solve(miner_spec())
+            return first, second
+
+        first, second = asyncio.run(_with_server(body))
+        assert first["source"] == "solved"
+        assert second["source"] == "memory"
+
+    def test_healthz_stats_and_admin(self):
+        async def body(client, service):
+            health = await client.healthz()
+            await client.solve(miner_spec())
+            stats = await client.stats()
+            version = await client.invalidate()
+            return health, stats, version
+
+        health, stats, version = asyncio.run(_with_server(body))
+        assert health["status"] == "ok"
+        assert stats["requests"] == 1 and stats["solves"] == 1
+        assert version == 1
+
+    def test_metrics_endpoint_exposes_service_series(self):
+        async def body(client, service):
+            await client.solve(miner_spec())
+            await client.solve(miner_spec())
+            return await client.metrics_text()
+
+        with telemetry_session():
+            text = asyncio.run(_with_server(body))
+        samples = parse_prometheus(text)
+        by_name = {}
+        for sample in samples:
+            by_name.setdefault(sample["name"], []).append(sample)
+        assert "service_requests_total" in by_name
+        assert "service_request_seconds_count" in by_name
+        total = sum(s["value"] for s in
+                    by_name["service_requests_total"])
+        assert total == 2
+
+    def test_unknown_route_is_404_and_bad_spec_400(self):
+        async def body(client, service):
+            missing = await client.request("GET", "/nope")
+            bad = await client.request(
+                "POST", "/solve", {"nonsense": 1})
+            return missing, bad
+
+        (missing_status, _), (bad_status, bad_doc) = asyncio.run(
+            _with_server(body))
+        assert missing_status == 404
+        assert bad_status == 400
+        assert "error" in bad_doc
+
+    def test_admission_admin_endpoint_resizes(self):
+        async def body(client, service):
+            status, doc = await client.request(
+                "POST", "/admin/admission", {"max_inflight": 2})
+            return status, doc, service.max_inflight
+
+        status, doc, inflight = asyncio.run(_with_server(body))
+        assert status == 200
+        assert doc["max_inflight"] == 2.0
+        assert inflight == 2

@@ -1,0 +1,194 @@
+"""The service core: coalescing determinism, shedding, TTL/versioned
+invalidation, and the operational seams."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import Prices, homogeneous
+from repro.exceptions import ConfigurationError
+from repro.service import EquilibriumService
+from repro.serving import ScenarioSpec, ServingEngine
+from repro.telemetry import TELEMETRY as _TEL
+from repro.telemetry import telemetry_session
+
+
+def miner_spec(budget=200.0, label=""):
+    params = homogeneous(5, budget, reward=1500.0, fork_rate=0.2,
+                         h=0.8)
+    return ScenarioSpec(params, Prices(p_e=2.0, p_c=1.0), label=label)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_solve_once(self):
+        """N concurrent requests for one key: exactly one solve, the
+        rest coalesce — asserted on the telemetry counters too."""
+        n = 12
+
+        async def run(service):
+            return await asyncio.gather(
+                *(service.handle(miner_spec()) for _ in range(n)))
+
+        with telemetry_session():
+            service = EquilibriumService(max_inflight=4, max_queue=64)
+            responses = asyncio.run(run(service))
+            coalesced_total = _TEL.metrics.counter(
+                "service_coalesced_total").value
+            ok_total = _TEL.metrics.counter(
+                "service_requests_total",
+                labels={"outcome": "ok"}).value
+            service.close()
+
+        assert all(r.ok for r in responses)
+        assert service.solves == 1
+        assert service.coalesced == n - 1
+        assert coalesced_total == n - 1
+        assert ok_total == n
+        assert sum(1 for r in responses if r.coalesced) == n - 1
+
+    def test_coalesced_results_bit_identical_to_direct_serve(self):
+        async def run(service):
+            return await asyncio.gather(
+                *(service.handle(miner_spec()) for _ in range(8)))
+
+        service = EquilibriumService()
+        responses = asyncio.run(run(service))
+        service.close()
+
+        direct = ServingEngine().serve(miner_spec())
+        assert direct.ok
+        for response in responses:
+            np.testing.assert_array_equal(response.result.value.e,
+                                          direct.value.e)
+            np.testing.assert_array_equal(response.result.value.c,
+                                          direct.value.c)
+        # Waiters share the winner's result object outright.
+        winners = {id(r.result) for r in responses}
+        assert len(winners) == 1
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def run(service):
+            specs = [miner_spec(150.0), miner_spec(250.0)]
+            return await asyncio.gather(
+                *(service.handle(s) for s in specs))
+
+        service = EquilibriumService()
+        responses = asyncio.run(run(service))
+        service.close()
+        assert all(r.ok for r in responses)
+        assert service.solves == 2
+        assert service.coalesced == 0
+
+    def test_cache_hit_answers_inline(self):
+        async def run(service):
+            first = await service.handle(miner_spec())
+            second = await service.handle(miner_spec())
+            return first, second
+
+        service = EquilibriumService()
+        first, second = asyncio.run(run(service))
+        service.close()
+        assert first.result.source == "solved"
+        assert second.result.source == "memory"
+        assert service.solves == 1
+
+
+class TestShedding:
+    def test_queue_full_sheds_with_429(self):
+        async def run(service):
+            specs = [miner_spec(100.0 + 10.0 * i) for i in range(8)]
+            return await asyncio.gather(
+                *(service.handle(s) for s in specs))
+
+        service = EquilibriumService(max_inflight=1, max_queue=1)
+        responses = asyncio.run(run(service))
+        service.close()
+        shed = [r for r in responses if r.status == 429]
+        served = [r for r in responses if r.ok]
+        assert len(shed) == 6 and len(served) == 2
+        assert {r.shed_reason for r in shed} == {"queue-full"}
+
+    def test_rate_gate_sheds_before_keying(self):
+        now = [0.0]
+
+        async def run(service):
+            return [await service.handle(miner_spec())
+                    for _ in range(3)]
+
+        service = EquilibriumService(rate=1.0, burst=2.0,
+                                     clock=lambda: now[0])
+        responses = asyncio.run(run(service))
+        service.close()
+        assert [r.status for r in responses] == [200, 200, 429]
+        assert responses[2].shed_reason == "rate"
+        assert responses[2].key == ""
+
+
+class TestTtlAndInvalidation:
+    def test_ttl_expiry_forces_a_fresh_solve(self):
+        now = [0.0]
+
+        async def run(service):
+            a = await service.handle(miner_spec())
+            b = await service.handle(miner_spec())
+            now[0] = 6.0  # beyond the 5s TTL
+            c = await service.handle(miner_spec())
+            return a, b, c
+
+        service = EquilibriumService(ttl=5.0, clock=lambda: now[0])
+        a, b, c = asyncio.run(run(service))
+        service.close()
+        assert a.result.source == "solved"
+        assert b.result.source == "memory"
+        assert c.result.source == "solved"
+        assert service.solves == 2
+
+    def test_invalidate_bumps_version_and_resolves(self):
+        async def run(service):
+            a = await service.handle(miner_spec())
+            version = service.invalidate()
+            b = await service.handle(miner_spec())
+            return a, version, b
+
+        service = EquilibriumService()
+        a, version, b = asyncio.run(run(service))
+        service.close()
+        assert version == 1
+        assert a.result.source == "solved"
+        assert b.result.source == "solved"
+        assert service.solves == 2
+        np.testing.assert_array_equal(a.result.value.e,
+                                      b.result.value.e)
+
+
+class TestSeams:
+    def test_set_max_inflight_reflected_in_stats(self):
+        service = EquilibriumService(max_inflight=8)
+        service.set_max_inflight(2)
+        assert service.max_inflight == 2
+        doc = service.stats()
+        assert doc["admission"]["max_inflight"] == 2.0
+        assert doc["cache"]["entries"] == 0
+        service.close()
+
+    def test_engine_and_cache_dir_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            EquilibriumService(engine=ServingEngine(),
+                               cache_dir=tmp_path)
+
+    def test_kernel_override_applied_before_keying(self):
+        async def run(service):
+            return await service.handle(miner_spec())
+
+        service = EquilibriumService()
+        service.engine.set_kernel_override("scalar")
+        response = asyncio.run(run(service))
+        service.close()
+        assert response.ok
+        assert response.result.spec.kernel == "scalar"
+        # The coalescing key matches what the engine cached under —
+        # not the key of the kernel the caller asked for.
+        assert response.key == service.engine.key_for(
+            response.result.spec)
+        assert response.key != ServingEngine().key_for(miner_spec())

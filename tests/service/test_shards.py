@@ -1,0 +1,97 @@
+"""Sharded scenario cache: routing stability, aggregate stats, and the
+ScenarioCache duck-type contract the engine relies on."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import ShardedScenarioCache, shard_index
+
+
+class TestRouting:
+    def test_shard_index_stable_and_bounded(self):
+        keys = [f"connected:auto:{i:032x}" for i in range(256)]
+        first = [shard_index(k, 8) for k in keys]
+        second = [shard_index(k, 8) for k in keys]
+        assert first == second
+        assert all(0 <= s < 8 for s in first)
+
+    def test_keys_spread_across_shards(self):
+        keys = [f"connected:auto:{i:032x}" for i in range(256)]
+        used = {shard_index(k, 8) for k in keys}
+        assert len(used) == 8
+
+    def test_same_key_same_shard_instance(self):
+        cache = ShardedScenarioCache(n_shards=4)
+        assert cache.shard_for("k") is cache.shard_for("k")
+
+
+class TestDuckType:
+    def test_put_get_contains_len(self):
+        cache = ShardedScenarioCache(n_shards=4, maxsize=64)
+        for i in range(16):
+            cache.put(f"key-{i}", i)
+        assert len(cache) == 16
+        assert cache.get("key-3") == 3
+        assert "key-3" in cache and "absent" not in cache
+        assert sum(cache.shard_sizes()) == 16
+
+    def test_aggregate_stats_sum_over_shards(self):
+        cache = ShardedScenarioCache(n_shards=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats
+        assert stats.puts == 1
+        assert stats.hits == 1
+        assert stats.misses == 1
+
+    def test_maxsize_setter_and_resize(self):
+        cache = ShardedScenarioCache(n_shards=4, maxsize=64)
+        assert cache.maxsize >= 64
+        cache.maxsize = 128
+        assert cache.maxsize >= 128
+        assert all(s.maxsize >= 32 for s in
+                   (cache.shard_for(f"k{i}") for i in range(4)))
+
+    def test_invalidate_bumps_every_shard(self):
+        cache = ShardedScenarioCache(n_shards=4)
+        cache.put("a", 1)
+        version = cache.invalidate()
+        assert version == 1
+        assert cache.version == 1
+        assert cache.get("a") is None
+
+    def test_snapshot_restore_round_trip(self):
+        cache = ShardedScenarioCache(n_shards=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        snap = cache.snapshot_entries()
+        cache.clear()
+        assert len(cache) == 0
+        cache.restore_entries(snap)
+        assert cache.get("a") == 1 and cache.get("b") == 2
+
+    def test_ttl_expires_on_injected_clock(self):
+        now = [0.0]
+        cache = ShardedScenarioCache(n_shards=2, ttl=5.0,
+                                     clock=lambda: now[0])
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        now[0] = 5.1
+        assert cache.get("k") is None
+        assert cache.stats.expired == 1
+
+    def test_items_iterates_all_shards(self):
+        cache = ShardedScenarioCache(n_shards=4)
+        for i in range(8):
+            cache.put(f"k{i}", i)
+        assert dict(cache.items()) == {f"k{i}": i for i in range(8)}
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedScenarioCache(n_shards=0)
+
+    def test_to_dict_shape(self):
+        doc = ShardedScenarioCache(n_shards=2).to_dict()
+        assert doc["n_shards"] == 2
+        assert "shard_sizes" in doc and "stats" in doc

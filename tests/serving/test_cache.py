@@ -114,3 +114,55 @@ class TestDiskLayer:
         cache.clear(disk=True)
         assert list(tmp_path.glob("*.json")) == []
         assert cache.lookup(key) == (None, "miss")
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_file_is_unlinked_and_put_recovers(self, tmp_path):
+        """A torn/corrupt disk entry must not shadow future writes:
+        the bad file is removed on first read, and a subsequent put
+        re-persists a loadable entry."""
+        spec, key, eq = _solved_scenario()
+        path = tmp_path / (key.replace(":", "_") + ".json")
+        path.write_text('{"value": [truncated')
+        cache = ScenarioCache(cache_dir=tmp_path)
+        assert cache.lookup(key) == (None, "miss")
+        assert not path.exists()  # corrupt payload removed, not kept
+
+        cache.put(key, eq)
+        fresh = ScenarioCache(cache_dir=tmp_path)
+        value, layer = fresh.lookup(key)
+        assert layer == "disk"
+        np.testing.assert_allclose(value.e, eq.e, rtol=1e-12)
+
+    def test_writes_leave_no_temp_files(self, tmp_path):
+        cache = ScenarioCache(cache_dir=tmp_path)
+        for p_c in (0.5, 1.0, 1.5, 2.0):
+            _, key, eq = _solved_scenario(p_c)
+            cache.put(key, eq)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(list(tmp_path.glob("*.json"))) == 4
+
+
+class TestTtlAndInvalidation:
+    def test_ttl_expires_entries_on_injected_clock(self):
+        now = [0.0]
+        cache = ScenarioCache(ttl=10.0, clock=lambda: now[0])
+        cache.put("k", 1)
+        assert cache.get("k") == 1
+        now[0] = 10.1
+        assert cache.get("k") is None
+        assert cache.stats.expired == 1
+        assert "k" not in cache
+
+    def test_invalidate_bumps_version_and_rejects_disk(self, tmp_path):
+        spec, key, eq = _solved_scenario()
+        cache = ScenarioCache(cache_dir=tmp_path)
+        cache.put(key, eq)
+        cache.invalidate()
+        assert cache.version == 1
+        assert cache.lookup(key) == (None, "miss")
+        # A pre-invalidation disk payload is rejected by a fresh
+        # instance at the same version.
+        fresh = ScenarioCache(cache_dir=tmp_path)
+        fresh.version = 1
+        assert fresh.lookup(key) == (None, "miss")
