@@ -143,6 +143,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="serve full leader-stage (Stackelberg) solves instead of "
              "miner-stage equilibria at fixed prices")
     parser.add_argument(
+        "--miners", type=int, default=None, metavar="N",
+        help="miner count of every grid point (default: the paper "
+             "setup's n)")
+    parser.add_argument(
+        "--n-types", type=int, default=None, metavar="K",
+        help="solve in compressed type space with at most K weighted "
+             "budget types (certified approximation; default: exact)")
+    parser.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="process-pool width for cache misses (0/1 = serial)")
     parser.add_argument(
@@ -183,6 +191,14 @@ def build_metrics_parser() -> argparse.ArgumentParser:
         help="serve full leader-stage solves instead of miner-stage "
              "equilibria")
     parser.add_argument(
+        "--miners", type=int, default=None, metavar="N",
+        help="miner count of every grid point (default: the paper "
+             "setup's n)")
+    parser.add_argument(
+        "--n-types", type=int, default=None, metavar="K",
+        help="solve in compressed type space with at most K weighted "
+             "budget types (certified approximation; default: exact)")
+    parser.add_argument(
         "--workers", type=int, default=0, metavar="N",
         help="process-pool width for cache misses (0/1 = serial)")
     parser.add_argument(
@@ -216,6 +232,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sizes", default=None, metavar="N[,N...]",
         help="comma-separated miner counts (overrides the preset)")
+    parser.add_argument(
+        "--typespace-sizes", default=None, metavar="N[,N...]",
+        help="comma-separated miner counts of the compressed "
+             "type-space cases ('none' to skip; default: "
+             "10000,100000,1000000 on full runs, none with --quick)")
     parser.add_argument(
         "--repeats", type=int, default=None, metavar="K",
         help="timed solves per case (default: 5, or 3 with --quick)")
@@ -257,6 +278,20 @@ def bench_main(argv=None) -> int:
             print(f"bad --sizes {args.sizes!r}: expected integers",
                   file=sys.stderr)
             return 2
+    typespace_sizes = None
+    if args.typespace_sizes is not None:
+        if args.typespace_sizes.strip().lower() == "none":
+            typespace_sizes = []
+        else:
+            try:
+                typespace_sizes = [
+                    int(s) for s in args.typespace_sizes.split(",")
+                    if s.strip()]
+            except ValueError:
+                print(f"bad --typespace-sizes "
+                      f"{args.typespace_sizes!r}: expected integers "
+                      f"or 'none'", file=sys.stderr)
+                return 2
     baseline = None
     baseline_path = args.baseline
     if baseline_path is None and not args.no_compare and \
@@ -272,7 +307,8 @@ def bench_main(argv=None) -> int:
 
     try:
         report = run_bench(sizes=sizes, repeats=args.repeats,
-                           quick=args.quick)
+                           quick=args.quick,
+                           typespace_sizes=typespace_sizes)
     except ValueError as ex:
         print(f"bench failed: {ex}", file=sys.stderr)
         return 2
@@ -342,7 +378,8 @@ def _parse_grid(grid: str):
     return knob, [round(lo + step * k, 12) for k in range(count)]
 
 
-def _serve_spec(knob: str, value: float, mode: str, stackelberg: bool):
+def _serve_spec(knob: str, value: float, mode: str, stackelberg: bool,
+                n_miners=None, n_types=None):
     """Build the ScenarioSpec for one grid point off the paper setup."""
     from .analysis.experiments import DEFAULTS as setup
     from .core import EdgeMode, Prices, homogeneous
@@ -367,14 +404,15 @@ def _serve_spec(knob: str, value: float, mode: str, stackelberg: bool):
         p_c = value
     elif knob == "e_max":
         e_max = value
+    n = setup.n if n_miners is None else int(n_miners)
     if mode == "standalone":
-        params = homogeneous(setup.n, budget,
+        params = homogeneous(n, budget,
                              mode=EdgeMode.STANDALONE, e_max=e_max,
                              **fields)
     else:
-        params = homogeneous(setup.n, budget, h=setup.h, **fields)
+        params = homogeneous(n, budget, h=setup.h, **fields)
     prices = None if stackelberg else Prices(p_e=p_e, p_c=p_c)
-    return ScenarioSpec(params, prices)
+    return ScenarioSpec(params, prices, n_types=n_types)
 
 
 @contextlib.contextmanager
@@ -412,7 +450,8 @@ def serve_main(argv=None) -> int:
         print("--repeat must be at least 1", file=sys.stderr)
         return 2
     try:
-        specs = [_serve_spec(knob, v, args.mode, args.stackelberg)
+        specs = [_serve_spec(knob, v, args.mode, args.stackelberg,
+                             n_miners=args.miners, n_types=args.n_types)
                  for v in values]
     except ReproError as ex:
         print(f"bad grid point: {type(ex).__name__}: {ex}",
@@ -485,7 +524,8 @@ def metrics_main(argv=None) -> int:
         print("--repeat must be at least 1", file=sys.stderr)
         return 2
     try:
-        specs = [_serve_spec(knob, v, args.mode, args.stackelberg)
+        specs = [_serve_spec(knob, v, args.mode, args.stackelberg,
+                             n_miners=args.miners, n_types=args.n_types)
                  for v in values]
     except ReproError as ex:
         print(f"bad grid point: {type(ex).__name__}: {ex}",

@@ -45,10 +45,10 @@ from .anomalies import (KIND_CACHE_COLLAPSE, KIND_RETRY_STORM,
                         default_detectors, detect_all)
 from .loop import ControlLoop, ControlReport
 from .remediations import (KERNEL_ROBUSTNESS_CHAIN, AdmissionControl,
-                           EnterDegradedMode, ExitDegradedMode,
-                           FlushCache, Proposer, RebuildWarmIndex,
-                           Remediation, ResizeCache, SwitchKernel,
-                           TightenRetryPolicy)
+                           CompressScenario, EnterDegradedMode,
+                           ExitDegradedMode, FlushCache, Proposer,
+                           RebuildWarmIndex, Remediation, ResizeCache,
+                           SwitchKernel, TightenRetryPolicy)
 from .scenarios import SCENARIOS, InducedScenario, induce
 from .target import ControlTarget, TargetSnapshot, TargetState
 from .verify import (CheckResult, VerificationReport, Verifier,
@@ -56,7 +56,8 @@ from .verify import (CheckResult, VerificationReport, Verifier,
                      check_connected_closed_form,
                      check_retry_policy_invariants,
                      check_serving_matches_direct,
-                     check_standalone_cross_solver, run_golden_checks)
+                     check_standalone_cross_solver,
+                     check_typespace_compression, run_golden_checks)
 from .window import (HistogramWindow, counter_sum, gauge_value,
                      histogram_window)
 
@@ -70,14 +71,15 @@ __all__ = [
     # remediations
     "Remediation", "SwitchKernel", "ResizeCache", "FlushCache",
     "RebuildWarmIndex", "TightenRetryPolicy", "EnterDegradedMode",
-    "ExitDegradedMode", "AdmissionControl", "Proposer",
+    "ExitDegradedMode", "AdmissionControl", "CompressScenario",
+    "Proposer",
     "KERNEL_ROBUSTNESS_CHAIN",
     # verify
     "CheckResult", "VerificationReport", "Verifier",
     "check_connected_closed_form", "check_standalone_cross_solver",
     "check_serving_matches_direct", "check_retry_policy_invariants",
     "check_all_cloud_limit", "check_admission_serves",
-    "run_golden_checks",
+    "check_typespace_compression", "run_golden_checks",
     # target / actuator / loop
     "ControlTarget", "TargetState", "TargetSnapshot",
     "Actuator", "Decision", "ControlLoop", "ControlReport",

@@ -50,7 +50,7 @@ from .anomalies import (KIND_CACHE_COLLAPSE, KIND_RETRY_STORM,
 __all__ = ["Remediation", "SwitchKernel", "ResizeCache", "FlushCache",
            "RebuildWarmIndex", "TightenRetryPolicy",
            "EnterDegradedMode", "ExitDegradedMode", "AdmissionControl",
-           "Proposer", "KERNEL_ROBUSTNESS_CHAIN"]
+           "CompressScenario", "Proposer", "KERNEL_ROBUSTNESS_CHAIN"]
 
 #: Kernel fallback order under solver trouble: the vectorized aggregate
 #: kernel is fastest but assumes the consistency system is
@@ -186,6 +186,31 @@ class AdmissionControl(Remediation):
     def describe(self) -> str:
         return (f"limit admitted solve concurrency to "
                 f"{self.max_inflight}")
+
+
+@dataclass(frozen=True)
+class CompressScenario(Remediation):
+    """Serve large scenarios in compressed type space (``n_types=k``).
+
+    The accuracy-for-latency dial: re-route oversized populations
+    through :func:`repro.kernels.typespace.solve_connected_typespace`,
+    which solves ``k`` weighted budget types instead of ``n`` miners
+    and certifies a per-coordinate error bound on the answer.  Not yet
+    in the :class:`Proposer` playbook — it trades exactness away, so it
+    stays an operator-initiated action until the SLO telemetry carries
+    per-scenario population sizes — but the :class:`Verifier` already
+    gates it: the differential check re-proves ``measured error <=
+    certified bound`` on a scratch heterogeneous population at the
+    proposed ``n_types`` before any apply.
+    """
+
+    n_types: int = 512
+    kind = "compress-scenario"
+    cooldown_class = "compression"
+
+    def describe(self) -> str:
+        return (f"serve large scenarios in compressed type space "
+                f"(n_types={self.n_types})")
 
 
 @dataclass(frozen=True)

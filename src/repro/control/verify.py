@@ -28,6 +28,10 @@ admission-control     a scratch online service at the proposed
                       concurrency bound answers concurrent
                       duplicates bit-identically to the direct
                       engine solve (coalescing intact, no errors)
+compress-scenario     the type-space solve at the proposed
+                      ``n_types`` stays within its own certified
+                      error bound against the exact per-miner
+                      solve on a scratch heterogeneous population
 ====================  ==========================================
 """
 
@@ -50,16 +54,18 @@ from ..resilience.retry import RetryPolicy
 from ..telemetry import TELEMETRY as _TEL
 from ..serving.engine import ServingEngine
 from ..serving.keys import ScenarioSpec
-from .remediations import (AdmissionControl, EnterDegradedMode,
-                           ExitDegradedMode, FlushCache,
-                           RebuildWarmIndex, Remediation, ResizeCache,
-                           SwitchKernel, TightenRetryPolicy)
+from .remediations import (AdmissionControl, CompressScenario,
+                           EnterDegradedMode, ExitDegradedMode,
+                           FlushCache, RebuildWarmIndex, Remediation,
+                           ResizeCache, SwitchKernel,
+                           TightenRetryPolicy)
 
 __all__ = ["CheckResult", "VerificationReport", "Verifier",
            "check_connected_closed_form", "check_standalone_cross_solver",
            "check_serving_matches_direct", "check_retry_policy_invariants",
            "check_all_cloud_limit", "check_admission_serves",
-           "run_golden_checks", "quiet_telemetry"]
+           "check_typespace_compression", "run_golden_checks",
+           "quiet_telemetry"]
 
 
 @dataclass(frozen=True)
@@ -361,6 +367,56 @@ def check_admission_serves(max_inflight: int,
                            detail=f"{type(ex).__name__}: {ex}")
 
 
+def check_typespace_compression(n_types: int = 512,
+                                n_miners: int = 256,
+                                max_bound: float = float("inf")
+                                ) -> CheckResult:
+    """The compressed solve honors its own certificate.
+
+    Solves a scratch heterogeneous population (deterministic lognormal
+    budgets at the interior-spend scale, so a fraction genuinely
+    binds) in type space at the proposed ``n_types`` and against the
+    exact per-miner aggregate kernel, and requires the measured
+    per-coordinate error to sit within the solve's certified
+    ``error_bound`` — the same contract the differential test battery
+    (``tests/kernels/test_typespace.py``) pins at many sizes.  The
+    exercised type count is capped at ``n_miners // 2`` so the check
+    always performs *genuine* compression (a production ``n_types``
+    typically exceeds the scratch population, where ``k >= n`` would
+    short-circuit to the trivially-exact identity path and verify
+    nothing).  ``max_bound`` optionally also rejects a *correct but
+    useless* certificate (bound too loose for the caller's accuracy
+    target).
+    """
+    from ..kernels.aggregate import solve_connected_aggregate
+    from ..kernels.typespace import solve_connected_typespace
+
+    name = f"typespace-compression[n_types={n_types}]"
+    try:
+        if n_types < 1:
+            return CheckResult(name, False,
+                               detail=f"n_types {n_types} < 1")
+        rng = np.random.default_rng(20260809)
+        budgets = (600.0 / n_miners) * rng.lognormal(
+            mean=0.0, sigma=0.75, size=n_miners)
+        params = GameParameters(reward=1000.0 * n_miners,
+                                fork_rate=0.2, budgets=budgets, h=0.8)
+        prices = Prices(p_e=2.0, p_c=1.0)
+        k = max(1, min(n_types, n_miners // 2))
+        ts = solve_connected_typespace(params, prices, k)
+        exact = solve_connected_aggregate(params, prices)
+        measured = max(float(np.max(np.abs(ts.e - exact.e))),
+                       float(np.max(np.abs(ts.c - exact.c))))
+        ok = measured <= ts.error_bound <= max_bound
+        return CheckResult(
+            name, ok, measured,
+            detail=f"certified bound {ts.error_bound:.3e} at "
+                   f"k={ts.compression.k}, n={n_miners}")
+    except Exception as ex:  # repro: noqa[RPR007] — see above.
+        return CheckResult(name, False,
+                           detail=f"{type(ex).__name__}: {ex}")
+
+
 def run_golden_checks(kernel: str = "vectorized") -> List[CheckResult]:
     """The full differential battery for one kernel (CLI ``--check``).
 
@@ -412,6 +468,8 @@ class Verifier:
         if isinstance(remediation, AdmissionControl):
             return [check_admission_serves(remediation.max_inflight,
                                            kernel)]
+        if isinstance(remediation, CompressScenario):
+            return [check_typespace_compression(remediation.n_types)]
         return [CheckResult(
             name=f"unknown-remediation[{remediation.kind}]", ok=False,
             detail="no checks registered for this remediation type")]

@@ -51,7 +51,8 @@ def _require_standalone(params: GameParameters) -> float:
 def edge_demand(params: GameParameters, prices: Prices, nu: float,
                 tol: float = 1e-10, max_iter: int = 3000,
                 initial: Optional[Tuple[np.ndarray, np.ndarray]] = None,
-                kernel: str = "scalar") -> MinerEquilibrium:
+                kernel: str = "scalar",
+                n_types: Optional[int] = None) -> MinerEquilibrium:
     """Unconstrained miner equilibrium under perceived edge price
     ``P_e + ν`` (budget charged at ``P_e``). Helper of the decomposition.
 
@@ -66,7 +67,8 @@ def edge_demand(params: GameParameters, prices: Prices, nu: float,
                    np.asarray(initial[1], dtype=float))
     return solve_connected_equilibrium(params, prices, tol=tol,
                                        max_iter=max_iter, initial=initial,
-                                       _nu=nu, kernel=kernel)
+                                       _nu=nu, kernel=kernel,
+                                       n_types=n_types)
 
 
 def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
@@ -77,6 +79,7 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
                                                          np.ndarray]] = None,
                                  raise_on_failure: bool = False,
                                  kernel: str = "scalar",
+                                 n_types: Optional[int] = None,
                                  ) -> MinerEquilibrium:
     """Variational equilibrium of GNEP_MINER via shadow-price decomposition.
 
@@ -96,6 +99,10 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
             :func:`~repro.core.nep.solve_connected_equilibrium`. The
             ``"vectorized"`` aggregate kernel makes every ν-evaluation
             O(n), which compounds across the shadow-price search.
+        n_types: Compress the population into at most this many weighted
+            budget types for every inner ν-evaluation (certified
+            approximation, see :mod:`repro.kernels.typespace`); ``None``
+            solves exactly.
 
     Returns:
         :class:`MinerEquilibrium` with ``nu`` set to the capacity shadow
@@ -104,7 +111,7 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
     e_max = _require_standalone(params)
 
     free = edge_demand(params, prices, nu=0.0, tol=tol, initial=initial,
-                       kernel=kernel)
+                       kernel=kernel, n_types=n_types)
     if free.total_edge <= e_max * (1.0 + capacity_tol):
         return free
 
@@ -112,7 +119,7 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
     nu_lo, nu_hi = 0.0, max(prices.p_e, 1.0)
     warm = (free.e, free.c)
     eq_hi = edge_demand(params, prices, nu=nu_hi, tol=tol, initial=warm,
-                        kernel=kernel)
+                        kernel=kernel, n_types=n_types)
     guard = 0
     while eq_hi.total_edge > e_max:
         nu_lo = nu_hi
@@ -123,7 +130,7 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
                 "could not bracket the capacity shadow price; edge demand "
                 "appears insensitive to price")
         eq_hi = edge_demand(params, prices, nu=nu_hi, tol=tol,
-                            initial=warm, kernel=kernel)
+                            initial=warm, kernel=kernel, n_types=n_types)
 
     # Brentq on the (smooth, strictly decreasing) excess-demand curve is
     # far cheaper than plain bisection; warm starts thread the last
@@ -135,7 +142,7 @@ def solve_standalone_equilibrium(params: GameParameters, prices: Prices,
     def solve_at(nu: float) -> MinerEquilibrium:
         state["eq"] = edge_demand(params, prices, nu=nu, tol=tol,
                                   initial=(state["eq"].e, state["eq"].c),
-                                  kernel=kernel)
+                                  kernel=kernel, n_types=n_types)
         return state["eq"]
 
     def excess(nu: float) -> float:

@@ -42,6 +42,9 @@ class MinerEquilibrium:
         prices: SP prices the profile responds to.
         report: Convergence diagnostics of the solver run.
         nu: Shared-capacity multiplier (standalone mode; 0 in connected).
+        error_bound: Certified per-coordinate approximation bound when
+            the profile came from a type-space compressed solve
+            (``n_types``); ``None`` for exact solves.
     """
 
     e: np.ndarray
@@ -50,6 +53,7 @@ class MinerEquilibrium:
     prices: Prices
     report: ConvergenceReport
     nu: float = 0.0
+    error_bound: Optional[float] = None
 
     def __post_init__(self) -> None:
         self.e = np.asarray(self.e, dtype=float)
@@ -205,6 +209,31 @@ def _solve_vectorized(params: GameParameters, prices: Prices, tol: float,
         report
 
 
+def _solve_typespace(params: GameParameters, prices: Prices, tol: float,
+                     _nu: float, n_types: int) -> MinerEquilibrium:
+    """Compressed type-space solve (see :mod:`repro.kernels.typespace`)."""
+    from ..kernels.typespace import solve_connected_typespace
+
+    sweep_hist = (_TEL.metrics.histogram(
+        "br_sweep_seconds", "Best-response sweep / kernel-solve latency",
+        labels={"kernel": "typespace"}, buckets=DEFAULT_BUCKETS)
+        if _TEL.enabled else None)
+    t0 = time.perf_counter() if sweep_hist is not None else 0.0
+    ts = solve_connected_typespace(params, prices, n_types, nu=_nu)
+    if sweep_hist is not None:
+        sweep_hist.observe(time.perf_counter() - t0)
+    report = ConvergenceReport(
+        converged=True, iterations=ts.evals, residual=ts.error_bound,
+        tolerance=tol, history=[ts.error_bound],
+        message=(f"type-space compression k={ts.compression.k}: "
+                 f"certified per-coordinate bound {ts.error_bound:.3e}"
+                 + (" (exact)" if ts.exact else "")))
+    return MinerEquilibrium(e=ts.e, c=ts.c, params=params, prices=prices,
+                            report=report, nu=_nu,
+                            error_bound=None if ts.exact
+                            else ts.error_bound)
+
+
 def solve_connected_equilibrium(params: GameParameters, prices: Prices,
                                 tol: float = 1e-9, max_iter: int = 3000,
                                 damping: float = 1.0,
@@ -212,7 +241,9 @@ def solve_connected_equilibrium(params: GameParameters, prices: Prices,
                                                         np.ndarray]] = None,
                                 raise_on_failure: bool = False,
                                 _nu: float = 0.0,
-                                kernel: str = "scalar") -> MinerEquilibrium:
+                                kernel: str = "scalar",
+                                n_types: Optional[int] = None,
+                                ) -> MinerEquilibrium:
     """Solve NEP_MINER by damped asynchronous best response.
 
     Args:
@@ -237,6 +268,11 @@ def solve_connected_equilibrium(params: GameParameters, prices: Prices,
             best-response map, and falls back to ``"running"`` sweeps
             if verification fails; ``damping`` and ``initial`` only
             affect that fallback.
+        n_types: Compress the population into at most this many weighted
+            budget types and solve in type space with a certified
+            approximation bound (:mod:`repro.kernels.typespace`);
+            ``None`` (default) or ``n_types >= n`` solves exactly with
+            the selected ``kernel``.
 
     Returns:
         The unique :class:`MinerEquilibrium` (Theorem 2).
@@ -245,6 +281,8 @@ def solve_connected_equilibrium(params: GameParameters, prices: Prices,
         raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
+    if n_types is not None and n_types < params.n:
+        return _solve_typespace(params, prices, tol, _nu, n_types)
     if kernel == "vectorized":
         solved = _solve_vectorized(params, prices, tol, _nu)
         if solved is not None:

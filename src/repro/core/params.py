@@ -137,6 +137,12 @@ class GameParameters:
             raise ConfigurationError("SP unit costs must be non-negative")
         if self.d_avg is not None and self.d_avg < 0:
             raise ConfigurationError("d_avg must be non-negative")
+        # Normalise to a tuple so equality and hashing stay well-defined
+        # when callers construct with a numpy array (dataclass __eq__
+        # on an ndarray field raises or misbehaves elementwise).
+        if not isinstance(self.budgets, tuple):
+            object.__setattr__(self, "budgets",
+                               tuple(float(b) for b in budgets))
         object.__setattr__(self, "_budgets_array", budgets)
 
     @property

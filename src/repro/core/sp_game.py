@@ -41,7 +41,10 @@ class DemandOracle:
     the tests that cross-validate the two).  ``kernel`` selects the
     follower-solver kernel on the iterative paths (see
     :func:`~repro.core.nep.solve_connected_equilibrium`); the closed
-    forms ignore it.
+    forms ignore it.  ``n_types`` compresses heterogeneous populations
+    into weighted budget types on the iterative paths
+    (:mod:`repro.kernels.typespace`); the closed forms (homogeneous
+    games) ignore it — they are already one-type exact.
     """
 
     #: Rounding (decimal places) for the memo key.
@@ -51,13 +54,15 @@ class DemandOracle:
                  max_iter: int = 3000, fast: str = "auto",
                  warm_profile: Optional[Tuple[np.ndarray,
                                               np.ndarray]] = None,
-                 kernel: str = "scalar") -> None:
+                 kernel: str = "scalar",
+                 n_types: Optional[int] = None) -> None:
         if fast not in ("auto", False, True):
             raise ConfigurationError("fast must be 'auto', True or False")
         self.params = params
         self.tol = tol
         self.max_iter = max_iter
         self.kernel = kernel
+        self.n_types = n_types
         self.fast = (params.is_homogeneous if fast == "auto" else bool(fast))
         if self.fast and not params.is_homogeneous:
             raise ConfigurationError(
@@ -111,7 +116,8 @@ class DemandOracle:
                 eq = solve_standalone_equilibrium(self.params, prices,
                                                   tol=self.tol,
                                                   initial=seed,
-                                                  kernel=self.kernel)
+                                                  kernel=self.kernel,
+                                                  n_types=self.n_types)
             else:
                 warm = seed
                 if self._last is not None:
@@ -120,7 +126,8 @@ class DemandOracle:
                                                  tol=self.tol,
                                                  max_iter=self.max_iter,
                                                  initial=warm,
-                                                 kernel=self.kernel)
+                                                 kernel=self.kernel,
+                                                 n_types=self.n_types)
         self._cache[key] = eq
         self._last = eq
         return eq

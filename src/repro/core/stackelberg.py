@@ -92,6 +92,7 @@ def solve_stackelberg(params: GameParameters,
                       warm_profile: Optional[Tuple[np.ndarray,
                                                    np.ndarray]] = None,
                       kernel: str = "scalar",
+                      n_types: Optional[int] = None,
                       ) -> StackelbergEquilibrium:
     """Compute a Stackelberg equilibrium of the full game.
 
@@ -134,6 +135,10 @@ def solve_stackelberg(params: GameParameters,
         kernel: Follower-solver kernel threaded into the demand oracle
             (see :func:`~repro.core.nep.solve_connected_equilibrium`);
             homogeneous games answered by the closed forms ignore it.
+        n_types: Compress heterogeneous miners into weighted budget
+            types for every follower solve behind the demand oracle
+            (certified approximation, :mod:`repro.kernels.typespace`);
+            ``None`` keeps the exact per-miner follower solver.
 
     Returns:
         :class:`StackelbergEquilibrium`.
@@ -143,7 +148,8 @@ def solve_stackelberg(params: GameParameters,
     if scheme not in ("best-response", "esp-anticipates"):
         raise ValueError(f"unknown scheme {scheme!r}")
     oracle = DemandOracle(params, tol=demand_tol,
-                          warm_profile=warm_profile, kernel=kernel)
+                          warm_profile=warm_profile, kernel=kernel,
+                          n_types=n_types)
     if initial is None and warm_start is not None:
         initial = warm_start
     prices = _initial_prices(params, initial)

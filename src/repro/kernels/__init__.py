@@ -29,18 +29,29 @@ Solvers select a kernel via their ``kernel=`` parameter
 reference path remains the default everywhere except the serving
 engine, and the equivalence suite in ``tests/kernels/`` pins the two
 to each other within ``1e-9``.
+
+:mod:`repro.kernels.typespace` extends the aggregate kernel to
+**million-miner** populations: heterogeneous budgets are quantile-
+compressed into ``k`` weighted types
+(:mod:`repro.population.compress`), the type-space equilibrium is
+solved at ``O(k)`` per consistency evaluation, and a certified
+per-coordinate approximation bound is computed from bucket widths
+(``docs/SCALING.md``); solvers opt in via ``n_types=``.
 """
 
 from .batched_br import (BatchedBestResponse, batched_best_response,
                          gauss_seidel_sweep_running, jacobi_sweep)
 from .bench import (BenchCaseResult, BenchReport, compare_reports,
                     load_report, run_bench, write_report)
+from .typespace import TypeSpaceSolution, solve_connected_typespace
 
 __all__ = [
     "BatchedBestResponse",
     "batched_best_response",
     "jacobi_sweep",
     "gauss_seidel_sweep_running",
+    "TypeSpaceSolution",
+    "solve_connected_typespace",
     "BenchCaseResult",
     "BenchReport",
     "run_bench",

@@ -39,11 +39,22 @@ The caller (:func:`repro.core.nep.solve_connected_equilibrium` with
 of the exact batched best-response map and falls back to the sweeping
 solver if the check fails, so this kernel never silently degrades
 accuracy.
+
+**Weighted (type-space) games.** Because miners enter the consistency
+system only through the sums ``Σ s_i`` / ``Σ e_i``, a population of
+``Σ w_t`` miners collapsed into ``k`` budget types is solved by the
+*same* kernel with the sums replaced by ``Σ w_t s_t`` — every other
+line is unchanged.  :func:`solve_weighted_connected_aggregate` exposes
+that entry point (one row per type, a positive multiplicity per row);
+:mod:`repro.kernels.typespace` builds the compression, expansion, and
+error certification on top of it.  The unweighted path never touches
+the weight machinery, so ``solve_connected_aggregate`` stays
+bit-identical to its pre-weights behavior.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import brentq
@@ -53,7 +64,8 @@ from ..exceptions import ConvergenceError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.params import GameParameters, Prices
 
-__all__ = ["solve_connected_aggregate", "AggregateSolution"]
+__all__ = ["solve_connected_aggregate",
+           "solve_weighted_connected_aggregate", "AggregateSolution"]
 
 #: Budget slack below which the constraint is treated as free (the
 #: scalar kernel's ``_TOL``).
@@ -90,14 +102,29 @@ class AggregateSolution(Tuple[np.ndarray, np.ndarray, int]):
         return self[2]
 
 
+def _wsum(values: np.ndarray,
+          weights: Optional[np.ndarray]) -> float:
+    """``Σ values`` (unweighted) or ``Σ w · values`` (type space).
+
+    The ``None`` branch is the exact pre-weights summation, keeping the
+    unweighted kernel bit-identical.
+    """
+    if weights is None:
+        return float(np.sum(values))
+    return float(np.sum(weights * values))
+
+
 def _solve_single_pool(n: int, k_tot: float, a: float, caps: np.ndarray,
-                       counter: list) -> np.ndarray:
+                       counter: List[int],
+                       weights: Optional[np.ndarray] = None) -> np.ndarray:
     """Consistency root of a one-pool aggregative game.
 
     Every miner plays ``s_i(T) = clip(T - a T²/k_tot, 0, cap_i)``
     against total ``T``; returns the profile at the total solving
     ``Σ s_i(T) = T``.  ``Σ s_i(T)/T`` is decreasing in ``T`` (each
     clipped share is), so the excess response is single-crossing.
+    With ``weights``, rows are budget types and the consistency sum is
+    the multiplicity-weighted ``Σ w_i s_i(T)``.
     """
     t_hi = k_tot / a
 
@@ -106,7 +133,7 @@ def _solve_single_pool(n: int, k_tot: float, a: float, caps: np.ndarray,
 
     def excess(t: float) -> float:
         counter[0] += 1
-        return float(np.sum(profile(t))) - t
+        return _wsum(profile(t), weights) - t
 
     t_lo = t_hi * 1e-15
     if excess(t_lo) <= 0.0:
@@ -213,20 +240,75 @@ def solve_connected_aggregate(params: "GameParameters", prices: "Prices",
         :class:`AggregateSolution` — the profile plus the number of
         consistency-function evaluations performed.
     """
-    n = params.n
-    budgets = np.asarray(params.budget_array, dtype=float)
-    reward = float(params.reward)
-    beta = float(params.fork_rate)
-    gamma = beta * float(params.effective_h)
-    p_e = float(prices.p_e)
-    p_c = float(prices.p_c)
-    q_e = p_e + float(nu)
+    return _solve_aggregate(
+        budgets=np.asarray(params.budget_array, dtype=float),
+        weights=None,
+        reward=float(params.reward),
+        beta=float(params.fork_rate),
+        gamma=float(params.fork_rate) * float(params.effective_h),
+        p_e=float(prices.p_e), p_c=float(prices.p_c), nu=float(nu))
+
+
+def solve_weighted_connected_aggregate(
+        budgets: np.ndarray, weights: np.ndarray, reward: float,
+        fork_rate: float, gamma: float, p_e: float, p_c: float,
+        nu: float = 0.0) -> AggregateSolution:
+    """Type-space equilibrium of the weighted connected-mode NEP.
+
+    Solves the game in which ``weights[t]`` identical miners share the
+    budget ``budgets[t]`` — exactly the game obtained by replacing a
+    heterogeneous population with its bucket representatives.  By the
+    uniqueness of the equilibrium (Theorem 2) and the symmetry of
+    identical miners, the returned per-type profile *is* the exact
+    per-miner equilibrium of that bucketed game.
+
+    Args:
+        budgets: Type budgets, shape ``(k,)``, strictly positive.
+        weights: Miner multiplicity per type, shape ``(k,)``, positive
+            (fractional weights are allowed; the sums only need
+            ``Σ w_t``-linearity).
+        reward: Mining reward ``R``.
+        fork_rate: Fork rate ``β``.
+        gamma: Edge-bonus coefficient ``β·h`` (``h`` already the
+            effective satisfaction probability).
+        p_e: Edge unit price ``P_e``.
+        p_c: Cloud unit price ``P_c``.
+        nu: Shared-capacity multiplier (perceived edge price mark-up).
+
+    Returns:
+        :class:`AggregateSolution` with per-**type** profiles of shape
+        ``(k,)``.
+    """
+    budgets = np.asarray(budgets, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if budgets.ndim != 1 or budgets.shape != weights.shape:
+        raise ValueError(
+            f"budgets and weights must be matching 1-D arrays, got "
+            f"shapes {budgets.shape} and {weights.shape}")
+    if np.any(budgets <= 0.0):
+        raise ValueError("all type budgets must be positive")
+    if np.any(weights <= 0.0):
+        raise ValueError("all type weights must be positive")
+    return _solve_aggregate(budgets=budgets, weights=weights,
+                            reward=float(reward), beta=float(fork_rate),
+                            gamma=float(gamma), p_e=float(p_e),
+                            p_c=float(p_c), nu=float(nu))
+
+
+def _solve_aggregate(budgets: np.ndarray,
+                     weights: Optional[np.ndarray], reward: float,
+                     beta: float, gamma: float, p_e: float, p_c: float,
+                     nu: float) -> AggregateSolution:
+    """Shared unweighted/weighted consistency solve (see callers)."""
+    n = int(budgets.shape[0])
+    n_eff = float(n) if weights is None else float(np.sum(weights))
+    q_e = p_e + nu
     q_c = p_c
     ks = reward * (1.0 - beta)
     kg = reward * gamma
 
     zeros = np.zeros(n)
-    if n < 2 or ks <= 0.0:
+    if n_eff < 2 or ks <= 0.0:
         # A lone miner earns the whole (1-β) share regardless of effort
         # (and the ē=0 model discontinuity zeroes the edge bonus), so
         # its exact best response to empty opposition is inactivity —
@@ -238,15 +320,18 @@ def solve_connected_aggregate(params: "GameParameters", prices: "Prices",
         # No edge bonus: one pool at the cheaper objective price (the
         # scalar kernel's a_e < a_c tie-break sends ties to the cloud).
         if q_e < q_c:
-            s = _solve_single_pool(n, ks, q_e, budgets / p_e, counter)
+            s = _solve_single_pool(n, ks, q_e, budgets / p_e, counter,
+                                   weights)
             return AggregateSolution(s, zeros, counter[0])
-        s = _solve_single_pool(n, ks, q_c, budgets / p_c, counter)
+        s = _solve_single_pool(n, ks, q_c, budgets / p_c, counter,
+                               weights)
         return AggregateSolution(zeros, s, counter[0])
 
     if q_e <= q_c:
         # Edge no pricier but strictly more valuable: cloud dominated,
         # single pool with stacked marginal value ks + kg at price q_e.
-        s = _solve_single_pool(n, ks + kg, q_e, budgets / p_e, counter)
+        s = _solve_single_pool(n, ks + kg, q_e, budgets / p_e, counter,
+                               weights)
         return AggregateSolution(s.copy(), zeros, counter[0])
 
     # General two-pool case: nested consistency roots.
@@ -259,7 +344,8 @@ def solve_connected_aggregate(params: "GameParameters", prices: "Prices",
         counter[0] += 1
         e, c = _budget_responses(S, E, budgets, a_e0, a_c0, ks, kg,
                                  p_e, p_c)
-        return float(np.sum(e)), float(np.sum(e) + np.sum(c)), e, c
+        e_tot = _wsum(e, weights)
+        return e_tot, e_tot + _wsum(c, weights), e, c
 
     def s_excess_factory(E: float) -> Callable[[float], float]:
         def s_excess(S: float) -> float:
@@ -302,7 +388,8 @@ def solve_connected_aggregate(params: "GameParameters", prices: "Prices",
     if e_excess(e_lo) <= 0.0:
         # Edge pool empty at equilibrium (possible only through budget
         # degeneracies); the cloud-only game remains one-dimensional.
-        s = _solve_single_pool(n, ks, q_c, budgets / p_c, counter)
+        s = _solve_single_pool(n, ks, q_c, budgets / p_c, counter,
+                               weights)
         return AggregateSolution(zeros, s, counter[0])
     e_star = float(brentq(e_excess, e_lo, e_hi, xtol=_XTOL, rtol=_RTOL))
     s_star = inner_S(e_star)

@@ -65,6 +65,18 @@ STANDALONE_SCALAR_MAX_N = 8
 #: Largest size the extragradient cases are benchmarked at.
 EXTRAGRADIENT_MAX_N = 8
 
+#: Miner counts of the compressed type-space cases (full runs only).
+TYPESPACE_SIZES = (10_000, 100_000, 1_000_000)
+
+#: Type count of the compressed cases (see
+#: :mod:`repro.kernels.typespace`).
+TYPESPACE_K = 512
+
+#: Largest type-space size the exact vectorized reference also runs at
+#: (the differential anchor; beyond it the exact solve is only skipped
+#: with a note, never silently).
+TYPESPACE_EXACT_MAX_N = 10_000
+
 _SOLVERS = ("connected", "standalone", "extragradient")
 
 
@@ -93,6 +105,9 @@ class BenchCaseResult:
         counters: Operator-eval counts from one telemetry-instrumented
             solve — ``br_sweeps`` (best-response sweeps / kernel
             solves) and ``operator_evals`` (VI operator evaluations).
+        error_bound: Certified approximation bound of a compressed
+            type-space case (``None`` for exact cases) — the report
+            never presents an approximate solve as exact.
     """
 
     solver: str
@@ -106,6 +121,7 @@ class BenchCaseResult:
     max_iter: int
     capped: bool
     counters: Dict[str, int] = field(default_factory=dict)
+    error_bound: Optional[float] = None
 
     @property
     def case_id(self) -> str:
@@ -165,8 +181,11 @@ class BenchReport:
                 f"{'yes' if case.converged else 'NO':>5s} "
                 f"{'yes' if case.capped else '-':>4s}")
         for key in sorted(self.speedups):
+            what = ("exact vectorized / typespace"
+                    if key.endswith("/typespace")
+                    else "scalar / vectorized")
             lines.append(f"speedup {key}: {self.speedups[key]:.1f}x "
-                         f"(scalar / vectorized)")
+                         f"({what})")
         return lines
 
 
@@ -218,6 +237,7 @@ def _time_case(solver: str, kernel: str, n: int,
     report = getattr(result, "report", None)
     converged = bool(getattr(report, "converged", True))
     iterations = int(getattr(report, "iterations", 0))
+    bound = getattr(result, "error_bound", None)
     times.sort()
     median = times[len(times) // 2] if len(times) % 2 else \
         0.5 * (times[len(times) // 2 - 1] + times[len(times) // 2])
@@ -225,7 +245,8 @@ def _time_case(solver: str, kernel: str, n: int,
         solver=solver, kernel=kernel, n=n, median_s=median,
         p95_s=_p95(times), repeats=repeats, converged=converged,
         iterations=iterations, max_iter=max_iter, capped=capped,
-        counters=_collect_counters(solve))
+        counters=_collect_counters(solve),
+        error_bound=None if bound is None else float(bound))
 
 
 def _connected_cases(sizes: Sequence[int], repeats: int,
@@ -312,10 +333,76 @@ def _extragradient_cases(sizes: Sequence[int], repeats: int,
     return out
 
 
+def _typespace_cases(sizes: Sequence[int], repeats: int,
+                     notes: List[str]) -> List[BenchCaseResult]:
+    """Compressed connected-mode cases on heterogeneous populations.
+
+    Budgets are drawn once from a seeded lognormal (deterministic
+    across runs and machines), so the committed report's error bounds
+    are reproducible.  At every size the compressed case runs with
+    ``k = TYPESPACE_K`` types; the exact vectorized reference runs
+    alongside it up to :data:`TYPESPACE_EXACT_MAX_N` and is skipped
+    with a note above that (the differential test suite anchors
+    correctness at small n instead).
+    """
+    import numpy as np
+
+    from ..core.nep import solve_connected_equilibrium
+    from ..core.params import GameParameters, Prices
+
+    prices = Prices(p_e=2.0, p_c=1.0)
+    out = []
+    for n in sizes:
+        # Reward scales with n so per-miner equilibrium spending stays
+        # O(1/n) *relative to the drawn budgets*: a heterogeneous
+        # fraction of the population is genuinely budget-bound at every
+        # size (the hard mixed regime), instead of budgets going slack
+        # and the compression degenerating to the homogeneous case.
+        rng = np.random.default_rng(20260809 + n)
+        budgets = (600.0 / n) * rng.lognormal(mean=0.0, sigma=0.75,
+                                              size=n)
+        params = GameParameters(reward=1000.0 * n, fork_rate=0.2,
+                                budgets=budgets, h=0.8)
+        k = min(TYPESPACE_K, n)
+
+        def solve_compressed(params: "GameParameters" = params,
+                             k: int = k) -> "MinerEquilibrium":
+            return solve_connected_equilibrium(
+                params, prices, kernel="vectorized", n_types=k)
+
+        case = _time_case("connected", "typespace", n,
+                          solve_compressed, repeats, 3000, False)
+        notes.append(
+            f"connected/typespace/n={n}: k={k} compressed solve, "
+            f"certified per-coordinate error bound "
+            f"{case.error_bound if case.error_bound is not None else 0.0:.3e}"
+            f" (approximate, not exact)")
+        out.append(case)
+
+        if n <= TYPESPACE_EXACT_MAX_N:
+
+            def solve_exact(params: "GameParameters" = params
+                            ) -> "MinerEquilibrium":
+                return solve_connected_equilibrium(
+                    params, prices, kernel="vectorized")
+
+            out.append(_time_case("connected", "vectorized-het", n,
+                                  solve_exact, repeats, 3000, False))
+        else:
+            notes.append(
+                f"connected/vectorized-het/n={n}: exact per-miner "
+                f"reference skipped (O(n) per consistency eval at "
+                f"n={n}; correctness is anchored by the differential "
+                f"suite at small n and the certified bound)")
+    return out
+
+
 def run_bench(sizes: Optional[Sequence[int]] = None,
               repeats: Optional[int] = None,
               quick: bool = False,
-              solvers: Optional[Sequence[str]] = None) -> BenchReport:
+              solvers: Optional[Sequence[str]] = None,
+              typespace_sizes: Optional[Sequence[int]] = None
+              ) -> BenchReport:
     """Run the kernel benchmark suite and return a :class:`BenchReport`.
 
     Args:
@@ -327,11 +414,17 @@ def run_bench(sizes: Optional[Sequence[int]] = None,
         quick: CI-smoke preset — small sizes, fewer repeats.
         solvers: Subset of ``("connected", "standalone",
             "extragradient")`` to run; ``None`` runs all three.
+        typespace_sizes: Miner counts of the compressed type-space
+            cases (heterogeneous budgets, ``k = TYPESPACE_K``);
+            defaults to :data:`TYPESPACE_SIZES` on full *preset* runs
+            (``sizes=None``, not ``quick``) and to none otherwise.
+            Pass an empty sequence to skip explicitly.
 
     Each case is also solved once inside a fresh telemetry session to
     record operator-eval counters (sweeps, VI operator evaluations);
     see the module docstring for the capping policy.
     """
+    preset_run = sizes is None
     if sizes is None:
         sizes = QUICK_SIZES if quick else DEFAULT_SIZES
     sizes = [int(n) for n in sizes]
@@ -346,6 +439,14 @@ def run_bench(sizes: Optional[Sequence[int]] = None,
     if unknown:
         raise ValueError(f"unknown solvers {unknown}; pick from "
                          f"{_SOLVERS}")
+    if typespace_sizes is None:
+        typespace_sizes = (TYPESPACE_SIZES
+                           if preset_run and not quick else ())
+    typespace_sizes = [int(n) for n in typespace_sizes]
+    if any(n < 2 for n in typespace_sizes):
+        raise ValueError(
+            f"typespace sizes need at least 2 miners, got "
+            f"{typespace_sizes}")
 
     notes: List[str] = []
     cases: List[BenchCaseResult] = []
@@ -355,16 +456,25 @@ def run_bench(sizes: Optional[Sequence[int]] = None,
         cases.extend(_standalone_cases(sizes, repeats, notes))
     if "extragradient" in chosen:
         cases.extend(_extragradient_cases(sizes, repeats, notes))
+    if "connected" in chosen and typespace_sizes:
+        cases.extend(_typespace_cases(typespace_sizes, repeats, notes))
 
     by_id = {c.case_id: c for c in cases}
     speedups: Dict[str, float] = {}
     for case in cases:
-        if case.kernel != "vectorized" or case.median_s <= 0:
+        if case.median_s <= 0:
             continue
-        scalar = by_id.get(f"{case.solver}/scalar/n={case.n}")
-        if scalar is not None and scalar.median_s > 0:
-            speedups[f"{case.solver}/n={case.n}"] = \
-                scalar.median_s / case.median_s
+        if case.kernel == "vectorized":
+            scalar = by_id.get(f"{case.solver}/scalar/n={case.n}")
+            if scalar is not None and scalar.median_s > 0:
+                speedups[f"{case.solver}/n={case.n}"] = \
+                    scalar.median_s / case.median_s
+        elif case.kernel == "typespace":
+            exact = by_id.get(
+                f"{case.solver}/vectorized-het/n={case.n}")
+            if exact is not None and exact.median_s > 0:
+                speedups[f"{case.solver}/n={case.n}/typespace"] = \
+                    exact.median_s / case.median_s
     return BenchReport(schema=SCHEMA_VERSION, quick=quick,
                        repeats=repeats, sizes=sizes, cases=cases,
                        speedups=speedups, notes=notes)
@@ -375,32 +485,47 @@ def compare_reports(current: BenchReport, baseline: BenchReport,
     """Regression check of ``current`` against ``baseline``.
 
     Both reports are normalized by the geometric mean of the median
-    times over their *shared* cases (same ``case_id`` and same capping
-    state), which cancels uniform machine-speed differences; a case
-    regresses when its normalized median grew by more than
-    ``tolerance`` (relative).  Returns one human-readable line per
-    regression — an empty list means the check passed.
+    times over their *shared* cases (same ``case_id``, same capping
+    state, and same convergence state), which cancels uniform
+    machine-speed differences; a case regresses when its normalized
+    median grew by more than ``tolerance`` (relative).  Returns one
+    human-readable line per regression — an empty list means the check
+    passed.
+
+    A case that converged in the baseline but not in the current run
+    is **never** silently dropped into the geomean: it is excluded
+    from normalization (its timing is meaningless — it gave up, it did
+    not finish) *and* reported as a regression in its own right.
+    Capped sweeping cases legitimately report non-convergence in both
+    reports and stay comparable; an uncapped case losing convergence
+    is a correctness regression, not a timing artifact.
     """
     if tolerance < 0:
         raise ValueError(f"tolerance must be >= 0, got {tolerance}")
     cur = {c.case_id: c for c in current.cases}
     base = {c.case_id: c for c in baseline.cases}
+    regressions = []
+    for key in sorted(set(cur) & set(base)):
+        if base[key].converged and not cur[key].converged:
+            regressions.append(
+                f"{key}: did not converge (baseline converged; "
+                f"excluded from the timing geomean)")
     common = sorted(
         key for key in cur
         if key in base
         and cur[key].capped == base[key].capped
+        and cur[key].converged == base[key].converged
         and cur[key].median_s > 0 and base[key].median_s > 0)
     if len(common) < 2:
         # One shared case normalizes to exactly 1.0 against itself;
         # nothing meaningful to compare.
-        return []
+        return regressions
 
     def geomean(values: List[float]) -> float:
         return math.exp(sum(math.log(v) for v in values) / len(values))
 
     norm_cur = geomean([cur[k].median_s for k in common])
     norm_base = geomean([base[k].median_s for k in common])
-    regressions = []
     for key in common:
         rel_cur = cur[key].median_s / norm_cur
         rel_base = base[key].median_s / norm_base

@@ -1,0 +1,244 @@
+"""Type-space equilibrium solves with certified error bounds.
+
+Scales the connected-mode NEP from thousands to **millions of miners**
+by solving in compressed type space:
+
+1. :func:`repro.population.compress.compress_budgets` buckets the
+   heterogeneous budget vector into ``k`` weighted types (quantile
+   buckets, near-equal head-counts);
+2. :func:`repro.kernels.aggregate.solve_weighted_connected_aggregate`
+   solves the **bucketed game** — the game in which every miner's
+   budget is replaced by its bucket representative — *exactly*: by
+   uniqueness (Theorem 2) and the symmetry of identical miners, the
+   weighted type solve is the exact per-miner equilibrium of that
+   perturbed game, at ``O(k)`` cost per consistency evaluation;
+3. the per-type strategies are expanded back to per-miner strategies
+   (budget-clipped so no miner's *true* budget is ever violated);
+4. an **error bound** against the exact heterogeneous equilibrium is
+   certified from two more ``O(k)`` solves: rounding every budget down
+   to its bucket floor and up to its bucket ceiling brackets the true
+   equilibrium totals (equilibrium totals are monotone in budgets:
+   enlarging any miner's feasible set weakly raises each
+   single-crossing consistency root), and per-miner responses at fixed
+   totals are 1-Lipschitz in each total within a regime, so
+
+   ``|x_i - x_i*| <= (S_hi - S_lo) + (E_hi - E_lo) + width_i / p_min``
+
+   per coordinate, where ``width_i`` is miner ``i``'s bucket width and
+   ``p_min = min(P_e, P_c)`` converts a budget perturbation into a
+   strategy perturbation.  The width term is charged only to buckets
+   whose budget can actually bind: the unconstrained best response is
+   a function of the totals alone (a miner's budget enters only
+   through its constraint), so a type whose observed spending sits
+   below its bucket's *minimum* budget by more than the spending
+   travel of the totals bracket, ``(P_e + P_c)(span_S + span_E)``, is
+   provably unconstrained at every totals pair in the bracket —
+   including the true equilibrium's — and budget rounding cannot move
+   it at all.  The implementation uses the *envelope* of the three
+   solves (lo/mid/hi), so a numerically inverted bracket widens the
+   bound instead of invalidating it.  ``k = n`` (or an
+   all-zero-width compression) short-circuits to the exact per-miner
+   aggregate solve with a zero bound — bit-for-bit identical to the
+   uncompressed ``vectorized`` kernel.
+
+Error-bound semantics, when compression is exact, and the differential
+test battery that enforces ``measured error <= reported bound`` are
+documented in ``docs/SCALING.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..population.compress import CompressedPopulation, compress_budgets
+from .aggregate import (AggregateSolution, solve_connected_aggregate,
+                        solve_weighted_connected_aggregate)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.params import GameParameters, Prices
+
+__all__ = ["TypeSpaceSolution", "solve_connected_typespace"]
+
+#: Relative slack added to every certified bound for the (near-machine-
+#: precision) consistency-root tolerance of the three inner solves.
+_SOLVER_SLACK = 1e-9
+
+
+@dataclass(frozen=True)
+class TypeSpaceSolution:
+    """A compressed connected-mode equilibrium with its certificate.
+
+    Attributes:
+        e: Per-miner ESP requests, shape ``(n,)`` (expanded,
+            budget-clipped).
+        c: Per-miner CSP requests, shape ``(n,)``.
+        type_e: Per-type ESP requests, shape ``(k,)``.
+        type_c: Per-type CSP requests, shape ``(k,)``.
+        compression: The bucketing this solve used.
+        error_bound: Certified per-coordinate bound on
+            ``max_i max(|e_i - e_i*|, |c_i - c_i*|)`` against the exact
+            heterogeneous equilibrium (0.0 on the exact path).
+        exact: Whether the solution *is* the exact equilibrium
+            (identity/zero-width compression).
+        evals: Consistency-function evaluations across all solves.
+        s_bracket: Envelope ``(S_min, S_max)`` of the total-spending
+            aggregate over the lo/mid/hi solves (equal on the exact
+            path).
+        e_bracket: Envelope ``(E_min, E_max)`` of the edge aggregate.
+    """
+
+    e: np.ndarray
+    c: np.ndarray
+    type_e: np.ndarray
+    type_c: np.ndarray
+    compression: CompressedPopulation
+    error_bound: float
+    exact: bool
+    evals: int
+    s_bracket: Tuple[float, float]
+    e_bracket: Tuple[float, float]
+
+    @property
+    def total_edge(self) -> float:
+        """``E = Σ e_i`` of the expanded profile."""
+        return float(np.sum(self.e))
+
+    @property
+    def total_cloud(self) -> float:
+        """``C = Σ c_i`` of the expanded profile."""
+        return float(np.sum(self.c))
+
+
+def _totals(sol: AggregateSolution,
+            weights: np.ndarray) -> Tuple[float, float]:
+    """Weighted aggregates ``(S, E)`` of a per-type solution."""
+    e_tot = float(np.sum(weights * sol.e))
+    return e_tot + float(np.sum(weights * sol.c)), e_tot
+
+
+def solve_connected_typespace(params: "GameParameters",
+                              prices: "Prices",
+                              n_types: int,
+                              nu: float = 0.0,
+                              compression: Optional[
+                                  CompressedPopulation] = None,
+                              ) -> TypeSpaceSolution:
+    """Compressed connected-mode NEP solve with a certified bound.
+
+    Args:
+        params: :class:`~repro.core.params.GameParameters` (the full
+            heterogeneous population).
+        prices: Announced SP prices.
+        n_types: Target type count ``k``; ``k >= n`` is the exact
+            per-miner path.
+        nu: Shared-capacity multiplier of the GNEP decomposition
+            (perceived edge price ``P_e + nu``, budget charged at
+            ``P_e`` — identical to the exact kernel).
+        compression: Pre-computed bucketing to reuse (must match
+            ``params.budget_array``); ``None`` computes it.
+
+    Returns:
+        :class:`TypeSpaceSolution`.
+    """
+    if n_types < 1:
+        raise ConfigurationError(
+            f"n_types must be >= 1, got {n_types}")
+    budgets = np.asarray(params.budget_array, dtype=float)
+    comp = (compress_budgets(budgets, n_types)
+            if compression is None else compression)
+    if comp.n != params.n:
+        raise ConfigurationError(
+            f"compression covers {comp.n} miners, game has {params.n}")
+
+    reward = float(params.reward)
+    beta = float(params.fork_rate)
+    gamma = beta * float(params.effective_h)
+    p_e = float(prices.p_e)
+    p_c = float(prices.p_c)
+
+    if comp.is_identity:
+        exact_sol = solve_connected_aggregate(params, prices, nu=nu)
+        s_tot, e_tot = _totals(exact_sol, np.ones(params.n))
+        return TypeSpaceSolution(
+            e=np.asarray(exact_sol.e, dtype=float),
+            c=np.asarray(exact_sol.c, dtype=float),
+            type_e=np.asarray(exact_sol.e, dtype=float),
+            type_c=np.asarray(exact_sol.c, dtype=float),
+            compression=comp, error_bound=0.0, exact=True,
+            evals=exact_sol.evals, s_bracket=(s_tot, s_tot),
+            e_bracket=(e_tot, e_tot))
+
+    mid = solve_weighted_connected_aggregate(
+        comp.budgets, comp.weights, reward, beta, gamma, p_e, p_c,
+        nu=nu)
+    s_mid, e_mid = _totals(mid, comp.weights)
+    evals = mid.evals
+
+    if comp.max_width == 0.0:  # repro: noqa[RPR002] — exact sentinel
+        # Zero-width buckets: the bucketed game *is* the true game
+        # (identical budgets collapse into one type exactly), so the
+        # only residual is the consistency-root tolerance itself.
+        span_s = span_e = 0.0
+        rounding = 0.0
+        s_bracket = (s_mid, s_mid)
+        e_bracket = (e_mid, e_mid)
+        exact = True
+    else:
+        lo_sol = solve_weighted_connected_aggregate(
+            comp.lo, comp.weights, reward, beta, gamma, p_e, p_c,
+            nu=nu)
+        hi_sol = solve_weighted_connected_aggregate(
+            comp.hi, comp.weights, reward, beta, gamma, p_e, p_c,
+            nu=nu)
+        evals += lo_sol.evals + hi_sol.evals
+        s_lo, e_lo = _totals(lo_sol, comp.weights)
+        s_hi, e_hi = _totals(hi_sol, comp.weights)
+        s_bracket = (min(s_lo, s_mid, s_hi), max(s_lo, s_mid, s_hi))
+        e_bracket = (min(e_lo, e_mid, e_hi), max(e_lo, e_mid, e_hi))
+        span_s = s_bracket[1] - s_bracket[0]
+        span_e = e_bracket[1] - e_bracket[0]
+        # Charge the budget-rounding term only to buckets that can
+        # bind anywhere in the totals bracket (see module docstring):
+        # spending of an unconstrained type is 1-Lipschitz-in-each-
+        # total times prices, so slack beyond `travel` certifies the
+        # whole bucket unconstrained at the true equilibrium too.
+        travel = (p_e + p_c) * (span_s + span_e)
+        spends = [p_e * sol.e + p_c * sol.c
+                  for sol in (lo_sol, mid, hi_sol)]
+        max_spend = np.maximum(np.maximum(spends[0], spends[1]),
+                               spends[2])
+        slack = comp.lo - max_spend
+        tol_abs = 1e-12 * np.maximum(1.0, comp.lo)
+        maybe_binding = slack <= travel + tol_abs
+        widths = comp.hi - comp.lo
+        rounding = (float(np.max(widths[maybe_binding]))
+                    / min(p_e, p_c)
+                    if bool(np.any(maybe_binding)) else 0.0)
+        exact = False
+
+    scale = max(1.0, s_bracket[1])
+    error_bound = (0.0 if exact else
+                   span_s + span_e + rounding + _SOLVER_SLACK * scale)
+
+    # Expand the per-type strategies to miners and clip each miner onto
+    # its *true* budget: a representative above B_i can overspend by at
+    # most width_i, and the uniform shrink that repairs it moves each
+    # coordinate by at most width_i / p_min — already inside the bound.
+    e_full = comp.expand(mid.e)
+    c_full = comp.expand(mid.c)
+    spend = p_e * e_full + p_c * c_full
+    with np.errstate(divide="ignore", invalid="ignore"):
+        shrink = np.where(spend > budgets, budgets / np.maximum(
+            spend, 1e-300), 1.0)
+    e_full = e_full * shrink
+    c_full = c_full * shrink
+    return TypeSpaceSolution(
+        e=e_full, c=c_full,
+        type_e=np.asarray(mid.e, dtype=float),
+        type_c=np.asarray(mid.c, dtype=float),
+        compression=comp, error_bound=float(error_bound), exact=exact,
+        evals=evals, s_bracket=s_bracket, e_bracket=e_bracket)

@@ -1,11 +1,19 @@
 """Miner-population models (Section V): fixed counts for permissioned
 chains, discretized Gaussian counts for permissionless chains, and seeded
-per-block churn processes for the RL framework."""
+per-block churn processes for the RL framework.
 
+:mod:`repro.population.compress` adds deterministic quantile
+compression of heterogeneous budget vectors into weighted types — the
+population half of the type-space scaling layer
+(:mod:`repro.kernels.typespace`)."""
+
+from .compress import CompressedPopulation, compress_budgets
 from .distribution import FixedPopulation, GaussianPopulation, PopulationModel
 from .sampler import BlockPopulation, PopulationProcess
 
 __all__ = [
+    "CompressedPopulation",
+    "compress_budgets",
     "FixedPopulation",
     "GaussianPopulation",
     "PopulationModel",

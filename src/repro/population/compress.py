@@ -1,0 +1,166 @@
+"""Quantile compression of heterogeneous budgets into weighted types.
+
+The miner subgame is aggregative: a miner's equilibrium strategy
+depends on its own budget and on the population only through the totals
+``S = Σ s_i`` and ``E = Σ e_i``.  Two miners with the *same* budget
+therefore play the same strategy (the equilibrium is unique, Theorem 2,
+and symmetric under identical primitives), so a population of ``n``
+miners with only ``k`` distinct budgets is solved exactly by ``k``
+weighted types.  For genuinely heterogeneous budgets,
+:func:`compress_budgets` buckets the population on budget quantiles —
+near-equal head-counts per bucket — and records everything the
+type-space solver (:mod:`repro.kernels.typespace`) needs to certify the
+approximation: the bucket extremes ``lo``/``hi`` bound how far any
+miner's true budget sits from its representative, which translates into
+a computable equilibrium error bound (see ``docs/SCALING.md``).
+
+Compression is deterministic (pure ``argsort`` + rank arithmetic, no
+RNG) so cache keys built from ``n_types`` are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["CompressedPopulation", "compress_budgets"]
+
+#: Numpy array alias used throughout (strict-typing friendly).
+_Array = np.ndarray
+
+
+@dataclass(frozen=True)
+class CompressedPopulation:
+    """A budget population bucketed into ``k`` weighted types.
+
+    Attributes:
+        budgets: Representative (bucket-mean) budget per type,
+            shape ``(k,)``, ascending.
+        lo: Smallest true budget in each bucket, shape ``(k,)``.
+        hi: Largest true budget in each bucket, shape ``(k,)``.
+        weights: Miner head-count per type, shape ``(k,)`` (floats;
+            the aggregative sums only need linearity).
+        index: Type index of every original miner, shape ``(n,)``.
+    """
+
+    budgets: _Array
+    lo: _Array
+    hi: _Array
+    weights: _Array
+    index: _Array
+
+    def __post_init__(self) -> None:
+        k = self.budgets.shape[0]
+        for name in ("lo", "hi", "weights"):
+            if getattr(self, name).shape != (k,):
+                raise ConfigurationError(
+                    f"{name} must have shape ({k},)")
+        if np.any(self.lo > self.budgets) or np.any(self.budgets > self.hi):
+            raise ConfigurationError(
+                "bucket representatives must lie inside [lo, hi]")
+
+    @property
+    def n(self) -> int:
+        """Original miner count."""
+        return int(self.index.shape[0])
+
+    @property
+    def k(self) -> int:
+        """Number of types."""
+        return int(self.budgets.shape[0])
+
+    @property
+    def max_width(self) -> float:
+        """Largest bucket width ``max(hi - lo)`` — the budget-rounding
+        radius entering the certified error bound."""
+        return float(np.max(self.hi - self.lo))
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether every miner is its own type in original order
+        (``k == n``); the type solve is then the per-miner solve."""
+        return self.k == self.n and bool(
+            np.all(self.index == np.arange(self.n)))
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the bucketed game equals the true game exactly
+        (identity compression, or every bucket has zero width)."""
+        # Exact-zero is the sentinel: a width of literal 0.0 means
+        # every bucket's members share one budget bit-for-bit.
+        return (self.is_identity
+                or self.max_width == 0.0)  # repro: noqa[RPR002]
+
+    def expand(self, per_type: _Array) -> _Array:
+        """Broadcast a per-type array ``(k,)`` back to miners ``(n,)``."""
+        values = np.asarray(per_type, dtype=float)
+        if values.shape != (self.k,):
+            raise ConfigurationError(
+                f"expected shape ({self.k},), got {values.shape}")
+        return values[self.index]
+
+
+def compress_budgets(budgets: Union[_Array, "list[float]"],
+                     n_types: int) -> CompressedPopulation:
+    """Quantile-bucket a budget vector into ``n_types`` weighted types.
+
+    Miners are ranked by budget and split into ``n_types`` contiguous
+    rank buckets of near-equal head-count; each bucket becomes one type
+    whose representative budget is the bucket mean.  ``n_types >= n``
+    returns the identity compression (every miner its own type, in the
+    original order, zero bucket widths).
+
+    Args:
+        budgets: Per-miner budgets, shape ``(n,)``, strictly positive.
+        n_types: Target type count ``k >= 1``.
+
+    Returns:
+        :class:`CompressedPopulation`; ``O(n log n)`` and
+        deterministic.
+    """
+    arr = np.asarray(budgets, dtype=float)
+    if arr.ndim != 1 or arr.shape[0] < 1:
+        raise ConfigurationError(
+            "budgets must be a non-empty 1-D array")
+    if np.any(arr <= 0.0) or not np.all(np.isfinite(arr)):
+        raise ConfigurationError(
+            "all budgets must be positive and finite")
+    if n_types < 1:
+        raise ConfigurationError(
+            f"n_types must be >= 1, got {n_types}")
+    n = int(arr.shape[0])
+    if n_types >= n:
+        return CompressedPopulation(
+            budgets=arr.copy(), lo=arr.copy(), hi=arr.copy(),
+            weights=np.ones(n), index=np.arange(n))
+
+    k = int(n_types)
+    order = np.argsort(arr, kind="stable")
+    # Rank r lands in bucket floor(r * k / n): contiguous, every bucket
+    # non-empty (k <= n), head-counts differing by at most one.
+    bucket_of_rank = (np.arange(n) * k) // n
+    index = np.empty(n, dtype=np.intp)
+    index[order] = bucket_of_rank
+    sorted_budgets = arr[order]
+    # Per-bucket boundaries in rank space: bucket b covers ranks
+    # [ceil(b n / k), ceil((b+1) n / k)).
+    starts = -(-(np.arange(k) * n) // k)
+    ends = -(-((np.arange(k) + 1) * n) // k)
+    reps = np.empty(k)
+    lo = np.empty(k)
+    hi = np.empty(k)
+    weights = np.empty(k)
+    for b in range(k):
+        members = sorted_budgets[starts[b]:ends[b]]
+        reps[b] = float(np.mean(members))
+        lo[b] = float(members[0])
+        hi[b] = float(members[-1])
+        weights[b] = float(ends[b] - starts[b])
+    # Guard against float noise pushing the mean outside the bucket.
+    reps = np.clip(reps, lo, hi)
+    return CompressedPopulation(budgets=reps, lo=lo, hi=hi,
+                                weights=weights, index=index)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 import math
+from typing import Optional
 
 import numpy as np
 
@@ -48,17 +49,18 @@ class PopulationModel(abc.ABC):
         mu = float(np.dot(ks, p))
         return float(np.dot((ks - mu) ** 2, p))
 
-    def sample(self, rng: np.random.Generator, size: int = None):
+    def sample(self, rng: np.random.Generator,
+               size: Optional[int] = None) -> np.ndarray:
         """Sample miner counts using the discretized pmf."""
         ks = self.support()
         p = self.pmf()
-        return rng.choice(ks, size=size, p=p)
+        return np.asarray(rng.choice(ks, size=size, p=p))
 
 
 class FixedPopulation(PopulationModel):
     """Degenerate model: exactly ``n`` miners (the Section IV scenario)."""
 
-    def __init__(self, n: int):
+    def __init__(self, n: int) -> None:
         if n < 1:
             raise ConfigurationError(f"miner count must be >= 1, got {n}")
         self.n = int(n)
@@ -91,7 +93,8 @@ class GaussianPopulation(PopulationModel):
         tail_sigmas: Width of the retained support in standard deviations.
     """
 
-    def __init__(self, mu: float, sigma: float, tail_sigmas: float = 6.0):
+    def __init__(self, mu: float, sigma: float,
+                 tail_sigmas: float = 6.0) -> None:
         if mu <= 0:
             raise ConfigurationError(f"mu must be positive, got {mu}")
         if sigma <= 0:

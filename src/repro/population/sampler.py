@@ -43,7 +43,7 @@ class PopulationProcess:
     """
 
     def __init__(self, model: PopulationModel, pool_size: int,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         if pool_size < 1:
             raise ConfigurationError("pool_size must be >= 1")
         max_support = int(np.max(model.support()))

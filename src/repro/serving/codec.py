@@ -67,6 +67,8 @@ def _encode_miner(eq: MinerEquilibrium) -> Dict[str, Any]:
         "prices": {"p_e": eq.prices.p_e, "p_c": eq.prices.p_c},
         "report": eq.report.to_dict(history_tail=50),
         "nu": float(eq.nu),
+        "error_bound": (None if eq.error_bound is None
+                        else float(eq.error_bound)),
     }
 
 
@@ -79,6 +81,8 @@ def _decode_miner(payload: Dict[str, Any]) -> MinerEquilibrium:
                       p_c=float(payload["prices"]["p_c"])),
         report=ConvergenceReport.from_dict(payload["report"]),
         nu=float(payload.get("nu", 0.0)),
+        error_bound=(None if payload.get("error_bound") is None
+                     else float(payload["error_bound"])),
     )
 
 
@@ -123,6 +127,8 @@ def encode_spec(spec: ScenarioSpec) -> Dict[str, Any]:
         "tol": spec.tol,
         "kernel": spec.kernel,
     }
+    if spec.n_types is not None:
+        payload["n_types"] = int(spec.n_types)
     if spec.label:
         payload["label"] = spec.label
     return payload
@@ -141,6 +147,8 @@ def decode_spec(payload: Dict[str, Any]) -> ScenarioSpec:
             scheme=str(payload.get("scheme", "auto")),
             tol=float(payload.get("tol", 1e-9)),
             kernel=str(payload.get("kernel", "vectorized")),
+            n_types=(None if payload.get("n_types") is None
+                     else int(payload["n_types"])),
             label=str(payload.get("label", "")),
         )
     except (KeyError, TypeError, ValueError) as ex:

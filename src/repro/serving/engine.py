@@ -107,13 +107,15 @@ def _solve_scenario(spec: ScenarioSpec, warm: Optional[WarmStart],
             guarded = guarded_stackelberg(
                 params, guard=SolverGuard(), scheme=spec.scheme,
                 demand_tol=spec.tol, warm_start=warm_prices,
-                warm_profile=warm_profile, kernel=spec.kernel)
+                warm_profile=warm_profile, kernel=spec.kernel,
+                n_types=spec.n_types)
             return guarded.value, guarded.solver, guarded.degraded
         se = solve_stackelberg(params, scheme=spec.scheme,
                                demand_tol=spec.tol,
                                warm_start=warm_prices,
                                warm_profile=warm_profile,
-                               kernel=spec.kernel)
+                               kernel=spec.kernel,
+                               n_types=spec.n_types)
         return se, f"stackelberg-{se.scheme}", False
 
     if spec.scheme not in _MINER_SCHEMES:
@@ -133,16 +135,19 @@ def _solve_scenario(spec: ScenarioSpec, warm: Optional[WarmStart],
                                      "best-response"):
         guarded = guarded_miner_equilibrium(
             params, prices, guard=SolverGuard(), tol=spec.tol,
-            initial=warm_profile, kernel=spec.kernel)
+            initial=warm_profile, kernel=spec.kernel,
+            n_types=spec.n_types)
         return guarded.value, guarded.solver, guarded.degraded
     if params.mode is EdgeMode.STANDALONE:
         eq = solve_standalone_equilibrium(params, prices, tol=spec.tol,
                                           initial=warm_profile,
-                                          kernel=spec.kernel)
+                                          kernel=spec.kernel,
+                                          n_types=spec.n_types)
         return eq, "gnep-decomposition", False
     eq = solve_connected_equilibrium(params, prices, tol=spec.tol,
                                      initial=warm_profile,
-                                     kernel=spec.kernel)
+                                     kernel=spec.kernel,
+                                     n_types=spec.n_types)
     return eq, "nep-best-response", False
 
 

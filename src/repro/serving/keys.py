@@ -65,6 +65,10 @@ class ScenarioSpec:
             reproduce the golden reference path bit-for-bit. Part of
             the cache key: results solved under different kernels
             agree only to solver tolerance, not bit-for-bit.
+        n_types: Type-space compression level for the follower solves
+            (:mod:`repro.kernels.typespace`); ``None`` solves exactly.
+            Part of the cache key: compressed results carry a certified
+            approximation bound, so they must never alias exact ones.
         label: Free-form tag (not part of the cache key).
     """
 
@@ -73,6 +77,7 @@ class ScenarioSpec:
     scheme: str = "auto"
     tol: float = 1e-9
     kernel: str = "vectorized"
+    n_types: Optional[int] = None
     label: str = field(default="", compare=False)
 
     @property
@@ -90,6 +95,7 @@ def _spec_fields(spec: ScenarioSpec,
         "mode": p.mode.value,
         "scheme": spec.scheme,
         "kernel": spec.kernel,
+        "n_types": spec.n_types,
         "quantum": repr(float(quantum)),
         "tol": quantize(spec.tol, quantum),
         "reward": quantize(p.reward, quantum),
@@ -120,15 +126,18 @@ def scenario_key(spec: ScenarioSpec,
     return f"{spec.kind}:{spec.params.mode.value}:{digest}"
 
 
-def family_key(spec: ScenarioSpec) -> Tuple[str, str, str, int]:
+def family_key(spec: ScenarioSpec
+               ) -> Tuple[str, str, str, int, Optional[int]]:
     """Grouping key for nearest-neighbor warm-start lookup.
 
-    Only scenarios of the same kind, mode, scheme, and miner count are
-    comparable in feature space (the feature vector's length and meaning
-    depend on all four).
+    Only scenarios of the same kind, mode, scheme, miner count, and
+    compression level are comparable in feature space (the feature
+    vector's length and meaning depend on the first four; mixing exact
+    and compressed solves would seed warm starts across different
+    accuracy classes).
     """
     return (spec.kind, spec.params.mode.value, spec.scheme,
-            spec.params.n)
+            spec.params.n, spec.n_types)
 
 
 def feature_vector(spec: ScenarioSpec) -> np.ndarray:

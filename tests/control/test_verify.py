@@ -6,7 +6,8 @@ import math
 
 import pytest
 
-from repro.control import (CheckResult, EnterDegradedMode, FlushCache,
+from repro.control import (CheckResult, CompressScenario,
+                           EnterDegradedMode, FlushCache,
                            RebuildWarmIndex, Remediation, ResizeCache,
                            SwitchKernel, TightenRetryPolicy, Verifier,
                            check_all_cloud_limit,
@@ -14,6 +15,7 @@ from repro.control import (CheckResult, EnterDegradedMode, FlushCache,
                            check_retry_policy_invariants,
                            check_serving_matches_direct,
                            check_standalone_cross_solver,
+                           check_typespace_compression,
                            run_golden_checks)
 from repro.control.verify import quiet_telemetry
 from repro.resilience import RetryPolicy
@@ -55,6 +57,31 @@ class TestGoldenChecks:
         assert len(results) == 4
         assert all(r.ok for r in results), \
             [r.detail for r in results if not r.ok]
+
+
+class TestTypespaceCompressionCheck:
+    def test_bound_honored_on_scratch_population(self):
+        result = check_typespace_compression(16, n_miners=128)
+        assert result.ok
+        assert math.isfinite(result.max_error)
+        assert "certified bound" in result.detail
+
+    def test_never_vacuous_via_identity_path(self):
+        # A production n_types above the scratch population must not
+        # short-circuit to the exact identity path (bound 0, error 0):
+        # that would "verify" nothing about actual compression.
+        result = check_typespace_compression(512, n_miners=128)
+        assert result.ok
+        assert "k=64" in result.detail
+        assert result.max_error > 0.0
+
+    def test_max_bound_rejects_loose_certificate(self):
+        result = check_typespace_compression(8, n_miners=128,
+                                             max_bound=1e-12)
+        assert not result.ok
+
+    def test_bad_n_types_fails_instead_of_raising(self):
+        assert not check_typespace_compression(0).ok
 
 
 class TestRetryPolicyCheck:
@@ -99,6 +126,12 @@ class TestVerifierMapping:
         verifier = Verifier()
         assert verifier.verify(RebuildWarmIndex()).ok
         assert verifier.verify(TightenRetryPolicy()).ok
+
+    def test_compress_scenario_gated_by_typespace_check(self):
+        report = Verifier().verify(CompressScenario(n_types=64))
+        assert report.ok
+        assert any("typespace-compression" in c.name
+                   for c in report.checks)
 
     def test_unknown_remediation_fails_closed(self):
         class Mystery(Remediation):

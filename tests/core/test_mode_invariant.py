@@ -1,0 +1,133 @@
+"""The interior total ``S*`` is a mode-independent invariant.
+
+Corollary 1 gives the per-miner interior total
+
+    ``s* = e* + c* = (1 - β) R (n - 1) / (n² P_c)``
+
+and the striking fact — load-bearing for the type-space compression
+certificate — is that it depends on *neither* the edge mode, the hash
+discount ``h``, nor a standalone capacity ``E_max`` (even a binding
+one): the consistency condition that pins the total involves only the
+cloud price, while ``h``, the edge premium and the capacity multiplier
+``ν`` only move the edge/cloud *split*.  These tests assert the
+numeric solvers reproduce that invariant exactly where the closed form
+predicts it, across modes and kernels, on hypothesis-drawn parameter
+points kept inside the interior (slack-budget, mixed-strategy) regime.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (EdgeMode, Prices, homogeneous,
+                        solve_connected_equilibrium,
+                        solve_standalone_equilibrium)
+from repro.core.closed_form import (binding_budget_threshold,
+                                    corollary1_interior)
+from repro.core.params import mixed_strategy_price_bound
+
+
+def _interior_total(n, reward, beta, p_c):
+    """Per-miner ``s* = (1 - β) R (n - 1) / (n² P_c)``."""
+    return (1.0 - beta) * reward * (n - 1) / (n * n * p_c)
+
+
+def _interior_game(n, reward, beta, h, p_e, p_c_frac, mode, e_max=None):
+    """A homogeneous game pinned inside the interior regime."""
+    p_c = p_c_frac * min(p_e, mixed_strategy_price_bound(beta, h, p_e))
+    prices = Prices(p_e=p_e, p_c=p_c)
+    budget = 10.0 * binding_budget_threshold(n, reward, beta, h)
+    kwargs = {"reward": reward, "fork_rate": beta}
+    if mode is EdgeMode.STANDALONE:
+        kwargs.update(mode=mode, e_max=e_max)
+    else:
+        kwargs.update(h=h)
+    return homogeneous(n, budget, **kwargs), prices
+
+
+# Narrow-but-representative draws: the invariant is exact everywhere in
+# the interior regime, so breadth matters more than extremity.
+_BETA = st.floats(0.05, 0.5)
+_H = st.floats(0.3, 1.0)
+_PE = st.floats(1.5, 3.0)
+_PCF = st.floats(0.3, 0.9)
+_N = st.integers(3, 24)
+_REWARD = st.floats(200.0, 5000.0)
+
+
+class TestConnectedInvariant:
+    @given(n=_N, reward=_REWARD, beta=_BETA, h=_H, p_e=_PE,
+           p_c_frac=_PCF)
+    @settings(max_examples=40, deadline=None)
+    def test_total_is_h_independent(self, n, reward, beta, h, p_e,
+                                    p_c_frac):
+        params, prices = _interior_game(n, reward, beta, h, p_e,
+                                        p_c_frac, EdgeMode.CONNECTED)
+        eq = solve_connected_equilibrium(params, prices,
+                                         kernel="vectorized")
+        assert eq.converged
+        want = n * _interior_total(n, reward, beta, prices.p_c)
+        assert eq.total == pytest.approx(want, rel=1e-6)
+        # And it is exactly the closed form's total, per miner.
+        cf = corollary1_interior(n, reward, beta, h, prices)
+        assert eq.total / n == pytest.approx(cf.e + cf.c, rel=1e-6)
+
+    @given(n=st.integers(3, 10), beta=_BETA, h=_H, p_c_frac=_PCF)
+    @settings(max_examples=15, deadline=None)
+    def test_scalar_kernel_agrees(self, n, beta, h, p_c_frac):
+        params, prices = _interior_game(n, 1000.0, beta, h, 2.0,
+                                        p_c_frac, EdgeMode.CONNECTED)
+        eq = solve_connected_equilibrium(params, prices,
+                                         kernel="scalar")
+        want = n * _interior_total(n, 1000.0, beta, prices.p_c)
+        assert eq.total == pytest.approx(want, rel=1e-6)
+
+
+class TestStandaloneInvariant:
+    @given(n=st.integers(3, 12), reward=_REWARD, beta=_BETA, p_e=_PE,
+           p_c_frac=_PCF)
+    @settings(max_examples=20, deadline=None)
+    def test_slack_capacity_matches_connected_total(self, n, reward,
+                                                    beta, p_e,
+                                                    p_c_frac):
+        # Standalone mode fixes h = 1; with a slack E_max the solve
+        # must land on the same interior total as connected h = 1.
+        want = n * _interior_total(n, reward, beta,
+                                   p_c_frac * min(
+                                       p_e, mixed_strategy_price_bound(
+                                           beta, 1.0, p_e)))
+        params, prices = _interior_game(
+            n, reward, beta, 1.0, p_e, p_c_frac, EdgeMode.STANDALONE,
+            e_max=10.0 * want)
+        eq = solve_standalone_equilibrium(params, prices,
+                                          kernel="vectorized")
+        assert eq.converged
+        assert eq.nu == 0.0
+        assert eq.total == pytest.approx(want, rel=1e-6)
+
+    @given(n=st.integers(3, 12), beta=_BETA, p_c_frac=_PCF)
+    @settings(max_examples=15, deadline=None)
+    def test_binding_capacity_moves_split_not_total(self, n, beta,
+                                                    p_c_frac):
+        # A binding E_max prices edge via ν > 0: the edge/cloud split
+        # shifts toward cloud, but the invariant total survives —
+        # the capacity multiplier never enters the total's fixed point.
+        reward, p_e = 1000.0, 2.0
+        free_params, prices = _interior_game(
+            n, reward, beta, 1.0, p_e, p_c_frac, EdgeMode.STANDALONE,
+            e_max=1e9)
+        free = solve_standalone_equilibrium(free_params, prices,
+                                            kernel="vectorized")
+        if free.total_edge <= 1e-9:
+            return  # degenerate draw: no edge demand to constrain
+        capped_params, _ = _interior_game(
+            n, reward, beta, 1.0, p_e, p_c_frac, EdgeMode.STANDALONE,
+            e_max=0.5 * free.total_edge)
+        eq = solve_standalone_equilibrium(capped_params, prices,
+                                          kernel="vectorized")
+        assert eq.converged
+        assert eq.nu > 0.0
+        assert eq.total_edge <= 0.5 * free.total_edge * (1 + 1e-6)
+        want = n * _interior_total(n, reward, beta, prices.p_c)
+        assert eq.total == pytest.approx(want, rel=1e-6)
+        assert eq.total == pytest.approx(free.total, rel=1e-6)

@@ -14,11 +14,11 @@ from repro.kernels import (BenchCaseResult, BenchReport,
 
 
 def _case(solver="connected", kernel="scalar", n=8, median=1.0,
-          capped=False):
+          capped=False, converged=True):
     return BenchCaseResult(solver=solver, kernel=kernel, n=n,
                            median_s=median, p95_s=median * 1.1,
-                           repeats=3, converged=True, iterations=10,
-                           max_iter=3000, capped=capped)
+                           repeats=3, converged=converged,
+                           iterations=10, max_iter=3000, capped=capped)
 
 
 def _report(cases):
@@ -67,6 +67,56 @@ class TestCompareReports:
                            _case(kernel="running", median=1.0),
                            _case(kernel="vectorized", median=1.0)])
         assert compare_reports(current, baseline, tolerance=0.25) == []
+
+    def test_lost_convergence_is_flagged_not_silently_dropped(self):
+        # A case that converged at baseline but not now is a
+        # regression even if its (meaningless) timing looks fine — it
+        # must be reported, and excluded from the timing geomean so it
+        # cannot also mask or manufacture timing drift.
+        baseline = _report([_case(kernel="scalar", median=1.0),
+                            _case(kernel="running", median=1.0),
+                            _case(kernel="vectorized", median=1.0)])
+        current = _report([_case(kernel="scalar", median=1.0,
+                                 converged=False),
+                           _case(kernel="running", median=1.0),
+                           _case(kernel="vectorized", median=1.0)])
+        regressions = compare_reports(current, baseline, tolerance=0.25)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("connected/scalar/n=8")
+        assert "did not converge" in regressions[0]
+
+    def test_lost_convergence_excluded_from_geomean(self):
+        # The non-converged case's timing must not enter the geomean:
+        # here its 100x "speedup" would otherwise shift the normalizer
+        # and flag the two honest, unchanged cases.
+        baseline = _report([_case(kernel="scalar", median=1.0),
+                            _case(kernel="running", median=1.0),
+                            _case(kernel="vectorized", median=1.0)])
+        current = _report([_case(kernel="scalar", median=0.01,
+                                 converged=False),
+                           _case(kernel="running", median=1.0),
+                           _case(kernel="vectorized", median=1.0)])
+        regressions = compare_reports(current, baseline, tolerance=0.25)
+        assert all(r.startswith("connected/scalar/n=8")
+                   for r in regressions)
+
+    def test_capped_nonconverged_pair_stays_comparable(self):
+        # Cap-limited cases (e.g. the sweep-capped scalar kernel at
+        # large n) are comparable as long as BOTH sides carry the same
+        # capped/converged state: their lower-bound timings still
+        # drift-detect.
+        baseline = _report([_case(kernel="scalar", median=1.0,
+                                  capped=True, converged=False),
+                            _case(kernel="running", median=1.0),
+                            _case(kernel="vectorized", median=1.0)])
+        current = _report([_case(kernel="scalar", median=2.0,
+                                 capped=True, converged=False),
+                           _case(kernel="running", median=1.0),
+                           _case(kernel="vectorized", median=1.0)])
+        regressions = compare_reports(current, baseline, tolerance=0.25)
+        assert len(regressions) == 1
+        assert regressions[0].startswith("connected/scalar/n=8")
+        assert "did not converge" not in regressions[0]
 
     def test_fewer_than_two_common_cases_is_vacuous(self):
         baseline = _report([_case(kernel="scalar")])

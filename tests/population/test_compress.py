@@ -1,0 +1,130 @@
+"""Quantile budget compression: bucket invariants and identity paths.
+
+The type-space solver's error certificate leans on exactly the
+properties pinned here — contiguous rank buckets, representatives
+inside [lo, hi], head-counts preserved by the weights — so these tests
+are load-bearing for :mod:`repro.kernels.typespace`, not just for the
+bucketing arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.population import CompressedPopulation, compress_budgets
+
+
+def _draw(n, seed=7):
+    rng = np.random.default_rng(seed)
+    return 100.0 * rng.lognormal(mean=0.0, sigma=0.6, size=n)
+
+
+class TestIdentityPath:
+    def test_k_equal_n_is_identity(self):
+        budgets = _draw(32)
+        comp = compress_budgets(budgets, 32)
+        assert comp.is_identity and comp.is_exact
+        assert comp.k == comp.n == 32
+        assert np.array_equal(comp.budgets, budgets)
+        assert np.array_equal(comp.lo, budgets)
+        assert np.array_equal(comp.hi, budgets)
+        assert np.array_equal(comp.weights, np.ones(32))
+        assert comp.max_width == 0.0
+
+    def test_k_above_n_is_identity(self):
+        budgets = _draw(16)
+        comp = compress_budgets(budgets, 1000)
+        assert comp.is_identity
+        assert comp.k == 16
+
+    def test_identity_expand_roundtrip(self):
+        budgets = _draw(16)
+        comp = compress_budgets(budgets, 16)
+        values = np.arange(16, dtype=float)
+        assert np.array_equal(comp.expand(values), values)
+
+    def test_uniform_budgets_are_exact_at_any_k(self):
+        budgets = np.full(64, 50.0)
+        comp = compress_budgets(budgets, 4)
+        assert not comp.is_identity
+        assert comp.is_exact
+        assert comp.max_width == 0.0
+        assert np.all(comp.budgets == 50.0)
+
+
+class TestBucketInvariants:
+    @pytest.mark.parametrize("n,k", [(64, 4), (100, 7), (257, 16),
+                                     (512, 512 - 1)])
+    def test_partition_and_bounds(self, n, k):
+        budgets = _draw(n, seed=n + k)
+        comp = compress_budgets(budgets, k)
+        assert comp.k == k and comp.n == n
+        # Weights are the head-counts of a partition of the miners.
+        assert float(np.sum(comp.weights)) == float(n)
+        counts = np.bincount(comp.index, minlength=k).astype(float)
+        assert np.array_equal(counts, comp.weights)
+        # Near-equal head-counts (quantile buckets differ by <= 1).
+        assert counts.max() - counts.min() <= 1.0
+        # Representatives sit inside their bucket's true extremes, and
+        # every miner's true budget sits inside its bucket's range.
+        assert np.all(comp.lo <= comp.budgets)
+        assert np.all(comp.budgets <= comp.hi)
+        assert np.all(comp.lo[comp.index] <= budgets + 1e-12)
+        assert np.all(budgets <= comp.hi[comp.index] + 1e-12)
+        # Buckets are ordered ranges of the sorted budgets.
+        assert np.all(np.diff(comp.budgets) >= 0.0)
+        assert np.all(comp.hi[:-1] <= comp.lo[1:] + 1e-12)
+
+    def test_deterministic(self):
+        budgets = _draw(128)
+        a = compress_budgets(budgets, 9)
+        b = compress_budgets(budgets, 9)
+        assert np.array_equal(a.budgets, b.budgets)
+        assert np.array_equal(a.index, b.index)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_single_bucket_is_population_mean(self):
+        budgets = _draw(50)
+        comp = compress_budgets(budgets, 1)
+        assert comp.k == 1
+        assert comp.budgets[0] == pytest.approx(float(np.mean(budgets)))
+        assert comp.lo[0] == float(np.min(budgets))
+        assert comp.hi[0] == float(np.max(budgets))
+        assert comp.weights[0] == 50.0
+
+    def test_expand_broadcasts_by_type(self):
+        budgets = np.array([1.0, 10.0, 2.0, 20.0])
+        comp = compress_budgets(budgets, 2)
+        out = comp.expand(np.array([100.0, 200.0]))
+        # Miners 0 and 2 (small budgets) share type 0; 1 and 3 type 1.
+        assert np.array_equal(out, np.array([100.0, 200.0, 100.0,
+                                             200.0]))
+
+
+class TestValidation:
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ConfigurationError):
+            compress_budgets(np.array([]), 2)
+        with pytest.raises(ConfigurationError):
+            compress_budgets(np.array([[1.0, 2.0]]), 1)
+        with pytest.raises(ConfigurationError):
+            compress_budgets(np.array([1.0, -2.0]), 1)
+        with pytest.raises(ConfigurationError):
+            compress_budgets(np.array([1.0, np.inf]), 1)
+
+    def test_rejects_bad_n_types(self):
+        with pytest.raises(ConfigurationError):
+            compress_budgets(np.array([1.0, 2.0]), 0)
+
+    def test_expand_rejects_wrong_shape(self):
+        comp = compress_budgets(_draw(8), 2)
+        with pytest.raises(ConfigurationError):
+            comp.expand(np.zeros(3))
+
+    def test_post_init_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            CompressedPopulation(budgets=np.array([5.0]),
+                                 lo=np.array([6.0]),
+                                 hi=np.array([7.0]),
+                                 weights=np.array([1.0]),
+                                 index=np.zeros(1, dtype=np.intp))
