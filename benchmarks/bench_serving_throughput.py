@@ -10,6 +10,13 @@ summary (hit rate, p50/p95 per-scenario latency, speedups):
 * **cached** — a populated engine with ``max_workers > 1`` re-serving
   the batch, i.e. the steady state of a long-lived serving process.
 
+A fourth pass benchmarks **cross-scenario batching**: a cold grid of
+explicit ``kernel="vectorized"`` scenarios served once per-scenario
+(``batch_mode="none"``) and once through the multi-scenario kernel
+(``batch_mode="multiscenario"``), asserting the batched pass is
+bit-identical and at least 5x faster on the full 64-scenario grid
+(threshold scaled down for shrunk smoke grids).
+
 Runnable as a pytest module (the test asserts the acceptance bar: the
 cached parallel pass is at least 3x faster than the serial cold path
 and all three passes agree within solver tolerance) or as a script::
@@ -99,6 +106,52 @@ def run_serving_benchmark(n_scenarios=N_SCENARIOS, workers=WORKERS):
     }
 
 
+def make_vectorized_grid(n=N_SCENARIOS, miners=24):
+    """A cold price grid pinned to the aggregate (vectorized) kernel.
+
+    Heterogeneous budgets force the iterative follower path (no closed
+    forms), so every miss is a real kernel solve and the grid is
+    eligible for cross-scenario batching.
+    """
+    from repro.core import GameParameters
+
+    params = GameParameters(
+        reward=1500.0, fork_rate=0.2, h=0.8,
+        budgets=[150.0 + 4.0 * i for i in range(miners)])
+    return [ScenarioSpec(params, Prices(2.0, round(0.4 + 1.2 * k / (n - 1), 9)),
+                         kernel="vectorized")
+            for k in range(n)]
+
+
+def run_multiscenario_benchmark(n_scenarios=N_SCENARIOS):
+    """Cold per-scenario serial vs one cross-scenario batched solve."""
+    specs = make_vectorized_grid(n_scenarios)
+
+    serial_engine = ServingEngine(max_workers=0, warm_start=False,
+                                  use_guard=False, batch_mode="none")
+    serial, serial_s = _timed_batch(serial_engine, specs)
+
+    batched_engine = ServingEngine(max_workers=0, warm_start=False,
+                                   use_guard=False,
+                                   batch_mode="multiscenario")
+    batched, batched_s = _timed_batch(batched_engine, specs)
+
+    assert all(r.ok for r in serial + batched)
+    identical = all(
+        np.array_equal(_profile(a), _profile(b))
+        for a, b in zip(serial, batched))
+    return {
+        "scenarios": n_scenarios,
+        "serial_seconds": round(serial_s, 4),
+        "batched_seconds": round(batched_s, 4),
+        "speedup_batched_vs_serial": round(serial_s / batched_s, 2),
+        "batched_solver_counts": {
+            solver: sum(r.solver == solver for r in batched)
+            for solver in {r.solver for r in batched}},
+        "bit_identical": identical,
+    }
+
+
 def test_bench_serving_throughput():
     summary = run_serving_benchmark()
     print()
@@ -111,5 +164,22 @@ def test_bench_serving_throughput():
     assert summary["warm"]["warm_started"] >= summary["scenarios"] - 1
 
 
+def test_bench_multiscenario_batching():
+    summary = run_multiscenario_benchmark()
+    print()
+    print(json.dumps(summary, indent=2))
+    # Acceptance: the cross-scenario batched cold sweep is >=5x faster
+    # than per-scenario serial on the full 64-scenario grid (relaxed
+    # for shrunk smoke grids, where fixed overheads dominate), every
+    # scenario is answered by the batched kernel, and the results are
+    # bit-identical to the per-scenario path.
+    threshold = 5.0 if summary["scenarios"] >= 64 else 2.0
+    assert summary["speedup_batched_vs_serial"] >= threshold
+    assert summary["batched_solver_counts"] == {
+        "nep-multiscenario": summary["scenarios"]}
+    assert summary["bit_identical"] is True
+
+
 if __name__ == "__main__":
     print(json.dumps(run_serving_benchmark(), indent=2))
+    print(json.dumps(run_multiscenario_benchmark(), indent=2))

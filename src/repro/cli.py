@@ -255,6 +255,11 @@ def build_bench_parser() -> argparse.ArgumentParser:
         "--no-compare", action="store_true",
         help="skip the regression comparison entirely")
     parser.add_argument(
+        "--multiscenario", action="store_true",
+        help="also time the cross-scenario batched kernel against a "
+             "serial loop over the identical grid, and fail unless the "
+             "batched path converges and beats per-scenario serial")
+    parser.add_argument(
         "--quiet", "-q", action="store_true",
         help="suppress the result table on stdout")
     return parser
@@ -308,7 +313,8 @@ def bench_main(argv=None) -> int:
     try:
         report = run_bench(sizes=sizes, repeats=args.repeats,
                            quick=args.quick,
-                           typespace_sizes=typespace_sizes)
+                           typespace_sizes=typespace_sizes,
+                           multiscenario=args.multiscenario)
     except ValueError as ex:
         print(f"bench failed: {ex}", file=sys.stderr)
         return 2
@@ -318,6 +324,29 @@ def bench_main(argv=None) -> int:
             print(f"note: {note}", file=sys.stderr)
     write_report(report, args.output)
     print(f"wrote {args.output}", file=sys.stderr)
+    if args.multiscenario:
+        failures = []
+        batched = [c for c in report.cases
+                   if c.kernel == "multiscenario"]
+        if not batched:
+            failures.append("no multiscenario cases ran")
+        for case in batched:
+            if not case.converged:
+                failures.append(f"{case.case_id}: batched grid did "
+                                f"not fully converge")
+            speedup = report.speedups.get(
+                f"{case.solver}/n={case.n}/multiscenario")
+            if speedup is None or speedup <= 1.0:
+                failures.append(
+                    f"{case.case_id}: batched median does not beat "
+                    f"per-scenario serial "
+                    f"(speedup {speedup if speedup else 0.0:.2f}x)")
+        if failures:
+            for line in failures:
+                print(f"MULTISCENARIO {line}", file=sys.stderr)
+            return 1
+        print("multiscenario gate: batched path converged and beat "
+              "per-scenario serial at every size", file=sys.stderr)
     if baseline is not None:
         regressions = compare_reports(report, baseline,
                                       tolerance=args.tolerance)
@@ -683,10 +712,11 @@ def build_control_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, metavar="N",
         help="seed of the induction (default: %(default)s)")
     parser.add_argument(
-        "--kernel", choices=("scalar", "running", "vectorized"),
+        "--kernel", choices=("scalar", "running", "vectorized", "auto"),
         default="vectorized",
         help="kernel the --check battery exercises (default: "
-             "%(default)s)")
+             "%(default)s; 'auto' picks running/vectorized by miner "
+             "count)")
     parser.add_argument(
         "--events", default=None, metavar="PATH",
         help="stream the control decision chain (and all other "

@@ -31,7 +31,7 @@ from ..game.projections import dykstra, project_boxes_capacity, \
     project_budget_orthant, project_halfspace
 from ..game.vi import VIProblem, solve_vi_adaptive
 from . import utility
-from .nep import MinerEquilibrium, initial_profile, \
+from .nep import MinerEquilibrium, initial_profile, resolve_kernel, \
     solve_connected_equilibrium
 from .params import EdgeMode, GameParameters, Prices
 
@@ -245,10 +245,13 @@ def solve_standalone_extragradient(params: GameParameters, prices: Prices,
 
     ``kernel`` selects the projection oracle: ``"scalar"`` is the
     Dykstra + per-miner waterfilling reference, ``"vectorized"`` the
-    batched joint KKT projection (see :func:`_joint_projection`).
+    batched joint KKT projection (see :func:`_joint_projection`);
+    ``"auto"`` resolves by miner count exactly as in
+    :func:`repro.core.nep.resolve_kernel`.
     """
     e_max = _require_standalone(params)
     n = params.n
+    kernel = resolve_kernel(kernel, n)
 
     def operator(x: np.ndarray) -> np.ndarray:
         e = x[:n]

@@ -24,11 +24,37 @@ from .miner_best_response import ResponseContext, solve_best_response
 from .params import GameParameters, Prices
 
 __all__ = ["MinerEquilibrium", "solve_connected_equilibrium",
-           "initial_profile", "best_response_profile", "KERNELS"]
+           "initial_profile", "best_response_profile", "KERNELS",
+           "AUTO_VECTORIZED_MIN_N", "resolve_kernel"]
 
 #: Valid values of the ``kernel`` parameter of
 #: :func:`solve_connected_equilibrium`.
-KERNELS = ("scalar", "running", "vectorized")
+KERNELS = ("scalar", "running", "vectorized", "auto")
+
+#: Smallest ``n`` at which ``kernel="auto"`` picks the aggregate
+#: (vectorized) kernel.  ``BENCH_solvers.json`` puts the crossover
+#: between the running sweep and the aggregate solve at n ≈ 20: the
+#: sweep needs ``O(n)`` sweeps of ``O(n)`` work while the aggregate
+#: kernel's iteration count is n-independent, so the ratio
+#: running/vectorized climbs from ~0.1x at n=8 through ~0.4x at n=16
+#: to ~1.6x at n=24 and ~180x at n=1024.
+AUTO_VECTORIZED_MIN_N = 20
+
+
+def resolve_kernel(kernel: str, n: int) -> str:
+    """Resolve ``"auto"`` to a concrete kernel for an ``n``-miner game.
+
+    Deterministic in ``n`` alone (no timing probes) so cache keys,
+    serving results, and telemetry labels stay reproducible: ``auto``
+    becomes ``"running"`` below :data:`AUTO_VECTORIZED_MIN_N` miners
+    and ``"vectorized"`` at or above it.  Concrete kernel names pass
+    through unchanged.
+    """
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    if kernel != "auto":
+        return kernel
+    return "vectorized" if n >= AUTO_VECTORIZED_MIN_N else "running"
 
 
 @dataclass
@@ -171,20 +197,23 @@ def best_response_profile(e: np.ndarray, c: np.ndarray,
 
 
 def _solve_vectorized(params: GameParameters, prices: Prices, tol: float,
-                      _nu: float) -> Optional[Tuple[np.ndarray, np.ndarray,
-                                                    ConvergenceReport]]:
+                      _nu: float, label: str = "vectorized"
+                      ) -> Optional[Tuple[np.ndarray, np.ndarray,
+                                          ConvergenceReport]]:
     """Aggregate-kernel solve plus batched fixed-point verification.
 
     Returns ``None`` when the verification residual misses ``tol`` (the
     caller falls back to the sweeping solver) — the vectorized path
-    never silently degrades accuracy.
+    never silently degrades accuracy.  ``label`` is the telemetry
+    kernel label (``"auto:vectorized"`` when ``kernel="auto"`` resolved
+    here).
     """
     from ..kernels.aggregate import solve_connected_aggregate
     from ..kernels.batched_br import jacobi_sweep
 
     sweep_hist = (_TEL.metrics.histogram(
         "br_sweep_seconds", "Best-response sweep / kernel-solve latency",
-        labels={"kernel": "vectorized"}, buckets=DEFAULT_BUCKETS)
+        labels={"kernel": label}, buckets=DEFAULT_BUCKETS)
         if _TEL.enabled else None)
     t0 = time.perf_counter() if sweep_hist is not None else 0.0
     sol = solve_connected_aggregate(params, prices, nu=_nu)
@@ -267,7 +296,11 @@ def solve_connected_equilibrium(params: GameParameters, prices: Prices,
             verifies the result is a fixed point of the exact batched
             best-response map, and falls back to ``"running"`` sweeps
             if verification fails; ``damping`` and ``initial`` only
-            affect that fallback.
+            affect that fallback.  ``"auto"`` picks ``"running"`` or
+            ``"vectorized"`` by miner count
+            (:func:`resolve_kernel` / :data:`AUTO_VECTORIZED_MIN_N`);
+            the resolved choice is recorded in telemetry kernel labels
+            as ``"auto:running"`` / ``"auto:vectorized"``.
         n_types: Compress the population into at most this many weighted
             budget types and solve in type space with a certified
             approximation bound (:mod:`repro.kernels.typespace`);
@@ -277,19 +310,21 @@ def solve_connected_equilibrium(params: GameParameters, prices: Prices,
     Returns:
         The unique :class:`MinerEquilibrium` (Theorem 2).
     """
-    if kernel not in KERNELS:
-        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    requested = kernel
+    kernel = resolve_kernel(kernel, params.n)
+    label = f"auto:{kernel}" if requested == "auto" else kernel
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
     if n_types is not None and n_types < params.n:
         return _solve_typespace(params, prices, tol, _nu, n_types)
     if kernel == "vectorized":
-        solved = _solve_vectorized(params, prices, tol, _nu)
+        solved = _solve_vectorized(params, prices, tol, _nu, label=label)
         if solved is not None:
             e, c, report = solved
             return MinerEquilibrium(e=e, c=c, params=params, prices=prices,
                                     report=report, nu=_nu)
         kernel = "running"
+        label = "running"
     if initial is None:
         e, c = initial_profile(params, prices)
     else:
@@ -311,7 +346,7 @@ def solve_connected_equilibrium(params: GameParameters, prices: Prices,
 
     sweep_hist = (_TEL.metrics.histogram(
         "br_sweep_seconds", "Best-response sweep / kernel-solve latency",
-        labels={"kernel": kernel}, buckets=DEFAULT_BUCKETS)
+        labels={"kernel": label}, buckets=DEFAULT_BUCKETS)
         if _TEL.enabled else None)
     recorder = ResidualRecorder(tol)
     converged = False

@@ -14,7 +14,7 @@ optimization queries it many times.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import minimize_scalar
@@ -23,7 +23,8 @@ from ..exceptions import ConfigurationError, InfeasibleGameError
 from ..game.diagnostics import ConvergenceReport
 from .gnep import solve_standalone_equilibrium
 from .homogeneous_demand import homogeneous_demand
-from .nep import MinerEquilibrium, solve_connected_equilibrium
+from .nep import MinerEquilibrium, resolve_kernel, \
+    solve_connected_equilibrium
 from .params import EdgeMode, GameParameters, Prices
 
 __all__ = ["DemandOracle", "esp_best_response", "csp_best_response"]
@@ -45,6 +46,12 @@ class DemandOracle:
     into weighted budget types on the iterative paths
     (:mod:`repro.kernels.typespace`); the closed forms (homogeneous
     games) ignore it — they are already one-type exact.
+
+    Price *grids* can be evaluated in one shot through
+    :meth:`equilibria`, which routes compatible uncached points into
+    the cross-scenario batched kernel
+    (:mod:`repro.kernels.multiscenario`) — bit-identical to per-point
+    evaluation, several times faster on cold grids.
     """
 
     #: Rounding (decimal places) for the memo key.
@@ -131,6 +138,70 @@ class DemandOracle:
         self._cache[key] = eq
         self._last = eq
         return eq
+
+    def _batchable(self) -> bool:
+        """Whether uncached points can go through the batched kernel."""
+        return (not self.fast
+                and self.params.mode is EdgeMode.CONNECTED
+                and self.n_types is None
+                and resolve_kernel(self.kernel, self.params.n)
+                == "vectorized")
+
+    def equilibria(self, price_grid: Sequence[Prices]
+                   ) -> List[MinerEquilibrium]:
+        """Batch-evaluate the demand curve on a price grid (cached).
+
+        Uncached grid points whose follower solve is *batchable* —
+        connected mode on the iterative path, kernel resolving to the
+        aggregate (``"vectorized"``) solver, no type-space compression
+        — are answered by one cross-scenario batched kernel call
+        (:func:`repro.kernels.multiscenario.solve_connected_multiscenario`),
+        **bit-identical** to evaluating each point through
+        :meth:`equilibrium` one at a time (the aggregate kernel ignores
+        warm starts, so chaining order cannot change results).  Points
+        the batch cannot certify, and every non-batchable configuration
+        (standalone mode, closed forms, the sweep kernels), fall back
+        to per-point :meth:`equilibrium` calls.
+
+        Returns one equilibrium per grid point, in input order; every
+        solved point is admitted to the oracle's memo cache.
+        """
+        out: Dict[int, MinerEquilibrium] = {}
+        pending: List[Tuple[int, Prices,
+                            Tuple[float, float]]] = []
+        for idx, prices in enumerate(price_grid):
+            key = (round(prices.p_e, self._KEY_DECIMALS),
+                   round(prices.p_c, self._KEY_DECIMALS))
+            hit = self._cache.get(key)
+            if hit is not None:
+                out[idx] = hit
+            else:
+                pending.append((idx, prices, key))
+        if self._batchable() and len(pending) > 1:
+            from ..kernels.multiscenario import \
+                solve_connected_multiscenario
+            try:
+                solved = solve_connected_multiscenario(
+                    [(self.params, prices)
+                     for _, prices, _ in pending], tol=self.tol)
+            except Exception:  # repro: noqa[RPR007] — batch-level
+                # capture boundary: a failed batch falls back to the
+                # per-point path, which raises errors properly.
+                solved = [None] * len(pending)
+            still: List[Tuple[int, Prices,
+                              Tuple[float, float]]] = []
+            for (idx, prices, key), eq in zip(pending, solved):
+                if eq is None:
+                    still.append((idx, prices, key))
+                    continue
+                self.evaluations += 1
+                self._cache[key] = eq
+                self._last = eq
+                out[idx] = eq
+            pending = still
+        for idx, prices, _ in pending:
+            out[idx] = self.equilibrium(prices)
+        return [out[i] for i in range(len(price_grid))]
 
     def edge_demand(self, prices: Prices) -> float:
         """``E*(P)``."""

@@ -17,7 +17,7 @@ leaders then play a non-cooperative pricing game on that induced demand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import minimize_scalar
@@ -93,6 +93,7 @@ def solve_stackelberg(params: GameParameters,
                                                    np.ndarray]] = None,
                       kernel: str = "scalar",
                       n_types: Optional[int] = None,
+                      price_grid: Optional[Sequence[Prices]] = None,
                       ) -> StackelbergEquilibrium:
     """Compute a Stackelberg equilibrium of the full game.
 
@@ -139,6 +140,16 @@ def solve_stackelberg(params: GameParameters,
             types for every follower solve behind the demand oracle
             (certified approximation, :mod:`repro.kernels.typespace`);
             ``None`` keeps the exact per-miner follower solver.
+        price_grid: Optional price points to pre-solve into the demand
+            oracle's memo cache through one cross-scenario batched
+            kernel call (:meth:`DemandOracle.equilibria
+            <repro.core.sp_game.DemandOracle.equilibria>`) before the
+            leader iteration starts. Useful when the caller knows the
+            prices the search will visit (e.g. a fixed evaluation
+            grid); each pre-solved point is bit-identical to the solve
+            the leader iteration would have triggered, so the result
+            is unchanged — only cheaper. ``None`` (default) keeps the
+            legacy single-solve path exactly.
 
     Returns:
         :class:`StackelbergEquilibrium`.
@@ -150,6 +161,8 @@ def solve_stackelberg(params: GameParameters,
     oracle = DemandOracle(params, tol=demand_tol,
                           warm_profile=warm_profile, kernel=kernel,
                           n_types=n_types)
+    if price_grid is not None:
+        oracle.equilibria(list(price_grid))
     if initial is None and warm_start is not None:
         initial = warm_start
     prices = _initial_prices(params, initial)

@@ -37,12 +37,24 @@ compressed into ``k`` weighted types
 solved at ``O(k)`` per consistency evaluation, and a certified
 per-coordinate approximation bound is computed from bucket widths
 (``docs/SCALING.md``); solvers opt in via ``n_types=``.
+
+:mod:`repro.kernels.multiscenario` batches across the *scenario* axis:
+``B`` independent games (a price sweep, a budget sweep, a serving
+batch) are solved in one ``(B, n)`` array program with per-scenario
+convergence masking, bit-identical to ``B`` separate
+``kernel="vectorized"`` solves (``docs/PERFORMANCE.md``).  The solo
+vectorized kernel is its ``B = 1`` special case, and the serving
+engine's ``batch_mode="multiscenario"`` groups compatible cache misses
+into these batched calls.
 """
 
 from .batched_br import (BatchedBestResponse, batched_best_response,
                          gauss_seidel_sweep_running, jacobi_sweep)
 from .bench import (BenchCaseResult, BenchReport, compare_reports,
                     load_report, run_bench, write_report)
+from .multiscenario import (MULTISCENARIO_MAX_N, BatchAggregateSolution,
+                            solve_aggregate_batch,
+                            solve_connected_multiscenario)
 from .typespace import TypeSpaceSolution, solve_connected_typespace
 
 __all__ = [
@@ -52,6 +64,10 @@ __all__ = [
     "gauss_seidel_sweep_running",
     "TypeSpaceSolution",
     "solve_connected_typespace",
+    "BatchAggregateSolution",
+    "MULTISCENARIO_MAX_N",
+    "solve_aggregate_batch",
+    "solve_connected_multiscenario",
     "BenchCaseResult",
     "BenchReport",
     "run_bench",

@@ -24,9 +24,19 @@ consistency system in at most **two scalar unknowns**,
 
     ``Σ_i s_i(S, E) = S``  and  ``Σ_i e_i(S, E) = E``,
 
-solved by nested Brent root-finding (each total's excess response is
-single-crossing).  Iteration count is independent of ``n``; every
-evaluation is ``O(n)`` vectorized work.
+each total's excess response being single-crossing.  Iteration count is
+independent of ``n``; every evaluation is ``O(n)`` vectorized work.
+
+The numerics live in :mod:`repro.kernels.multiscenario`: this module's
+entry points delegate to the cross-scenario batch kernel with a batch
+of **one**, so a ``kernel="vectorized"`` solve *is* the ``B = 1``
+special case of the batched solver.  The batch kernel's per-lane frozen
+updates guarantee the converse — ``B`` scenarios solved together are
+bit-identical to ``B`` of these single-scenario calls — which is what
+lets the serving engine group sweep points into one kernel call without
+perturbing cached results.  (The consistency roots are found by masked
+ITP iteration: superlinear like the Brent solver this module once
+wrapped, with bisection's worst-case guarantee, and fully maskable.)
 
 Degenerate price/fork configurations collapse to one-dimensional
 consistency problems and are dispatched exactly like the scalar
@@ -54,29 +64,18 @@ bit-identical to its pre-weights behavior.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
-from scipy.optimize import brentq
 
 from ..exceptions import ConvergenceError
+from .multiscenario import solve_aggregate_batch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.params import GameParameters, Prices
 
 __all__ = ["solve_connected_aggregate",
            "solve_weighted_connected_aggregate", "AggregateSolution"]
-
-#: Budget slack below which the constraint is treated as free (the
-#: scalar kernel's ``_TOL``).
-_TOL = 1e-13
-
-#: ``brentq`` settings for the consistency roots: effectively exact.
-_XTOL = 1e-30
-_RTOL = 8.9e-16
-
-#: Bisection sweeps for the per-miner budget multipliers.
-_LAM_SWEEPS = 110
 
 
 class AggregateSolution(Tuple[np.ndarray, np.ndarray, int]):
@@ -100,129 +99,6 @@ class AggregateSolution(Tuple[np.ndarray, np.ndarray, int]):
     @property
     def evals(self) -> int:
         return self[2]
-
-
-def _wsum(values: np.ndarray,
-          weights: Optional[np.ndarray]) -> float:
-    """``Σ values`` (unweighted) or ``Σ w · values`` (type space).
-
-    The ``None`` branch is the exact pre-weights summation, keeping the
-    unweighted kernel bit-identical.
-    """
-    if weights is None:
-        return float(np.sum(values))
-    return float(np.sum(weights * values))
-
-
-def _solve_single_pool(n: int, k_tot: float, a: float, caps: np.ndarray,
-                       counter: List[int],
-                       weights: Optional[np.ndarray] = None) -> np.ndarray:
-    """Consistency root of a one-pool aggregative game.
-
-    Every miner plays ``s_i(T) = clip(T - a T²/k_tot, 0, cap_i)``
-    against total ``T``; returns the profile at the total solving
-    ``Σ s_i(T) = T``.  ``Σ s_i(T)/T`` is decreasing in ``T`` (each
-    clipped share is), so the excess response is single-crossing.
-    With ``weights``, rows are budget types and the consistency sum is
-    the multiplicity-weighted ``Σ w_i s_i(T)``.
-    """
-    t_hi = k_tot / a
-
-    def profile(t: float) -> np.ndarray:
-        return np.clip(t - a * t * t / k_tot, 0.0, caps)
-
-    def excess(t: float) -> float:
-        counter[0] += 1
-        return _wsum(profile(t), weights) - t
-
-    t_lo = t_hi * 1e-15
-    if excess(t_lo) <= 0.0:
-        return np.zeros(n)
-    t_star = float(brentq(excess, t_lo, t_hi, xtol=_XTOL, rtol=_RTOL))
-    return profile(t_star)
-
-
-def _lane_responses(S: float, E: float, lam: np.ndarray,
-                    a_e0: np.ndarray, a_c0: np.ndarray,
-                    ks: float, kg: float, p_e: float, p_c: float
-                    ) -> Tuple[np.ndarray, np.ndarray]:
-    """Per-miner KKT responses at totals ``(S, E)``, multipliers ``λ``.
-
-    Mirrors the scalar ``_candidate`` branch order: a non-positive
-    effective premium forces edge-only; otherwise the interior linear
-    system is tried and negative coordinates drop to the cloud-only or
-    edge-only corner (``e < 0`` checked before ``c < 0``).
-    """
-    A = ks / (S * S)
-    Bm = kg / (E * E)
-    a_c = a_c0 + lam * p_c
-    a_e = a_e0 + lam * p_e
-    da = a_e - a_c
-    s_int = S - a_c / A
-    e_int = E - da / Bm
-    c_int = s_int - e_int
-    cloud = (da > 0.0) & (e_int < 0.0)
-    edge = (da <= 0.0) | ((da > 0.0) & (e_int >= 0.0) & (c_int < 0.0))
-    e = np.where(cloud | edge, 0.0, np.maximum(e_int, 0.0))
-    c = np.where(cloud, np.maximum(s_int, 0.0),
-                 np.where(edge, 0.0, np.maximum(c_int, 0.0)))
-    if np.any(edge):
-        e_eo = (A * S + Bm * E - a_e) / (A + Bm)
-        e = np.where(edge, np.maximum(e_eo, 0.0), e)
-    return e, c
-
-
-def _budget_responses(S: float, E: float, budgets: np.ndarray,
-                      a_e0: np.ndarray, a_c0: np.ndarray, ks: float,
-                      kg: float, p_e: float, p_c: float
-                      ) -> Tuple[np.ndarray, np.ndarray]:
-    """Responses at totals ``(S, E)`` with budget multipliers resolved.
-
-    Unconstrained lanes keep ``λ = 0``; over-budget lanes get their
-    multiplier from bracket-doubling + bisection on the (strictly
-    decreasing, piecewise-linear) spending curve.
-    """
-    zero = np.zeros_like(budgets)
-    e, c = _lane_responses(S, E, zero, a_e0, a_c0, ks, kg, p_e, p_c)
-    spend = p_e * e + p_c * c
-    over = spend > budgets + _TOL
-    if not np.any(over):
-        return e, c
-    bb = budgets[over]
-    ae = a_e0[over]
-    ac = a_c0[over]
-
-    def lane_spend(lam: np.ndarray) -> np.ndarray:
-        es, cs = _lane_responses(S, E, lam, ae, ac, ks, kg, p_e, p_c)
-        return p_e * es + p_c * cs
-
-    lo = np.zeros_like(bb)
-    hi = np.ones_like(bb)
-    for _ in range(70):
-        grow = lane_spend(hi) > bb
-        if not np.any(grow):
-            break
-        lo = np.where(grow, hi, lo)
-        hi = np.where(grow, 2.0 * hi, hi)
-        if np.any(hi > 1e18):
-            raise ConvergenceError(
-                "budget multiplier bracket diverged in aggregate kernel")
-    else:
-        if np.any(lane_spend(hi) > bb):
-            raise ConvergenceError(
-                "budget multiplier bracket diverged in aggregate kernel")
-    for _ in range(_LAM_SWEEPS):
-        mid = 0.5 * (lo + hi)
-        if np.all((mid <= lo) | (mid >= hi)):
-            break
-        high = lane_spend(mid) > bb
-        lo = np.where(high, mid, lo)
-        hi = np.where(high, hi, mid)
-    es, cs = _lane_responses(S, E, 0.5 * (lo + hi), ae, ac, ks, kg,
-                             p_e, p_c)
-    e[over] = es
-    c[over] = cs
-    return e, c
 
 
 def solve_connected_aggregate(params: "GameParameters", prices: "Prices",
@@ -299,99 +175,18 @@ def _solve_aggregate(budgets: np.ndarray,
                      weights: Optional[np.ndarray], reward: float,
                      beta: float, gamma: float, p_e: float, p_c: float,
                      nu: float) -> AggregateSolution:
-    """Shared unweighted/weighted consistency solve (see callers)."""
-    n = int(budgets.shape[0])
-    n_eff = float(n) if weights is None else float(np.sum(weights))
-    q_e = p_e + nu
-    q_c = p_c
-    ks = reward * (1.0 - beta)
-    kg = reward * gamma
-
-    zeros = np.zeros(n)
-    if n_eff < 2 or ks <= 0.0:
-        # A lone miner earns the whole (1-β) share regardless of effort
-        # (and the ē=0 model discontinuity zeroes the edge bonus), so
-        # its exact best response to empty opposition is inactivity —
-        # the same fixed point the sweeping solvers reach.
-        return AggregateSolution(zeros, zeros.copy(), 0)
-
-    counter = [0]
-    if kg <= 0.0:
-        # No edge bonus: one pool at the cheaper objective price (the
-        # scalar kernel's a_e < a_c tie-break sends ties to the cloud).
-        if q_e < q_c:
-            s = _solve_single_pool(n, ks, q_e, budgets / p_e, counter,
-                                   weights)
-            return AggregateSolution(s, zeros, counter[0])
-        s = _solve_single_pool(n, ks, q_c, budgets / p_c, counter,
-                               weights)
-        return AggregateSolution(zeros, s, counter[0])
-
-    if q_e <= q_c:
-        # Edge no pricier but strictly more valuable: cloud dominated,
-        # single pool with stacked marginal value ks + kg at price q_e.
-        s = _solve_single_pool(n, ks + kg, q_e, budgets / p_e, counter,
-                               weights)
-        return AggregateSolution(s.copy(), zeros, counter[0])
-
-    # General two-pool case: nested consistency roots.
-    a_e0 = np.full(n, q_e)
-    a_c0 = np.full(n, q_c)
-    dq = q_e - q_c
-
-    def totals_at(S: float, E: float) -> Tuple[float, float,
-                                               np.ndarray, np.ndarray]:
-        counter[0] += 1
-        e, c = _budget_responses(S, E, budgets, a_e0, a_c0, ks, kg,
-                                 p_e, p_c)
-        e_tot = _wsum(e, weights)
-        return e_tot, e_tot + _wsum(c, weights), e, c
-
-    def s_excess_factory(E: float) -> Callable[[float], float]:
-        def s_excess(S: float) -> float:
-            _, s_tot, _, _ = totals_at(S, E)
-            return s_tot - S
-        return s_excess
-
-    def inner_S(E: float) -> float:
-        """Total-spending consistency root ``S(E)`` (0 if none)."""
-        s_excess = s_excess_factory(E)
-        hi = ks / q_c
-        for _ in range(200):
-            if s_excess(hi) < 0.0:
-                break
-            hi *= 2.0
-        else:
-            raise ConvergenceError(
-                "aggregate kernel could not bracket total demand")
-        lo = (ks / q_c) * 1e-15
-        if s_excess(lo) <= 0.0:
-            return 0.0
-        return float(brentq(s_excess, lo, hi, xtol=_XTOL, rtol=_RTOL))
-
-    def e_excess(E: float) -> float:
-        S = inner_S(E)
-        if S <= 0.0:
-            return -E
-        e_tot, _, _, _ = totals_at(S, E)
-        return e_tot - E
-
-    e_hi = kg / dq
-    for _ in range(200):
-        if e_excess(e_hi) < 0.0:
-            break
-        e_hi *= 2.0
-    else:
+    """Shared unweighted/weighted consistency solve: the ``B = 1``
+    delegation into the cross-scenario batch kernel (see callers)."""
+    one = np.ones(1)
+    sol = solve_aggregate_batch(
+        budgets[None, :],
+        None if weights is None else weights[None, :],
+        reward=reward * one, beta=beta * one, gamma=gamma * one,
+        p_e=p_e * one, p_c=p_c * one, nu=nu * one)
+    if bool(sol.failed[0]):
         raise ConvergenceError(
-            "aggregate kernel could not bracket edge demand")
-    e_lo = (kg / dq) * 1e-15
-    if e_excess(e_lo) <= 0.0:
-        # Edge pool empty at equilibrium (possible only through budget
-        # degeneracies); the cloud-only game remains one-dimensional.
-        s = _solve_single_pool(n, ks, q_c, budgets / p_c, counter,
-                               weights)
-        return AggregateSolution(zeros, s, counter[0])
-    e_star = float(brentq(e_excess, e_lo, e_hi, xtol=_XTOL, rtol=_RTOL))
-    s_star = inner_S(e_star)
-    _, _, e, c = totals_at(s_star, e_star)
-    return AggregateSolution(e, c, counter[0])
+            "aggregate kernel diverged (budget-multiplier or "
+            "consistency bracket)")
+    return AggregateSolution(np.ascontiguousarray(sol.e[0]),
+                             np.ascontiguousarray(sol.c[0]),
+                             int(sol.evals[0]))

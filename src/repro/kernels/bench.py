@@ -181,9 +181,12 @@ class BenchReport:
                 f"{'yes' if case.converged else 'NO':>5s} "
                 f"{'yes' if case.capped else '-':>4s}")
         for key in sorted(self.speedups):
-            what = ("exact vectorized / typespace"
-                    if key.endswith("/typespace")
-                    else "scalar / vectorized")
+            if key.endswith("/typespace"):
+                what = "exact vectorized / typespace"
+            elif key.endswith("/multiscenario"):
+                what = "serial vectorized / batched"
+            else:
+                what = "scalar / vectorized"
             lines.append(f"speedup {key}: {self.speedups[key]:.1f}x "
                          f"({what})")
         return lines
@@ -333,6 +336,78 @@ def _extragradient_cases(sizes: Sequence[int], repeats: int,
     return out
 
 
+#: Scenario count of the cross-scenario batched cases.
+MULTISCENARIO_BATCH = 64
+
+
+def _multiscenario_cases(sizes: Sequence[int], repeats: int,
+                         notes: List[str]) -> List[BenchCaseResult]:
+    """Cross-scenario batched solves vs the same grid solved serially.
+
+    Each size times one :data:`MULTISCENARIO_BATCH`-scenario sweep grid
+    (a deterministic budget x reward x price lattice around the
+    connected base case) twice: ``kernel="multiscenario"`` solves the
+    whole grid in one batched kernel call,
+    ``kernel="multiscenario-serial"`` loops ``kernel="vectorized"``
+    solves over the identical scenarios.  The two are bit-identical by
+    construction (the equivalence suite pins this), so the ratio is a
+    pure dispatch/batching win.  Sizes past the batching crossover
+    (:data:`~repro.kernels.multiscenario.MULTISCENARIO_MAX_N`) are
+    note-skipped: the serving engine declines to auto-batch them, so
+    timing them would gate a path nothing takes.
+    """
+    from types import SimpleNamespace
+
+    from ..core.nep import solve_connected_equilibrium
+    from ..core.params import Prices, homogeneous
+    from .multiscenario import (MULTISCENARIO_MAX_N,
+                                solve_connected_multiscenario)
+
+    out = []
+    for n in sizes:
+        if n > MULTISCENARIO_MAX_N:
+            notes.append(
+                f"connected/multiscenario/n={n}: skipped — past the "
+                f"batching crossover (MULTISCENARIO_MAX_N="
+                f"{MULTISCENARIO_MAX_N}); a solo vectorized solve is "
+                f"already efficient at this size and the engine's "
+                f"auto-batching declines it too")
+            continue
+        scenarios = []
+        for i in range(MULTISCENARIO_BATCH):
+            params = homogeneous(n, 200.0 + 2.0 * i, reward=1000.0 + 5.0 * i,
+                                 fork_rate=0.2, h=0.8)
+            prices = Prices(p_e=2.0 + 0.005 * i, p_c=1.0 + 0.002 * i)
+            scenarios.append((params, prices))
+
+        def solve_batched(scenarios=scenarios) -> object:
+            results = solve_connected_multiscenario(scenarios)
+            iters = [r.report.iterations for r in results
+                     if r is not None]
+            return SimpleNamespace(report=SimpleNamespace(
+                converged=all(r is not None for r in results),
+                iterations=max(iters, default=0)))
+
+        def solve_serial(scenarios=scenarios) -> object:
+            results = [solve_connected_equilibrium(p, pr,
+                                                   kernel="vectorized")
+                       for p, pr in scenarios]
+            return SimpleNamespace(report=SimpleNamespace(
+                converged=all(r.report.converged for r in results),
+                iterations=max(r.report.iterations for r in results)))
+
+        notes.append(
+            f"connected/multiscenario/n={n}: "
+            f"{MULTISCENARIO_BATCH}-scenario grid per solve; the "
+            f"-serial twin solves the identical grid one scenario at "
+            f"a time with kernel=vectorized")
+        out.append(_time_case("connected", "multiscenario", n,
+                              solve_batched, repeats, 3000, False))
+        out.append(_time_case("connected", "multiscenario-serial", n,
+                              solve_serial, repeats, 3000, False))
+    return out
+
+
 def _typespace_cases(sizes: Sequence[int], repeats: int,
                      notes: List[str]) -> List[BenchCaseResult]:
     """Compressed connected-mode cases on heterogeneous populations.
@@ -401,8 +476,8 @@ def run_bench(sizes: Optional[Sequence[int]] = None,
               repeats: Optional[int] = None,
               quick: bool = False,
               solvers: Optional[Sequence[str]] = None,
-              typespace_sizes: Optional[Sequence[int]] = None
-              ) -> BenchReport:
+              typespace_sizes: Optional[Sequence[int]] = None,
+              multiscenario: bool = False) -> BenchReport:
     """Run the kernel benchmark suite and return a :class:`BenchReport`.
 
     Args:
@@ -419,6 +494,9 @@ def run_bench(sizes: Optional[Sequence[int]] = None,
             defaults to :data:`TYPESPACE_SIZES` on full *preset* runs
             (``sizes=None``, not ``quick``) and to none otherwise.
             Pass an empty sequence to skip explicitly.
+        multiscenario: Also time the cross-scenario batched kernel
+            against a serial loop over the identical scenario grid at
+            every size (:func:`_multiscenario_cases`).
 
     Each case is also solved once inside a fresh telemetry session to
     record operator-eval counters (sweeps, VI operator evaluations);
@@ -456,6 +534,8 @@ def run_bench(sizes: Optional[Sequence[int]] = None,
         cases.extend(_standalone_cases(sizes, repeats, notes))
     if "extragradient" in chosen:
         cases.extend(_extragradient_cases(sizes, repeats, notes))
+    if "connected" in chosen and multiscenario:
+        cases.extend(_multiscenario_cases(sizes, repeats, notes))
     if "connected" in chosen and typespace_sizes:
         cases.extend(_typespace_cases(typespace_sizes, repeats, notes))
 
@@ -469,6 +549,12 @@ def run_bench(sizes: Optional[Sequence[int]] = None,
             if scalar is not None and scalar.median_s > 0:
                 speedups[f"{case.solver}/n={case.n}"] = \
                     scalar.median_s / case.median_s
+        elif case.kernel == "multiscenario":
+            serial = by_id.get(
+                f"{case.solver}/multiscenario-serial/n={case.n}")
+            if serial is not None and serial.median_s > 0:
+                speedups[f"{case.solver}/n={case.n}/multiscenario"] = \
+                    serial.median_s / case.median_s
         elif case.kernel == "typespace":
             exact = by_id.get(
                 f"{case.solver}/vectorized-het/n={case.n}")
@@ -499,12 +585,43 @@ def compare_reports(current: BenchReport, baseline: BenchReport,
     Capped sweeping cases legitimately report non-convergence in both
     reports and stay comparable; an uncapped case losing convergence
     is a correctness regression, not a timing artifact.
+
+    The common set itself is policed: a baseline case absent from the
+    current run is a coverage regression **unless** the whole
+    ``(solver, n)`` combination is absent (a deliberate subset run —
+    different ``--sizes``/solvers), the kernel label appears nowhere
+    in the current run (an opt-in case family the run did not attempt,
+    e.g. ``bench`` without ``--multiscenario`` compared against a full
+    baseline), or that combination gained a kernel label the baseline
+    lacks (a rename: e.g. rows migrating to ``auto``/``multiscenario``
+    labels).  Renamed and brand-new labels enter future baselines as
+    new cases instead of silently shrinking the geomean gate.
     """
     if tolerance < 0:
         raise ValueError(f"tolerance must be >= 0, got {tolerance}")
     cur = {c.case_id: c for c in current.cases}
     base = {c.case_id: c for c in baseline.cases}
     regressions = []
+    cur_kernels: Dict[tuple, set] = {}
+    base_kernels: Dict[tuple, set] = {}
+    for c in current.cases:
+        cur_kernels.setdefault((c.solver, c.n), set()).add(c.kernel)
+    for c in baseline.cases:
+        base_kernels.setdefault((c.solver, c.n), set()).add(c.kernel)
+    all_cur_kernels = {c.kernel for c in current.cases}
+    for key in sorted(set(base) - set(cur)):
+        lost = base[key]
+        combo = (lost.solver, lost.n)
+        if combo not in cur_kernels:
+            continue  # subset run: the whole (solver, n) was skipped
+        if lost.kernel not in all_cur_kernels:
+            continue  # case family not attempted by this run at all
+        if cur_kernels[combo] - base_kernels.get(combo, set()):
+            continue  # kernel label renamed/superseded: new, not missing
+        regressions.append(
+            f"{key}: case missing from the current run with no "
+            f"replacement kernel at {lost.solver}/n={lost.n} "
+            f"(coverage shrank)")
     for key in sorted(set(cur) & set(base)):
         if base[key].converged and not cur[key].converged:
             regressions.append(

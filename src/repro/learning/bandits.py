@@ -10,6 +10,7 @@ is what converges most robustly in self-play for this game.
 from __future__ import annotations
 
 import abc
+from typing import Any
 
 import numpy as np
 
@@ -23,7 +24,7 @@ class BanditLearner(abc.ABC):
     """Incremental value-estimating learner over ``num_actions`` arms."""
 
     def __init__(self, num_actions: int, step_size: float = 0.1,
-                 initial_value: float = 0.0, seed: int = 0):
+                 initial_value: float = 0.0, seed: int = 0) -> None:
         if num_actions < 1:
             raise ConfigurationError("need at least one action")
         if not 0.0 < step_size <= 1.0:
@@ -70,7 +71,7 @@ class EpsilonGreedyLearner(BanditLearner):
 
     def __init__(self, num_actions: int, epsilon: float = 0.2,
                  epsilon_decay: float = 0.995, epsilon_min: float = 0.01,
-                 **kwargs):
+                 **kwargs: Any) -> None:
         super().__init__(num_actions, **kwargs)
         if not 0.0 <= epsilon <= 1.0:
             raise ConfigurationError("epsilon must be in [0, 1]")
@@ -95,7 +96,7 @@ class SoftmaxLearner(BanditLearner):
 
     def __init__(self, num_actions: int, temperature: float = 1.0,
                  temperature_decay: float = 0.99,
-                 temperature_min: float = 0.01, **kwargs):
+                 temperature_min: float = 0.01, **kwargs: Any) -> None:
         super().__init__(num_actions, **kwargs)
         if temperature <= 0:
             raise ConfigurationError("temperature must be positive")
@@ -117,7 +118,8 @@ class SoftmaxLearner(BanditLearner):
 class UCBLearner(BanditLearner):
     """UCB1 selection (exploration bonus on visit counts)."""
 
-    def __init__(self, num_actions: int, exploration: float = 1.0, **kwargs):
+    def __init__(self, num_actions: int, exploration: float = 1.0,
+                 **kwargs: Any) -> None:
         super().__init__(num_actions, **kwargs)
         if exploration < 0:
             raise ConfigurationError("exploration must be non-negative")

@@ -19,7 +19,7 @@ exactly the cross-substrate validation this class exists for.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -80,7 +80,7 @@ class MarketRLTrainer:
                  e_max: Optional[float] = None,
                  grid_spend_levels: int = 4, grid_split_levels: int = 5,
                  epsilon: float = 0.3, step_size: float = 0.05,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         if n < 2:
             raise ConfigurationError("need n >= 2 miners")
         if p_e <= 0 or p_c <= 0:
@@ -107,7 +107,7 @@ class MarketRLTrainer:
             for i in range(n)
         ]
 
-    def _providers(self):
+    def _providers(self) -> Tuple[EdgeProvider, CloudProvider]:
         esp = EdgeProvider(price=self.p_e, h=self.h,
                            capacity=self.e_max,
                            seed=int(self._rng.integers(2 ** 31)))
@@ -123,9 +123,11 @@ class MarketRLTrainer:
         rejections = 0
         transfers = 0
         for _ in range(blocks):
-            requests = []
+            requests: List[ResourceRequest] = []
+            actions: List[int] = []
             for miner in self.miners:
-                _, e, c = miner.act()
+                action, e, c = miner.act()
+                actions.append(action)
                 requests.append(ResourceRequest(miner.miner_id, e, c))
             allocations = dispatcher.dispatch_all(requests)
             e_real = np.array([a.edge_units for a in allocations])
@@ -148,7 +150,7 @@ class MarketRLTrainer:
                 payoff = -alloc.total_charge
                 if idx == winner:
                     payoff += self.reward
-                miner.learner.update(miner.last_action, payoff)
+                miner.learner.update(actions[idx], payoff)
         strategies = np.array([m.greedy_strategy() for m in self.miners])
         return MarketEpochResult(
             mean_edge=float(strategies[:, 0].mean()),

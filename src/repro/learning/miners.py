@@ -17,7 +17,7 @@ paper's Section VII-3:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class LearningMiner:
 
     def __init__(self, miner_id: int, grid: StrategyGrid,
                  learner: Optional[BanditLearner] = None,
-                 feedback: str = "expected", seed: int = 0):
+                 feedback: str = "expected", seed: int = 0) -> None:
         if feedback not in ("expected", "realized"):
             raise ConfigurationError(f"unknown feedback mode {feedback!r}")
         self.miner_id = miner_id
@@ -144,7 +144,8 @@ class QLearningMiner:
     """
 
     def __init__(self, miner_id: int, grid: StrategyGrid,
-                 num_states: int = 5, seed: int = 0, **agent_kwargs):
+                 num_states: int = 5, seed: int = 0,
+                 **agent_kwargs: Any) -> None:
         from .qlearning import QLearningAgent
 
         if num_states < 1:

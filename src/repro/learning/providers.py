@@ -9,7 +9,7 @@ refinement once the bandit has settled.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -31,9 +31,10 @@ class PriceLearner:
         seed: RNG seed.
     """
 
-    def __init__(self, price_grid, unit_cost: float = 0.0,
+    def __init__(self, price_grid: Union[Sequence[float], np.ndarray],
+                 unit_cost: float = 0.0,
                  epsilon: float = 0.3, step_size: float = 0.3,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         grid = np.asarray(price_grid, dtype=float)
         if grid.ndim != 1 or grid.size < 2:
             raise ConfigurationError("price_grid must be 1-D with >= 2 "

@@ -36,7 +36,7 @@ class QLearningAgent:
     def __init__(self, num_states: int, num_actions: int,
                  learning_rate: float = 0.1, discount: float = 0.9,
                  epsilon: float = 0.2, epsilon_decay: float = 0.995,
-                 epsilon_min: float = 0.01, seed: int = 0):
+                 epsilon_min: float = 0.01, seed: int = 0) -> None:
         if num_states < 1 or num_actions < 1:
             raise ConfigurationError("state/action counts must be >= 1")
         if not 0.0 < learning_rate <= 1.0:

@@ -116,7 +116,7 @@ class RLTrainer:
                  e_max: Optional[float] = None, h: float = 1.0,
                  blocks_per_epoch: int = 50, feedback: str = "expected",
                  grid_spend_levels: int = 8, grid_split_levels: int = 13,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         if budget <= 0 or reward <= 0:
             raise ConfigurationError("budget and reward must be positive")
         if not 0.0 <= fork_rate < 1.0:
@@ -170,12 +170,10 @@ class RLTrainer:
             active = list(block.active)
             if len(active) == 0:
                 continue
-            chosen = {}
             e_vec = np.zeros(len(active))
             c_vec = np.zeros(len(active))
             for pos, idx in enumerate(active):
-                action, e, c = miners[idx].act()
-                chosen[idx] = (pos, action)
+                _, e, c = miners[idx].act()
                 e_vec[pos] = e
                 c_vec[pos] = c
             E = float(e_vec.sum())
@@ -218,7 +216,8 @@ class RLTrainer:
             blocks=self.blocks_per_epoch,
             overload_rate=overloads / self.blocks_per_epoch)
 
-    def _sat_weights(self, grid: StrategyGrid, e_others: float):
+    def _sat_weights(self, grid: StrategyGrid,
+                     e_others: float) -> np.ndarray:
         """Counterfactual satisfaction weight per grid action."""
         if self.e_max is None:
             return np.full(grid.size, self.h)

@@ -10,7 +10,11 @@ an inference server answers model queries:
    one batch are solved once;
 3. each unique miss gets a **warm start** from the nearest previously
    solved neighbor (:mod:`repro.serving.warmstart`);
-4. misses are partitioned into chunks and fanned out over a
+4. compatible miss groups — connected-mode miner queries sharing
+   ``(n, tol)`` whose kernel resolves to the aggregate solver — are
+   answered by one **cross-scenario batched** kernel call
+   (:mod:`repro.kernels.multiscenario`), bit-identical to per-scenario
+   solves; the rest are partitioned into chunks and fanned out over a
    ``concurrent.futures.ProcessPoolExecutor`` (``max_workers <= 1``
    solves inline, serially) through a picklable pure-function worker;
 5. failures are captured **per scenario** — one diverging corner case
@@ -25,7 +29,6 @@ counters make the hit rate observable.
 
 from __future__ import annotations
 
-import math
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
@@ -34,7 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.gnep import (solve_standalone_equilibrium,
                          solve_standalone_extragradient)
-from ..core.nep import solve_connected_equilibrium
+from ..core.nep import KERNELS, resolve_kernel, solve_connected_equilibrium
 from ..core.params import EdgeMode
 from ..core.stackelberg import solve_stackelberg
 from ..exceptions import ConfigurationError
@@ -42,6 +45,8 @@ from ..resilience.guard import (SolverGuard, guarded_miner_equilibrium,
                                 guarded_stackelberg)
 from ..telemetry import TELEMETRY as _TEL
 from .cache import CacheStats, ScenarioCache
+from .fanout import (BudgetHandle, SharedBudgetBlock, plan_fanout,
+                     read_budgets)
 from .keys import DEFAULT_QUANTUM, ScenarioSpec, scenario_key
 from .warmstart import WarmStart, WarmStartIndex
 
@@ -51,6 +56,9 @@ __all__ = ["ScenarioResult", "ServingEngine"]
 #: :func:`~repro.core.stackelberg.solve_stackelberg` itself).
 _MINER_SCHEMES = ("auto", "best-response", "decomposition",
                   "extragradient")
+
+#: Valid values of :class:`ServingEngine`'s ``batch_mode``.
+_BATCH_MODES = ("multiscenario", "none")
 
 
 @dataclass
@@ -177,6 +185,41 @@ def _solve_chunk(chunk: Sequence[Tuple[int, ScenarioSpec,
     return out
 
 
+def _solve_chunk_shm(payload: Tuple[str,
+                                    Sequence[Tuple[int, ScenarioSpec,
+                                                   BudgetHandle,
+                                                   Optional[WarmStart],
+                                                   bool]]]
+                     ) -> List[Tuple[int, Any, Optional[str],
+                                     Optional[str], bool, float]]:
+    """Worker entry point for the zero-copy fan-out path.
+
+    Like :func:`_solve_chunk` but each scenario carries a
+    :class:`~repro.serving.fanout.BudgetHandle` instead of its budget
+    vector: the real budgets are read from the named shared-memory
+    segment published by the parent, so large populations are mapped
+    rather than pickled into every task.
+    """
+    name, chunk = payload
+    out = []
+    for position, spec, handle, warm, use_guard in chunk:
+        start = time.perf_counter()
+        try:
+            budgets = read_budgets(name, handle)
+            restored = replace(spec,
+                               params=spec.params.with_budgets(budgets))
+            value, solver, degraded = _solve_scenario(restored, warm,
+                                                      use_guard)
+            error = None
+        except Exception as ex:  # repro: noqa[RPR007] — per-scenario
+            # capture boundary: one bad corner never aborts the batch.
+            value, solver, degraded = None, None, False
+            error = f"{type(ex).__name__}: {ex}"
+        out.append((position, value, error, solver, degraded,
+                    time.perf_counter() - start))
+    return out
+
+
 class ServingEngine:
     """Batch equilibrium server: cache + warm starts + worker pool.
 
@@ -198,6 +241,26 @@ class ServingEngine:
             :mod:`repro.serving.keys`).
         chunk_size: Scenarios per worker task; default balances ~4
             tasks per worker.
+        batch_mode: ``"multiscenario"`` (default) groups compatible
+            cache-miss scenarios — connected-mode miner queries with
+            the same ``(n, tol)`` whose kernel resolves to
+            ``"vectorized"``, no type-space compression — into one
+            cross-scenario batched kernel call
+            (:mod:`repro.kernels.multiscenario`), bit-identical to
+            solving them one at a time; scenarios the batch cannot
+            certify fall back to the per-scenario path. ``"none"``
+            disables grouping.
+        use_shared_memory: Whether the process fan-out publishes miss
+            budget vectors through one ``multiprocessing.shared_memory``
+            segment (:mod:`repro.serving.fanout`) instead of pickling
+            them into every worker task. Falls back to the pickled
+            path automatically when the platform cannot create shared
+            memory.
+        bench_path: Bench trajectory (``BENCH_solvers.json``) used by
+            :func:`~repro.serving.fanout.plan_fanout` to calibrate the
+            dynamic pool size from measured per-solve cost; ``None``
+            tries the working directory and otherwise falls back to a
+            conservative default estimate.
     """
 
     def __init__(self, cache: Optional[ScenarioCache] = None,
@@ -207,10 +270,17 @@ class ServingEngine:
                  warm_start: bool = True,
                  use_guard: bool = True,
                  quantum: float = DEFAULT_QUANTUM,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 batch_mode: str = "multiscenario",
+                 use_shared_memory: bool = True,
+                 bench_path: Optional[Union[str, Path]] = None) -> None:
         if cache is not None and cache_dir is not None:
             raise ConfigurationError(
                 "pass either an existing cache or a cache_dir, not both")
+        if batch_mode not in _BATCH_MODES:
+            raise ConfigurationError(
+                f"unknown batch_mode {batch_mode!r}; expected one of "
+                f"{_BATCH_MODES}")
         self.cache = cache if cache is not None else \
             ScenarioCache(maxsize=maxsize, cache_dir=cache_dir)
         self.max_workers = max_workers
@@ -218,6 +288,9 @@ class ServingEngine:
         self.use_guard = use_guard
         self.quantum = quantum
         self.chunk_size = chunk_size
+        self.batch_mode = batch_mode
+        self.use_shared_memory = use_shared_memory
+        self.bench_path = bench_path
         self.warm_index = WarmStartIndex()
         self.kernel_override: Optional[str] = None
         self._window_stats = self.cache.stats.copy()
@@ -255,11 +328,9 @@ class ServingEngine:
         """Force every served scenario onto ``kernel`` (None restores
         the per-spec kernels). The override participates in cache keys
         exactly as if callers had requested that kernel themselves."""
-        if kernel is not None and kernel not in ("scalar", "running",
-                                                 "vectorized"):
+        if kernel is not None and kernel not in KERNELS:
             raise ConfigurationError(
-                f"unknown kernel {kernel!r}; expected scalar, running, "
-                f"or vectorized")
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}")
         self.kernel_override = kernel
 
     def resize_cache(self, maxsize: int) -> int:
@@ -404,33 +475,133 @@ class ServingEngine:
 
     # ------------------------------------------------------------------
 
+    def _batch_eligible(self, spec: ScenarioSpec) -> bool:
+        """Whether a miss can join a cross-scenario batched solve.
+
+        The batched kernel covers exactly the connected-mode miner
+        solves that the vectorized aggregate kernel would answer:
+        everything else (standalone shadow-price searches, type-space
+        compression, leader-stage queries, sweeping kernels) keeps the
+        per-scenario path.  Past ``MULTISCENARIO_MAX_N`` miners a solo
+        vectorized solve is already efficient and lockstep batching is
+        measured overhead, so large games stay per-scenario too.
+        """
+        from ..kernels.multiscenario import MULTISCENARIO_MAX_N
+
+        return (spec.kind == "miner"
+                and spec.params.mode is EdgeMode.CONNECTED
+                and spec.n_types is None
+                and spec.params.n <= MULTISCENARIO_MAX_N
+                and spec.scheme in ("auto", "best-response",
+                                    "decomposition")
+                and spec.kernel in KERNELS
+                and resolve_kernel(spec.kernel,
+                                   spec.params.n) == "vectorized")
+
+    def _solve_multiscenario(
+            self, misses: List[Tuple[int, ScenarioSpec, str]],
+            results: List[Optional[ScenarioResult]]
+    ) -> List[Tuple[int, ScenarioSpec, str]]:
+        """Answer compatible miss groups with one batched kernel call.
+
+        Returns the misses still unanswered: ineligible scenarios,
+        groups of one (no batching win), and scenarios the batched
+        kernel could not certify at tolerance — those keep the exact
+        per-scenario fallback (guard chains included).
+        """
+        from ..kernels.multiscenario import solve_connected_multiscenario
+
+        groups: Dict[Tuple[int, float],
+                     List[Tuple[int, ScenarioSpec, str]]] = {}
+        remaining: List[Tuple[int, ScenarioSpec, str]] = []
+        for item in misses:
+            spec = item[1]
+            if self._batch_eligible(spec):
+                groups.setdefault((spec.params.n, spec.tol),
+                                  []).append(item)
+            else:
+                remaining.append(item)
+        for (_, tol), group in groups.items():
+            if len(group) < 2:
+                remaining.extend(group)
+                continue
+            start = time.perf_counter()
+            try:
+                solved = solve_connected_multiscenario(
+                    [(spec.params, spec.prices)
+                     for _, spec, _ in group], tol=tol)
+            except Exception:  # repro: noqa[RPR007] — batch-level
+                # capture boundary: a failed group falls back to the
+                # per-scenario path, which reports errors properly.
+                remaining.extend(group)
+                continue
+            elapsed = (time.perf_counter() - start) / len(group)
+            for (i, spec, key), value in zip(group, solved):
+                if value is None:
+                    remaining.append((i, spec, key))
+                    continue
+                results[i] = ScenarioResult(
+                    spec=spec, key=key, value=value, source="solved",
+                    solver="nep-multiscenario", elapsed=elapsed)
+                self._admit(spec, key, value)
+        # Restore submission order so the serial fallback's in-batch
+        # warm-start chaining stays deterministic.
+        remaining.sort(key=lambda item: item[0])
+        return remaining
+
     def _solve_misses(self, misses: List[Tuple[int, ScenarioSpec, str]],
                       results: List[Optional[ScenarioResult]]) -> None:
+        if self.batch_mode == "multiscenario" and len(misses) > 1:
+            misses = self._solve_multiscenario(misses, results)
+            if not misses:
+                return
         workers = self.max_workers or 0
         if workers > 1 and len(misses) > 1:
             self._solve_parallel(misses, results, workers)
         else:
-            # Inline serial path: solve in submission order, admitting
-            # each equilibrium before the next solve so warm starts
-            # chain *within* the batch (a sweep's point k warm-starts
-            # from point k-1, exactly like a hand-rolled sweep would).
-            for i, spec, key in misses:
-                warm = self.warm_index.suggest(spec) if self.warm_start \
-                    else None
-                (_, value, error, solver, degraded,
-                 elapsed) = _solve_chunk(
-                    [(0, spec, warm, self.use_guard)])[0]
-                results[i] = ScenarioResult(
-                    spec=spec, key=key, value=value, error=error,
-                    source="solved",
-                    warm_key=warm.key if warm is not None else None,
-                    solver=solver, degraded=degraded, elapsed=elapsed)
-                if error is None:
-                    self._admit(spec, key, value)
+            self._solve_serial(misses, results)
+
+    def _solve_serial(self, misses: List[Tuple[int, ScenarioSpec, str]],
+                      results: List[Optional[ScenarioResult]]) -> None:
+        # Inline serial path: solve in submission order, admitting
+        # each equilibrium before the next solve so warm starts
+        # chain *within* the batch (a sweep's point k warm-starts
+        # from point k-1, exactly like a hand-rolled sweep would).
+        for i, spec, key in misses:
+            warm = self.warm_index.suggest(spec) if self.warm_start \
+                else None
+            (_, value, error, solver, degraded,
+             elapsed) = _solve_chunk(
+                [(0, spec, warm, self.use_guard)])[0]
+            results[i] = ScenarioResult(
+                spec=spec, key=key, value=value, error=error,
+                source="solved",
+                warm_key=warm.key if warm is not None else None,
+                solver=solver, degraded=degraded, elapsed=elapsed)
+            if error is None:
+                self._admit(spec, key, value)
 
     def _solve_parallel(self, misses: List[Tuple[int, ScenarioSpec, str]],
                         results: List[Optional[ScenarioResult]],
                         workers: int) -> None:
+        # Pool width and chunk size come from the measured solver
+        # trajectory (BENCH_solvers.json): workers are only added while
+        # each still receives enough solve work to amortize its startup.
+        plan = plan_fanout(
+            len(misses), n=max(spec.params.n for _, spec, _ in misses),
+            max_workers=workers, bench_path=self.bench_path,
+            chunk_size=self.chunk_size)
+        if plan.inline:
+            # Too little work to pay for even one extra process —
+            # the serial path also chains warm starts within the batch.
+            self._solve_serial(misses, results)
+            return
+        if _TEL.enabled:
+            _TEL.metrics.gauge(
+                "serving_fanout_workers",
+                "Process-pool width chosen by the fan-out planner for "
+                "the most recent parallel miss batch").set(plan.workers)
+
         # Suggestions are computed up front from the pre-batch index:
         # worker processes cannot see equilibria admitted mid-batch.
         payloads = []
@@ -441,15 +612,43 @@ class ServingEngine:
             warm_keys[position] = warm.key if warm is not None else None
             payloads.append((position, spec, warm, self.use_guard))
 
-        workers = min(workers, len(payloads))
-        size = self.chunk_size or max(
-            1, math.ceil(len(payloads) / (workers * 4)))
-        chunks = [payloads[i:i + size]
-                  for i in range(0, len(payloads), size)]
+        size = plan.chunk_size
         solved = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for chunk_result in pool.map(_solve_chunk, chunks):
-                solved.extend(chunk_result)
+        block: Optional[SharedBudgetBlock] = None
+        if self.use_shared_memory:
+            try:
+                block = SharedBudgetBlock(
+                    [spec.params.budget_array
+                     for _, spec, _ in misses])
+            except (OSError, ValueError):
+                block = None  # platform without usable shared memory
+        try:
+            with ProcessPoolExecutor(max_workers=plan.workers) as pool:
+                if block is not None:
+                    # Zero-copy path: ship specs with a minimal
+                    # placeholder budget vector plus an
+                    # (offset, length) handle into the shared segment;
+                    # workers restore the real vector before solving.
+                    shm_payloads = [
+                        (position,
+                         replace(spec,
+                                 params=spec.params.with_budgets(
+                                     (1.0, 1.0))),
+                         block.handles[position], warm, use_guard)
+                        for position, spec, warm, use_guard in payloads]
+                    chunks = [(block.name, shm_payloads[i:i + size])
+                              for i in range(0, len(shm_payloads), size)]
+                    for chunk_result in pool.map(_solve_chunk_shm,
+                                                 chunks):
+                        solved.extend(chunk_result)
+                else:
+                    chunks = [payloads[i:i + size]
+                              for i in range(0, len(payloads), size)]
+                    for chunk_result in pool.map(_solve_chunk, chunks):
+                        solved.extend(chunk_result)
+        finally:
+            if block is not None:
+                block.close()
 
         for position, value, error, solver, degraded, elapsed in solved:
             i, spec, key = misses[position]

@@ -1,0 +1,204 @@
+"""Process fan-out planning and zero-copy parameter transport.
+
+Two utilities behind :class:`~repro.serving.engine.ServingEngine`'s
+parallel path, both closing ROADMAP items on dynamic
+``ProcessPoolExecutor`` sizing:
+
+* :func:`plan_fanout` — pick worker count and chunk size from measured
+  throughput instead of fixed heuristics.  Per-solve cost is estimated
+  from the committed ``BENCH_solvers.json`` trajectory (nearest
+  ``connected/vectorized`` case by miner count); workers are only
+  added while each still receives at least
+  :data:`MIN_SECONDS_PER_WORKER` of solve work, so a batch of cheap
+  misses no longer pays process-pool startup for workers that would
+  finish their slice faster than they spawn.
+
+* :class:`SharedBudgetBlock` — one ``multiprocessing.shared_memory``
+  segment holding every miss's budget vector back to back.  Worker
+  payloads then carry an ``(offset, length)`` handle instead of a
+  pickled copy of the budgets (the dominant payload bytes for large
+  ``n``), and each worker reads its slice straight out of the mapped
+  segment.  The block is created by the parent, attached read-only by
+  workers, and unlinked by the parent when the batch completes; the
+  published byte count is exported on the
+  ``serving_shared_memory_bytes_total`` telemetry counter.
+
+Everything degrades gracefully: a missing bench report falls back to
+the static chunk heuristic, and platforms without working shared
+memory simply keep the pickled path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..telemetry import TELEMETRY as _TEL
+
+__all__ = ["FanoutPlan", "plan_fanout", "SharedBudgetBlock",
+           "BudgetHandle", "read_budgets", "MIN_SECONDS_PER_WORKER"]
+
+#: A worker is only worth spawning while it still receives at least
+#: this many seconds of estimated solve work — below it, pool startup
+#: and pickling dominate whatever the extra process saves.
+MIN_SECONDS_PER_WORKER = 0.25
+
+#: Fallback per-solve estimate (seconds) when no bench trajectory is
+#: available; roughly the committed ``connected/vectorized`` medians.
+DEFAULT_SOLVE_SECONDS = 0.03
+
+
+@dataclass(frozen=True)
+class FanoutPlan:
+    """A sized process fan-out: worker count, chunk size, rationale."""
+
+    workers: int
+    chunk_size: int
+    reason: str
+
+    @property
+    def inline(self) -> bool:
+        """Whether the plan says to skip the pool entirely."""
+        return self.workers <= 1
+
+
+def _estimate_solve_seconds(n: int,
+                            bench_path: Optional[Union[str, Path]]
+                            ) -> Tuple[float, str]:
+    """Per-solve cost estimate from the bench trajectory, with source.
+
+    Uses the ``connected/vectorized`` case nearest in miner count —
+    the serving engine's dominant miss shape.  Falls back to
+    :data:`DEFAULT_SOLVE_SECONDS` when the report is absent or holds
+    no usable case.
+    """
+    path = Path(bench_path) if bench_path is not None \
+        else Path("BENCH_solvers.json")
+    if not path.exists():
+        return DEFAULT_SOLVE_SECONDS, "default (no bench report)"
+    try:
+        from ..kernels.bench import load_report
+
+        report = load_report(path)
+    except (OSError, ValueError, KeyError, TypeError):
+        return DEFAULT_SOLVE_SECONDS, "default (unreadable bench report)"
+    candidates = [c for c in report.cases
+                  if c.solver == "connected" and c.kernel == "vectorized"
+                  and c.median_s > 0]
+    if not candidates:
+        return DEFAULT_SOLVE_SECONDS, "default (no vectorized cases)"
+    best = min(candidates, key=lambda c: abs(c.n - n))
+    return best.median_s, f"bench {best.case_id}"
+
+
+def plan_fanout(misses: int, n: int, max_workers: int,
+                bench_path: Optional[Union[str, Path]] = None,
+                chunk_size: Optional[int] = None) -> FanoutPlan:
+    """Size the process pool from measured solver throughput.
+
+    Args:
+        misses: Number of scenarios to solve.
+        n: Miner count of the batch (largest, when mixed).
+        max_workers: The engine's configured ceiling.
+        bench_path: Bench trajectory to calibrate from; ``None`` tries
+            ``BENCH_solvers.json`` in the working directory.
+        chunk_size: Explicit per-task chunk override (forwarded into
+            the plan unchanged when set).
+
+    Returns:
+        A :class:`FanoutPlan`.  Workers never exceed ``max_workers``
+        or ``misses``; they shrink further until every worker is
+        estimated to receive :data:`MIN_SECONDS_PER_WORKER` of work.
+    """
+    if misses <= 0:
+        return FanoutPlan(workers=0, chunk_size=1, reason="no misses")
+    est, source = _estimate_solve_seconds(n, bench_path)
+    total = est * misses
+    by_work = max(1, int(total / MIN_SECONDS_PER_WORKER))
+    workers = max(1, min(max_workers, misses, by_work))
+    if chunk_size is not None:
+        size = chunk_size
+    else:
+        size = max(1, math.ceil(misses / (workers * 4)))
+    return FanoutPlan(
+        workers=workers, chunk_size=size,
+        reason=(f"{misses} misses x ~{est:.3g}s ({source}) -> "
+                f"{workers} workers, chunks of {size}"))
+
+
+@dataclass(frozen=True)
+class BudgetHandle:
+    """Location of one budget vector inside a shared segment."""
+
+    offset: int
+    length: int
+
+
+class SharedBudgetBlock:
+    """Budget vectors of a miss batch in one shared-memory segment.
+
+    Layout: float64 vectors back to back, 8-byte aligned by
+    construction.  The parent keeps the segment alive for the duration
+    of the batch and must call :meth:`close` (which also unlinks) when
+    every worker result has been collected.
+    """
+
+    def __init__(self, budgets: Sequence[np.ndarray]) -> None:
+        lengths = [int(np.asarray(b).shape[0]) for b in budgets]
+        total = sum(lengths)
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(total * 8, 8))
+        self.handles: List[BudgetHandle] = []
+        offset = 0
+        for vec, length in zip(budgets, lengths):
+            target = np.ndarray((length,), dtype=np.float64,
+                                buffer=self._shm.buf, offset=offset * 8)
+            target[:] = np.asarray(vec, dtype=np.float64)
+            self.handles.append(BudgetHandle(offset=offset * 8,
+                                             length=length))
+            offset += length
+        self.nbytes = total * 8
+        if _TEL.enabled:
+            _TEL.metrics.counter(
+                "serving_shared_memory_bytes_total",
+                "Bytes published to shared-memory parameter blocks "
+                "for zero-copy process fan-out").inc(self.nbytes)
+
+    @property
+    def name(self) -> str:
+        """Segment name workers attach by."""
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release and unlink the segment (parent side, idempotent)."""
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+    def __enter__(self) -> "SharedBudgetBlock":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_budgets(name: str, handle: BudgetHandle) -> Tuple[float, ...]:
+    """Worker-side read of one budget vector from a shared segment.
+
+    Returns an owned tuple (the mapping is closed before returning, so
+    no view into the segment escapes).
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        view = np.ndarray((handle.length,), dtype=np.float64,
+                          buffer=shm.buf, offset=handle.offset)
+        return tuple(float(x) for x in view)
+    finally:
+        shm.close()

@@ -60,10 +60,13 @@ class ScenarioSpec:
         tol: Solver tolerance the scenario should be solved at.
         kernel: Solver kernel (see
             :func:`~repro.core.nep.solve_connected_equilibrium`). The
-            serving default is ``"vectorized"`` — the aggregate kernel
-            with exact fixed-point verification; pass ``"scalar"`` to
-            reproduce the golden reference path bit-for-bit. Part of
-            the cache key: results solved under different kernels
+            serving default is ``"auto"`` — the running sweep below the
+            measured crossover miner count and the aggregate kernel
+            with exact fixed-point verification above it
+            (:func:`~repro.core.nep.resolve_kernel`, deterministic in
+            ``n`` alone so keys stay reproducible); pass ``"scalar"``
+            to reproduce the golden reference path bit-for-bit. Part
+            of the cache key: results solved under different kernels
             agree only to solver tolerance, not bit-for-bit.
         n_types: Type-space compression level for the follower solves
             (:mod:`repro.kernels.typespace`); ``None`` solves exactly.
@@ -76,7 +79,7 @@ class ScenarioSpec:
     prices: Optional[Prices] = None
     scheme: str = "auto"
     tol: float = 1e-9
-    kernel: str = "vectorized"
+    kernel: str = "auto"
     n_types: Optional[int] = None
     label: str = field(default="", compare=False)
 

@@ -165,3 +165,44 @@ class TestHelpers:
         assert np.allclose(e_gs, eq.e, atol=1e-6)
         assert np.allclose(e_j, eq.e, atol=1e-6)
         assert np.allclose(c_j, eq.c, atol=1e-6)
+
+
+class TestAutoKernel:
+    def test_resolve_kernel_crossover(self):
+        from repro.core.nep import AUTO_VECTORIZED_MIN_N, resolve_kernel
+        assert resolve_kernel("auto", AUTO_VECTORIZED_MIN_N - 1) == \
+            "running"
+        assert resolve_kernel("auto", AUTO_VECTORIZED_MIN_N) == \
+            "vectorized"
+        # Explicit kernels pass through unchanged at every size.
+        for kernel in ("scalar", "running", "vectorized"):
+            assert resolve_kernel(kernel, 2) == kernel
+            assert resolve_kernel(kernel, 10_000) == kernel
+        with pytest.raises(ValueError):
+            resolve_kernel("simd", 8)
+
+    def test_auto_matches_resolved_kernel(self, prices):
+        from repro.core.nep import AUTO_VECTORIZED_MIN_N
+        small = homogeneous(5, 200.0, reward=1000.0, fork_rate=0.2,
+                            h=0.8)
+        big = homogeneous(AUTO_VECTORIZED_MIN_N + 4, 200.0,
+                          reward=1000.0, fork_rate=0.2, h=0.8)
+        for params, resolved in ((small, "running"),
+                                 (big, "vectorized")):
+            auto = solve_connected_equilibrium(params, prices,
+                                               kernel="auto")
+            direct = solve_connected_equilibrium(params, prices,
+                                                 kernel=resolved)
+            np.testing.assert_array_equal(auto.e, direct.e)
+            np.testing.assert_array_equal(auto.c, direct.c)
+
+    def test_auto_choice_visible_in_telemetry(self, prices):
+        from repro.telemetry import telemetry_session
+        params = homogeneous(25, 200.0, reward=1000.0, fork_rate=0.2,
+                             h=0.8)
+        with telemetry_session() as tel:
+            solve_connected_equilibrium(params, prices, kernel="auto")
+        snap = tel.metrics.snapshot()
+        labels = {tuple(sorted(v["labels"].items()))
+                  for v in snap["br_sweep_seconds"]["values"]}
+        assert (("kernel", "auto:vectorized"),) in labels

@@ -89,3 +89,48 @@ class TestCSPBestResponse:
         oracle = DemandOracle(binding_params)
         with pytest.raises(InfeasibleGameError):
             csp_best_response(oracle, p_e=0.05)
+
+
+class TestBatchedEquilibria:
+    def _grid(self, count=10):
+        return [Prices(2.0 + 0.05 * k, 1.0 + 0.02 * k)
+                for k in range(count)]
+
+    def test_grid_matches_per_point(self, heterogeneous_params):
+        batched = DemandOracle(heterogeneous_params,
+                               kernel="vectorized")
+        loop = DemandOracle(heterogeneous_params, kernel="vectorized")
+        grid = self._grid()
+        for a, p in zip(batched.equilibria(grid), grid):
+            b = loop.equilibrium(p)
+            np.testing.assert_array_equal(a.e, b.e)
+            np.testing.assert_array_equal(a.c, b.c)
+        assert batched.evaluations == loop.evaluations
+
+    def test_grid_admits_to_cache(self, heterogeneous_params):
+        oracle = DemandOracle(heterogeneous_params, kernel="vectorized")
+        grid = self._grid()
+        oracle.equilibria(grid)
+        before = oracle.evaluations
+        oracle.equilibria(grid)          # pure memo hits
+        oracle.equilibrium(grid[0])      # so is a point query
+        assert oracle.evaluations == before
+
+    def test_scalar_kernel_falls_back_per_point(self,
+                                                heterogeneous_params):
+        oracle = DemandOracle(heterogeneous_params, kernel="scalar")
+        grid = self._grid(4)
+        results = oracle.equilibria(grid)
+        ref = DemandOracle(heterogeneous_params, kernel="scalar")
+        for a, p in zip(results, grid):
+            b = ref.equilibrium(p)
+            np.testing.assert_array_equal(a.e, b.e)
+
+    def test_closed_form_oracle_unaffected(self, connected_params):
+        # Homogeneous games answer from the closed forms; the grid API
+        # must route through them identically.
+        oracle = DemandOracle(connected_params)
+        grid = self._grid(4)
+        for a, p in zip(oracle.equilibria(grid), grid):
+            b = DemandOracle(connected_params).equilibrium(p)
+            np.testing.assert_array_equal(a.e, b.e)

@@ -171,3 +171,81 @@ class TestRunBench:
             run_bench(sizes=(4,), repeats=0)
         with pytest.raises(ValueError):
             run_bench(sizes=(4,), solvers=("connected", "simd"))
+
+
+class TestCoverageComparison:
+    """Missing-case detection distinguishes renames from shrinkage."""
+
+    def test_missing_case_with_no_replacement_is_flagged(self):
+        # The vectorized family still runs (n=64), so losing its n=8
+        # case is genuine shrinkage, not a subset run.
+        baseline = _report([_case(kernel="scalar"),
+                            _case(kernel="running"),
+                            _case(kernel="vectorized"),
+                            _case(kernel="vectorized", n=64)])
+        current = _report([_case(kernel="scalar"),
+                           _case(kernel="running"),
+                           _case(kernel="vectorized", n=64)])
+        regressions = compare_reports(current, baseline, tolerance=0.25)
+        assert any("connected/vectorized/n=8" in r
+                   and "coverage shrank" in r for r in regressions)
+
+    def test_unattempted_case_family_not_flagged(self):
+        # A kernel label absent from the ENTIRE current run is an
+        # opt-in family the run did not attempt (e.g. `bench` without
+        # --multiscenario against a full baseline) — not shrinkage.
+        baseline = _report([_case(kernel="scalar"),
+                            _case(kernel="vectorized"),
+                            _case(kernel="multiscenario"),
+                            _case(kernel="multiscenario-serial")])
+        current = _report([_case(kernel="scalar"),
+                           _case(kernel="vectorized")])
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+
+    def test_kernel_rename_is_new_not_missing(self):
+        # A case whose kernel label changed (e.g. "vectorized" ->
+        # "auto:vectorized") is new coverage, not lost coverage.
+        baseline = _report([_case(kernel="scalar"),
+                            _case(kernel="running"),
+                            _case(kernel="vectorized")])
+        current = _report([_case(kernel="scalar"),
+                           _case(kernel="running"),
+                           _case(kernel="auto:vectorized")])
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+
+    def test_subset_run_not_flagged(self):
+        # Running a subset of solvers/sizes (e.g. --quick) must not
+        # report the deliberately skipped combos as regressions.
+        baseline = _report([_case(kernel="scalar"),
+                            _case(kernel="running"),
+                            _case(kernel="scalar", n=64),
+                            _case(kernel="running", n=64)])
+        current = _report([_case(kernel="scalar"),
+                           _case(kernel="running")])
+        assert compare_reports(current, baseline, tolerance=0.25) == []
+
+
+class TestRunBenchMultiscenario:
+    def test_multiscenario_cases_and_speedup(self):
+        report = run_bench(sizes=(4,), repeats=1,
+                           solvers=("connected",), multiscenario=True)
+        ids = {c.case_id for c in report.cases}
+        assert "connected/multiscenario/n=4" in ids
+        assert "connected/multiscenario-serial/n=4" in ids
+        assert "connected/n=4/multiscenario" in report.speedups
+        batched = next(c for c in report.cases
+                       if c.kernel == "multiscenario")
+        assert batched.converged
+
+    def test_sizes_past_crossover_are_note_skipped(self):
+        from repro.kernels.bench import _multiscenario_cases
+        from repro.kernels.multiscenario import MULTISCENARIO_MAX_N
+
+        big = MULTISCENARIO_MAX_N + 1
+        notes = []
+        cases = _multiscenario_cases((4, big), 1, notes)
+        ids = {c.case_id for c in cases}
+        assert "connected/multiscenario/n=4" in ids
+        assert f"connected/multiscenario/n={big}" not in ids
+        assert any("past the batching crossover" in note
+                   for note in notes)

@@ -149,7 +149,7 @@ def _assert_profiles_close(eq_a, eq_b, tol=1e-9):
 
 class TestConnectedSolveEquivalence:
     def test_kernels_enumerated(self):
-        assert KERNELS == ("scalar", "running", "vectorized")
+        assert KERNELS == ("scalar", "running", "vectorized", "auto")
         with pytest.raises(ValueError):
             solve_connected_equilibrium(connected_params(), PRICES,
                                         kernel="simd")

@@ -20,7 +20,8 @@ STRICT_PACKAGES = ("src/repro/kernels", "src/repro/serving",
                    "src/repro/core", "src/repro/resilience",
                    "src/repro/telemetry", "src/repro/control",
                    "src/repro/analysis", "src/repro/network",
-                   "src/repro/service")
+                   "src/repro/service", "src/repro/population",
+                   "src/repro/learning")
 
 
 def run(cmd):

@@ -158,8 +158,15 @@ class TestTtlAndInvalidation:
         assert a.result.source == "solved"
         assert b.result.source == "solved"
         assert service.solves == 2
-        np.testing.assert_array_equal(a.result.value.e,
-                                      b.result.value.e)
+        # Equality is to solver tolerance, not bitwise: at n=5 the
+        # default kernel="auto" resolves to the running sweep, which
+        # accepts warm starts — the re-solve seeds from the retired
+        # answer's warm-index entry and takes a different (equally
+        # converged) trajectory.  The vectorized kernel (n >= 20)
+        # ignores initial iterates and re-solves bit-identically.
+        np.testing.assert_allclose(a.result.value.e,
+                                   b.result.value.e,
+                                   rtol=1e-7, atol=1e-7)
 
 
 class TestSeams:

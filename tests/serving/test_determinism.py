@@ -11,7 +11,7 @@ injection is seeded, so a whole chaos pipeline replays exactly too.
 import numpy as np
 import pytest
 
-from repro.core import (EdgeMode, Prices, homogeneous,
+from repro.core import (EdgeMode, GameParameters, Prices, homogeneous,
                         solve_connected_equilibrium)
 from repro.resilience import (FaultPlan, TransientFaults,
                               run_resilient_pipeline)
@@ -92,6 +92,81 @@ class TestParallelMatchesSerial:
         for a, b in zip(first, second):
             np.testing.assert_array_equal(np.asarray(a.value.e),
                                           np.asarray(b.value.e))
+
+
+class TestMultiscenarioBatchMode:
+    """``batch_mode="multiscenario"`` is a pure speedup: bit-identical
+    results, answered by the batched kernel where eligible."""
+
+    def _vectorized_specs(self, n_scen=12, n=24):
+        params = GameParameters(
+            reward=1200.0, fork_rate=0.2, h=0.8,
+            budgets=[100.0 + 6.0 * j for j in range(n)])
+        return [ScenarioSpec(params=params,
+                             prices=Prices(2.0, round(0.6 + 0.05 * k, 9)),
+                             kernel="vectorized")
+                for k in range(n_scen)]
+
+    def test_identical_to_batching_disabled(self):
+        specs = self._vectorized_specs()
+        batched = ServingEngine(warm_start=False, use_guard=False,
+                                batch_mode="multiscenario")
+        plain = ServingEngine(warm_start=False, use_guard=False,
+                              batch_mode="none")
+        batched_by_key = _by_key(batched.serve_batch(specs))
+        plain_by_key = _by_key(plain.serve_batch(specs))
+        assert set(batched_by_key) == set(plain_by_key)
+        for key, b in batched_by_key.items():
+            p = plain_by_key[key]
+            assert b.ok and p.ok
+            np.testing.assert_array_equal(np.asarray(b.value.e),
+                                          np.asarray(p.value.e))
+            np.testing.assert_array_equal(np.asarray(b.value.c),
+                                          np.asarray(p.value.c))
+
+    def test_batched_solver_label(self):
+        specs = self._vectorized_specs()
+        engine = ServingEngine(warm_start=False, use_guard=False,
+                               batch_mode="multiscenario")
+        results = engine.serve_batch(specs)
+        assert all(r.ok for r in results)
+        assert {r.solver for r in results} == {"nep-multiscenario"}
+
+    def test_small_n_bypasses_batching(self):
+        # kernel="auto" at n=5 resolves to the running sweep, which
+        # the batch cannot certify — the per-scenario path answers.
+        specs = _price_grid_specs()
+        engine = ServingEngine(warm_start=False, use_guard=False,
+                               batch_mode="multiscenario")
+        results = engine.serve_batch(specs)
+        assert all(r.ok for r in results)
+        assert "nep-multiscenario" not in {r.solver for r in results}
+
+    def test_large_n_bypasses_batching(self):
+        # Past the batching crossover a solo vectorized solve is
+        # already efficient; the engine must decline to batch there.
+        from repro.kernels.multiscenario import MULTISCENARIO_MAX_N
+
+        specs = self._vectorized_specs(n_scen=3,
+                                       n=MULTISCENARIO_MAX_N + 1)
+        engine = ServingEngine(warm_start=False, use_guard=False,
+                               batch_mode="multiscenario")
+        results = engine.serve_batch(specs)
+        assert all(r.ok for r in results)
+        assert "nep-multiscenario" not in {r.solver for r in results}
+
+    def test_identical_to_direct_solve(self):
+        specs = self._vectorized_specs(n_scen=6)
+        engine = ServingEngine(warm_start=False, use_guard=False,
+                               batch_mode="multiscenario")
+        for spec, res in zip(specs, engine.serve_batch(specs)):
+            direct = solve_connected_equilibrium(
+                spec.params, spec.prices, tol=spec.tol,
+                kernel="vectorized")
+            np.testing.assert_array_equal(np.asarray(res.value.e),
+                                          direct.e)
+            np.testing.assert_array_equal(np.asarray(res.value.c),
+                                          direct.c)
 
 
 class TestFaultedPipelineDeterminism:

@@ -1,0 +1,146 @@
+"""Fan-out planning and zero-copy shared-memory budget transport."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import GameParameters, Prices
+from repro.serving import ScenarioSpec, ServingEngine
+from repro.serving.fanout import (MIN_SECONDS_PER_WORKER,
+                                  SharedBudgetBlock, plan_fanout,
+                                  read_budgets)
+from repro.telemetry import telemetry_session
+
+
+class TestPlanFanout:
+    def test_no_misses(self):
+        plan = plan_fanout(0, n=8, max_workers=8,
+                           bench_path="/nonexistent")
+        assert plan.workers == 0
+        assert plan.inline
+
+    def test_small_batch_goes_inline(self):
+        # A handful of cheap solves never pays pool startup.
+        plan = plan_fanout(3, n=8, max_workers=8,
+                           bench_path="/nonexistent")
+        assert plan.inline
+
+    def test_large_batch_fans_out_capped_at_max_workers(self):
+        plan = plan_fanout(500, n=8, max_workers=4,
+                           bench_path="/nonexistent")
+        assert plan.workers == 4
+        assert plan.chunk_size >= 1
+
+    def test_workers_never_exceed_misses(self):
+        plan = plan_fanout(2, n=8, max_workers=16,
+                           bench_path="/nonexistent")
+        assert plan.workers <= 2
+
+    def test_chunk_override_forwarded(self):
+        plan = plan_fanout(500, n=8, max_workers=4,
+                           bench_path="/nonexistent", chunk_size=7)
+        assert plan.chunk_size == 7
+
+    def test_calibrates_from_bench_report(self, tmp_path):
+        # A bench trajectory reporting very slow solves should produce
+        # more workers than the default estimate would at equal misses.
+        slow = {
+            "cases": [{"solver": "connected", "kernel": "vectorized",
+                       "n": 8, "median_s": 1.0, "p95_s": 1.1,
+                       "repeats": 3, "converged": True,
+                       "iterations": 10, "max_iter": 3000,
+                       "capped": False, "counters": {}}],
+            "speedups": {}, "notes": [], "env": {},
+        }
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(slow))
+        calibrated = plan_fanout(4, n=8, max_workers=8, bench_path=path)
+        default = plan_fanout(4, n=8, max_workers=8,
+                              bench_path="/nonexistent")
+        assert calibrated.workers == 4
+        assert default.inline
+        assert "bench connected/vectorized/n=8" in calibrated.reason
+
+    def test_unreadable_report_falls_back(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        plan = plan_fanout(100, n=8, max_workers=4, bench_path=path)
+        assert plan.workers >= 1
+        assert "default" in plan.reason
+
+    def test_work_threshold_respected(self):
+        # 100 misses at the default 0.03s estimate = 3s of work; the
+        # planner must not spawn workers that get < 0.25s each.
+        plan = plan_fanout(100, n=8, max_workers=64,
+                           bench_path="/nonexistent")
+        est_total = 100 * 0.03
+        assert plan.workers <= max(1, int(est_total /
+                                          MIN_SECONDS_PER_WORKER))
+
+
+class TestSharedBudgetBlock:
+    def test_round_trip(self):
+        vecs = [np.array([1.5, 2.5, 3.5]), np.array([7.0]),
+                np.arange(5, dtype=float)]
+        with SharedBudgetBlock(vecs) as block:
+            assert block.nbytes == 9 * 8
+            for vec, handle in zip(vecs, block.handles):
+                got = read_budgets(block.name, handle)
+                assert got == tuple(vec.tolist())
+
+    def test_close_is_idempotent(self):
+        block = SharedBudgetBlock([np.array([1.0, 2.0])])
+        block.close()
+        block.close()  # second close must not raise
+
+    def test_telemetry_counter(self):
+        with telemetry_session() as tel:
+            with SharedBudgetBlock([np.array([1.0, 2.0, 3.0])]):
+                pass
+        snap = tel.metrics.snapshot()
+        value = snap["serving_shared_memory_bytes_total"][
+            "values"][0]["value"]
+        assert value == 3 * 8
+
+
+class TestEngineSharedMemoryPath:
+    def _specs(self, count=48, n=12):
+        params = GameParameters(
+            reward=1000.0, fork_rate=0.2, h=0.8,
+            budgets=[150.0 + 5.0 * j for j in range(n)])
+        return [ScenarioSpec(params=params,
+                             prices=Prices(2.0, round(0.5 + 0.02 * k, 9)))
+                for k in range(count)]
+
+    @pytest.mark.parametrize("use_shared_memory", [True, False])
+    def test_parallel_matches_serial(self, use_shared_memory):
+        specs = self._specs()
+        serial = ServingEngine(warm_start=False, use_guard=False,
+                               batch_mode="none", max_workers=0)
+        parallel = ServingEngine(warm_start=False, use_guard=False,
+                                 batch_mode="none", max_workers=2,
+                                 use_shared_memory=use_shared_memory,
+                                 bench_path="/nonexistent")
+        serial_results = serial.serve_batch(specs)
+        parallel_results = parallel.serve_batch(specs)
+        for s, p in zip(serial_results, parallel_results):
+            assert s.ok and p.ok
+            np.testing.assert_array_equal(np.asarray(s.value.e),
+                                          np.asarray(p.value.e))
+            np.testing.assert_array_equal(np.asarray(s.value.c),
+                                          np.asarray(p.value.c))
+
+    def test_shared_memory_bytes_counted(self):
+        specs = self._specs()
+        engine = ServingEngine(warm_start=False, use_guard=False,
+                               batch_mode="none", max_workers=2,
+                               bench_path="/nonexistent")
+        with telemetry_session() as tel:
+            results = engine.serve_batch(specs)
+        assert all(r.ok for r in results)
+        snap = tel.metrics.snapshot()
+        assert snap["serving_shared_memory_bytes_total"][
+            "values"][0]["value"] == len(specs) * 12 * 8
+        assert snap["serving_fanout_workers"][
+            "values"][0]["value"] == 2

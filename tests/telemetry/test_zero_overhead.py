@@ -146,6 +146,22 @@ class TestOnOffEquivalence:
         assert off.report.iterations == on.report.iterations
         assert off.report.history == on.report.history
 
+    def test_multiscenario_batch_bit_identical(self):
+        # The batched kernel's histogram/gauge seams and the serving
+        # fan-out counters must never perturb solver output.
+        from repro.kernels import solve_connected_multiscenario
+
+        scenarios = [(connected_params(),
+                      Prices(p_e=2.0, p_c=0.8 + 0.1 * k))
+                     for k in range(5)]
+        off = solve_connected_multiscenario(scenarios)
+        with telemetry_session():
+            on = solve_connected_multiscenario(scenarios)
+        for a, b in zip(off, on):
+            assert hexa(a.e) == hexa(b.e)
+            assert hexa(a.c) == hexa(b.c)
+            assert a.report.iterations == b.report.iterations
+
 
 class TestSeamOverhead:
     """The disabled seam is <5% of a real VI iteration's cost."""
