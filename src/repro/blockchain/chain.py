@@ -54,7 +54,7 @@ class Blockchain:
     of equal height is orphaned.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         genesis = Block.genesis()
         self._genesis_hash = genesis.hash
         self._blocks: Dict[str, Block] = {genesis.hash: genesis}

@@ -13,7 +13,7 @@ difficulty, not interval, shifts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -74,7 +74,8 @@ class EpochRecord:
 class DifficultyAdjuster:
     """Closed-loop difficulty controller over simulated epochs."""
 
-    def __init__(self, policy: RetargetPolicy, initial: Difficulty):
+    def __init__(self, policy: RetargetPolicy,
+                 initial: Difficulty) -> None:
         self.policy = policy
         self.difficulty = initial
         self.history: List[EpochRecord] = []
@@ -99,7 +100,8 @@ class DifficultyAdjuster:
         return mean_interval
 
 
-def simulate_retargeting(demand_path, policy: RetargetPolicy,
+def simulate_retargeting(demand_path: Sequence[float],
+                         policy: RetargetPolicy,
                          initial: Difficulty,
                          seed: int = 0) -> List[EpochRecord]:
     """Run the controller against a path of total-demand values.

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
@@ -45,7 +46,8 @@ class ForkModel:
             raise ConfigurationError(
                 f"collision_rate must be positive, got {self.collision_rate}")
 
-    def pdf(self, delay):
+    def pdf(self, delay: Union[float, np.ndarray]
+            ) -> Union[float, np.ndarray]:
         """Collision PDF ``f(t) = λ e^{-λt}`` (vectorized; Fig. 2a)."""
         t = np.asarray(delay, dtype=float)
         out = np.where(t >= 0,
@@ -54,7 +56,8 @@ class ForkModel:
                        0.0)
         return out if out.ndim else float(out)
 
-    def fork_rate(self, delay):
+    def fork_rate(self, delay: Union[float, np.ndarray]
+                  ) -> Union[float, np.ndarray]:
         """Split-rate CDF ``β(t) = 1 - e^{-λt}`` (vectorized; Fig. 2b)."""
         t = np.asarray(delay, dtype=float)
         out = np.where(t >= 0,
@@ -69,7 +72,8 @@ class ForkModel:
             raise ConfigurationError(f"beta must be in [0, 1), got {beta}")
         return -math.log(1.0 - beta) / self.collision_rate
 
-    def linear_approximation(self, delay):
+    def linear_approximation(self, delay: Union[float, np.ndarray]
+                             ) -> Union[float, np.ndarray]:
         """Small-delay linearization ``β(t) ≈ λ t`` (the paper's "almost
         linearly proportional" regime)."""
         t = np.asarray(delay, dtype=float)

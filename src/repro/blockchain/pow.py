@@ -58,7 +58,7 @@ class PowOracle:
         seed: RNG seed for reproducibility.
     """
 
-    def __init__(self, difficulty: Difficulty, seed: int = 0):
+    def __init__(self, difficulty: Difficulty, seed: int = 0) -> None:
         self.difficulty = difficulty
         self._rng = np.random.default_rng(seed)
 

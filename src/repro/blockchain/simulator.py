@@ -79,7 +79,7 @@ class RoundSimulator:
     """
 
     def __init__(self, e: Sequence[float], c: Sequence[float], beta: float,
-                 h: float = 1.0, seed: int = 0):
+                 h: float = 1.0, seed: int = 0) -> None:
         self.e = np.asarray(e, dtype=float)
         self.c = np.asarray(c, dtype=float)
         if self.e.shape != self.c.shape or self.e.ndim != 1:
@@ -260,7 +260,7 @@ class EventDrivenSimulator:
 
     def __init__(self, nodes: Sequence[MinerNode], difficulty: Difficulty,
                  propagation: PropagationModel, reward: float = 1.0,
-                 seed: int = 0):
+                 seed: int = 0) -> None:
         if len(nodes) < 1:
             raise ConfigurationError("need at least one miner node")
         if reward <= 0:

@@ -66,7 +66,7 @@ class Mempool:
     approximation miners actually run).
     """
 
-    def __init__(self, lookahead: int = 64):
+    def __init__(self, lookahead: int = 64) -> None:
         if lookahead < 1:
             raise ConfigurationError("lookahead must be >= 1")
         self._heap: List[Tuple[float, int, Transaction]] = []
@@ -127,8 +127,8 @@ class TxArrivalProcess:
     median_fee_rate: float = 1e-5
     fee_sigma: float = 1.0
     seed: int = 0
-    _rng: np.random.Generator = field(init=False, repr=False, default=None)
-    _counter: itertools.count = field(init=False, repr=False, default=None)
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _counter: "itertools.count[int]" = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.rate <= 0:

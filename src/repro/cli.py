@@ -33,7 +33,8 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import (Any, Callable, Dict, FrozenSet, Iterator,
+                    List, Optional, Sequence, Tuple)
 
 from .analysis import (ablation_dynamic_weights, ablation_gnep_solvers,
                        ablation_transfer_semantics,
@@ -52,7 +53,7 @@ from .analysis import (ablation_dynamic_weights, ablation_gnep_solvers,
 from .analysis.reporting import save
 from .exceptions import ReproError
 
-EXPERIMENTS: Dict[str, Callable] = {
+EXPERIMENTS: Dict[str, Callable[..., Any]] = {
     "fig2": fig2_fork_model,
     "fig3": fig3_population,
     "fig4": fig4_price_sweep,
@@ -265,7 +266,7 @@ def build_bench_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def bench_main(argv=None) -> int:
+def bench_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``bench`` subcommand.
 
     Exit codes: 0 — benchmark ran (and no regressions), 1 — regressions
@@ -359,7 +360,7 @@ def bench_main(argv=None) -> int:
     return 0
 
 
-def _run_one(name: str, output, quiet: bool) -> int:
+def _run_one(name: str, output: Optional[str], quiet: bool) -> int:
     runner = EXPERIMENTS.get(name)
     if runner is None:
         print(f"unknown experiment {name!r}; try 'repro-mining list'",
@@ -386,7 +387,7 @@ def _run_one(name: str, output, quiet: bool) -> int:
     return 0
 
 
-def _parse_grid(grid: str):
+def _parse_grid(grid: str) -> "Tuple[str, List[float]]":
     """Parse ``KNOB:LO:HI:N`` into ``(knob, [values...])``."""
     parts = grid.split(":")
     if len(parts) != 4:
@@ -408,7 +409,8 @@ def _parse_grid(grid: str):
 
 
 def _serve_spec(knob: str, value: float, mode: str, stackelberg: bool,
-                n_miners=None, n_types=None):
+                n_miners: Optional[int] = None,
+                n_types: Optional[int] = None) -> "ScenarioSpec":
     """Build the ScenarioSpec for one grid point off the paper setup."""
     from .analysis.experiments import DEFAULTS as setup
     from .core import EdgeMode, Prices, homogeneous
@@ -445,7 +447,7 @@ def _serve_spec(knob: str, value: float, mode: str, stackelberg: bool,
 
 
 @contextlib.contextmanager
-def _maybe_trace(trace_path: Optional[str]):
+def _maybe_trace(trace_path: Optional[str]) -> "Iterator[None]":
     """Enable telemetry for the block and dump the span tree after.
 
     A no-op (telemetry stays disabled, nothing written) when
@@ -464,7 +466,7 @@ def _maybe_trace(trace_path: Optional[str]):
             print(f"wrote span tree to {trace_path}", file=sys.stderr)
 
 
-def serve_main(argv=None) -> int:
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``serve`` subcommand."""
     from .analysis.series import ResultTable
     from .serving import ServingEngine
@@ -537,7 +539,7 @@ def serve_main(argv=None) -> int:
     return 1 if errors else 0
 
 
-def metrics_main(argv=None) -> int:
+def metrics_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``metrics`` subcommand."""
     from .serving import ServingEngine
     from .telemetry import (render_json, render_prometheus,
@@ -619,10 +621,25 @@ def build_lint_parser() -> argparse.ArgumentParser:
                         help="print the rule catalog and exit")
     parser.add_argument("--output", default=None,
                         help="also write the report to this path")
+    parser.add_argument("--project", action="store_true",
+                        help="run the whole-program analyzer "
+                             "(cross-module call graph, RPR010-RPR013 "
+                             "and transitive RPR009) instead of the "
+                             "per-file rules")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="with --project: suppress findings "
+                             "recorded in this baseline file; only "
+                             "regressions gate")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="with --project: rewrite the --baseline "
+                             "file from the current findings "
+                             "(justifications of surviving entries "
+                             "are preserved) and exit 0")
     return parser
 
 
-def _parse_rule_ids(raw: str, known: frozenset) -> frozenset:
+def _parse_rule_ids(raw: str,
+                    known: FrozenSet[str]) -> FrozenSet[str]:
     ids = frozenset(part.strip().upper()
                     for part in raw.split(",") if part.strip())
     unknown = ids - known
@@ -633,10 +650,53 @@ def _parse_rule_ids(raw: str, known: frozenset) -> frozenset:
     return ids
 
 
-def lint_main(argv=None) -> int:
+def _project_lint(args: argparse.Namespace,
+                  select: Optional[FrozenSet[str]],
+                  ignore: FrozenSet[str]) -> int:
+    """The ``lint --project`` path: whole-program rules + baseline."""
+    from .lint import (LintConfig, analyze_project, apply_baseline,
+                       load_baseline, render_project_json,
+                       render_project_text, write_baseline)
+
+    config = LintConfig(select=select, ignore=ignore)
+    findings = analyze_project(args.paths, config)
+    if args.write_baseline:
+        target = args.baseline or "lint-baseline.json"
+        previous = load_baseline(target)
+        written = write_baseline(findings, target, previous=previous)
+        print(f"wrote {target}: {len(written)} entr"
+              f"{'y' if len(written) == 1 else 'ies'}",
+              file=sys.stderr)
+        return 0
+    baseline_result = None
+    if args.baseline is not None:
+        baseline_result = apply_baseline(
+            findings, load_baseline(args.baseline))
+        findings = baseline_result.new
+    if args.fmt == "json":
+        report = render_project_json(findings,
+                                     baseline=baseline_result)
+    else:
+        report = render_project_text(findings,
+                                     baseline=baseline_result,
+                                     statistics=args.statistics)
+    print(report)
+    if args.output is not None:
+        try:
+            Path(args.output).write_text(report + "\n")
+        except OSError as ex:
+            print(f"could not write {args.output!r}: {ex}",
+                  file=sys.stderr)
+            return 2
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``lint`` subcommand."""
-    from .lint import (ALL_RULES, LintConfig, lint_paths, render_json,
-                       render_text, rule_catalog)
+    from .lint import (ALL_RULES, PROJECT_RULES, LintConfig, lint_paths,
+                       project_rule_catalog, render_json, render_text,
+                       rule_catalog)
 
     args = build_lint_parser().parse_args(argv)
     if args.list_rules:
@@ -644,8 +704,16 @@ def lint_main(argv=None) -> int:
             print(f"{entry['id']} {entry['name']} "
                   f"[{entry['severity']}]")
             print(f"    {entry['description']}")
+        print()
+        print("whole-program rules (--project):")
+        for entry in project_rule_catalog():
+            print(f"{entry['id']} {entry['name']} "
+                  f"[{entry['severity']}]")
+            print(f"    {entry['description']}")
         return 0
     known = frozenset(rule.id for rule in ALL_RULES)
+    if args.project:
+        known = frozenset(rule.id for rule in PROJECT_RULES)
     try:
         select = (_parse_rule_ids(args.select, known)
                   if args.select else None)
@@ -658,6 +726,8 @@ def lint_main(argv=None) -> int:
     if missing:
         print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
+    if args.project:
+        return _project_lint(args, select, ignore)
     config = LintConfig(select=select, ignore=ignore)
     findings = lint_paths(args.paths, config)
     if args.fmt == "json":
@@ -730,7 +800,7 @@ def build_control_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def control_main(argv=None) -> int:
+def control_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``control`` subcommand.
 
     Exit codes: 0 — checks passed / the loop completed a verified
@@ -853,7 +923,7 @@ def build_serve_online_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def serve_online_main(argv=None) -> int:
+def serve_online_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``serve-online`` subcommand.
 
     Runs in the foreground until interrupted; exit code 0 on a clean
@@ -953,7 +1023,7 @@ def build_loadgen_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def loadgen_main(argv=None) -> int:
+def loadgen_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``loadgen`` subcommand.
 
     Exit codes: 0 — replay completed with zero errors and every SLO
@@ -1031,7 +1101,7 @@ def _print_experiments() -> None:
         print(f"{key:12s} {doc}")
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0].lower() == "serve":

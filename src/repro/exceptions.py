@@ -26,7 +26,7 @@ class ConvergenceError(ReproError, RuntimeError):
     attached as the ``report`` attribute when available.
     """
 
-    def __init__(self, message: str, report=None):
+    def __init__(self, message: str, report: object = None) -> None:
         super().__init__(message)
         self.report = report
 
@@ -54,7 +54,7 @@ class TransientProviderError(ReproError, RuntimeError):
     """
 
     def __init__(self, message: str, provider: str = "unknown",
-                 operation: str = "unknown"):
+                 operation: str = "unknown") -> None:
         super().__init__(message)
         self.provider = provider
         self.operation = operation

@@ -32,12 +32,12 @@ import math
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import (TYPE_CHECKING, Callable, Dict, List, Optional,
-                    Sequence, Union)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List,
+                    Optional, Sequence, Tuple, Union)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.nep import MinerEquilibrium
-    from ..core.params import GameParameters
+    from ..core.params import GameParameters, Prices
 
 __all__ = ["BenchCaseResult", "BenchReport", "run_bench",
            "compare_reports", "load_report", "write_report"]
@@ -153,12 +153,12 @@ class BenchReport:
     speedups: Dict[str, float] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable view (inverse of :meth:`from_dict`)."""
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, payload: Dict) -> "BenchReport":
+    def from_dict(cls, payload: Dict[str, Any]) -> "BenchReport":
         """Rebuild a report from :meth:`to_dict` output."""
         cases = [BenchCaseResult(**c) for c in payload.get("cases", [])]
         return cls(schema=int(payload.get("schema", SCHEMA_VERSION)),
@@ -373,14 +373,16 @@ def _multiscenario_cases(sizes: Sequence[int], repeats: int,
                 f"already efficient at this size and the engine's "
                 f"auto-batching declines it too")
             continue
-        scenarios = []
+        scenarios: List[Tuple[GameParameters, Prices]] = []
         for i in range(MULTISCENARIO_BATCH):
             params = homogeneous(n, 200.0 + 2.0 * i, reward=1000.0 + 5.0 * i,
                                  fork_rate=0.2, h=0.8)
             prices = Prices(p_e=2.0 + 0.005 * i, p_c=1.0 + 0.002 * i)
             scenarios.append((params, prices))
 
-        def solve_batched(scenarios=scenarios) -> object:
+        def solve_batched(
+                scenarios: List[Tuple[GameParameters, Prices]]
+                = scenarios) -> object:
             results = solve_connected_multiscenario(scenarios)
             iters = [r.report.iterations for r in results
                      if r is not None]
@@ -388,7 +390,9 @@ def _multiscenario_cases(sizes: Sequence[int], repeats: int,
                 converged=all(r is not None for r in results),
                 iterations=max(iters, default=0)))
 
-        def solve_serial(scenarios=scenarios) -> object:
+        def solve_serial(
+                scenarios: List[Tuple[GameParameters, Prices]]
+                = scenarios) -> object:
             results = [solve_connected_equilibrium(p, pr,
                                                    kernel="vectorized")
                        for p, pr in scenarios]

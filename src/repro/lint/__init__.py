@@ -24,10 +24,18 @@ Usage::
 
 from __future__ import annotations
 
+from .baseline import (Baseline, BaselineEntry, BaselineResult,
+                       apply_baseline, fingerprint, load_baseline,
+                       write_baseline)
 from .engine import (Finding, LintConfig, LintContext, Rule,
                      iter_python_files, lint_path, lint_paths,
                      lint_source, parse_suppressions)
-from .reporters import render_json, render_text, summarize
+from .project import (CallGraph, ProjectIndex, SymbolTable,
+                      build_project, infer_lock_discipline)
+from .project_rules import (PROJECT_RULES, ProjectRule,
+                            analyze_project, project_rule_catalog)
+from .reporters import (render_json, render_project_json,
+                        render_project_text, render_text, summarize)
 from .rules import ALL_RULES, rule_catalog
 
 __all__ = [
@@ -44,5 +52,25 @@ __all__ = [
     "parse_suppressions",
     "render_text",
     "render_json",
+    "render_project_text",
+    "render_project_json",
     "summarize",
+    # Whole-program analysis layer.
+    "ProjectIndex",
+    "SymbolTable",
+    "CallGraph",
+    "build_project",
+    "infer_lock_discipline",
+    "ProjectRule",
+    "PROJECT_RULES",
+    "project_rule_catalog",
+    "analyze_project",
+    # Baseline mechanism.
+    "Baseline",
+    "BaselineEntry",
+    "BaselineResult",
+    "fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
 ]

@@ -1,0 +1,150 @@
+"""Committed-baseline support for the whole-program analyzer.
+
+A baseline file (conventionally ``lint-baseline.json`` at the repo
+root) records known findings so the project gate fails only on
+*regressions*: findings not in the baseline.  Entries are matched by
+``(rule, path, symbol, message)`` — deliberately without line
+numbers, so unrelated edits that shift code do not invalidate the
+baseline.  Each entry may carry a ``justification`` explaining why
+the finding is accepted rather than fixed; ``--write-baseline``
+regenerates the file from current findings while preserving the
+justifications of entries that survive.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .engine import Finding
+
+__all__ = [
+    "BaselineEntry",
+    "Baseline",
+    "BaselineResult",
+    "fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+#: (rule, path, symbol, message) — line numbers intentionally absent.
+Fingerprint = Tuple[str, str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """Stable identity of a finding for baseline matching.
+
+    Line numbers are deliberately excluded so unrelated edits that
+    shift code do not invalidate baseline entries.
+    """
+    return (finding.rule_id, finding.path, finding.symbol,
+            finding.message)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding with its justification."""
+
+    rule: str
+    path: str
+    symbol: str
+    message: str
+    justification: str = ""
+
+    @property
+    def key(self) -> Fingerprint:
+        return (self.rule, self.path, self.symbol, self.message)
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: Dict[Fingerprint, BaselineEntry]
+    path: str = ""
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of matching findings against a baseline."""
+
+    #: Findings not covered by the baseline — these gate.
+    new: List[Finding]
+    #: Findings matched and suppressed by the baseline.
+    suppressed: List[Finding]
+    #: Baseline entries with no matching finding (fixed since the
+    #: baseline was written); reported non-fatally so the file gets
+    #: pruned, but never failing the gate.
+    stale: List[BaselineEntry]
+
+
+def load_baseline(path: Union[str, Path]) -> Baseline:
+    """Read a baseline file.  A missing file is an empty baseline."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return Baseline(entries={}, path=str(file_path))
+    doc = json.loads(file_path.read_text(encoding="utf-8"))
+    entries: Dict[Fingerprint, BaselineEntry] = {}
+    for raw in doc.get("entries", []):
+        entry = BaselineEntry(
+            rule=str(raw["rule"]), path=str(raw["path"]),
+            symbol=str(raw.get("symbol", "")),
+            message=str(raw["message"]),
+            justification=str(raw.get("justification", "")))
+        entries[entry.key] = entry
+    return Baseline(entries=entries, path=str(file_path))
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Baseline) -> BaselineResult:
+    """Split findings into new vs. baselined, and report stale
+    entries."""
+    matched: Dict[Fingerprint, bool] = {
+        key: False for key in baseline.entries}
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if key in baseline.entries:
+            matched[key] = True
+            suppressed.append(finding)
+        else:
+            new.append(finding)
+    stale = [baseline.entries[key]
+             for key, seen in matched.items() if not seen]
+    stale.sort(key=lambda e: e.key)
+    return BaselineResult(new=new, suppressed=suppressed, stale=stale)
+
+
+def write_baseline(findings: Sequence[Finding],
+                   path: Union[str, Path],
+                   previous: Union[Baseline, None] = None) -> Baseline:
+    """Regenerate the baseline from *findings*, carrying forward the
+    justification of every entry that still matches."""
+    keep = previous.entries if previous is not None else {}
+    entries: Dict[Fingerprint, BaselineEntry] = {}
+    for finding in findings:
+        key = fingerprint(finding)
+        prior = keep.get(key)
+        entries[key] = BaselineEntry(
+            rule=finding.rule_id, path=finding.path,
+            symbol=finding.symbol, message=finding.message,
+            justification=prior.justification if prior is not None
+            else "")
+    doc = {
+        "version": 1,
+        "entries": [
+            {"rule": e.rule, "path": e.path, "symbol": e.symbol,
+             "message": e.message, "justification": e.justification}
+            for e in sorted(entries.values(), key=lambda e: e.key)
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    return Baseline(entries=entries, path=str(path))

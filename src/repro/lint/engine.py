@@ -15,7 +15,7 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (Any, Dict, FrozenSet, Iterable, Iterator, List,
-                    Optional, Sequence, Tuple, Union)
+                    Optional, Sequence, Set, Tuple, Union)
 
 __all__ = [
     "Finding",
@@ -49,6 +49,9 @@ class Finding:
     line: int
     col: int
     severity: str = "error"
+    #: Dotted name of the enclosing function/method for project-level
+    #: findings; empty for per-file findings (no symbol resolution).
+    symbol: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -57,6 +60,7 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "symbol": self.symbol,
             "message": self.message,
         }
 
@@ -94,7 +98,7 @@ class LintContext:
     """Per-file state shared by the walker and every rule."""
 
     def __init__(self, path: Union[str, Path], source: str,
-                 config: LintConfig):
+                 config: LintConfig) -> None:
         self.path = str(path)
         self.source = source
         self.config = config
@@ -106,7 +110,7 @@ class LintContext:
         self.if_test_stack: List[str] = []
         # Names assigned from a floor expression (max(...), a positive
         # constant offset); one scope set per enclosing function.
-        self.floored_stack: List[set] = [set()]
+        self.floored_stack: List[Set[str]] = [set()]
         self._parts = self._module_parts()
 
     # -- module classification -------------------------------------
@@ -193,7 +197,7 @@ class Rule:
     rationale: str = ""
     default_options: Dict[str, Any] = {}
 
-    def __init__(self, options: Optional[Dict[str, Any]] = None):
+    def __init__(self, options: Optional[Dict[str, Any]] = None) -> None:
         merged = dict(self.default_options)
         if options:
             merged.update(options)
@@ -212,7 +216,7 @@ class _Walker(ast.NodeVisitor):
     """Single-pass dispatcher: maintains the context stacks and fans
     each node out to every rule hook registered for its type."""
 
-    def __init__(self, ctx: LintContext, rules: Sequence[Rule]):
+    def __init__(self, ctx: LintContext, rules: Sequence[Rule]) -> None:
         self.ctx = ctx
         self.findings: List[Finding] = []
         # node-class-name -> [(rule, hook), ...]

@@ -1,0 +1,969 @@
+"""Whole-program analysis: symbol table, call graph, lock inference.
+
+Where :mod:`repro.lint.engine` walks one file at a time, this layer
+parses an entire package tree once, resolves imports into a
+:class:`SymbolTable`, links every call expression it can resolve into
+a :class:`CallGraph`, and infers per-class lock discipline
+(:func:`infer_lock_discipline`).  The interprocedural rules of
+:mod:`repro.lint.project_rules` (RPR010-RPR013 and the transitive form
+of RPR009) run over the resulting :class:`ProjectIndex`; the index is
+also a public API for future tooling (dead-code sweeps, layering
+checks, impact analysis).
+
+Resolution is deliberately *conservative*: a call is linked only when
+the receiver's type is actually known — from a parameter annotation, a
+constructor assignment (``self.engine = ServingEngine(...)``), an
+attribute whose type was inferred in ``__init__``, or a module-level
+singleton (``TELEMETRY = Telemetry()``).  Unresolved calls produce no
+edges, so the graph under-approximates reachability rather than
+flooding the rules with name-collision false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple, Union)
+
+from .engine import parse_suppressions
+
+__all__ = [
+    "ModuleInfo",
+    "FunctionInfo",
+    "ClassInfo",
+    "CallSite",
+    "CallGraph",
+    "SymbolTable",
+    "ProjectIndex",
+    "AttrAccess",
+    "LockDiscipline",
+    "build_project",
+    "infer_lock_discipline",
+    "iter_project_files",
+]
+
+#: Constructors whose assignment marks an attribute as a lock.
+_LOCK_FACTORIES = frozenset({"Lock", "RLock"})
+
+
+def iter_project_files(root: Union[str, Path]) -> Iterator[Path]:
+    """Sorted ``.py`` files under *root* (a package directory).
+
+    Unlike :func:`repro.lint.engine.iter_python_files`, hidden-path
+    filtering is applied *relative to the root*, so a fixture package
+    that happens to live under a dot-directory can still be analyzed by
+    pointing the project builder straight at it.
+    """
+    base = Path(root)
+    if base.is_file():
+        yield base
+        return
+    for candidate in sorted(base.rglob("*.py")):
+        relative = candidate.relative_to(base)
+        if any(part.startswith(".") or part == "__pycache__"
+               for part in relative.parts):
+            continue
+        yield candidate
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name derived from the ``__init__.py`` chain.
+
+    ``src/repro/serving/cache.py`` -> ``repro.serving.cache`` because
+    ``src/`` has no ``__init__.py`` while ``repro/`` and ``serving/``
+    do.  Works for any package root, including test fixtures.
+    """
+    resolved = path.resolve()
+    parts: List[str] = []
+    if resolved.name != "__init__.py":
+        parts.append(resolved.stem)
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) if parts else resolved.stem
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: Local name -> dotted target (``np`` -> ``numpy``,
+    #: ``ScenarioCache`` -> ``repro.serving.cache.ScenarioCache``).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: Module-level variable -> class qualname (singleton instances).
+    var_types: Dict[str, str] = field(default_factory=dict)
+    #: Line -> suppressed rule ids (``# repro: noqa[...]``).
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        codes = self.suppressions.get(line)
+        if codes is None:
+            return False
+        return not codes or rule_id in codes
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function or method (nested defs fold into it)."""
+
+    qualname: str
+    module: ModuleInfo
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    name: str
+    class_name: Optional[str] = None
+    is_async: bool = False
+    params: Tuple[str, ...] = ()
+    #: Parameter name -> default expression (absent = required).
+    defaults: Dict[str, ast.expr] = field(default_factory=dict)
+    has_kwarg: bool = False
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def owner_qualname(self) -> Optional[str]:
+        """Qualname of the owning class, when this is a method."""
+        if self.class_name is None:
+            return None
+        return f"{self.module.name}.{self.class_name}"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and inferred attr types."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    name: str
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Simple base-class names (resolution happens lazily).
+    bases: Tuple[str, ...] = ()
+    #: Attributes assigned a ``threading.Lock()`` / ``RLock()``.
+    lock_attrs: FrozenSet[str] = frozenset()
+    #: Instance attribute -> class qualname, inferred from ``__init__``
+    #: assignments and annotations.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One resolved call expression linking caller to callee."""
+
+    caller: FunctionInfo
+    node: ast.Call
+    #: Resolved callee (None when only a class constructor matched).
+    callee: Optional[FunctionInfo] = None
+    #: Class constructed, when the call is ``SomeClass(...)``.
+    constructs: Optional[ClassInfo] = None
+    #: Whether the call site sits lexically inside a
+    #: ``with self.<lock>:`` block of the caller's class.
+    under_lock: bool = False
+    #: Keyword argument names passed explicitly at this site.
+    keywords: FrozenSet[str] = frozenset()
+    #: Whether the call uses ``**`` expansion (keywords unknowable).
+    has_star_kwargs: bool = False
+
+    @property
+    def callee_qualname(self) -> Optional[str]:
+        if self.callee is not None:
+            return self.callee.qualname
+        return None
+
+
+class CallGraph:
+    """Directed call graph over :class:`FunctionInfo` qualnames."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[str, List[CallSite]] = {}
+
+    def add(self, site: CallSite) -> None:
+        self._edges.setdefault(site.caller.qualname, []).append(site)
+
+    def sites_from(self, qualname: str) -> Sequence[CallSite]:
+        """Resolved call sites inside the named function."""
+        return tuple(self._edges.get(qualname, ()))
+
+    def callees(self, qualname: str) -> Set[str]:
+        """Qualnames of functions directly called by ``qualname``
+        (constructor calls contribute the class's ``__init__``)."""
+        out: Set[str] = set()
+        for site in self._edges.get(qualname, ()):
+            if site.callee is not None:
+                out.add(site.callee.qualname)
+            if site.constructs is not None:
+                init = site.constructs.methods.get("__init__")
+                if init is not None:
+                    out.add(init.qualname)
+        return out
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Forward transitive closure over call edges."""
+        seen: Set[str] = set()
+        frontier = [r for r in roots]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.callees(current) - seen)
+        return seen
+
+    def all_callers(self) -> Iterator[Tuple[str, Sequence[CallSite]]]:
+        for qualname in sorted(self._edges):
+            yield qualname, tuple(self._edges[qualname])
+
+
+class SymbolTable:
+    """Project-wide name resolution over modules, classes, functions."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # -- dotted-name resolution ------------------------------------
+
+    def resolve_dotted(self, dotted: str,
+                       _seen: Optional[Set[str]] = None
+                       ) -> Optional[Tuple[str, str]]:
+        """Resolve a dotted name to ``(kind, qualname)``.
+
+        ``kind`` is ``"function"``, ``"class"``, ``"module"``, or
+        ``"instance"`` (a module-level singleton; the qualname is then
+        the *type's* qualname).  Re-export chains through package
+        ``__init__`` modules are followed.
+        """
+        seen = _seen if _seen is not None else set()
+        if dotted in seen:
+            return None
+        seen.add(dotted)
+        if dotted in self.functions:
+            return ("function", dotted)
+        if dotted in self.classes:
+            return ("class", dotted)
+        if dotted in self.modules:
+            return ("module", dotted)
+        if "." not in dotted:
+            return None
+        prefix, leaf = dotted.rsplit(".", 1)
+        module = self.modules.get(prefix)
+        if module is None:
+            resolved_prefix = self.resolve_dotted(prefix, seen)
+            if resolved_prefix is None or resolved_prefix[0] != "module":
+                return None
+            module = self.modules[resolved_prefix[1]]
+        instance_type = module.var_types.get(leaf)
+        if instance_type is not None:
+            return ("instance", instance_type)
+        target = module.imports.get(leaf)
+        if target is not None:
+            return self.resolve_dotted(target, seen)
+        return None
+
+    def resolve_local(self, module: ModuleInfo,
+                      name: str) -> Optional[Tuple[str, str]]:
+        """Resolve a bare name as used inside *module*."""
+        own = f"{module.name}.{name}"
+        if own in self.functions:
+            return ("function", own)
+        if own in self.classes:
+            return ("class", own)
+        if name in module.var_types:
+            return ("instance", module.var_types[name])
+        target = module.imports.get(name)
+        if target is not None:
+            return self.resolve_dotted(target)
+        return None
+
+    # -- method resolution -----------------------------------------
+
+    def resolve_method(self, class_qualname: str,
+                       method: str) -> Optional[FunctionInfo]:
+        """Find ``method`` on a class or its project-resolved bases."""
+        seen: Set[str] = set()
+        frontier = [class_qualname]
+        while frontier:
+            current = frontier.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            found = cls.methods.get(method)
+            if found is not None:
+                return found
+            for base in cls.bases:
+                resolved = self.resolve_local(cls.module, base)
+                if resolved is not None and resolved[0] == "class":
+                    frontier.append(resolved[1])
+        return None
+
+
+@dataclass
+class AttrAccess:
+    """One ``self.<attr>`` touch inside a method."""
+
+    method: FunctionInfo
+    attr: str
+    node: ast.Attribute
+    under_lock: bool
+    is_write: bool
+
+
+@dataclass
+class LockDiscipline:
+    """Inferred lock discipline of one lock-owning class.
+
+    Attributes:
+        cls: The class under analysis.
+        lock_attrs: Its lock attribute names (``_lock``, ...).
+        guarded: Attribute -> ``(locked, total)`` access counts for
+            every attribute inferred to be lock-guarded
+            (majority-of-accesses rule).
+        held_methods: Methods proven to run with the lock already held
+            (private, and every intra-class call site is under the
+            lock).
+        accesses: Every recorded attribute access outside ``__init__``.
+        violations: Accesses of guarded attributes outside the lock.
+    """
+
+    cls: ClassInfo
+    lock_attrs: FrozenSet[str]
+    guarded: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    held_methods: FrozenSet[str] = frozenset()
+    accesses: List[AttrAccess] = field(default_factory=list)
+    violations: List[AttrAccess] = field(default_factory=list)
+
+
+@dataclass
+class ProjectIndex:
+    """Everything the interprocedural rules consume."""
+
+    symbols: SymbolTable
+    call_graph: CallGraph
+    #: Per-class raw attribute accesses (input to lock inference).
+    attr_accesses: Dict[str, List[AttrAccess]] = field(
+        default_factory=dict)
+    #: Per-class intra-class method call sites ``(caller method name,
+    #: callee method name, under_lock)`` used by the held-method
+    #: fixpoint.
+    intra_class_calls: Dict[str, List[Tuple[str, str, bool]]] = field(
+        default_factory=dict)
+
+    @property
+    def modules(self) -> Dict[str, ModuleInfo]:
+        return self.symbols.modules
+
+    @property
+    def functions(self) -> Dict[str, FunctionInfo]:
+        return self.symbols.functions
+
+    @property
+    def classes(self) -> Dict[str, ClassInfo]:
+        return self.symbols.classes
+
+
+# ---------------------------------------------------------------------------
+# Pass 1: modules, classes, functions, imports
+# ---------------------------------------------------------------------------
+
+def _param_names(node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+                 ) -> Tuple[Tuple[str, ...], Dict[str, ast.expr], bool]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args
+             + args.kwonlyargs]
+    defaults: Dict[str, ast.expr] = {}
+    positional = args.posonlyargs + args.args
+    for param, default in zip(positional[len(positional)
+                                         - len(args.defaults):],
+                              args.defaults):
+        defaults[param.arg] = default
+    for param, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_default is not None:
+            defaults[param.arg] = kw_default
+    return tuple(names), defaults, args.kwarg is not None
+
+
+def _record_imports(module: ModuleInfo) -> None:
+    package = module.name.rsplit(".", 1)[0] if "." in module.name \
+        else module.name
+    if module.path.endswith("__init__.py"):
+        package = module.name
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                module.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = module.name.split(".")
+                if not module.path.endswith("__init__.py"):
+                    base_parts = base_parts[:-1]
+                cut = node.level - 1
+                if cut:
+                    base_parts = base_parts[:-cut] if cut <= len(
+                        base_parts) else []
+                base = ".".join(base_parts)
+            else:
+                base = node.module or package
+            prefix = base
+            if node.module and node.level:
+                prefix = f"{base}.{node.module}" if base else node.module
+            elif not node.level:
+                prefix = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                module.imports[local] = (f"{prefix}.{alias.name}"
+                                         if prefix else alias.name)
+
+
+def _is_lock_factory(call: ast.expr, module: ModuleInfo) -> bool:
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        return True
+    if isinstance(func, ast.Name) and func.id in _LOCK_FACTORIES:
+        target = module.imports.get(func.id, "")
+        return target.startswith("threading.") or func.id in \
+            _LOCK_FACTORIES and target == ""
+    return False
+
+
+def _collect_module(symbols: SymbolTable, path: Path,
+                    source: str) -> Optional[ModuleInfo]:
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+    module = ModuleInfo(name=_module_name(path), path=str(path),
+                        tree=tree, source=source,
+                        suppressions=parse_suppressions(
+                            source.splitlines()))
+    _record_imports(module)
+    symbols.modules[module.name] = module
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params, defaults, has_kwarg = _param_names(node)
+            info = FunctionInfo(
+                qualname=f"{module.name}.{node.name}", module=module,
+                node=node, name=node.name,
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+                params=params, defaults=defaults, has_kwarg=has_kwarg)
+            symbols.functions[info.qualname] = info
+        elif isinstance(node, ast.ClassDef):
+            _collect_class(symbols, module, node)
+    return module
+
+
+def _collect_class(symbols: SymbolTable, module: ModuleInfo,
+                   node: ast.ClassDef) -> None:
+    qualname = f"{module.name}.{node.name}"
+    bases = tuple(b.id for b in node.bases if isinstance(b, ast.Name))
+    cls = ClassInfo(qualname=qualname, module=module, node=node,
+                    name=node.name, bases=bases)
+    lock_attrs: Set[str] = set()
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            params, defaults, has_kwarg = _param_names(item)
+            info = FunctionInfo(
+                qualname=f"{qualname}.{item.name}", module=module,
+                node=item, name=item.name, class_name=node.name,
+                is_async=isinstance(item, ast.AsyncFunctionDef),
+                params=params, defaults=defaults, has_kwarg=has_kwarg)
+            cls.methods[item.name] = info
+            symbols.functions[info.qualname] = info
+            for sub in ast.walk(item):
+                if (isinstance(sub, ast.Assign)
+                        and _is_lock_factory(sub.value, module)):
+                    for target in sub.targets:
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            lock_attrs.add(target.attr)
+    cls.lock_attrs = frozenset(lock_attrs)
+    symbols.classes[qualname] = cls
+
+
+def _collect_module_vars(symbols: SymbolTable,
+                         module: ModuleInfo) -> None:
+    """Module-level singleton instances: ``TELEMETRY = Telemetry()``."""
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        if not isinstance(func, ast.Name):
+            continue
+        resolved = symbols.resolve_local(module, func.id)
+        if resolved is None or resolved[0] != "class":
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                module.var_types[target.id] = resolved[1]
+
+
+# ---------------------------------------------------------------------------
+# Pass 2: type inference for class attributes
+# ---------------------------------------------------------------------------
+
+class _TypeEnv:
+    """Expression typing inside one function body."""
+
+    def __init__(self, symbols: SymbolTable, module: ModuleInfo,
+                 owner: Optional[ClassInfo]) -> None:
+        self.symbols = symbols
+        self.module = module
+        self.owner = owner
+        self.locals: Dict[str, str] = {}
+
+    def annotation_class(self, ann: Optional[ast.expr]
+                         ) -> Optional[str]:
+        """Class qualname named by an annotation (Optional unwrapped)."""
+        if ann is None:
+            return None
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Subscript):
+            base = ann.value
+            wrapper = None
+            if isinstance(base, ast.Name):
+                wrapper = base.id
+            elif isinstance(base, ast.Attribute):
+                wrapper = base.attr
+            if wrapper in ("Optional", "Union"):
+                inner = ann.slice
+                elements = (inner.elts if isinstance(inner, ast.Tuple)
+                            else [inner])
+                for element in elements:
+                    found = self.annotation_class(element)
+                    if found is not None:
+                        return found
+            return None
+        if isinstance(ann, ast.Name):
+            resolved = self.symbols.resolve_local(self.module, ann.id)
+            if resolved is not None and resolved[0] == "class":
+                return resolved[1]
+            return None
+        if isinstance(ann, ast.Attribute):
+            dotted = _attr_dotted(ann)
+            if dotted is None:
+                return None
+            resolved = self.symbols.resolve_dotted(dotted)
+            if resolved is None:
+                local = self.module.imports.get(dotted.split(".")[0])
+                if local is not None:
+                    rebased = ".".join([local] + dotted.split(".")[1:])
+                    resolved = self.symbols.resolve_dotted(rebased)
+            if resolved is not None and resolved[0] == "class":
+                return resolved[1]
+        return None
+
+    def seed_params(self, fn: FunctionInfo) -> None:
+        args = fn.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            found = self.annotation_class(arg.annotation)
+            if found is not None:
+                self.locals[arg.arg] = found
+
+    def type_of(self, expr: ast.expr) -> Optional[str]:
+        """Class qualname an expression evaluates to, if inferable."""
+        if isinstance(expr, ast.Name):
+            local = self.locals.get(expr.id)
+            if local is not None:
+                return local
+            resolved = self.symbols.resolve_local(self.module, expr.id)
+            if resolved is not None and resolved[0] == "instance":
+                return resolved[1]
+            return None
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                resolved = self.symbols.resolve_local(self.module,
+                                                      func.id)
+                if resolved is not None and resolved[0] == "class":
+                    return resolved[1]
+                if resolved is not None and resolved[0] == "function":
+                    fn = self.symbols.functions[resolved[1]]
+                    return self.annotation_class(fn.node.returns)
+            if isinstance(func, ast.Attribute):
+                method = self.method_of(func)
+                if method is not None:
+                    env = _TypeEnv(self.symbols, method.module, None)
+                    return env.annotation_class(method.node.returns)
+            return None
+        if isinstance(expr, ast.Attribute):
+            base_type = self.type_of(expr.value)
+            if base_type is not None:
+                cls = self.symbols.classes.get(base_type)
+                if cls is not None:
+                    found = cls.attr_types.get(expr.attr)
+                    if found is not None:
+                        return found
+                    prop = self.symbols.resolve_method(base_type,
+                                                       expr.attr)
+                    if prop is not None:
+                        env = _TypeEnv(self.symbols, prop.module, None)
+                        return env.annotation_class(prop.node.returns)
+                return None
+            if (isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and self.owner is not None):
+                return self.owner.attr_types.get(expr.attr)
+            dotted = _attr_dotted(expr)
+            if dotted is not None:
+                resolved = self.symbols.resolve_dotted(dotted)
+                if resolved is None:
+                    root = dotted.split(".")[0]
+                    target = self.module.imports.get(root)
+                    if target is not None:
+                        rebased = ".".join(
+                            [target] + dotted.split(".")[1:])
+                        resolved = self.symbols.resolve_dotted(rebased)
+                if resolved is not None and resolved[0] == "instance":
+                    return resolved[1]
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self.type_of(expr.body) or self.type_of(expr.orelse)
+        if isinstance(expr, ast.Await):
+            return self.type_of(expr.value)
+        return None
+
+    def method_of(self, func: ast.Attribute
+                  ) -> Optional[FunctionInfo]:
+        """Resolve ``<expr>.name(...)``'s target method/function."""
+        value = func.value
+        # self.m(...)
+        if (isinstance(value, ast.Name) and value.id == "self"
+                and self.owner is not None):
+            return self.symbols.resolve_method(self.owner.qualname,
+                                               func.attr)
+        # module.f(...) via imports
+        if isinstance(value, ast.Name):
+            target = self.module.imports.get(value.id)
+            if target is not None:
+                resolved = self.symbols.resolve_dotted(
+                    f"{target}.{func.attr}")
+                if resolved is not None and resolved[0] == "function":
+                    return self.symbols.functions[resolved[1]]
+        # typed receiver: self.engine.serve(...), var.m(...),
+        # _TEL.metrics.counter(...)
+        base_type = self.type_of(value)
+        if base_type is not None:
+            return self.symbols.resolve_method(base_type, func.attr)
+        return None
+
+    def assign(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            inferred = self.type_of(value)
+            if inferred is not None:
+                self.locals[target.id] = inferred
+            else:
+                self.locals.pop(target.id, None)
+
+
+def _attr_dotted(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _infer_attr_types(symbols: SymbolTable) -> None:
+    """Fill ``ClassInfo.attr_types`` from annotations and ``__init__``
+    constructor assignments (two passes so cross-class attribute chains
+    settle)."""
+    for _ in range(2):
+        for cls in symbols.classes.values():
+            for item in cls.node.body:
+                if (isinstance(item, ast.AnnAssign)
+                        and isinstance(item.target, ast.Name)):
+                    env = _TypeEnv(symbols, cls.module, cls)
+                    found = env.annotation_class(item.annotation)
+                    if found is not None:
+                        cls.attr_types[item.target.id] = found
+            for method in cls.methods.values():
+                env = _TypeEnv(symbols, cls.module, cls)
+                env.seed_params(method)
+                for stmt in ast.walk(method.node):
+                    if isinstance(stmt, ast.Assign):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                env.assign(target, stmt.value)
+                            elif (isinstance(target, ast.Attribute)
+                                    and isinstance(target.value,
+                                                   ast.Name)
+                                    and target.value.id == "self"):
+                                inferred = env.type_of(stmt.value)
+                                if inferred is not None:
+                                    cls.attr_types[target.attr] = \
+                                        inferred
+                    elif (isinstance(stmt, ast.AnnAssign)
+                            and isinstance(stmt.target, ast.Attribute)
+                            and isinstance(stmt.target.value, ast.Name)
+                            and stmt.target.value.id == "self"):
+                        found = env.annotation_class(stmt.annotation)
+                        if found is not None:
+                            cls.attr_types[stmt.target.attr] = found
+
+
+# ---------------------------------------------------------------------------
+# Pass 3: call graph + attribute accesses
+# ---------------------------------------------------------------------------
+
+class _BodyScanner(ast.NodeVisitor):
+    """Walk one function body: resolve calls, record self-attr
+    accesses, and track the lexical ``with self._lock`` context."""
+
+    def __init__(self, index: ProjectIndex, fn: FunctionInfo,
+                 owner: Optional[ClassInfo]) -> None:
+        self.index = index
+        self.fn = fn
+        self.owner = owner
+        self.env = _TypeEnv(index.symbols, fn.module, owner)
+        self.env.seed_params(fn)
+        self.lock_depth = 0
+        self.lock_attr_names: FrozenSet[str] = (
+            owner.lock_attrs if owner is not None else frozenset())
+
+    # -- helpers ----------------------------------------------------
+
+    def _is_lock_cm(self, item: ast.expr) -> bool:
+        return (isinstance(item, ast.Attribute)
+                and isinstance(item.value, ast.Name)
+                and item.value.id == "self"
+                and item.attr in self.lock_attr_names)
+
+    def _record_access(self, node: ast.Attribute,
+                       is_write: bool) -> None:
+        if self.owner is None:
+            return
+        if not (isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return
+        if node.attr in self.owner.methods:
+            return  # method/property reference, not shared state
+        if node.attr in self.lock_attr_names:
+            return  # touching the lock itself is the discipline
+        access = AttrAccess(method=self.fn, attr=node.attr, node=node,
+                            under_lock=self.lock_depth > 0,
+                            is_write=is_write)
+        self.index.attr_accesses.setdefault(
+            self.owner.qualname, []).append(access)
+
+    # -- visits -----------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(self._is_lock_cm(item.context_expr)
+                     for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+        if locked:
+            self.lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if locked:
+            self.lock_depth -= 1
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._record_access(node,
+                            isinstance(node.ctx,
+                                       (ast.Store, ast.Del)))
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self.visit(target)
+            if isinstance(target, ast.Name):
+                self.env.assign(target, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        # ``self.x += 1`` reads and writes the attribute.
+        self.visit(node.value)
+        if isinstance(node.target, ast.Attribute):
+            self._record_access(node.target, True)
+            self.visit(node.target.value)
+        else:
+            self.visit(node.target)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee: Optional[FunctionInfo] = None
+        constructs: Optional[ClassInfo] = None
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = self.index.symbols.resolve_local(
+                self.fn.module, func.id)
+            if resolved is not None:
+                if resolved[0] == "function":
+                    callee = self.index.symbols.functions[resolved[1]]
+                elif resolved[0] == "class":
+                    constructs = self.index.symbols.classes[resolved[1]]
+        elif isinstance(func, ast.Attribute):
+            callee = self.env.method_of(func)
+        if callee is not None or constructs is not None:
+            keywords = frozenset(
+                kw.arg for kw in node.keywords if kw.arg is not None)
+            site = CallSite(
+                caller=self.fn, node=node, callee=callee,
+                constructs=constructs,
+                under_lock=self.lock_depth > 0,
+                keywords=keywords,
+                has_star_kwargs=any(kw.arg is None
+                                    for kw in node.keywords))
+            self.index.call_graph.add(site)
+            if (self.owner is not None and callee is not None
+                    and callee.owner_qualname == self.owner.qualname
+                    and isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "self"):
+                self.index.intra_class_calls.setdefault(
+                    self.owner.qualname, []).append(
+                    (self.fn.name, callee.name,
+                     self.lock_depth > 0))
+        self.generic_visit(node)
+
+    def _visit_nested_def(self, node: ast.AST) -> None:
+        # Nested defs fold into the enclosing function's node set —
+        # but a nested body does not inherit the lexical lock context
+        # (it usually runs later, e.g. as a callback).
+        saved = self.lock_depth
+        self.lock_depth = 0
+        self.generic_visit(node)
+        self.lock_depth = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested_def(node)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested_def(node)
+
+
+def _scan_bodies(index: ProjectIndex) -> None:
+    for fn in index.functions.values():
+        owner = None
+        if fn.class_name is not None:
+            owner = index.classes.get(
+                f"{fn.module.name}.{fn.class_name}")
+        scanner = _BodyScanner(index, fn, owner)
+        for stmt in fn.node.body:
+            scanner.visit(stmt)
+
+
+# ---------------------------------------------------------------------------
+# Lock-discipline inference
+# ---------------------------------------------------------------------------
+
+#: Methods whose accesses never count: construction is single-threaded.
+_CONSTRUCTION_METHODS = frozenset({"__init__", "__post_init__",
+                                   "__new__"})
+
+
+def infer_lock_discipline(index: ProjectIndex, cls: ClassInfo,
+                          min_locked: int = 2) -> LockDiscipline:
+    """Infer which attributes of *cls* its ``self._lock`` guards.
+
+    An attribute is **guarded** when the majority of its accesses
+    (outside construction) happen under the lock — lexically inside a
+    ``with self._lock:`` block, or inside a *held method*: a private
+    method every intra-class call site of which is itself under the
+    lock (computed to fixpoint, so helpers calling helpers resolve).
+    ``min_locked`` accesses under the lock are required before the
+    majority claim counts, so single-touch config attributes do not
+    produce noise.  Accesses of guarded attributes outside the lock
+    are the returned ``violations``.
+    """
+    raw = [a for a in index.attr_accesses.get(cls.qualname, ())
+           if a.method.name not in _CONSTRUCTION_METHODS]
+    calls = index.intra_class_calls.get(cls.qualname, [])
+
+    held: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, method in cls.methods.items():
+            if name in held or not name.startswith("_"):
+                continue
+            if name in _CONSTRUCTION_METHODS:
+                continue
+            sites = [(caller, locked) for caller, callee, locked
+                     in calls if callee == name]
+            if not sites:
+                continue
+            if all(locked or caller in held
+                   for caller, locked in sites):
+                held.add(name)
+                changed = True
+
+    def effectively_locked(access: AttrAccess) -> bool:
+        return access.under_lock or access.method.name in held
+
+    counts: Dict[str, Tuple[int, int]] = {}
+    for access in raw:
+        locked, total = counts.get(access.attr, (0, 0))
+        counts[access.attr] = (locked + int(effectively_locked(access)),
+                               total + 1)
+    guarded = {attr: (locked, total)
+               for attr, (locked, total) in counts.items()
+               if locked >= min_locked and locked * 2 > total}
+    violations = [a for a in raw
+                  if a.attr in guarded and not effectively_locked(a)]
+    return LockDiscipline(cls=cls, lock_attrs=cls.lock_attrs,
+                          guarded=guarded,
+                          held_methods=frozenset(held),
+                          accesses=raw, violations=violations)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def build_project(paths: Sequence[Union[str, Path]]) -> ProjectIndex:
+    """Parse every module under *paths* and build the project index.
+
+    Files that fail to parse are skipped here; the per-file engine
+    already reports them as RPR999, and a partial project is more
+    useful than none.
+    """
+    symbols = SymbolTable()
+    modules: List[ModuleInfo] = []
+    for root in paths:
+        for file_path in iter_project_files(root):
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            module = _collect_module(symbols, file_path, source)
+            if module is not None:
+                modules.append(module)
+    for module in modules:
+        _collect_module_vars(symbols, module)
+    _infer_attr_types(symbols)
+    index = ProjectIndex(symbols=symbols, call_graph=CallGraph())
+    _scan_bodies(index)
+    return index

@@ -1,0 +1,508 @@
+"""Interprocedural rules over the whole-program :class:`ProjectIndex`.
+
+These rules see what the per-file engine cannot: state shared across
+methods (RPR010/RPR011), seeds and solver seams flowing across call
+edges (RPR012/RPR013), and blocking work reached *transitively* from
+an async handler (the project-level form of RPR009).  Each rule is a
+:class:`ProjectRule` with a single ``check(index)`` generator;
+:func:`analyze_project` builds the index from paths, applies the
+config's select/ignore sets and the ordinary ``# repro: noqa[...]``
+suppressions, and returns sorted findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (Dict, FrozenSet, Iterator, List, Optional, Sequence,
+                    Set, Tuple, Type, Union)
+
+from pathlib import Path
+
+from .engine import Finding, LintConfig
+from .project import (CallSite, ClassInfo, FunctionInfo, ProjectIndex,
+                      build_project, infer_lock_discipline)
+
+__all__ = [
+    "ProjectRule",
+    "LockDisciplineViolation",
+    "LockOrderCycle",
+    "UnseededSolverRNG",
+    "DroppedSolverSeam",
+    "TransitiveBlockingInAsync",
+    "PROJECT_RULES",
+    "project_rule_catalog",
+    "analyze_project",
+]
+
+#: Module-path segments that identify solver code for RPR012 scoping.
+_SOLVER_SEGMENTS = frozenset({"core", "game", "kernels"})
+
+#: Serving entry points whose whole call closure must be deterministic.
+_SERVING_ROOTS = (("ServingEngine", "serve"),
+                  ("ServingEngine", "serve_batch"))
+
+
+def _module_segments(fn: FunctionInfo) -> FrozenSet[str]:
+    return frozenset(fn.module.name.split("."))
+
+
+def _solver_roots(index: ProjectIndex) -> List[FunctionInfo]:
+    """Entry points whose forward closure is the determinism scope:
+    ``solve_*`` in core/game/kernels plus the serving engine."""
+    roots: List[FunctionInfo] = []
+    for fn in index.functions.values():
+        if (fn.name.startswith("solve_")
+                and _module_segments(fn) & _SOLVER_SEGMENTS):
+            roots.append(fn)
+        elif (fn.class_name, fn.name) in _SERVING_ROOTS:
+            roots.append(fn)
+    return roots
+
+
+def _passes_param(site: CallSite, callee: FunctionInfo,
+                  param: str) -> bool:
+    """Whether the call site supplies ``param`` to the callee."""
+    if param in site.keywords or site.has_star_kwargs:
+        return True
+    if any(isinstance(a, ast.Starred) for a in site.node.args):
+        return True
+    if param in callee.params:
+        index = callee.params.index(param)
+        if index < len(site.node.args):
+            return True
+    return False
+
+
+def _finding(rule: "ProjectRule", fn: FunctionInfo, node: ast.AST,
+             message: str) -> Optional[Finding]:
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    if fn.module.suppressed(rule.id, line):
+        return None
+    symbol = fn.qualname
+    return Finding(rule_id=rule.id, message=message,
+                   path=fn.module.path, line=line, col=col,
+                   severity=rule.severity, symbol=symbol)
+
+
+class ProjectRule:
+    """Base class for whole-program rules.
+
+    Unlike :class:`repro.lint.engine.Rule` (per-node hooks inside one
+    file), a project rule receives the entire :class:`ProjectIndex`
+    and yields findings anywhere in the tree.
+    """
+
+    id: str = "RPR000"
+    name: str = "project-rule"
+    severity: str = "error"
+    description: str = ""
+    rationale: str = ""
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class LockDisciplineViolation(ProjectRule):
+    """RPR010: guarded attribute touched outside ``self._lock``."""
+
+    id = "RPR010"
+    name = "lock-discipline"
+    severity = "error"
+    description = ("Method touches a lock-guarded attribute outside "
+                   "`with self._lock:`.")
+    rationale = ("Which attributes a class's lock guards is inferred "
+                 "from the majority of accesses; the minority unlocked "
+                 "access is almost always the bug — a torn read or a "
+                 "check-then-act race against every locked writer.")
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        for qualname in sorted(index.classes):
+            cls = index.classes[qualname]
+            if not cls.lock_attrs:
+                continue
+            discipline = infer_lock_discipline(index, cls)
+            for violation in discipline.violations:
+                locked, total = discipline.guarded[violation.attr]
+                verb = "writes" if violation.is_write else "reads"
+                finding = _finding(
+                    self, violation.method, violation.node,
+                    f"{cls.name}.{violation.method.name} {verb} "
+                    f"`self.{violation.attr}` outside the lock, but "
+                    f"{locked}/{total} accesses of it are under "
+                    f"`with self.{sorted(cls.lock_attrs)[0]}:`")
+                if finding is not None:
+                    yield finding
+
+
+def _acquires_lock(fn: FunctionInfo, cls: ClassInfo) -> bool:
+    """Whether the method body lexically takes ``with self.<lock>:``."""
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                expr = item.context_expr
+                if (isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == "self"
+                        and expr.attr in cls.lock_attrs):
+                    return True
+    return False
+
+
+class LockOrderCycle(ProjectRule):
+    """RPR011: cyclic lock-acquisition order between classes."""
+
+    id = "RPR011"
+    name = "lock-order-cycle"
+    severity = "error"
+    description = ("Two lock-owning classes acquire each other's locks "
+                   "in opposite orders on some call path.")
+    rationale = ("If thread 1 holds A's lock and calls into a "
+                 "lock-taking method of B while thread 2 holds B's "
+                 "lock and calls into A, the process deadlocks.  The "
+                 "acquisition graph must stay acyclic.")
+
+    def _edges(self, index: ProjectIndex
+               ) -> Dict[str, List[Tuple[str, CallSite]]]:
+        edges: Dict[str, List[Tuple[str, CallSite]]] = {}
+        for _, sites in index.call_graph.all_callers():
+            for site in sites:
+                if not site.under_lock or site.callee is None:
+                    continue
+                owner = site.caller.owner_qualname
+                target = site.callee.owner_qualname
+                if owner is None or target is None or owner == target:
+                    continue
+                target_cls = index.classes.get(target)
+                if target_cls is None or not target_cls.lock_attrs:
+                    continue
+                if not _acquires_lock(site.callee, target_cls):
+                    continue
+                edges.setdefault(owner, []).append((target, site))
+        return edges
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        edges = self._edges(index)
+        reported: Set[FrozenSet[str]] = set()
+        for start in sorted(edges):
+            stack: List[Tuple[str, Tuple[str, ...]]] = [
+                (start, (start,))]
+            while stack:
+                node, path = stack.pop()
+                for target, site in edges.get(node, ()):
+                    if target == start:
+                        cycle = frozenset(path)
+                        if cycle in reported:
+                            continue
+                        reported.add(cycle)
+                        names = " -> ".join(
+                            index.classes[q].name
+                            for q in path + (start,))
+                        finding = _finding(
+                            self, site.caller, site.node,
+                            f"lock-order cycle: {names}; a thread "
+                            f"holding one lock can deadlock against "
+                            f"a thread holding the other")
+                        if finding is not None:
+                            yield finding
+                    elif target not in path:
+                        stack.append((target, path + (target,)))
+
+
+def _is_default_rng_call(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "default_rng"
+    return isinstance(func, ast.Attribute) and \
+        func.attr == "default_rng"
+
+
+def _rng_seed_expr(node: ast.Call) -> Optional[ast.expr]:
+    """The seed expression of a ``default_rng`` call, None if omitted."""
+    if node.args:
+        return node.args[0]
+    for kw in node.keywords:
+        if kw.arg == "seed":
+            return kw.value
+    return None
+
+
+def _seed_passthrough_params(fn: FunctionInfo) -> FrozenSet[str]:
+    """Parameters that the body feeds into ``default_rng(<param>)``."""
+    names: Set[str] = set()
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call) and _is_default_rng_call(node):
+            seed = _rng_seed_expr(node)
+            if isinstance(seed, ast.Name) and seed.id in fn.params:
+                names.add(seed.id)
+    return frozenset(names)
+
+
+class UnseededSolverRNG(ProjectRule):
+    """RPR012: unseeded/global RNG reachable from a solver entry."""
+
+    id = "RPR012"
+    name = "unseeded-solver-rng"
+    severity = "error"
+    description = ("A function reachable from a solver or serving "
+                   "entry point consumes unseeded or global RNG "
+                   "state, or a call site omits the seed that the "
+                   "callee would otherwise feed into default_rng.")
+    rationale = ("Equilibrium outputs must be bit-identical across "
+                 "runs — caching, coalescing, and the control plane's "
+                 "verify step all compare results.  One unseeded "
+                 "generator anywhere in the closure breaks "
+                 "reproducibility invisibly.")
+
+    _GLOBAL_SAMPLERS = frozenset({
+        "random", "uniform", "normal", "standard_normal", "rand",
+        "randn", "randint", "choice", "shuffle", "permutation",
+        "lognormal", "exponential", "seed"})
+
+    def _local_findings(self, fn: FunctionInfo
+                        ) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_default_rng_call(node):
+                seed = _rng_seed_expr(node)
+                if seed is None or (isinstance(seed, ast.Constant)
+                                    and seed.value is None):
+                    yield (node,
+                           "default_rng() without a seed on a "
+                           "solver-reachable path; thread an explicit "
+                           "seed through the call chain")
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in self._GLOBAL_SAMPLERS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr == "random"
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id in ("np", "numpy")):
+                yield (node,
+                       f"global numpy RNG `{func.value.value.id}."
+                       f"random.{func.attr}` on a solver-reachable "
+                       f"path; use a seeded default_rng Generator")
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        roots = [fn.qualname for fn in _solver_roots(index)]
+        reachable = index.call_graph.reachable_from(roots)
+        for qualname in sorted(reachable):
+            fn = index.functions.get(qualname)
+            if fn is None:
+                continue
+            for node, message in self._local_findings(fn):
+                finding = _finding(self, fn, node, message)
+                if finding is not None:
+                    yield finding
+            # Call sites that drop an optional seed the callee would
+            # forward into default_rng: the callee then falls back to
+            # default_rng(None) — OS entropy — on this path.
+            for site in index.call_graph.sites_from(qualname):
+                callee = site.callee
+                if callee is None:
+                    continue
+                for param in _seed_passthrough_params(callee):
+                    default = callee.defaults.get(param)
+                    if not (isinstance(default, ast.Constant)
+                            and default.value is None):
+                        continue
+                    if _passes_param(site, callee, param):
+                        continue
+                    finding = _finding(
+                        self, fn, site.node,
+                        f"call to {callee.name}() omits `{param}`, "
+                        f"whose None default becomes default_rng(None)"
+                        f" — nondeterministic on a solver-reachable "
+                        f"path")
+                    if finding is not None:
+                        yield finding
+
+
+class DroppedSolverSeam(ProjectRule):
+    """RPR013: caller declares tol/max_iter/kernel but drops it."""
+
+    id = "RPR013"
+    name = "dropped-solver-seam"
+    severity = "error"
+    description = ("A function declaring a `tol`/`max_iter`/`kernel` "
+                   "parameter calls a solver accepting the same "
+                   "parameter without forwarding it.")
+    rationale = ("A seam parameter that dies between the API and the "
+                 "inner solve means callers believe they control the "
+                 "tolerance or kernel when the default silently wins; "
+                 "RPR004/RPR006 check signatures per file, this "
+                 "checks the hand-off itself across modules.")
+
+    _SEAMS = ("tol", "max_iter", "kernel")
+
+    @staticmethod
+    def _loaded_names(fn: FunctionInfo) -> FrozenSet[str]:
+        return frozenset(
+            node.id for node in ast.walk(fn.node)
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Load))
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        for qualname, sites in index.call_graph.all_callers():
+            caller = index.functions.get(qualname)
+            if caller is None:
+                continue
+            # A seam is *dropped* only when the caller never reads the
+            # parameter: the value dies in the signature.  A caller
+            # that consumes `tol` itself (e.g. as an acceptance
+            # threshold, like the control-plane verifiers) merely
+            # shares the name with the solver seam.
+            loaded = self._loaded_names(caller)
+            seams = [s for s in self._SEAMS
+                     if s in caller.params and s not in loaded]
+            if not seams:
+                continue
+            for site in sites:
+                callee = site.callee
+                if callee is None or not (
+                        callee.name.startswith("solve_")
+                        or callee.name.startswith("_solve")):
+                    continue
+                for seam in seams:
+                    if seam not in callee.params:
+                        continue
+                    if _passes_param(site, callee, seam):
+                        continue
+                    finding = _finding(
+                        self, caller, site.node,
+                        f"{caller.name}() accepts `{seam}` but calls "
+                        f"{callee.name}() without forwarding it; the "
+                        f"callee's default silently overrides the "
+                        f"caller's value")
+                    if finding is not None:
+                        yield finding
+
+
+class TransitiveBlockingInAsync(ProjectRule):
+    """RPR009 (project form): async handler transitively blocks."""
+
+    id = "RPR009"
+    name = "blocking-call-in-async"
+    severity = "error"
+    description = ("An async def in the service layer reaches "
+                   "time.sleep/file I/O through the call graph, even "
+                   "though no blocking call is lexically inline.")
+    rationale = ("The event loop does not care how deep the stack is "
+                 "when the thread blocks.  The per-file rule catches "
+                 "inline calls; this catches the helper three hops "
+                 "down that quietly does disk I/O.")
+
+    _IO_METHODS = frozenset({"read_text", "write_text", "read_bytes",
+                             "write_bytes"})
+    _OS_CALLS = frozenset({"replace", "fsync", "rename", "remove",
+                           "unlink"})
+
+    def _blocking_primitive(self, fn: FunctionInfo) -> Optional[str]:
+        """Description of a lexical blocking primitive in the body."""
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                return "open()"
+            if not isinstance(func, ast.Attribute):
+                continue
+            leaf = func.attr
+            root = func.value.id if isinstance(func.value, ast.Name) \
+                else None
+            if root == "time" and leaf == "sleep":
+                return "time.sleep()"
+            if root == "requests":
+                return f"requests.{leaf}()"
+            if root == "os" and leaf in self._OS_CALLS:
+                return f"os.{leaf}()"
+            if leaf in self._IO_METHODS:
+                return f".{leaf}()"
+        return None
+
+    def _blocking_map(self, index: ProjectIndex) -> Dict[str, str]:
+        """qualname -> reason, for every transitively-blocking sync
+        function (propagated backward through sync call edges)."""
+        reasons: Dict[str, str] = {}
+        for qualname, fn in index.functions.items():
+            if fn.is_async:
+                continue
+            primitive = self._blocking_primitive(fn)
+            if primitive is not None:
+                reasons[qualname] = primitive
+        changed = True
+        while changed:
+            changed = False
+            for qualname, fn in index.functions.items():
+                if fn.is_async or qualname in reasons:
+                    continue
+                for site in index.call_graph.sites_from(qualname):
+                    callee = site.callee
+                    if (callee is not None and not callee.is_async
+                            and callee.qualname in reasons):
+                        reasons[qualname] = (
+                            f"{callee.name}() -> "
+                            f"{reasons[callee.qualname]}")
+                        changed = True
+                        break
+        return reasons
+
+    def check(self, index: ProjectIndex) -> Iterator[Finding]:
+        reasons = self._blocking_map(index)
+        for qualname in sorted(index.functions):
+            fn = index.functions[qualname]
+            if not fn.is_async:
+                continue
+            if "service" not in _module_segments(fn):
+                continue
+            for site in index.call_graph.sites_from(qualname):
+                callee = site.callee
+                if (callee is None or callee.is_async
+                        or callee.qualname not in reasons):
+                    continue
+                finding = _finding(
+                    self, fn, site.node,
+                    f"async {fn.name}() calls {callee.name}(), which "
+                    f"transitively blocks: {callee.name}() -> "
+                    f"{reasons[callee.qualname]}; run it through "
+                    f"run_in_executor")
+                if finding is not None:
+                    yield finding
+
+
+PROJECT_RULES: Tuple[Type[ProjectRule], ...] = (
+    TransitiveBlockingInAsync,
+    LockDisciplineViolation,
+    LockOrderCycle,
+    UnseededSolverRNG,
+    DroppedSolverSeam,
+)
+
+
+def project_rule_catalog() -> List[Dict[str, str]]:
+    """Machine-readable catalog of the whole-program rules."""
+    return [
+        {"id": r.id, "name": r.name, "severity": r.severity,
+         "description": r.description, "rationale": r.rationale}
+        for r in PROJECT_RULES
+    ]
+
+
+def analyze_project(paths: Sequence[Union[str, Path]],
+                    config: Optional[LintConfig] = None
+                    ) -> List[Finding]:
+    """Build the project index over *paths* and run every project
+    rule, honoring the config's select/ignore sets.  Findings come
+    back in (path, line, col, rule) order, noqa-suppressed lines
+    already removed."""
+    cfg = config if config is not None else LintConfig()
+    index = build_project(paths)
+    findings: List[Finding] = []
+    for rule_cls in PROJECT_RULES:
+        if cfg.select is not None and rule_cls.id not in cfg.select:
+            continue
+        if rule_cls.id in cfg.ignore:
+            continue
+        findings.extend(rule_cls().check(index))
+    return sorted(findings, key=lambda f: f.sort_key())

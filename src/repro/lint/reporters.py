@@ -1,15 +1,35 @@
-"""Finding reporters: human text and machine JSON."""
+"""Finding reporters: human text and machine JSON.
+
+Two report shapes share one finding schema: the per-file report
+(``render_text``/``render_json``) and the whole-program report
+(``render_project_text``/``render_project_json``), which additionally
+carries the project rule catalog and the baseline accounting
+(suppressed/stale counts).  JSON documents are versioned; version 2
+added the ``symbol`` field on findings.
+"""
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from .baseline import BaselineResult
 from .engine import Finding
+from .project_rules import project_rule_catalog
 from .rules import rule_catalog
 
-__all__ = ["render_text", "render_json", "summarize"]
+__all__ = [
+    "render_text",
+    "render_json",
+    "render_project_text",
+    "render_project_json",
+    "summarize",
+]
+
+#: Schema version shared by both JSON reports.  2: findings gained
+#: ``symbol`` (empty for per-file findings); project report added.
+SCHEMA_VERSION = 2
 
 
 def summarize(findings: Sequence[Finding]) -> Dict[str, Any]:
@@ -46,9 +66,70 @@ def render_json(findings: Sequence[Finding], indent: int = 2) -> str:
     """Stable JSON document: findings + summary + rule catalog
     versioned for downstream tooling."""
     doc = {
-        "version": 1,
+        "version": SCHEMA_VERSION,
         "findings": [f.to_dict() for f in findings],
         "summary": summarize(findings),
         "rules": rule_catalog(),
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def render_project_text(findings: Sequence[Finding],
+                        baseline: Optional[BaselineResult] = None,
+                        statistics: bool = False) -> str:
+    """Text report for the whole-program analyzer: new findings in
+    the per-file format (with the symbol appended), then the baseline
+    accounting."""
+    lines: List[str] = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id} [{f.severity}] "
+        f"{f.message} [{f.symbol}]"
+        for f in findings
+    ]
+    if not findings:
+        lines.append("no findings")
+    if baseline is not None and (baseline.suppressed or baseline.stale):
+        lines.append("")
+        lines.append(f"baseline: {len(baseline.suppressed)} finding(s) "
+                     f"suppressed, {len(baseline.stale)} stale "
+                     f"entr{'y' if len(baseline.stale) == 1 else 'ies'}")
+        for entry in baseline.stale:
+            lines.append(f"  stale: {entry.rule} {entry.path} "
+                         f"[{entry.symbol}] — fixed; prune it with "
+                         f"--write-baseline")
+    if statistics and findings:
+        lines.append("")
+        for rule_id, count in sorted(
+                Counter(f.rule_id for f in findings).items()):
+            lines.append(f"{rule_id}: {count}")
+    return "\n".join(lines)
+
+
+def render_project_json(findings: Sequence[Finding],
+                        baseline: Optional[BaselineResult] = None,
+                        indent: int = 2) -> str:
+    """JSON report for the whole-program analyzer.  Mirrors
+    :func:`render_json` (same finding schema and version) plus the
+    project rule catalog and baseline accounting."""
+    baseline_doc: Dict[str, Any] = {
+        "suppressed": 0,
+        "stale": [],
+    }
+    if baseline is not None:
+        baseline_doc = {
+            "suppressed": len(baseline.suppressed),
+            "stale": [
+                {"rule": e.rule, "path": e.path, "symbol": e.symbol,
+                 "message": e.message,
+                 "justification": e.justification}
+                for e in baseline.stale
+            ],
+        }
+    doc = {
+        "version": SCHEMA_VERSION,
+        "mode": "project",
+        "findings": [f.to_dict() for f in findings],
+        "summary": summarize(findings),
+        "baseline": baseline_doc,
+        "rules": project_rule_catalog(),
     }
     return json.dumps(doc, indent=indent, sort_keys=True)

@@ -24,7 +24,8 @@ __all__ = ["Dispatcher"]
 class Dispatcher:
     """Routes miner requests to the ESP/CSP according to the edge mode."""
 
-    def __init__(self, edge: EdgeProvider, cloud: CloudProvider):
+    def __init__(self, edge: EdgeProvider,
+                 cloud: CloudProvider) -> None:
         self.edge = edge
         self.cloud = cloud
 

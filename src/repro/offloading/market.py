@@ -54,7 +54,7 @@ class OffloadingMarket:
     """
 
     def __init__(self, edge: EdgeProvider, cloud: CloudProvider,
-                 reward: float, fork_rate: float, seed: int = 0):
+                 reward: float, fork_rate: float, seed: int = 0) -> None:
         if reward <= 0:
             raise ConfigurationError("reward must be positive")
         if not 0.0 <= fork_rate < 1.0:

@@ -61,7 +61,7 @@ class CloudProvider:
     """
 
     def __init__(self, price: float, unit_cost: float = 0.0,
-                 d_avg: float = 0.0):
+                 d_avg: float = 0.0) -> None:
         if price <= 0:
             raise ConfigurationError("CSP price must be positive")
         if unit_cost < 0:
@@ -99,7 +99,7 @@ class EdgeProvider:
     """
 
     def __init__(self, price: float, unit_cost: float = 0.0, h: float = 1.0,
-                 capacity: Optional[float] = None, seed: int = 0):
+                 capacity: Optional[float] = None, seed: int = 0) -> None:
         if price <= 0:
             raise ConfigurationError("ESP price must be positive")
         if unit_cost < 0:

@@ -302,9 +302,12 @@ class ScenarioCache:
     def put(self, key: str, value: Any,
             meta: Optional[Dict[str, Any]] = None) -> None:
         """Store a result under ``key`` (and on disk when configured)."""
-        entry = _Entry(value=value, meta=dict(meta or {}),
-                       stamp=self._clock(), version=self.version)
         with self._lock:
+            # The entry must be stamped under the lock: reading
+            # ``version`` outside it races invalidate(), admitting an
+            # entry stamped with a stale version after the flush.
+            entry = _Entry(value=value, meta=dict(meta or {}),
+                           stamp=self._clock(), version=self.version)
             self.stats.puts += 1
             if _TEL.enabled:
                 _TEL.metrics.counter("cache_puts_total",

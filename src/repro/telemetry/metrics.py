@@ -245,8 +245,21 @@ class MetricsRegistry:
         histograms carry ``count``, ``sum``, ``buckets`` (upper bound ->
         cumulative count) and the ``p50``/``p95``/``p99`` estimates.
         """
+        # The whole walk runs under the registry lock: families() alone
+        # would only pin the family *list*, leaving each family's
+        # children dict free to grow mid-iteration (counter() on
+        # another thread) and blow up the sorted() with a RuntimeError.
+        # The lock is non-reentrant, so families() cannot be reused
+        # here.
+        with self._lock:
+            families = [self._families[n]
+                        for n in sorted(self._families)]
+            return self._render_snapshot(families)
+
+    def _render_snapshot(self, families: List["_Family"]
+                         ) -> Dict[str, Any]:
         out: Dict[str, Any] = {}
-        for family in self.families():
+        for family in families:
             values = []
             for labels, child in sorted(family.children.items()):
                 entry: Dict[str, Any] = {"labels": dict(labels)}

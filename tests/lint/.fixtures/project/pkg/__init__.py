@@ -1,0 +1,9 @@
+"""Fixture mini-package with a known call-graph shape.
+
+The re-export below exercises the symbol table's import chasing:
+``pkg.solve_demand`` must resolve to ``pkg.core.solve_demand``.
+"""
+
+from .core import solve_demand
+
+__all__ = ["solve_demand"]

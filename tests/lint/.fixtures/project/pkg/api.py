@@ -1,0 +1,18 @@
+"""Seam-forwarding fixtures for RPR013."""
+
+from .core import solve_demand
+
+
+def run_dropped(load, tol=1e-8):
+    return solve_demand(load)  # RPR013: tol dies in the signature
+
+
+def run_forwarded(load, tol=1e-8):
+    return solve_demand(load, tol=tol)  # clean: seam forwarded
+
+
+def run_threshold(load, tol=1e-8):
+    # Clean: `tol` is consumed as an acceptance threshold, it only
+    # shares its name with the solver seam.
+    value = solve_demand(load)
+    return value if value > tol else 0.0

@@ -1,0 +1,33 @@
+"""Solver-shaped fixture module: ``pkg.core`` puts every ``solve_*``
+function here in the determinism scope (RPR012 roots)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample_noise(scale, seed=None):
+    rng = default_rng(seed)
+    return rng.normal(0.0, scale)
+
+
+def perturb():
+    rng = default_rng()  # unseeded on a solver-reachable path
+    return rng.random()
+
+
+def helper_unreachable():
+    rng = default_rng()  # unseeded, but no solver reaches it: clean
+    return rng.random()
+
+
+def solve_demand(load, seed=0, tol=1e-9):
+    noise = sample_noise(0.1, seed=seed)  # seed forwarded: clean
+    return load + noise + perturb() + tol
+
+
+def solve_jittered(load):
+    return load + sample_noise(0.2)  # omits `seed` -> default_rng(None)
+
+
+def solve_global(load):
+    return load * np.random.random()  # global RNG in the closure

@@ -1,0 +1,35 @@
+"""Lock-order cycle fixture: Left and Right deadlock pairwise."""
+
+import threading
+
+
+class Left:
+    def __init__(self, peer=None):
+        self._lock = threading.Lock()
+        self.peer: "Right" = peer
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+            self.peer.observe(self.count)  # acquires Right._lock
+
+    def observe(self, value):
+        with self._lock:
+            self.count += value
+
+
+class Right:
+    def __init__(self, peer=None):
+        self._lock = threading.Lock()
+        self.peer: "Left" = peer
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+            self.peer.observe(self.count)  # acquires Left._lock: cycle
+
+    def observe(self, value):
+        with self._lock:
+            self.count += value

@@ -1,0 +1,50 @@
+"""Lock-discipline fixtures: one violation, one clean class."""
+
+import threading
+
+
+class Store:
+    """`size` is guarded by 2/3 accesses; peek() is the violation."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self.size = 0
+
+    def add(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self.size += 1
+
+    def drop(self, key):
+        with self._lock:
+            self._items.pop(key, None)
+            self.size -= 1
+
+    def peek(self):
+        return self.size  # RPR010: guarded attribute, no lock
+
+
+class CleanStore:
+    """Every shared-state access is under the lock; helpers are
+    held-methods (only ever called with the lock held)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self.hits = 0
+
+    def add(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._trim()
+
+    def get(self, key):
+        with self._lock:
+            self.hits += 1
+            return self._items.get(key)
+
+    def _trim(self):
+        while len(self._items) > 8:
+            self._items.popitem()
+            self.hits -= 1

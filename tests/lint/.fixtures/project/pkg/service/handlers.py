@@ -1,0 +1,26 @@
+"""Transitive-RPR009 fixtures: the blocking call is two hops down."""
+
+import asyncio
+from pathlib import Path
+
+
+def load_state(path):
+    return Path(path).read_text()  # the buried blocking primitive
+
+
+def prepare(path):
+    return load_state(path)  # transitively blocking
+
+
+def compute(values):
+    return sum(values)
+
+
+async def handle(path):
+    data = prepare(path)  # RPR009: blocks the loop via load_state
+    await asyncio.sleep(0)
+    return data
+
+
+async def handle_pure(values):
+    return compute(values)  # clean: callee closure never blocks

@@ -44,7 +44,7 @@ def test_main_routes_lint_subcommand(dirty_file):
 def test_json_format_is_parseable(dirty_file, capsys):
     assert lint_main([str(dirty_file), "--format", "json"]) == 1
     doc = json.loads(capsys.readouterr().out)
-    assert doc["version"] == 1
+    assert doc["version"] == 2
     assert doc["summary"]["by_rule"] == {"RPR005": 1}
 
 
@@ -93,3 +93,71 @@ def test_repository_self_check(capsys):
     """The acceptance gate: the repository's own tree lints clean."""
     assert lint_main(["src", "tests", "examples", "benchmarks"]) == 0
     assert "no findings" in capsys.readouterr().out
+
+
+# -- whole-program analyzer (--project) ------------------------------
+
+from pathlib import Path  # noqa: E402
+
+FIXTURE_PKG = str(Path(__file__).parent / ".fixtures" / "project"
+                  / "pkg")
+
+
+def test_project_mode_exits_one_on_fixture(capsys):
+    assert lint_main(["--project", FIXTURE_PKG]) == 1
+    out = capsys.readouterr().out
+    assert "RPR010" in out
+    assert "[pkg.locks.Store.peek]" in out
+
+
+def test_project_repository_self_check(capsys):
+    """The acceptance gate: `lint --project src/repro` exits 0."""
+    assert lint_main(["--project", "src/repro"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_project_json_format(capsys):
+    assert lint_main(["--project", FIXTURE_PKG, "--format",
+                      "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["mode"] == "project"
+    assert doc["summary"]["total"] == 7
+    assert {r["id"] for r in doc["rules"]} == {
+        "RPR009", "RPR010", "RPR011", "RPR012", "RPR013"}
+
+
+def test_project_select_limits_rules(capsys):
+    assert lint_main(["--project", FIXTURE_PKG, "--select",
+                      "RPR011"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR011" in out and "RPR010" not in out
+
+
+def test_project_rejects_per_file_only_rule_ids(capsys):
+    assert lint_main(["--project", FIXTURE_PKG, "--select",
+                      "RPR005"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_project_baseline_workflow(tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline.json"
+    # Write the baseline from the current findings: exit 0.
+    assert lint_main(["--project", FIXTURE_PKG, "--baseline",
+                      str(baseline), "--write-baseline"]) == 0
+    assert baseline.exists()
+    capsys.readouterr()
+    # With the baseline applied, nothing gates any more.
+    assert lint_main(["--project", FIXTURE_PKG, "--baseline",
+                      str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+    assert "7 finding(s) suppressed" in out
+
+
+def test_project_baseline_gates_only_regressions(tmp_path, capsys):
+    baseline = tmp_path / "lint-baseline.json"
+    doc = {"version": 1, "entries": []}
+    baseline.write_text(json.dumps(doc))
+    assert lint_main(["--project", FIXTURE_PKG, "--baseline",
+                      str(baseline)]) == 1
+    assert "RPR010" in capsys.readouterr().out

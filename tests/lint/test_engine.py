@@ -96,7 +96,7 @@ def test_finding_to_dict_round_trip():
                 col=7, severity="warning")
     assert f.to_dict() == {
         "rule": "RPR001", "severity": "warning", "path": "p.py",
-        "line": 3, "col": 7, "message": "m"}
+        "line": 3, "col": 7, "symbol": "", "message": "m"}
 
 
 def test_iter_python_files_skips_hidden_and_pycache(tmp_path):

@@ -1,0 +1,290 @@
+"""Whole-program analyzer: call-graph construction, lock-discipline
+inference, the interprocedural rules (RPR010-RPR013 + transitive
+RPR009) over the fixture mini-package, baseline semantics, the repo
+self-check, and the two mutation checks from the acceptance criteria
+(remove a ``with self._lock:`` / unseed a solver-reachable RNG in a
+scratch copy and watch the exact expected rule fire)."""
+
+import dataclasses
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (PROJECT_RULES, analyze_project, apply_baseline,
+                        build_project, fingerprint,
+                        infer_lock_discipline, load_baseline,
+                        project_rule_catalog, render_project_json,
+                        render_project_text, write_baseline)
+
+HERE = Path(__file__).parent
+FIXTURE_ROOT = HERE / ".fixtures" / "project"
+FIXTURE_PKG = FIXTURE_ROOT / "pkg"
+REPO_SRC = HERE.parents[1] / "src" / "repro"
+GOLDEN = HERE / "golden_project_report.json"
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_project([FIXTURE_PKG])
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return analyze_project([FIXTURE_PKG])
+
+
+# -- symbol table and call graph ------------------------------------
+
+def test_modules_discovered(index):
+    assert {"pkg", "pkg.core", "pkg.api", "pkg.locks", "pkg.cycle",
+            "pkg.service", "pkg.service.handlers"} <= set(
+        index.modules)
+
+
+def test_reexport_chasing(index):
+    # pkg/__init__ re-exports solve_demand from pkg.core.
+    assert index.symbols.resolve_dotted("pkg.solve_demand") == (
+        "function", "pkg.core.solve_demand")
+
+
+def test_call_graph_function_edges(index):
+    callees = index.call_graph.callees("pkg.core.solve_demand")
+    assert {"pkg.core.sample_noise", "pkg.core.perturb"} <= callees
+
+
+def test_call_graph_cross_module_edges(index):
+    callees = index.call_graph.callees("pkg.api.run_dropped")
+    assert "pkg.core.solve_demand" in callees
+
+
+def test_call_graph_typed_method_edges(index):
+    # Left.bump -> Right.observe resolves through the `peer: "Right"`
+    # attribute annotation, not by name matching.
+    assert "pkg.cycle.Right.observe" in index.call_graph.callees(
+        "pkg.cycle.Left.bump")
+
+
+def test_reachability(index):
+    reach = index.call_graph.reachable_from(["pkg.core.solve_demand"])
+    assert "pkg.core.perturb" in reach
+    assert "pkg.core.helper_unreachable" not in reach
+
+
+def test_unresolved_calls_make_no_edges(index):
+    # asyncio.sleep is outside the project: conservative no-edge.
+    callees = index.call_graph.callees("pkg.service.handlers.handle")
+    assert callees == {"pkg.service.handlers.prepare"}
+
+
+# -- lock-discipline inference --------------------------------------
+
+def test_guarded_attribute_inference(index):
+    store = index.classes["pkg.locks.Store"]
+    discipline = infer_lock_discipline(index, store)
+    assert set(discipline.guarded) == {"size", "_items"}
+    assert discipline.guarded["size"] == (2, 3)
+    assert [(v.method.name, v.attr)
+            for v in discipline.violations] == [("peek", "size")]
+
+
+def test_held_methods_count_as_locked(index):
+    clean = index.classes["pkg.locks.CleanStore"]
+    discipline = infer_lock_discipline(index, clean)
+    assert "_trim" in discipline.held_methods
+    assert not discipline.violations
+
+
+# -- rule triggers and clean cases ----------------------------------
+
+EXPECTED = {
+    ("RPR009", "pkg.service.handlers.handle"),
+    ("RPR010", "pkg.locks.Store.peek"),
+    ("RPR011", "pkg.cycle.Right.bump"),
+    ("RPR012", "pkg.core.perturb"),
+    ("RPR012", "pkg.core.solve_jittered"),
+    ("RPR012", "pkg.core.solve_global"),
+    ("RPR013", "pkg.api.run_dropped"),
+}
+
+
+def test_exact_finding_set(findings):
+    assert {(f.rule_id, f.symbol) for f in findings} == EXPECTED
+
+
+def test_clean_variants_stay_clean(findings):
+    flagged = {f.symbol for f in findings}
+    for symbol in ("pkg.api.run_forwarded", "pkg.api.run_threshold",
+                   "pkg.service.handlers.handle_pure",
+                   "pkg.core.helper_unreachable",
+                   "pkg.core.solve_demand",
+                   "pkg.locks.CleanStore.add",
+                   "pkg.locks.CleanStore.get"):
+        assert symbol not in flagged
+
+
+def test_transitive_blocking_message_shows_path(findings):
+    (finding,) = [f for f in findings if f.rule_id == "RPR009"]
+    assert "prepare()" in finding.message
+    assert ".read_text()" in finding.message
+
+
+def test_noqa_suppresses_project_finding(tmp_path):
+    scratch = tmp_path / "pkg"
+    shutil.copytree(FIXTURE_PKG, scratch)
+    locks = scratch / "locks.py"
+    locks.write_text(locks.read_text().replace(
+        "return self.size  # RPR010: guarded attribute, no lock",
+        "return self.size  # repro: noqa[RPR010]"))
+    symbols = {(f.rule_id, f.symbol)
+               for f in analyze_project([scratch])}
+    assert ("RPR010", "pkg.locks.Store.peek") not in symbols
+    # The other findings are unaffected.
+    assert ("RPR013", "pkg.api.run_dropped") in symbols
+
+
+def test_rule_catalog_covers_project_rules():
+    catalog = project_rule_catalog()
+    assert [e["id"] for e in catalog] == sorted(
+        r.id for r in PROJECT_RULES)
+    for entry in catalog:
+        assert entry["description"] and entry["rationale"]
+
+
+# -- baseline semantics ---------------------------------------------
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = load_baseline(tmp_path / "absent.json")
+    assert len(baseline) == 0
+
+
+def test_baseline_roundtrip_suppresses_everything(tmp_path, findings):
+    path = tmp_path / "lint-baseline.json"
+    write_baseline(findings, path)
+    result = apply_baseline(findings, load_baseline(path))
+    assert not result.new
+    assert len(result.suppressed) == len(findings)
+    assert not result.stale
+
+
+def test_baseline_regression_gates(tmp_path, findings):
+    path = tmp_path / "lint-baseline.json"
+    write_baseline(findings[1:], path)
+    result = apply_baseline(findings, load_baseline(path))
+    assert result.new == [findings[0]]
+    assert len(result.suppressed) == len(findings) - 1
+
+
+def test_baseline_stale_entries_reported(tmp_path, findings):
+    path = tmp_path / "lint-baseline.json"
+    write_baseline(findings, path)
+    result = apply_baseline(findings[1:], load_baseline(path))
+    assert not result.new
+    assert len(result.stale) == 1
+    assert result.stale[0].key == fingerprint(findings[0])
+
+
+def test_baseline_matching_ignores_line_numbers(tmp_path, findings):
+    path = tmp_path / "lint-baseline.json"
+    write_baseline(findings, path)
+    shifted = [dataclasses.replace(f, line=f.line + 40)
+               for f in findings]
+    result = apply_baseline(shifted, load_baseline(path))
+    assert not result.new and not result.stale
+
+
+def test_write_baseline_preserves_justifications(tmp_path, findings):
+    path = tmp_path / "lint-baseline.json"
+    write_baseline(findings, path)
+    doc = json.loads(path.read_text())
+    doc["entries"][0]["justification"] = "accepted: see ADR-7"
+    path.write_text(json.dumps(doc))
+    previous = load_baseline(path)
+    write_baseline(findings, path, previous=previous)
+    rewritten = json.loads(path.read_text())
+    kept = [e["justification"] for e in rewritten["entries"]]
+    assert "accepted: see ADR-7" in kept
+
+
+# -- reporters -------------------------------------------------------
+
+def relativized(findings):
+    return [dataclasses.replace(
+        f, path=str(Path(f.path).relative_to(FIXTURE_ROOT)))
+        for f in findings]
+
+
+def test_project_text_report_carries_symbols(findings):
+    text = render_project_text(relativized(findings))
+    assert "[pkg.locks.Store.peek]" in text
+    assert "pkg/locks.py:" in text
+
+
+def test_project_json_matches_golden_snapshot(findings):
+    document = json.loads(render_project_json(relativized(findings)))
+    expected = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    assert document == expected
+
+
+def test_project_json_schema_essentials(findings):
+    document = json.loads(render_project_json(relativized(findings)))
+    assert document["version"] == 2
+    assert document["mode"] == "project"
+    assert document["baseline"] == {"suppressed": 0, "stale": []}
+    assert len(document["rules"]) == len(PROJECT_RULES)
+    for finding in document["findings"]:
+        assert set(finding) == {"rule", "severity", "path", "line",
+                                "col", "symbol", "message"}
+        assert finding["symbol"]
+
+
+# -- repo self-check and mutation checks ----------------------------
+
+def test_repository_self_check_zero_findings():
+    findings = analyze_project([REPO_SRC])
+    assert findings == [], render_project_text(findings)
+
+
+def scratch_repro(tmp_path):
+    scratch = tmp_path / "repro"
+    shutil.copytree(REPO_SRC, scratch,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    return scratch
+
+
+def test_mutation_removed_lock_fires_rpr010(tmp_path):
+    scratch = scratch_repro(tmp_path)
+    cache = scratch / "serving" / "cache.py"
+    text = cache.read_text()
+    # Drop the lock from ScenarioCache.lookup only (keep indentation).
+    start = text.index("def lookup")
+    hole = text.index("with self._lock:", start)
+    cache.write_text(text[:hole] + "if True:        "
+                     + text[hole + len("with self._lock:"):])
+    findings = analyze_project([scratch])
+    assert findings, "removing the lock must produce findings"
+    assert {f.rule_id for f in findings} == {"RPR010"}
+    symbols = {f.symbol for f in findings}
+    # lookup itself is flagged, and only ScenarioCache methods are
+    # (helpers it calls lose their held-under-lock status too, which
+    # is exactly what happens at runtime).
+    assert "repro.serving.cache.ScenarioCache.lookup" in symbols
+    assert all(".ScenarioCache." in s for s in symbols)
+
+
+def test_mutation_unseeded_rng_fires_rpr012(tmp_path):
+    scratch = scratch_repro(tmp_path)
+    gnep = scratch / "core" / "gnep.py"
+    probe = ("\n\ndef solve_probe_with_noise(x, seed=0):\n"
+             "    from numpy.random import default_rng\n"
+             "    rng = default_rng(seed)\n"
+             "    return x + rng.random()\n")
+    gnep.write_text(gnep.read_text() + probe)
+    assert analyze_project([scratch]) == [], \
+        "the seeded probe must not trigger anything"
+    gnep.write_text(gnep.read_text().replace(
+        "rng = default_rng(seed)", "rng = default_rng()"))
+    findings = analyze_project([scratch])
+    assert [(f.rule_id, f.symbol) for f in findings] == [
+        ("RPR012", "repro.core.gnep.solve_probe_with_noise")]

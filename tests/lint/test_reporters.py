@@ -65,12 +65,15 @@ def test_render_json_matches_golden_snapshot():
 
 def test_render_json_schema_essentials():
     document = json.loads(render_json(snippet_findings()))
-    assert document["version"] == 1
+    assert document["version"] == 2
     assert len(document["findings"]) == 3
     assert len(document["rules"]) == len(ALL_RULES)
     for finding in document["findings"]:
         assert set(finding) == {"rule", "severity", "path", "line",
-                                "col", "message"}
+                                "col", "symbol", "message"}
+        # Per-file findings carry no resolved symbol; the project
+        # analyzer fills this field.
+        assert finding["symbol"] == ""
     for rule in document["rules"]:
         assert set(rule) == {"id", "name", "severity", "description",
                              "rationale"}

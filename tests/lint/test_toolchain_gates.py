@@ -16,12 +16,8 @@ import pytest
 
 REPO = Path(__file__).resolve().parents[2]
 
-STRICT_PACKAGES = ("src/repro/kernels", "src/repro/serving",
-                   "src/repro/core", "src/repro/resilience",
-                   "src/repro/telemetry", "src/repro/control",
-                   "src/repro/analysis", "src/repro/network",
-                   "src/repro/service", "src/repro/population",
-                   "src/repro/learning")
+# The whole tree is strict now -- no per-package carve-outs left.
+STRICT_PACKAGES = ("src/repro",)
 
 
 def run(cmd):
